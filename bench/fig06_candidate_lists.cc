@@ -1,0 +1,65 @@
+// Figure 6: candidate-list fidelity under compression — T-recall@T and
+// Ranked-Bias Overlap between exhaustive-search lists computed on
+// compressed vs full-precision vectors, as a function of the bit budget.
+#include "common.h"
+
+using namespace blinkbench;
+
+namespace {
+
+struct ListStats {
+  double recall = 0.0;
+  double rbo = 0.0;
+};
+
+ListStats Compare(const Matrix<uint32_t>& exact, const Matrix<uint32_t>& comp,
+                  size_t T) {
+  RunningStats recall, rbo;
+  for (size_t q = 0; q < exact.rows(); ++q) {
+    recall.Add(RecallAtK({comp.row(q), T}, {exact.row(q), T}, T));
+    rbo.Add(RankBiasedOverlap({comp.row(q), T}, {exact.row(q), T}, 0.995));
+  }
+  return {recall.mean(), rbo.mean()};
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 6", "T-recall@T and RBO of candidate lists vs bits (T=750)");
+  const size_t n = ScaledN(10000);
+  const size_t T = 750;
+  const size_t nq = static_cast<size_t>(50 * std::max(1.0, BenchScale()));
+  // The paper samples database vectors as queries (candidate lists feed the
+  // graph builder, whose queries are the nodes themselves).
+  Dataset data = MakeDeepLike(n, nq, 21);
+  MatrixF queries(nq, data.base.cols());
+  for (size_t q = 0; q < nq; ++q) {
+    std::copy(data.base.row(q * (n / nq)),
+              data.base.row(q * (n / nq)) + data.base.cols(), queries.row(q));
+  }
+  Matrix<uint32_t> exact =
+      ComputeGroundTruth(data.base, queries, T, data.metric);
+
+  std::printf("%-6s %-14s %-14s %-14s %-14s\n", "bits", "LVQ recall",
+              "LVQ RBO", "glob recall", "glob RBO");
+  for (int bits : {2, 3, 4, 6, 8, 12, 16}) {
+    LvqDataset::Options lo;
+    lo.bits = bits;
+    lo.padding = 0;
+    MatrixF lvq_dec = DecodeAll(LvqDataset::Encode(data.base, lo));
+    GlobalDataset::Options go;
+    go.bits = bits;
+    MatrixF glob_dec = DecodeAll(GlobalDataset::Encode(data.base, go));
+    Matrix<uint32_t> lvq_lists =
+        ComputeGroundTruth(lvq_dec, queries, T, data.metric);
+    Matrix<uint32_t> glob_lists =
+        ComputeGroundTruth(glob_dec, queries, T, data.metric);
+    const ListStats sl = Compare(exact, lvq_lists, T);
+    const ListStats sg = Compare(exact, glob_lists, T);
+    std::printf("%-6d %-14.4f %-14.4f %-14.4f %-14.4f\n", bits, sl.recall,
+                sl.rbo, sg.recall, sg.rbo);
+  }
+  std::printf("\nPaper: LVQ stays above 0.8 recall at 4 bits while global\n"
+              "quantization drops to ~0.6; RBO behaves the same way.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 7(b): effect of huge pages on search throughput.
+//
+// The paper preallocates 1 GiB pages with hugeadm and reports +20% (100M
+// points) to +90% (1B). This VM exposes no hugetlbfs pool, so the arena
+// falls back through its tiers (explicit 2 MiB -> transparent -> 4 KiB);
+// we report which tier each index actually obtained together with its
+// throughput, which reproduces the experiment's mechanics and measures
+// whatever the host can deliver.
+#include "common.h"
+
+using namespace blinkbench;
+
+namespace {
+
+struct BuiltVariant {
+  std::unique_ptr<VamanaIndex<LvqStorage>> idx;
+  PageBacking graph_backing;
+};
+
+BuiltVariant Build(const Dataset& data, bool huge) {
+  LvqDataset::Options o;
+  o.bits = 8;
+  o.use_huge_pages = huge;
+  LvqDataset ds = LvqDataset::Encode(data.base, o);
+  VamanaBuildParams bp = GraphParams(32, data.metric);
+  bp.use_huge_pages = huge;
+  LvqStorage storage(std::move(ds), data.metric);
+  auto idx = std::make_unique<VamanaIndex<LvqStorage>>(std::move(storage), bp);
+  const PageBacking backing = idx->graph().backing();
+  return {std::move(idx), backing};
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 7(b)", "huge pages vs standard pages");
+  const size_t n = ScaledN(40000), nq = 500, k = 10;
+  Dataset data = MakeDeepLike(n, nq);
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, k, data.metric);
+
+  HarnessOptions opts;
+  opts.best_of = 5;
+  const auto sweep = WindowSweep({20, 40, 80});
+
+  for (bool huge : {false, true}) {
+    BuiltVariant v = Build(data, huge);
+    auto pts = RunSweep(*v.idx, data.queries, gt, sweep, opts);
+    std::printf("pages=%-22s (graph arena: %s)\n",
+                huge ? "huge-requested" : "standard",
+                PageBackingName(v.graph_backing));
+    PrintCurve(v.idx->name(), pts);
+  }
+  std::printf("Paper: +20%% QPS at deep-96-100M, +90%% at deep-96-1B. The\n"
+              "gain needs TLB pressure, i.e. working sets of tens of GiB;\n"
+              "at bench scale expect parity unless BLINK_SCALE is large.\n");
+  return 0;
+}

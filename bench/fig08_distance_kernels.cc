@@ -1,0 +1,163 @@
+// Figure 8: mean similarity-computation time per vector for float16,
+// LVQ-8 and LVQ-4 encodings, as a function of how many vectors are scanned
+// (the curve's inflection marks the L2-cache boundary), for d = 128 and
+// d = 768. Also covers the static- vs dynamic-dimensionality ablation
+// (paper: up to 32% from static dims).
+//
+// google-benchmark binary: rows print as
+//   BM_Scan<enc>/d/n  ...  ns_per_distance
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "blink.h"
+
+namespace {
+
+using namespace blink;
+
+/// Sequential-scan fixture: one contiguous buffer of n encoded vectors.
+struct ScanData {
+  MatrixF raw;
+  std::vector<Float16> f16;
+  LvqDataset lvq8;
+  LvqDataset lvq4;
+  std::vector<float> query;
+
+  ScanData(size_t n, size_t d) : raw(n, d), query(d) {
+    Rng rng(n * 31 + d);
+    for (size_t i = 0; i < raw.size(); ++i) raw.data()[i] = rng.Gaussian();
+    for (auto& q : query) q = rng.Gaussian();
+    f16.resize(n * d);
+    for (size_t i = 0; i < n * d; ++i) f16[i] = Float16(raw.data()[i]);
+    LvqDataset::Options o8, o4;
+    o8.bits = 8;
+    o4.bits = 4;
+    lvq8 = LvqDataset::Encode(raw, o8);
+    lvq4 = LvqDataset::Encode(raw, o4);
+  }
+};
+
+ScanData& Cached(size_t n, size_t d) {
+  static std::map<std::pair<size_t, size_t>, std::unique_ptr<ScanData>> cache;
+  auto& slot = cache[{n, d}];
+  if (!slot) slot = std::make_unique<ScanData>(n, d);
+  return *slot;
+}
+
+void BM_ScanF16(benchmark::State& state) {
+  const size_t d = state.range(0), n = state.range(1);
+  ScanData& sd = Cached(n, d);
+  auto fn = simd::GetL2F16(d);
+  float acc = 0.0f;
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      acc += fn(sd.query.data(), sd.f16.data() + i * d, d);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["ns_per_dist"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_ScanLvq8(benchmark::State& state) {
+  const size_t d = state.range(0), n = state.range(1);
+  ScanData& sd = Cached(n, d);
+  auto fn = simd::GetL2U8(d);
+  float acc = 0.0f;
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      const LvqConstants c = sd.lvq8.constants(i);
+      acc += fn(sd.query.data(), sd.lvq8.codes(i), c.delta, c.lower, d);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["ns_per_dist"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_ScanLvq4(benchmark::State& state) {
+  const size_t d = state.range(0), n = state.range(1);
+  ScanData& sd = Cached(n, d);
+  auto fn = simd::GetL2U4(d);
+  float acc = 0.0f;
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      const LvqConstants c = sd.lvq4.constants(i);
+      acc += fn(sd.query.data(), sd.lvq4.codes(i), c.delta, c.lower, d);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["ns_per_dist"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_ScanF32StaticDim(benchmark::State& state) {
+  const size_t d = state.range(0), n = state.range(1);
+  ScanData& sd = Cached(n, d);
+  auto fn = simd::GetL2F32(d);  // static specialization when available
+  float acc = 0.0f;
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) acc += fn(sd.query.data(), sd.raw.row(i), d);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["ns_per_dist"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_ScanF32DynamicDim(benchmark::State& state) {
+  const size_t d = state.range(0), n = state.range(1);
+  ScanData& sd = Cached(n, d);
+  auto fn = simd::GetL2F32Dynamic();
+  float acc = 0.0f;
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) acc += fn(sd.query.data(), sd.raw.row(i), d);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["ns_per_dist"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_ScanLvq8Unfused(benchmark::State& state) {
+  // Fusion ablation (DESIGN.md D3): decompress into a scratch buffer, then
+  // run the float32 kernel.
+  const size_t d = state.range(0), n = state.range(1);
+  ScanData& sd = Cached(n, d);
+  std::vector<float> scratch(d);
+  float acc = 0.0f;
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      const LvqConstants c = sd.lvq8.constants(i);
+      acc += simd::L2SqrU8Unfused(sd.query.data(), sd.lvq8.codes(i), c.delta,
+                                  c.lower, d, scratch.data());
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["ns_per_dist"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void Sizes(benchmark::internal::Benchmark* b) {
+  // Match the paper's ranges: n to 10^7-ish at d=128 (memory permitting)
+  // and to ~10^5 at d=768. The inflection marks the cache boundary.
+  for (int64_t n : {1 << 10, 1 << 13, 1 << 16, 1 << 18}) b->Args({128, n});
+  for (int64_t n : {1 << 7, 1 << 10, 1 << 13, 1 << 15}) b->Args({768, n});
+}
+
+BENCHMARK(BM_ScanF16)->Apply(Sizes);
+BENCHMARK(BM_ScanLvq8)->Apply(Sizes);
+BENCHMARK(BM_ScanLvq4)->Apply(Sizes);
+BENCHMARK(BM_ScanLvq8Unfused)->Args({128, 1 << 13})->Args({768, 1 << 13});
+BENCHMARK(BM_ScanF32StaticDim)->Args({128, 1 << 13})->Args({768, 1 << 13})->Args({100, 1 << 13});
+BENCHMARK(BM_ScanF32DynamicDim)->Args({128, 1 << 13})->Args({768, 1 << 13})->Args({100, 1 << 13});
+
+}  // namespace
+
+BENCHMARK_MAIN();

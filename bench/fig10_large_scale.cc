@@ -1,0 +1,68 @@
+// Figure 10 + Figure 20: large-scale QPS/recall curves for the deep-96-1B,
+// t2i-200-100M and DPR-768-10M stand-ins (scaled down; BLINK_SCALE raises
+// the sizes). Five methods per dataset, full-batch mode; 10-recall@10
+// curves plus 50-recall@50 for the Fig. 20 check.
+#include "common.h"
+
+using namespace blinkbench;
+
+namespace {
+
+void RunDataset(Dataset data, size_t k) {
+  Matrix<uint32_t> gt =
+      ComputeGroundTruth(data.base, data.queries, k, data.metric);
+  std::printf("### %s (n=%zu, d=%zu, %s), k=%zu ###\n\n", data.name.c_str(),
+              data.base.rows(), data.base.cols(), MetricName(data.metric), k);
+  HarnessOptions opts;
+  opts.k = k;
+  opts.best_of = 3;
+  const auto graph_sweep = DefaultWindowSweep();
+  const auto probe_sweep =
+      ProbeSweep({1, 2, 4, 8, 16, 32, 64, 128}, {0, 20, 100, 400});
+
+  {
+    const uint32_t R = 64;  // scaled stand-in for the paper's R=128
+    auto idx = BuildOgLvq(data.base, data.metric, 8, 0,
+                          GraphParams(R, data.metric));
+    PrintCurve(idx->name(), RunSweep(*idx, data.queries, gt, graph_sweep, opts));
+    auto idx2 = BuildOgLvq(data.base, data.metric, 4, 8,
+                           GraphParams(R, data.metric));
+    PrintCurve(idx2->name(), RunSweep(*idx2, data.queries, gt, graph_sweep, opts));
+    auto vam = BuildVamanaF32(data.base, data.metric, GraphParams(R, data.metric));
+    PrintCurve(vam->name(), RunSweep(*vam, data.queries, gt, graph_sweep, opts));
+  }
+  {
+    HnswParams hp;
+    hp.M = 32;
+    hp.ef_construction = 120;
+    HnswIndex idx(data.base, data.metric, hp);
+    PrintCurve(idx.name(), RunSweep(idx, data.queries, gt, graph_sweep, opts));
+  }
+  {
+    IvfPqParams ip;
+    ip.nlist = std::max<size_t>(64, data.base.rows() / 256);
+    ip.pq.num_segments = std::max<size_t>(8, data.base.cols() / 2);
+    IvfPqIndex idx(data.base, data.metric, ip);
+    PrintCurve(idx.name(), RunSweep(idx, data.queries, gt, probe_sweep, opts));
+  }
+  {
+    ScannParams sp;
+    ScannIndex idx(data.base, data.metric, sp);
+    PrintCurve(idx.name(), RunSweep(idx, data.queries, gt, probe_sweep, opts));
+  }
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 10 / 20", "large-scale QPS/recall (scaled stand-ins)");
+  RunDataset(MakeDeepLike(ScaledN(30000), 300), 10);
+  RunDataset(MakeT2iLike(ScaledN(15000), 200), 10);
+  RunDataset(MakeDprLike(ScaledN(8000), 200), 10);
+  // Fig. 20 spot-check at k=50 for the two paper panels.
+  RunDataset(MakeDeepLike(ScaledN(15000), 150, 77), 50);
+  std::printf("Paper: OG-LVQ leads across the recall range on deep-96-1B\n"
+              "(6.5x at 0.9); on IP datasets it leads below ~0.95-0.97 recall\n"
+              "and is on par above.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 11: exhaustive-search accuracy vs compression ratio for LVQ,
+// global scalar quantization, PQ and OPQ (deep-96-1M stand-in).
+//
+// The paper's shape: below ~6x compression LVQ achieves the best recall
+// (with far cheaper similarity computations); at extreme ratios PQ/OPQ win
+// on raw rate-distortion but sit below the accuracy modern applications
+// need, forcing re-ranking.
+#include "common.h"
+#include "baselines/opq.h"
+#include "baselines/pq.h"
+
+using namespace blinkbench;
+
+namespace {
+
+double RecallOfDecoded(const MatrixF& decoded, const Dataset& data,
+                       const Matrix<uint32_t>& gt, size_t k) {
+  Matrix<uint32_t> res =
+      ComputeGroundTruth(decoded, data.queries, k, data.metric);
+  return MeanRecallAtK(res, gt, k);
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 11", "exhaustive-search recall vs compression ratio");
+  const size_t n = ScaledN(15000), nq = 200, k = 10;
+  Dataset data = MakeDeepLike(n, nq);
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, k, data.metric);
+
+  std::printf("%-14s %-8s %-10s\n", "method", "CR", "recall@10");
+
+  for (int bits : {1, 2, 3, 4, 5, 6, 8}) {
+    LvqDataset::Options o;
+    o.bits = bits;
+    o.padding = 0;
+    LvqDataset ds = LvqDataset::Encode(data.base, o);
+    std::printf("%-14s %-8.2f %-10.4f\n",
+                ("LVQ-" + std::to_string(bits)).c_str(),
+                ds.compression_ratio(),
+                RecallOfDecoded(DecodeAll(ds), data, gt, k));
+  }
+  for (int bits : {1, 2, 3, 4, 5, 6, 8}) {
+    GlobalDataset::Options o;
+    o.bits = bits;
+    GlobalDataset ds = GlobalDataset::Encode(data.base, o);
+    std::printf("%-14s %-8.2f %-10.4f\n",
+                ("global-" + std::to_string(bits)).c_str(),
+                ds.compression_ratio(),
+                RecallOfDecoded(DecodeAll(ds), data, gt, k));
+  }
+  for (size_t m : {6u, 8u, 12u, 16u, 24u, 32u, 48u, 96u}) {
+    PqParams p;
+    p.num_segments = m;
+    PqCodec c = PqCodec::Train(data.base, p);
+    PqDataset ds(std::move(c), data.base);
+    MatrixF dec(n, data.base.cols());
+    for (size_t i = 0; i < n; ++i) ds.Decode(i, dec.row(i));
+    std::printf("%-14s %-8.2f %-10.4f\n", ("PQ-M" + std::to_string(m)).c_str(),
+                ds.compression_ratio(), RecallOfDecoded(dec, data, gt, k));
+  }
+  for (size_t m : {8u, 16u, 32u}) {
+    OpqParams p;
+    p.pq.num_segments = m;
+    p.opt_iters = 8;
+    OpqCodec c = OpqCodec::Train(data.base, p);
+    OpqDataset ds(std::move(c), data.base);
+    MatrixF dec(n, data.base.cols());
+    for (size_t i = 0; i < n; ++i) ds.Decode(i, dec.row(i));
+    std::printf("%-14s %-8.2f %-10.4f\n", ("OPQ-M" + std::to_string(m)).c_str(),
+                ds.compression_ratio(), RecallOfDecoded(dec, data, gt, k));
+  }
+  std::printf("\nPaper: PQ/OPQ lead below their ~0.7-recall plateau at high\n"
+              "CR; LVQ overtakes at CR < ~6-8x and reaches near-exact recall.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 12: quantizer ablation under the same optimized graph engine —
+// float32, LVQ-8, LVQ-4x4, global-8, global-4x4, and PQ with M = d
+// segments (the only PQ setting accurate enough to skip re-ranking).
+//
+// One graph is built from float32 vectors and adopted by every storage, so
+// the comparison isolates the traversal-distance codec exactly as the
+// paper's Sec. 6.7 does.
+#include "common.h"
+#include "baselines/pq.h"
+
+using namespace blinkbench;
+
+namespace {
+
+BuiltGraph CloneGraph(const BuiltGraph& g) {
+  BuiltGraph out;
+  out.entry_point = g.entry_point;
+  out.build_seconds = g.build_seconds;
+  out.graph = FlatGraph(g.graph.size(), g.graph.max_degree());
+  for (size_t i = 0; i < g.graph.size(); ++i) {
+    out.graph.SetNeighbors(i, g.graph.neighbors(i), g.graph.degree(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 12", "quantizer ablation on one graph (R=64, deep-96)");
+  const size_t n = ScaledN(20000), nq = 400, k = 10;
+  Dataset data = MakeDeepLike(n, nq);
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, k, data.metric);
+  const VamanaBuildParams bp = GraphParams(64, data.metric);
+  BuiltGraph master = BuildVamana(FloatStorage(data.base, data.metric), bp);
+  std::printf("graph built from float32 in %.1fs, avg degree %.1f\n\n",
+              master.build_seconds, master.graph.AverageDegree());
+
+  HarnessOptions opts;
+  opts.best_of = 3;
+  const auto sweep = DefaultWindowSweep();
+
+  auto run = [&](auto storage, const std::string& label) {
+    VamanaIndex<decltype(storage)> idx(std::move(storage), CloneGraph(master), bp);
+    auto pts = RunSweep(idx, data.queries, gt, sweep, opts);
+    PrintCurve(label + "  [" + std::to_string(static_cast<int>(
+                                  Mib(idx.memory_bytes()))) + " MiB]",
+               pts);
+  };
+
+  run(FloatStorage(data.base, data.metric), "float32");
+  run(LvqStorage(data.base, data.metric, 8), "LVQ-8");
+  run(LvqStorage(data.base, data.metric, 4, 4, 32), "LVQ-4x4");
+  run(GlobalQuantStorage(data.base, data.metric, 8, 0), "global-quant-8");
+  run(GlobalQuantStorage(data.base, data.metric, 4, 4), "global-quant-4x4");
+  {
+    PqParams pp;
+    pp.num_segments = data.base.cols();  // PQ_M96: 1 dim/segment
+    run(PqStorage(data.base, data.metric, pp), "PQ_M96");
+  }
+
+  std::printf("Paper: LVQ-8 leads to recall 0.98 (global tops out at 0.96);\n"
+              "LVQ-8 is 5.2x faster than PQ_M96 at 0.9 recall under the\n"
+              "identical graph and engine.\n");
+  return 0;
+}

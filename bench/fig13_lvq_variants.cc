@@ -1,0 +1,47 @@
+// Figure 13: one- vs two-level LVQ by dimensionality — float32, LVQ-8,
+// LVQ-4x4, LVQ-4x8 on deep-96 (one-level wins: compute-bound) and
+// DPR-768 (two-level wins: bandwidth-bound).
+#include "common.h"
+
+using namespace blinkbench;
+
+namespace {
+
+void RunDataset(const Dataset& data, size_t k) {
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, k, data.metric);
+  const VamanaBuildParams bp = GraphParams(32, data.metric);
+  HarnessOptions opts;
+  opts.best_of = 3;
+  const auto sweep = DefaultWindowSweep();
+
+  std::printf("--- %s (n=%zu, d=%zu, %s) ---\n", data.name.c_str(),
+              data.base.rows(), data.base.cols(), MetricName(data.metric));
+  {
+    auto idx = BuildVamanaF32(data.base, data.metric, bp);
+    PrintCurve("float32", RunSweep(*idx, data.queries, gt, sweep, opts));
+  }
+  {
+    auto idx = BuildOgLvq(data.base, data.metric, 8, 0, bp);
+    PrintCurve("LVQ-8", RunSweep(*idx, data.queries, gt, sweep, opts));
+  }
+  {
+    auto idx = BuildOgLvq(data.base, data.metric, 4, 4, bp);
+    PrintCurve("LVQ-4x4", RunSweep(*idx, data.queries, gt, sweep, opts));
+  }
+  {
+    auto idx = BuildOgLvq(data.base, data.metric, 4, 8, bp);
+    PrintCurve("LVQ-4x8", RunSweep(*idx, data.queries, gt, sweep, opts));
+  }
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 13", "one- vs two-level LVQ across dimensionalities");
+  RunDataset(MakeDeepLike(ScaledN(20000), 400), 10);
+  RunDataset(MakeDprLike(ScaledN(6000), 200), 10);
+  std::printf("Paper: at d=96 LVQ-8's cheaper compute prevails; at d=768 the\n"
+              "extra bandwidth reduction of LVQ-4x4 / LVQ-4x8 wins, with the\n"
+              "8-bit residual restoring high recall in the final re-rank.\n");
+  return 0;
+}

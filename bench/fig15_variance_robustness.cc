@@ -1,0 +1,58 @@
+// Figure 15 (Appendix A.1): robustness to pathological per-dimension
+// variances — deep-96 and gist-960 with 20% of dimensions scaled by
+// 10-100x, plus the random-96 dataset whose dimensions have bimodal
+// stddevs. OG-LVQ should remain competitive with the full-precision
+// baselines despite the skewed quantization ranges.
+#include "common.h"
+
+using namespace blinkbench;
+
+namespace {
+
+void RunDataset(Dataset data, const char* label) {
+  const size_t k = 10;
+  Matrix<uint32_t> gt =
+      ComputeGroundTruth(data.base, data.queries, k, data.metric);
+  std::printf("### %s ###\n\n", label);
+  HarnessOptions opts;
+  opts.best_of = 3;
+  const auto sweep = DefaultWindowSweep();
+  {
+    auto idx = BuildOgLvq(data.base, data.metric, 8, 0,
+                          GraphParams(32, data.metric));
+    PrintCurve(idx->name(), RunSweep(*idx, data.queries, gt, sweep, opts));
+  }
+  {
+    auto idx = BuildOgLvq(data.base, data.metric, 4, 8,
+                          GraphParams(32, data.metric));
+    PrintCurve(idx->name(), RunSweep(*idx, data.queries, gt, sweep, opts));
+  }
+  {
+    auto idx = BuildVamanaF32(data.base, data.metric, GraphParams(32, data.metric));
+    PrintCurve(idx->name(), RunSweep(*idx, data.queries, gt, sweep, opts));
+  }
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 15", "robustness to pathological per-dimension variances");
+  {
+    Dataset data = MakeDeepLike(ScaledN(10000), 200, 61);
+    ModifyDatasetVariance(&data.base, &data.queries, 0.2, 10.0, 100.0, 5);
+    data.metric = Metric::kL2;  // scaling destroys unit norms (as in paper)
+    RunDataset(std::move(data), "deep-96-modified (20% dims x10-100)");
+  }
+  {
+    Dataset data = MakeGistLike(ScaledN(3000), 100, 62);
+    ModifyDatasetVariance(&data.base, &data.queries, 0.2, 10.0, 100.0, 6);
+    RunDataset(std::move(data), "gist-960-modified (20% dims x10-100)");
+  }
+  RunDataset(MakeRandomVarVar(ScaledN(10000), 200, 96, 63),
+             "random-96 (bimodal per-dim stddevs)");
+  std::printf("Paper: OG-LVQ outperforms or matches the alternatives on all\n"
+              "three pathological datasets — the large-variance dimensions\n"
+              "dominate both the quantization range AND the distances, so\n"
+              "the extra error on small dimensions does not hurt recall.\n");
+  return 0;
+}

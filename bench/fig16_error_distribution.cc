@@ -1,0 +1,69 @@
+// Figure 16: the LVQ quantization error is uniform in [-Delta/2, Delta/2),
+// except for a center spike from the per-vector min/max components, which
+// reconstruct exactly (their codes sit on the bounds).
+#include "common.h"
+
+using namespace blinkbench;
+
+namespace {
+
+void Report(int bits) {
+  Dataset data = MakeDeepLike(ScaledN(20000), 5);
+  LvqDataset::Options o;
+  o.bits = bits;
+  LvqDataset ds = LvqDataset::Encode(data.base, o);
+  const size_t n = ds.size(), d = ds.dim();
+
+  // Pool errors normalized by each vector's Delta so the theoretical
+  // distribution is U[-1/2, 1/2).
+  Histogram all(-0.55, 0.55, 22), inner(-0.55, 0.55, 22);
+  RunningStats stats;
+  size_t exact_zero = 0, total = 0;
+  std::vector<float> rec(d);
+  for (size_t i = 0; i < n; ++i) {
+    ds.Decode(i, rec.data());
+    const float delta = ds.constants(i).delta;
+    if (delta <= 0) continue;
+    // Identify this vector's extreme components (exactly reconstructible).
+    for (size_t j = 0; j < d; ++j) {
+      const float err = (data.base(i, j) - rec[j]) / delta;
+      all.Add(err);
+      stats.Add(err);
+      ++total;
+      if (std::fabs(err) < 1e-6f) {
+        ++exact_zero;
+      } else {
+        inner.Add(err);
+      }
+    }
+  }
+
+  std::printf("LVQ-%d normalized error (err / Delta): mean=%+.4f stddev=%.4f\n",
+              bits, stats.mean(), stats.stddev());
+  std::printf("  exactly-zero components: %.2f%% (the min/max spike)\n",
+              100.0 * static_cast<double>(exact_zero) / static_cast<double>(total));
+  std::printf("  uniform U[-1/2,1/2) predicts stddev %.4f\n", 1.0 / std::sqrt(12.0));
+  std::printf("  full histogram:\n%s", all.ToAscii(40).c_str());
+  std::printf("  spike removed (should be flat):\n%s\n", inner.ToAscii(40).c_str());
+
+  // Flatness check on the spike-free histogram: max/min bin ratio.
+  const auto& bins = inner.bins();
+  size_t bmin = SIZE_MAX, bmax = 0;
+  // Skip the two edge bins (half-covered by the [-1/2, 1/2) support).
+  for (size_t b = 2; b + 2 < bins.size(); ++b) {
+    bmin = std::min(bmin, bins[b]);
+    bmax = std::max(bmax, bins[b]);
+  }
+  std::printf("  interior-bin max/min ratio: %.3f (1.0 = perfectly uniform)\n\n",
+              bmin > 0 ? static_cast<double>(bmax) / static_cast<double>(bmin)
+                       : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 16", "LVQ quantization-error distribution vs uniform");
+  Report(8);
+  Report(4);
+  return 0;
+}

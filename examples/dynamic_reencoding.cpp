@@ -1,0 +1,79 @@
+// Adapting LVQ to data-distribution shifts (paper Sec. 3.2).
+//
+// LVQ's compression model is just the dataset mean mu: when the data
+// distribution drifts, updating the model is a linear-time recompute of mu
+// plus a re-encode — no k-means retraining (the expensive periodic update
+// PQ-based indices need).
+//
+// This example encodes a dataset against a *stale* mean (simulating drift),
+// measures the reconstruction penalty, then re-encodes with the refreshed
+// mean and shows the penalty disappear.
+//
+// Run:  ./build/examples/dynamic_reencoding
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "blink.h"
+
+namespace {
+
+/// Mean squared reconstruction error of an encoded dataset.
+double ReconstructionMse(const blink::LvqDataset& ds, blink::MatrixViewF data) {
+  std::vector<float> buf(ds.dim());
+  double acc = 0.0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ds.Decode(i, buf.data());
+    const float* row = data.row(i);
+    for (size_t j = 0; j < ds.dim(); ++j) {
+      const double e = static_cast<double>(row[j]) - buf[j];
+      acc += e * e;
+    }
+  }
+  return acc / (static_cast<double>(ds.size()) * ds.dim());
+}
+
+}  // namespace
+
+int main() {
+  using namespace blink;
+
+  const size_t n = 20000, d = 96;
+  Dataset t0 = MakeDeepLike(n, 100, /*seed=*/1);
+
+  // Simulate drift: the serving distribution shifts by a constant offset
+  // (e.g. an embedding-model fine-tune moving the centroid).
+  MatrixF shifted = t0.base.Clone();
+  Rng rng(99);
+  std::vector<float> drift(d);
+  for (size_t j = 0; j < d; ++j) drift[j] = rng.Gaussian(0.0f, 0.15f);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = shifted.row(i);
+    for (size_t j = 0; j < d; ++j) row[j] += drift[j];
+  }
+
+  LvqDataset::Options opts;
+  opts.bits = 8;
+
+  // (a) Fresh model on the original data.
+  LvqDataset fresh = LvqDataset::Encode(t0.base, opts);
+  // (b) Stale model: drifted data encoded against the time-0 mean.
+  LvqDataset stale = LvqDataset::EncodeWithMean(shifted, fresh.mean(), opts);
+  // (c) Model update per Sec. 3.2: recompute mu over the new data,
+  //     re-encode. Both steps are linear in n.
+  Timer t;
+  LvqDataset refreshed = LvqDataset::Encode(shifted, opts);
+  const double update_s = t.Seconds();
+
+  std::printf("LVQ-8 reconstruction MSE (d=%zu, n=%zu)\n", d, n);
+  std::printf("  fresh model, original data : %.3e\n",
+              ReconstructionMse(fresh, t0.base));
+  std::printf("  STALE model, drifted data  : %.3e\n",
+              ReconstructionMse(stale, shifted));
+  std::printf("  refreshed model (%.3fs)    : %.3e\n", update_s,
+              ReconstructionMse(refreshed, shifted));
+  std::printf("\nThe stale-mean penalty comes from off-center vectors wasting "
+              "code range;\nrecomputing mu + re-encoding (both O(n*d)) restores "
+              "the fresh-model error.\n");
+  return 0;
+}

@@ -1,0 +1,246 @@
+#include "baselines/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <queue>
+
+#include "simd/distance.h"
+#include "util/prng.h"
+
+namespace blink {
+
+HnswIndex::HnswIndex(MatrixViewF data, Metric metric, const HnswParams& params,
+                     ThreadPool* /*pool*/)
+    : n_(data.rows), d_(data.cols), metric_(metric), params_(params) {
+  vectors_ = MatrixF(n_, d_);
+  for (size_t i = 0; i < n_; ++i) {
+    std::memcpy(vectors_.row(i), data.row(i), d_ * sizeof(float));
+  }
+  levels_.resize(n_);
+  links_.resize(n_);
+  visit_stamps_.assign(n_, 0);
+
+  // Exponential level assignment: floor(-ln(U) * mult), mult = 1/ln(M).
+  Rng rng(params.seed);
+  const double mult = 1.0 / std::log(static_cast<double>(params.M));
+  for (size_t i = 0; i < n_; ++i) {
+    double u = rng.UniformDouble();
+    if (u < 1e-12) u = 1e-12;
+    levels_[i] = static_cast<int>(-std::log(u) * mult);
+    links_[i].resize(levels_[i] + 1);
+  }
+
+  // Sequential insertion (construction is inherently order-dependent).
+  for (size_t i = 0; i < n_; ++i) {
+    Insert(static_cast<uint32_t>(i), levels_[i]);
+  }
+}
+
+float HnswIndex::Dist(const float* q, uint32_t id) const {
+  const float* v = vectors_.row(id);
+  return metric_ == Metric::kL2 ? simd::L2Sqr(q, v, d_)
+                                : simd::IpDist(q, v, d_);
+}
+
+void HnswIndex::SearchLayer(const float* q, uint32_t ep, size_t ef, int level,
+                            std::vector<uint32_t>& visited_stamps,
+                            uint32_t stamp,
+                            std::vector<Candidate>* out) const {
+  // Min-heap of frontier candidates; max-heap of the ef best results.
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> frontier;
+  std::priority_queue<Candidate> best;
+
+  const float d0 = Dist(q, ep);
+  frontier.push({d0, ep});
+  best.push({d0, ep});
+  visited_stamps[ep] = stamp;
+
+  while (!frontier.empty()) {
+    const Candidate c = frontier.top();
+    if (c.dist > best.top().dist && best.size() >= ef) break;
+    frontier.pop();
+    const auto& nbrs = links_[c.id][level];
+    for (uint32_t nb : nbrs) {
+      if (visited_stamps[nb] == stamp) continue;
+      visited_stamps[nb] = stamp;
+      const float dist = Dist(q, nb);
+      if (best.size() < ef || dist < best.top().dist) {
+        frontier.push({dist, nb});
+        best.push({dist, nb});
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+  out->resize(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    (*out)[i] = best.top();
+    best.pop();
+  }
+}
+
+void HnswIndex::SelectNeighborsHeuristic(
+    const std::vector<Candidate>& candidates, size_t m,
+    std::vector<uint32_t>* out) const {
+  out->clear();
+  // Candidates arrive in ascending distance to the query point. Keep e only
+  // if it is closer to the query than to every already-selected neighbor
+  // (diversity pruning, HNSW Algorithm 4).
+  for (const Candidate& e : candidates) {
+    if (out->size() >= m) break;
+    bool keep = true;
+    const float* ve = vectors_.row(e.id);
+    for (uint32_t r : *out) {
+      const float d_er = metric_ == Metric::kL2
+                             ? simd::L2Sqr(ve, vectors_.row(r), d_)
+                             : simd::IpDist(ve, vectors_.row(r), d_);
+      if (d_er < e.dist) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out->push_back(e.id);
+  }
+}
+
+void HnswIndex::Insert(uint32_t id, int level) {
+  if (max_level_ < 0) {  // first node
+    entry_point_ = id;
+    max_level_ = level;
+    return;
+  }
+  const float* q = vectors_.row(id);
+  uint32_t ep = entry_point_;
+
+  // Greedy descent through layers above the node's level.
+  for (int lc = max_level_; lc > level; --lc) {
+    bool changed = true;
+    float d_ep = Dist(q, ep);
+    while (changed) {
+      changed = false;
+      for (uint32_t nb : links_[ep][lc]) {
+        const float dist = Dist(q, nb);
+        if (dist < d_ep) {
+          d_ep = dist;
+          ep = nb;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Connect at each layer from min(level, max_level_) down to 0.
+  std::vector<Candidate> candidates;
+  std::vector<uint32_t> selected;
+  std::vector<Candidate> shrink_cands;
+  std::vector<uint32_t> shrunk;
+  for (int lc = std::min(level, max_level_); lc >= 0; --lc) {
+    ++stamp_;
+    if (stamp_ == 0) {
+      std::fill(visit_stamps_.begin(), visit_stamps_.end(), 0u);
+      stamp_ = 1;
+    }
+    SearchLayer(q, ep, params_.ef_construction, lc, visit_stamps_, stamp_,
+                &candidates);
+    const uint32_t bound = DegreeBound(lc);
+    SelectNeighborsHeuristic(candidates, params_.M, &selected);
+    links_[id][lc] = selected;
+
+    for (uint32_t nb : selected) {
+      auto& back = links_[nb][lc];
+      back.push_back(id);
+      if (back.size() > bound) {
+        // Shrink with the same heuristic, rebuilding candidates around nb.
+        const float* vnb = vectors_.row(nb);
+        shrink_cands.clear();
+        shrink_cands.reserve(back.size());
+        for (uint32_t e : back) {
+          shrink_cands.push_back({Dist(vnb, e), e});
+        }
+        std::sort(shrink_cands.begin(), shrink_cands.end());
+        SelectNeighborsHeuristic(shrink_cands, bound, &shrunk);
+        back = shrunk;
+      }
+    }
+    if (!candidates.empty()) ep = candidates.front().id;
+  }
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = id;
+  }
+}
+
+size_t HnswIndex::memory_bytes() const {
+  size_t bytes = vectors_.size() * sizeof(float);
+  for (const auto& node : links_) {
+    for (const auto& layer : node) {
+      bytes += layer.size() * sizeof(uint32_t) + sizeof(void*);
+    }
+    bytes += sizeof(void*);
+  }
+  return bytes;
+}
+
+double HnswIndex::AverageDegree(int level) const {
+  size_t total = 0, nodes = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    if (levels_[i] >= level) {
+      total += links_[i][level].size();
+      ++nodes;
+    }
+  }
+  return nodes > 0 ? static_cast<double>(total) / static_cast<double>(nodes) : 0.0;
+}
+
+void HnswIndex::SearchBatch(MatrixViewF queries, size_t k,
+                            const RuntimeParams& params, uint32_t* ids,
+                            ThreadPool* pool) const {
+  const size_t nq = queries.rows;
+  const size_t ef = std::max<size_t>(params.window, k);
+
+  auto run_slice = [&](size_t widx, size_t slices) {
+    std::vector<uint32_t> stamps(n_, 0);
+    uint32_t stamp = 0;
+    std::vector<Candidate> results;
+    const size_t lo = nq * widx / slices, hi = nq * (widx + 1) / slices;
+    for (size_t qi = lo; qi < hi; ++qi) {
+      const float* q = queries.row(qi);
+      uint32_t ep = entry_point_;
+      for (int lc = max_level_; lc > 0; --lc) {
+        bool changed = true;
+        float d_ep = Dist(q, ep);
+        while (changed) {
+          changed = false;
+          for (uint32_t nb : links_[ep][lc]) {
+            const float dist = Dist(q, nb);
+            if (dist < d_ep) {
+              d_ep = dist;
+              ep = nb;
+              changed = true;
+            }
+          }
+        }
+      }
+      ++stamp;
+      if (stamp == 0) {
+        std::fill(stamps.begin(), stamps.end(), 0u);
+        stamp = 1;
+      }
+      SearchLayer(q, ep, ef, 0, stamps, stamp, &results);
+      uint32_t* row = ids + qi * k;
+      for (size_t j = 0; j < k; ++j) {
+        row[j] = j < results.size() ? results[j].id : UINT32_MAX;
+      }
+    }
+  };
+
+  const size_t workers = pool != nullptr ? pool->num_threads() : 1;
+  if (pool != nullptr && workers > 1 && nq > 1) {
+    pool->ParallelFor(workers, [&](size_t w) { run_slice(w, workers); });
+  } else {
+    run_slice(0, 1);
+  }
+}
+
+}  // namespace blink

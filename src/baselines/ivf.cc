@@ -1,0 +1,149 @@
+#include "baselines/ivf.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "simd/distance.h"
+#include "util/prng.h"
+
+namespace blink {
+
+IvfPqIndex::IvfPqIndex(MatrixViewF data, Metric metric,
+                       const IvfPqParams& params, ThreadPool* pool)
+    : n_(data.rows), d_(data.cols), metric_(metric), params_(params) {
+  // 1. Coarse quantizer: k-means over a training sample.
+  const size_t n_train = std::min(n_, params.train_sample);
+  MatrixF train(n_train, d_);
+  {
+    Rng rng(params.seed);
+    for (size_t i = 0; i < n_train; ++i) {
+      const size_t src =
+          n_train == n_ ? i : static_cast<size_t>(rng.Bounded(n_));
+      std::memcpy(train.row(i), data.row(src), d_ * sizeof(float));
+    }
+  }
+  KMeansParams kp;
+  kp.k = std::min(params.nlist, n_);
+  kp.seed = params.seed;
+  kp.max_iters = 20;
+  KMeansResult coarse = KMeans(train, kp, pool);
+  centroids_ = std::move(coarse.centroids);
+
+  // 2. Assign all points; compute residuals; train the residual PQ.
+  std::vector<uint32_t> assign(n_);
+  AssignToCentroids(data, centroids_, assign.data(), nullptr, pool);
+  MatrixF residuals(n_, d_);
+  for (size_t i = 0; i < n_; ++i) {
+    const float* x = data.row(i);
+    const float* c = centroids_.row(assign[i]);
+    float* r = residuals.row(i);
+    for (size_t j = 0; j < d_; ++j) r[j] = x[j] - c[j];
+  }
+  codec_ = PqCodec::Train(residuals, params.pq, pool);
+
+  // 3. Populate inverted lists.
+  const size_t nlist = centroids_.rows();
+  list_ids_.resize(nlist);
+  list_codes_.resize(nlist);
+  std::vector<uint8_t> code(codec_.code_bytes());
+  for (size_t i = 0; i < n_; ++i) {
+    const uint32_t c = assign[i];
+    codec_.Encode(residuals.row(i), code.data());
+    list_ids_[c].push_back(static_cast<uint32_t>(i));
+    list_codes_[c].insert(list_codes_[c].end(), code.begin(), code.end());
+  }
+
+  // 4. Full-precision vectors for the refine stage.
+  if (params.keep_full_vectors) {
+    full_vectors_ = MatrixF(n_, d_);
+    for (size_t i = 0; i < n_; ++i) {
+      std::memcpy(full_vectors_.row(i), data.row(i), d_ * sizeof(float));
+    }
+  }
+}
+
+std::string IvfPqIndex::name() const {
+  return "IVFPQ-nlist" + std::to_string(nlist()) + "-M" +
+         std::to_string(codec_.num_segments()) +
+         (params_.keep_full_vectors ? "+refine" : "");
+}
+
+size_t IvfPqIndex::memory_bytes() const {
+  size_t bytes = centroids_.size() * sizeof(float);
+  for (size_t l = 0; l < list_ids_.size(); ++l) {
+    bytes += list_ids_[l].size() * sizeof(uint32_t) + list_codes_[l].size();
+  }
+  bytes += full_vectors_.size() * sizeof(float);
+  return bytes;
+}
+
+void IvfPqIndex::SearchOne(const float* q, size_t k, uint32_t nprobe,
+                           uint32_t reorder_k, uint32_t* out) const {
+  const size_t probes = std::min<size_t>(std::max<uint32_t>(nprobe, 1), nlist());
+  const std::vector<uint32_t> lists = NearestCentroids(q, centroids_, probes);
+
+  // ADC scan of the probed lists. With residual encoding the table depends
+  // on (q - centroid), so it is rebuilt per probed list (classic IVFADC).
+  const size_t cand_target = std::max<size_t>(k, reorder_k);
+  std::vector<std::pair<float, uint32_t>> top;
+  top.reserve(cand_target + 1);
+  std::vector<float> lut(codec_.num_segments() * codec_.ksub());
+  std::vector<float> qres(d_);
+  for (uint32_t l : lists) {
+    const float* c = centroids_.row(l);
+    float bias = 0.0f;
+    if (metric_ == Metric::kL2) {
+      for (size_t j = 0; j < d_; ++j) qres[j] = q[j] - c[j];
+    } else {
+      // -<q, c + r> = -<q, c> - <q, r>: table over residuals + constant.
+      std::memcpy(qres.data(), q, d_ * sizeof(float));
+      bias = simd::IpDist(q, c, d_);
+    }
+    codec_.BuildLut(qres.data(), metric_, lut.data());
+    const auto& ids = list_ids_[l];
+    const auto& codes = list_codes_[l];
+    const size_t m = codec_.code_bytes();
+    for (size_t e = 0; e < ids.size(); ++e) {
+      const float dist = codec_.AdcDistance(lut.data(), &codes[e * m]) + bias;
+      if (top.size() < cand_target) {
+        top.push_back({dist, ids[e]});
+        std::push_heap(top.begin(), top.end());
+      } else if (dist < top.front().first) {
+        std::pop_heap(top.begin(), top.end());
+        top.back() = {dist, ids[e]};
+        std::push_heap(top.begin(), top.end());
+      }
+    }
+  }
+  std::sort(top.begin(), top.end());
+
+  // Refine: recompute the best reorder_k with full-precision vectors.
+  if (reorder_k > 0 && full_vectors_.rows() == n_) {
+    const size_t rr = std::min<size_t>(reorder_k, top.size());
+    for (size_t e = 0; e < rr; ++e) {
+      const float* v = full_vectors_.row(top[e].second);
+      top[e].first = metric_ == Metric::kL2 ? simd::L2Sqr(q, v, d_)
+                                            : simd::IpDist(q, v, d_);
+    }
+    std::sort(top.begin(), top.begin() + rr);
+  }
+
+  for (size_t j = 0; j < k; ++j) {
+    out[j] = j < top.size() ? top[j].second : UINT32_MAX;
+  }
+}
+
+void IvfPqIndex::SearchBatch(MatrixViewF queries, size_t k,
+                             const RuntimeParams& params, uint32_t* ids,
+                             ThreadPool* pool) const {
+  auto one = [&](size_t qi) {
+    SearchOne(queries.row(qi), k, params.nprobe, params.reorder_k, ids + qi * k);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(queries.rows, one);
+  } else {
+    for (size_t qi = 0; qi < queries.rows; ++qi) one(qi);
+  }
+}
+
+}  // namespace blink

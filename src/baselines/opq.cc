@@ -1,0 +1,157 @@
+#include "baselines/opq.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace blink {
+
+namespace {
+
+/// Z = X * R for row-major X (n x d), R (d x d).
+MatrixF Rotate(MatrixViewF x, const MatrixF& r) {
+  MatrixF z(x.rows, x.cols);
+  for (size_t i = 0; i < x.rows; ++i) {
+    RowTimesMatrix(x.row(i), r, z.row(i));
+  }
+  return z;
+}
+
+}  // namespace
+
+OpqCodec OpqCodec::Train(MatrixViewF data, const OpqParams& params,
+                         ThreadPool* pool) {
+  OpqCodec c;
+  const size_t d = data.cols;
+
+  // Training subsample (OPQ iterates over the data several times).
+  const size_t n_train = std::min(data.rows, params.pq.train_sample);
+  MatrixF train(n_train, d);
+  {
+    Rng rng(params.pq.kmeans.seed ^ 0x09C0DEull);
+    for (size_t i = 0; i < n_train; ++i) {
+      const size_t src =
+          n_train == data.rows ? i : static_cast<size_t>(rng.Bounded(data.rows));
+      std::memcpy(train.row(i), data.row(src), d * sizeof(float));
+    }
+  }
+
+  // Random orthogonal initialization (non-parametric OPQ, Ge et al.).
+  // Identity is a saddle point: at R = I the Gram X^T Z_hat is symmetric
+  // PSD, whose Procrustes solution U V^T is the identity again.
+  {
+    MatrixF g(d, d);
+    Rng rng(params.pq.kmeans.seed ^ 0x0BADC0DEull);
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) g(i, j) = rng.Gaussian();
+    }
+    SvdResult svd = JacobiSvd(g);
+    c.rotation_ = MatrixF(d, d);
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        double acc = 0.0;
+        for (size_t k = 0; k < d; ++k) {
+          acc += static_cast<double>(svd.u(i, k)) * svd.v(j, k);
+        }
+        c.rotation_(i, j) = static_cast<float>(acc);
+      }
+    }
+  }
+
+  MatrixF zhat(n_train, d);
+  std::vector<uint8_t> codes(params.pq.num_segments);
+  for (size_t iter = 0; iter < std::max<size_t>(params.opt_iters, 1); ++iter) {
+    // 1. Train PQ on the rotated data.
+    MatrixF z = Rotate(train, c.rotation_);
+    c.pq_ = PqCodec::Train(z, params.pq, pool);
+
+    if (iter + 1 == std::max<size_t>(params.opt_iters, 1)) break;
+
+    // 2. Reconstruct Z_hat and solve Procrustes: R = U V^T, SVD(X^T Z_hat).
+    codes.resize(c.pq_.code_bytes());
+    for (size_t i = 0; i < n_train; ++i) {
+      c.pq_.Encode(z.row(i), codes.data());
+      c.pq_.Decode(codes.data(), zhat.row(i));
+    }
+    MatrixF gram = GramProduct(train, zhat);  // d x d
+    SvdResult svd = JacobiSvd(gram);
+    // R = U * V^T.
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        double acc = 0.0;
+        for (size_t k = 0; k < d; ++k) {
+          acc += static_cast<double>(svd.u(i, k)) * svd.v(j, k);
+        }
+        c.rotation_(i, j) = static_cast<float>(acc);
+      }
+    }
+  }
+  return c;
+}
+
+void OpqCodec::Encode(const float* x, uint8_t* codes) const {
+  std::vector<float> z(dim());
+  RowTimesMatrix(x, rotation_, z.data());
+  pq_.Encode(z.data(), codes);
+}
+
+void OpqCodec::Decode(const uint8_t* codes, float* out) const {
+  std::vector<float> z(dim());
+  pq_.Decode(codes, z.data());
+  RowTimesMatrixT(z.data(), rotation_, out);
+}
+
+void OpqCodec::BuildLut(const float* q, Metric metric, float* lut) const {
+  std::vector<float> z(dim());
+  RowTimesMatrix(q, rotation_, z.data());
+  pq_.BuildLut(z.data(), metric, lut);
+}
+
+OpqDataset::OpqDataset(OpqCodec codec, MatrixViewF data, ThreadPool* pool)
+    : codec_(std::move(codec)), codes_(data.rows, codec_.code_bytes()) {
+  auto one = [&](size_t i) { codec_.Encode(data.row(i), codes_.row(i)); };
+  if (pool != nullptr) {
+    pool->ParallelFor(data.rows, one);
+  } else {
+    for (size_t i = 0; i < data.rows; ++i) one(i);
+  }
+}
+
+Matrix<uint32_t> OpqDataset::ExhaustiveSearch(MatrixViewF queries, size_t k,
+                                              Metric metric,
+                                              ThreadPool* pool) const {
+  const size_t nq = queries.rows, n = size();
+  Matrix<uint32_t> out(nq, k);
+  auto one = [&](size_t qi) {
+    std::vector<float> lut(codec_.pq().num_segments() * codec_.pq().ksub());
+    codec_.BuildLut(queries.row(qi), metric, lut.data());
+    std::vector<std::pair<float, uint32_t>> top;
+    top.reserve(k + 1);
+    for (size_t i = 0; i < n; ++i) {
+      const float dist = codec_.AdcDistance(lut.data(), codes_.row(i));
+      if (top.size() < k) {
+        top.push_back({dist, static_cast<uint32_t>(i)});
+        std::push_heap(top.begin(), top.end());
+      } else if (dist < top.front().first) {
+        std::pop_heap(top.begin(), top.end());
+        top.back() = {dist, static_cast<uint32_t>(i)};
+        std::push_heap(top.begin(), top.end());
+      }
+    }
+    std::sort(top.begin(), top.end());
+    uint32_t* row = out.row(qi);
+    for (size_t j = 0; j < k; ++j) {
+      row[j] = j < top.size() ? top[j].second : UINT32_MAX;
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(nq, one);
+  } else {
+    for (size_t qi = 0; qi < nq; ++qi) one(qi);
+  }
+  return out;
+}
+
+}  // namespace blink

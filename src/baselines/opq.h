@@ -1,0 +1,75 @@
+// Optimized Product Quantization (Ge et al. [18]) — PQ with a learned
+// orthogonal rotation R that redistributes variance across segments before
+// quantizing (the non-parametric OPQ of the original paper). Baseline for
+// the exhaustive-compression study (paper Fig. 11).
+//
+// Training alternates:
+//   1. PQ codebooks on the rotated data Z = X R,
+//   2. orthogonal Procrustes update R = U V^T from SVD(X^T Z_hat).
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/pq.h"
+#include "util/linalg.h"
+#include "util/matrix.h"
+
+namespace blink {
+
+struct OpqParams {
+  PqParams pq;
+  size_t opt_iters = 8;  ///< alternations of (codebooks, rotation)
+};
+
+class OpqCodec {
+ public:
+  OpqCodec() = default;
+
+  static OpqCodec Train(MatrixViewF data, const OpqParams& params,
+                        ThreadPool* pool = nullptr);
+
+  size_t dim() const { return pq_.dim(); }
+  size_t code_bytes() const { return pq_.code_bytes(); }
+  double compression_ratio() const { return pq_.compression_ratio(); }
+  const PqCodec& pq() const { return pq_; }
+  const MatrixF& rotation() const { return rotation_; }
+
+  /// Encodes x: rotate (z = x R), then PQ-encode z.
+  void Encode(const float* x, uint8_t* codes) const;
+  /// Decodes to the original space: x_hat = z_hat R^T.
+  void Decode(const uint8_t* codes, float* out) const;
+  /// ADC table for a query (built in rotated space; rotation is an isometry
+  /// so L2/IP distances transfer directly).
+  void BuildLut(const float* q, Metric metric, float* lut) const;
+  float AdcDistance(const float* lut, const uint8_t* codes) const {
+    return pq_.AdcDistance(lut, codes);
+  }
+
+ private:
+  PqCodec pq_;
+  MatrixF rotation_;  // d x d, orthogonal
+};
+
+/// OPQ-encoded dataset with exhaustive ADC search (Fig. 11 baseline).
+class OpqDataset {
+ public:
+  OpqDataset() = default;
+  OpqDataset(OpqCodec codec, MatrixViewF data, ThreadPool* pool = nullptr);
+
+  const OpqCodec& codec() const { return codec_; }
+  size_t size() const { return codes_.rows(); }
+  size_t dim() const { return codec_.dim(); }
+  void Decode(size_t i, float* out) const { codec_.Decode(codes_.row(i), out); }
+  size_t memory_bytes() const { return codes_.size(); }
+  double compression_ratio() const { return codec_.compression_ratio(); }
+
+  Matrix<uint32_t> ExhaustiveSearch(MatrixViewF queries, size_t k,
+                                    Metric metric,
+                                    ThreadPool* pool = nullptr) const;
+
+ private:
+  OpqCodec codec_;
+  Matrix<uint8_t> codes_;
+};
+
+}  // namespace blink

@@ -1,0 +1,46 @@
+// Lloyd's k-means with k-means++ seeding — the training substrate for every
+// codebook-based baseline (PQ, OPQ, IVF, ScaNN-like).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/thread_pool.h"
+
+namespace blink {
+
+struct KMeansParams {
+  size_t k = 256;
+  size_t max_iters = 25;
+  double tol = 1e-4;  ///< relative improvement threshold for early stop
+  uint64_t seed = 7;
+};
+
+struct KMeansResult {
+  MatrixF centroids;                 // k x d
+  std::vector<uint32_t> assignment;  // n
+  double inertia = 0.0;              // sum of squared distances to centroids
+  size_t iterations = 0;
+};
+
+/// Clusters `data` into params.k centroids under squared-L2. Empty clusters
+/// are reseeded from the point farthest from its centroid. Deterministic
+/// given the seed.
+KMeansResult KMeans(MatrixViewF data, const KMeansParams& params,
+                    ThreadPool* pool = nullptr);
+
+/// Assigns each row of `data` to its nearest centroid (squared L2).
+/// Optionally records the distance.
+void AssignToCentroids(MatrixViewF data, MatrixViewF centroids,
+                       uint32_t* assignment, float* distances = nullptr,
+                       ThreadPool* pool = nullptr);
+
+/// Index of the centroid nearest to `x` (squared L2).
+uint32_t NearestCentroid(const float* x, MatrixViewF centroids);
+
+/// Indices of the `m` nearest centroids to `x`, ascending by distance.
+std::vector<uint32_t> NearestCentroids(const float* x, MatrixViewF centroids,
+                                       size_t m);
+
+}  // namespace blink

@@ -1,0 +1,70 @@
+#include "data/groundtruth.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "simd/distance.h"
+
+namespace blink {
+
+namespace {
+
+/// Fixed-size top-k collector with deterministic tie-breaking.
+struct TopK {
+  explicit TopK(size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  // Max-heap on (dist, id): the root is the current worst candidate.
+  void Offer(float dist, uint32_t id) {
+    if (heap_.size() < k_) {
+      heap_.push_back({dist, id});
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (std::pair<float, uint32_t>{dist, id} < heap_.front()) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = {dist, id};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  /// Ascending (dist, id) order.
+  std::vector<std::pair<float, uint32_t>> Sorted() {
+    std::sort(heap_.begin(), heap_.end());
+    return heap_;
+  }
+
+  size_t k_;
+  std::vector<std::pair<float, uint32_t>> heap_;
+};
+
+}  // namespace
+
+Matrix<uint32_t> ComputeGroundTruth(MatrixViewF base, MatrixViewF queries,
+                                    size_t k, Metric metric, ThreadPool* pool) {
+  const size_t n = base.rows, nq = queries.rows, d = base.cols;
+  Matrix<uint32_t> gt(nq, k);
+  const auto l2 = simd::GetL2F32(d);
+  const auto ip = simd::GetIpF32(d);
+
+  auto one_query = [&](size_t qi) {
+    TopK top(k);
+    const float* q = queries.row(qi);
+    for (size_t i = 0; i < n; ++i) {
+      const float dist = metric == Metric::kL2 ? l2(q, base.row(i), d)
+                                               : ip(q, base.row(i), d);
+      top.Offer(dist, static_cast<uint32_t>(i));
+    }
+    auto sorted = top.Sorted();
+    uint32_t* row = gt.row(qi);
+    for (size_t j = 0; j < k; ++j) {
+      row[j] = j < sorted.size() ? sorted[j].second : UINT32_MAX;
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(nq, one_query);
+  } else {
+    for (size_t qi = 0; qi < nq; ++qi) one_query(qi);
+  }
+  return gt;
+}
+
+}  // namespace blink

@@ -1,0 +1,29 @@
+// Exact nearest-neighbor ground truth via brute force (the metric substrate
+// every recall number in the paper is computed against).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/storage.h"
+#include "util/matrix.h"
+#include "util/thread_pool.h"
+
+namespace blink {
+
+/// Exact top-k ids for every query (row-major nq x k, ascending distance).
+/// Ties break toward the lower id, deterministically.
+Matrix<uint32_t> ComputeGroundTruth(MatrixViewF base, MatrixViewF queries,
+                                    size_t k, Metric metric,
+                                    ThreadPool* pool = nullptr);
+
+/// Decodes an entire compressed dataset (anything with size()/dim()/
+/// Decode(i, out)) into a float matrix. Used by the exhaustive-search-over-
+/// compressed-vectors experiments (Sec. 4.2 / Fig. 6, Sec. 6.6 / Fig. 11).
+template <typename CompressedDataset>
+MatrixF DecodeAll(const CompressedDataset& ds) {
+  MatrixF out(ds.size(), ds.dim());
+  for (size_t i = 0; i < ds.size(); ++i) ds.Decode(i, out.row(i));
+  return out;
+}
+
+}  // namespace blink

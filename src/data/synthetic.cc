@@ -1,0 +1,308 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace blink {
+
+namespace {
+
+/// Per-dimension scale profile: a smoothly decaying spectrum, mimicking the
+/// variance decay of learned embeddings after their dominant directions.
+std::vector<float> ScaleProfile(size_t d, float base_scale, Rng& rng) {
+  std::vector<float> s(d);
+  for (size_t j = 0; j < d; ++j) {
+    const float decay =
+        1.0f / std::sqrt(1.0f + 0.02f * static_cast<float>(j));
+    const float jitter = 0.8f + 0.4f * rng.UniformFloat();
+    s[j] = base_scale * decay * jitter;
+  }
+  return s;
+}
+
+/// Per-dimension mean offsets (paper Fig. 3: raw dimensions have distinct
+/// means, which is exactly what LVQ's de-meaning removes).
+std::vector<float> MeanProfile(size_t d, float spread, Rng& rng) {
+  std::vector<float> m(d);
+  for (size_t j = 0; j < d; ++j) m[j] = rng.Gaussian(0.0f, spread);
+  return m;
+}
+
+struct MixtureModel {
+  std::vector<float> mean;     // d
+  std::vector<float> scale;    // d
+  MatrixF centers;             // clusters x d
+  float center_weight = 1.0f;  // cluster separation vs noise
+};
+
+MixtureModel MakeMixture(size_t d, size_t clusters, float base_scale,
+                         float mean_spread, float separation, Rng& rng) {
+  MixtureModel m;
+  m.mean = MeanProfile(d, mean_spread, rng);
+  m.scale = ScaleProfile(d, base_scale, rng);
+  m.centers = MatrixF(clusters, d);
+  for (size_t c = 0; c < clusters; ++c) {
+    float* row = m.centers.row(c);
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = rng.Gaussian(0.0f, separation * m.scale[j]);
+    }
+  }
+  m.center_weight = 1.0f;
+  return m;
+}
+
+void SampleWith(const MatrixF& centers, const std::vector<float>& mean,
+                const std::vector<float>& scale, MatrixF* out, Rng& rng) {
+  const size_t d = out->cols();
+  for (size_t i = 0; i < out->rows(); ++i) {
+    const float* center = centers.row(rng.Bounded(centers.rows()));
+    float* row = out->row(i);
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = mean[j] + center[j] + scale[j] * rng.Gaussian();
+    }
+  }
+}
+
+void SampleFrom(const MixtureModel& m, MatrixF* out, Rng& rng) {
+  SampleWith(m.centers, m.mean, m.scale, out, rng);
+}
+
+void AbsInPlace(MatrixF* m, float scale) {
+  for (size_t i = 0; i < m->rows(); ++i) {
+    float* row = m->row(i);
+    for (size_t j = 0; j < m->cols(); ++j) {
+      row[j] = std::fabs(row[j]) * scale;
+    }
+  }
+}
+
+}  // namespace
+
+void NormalizeRows(MatrixF* m) {
+  for (size_t i = 0; i < m->rows(); ++i) {
+    float* row = m->row(i);
+    double norm2 = 0.0;
+    for (size_t j = 0; j < m->cols(); ++j) {
+      norm2 += static_cast<double>(row[j]) * row[j];
+    }
+    const float inv =
+        norm2 > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm2)) : 0.0f;
+    for (size_t j = 0; j < m->cols(); ++j) row[j] *= inv;
+  }
+}
+
+Dataset GenerateDataset(const SyntheticSpec& spec, ThreadPool* /*pool*/) {
+  Dataset ds;
+  ds.base = MatrixF(spec.n, spec.d);
+  ds.queries = MatrixF(spec.nq, spec.d);
+  Rng rng(spec.seed);
+
+  switch (spec.family) {
+    case DatasetFamily::kDeep: {
+      // deep-96-like: clusterable embeddings, unit norm, cosine similarity.
+      MixtureModel m = MakeMixture(spec.d, spec.clusters, /*base_scale=*/0.35f,
+                                   /*mean_spread=*/0.10f, /*separation=*/1.6f,
+                                   rng);
+      SampleFrom(m, &ds.base, rng);
+      SampleFrom(m, &ds.queries, rng);
+      NormalizeRows(&ds.base);
+      NormalizeRows(&ds.queries);
+      ds.metric = Metric::kL2;  // cosine on normalized vectors
+      ds.name = "deep-" + std::to_string(spec.d) + "-like";
+      break;
+    }
+    case DatasetFamily::kGlove: {
+      // GloVe-like word embeddings: wider means, cosine.
+      MixtureModel m = MakeMixture(spec.d, spec.clusters, /*base_scale=*/1.2f,
+                                   /*mean_spread=*/0.5f, /*separation=*/1.3f,
+                                   rng);
+      SampleFrom(m, &ds.base, rng);
+      SampleFrom(m, &ds.queries, rng);
+      NormalizeRows(&ds.base);
+      NormalizeRows(&ds.queries);
+      ds.metric = Metric::kL2;
+      ds.name = "glove-" + std::to_string(spec.d) + "-like";
+      break;
+    }
+    case DatasetFamily::kSift: {
+      // SIFT-like: non-negative gradient-histogram descriptors, L2.
+      MixtureModel m = MakeMixture(spec.d, spec.clusters, /*base_scale=*/18.0f,
+                                   /*mean_spread=*/8.0f, /*separation=*/1.5f,
+                                   rng);
+      SampleFrom(m, &ds.base, rng);
+      SampleFrom(m, &ds.queries, rng);
+      AbsInPlace(&ds.base, 1.0f);
+      AbsInPlace(&ds.queries, 1.0f);
+      ds.metric = Metric::kL2;
+      ds.name = "sift-" + std::to_string(spec.d) + "-like";
+      break;
+    }
+    case DatasetFamily::kGist: {
+      // GIST-like: non-negative global image descriptors, small values, L2.
+      MixtureModel m = MakeMixture(spec.d, spec.clusters, /*base_scale=*/0.045f,
+                                   /*mean_spread=*/0.02f, /*separation=*/1.4f,
+                                   rng);
+      SampleFrom(m, &ds.base, rng);
+      SampleFrom(m, &ds.queries, rng);
+      AbsInPlace(&ds.base, 1.0f);
+      AbsInPlace(&ds.queries, 1.0f);
+      ds.metric = Metric::kL2;
+      ds.name = "gist-" + std::to_string(spec.d) + "-like";
+      break;
+    }
+    case DatasetFamily::kDpr: {
+      // DPR-like: unnormalized LLM embeddings, inner product.
+      MixtureModel m = MakeMixture(spec.d, spec.clusters, /*base_scale=*/0.8f,
+                                   /*mean_spread=*/0.25f, /*separation=*/1.2f,
+                                   rng);
+      SampleFrom(m, &ds.base, rng);
+      SampleFrom(m, &ds.queries, rng);
+      ds.metric = Metric::kInnerProduct;
+      ds.name = "dpr-" + std::to_string(spec.d) + "-like";
+      break;
+    }
+    case DatasetFamily::kT2i: {
+      // text2image-like: queries (text) and base (images) come from
+      // correlated but distinct distributions (cross-modal mismatch).
+      MixtureModel m = MakeMixture(spec.d, spec.clusters, /*base_scale=*/0.6f,
+                                   /*mean_spread=*/0.15f, /*separation=*/1.4f,
+                                   rng);
+      SampleFrom(m, &ds.base, rng);
+      // Query modality: same centers, shifted mean, wider noise.
+      Rng rng_q(spec.seed ^ 0x7E57ull);
+      std::vector<float> q_mean = m.mean;
+      std::vector<float> q_scale = m.scale;
+      for (size_t j = 0; j < spec.d; ++j) {
+        q_mean[j] += rng_q.Gaussian(0.0f, 0.1f);
+        q_scale[j] *= 1.3f;
+      }
+      SampleWith(m.centers, q_mean, q_scale, &ds.queries, rng_q);
+      ds.metric = Metric::kInnerProduct;
+      ds.name = "t2i-" + std::to_string(spec.d) + "-like";
+      break;
+    }
+  }
+  return ds;
+}
+
+Dataset MakeDeepLike(size_t n, size_t nq, uint64_t seed) {
+  SyntheticSpec s;
+  s.family = DatasetFamily::kDeep;
+  s.n = n;
+  s.nq = nq;
+  s.d = 96;
+  s.seed = seed;
+  return GenerateDataset(s);
+}
+
+Dataset MakeGistLike(size_t n, size_t nq, uint64_t seed) {
+  SyntheticSpec s;
+  s.family = DatasetFamily::kGist;
+  s.n = n;
+  s.nq = nq;
+  s.d = 960;
+  s.clusters = 32;
+  s.seed = seed;
+  return GenerateDataset(s);
+}
+
+Dataset MakeSiftLike(size_t n, size_t nq, uint64_t seed) {
+  SyntheticSpec s;
+  s.family = DatasetFamily::kSift;
+  s.n = n;
+  s.nq = nq;
+  s.d = 128;
+  s.seed = seed;
+  return GenerateDataset(s);
+}
+
+Dataset MakeGloveLike(size_t d, size_t n, size_t nq, uint64_t seed) {
+  SyntheticSpec s;
+  s.family = DatasetFamily::kGlove;
+  s.n = n;
+  s.nq = nq;
+  s.d = d;
+  s.seed = seed;
+  return GenerateDataset(s);
+}
+
+Dataset MakeDprLike(size_t n, size_t nq, uint64_t seed) {
+  SyntheticSpec s;
+  s.family = DatasetFamily::kDpr;
+  s.n = n;
+  s.nq = nq;
+  s.d = 768;
+  s.clusters = 48;
+  s.seed = seed;
+  return GenerateDataset(s);
+}
+
+Dataset MakeT2iLike(size_t n, size_t nq, uint64_t seed) {
+  SyntheticSpec s;
+  s.family = DatasetFamily::kT2i;
+  s.n = n;
+  s.nq = nq;
+  s.d = 200;
+  s.seed = seed;
+  return GenerateDataset(s);
+}
+
+void ModifyDatasetVariance(MatrixF* base, MatrixF* queries,
+                           double perc_diff_var, double low_factor,
+                           double high_factor, uint64_t seed) {
+  assert(base->cols() == queries->cols());
+  const size_t d = base->cols();
+  const size_t num_mod = static_cast<size_t>(static_cast<double>(d) * perc_diff_var);
+  Rng rng(seed);
+  // Choose num_mod distinct dimensions (partial Fisher-Yates).
+  std::vector<size_t> dims(d);
+  for (size_t j = 0; j < d; ++j) dims[j] = j;
+  for (size_t j = 0; j < num_mod; ++j) {
+    std::swap(dims[j], dims[j + rng.Bounded(d - j)]);
+  }
+  std::vector<float> factor(num_mod);
+  for (size_t j = 0; j < num_mod; ++j) {
+    factor[j] = rng.Uniform(static_cast<float>(low_factor),
+                            static_cast<float>(high_factor));
+  }
+  auto apply = [&](MatrixF* m) {
+    for (size_t i = 0; i < m->rows(); ++i) {
+      float* row = m->row(i);
+      for (size_t j = 0; j < num_mod; ++j) row[dims[j]] *= factor[j];
+    }
+  };
+  apply(base);
+  apply(queries);
+}
+
+Dataset MakeRandomVarVar(size_t n, size_t nq, size_t d, uint64_t seed) {
+  Dataset ds;
+  ds.base = MatrixF(n, d);
+  ds.queries = MatrixF(nq, d);
+  Rng rng(seed);
+  // 20% of dimensions with stddev in [10, 100]; the rest in [0.1, 1.0]
+  // (paper Appendix A.1, generate_dataset_variable_variance).
+  const size_t num_large = d / 5;
+  std::vector<float> scale(d);
+  for (size_t j = 0; j < d; ++j) {
+    scale[j] = j + num_large >= d ? rng.Uniform(10.0f, 100.0f)
+                                  : rng.Uniform(0.1f, 1.0f);
+  }
+  auto fill = [&](MatrixF* m) {
+    for (size_t i = 0; i < m->rows(); ++i) {
+      float* row = m->row(i);
+      for (size_t j = 0; j < d; ++j) row[j] = scale[j] * rng.Gaussian();
+    }
+  };
+  fill(&ds.base);
+  fill(&ds.queries);
+  ds.metric = Metric::kL2;
+  ds.name = "random-" + std::to_string(d) + "-varvar";
+  return ds;
+}
+
+}  // namespace blink

@@ -1,0 +1,88 @@
+// Synthetic stand-ins for the paper's evaluation datasets (Table 2).
+//
+// The public corpora (deep-1B, sift, gist, glove, text2image, DPR/C4) are
+// not available offline, so each family is replaced by a statistically
+// matched generator: same dimensionality, same similarity function, and —
+// crucially for LVQ — the same qualitative per-dimension structure the
+// paper measures in Figs. 2/3/14: per-dimension means differ, per-dimension
+// spreads are of similar magnitude after de-meaning, and vectors
+// concentrate in clusters (deep-learning embeddings are clusterable, which
+// is what makes graph search non-trivial).
+//
+// Generation model: a Gaussian mixture
+//     x = mu_dim + C_k + s ⊙ z,  z ~ N(0, I),
+// with per-dimension offsets mu_dim, cluster centers C_k, and a
+// per-dimension scale profile s, followed by family post-processing
+// (normalization for cosine-similarity families, non-negativity for
+// SIFT/GIST-like descriptors). Queries are drawn from the same mixture
+// (except t2i-like, which models the paper's cross-modal query/base
+// distribution mismatch).
+//
+// The Appendix A.1 robustness datasets (pathological per-dimension
+// variances) are also provided: ModifyDatasetVariance mirrors the paper's
+// published modification code, and MakeRandomVarVar the random-96-1M set.
+#pragma once
+
+#include <string>
+
+#include "graph/storage.h"
+#include "util/matrix.h"
+#include "util/thread_pool.h"
+
+namespace blink {
+
+/// The dataset families of Table 2.
+enum class DatasetFamily {
+  kDeep,   ///< deep-96-*: d=96, unit norm, cosine (searched as L2)
+  kGist,   ///< gist-960-1M: d=960, non-negative descriptors, L2
+  kSift,   ///< sift-128-1M: d=128, non-negative integer-like, L2
+  kGlove,  ///< glove-25/50: word embeddings, cosine (searched as L2)
+  kDpr,    ///< DPR-768-10M: LLM passage embeddings, inner product
+  kT2i,    ///< t2i-200-100M: cross-modal, inner product
+};
+
+struct SyntheticSpec {
+  DatasetFamily family = DatasetFamily::kDeep;
+  size_t n = 10000;   ///< base vectors
+  size_t nq = 1000;   ///< queries
+  size_t d = 96;      ///< dimensionality
+  size_t clusters = 64;
+  uint64_t seed = 1234;
+};
+
+/// A generated dataset: base vectors, queries, and the similarity function
+/// the family is searched with. Cosine families arrive pre-normalized and
+/// use kL2, exactly as the paper evaluates them.
+struct Dataset {
+  MatrixF base;
+  MatrixF queries;
+  Metric metric = Metric::kL2;
+  std::string name;
+};
+
+Dataset GenerateDataset(const SyntheticSpec& spec, ThreadPool* pool = nullptr);
+
+// Convenience constructors matching the paper's dataset names.
+Dataset MakeDeepLike(size_t n, size_t nq, uint64_t seed = 1234);
+Dataset MakeGistLike(size_t n, size_t nq, uint64_t seed = 1234);
+Dataset MakeSiftLike(size_t n, size_t nq, uint64_t seed = 1234);
+Dataset MakeGloveLike(size_t d, size_t n, size_t nq, uint64_t seed = 1234);
+Dataset MakeDprLike(size_t n, size_t nq, uint64_t seed = 1234);
+Dataset MakeT2iLike(size_t n, size_t nq, uint64_t seed = 1234);
+
+/// Appendix A.1: scales a random `perc_diff_var` fraction of dimensions of
+/// base and queries by factors uniform in [low_factor, high_factor]
+/// (the paper's modify_dataset_variance).
+void ModifyDatasetVariance(MatrixF* base, MatrixF* queries,
+                           double perc_diff_var, double low_factor,
+                           double high_factor, uint64_t seed);
+
+/// Appendix A.1: Gaussian dataset where 20% of dimensions have stddev in
+/// [10, 100] and the rest in [0.1, 1] (the paper's random-96-1M,
+/// generate_dataset_variable_variance).
+Dataset MakeRandomVarVar(size_t n, size_t nq, size_t d, uint64_t seed = 1234);
+
+/// Normalizes every row to unit L2 norm (cosine-to-L2 reduction).
+void NormalizeRows(MatrixF* m);
+
+}  // namespace blink

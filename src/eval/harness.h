@@ -1,0 +1,58 @@
+// QPS/recall sweep harness following the ANN-benchmarks protocol the paper
+// adopts (Sec. 6.3): for each runtime setting, run the full query batch
+// (or one query at a time in single-query mode), report the best throughput
+// of `best_of` runs, and pair it with the achieved k-recall@k.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/interface.h"
+#include "util/matrix.h"
+#include "util/thread_pool.h"
+
+namespace blink {
+
+struct SweepPoint {
+  RuntimeParams params;
+  double recall = 0.0;
+  double qps = 0.0;
+  double mean_latency_us = 0.0;  ///< per-query wall time (single-query mode)
+};
+
+struct HarnessOptions {
+  size_t k = 10;
+  int best_of = 3;            ///< paper reports best of 5 runs
+  bool single_query = false;  ///< batch-of-1 protocol (Table 3 right half)
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs the index over every setting and returns one point per setting.
+std::vector<SweepPoint> RunSweep(const SearchIndex& index, MatrixViewF queries,
+                                 const Matrix<uint32_t>& ground_truth,
+                                 std::span<const RuntimeParams> settings,
+                                 const HarnessOptions& opts);
+
+/// Best QPS among points with recall >= target; linearly interpolates QPS
+/// between the bracketing points when no measured point reaches the target
+/// exactly. Returns 0 if the target is unreachable.
+double QpsAtRecall(std::span<const SweepPoint> points, double target_recall);
+
+/// Recall of the point whose recall is closest to (and >=) the target;
+/// convenience for table printing.
+const SweepPoint* PointAtRecall(std::span<const SweepPoint> points,
+                                double target_recall);
+
+/// Graph-index sweep: one RuntimeParams per window value.
+std::vector<RuntimeParams> WindowSweep(std::initializer_list<uint32_t> windows);
+std::vector<RuntimeParams> WindowSweep(const std::vector<uint32_t>& windows);
+
+/// IVF/ScaNN sweep: the cross product of probe counts and re-rank depths.
+std::vector<RuntimeParams> ProbeSweep(const std::vector<uint32_t>& nprobes,
+                                      const std::vector<uint32_t>& reorder_ks);
+
+/// Prints "recall qps" rows with a header, as the figures report them.
+void PrintSweep(const std::string& label, std::span<const SweepPoint> points);
+
+}  // namespace blink

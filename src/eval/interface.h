@@ -1,0 +1,48 @@
+// Type-erased index interface shared by OG-LVQ and every baseline, so the
+// evaluation harness can sweep them under identical conditions (the paper's
+// same-harness ablation methodology, Sec. 6.7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/matrix.h"
+#include "util/thread_pool.h"
+
+namespace blink {
+
+/// Runtime (per-query-batch) knobs. Each index reads the fields relevant to
+/// it; sweeping `window` traces a graph index's QPS/recall Pareto curve,
+/// sweeping (nprobe, reorder_k) traces an IVF/ScaNN curve.
+struct RuntimeParams {
+  uint32_t window = 32;          ///< graph W / HNSW ef-search
+  bool rerank = true;            ///< two-level final re-ranking (LVQ-B1xB2)
+  uint32_t nprobe = 8;           ///< IVF/ScaNN: partitions probed
+  uint32_t reorder_k = 0;        ///< IVF/ScaNN: full-precision re-rank depth
+  uint32_t prefetch_offset = 0;  ///< graph prefetcher lookahead offset
+  uint32_t prefetch_step = 2;    ///< graph prefetcher vectors/iteration
+  bool use_visited_set = true;   ///< graph visited-set ablation (see search.h)
+};
+
+/// A built, queryable ANN index.
+class SearchIndex {
+ public:
+  virtual ~SearchIndex() = default;
+
+  virtual std::string name() const = 0;
+  virtual size_t size() const = 0;
+  virtual size_t dim() const = 0;
+  /// Resident bytes of everything needed to serve queries.
+  virtual size_t memory_bytes() const = 0;
+
+  /// Finds the k nearest neighbors of each query row; writes row-major ids
+  /// (queries.rows x k). When fewer than k results exist, the remainder is
+  /// filled with UINT32_MAX. Thread-safe; batch is parallelized across
+  /// `pool` when provided (single-threaded otherwise).
+  virtual void SearchBatch(MatrixViewF queries, size_t k,
+                           const RuntimeParams& params, uint32_t* ids,
+                           ThreadPool* pool = nullptr) const = 0;
+};
+
+}  // namespace blink

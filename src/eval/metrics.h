@@ -1,0 +1,79 @@
+// Accuracy metrics: k-recall@k (paper Sec. 2) and Ranked-Bias Overlap
+// (Webber et al. [56], used in the paper's Fig. 6 to compare candidate-list
+// orderings under compression).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace blink {
+
+/// |S ∩ Gt| / k for one query. Entries equal to UINT32_MAX are ignored.
+inline double RecallAtK(std::span<const uint32_t> result,
+                        std::span<const uint32_t> ground_truth, size_t k) {
+  std::unordered_set<uint32_t> gt;
+  gt.reserve(k * 2);
+  for (size_t j = 0; j < k && j < ground_truth.size(); ++j) {
+    if (ground_truth[j] != UINT32_MAX) gt.insert(ground_truth[j]);
+  }
+  size_t hits = 0;
+  for (size_t j = 0; j < k && j < result.size(); ++j) {
+    if (result[j] != UINT32_MAX && gt.count(result[j])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+/// Mean k-recall@k over a batch (both matrices are nq x >=k, row-major).
+inline double MeanRecallAtK(const Matrix<uint32_t>& results,
+                            const Matrix<uint32_t>& ground_truth, size_t k) {
+  const size_t nq = results.rows();
+  if (nq == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t qi = 0; qi < nq; ++qi) {
+    sum += RecallAtK({results.row(qi), std::min(k, results.cols())},
+                     {ground_truth.row(qi), std::min(k, ground_truth.cols())},
+                     k);
+  }
+  return sum / static_cast<double>(nq);
+}
+
+/// Extrapolated Ranked-Bias Overlap between two rankings, with persistence
+/// parameter p in (0, 1). Implements RBO_EXT from Webber et al. for two
+/// equal-depth lists:
+///   RBO = (1-p)/p * [ sum_{d=1..D} p^d * A_d ] + p^D * A_D,
+/// where A_d is the agreement (overlap/d) at depth d. Higher = more similar
+/// orderings; identical lists give 1.0.
+inline double RankBiasedOverlap(std::span<const uint32_t> a,
+                                std::span<const uint32_t> b, double p = 0.98) {
+  const size_t depth = std::min(a.size(), b.size());
+  if (depth == 0) return 1.0;
+  std::unordered_set<uint32_t> seen_a, seen_b;
+  seen_a.reserve(depth * 2);
+  seen_b.reserve(depth * 2);
+  size_t overlap = 0;
+  double sum = 0.0;
+  double pd = 1.0;  // p^d, starting at d=1 below
+  double agreement = 0.0;
+  for (size_t d = 1; d <= depth; ++d) {
+    const uint32_t xa = a[d - 1], xb = b[d - 1];
+    if (xa == xb) {
+      ++overlap;
+    } else {
+      if (seen_b.count(xa)) ++overlap;
+      if (seen_a.count(xb)) ++overlap;
+      seen_a.insert(xa);
+      seen_b.insert(xb);
+    }
+    agreement = static_cast<double>(overlap) / static_cast<double>(d);
+    pd *= p;
+    sum += pd * agreement;
+  }
+  return (1.0 - p) / p * sum + pd * agreement;
+}
+
+}  // namespace blink

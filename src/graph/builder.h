@@ -1,0 +1,275 @@
+// Vamana graph construction (paper Sec. 2.1, following Subramanya et al.
+// [28]): for each node, greedy-search the current graph with the node as
+// query, prune the candidate pool with the relaxed rule of Algorithm 2, set
+// the node's out-neighbors, then insert backward edges and re-prune any
+// node that exceeds the degree bound R. Two passes are made: the first with
+// relaxation alpha = 1.0, the second with the configured alpha.
+//
+// Because the builder is templated on Storage, graphs can be built directly
+// from LVQ-compressed vectors (paper Sec. 4): node queries are decoded on
+// the fly and all candidate distances use the storage's fused kernels.
+//
+// Parallelism: nodes are processed in batches. Within a batch all searches
+// run concurrently against a frozen graph snapshot; adjacency updates are
+// applied serially between batches. Given a fixed seed the result is
+// deterministic for any thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/search.h"
+#include "graph/storage.h"
+#include "util/prng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace blink {
+
+struct VamanaBuildParams {
+  uint32_t graph_max_degree = 64;  ///< R
+  uint32_t window_size = 128;      ///< W for the build-time searches
+  float alpha = 1.2f;              ///< second-pass relaxation (use <1 for IP)
+  uint32_t max_candidates = 512;   ///< cap on the pruning candidate pool
+  uint64_t seed = 0x5eed;
+  bool two_passes = true;
+  bool use_huge_pages = true;
+};
+
+/// A built graph plus the search entry point.
+struct BuiltGraph {
+  FlatGraph graph;
+  uint32_t entry_point = 0;
+  double build_seconds = 0.0;
+};
+
+namespace detail {
+
+struct Candidate {
+  float dist;  // distance to the node being wired (lower = more similar)
+  uint32_t id;
+  bool operator<(const Candidate& o) const {
+    return dist < o.dist || (dist == o.dist && id < o.id);
+  }
+};
+
+/// Algorithm 2 (neighborhood pruning) in distance space. `cands` must be
+/// sorted by ascending distance to the target node x and not contain x.
+/// The rule "alpha * sim(x*, x') >= sim(x, x')" with sim = -dist becomes
+/// "alpha * dist(x*, x') <= dist(x, x')" for L2 (alpha >= 1) and stays in
+/// similarity form for IP (alpha <= 1); we evaluate it in similarity space
+/// so one code path serves both metrics.
+template <typename Storage>
+void RobustPrune(const Storage& storage, uint32_t x,
+                 std::vector<Candidate>& cands, float alpha, uint32_t R,
+                 std::vector<float>& decode_buf,
+                 typename Storage::Query& qstate,
+                 std::vector<uint32_t>* out_neighbors) {
+  out_neighbors->clear();
+  std::vector<char> removed(cands.size(), 0);
+  for (size_t s = 0; s < cands.size(); ++s) {
+    if (removed[s]) continue;
+    const Candidate star = cands[s];
+    out_neighbors->push_back(star.id);
+    if (out_neighbors->size() == R) break;
+    // Prepare x* as a query to measure dist(x*, x') for the prune rule.
+    storage.DecodeVector(star.id, decode_buf.data());
+    storage.PrepareQuery(decode_buf.data(), &qstate);
+    for (size_t t = s + 1; t < cands.size(); ++t) {
+      if (removed[t]) continue;
+      const float d_star_prime = storage.Distance(qstate, cands[t].id);
+      // similarity form: alpha * sim(x*, x') >= sim(x, x')  =>  remove x'
+      if (alpha * (-d_star_prime) >= -cands[t].dist) removed[t] = 1;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Builds a Vamana graph over `storage`. The returned entry point is the
+/// medoid (the vector closest to the dataset mean).
+template <typename Storage>
+BuiltGraph BuildVamana(const Storage& storage, const VamanaBuildParams& params,
+                       ThreadPool* pool = nullptr) {
+  const size_t n = storage.size();
+  const size_t d = storage.dim();
+  const uint32_t R = params.graph_max_degree;
+  BuiltGraph out;
+  out.graph = FlatGraph(n, R, params.use_huge_pages);
+  if (n == 0) return out;
+
+  Timer build_timer;
+
+  // Entry point: medoid. Compute the decoded mean, then the closest vector.
+  {
+    std::vector<double> acc(d, 0.0);
+    std::vector<float> buf(d);
+    for (size_t i = 0; i < n; ++i) {
+      storage.DecodeVector(i, buf.data());
+      for (size_t j = 0; j < d; ++j) acc[j] += buf[j];
+    }
+    std::vector<float> mean(d);
+    for (size_t j = 0; j < d; ++j) {
+      mean[j] = static_cast<float>(acc[j] / static_cast<double>(n));
+    }
+    typename Storage::Query q;
+    storage.PrepareQuery(mean.data(), &q);
+    float best = storage.Distance(q, 0);
+    uint32_t best_id = 0;
+    for (size_t i = 1; i < n; ++i) {
+      const float di = storage.Distance(q, i);
+      if (di < best) {
+        best = di;
+        best_id = static_cast<uint32_t>(i);
+      }
+    }
+    out.entry_point = best_id;
+  }
+
+  // Random insertion order, fixed by seed.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  {
+    Rng rng(params.seed);
+    for (size_t i = n - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.Bounded(i + 1)]);
+    }
+  }
+
+  const size_t num_workers = pool != nullptr ? pool->num_threads() : 1;
+  const size_t batch = std::max<size_t>(num_workers * 8, 64);
+
+  SearchParams sp;
+  sp.window = std::max(params.window_size, R + 1);
+  sp.use_visited_set = true;  // build-time searches favor fewer recomputes
+  sp.rerank = false;          // wiring uses level-1 distances only
+
+  struct Worker {
+    GreedySearcher<Storage> searcher;
+    SearchResult result;
+    std::vector<float> decode_buf;
+    typename Storage::Query prune_query;
+    std::vector<detail::Candidate> cands;
+    std::vector<uint32_t> pruned;
+    std::vector<uint32_t> pruned_nb;
+    explicit Worker(const FlatGraph* g, const Storage* s)
+        : searcher(g, s), decode_buf(s->dim()) {}
+  };
+
+  const int passes = params.two_passes ? 2 : 1;
+  for (int pass = 0; pass < passes; ++pass) {
+    const float alpha = (pass + 1 == passes) ? params.alpha : 1.0f;
+
+    std::vector<Worker> workers;
+    workers.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back(&out.graph, &storage);
+    }
+    // Candidate pools of the current batch, collected in parallel.
+    std::vector<std::vector<detail::Candidate>> batch_cands(batch);
+
+    for (size_t begin = 0; begin < n; begin += batch) {
+      const size_t end = std::min(n, begin + batch);
+      const size_t m = end - begin;
+
+      // Phase 1 (parallel, frozen graph): search each node.
+      auto search_one = [&](Worker& w, size_t t) {
+        const uint32_t node = order[begin + t];
+        storage.DecodeVector(node, w.decode_buf.data());
+        w.searcher.Search(w.decode_buf.data(), sp.window, out.entry_point, sp,
+                          &w.result);
+        auto& cands = batch_cands[t];
+        cands.clear();
+        const SearchBuffer& buf = w.searcher.buffer();
+        for (size_t i = 0; i < buf.size(); ++i) {
+          if (buf[i].id != node) cands.push_back({buf[i].dist, buf[i].id});
+        }
+      };
+      if (pool != nullptr && num_workers > 1) {
+        // One task per worker over a contiguous slice: worker state stays
+        // thread-private, and slicing is deterministic for any thread count.
+        pool->ParallelFor(num_workers, [&](size_t widx) {
+          const size_t lo = m * widx / num_workers;
+          const size_t hi = m * (widx + 1) / num_workers;
+          for (size_t t = lo; t < hi; ++t) search_one(workers[widx], t);
+        });
+      } else {
+        for (size_t t = 0; t < m; ++t) search_one(workers[0], t);
+      }
+
+      // Phase 2 (serial): prune + apply forward and backward edges.
+      Worker& w0 = workers[0];
+      for (size_t t = 0; t < m; ++t) {
+        const uint32_t node = order[begin + t];
+        auto& cands = w0.cands;
+        cands = batch_cands[t];
+        // Merge in current out-neighbors (C ∪ N(x), Algorithm 2 line 1).
+        {
+          storage.DecodeVector(node, w0.decode_buf.data());
+          typename Storage::Query nq;
+          storage.PrepareQuery(w0.decode_buf.data(), &nq);
+          const uint32_t* nbrs = out.graph.neighbors(node);
+          for (uint32_t e = 0; e < out.graph.degree(node); ++e) {
+            cands.push_back({storage.Distance(nq, nbrs[e]), nbrs[e]});
+          }
+        }
+        std::sort(cands.begin(), cands.end());
+        cands.erase(std::unique(cands.begin(), cands.end(),
+                                [](const detail::Candidate& a,
+                                   const detail::Candidate& b) {
+                                  return a.id == b.id;
+                                }),
+                    cands.end());
+        if (cands.size() > params.max_candidates) {
+          cands.resize(params.max_candidates);
+        }
+        detail::RobustPrune(storage, node, cands, alpha, R, w0.decode_buf,
+                            w0.prune_query, &w0.pruned);
+        out.graph.SetNeighbors(node, w0.pruned.data(),
+                               static_cast<uint32_t>(w0.pruned.size()));
+
+        // Backward edges with overflow pruning.
+        for (uint32_t nb : w0.pruned) {
+          // Skip if the backward edge already exists (e.g. wired during an
+          // earlier batch or the first pass).
+          const uint32_t* nb_nbrs = out.graph.neighbors(nb);
+          const uint32_t nb_deg = out.graph.degree(nb);
+          bool present = false;
+          for (uint32_t e = 0; e < nb_deg; ++e) {
+            if (nb_nbrs[e] == node) {
+              present = true;
+              break;
+            }
+          }
+          if (present) continue;
+          if (!out.graph.AddNeighbor(nb, node)) {
+            // Re-prune nb's neighborhood (now R+1 candidates incl. node).
+            storage.DecodeVector(nb, w0.decode_buf.data());
+            typename Storage::Query nq;
+            storage.PrepareQuery(w0.decode_buf.data(), &nq);
+            std::vector<detail::Candidate> nb_cands;
+            nb_cands.reserve(out.graph.degree(nb) + 1);
+            const uint32_t* nbrs = out.graph.neighbors(nb);
+            for (uint32_t e = 0; e < out.graph.degree(nb); ++e) {
+              nb_cands.push_back({storage.Distance(nq, nbrs[e]), nbrs[e]});
+            }
+            nb_cands.push_back({storage.Distance(nq, node), node});
+            std::sort(nb_cands.begin(), nb_cands.end());
+            detail::RobustPrune(storage, nb, nb_cands, alpha, R, w0.decode_buf,
+                                w0.prune_query, &w0.pruned_nb);
+            out.graph.SetNeighbors(nb, w0.pruned_nb.data(),
+                                   static_cast<uint32_t>(w0.pruned_nb.size()));
+          }
+        }
+      }
+    }
+  }
+
+  out.build_seconds = build_timer.Seconds();
+  return out;
+}
+
+}  // namespace blink

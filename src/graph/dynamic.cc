@@ -1,0 +1,234 @@
+#include "graph/dynamic.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/search_buffer.h"
+#include "simd/distance.h"
+
+namespace blink {
+
+DynamicIndex::DynamicIndex(size_t dim, const Options& opts)
+    : dim_(dim), opts_(opts) {
+  Grow(std::max<size_t>(opts.initial_capacity, 16));
+}
+
+float DynamicIndex::Dist(const float* a, const float* b) const {
+  return opts_.metric == Metric::kL2 ? simd::L2Sqr(a, b, dim_)
+                                     : simd::IpDist(a, b, dim_);
+}
+
+void DynamicIndex::Grow(size_t min_capacity) {
+  if (min_capacity <= capacity_) return;
+  size_t new_cap = std::max<size_t>(capacity_ * 2, min_capacity);
+  vectors_.resize(new_cap * dim_);
+  deleted_.resize(new_cap, 0);
+  FlatGraph bigger(new_cap, opts_.graph_max_degree, /*use_huge_pages=*/false);
+  for (size_t i = 0; i < n_; ++i) {
+    bigger.SetNeighbors(i, graph_.neighbors(i), graph_.degree(i));
+  }
+  graph_ = std::move(bigger);
+  capacity_ = new_cap;
+}
+
+void DynamicIndex::CollectCandidates(const float* query, uint32_t window,
+                                     std::vector<Candidate>* out) const {
+  out->clear();
+  if (n_ == 0) return;
+  SearchBuffer buffer(window);
+  VisitedSet visited(capacity_);
+  visited.NextQuery();
+  buffer.Insert(Dist(query, vector(entry_point_)), entry_point_);
+  visited.CheckAndMark(entry_point_);
+  long idx;
+  while ((idx = buffer.NextUnexplored()) >= 0) {
+    const uint32_t node = buffer[static_cast<size_t>(idx)].id;
+    buffer.MarkExplored(static_cast<size_t>(idx));
+    const uint32_t* nbrs = graph_.neighbors(node);
+    const uint32_t deg = graph_.degree(node);
+    for (uint32_t t = 0; t < deg; ++t) {
+      const uint32_t cand = nbrs[t];
+      if (!visited.CheckAndMark(cand)) continue;
+      buffer.Insert(Dist(query, vector(cand)), cand);
+    }
+  }
+  out->reserve(buffer.size());
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    out->push_back({buffer[i].dist, buffer[i].id});
+  }
+}
+
+void DynamicIndex::RobustPrune(const float* x, std::vector<Candidate>& cands,
+                               std::vector<uint32_t>* out) const {
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end(),
+                          [](const Candidate& a, const Candidate& b) {
+                            return a.id == b.id;
+                          }),
+              cands.end());
+  out->clear();
+  std::vector<char> removed(cands.size(), 0);
+  const float alpha = opts_.alpha;
+  for (size_t s = 0; s < cands.size(); ++s) {
+    if (removed[s]) continue;
+    out->push_back(cands[s].id);
+    if (out->size() == opts_.graph_max_degree) break;
+    const float* star = vector(cands[s].id);
+    for (size_t t = s + 1; t < cands.size(); ++t) {
+      if (removed[t]) continue;
+      // alpha * sim(x*, x') >= sim(x, x')  =>  remove (similarity form).
+      if (alpha * (-Dist(star, vector(cands[t].id))) >= -cands[t].dist) {
+        removed[t] = 1;
+      }
+    }
+  }
+}
+
+uint32_t DynamicIndex::Insert(const float* vec) {
+  uint32_t id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    deleted_[id] = 0;
+    --num_deleted_;  // slot was counted deleted until recycled
+  } else {
+    Grow(n_ + 1);
+    id = static_cast<uint32_t>(n_);
+    ++n_;
+  }
+  std::copy(vec, vec + dim_, vectors_.data() + id * dim_);
+
+  if (live_size() == 1) {  // first (or only) live vector
+    graph_.Clear(id);
+    entry_point_ = id;
+    return id;
+  }
+
+  // Vamana single-node update.
+  std::vector<Candidate> cands;
+  CollectCandidates(vec, std::max(opts_.build_window, opts_.graph_max_degree + 1),
+                    &cands);
+  cands.erase(std::remove_if(cands.begin(), cands.end(),
+                             [&](const Candidate& c) { return c.id == id; }),
+              cands.end());
+  std::vector<uint32_t> pruned;
+  RobustPrune(vec, cands, &pruned);
+  graph_.SetNeighbors(id, pruned.data(), static_cast<uint32_t>(pruned.size()));
+
+  // Backward edges with overflow pruning.
+  std::vector<Candidate> nb_cands;
+  std::vector<uint32_t> nb_pruned;
+  for (uint32_t nb : pruned) {
+    const uint32_t* nbrs = graph_.neighbors(nb);
+    const uint32_t deg = graph_.degree(nb);
+    bool present = false;
+    for (uint32_t e = 0; e < deg; ++e) {
+      if (nbrs[e] == id) {
+        present = true;
+        break;
+      }
+    }
+    if (present) continue;
+    if (!graph_.AddNeighbor(nb, id)) {
+      nb_cands.clear();
+      const float* vnb = vector(nb);
+      for (uint32_t e = 0; e < deg; ++e) {
+        nb_cands.push_back({Dist(vnb, vector(nbrs[e])), nbrs[e]});
+      }
+      nb_cands.push_back({Dist(vnb, vec), id});
+      RobustPrune(vnb, nb_cands, &nb_pruned);
+      graph_.SetNeighbors(nb, nb_pruned.data(),
+                          static_cast<uint32_t>(nb_pruned.size()));
+    }
+  }
+  return id;
+}
+
+Status DynamicIndex::Delete(uint32_t id) {
+  if (id >= n_) return Status::OutOfRange("id beyond index size");
+  if (deleted_[id]) return Status::InvalidArgument("id already deleted");
+  deleted_[id] = 1;
+  ++num_deleted_;
+  if (id == entry_point_) UpdateEntryPoint();
+  return Status::OK();
+}
+
+void DynamicIndex::UpdateEntryPoint() {
+  for (size_t i = 0; i < n_; ++i) {
+    if (!deleted_[i]) {
+      entry_point_ = static_cast<uint32_t>(i);
+      return;
+    }
+  }
+  entry_point_ = 0;  // empty index
+}
+
+void DynamicIndex::ConsolidateDeletes() {
+  if (num_deleted_ == 0) return;
+  // DiskANN-style repair: every live node that points at a deleted node
+  // inherits that node's live out-neighbors, then re-prunes to R.
+  std::vector<Candidate> cands;
+  std::vector<uint32_t> pruned;
+  for (size_t i = 0; i < n_; ++i) {
+    if (deleted_[i]) continue;
+    const uint32_t* nbrs = graph_.neighbors(i);
+    const uint32_t deg = graph_.degree(i);
+    bool touches_deleted = false;
+    for (uint32_t e = 0; e < deg; ++e) {
+      if (deleted_[nbrs[e]]) {
+        touches_deleted = true;
+        break;
+      }
+    }
+    if (!touches_deleted) continue;
+
+    cands.clear();
+    const float* x = vector(static_cast<uint32_t>(i));
+    for (uint32_t e = 0; e < deg; ++e) {
+      const uint32_t nb = nbrs[e];
+      if (!deleted_[nb]) {
+        cands.push_back({Dist(x, vector(nb)), nb});
+        continue;
+      }
+      const uint32_t* second = graph_.neighbors(nb);
+      for (uint32_t s = 0; s < graph_.degree(nb); ++s) {
+        const uint32_t nn = second[s];
+        if (!deleted_[nn] && nn != i) {
+          cands.push_back({Dist(x, vector(nn)), nn});
+        }
+      }
+    }
+    RobustPrune(x, cands, &pruned);
+    graph_.SetNeighbors(i, pruned.data(), static_cast<uint32_t>(pruned.size()));
+  }
+  // Purge tombstones: clear their adjacency and recycle the slots.
+  for (size_t i = 0; i < n_; ++i) {
+    if (deleted_[i]) {
+      graph_.Clear(i);
+      free_slots_.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  // Slots stay flagged deleted until re-used; num_deleted_ is decremented
+  // on recycle so live_size() remains correct throughout.
+}
+
+void DynamicIndex::Search(const float* query, size_t k, uint32_t window,
+                          SearchResult* out) const {
+  out->ids.clear();
+  out->dists.clear();
+  if (live_size() == 0) return;
+  // Over-provision the window so tombstones cannot crowd out live results.
+  const uint32_t w = std::max<uint32_t>(
+      window, static_cast<uint32_t>(k) +
+                  static_cast<uint32_t>(std::min<size_t>(num_deleted_, 64)));
+  std::vector<Candidate> cands;
+  CollectCandidates(query, w, &cands);
+  for (const Candidate& c : cands) {
+    if (deleted_[c.id]) continue;
+    out->ids.push_back(c.id);
+    out->dists.push_back(c.dist);
+    if (out->ids.size() == k) break;
+  }
+}
+
+}  // namespace blink

@@ -1,0 +1,100 @@
+// Dynamic graph index: insertions, deletions and model updates.
+//
+// The paper motivates LVQ partly through dynamic indices (Sec. 3.2): when
+// the data distribution shifts, LVQ's model update is a linear-time mean
+// recompute + re-encode, against PQ's k-means retraining. This module
+// supplies the index dynamics that discussion presumes:
+//   - Insert: the single-node Vamana update (greedy search for candidates,
+//     relaxed pruning, backward edges with overflow pruning),
+//   - Delete: tombstoning, with deleted nodes still traversable (so the
+//     graph stays navigable) but excluded from results,
+//   - ConsolidateDeletes: DiskANN-style repair — neighbors of deleted
+//     nodes inherit the deleted nodes' out-edges, then re-prune; slots are
+//     recycled by later inserts.
+//
+// Storage is growable float32 (dynamic compressed storage would need
+// re-encodable arenas; Sec. 3.2 re-encoding is demonstrated in
+// examples/dynamic_reencoding.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/search.h"
+#include "graph/storage.h"
+#include "util/status.h"
+
+namespace blink {
+
+class DynamicIndex {
+ public:
+  struct Options {
+    uint32_t graph_max_degree = 32;  ///< R
+    uint32_t build_window = 64;      ///< W for insert-time searches
+    float alpha = 1.2f;              ///< pruning relaxation (<1 for IP)
+    Metric metric = Metric::kL2;
+    size_t initial_capacity = 1024;
+  };
+
+  DynamicIndex(size_t dim, const Options& opts);
+
+  /// Inserts a vector; returns its id. Ids of consolidated deletions are
+  /// recycled.
+  uint32_t Insert(const float* vec);
+
+  /// Tombstones a vector: it stops appearing in results immediately but
+  /// remains traversable until ConsolidateDeletes().
+  Status Delete(uint32_t id);
+
+  /// Repairs the graph around tombstoned nodes and recycles their slots.
+  void ConsolidateDeletes();
+
+  /// k nearest *live* vectors.
+  void Search(const float* query, size_t k, uint32_t window,
+              SearchResult* out) const;
+
+  size_t dim() const { return dim_; }
+  /// Slots in use (including tombstones awaiting consolidation).
+  size_t size() const { return n_; }
+  /// Live (searchable) vectors.
+  size_t live_size() const { return n_ - num_deleted_; }
+  size_t capacity() const { return capacity_; }
+  uint32_t max_degree() const { return opts_.graph_max_degree; }
+  bool IsDeleted(uint32_t id) const { return deleted_[id] != 0; }
+
+  const float* vector(uint32_t id) const { return vectors_.data() + id * dim_; }
+
+ private:
+  struct Candidate {
+    float dist;
+    uint32_t id;
+    bool operator<(const Candidate& o) const {
+      return dist < o.dist || (dist == o.dist && id < o.id);
+    }
+  };
+
+  float Dist(const float* a, const float* b) const;
+  void Grow(size_t min_capacity);
+  /// Greedy search over the current graph; returns the candidate pool
+  /// (ascending distance, tombstones included — they remain navigable).
+  void CollectCandidates(const float* query, uint32_t window,
+                         std::vector<Candidate>* out) const;
+  /// Algorithm 2 on a sorted candidate list.
+  void RobustPrune(const float* x, std::vector<Candidate>& cands,
+                   std::vector<uint32_t>* out) const;
+  void UpdateEntryPoint();
+
+  size_t dim_;
+  Options opts_;
+  size_t capacity_ = 0;
+  size_t n_ = 0;
+  size_t num_deleted_ = 0;
+  std::vector<float> vectors_;        // capacity * dim
+  FlatGraph graph_;                   // capacity rows
+  std::vector<uint8_t> deleted_;      // capacity
+  std::vector<uint32_t> free_slots_;  // recycled ids
+  uint32_t entry_point_ = 0;
+};
+
+}  // namespace blink

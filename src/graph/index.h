@@ -1,0 +1,140 @@
+// OG-LVQ: the paper's system — an optimized Vamana graph over (optionally
+// LVQ-compressed) vector storage, with the Sec. 5 search engine.
+//
+// VamanaIndex<Storage> is the concrete, monomorphic index; the factory
+// functions at the bottom build the configurations evaluated in the paper
+// and return them behind the type-erased SearchIndex interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "eval/interface.h"
+#include "graph/builder.h"
+#include "graph/search.h"
+#include "graph/storage.h"
+
+namespace blink {
+
+template <typename Storage>
+class VamanaIndex : public SearchIndex {
+ public:
+  /// Builds the graph over the given storage.
+  VamanaIndex(Storage storage, const VamanaBuildParams& params,
+              ThreadPool* pool = nullptr)
+      : storage_(std::move(storage)), build_params_(params) {
+    built_ = BuildVamana(storage_, params, pool);
+  }
+
+  /// Adopts a pre-built graph (e.g. built from a different storage — the
+  /// Sec. 4 "build compressed, search full-precision" experiments).
+  VamanaIndex(Storage storage, BuiltGraph graph, VamanaBuildParams params)
+      : storage_(std::move(storage)),
+        build_params_(params),
+        built_(std::move(graph)) {}
+
+  std::string name() const override {
+    return std::string("OG-") + storage_.encoding_name() + "-R" +
+           std::to_string(build_params_.graph_max_degree);
+  }
+  size_t size() const override { return storage_.size(); }
+  size_t dim() const override { return storage_.dim(); }
+  size_t memory_bytes() const override {
+    return storage_.memory_bytes() + built_.graph.memory_bytes();
+  }
+
+  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
+                   uint32_t* ids, ThreadPool* pool = nullptr) const override {
+    const SearchParams sp = ToSearchParams(params, k);
+    const size_t nq = queries.rows;
+    const size_t workers = pool != nullptr ? pool->num_threads() : 1;
+    auto run_slice = [&](size_t widx, size_t num_slices) {
+      GreedySearcher<Storage> searcher(&built_.graph, &storage_);
+      SearchResult res;
+      const size_t lo = nq * widx / num_slices;
+      const size_t hi = nq * (widx + 1) / num_slices;
+      for (size_t qi = lo; qi < hi; ++qi) {
+        searcher.Search(queries.row(qi), k, built_.entry_point, sp, &res);
+        uint32_t* row = ids + qi * k;
+        for (size_t j = 0; j < k; ++j) {
+          row[j] = j < res.ids.size() ? res.ids[j] : UINT32_MAX;
+        }
+      }
+    };
+    if (pool != nullptr && workers > 1 && nq > 1) {
+      pool->ParallelFor(workers, [&](size_t w) { run_slice(w, workers); });
+    } else {
+      run_slice(0, 1);
+    }
+  }
+
+  /// Single-query search exposing full per-query statistics.
+  void Search(const float* query, size_t k, const RuntimeParams& params,
+              SearchResult* out) const {
+    GreedySearcher<Storage> searcher(&built_.graph, &storage_);
+    searcher.Search(query, k, built_.entry_point, ToSearchParams(params, k), out);
+  }
+
+  const Storage& storage() const { return storage_; }
+  const FlatGraph& graph() const { return built_.graph; }
+  uint32_t entry_point() const { return built_.entry_point; }
+  double build_seconds() const { return built_.build_seconds; }
+  const VamanaBuildParams& build_params() const { return build_params_; }
+
+ private:
+  static SearchParams ToSearchParams(const RuntimeParams& p, size_t k) {
+    SearchParams sp;
+    sp.window = std::max<uint32_t>(p.window, static_cast<uint32_t>(k));
+    sp.prefetch_offset = p.prefetch_offset;
+    sp.prefetch_step = p.prefetch_step;
+    sp.use_visited_set = p.use_visited_set;
+    sp.rerank = p.rerank;
+    return sp;
+  }
+
+  Storage storage_;
+  VamanaBuildParams build_params_;
+  BuiltGraph built_;
+};
+
+// ---------------------------------------------------------------------------
+// Factories for the configurations evaluated in the paper.
+// ---------------------------------------------------------------------------
+
+/// OG-LVQ with one-level LVQ-B (bits2 == 0) or two-level LVQ-B1xB2.
+inline std::unique_ptr<VamanaIndex<LvqStorage>> BuildOgLvq(
+    MatrixViewF data, Metric metric, int bits1, int bits2,
+    const VamanaBuildParams& bp, ThreadPool* pool = nullptr) {
+  LvqStorage storage =
+      bits2 > 0 ? LvqStorage(data, metric, bits1, bits2, /*padding=*/32, pool)
+                : LvqStorage(data, metric, bits1, /*padding=*/32, pool);
+  return std::make_unique<VamanaIndex<LvqStorage>>(std::move(storage), bp, pool);
+}
+
+/// Vamana over full-precision vectors (the paper's "Vamana" baseline).
+inline std::unique_ptr<VamanaIndex<FloatStorage>> BuildVamanaF32(
+    MatrixViewF data, Metric metric, const VamanaBuildParams& bp,
+    ThreadPool* pool = nullptr) {
+  return std::make_unique<VamanaIndex<FloatStorage>>(
+      FloatStorage(data, metric), bp, pool);
+}
+
+/// Vamana over float16 storage (Table 4 baseline).
+inline std::unique_ptr<VamanaIndex<F16Storage>> BuildVamanaF16(
+    MatrixViewF data, Metric metric, const VamanaBuildParams& bp,
+    ThreadPool* pool = nullptr) {
+  return std::make_unique<VamanaIndex<F16Storage>>(F16Storage(data, metric),
+                                                   bp, pool);
+}
+
+/// Vamana over globally-quantized storage (Fig. 12 ablation baseline).
+inline std::unique_ptr<VamanaIndex<GlobalQuantStorage>> BuildOgGlobal(
+    MatrixViewF data, Metric metric, int bits, int bits2,
+    const VamanaBuildParams& bp, ThreadPool* pool = nullptr) {
+  return std::make_unique<VamanaIndex<GlobalQuantStorage>>(
+      GlobalQuantStorage(data, metric, bits, bits2, GlobalMode::kGlobal, pool),
+      bp, pool);
+}
+
+}  // namespace blink

@@ -1,0 +1,161 @@
+#include "graph/pruning_error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "simd/distance.h"
+
+namespace blink {
+
+namespace {
+
+double Dot(const float* a, const float* b, size_t d) {
+  double acc = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    acc += static_cast<double>(a[j]) * static_cast<double>(b[j]);
+  }
+  return acc;
+}
+
+double Norm2(const float* a, size_t d) { return Dot(a, a, d); }
+
+/// Standard normal CDF.
+double Phi(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+std::vector<PruningTriplet> SamplePruningTriplets(MatrixViewF data,
+                                                  size_t num_triplets,
+                                                  size_t t_neighbors,
+                                                  uint64_t seed,
+                                                  ThreadPool* pool) {
+  const size_t n = data.rows, d = data.cols;
+  std::vector<PruningTriplet> out(num_triplets);
+  Rng seeder(seed);
+  std::vector<uint64_t> seeds(num_triplets);
+  std::vector<uint32_t> xs(num_triplets);
+  for (size_t t = 0; t < num_triplets; ++t) {
+    xs[t] = static_cast<uint32_t>(seeder.Bounded(n));
+    seeds[t] = seeder();
+  }
+
+  auto one = [&](size_t t) {
+    const uint32_t x = xs[t];
+    Rng rng(seeds[t]);
+    // T nearest neighbors of x (excluding x), by brute force.
+    std::vector<std::pair<float, uint32_t>> dists;
+    dists.reserve(n - 1);
+    for (size_t i = 0; i < n; ++i) {
+      if (i == x) continue;
+      dists.push_back({simd::L2Sqr(data.row(x), data.row(i), d),
+                       static_cast<uint32_t>(i)});
+    }
+    const size_t T = std::min(t_neighbors, dists.size());
+    std::partial_sort(dists.begin(), dists.begin() + T, dists.end());
+    // x* uniform among the T-NN; x' uniform among those farther than x*.
+    const size_t star_rank = static_cast<size_t>(rng.Bounded(T > 1 ? T - 1 : 1));
+    const size_t remaining = T - star_rank - 1;
+    const size_t prime_rank =
+        star_rank + 1 +
+        static_cast<size_t>(remaining > 0 ? rng.Bounded(remaining) : 0);
+    out[t] = {x, dists[star_rank].second,
+              dists[std::min(prime_rank, T - 1)].second};
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_triplets, one);
+  } else {
+    for (size_t t = 0; t < num_triplets; ++t) one(t);
+  }
+  return out;
+}
+
+double PruningErrorE(const float* x, const float* x_star, const float* x_prime,
+                     const float* qx, const float* qx_star,
+                     const float* qx_prime, size_t d) {
+  // z_v = v - Q(v)
+  std::vector<double> zx(d), zxs(d), zxp(d);
+  for (size_t j = 0; j < d; ++j) {
+    zx[j] = static_cast<double>(x[j]) - qx[j];
+    zxs[j] = static_cast<double>(x_star[j]) - qx_star[j];
+    zxp[j] = static_cast<double>(x_prime[j]) - qx_prime[j];
+  }
+  auto dotd = [&](const std::vector<double>& a, const std::vector<double>& b) {
+    double acc = 0.0;
+    for (size_t j = 0; j < d; ++j) acc += a[j] * b[j];
+    return acc;
+  };
+  auto dotf = [&](const std::vector<double>& a, const float* b) {
+    double acc = 0.0;
+    for (size_t j = 0; j < d; ++j) acc += a[j] * static_cast<double>(b[j]);
+    return acc;
+  };
+  // Eq. 19, term by term.
+  double e = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    e += (zx[j] - zxs[j]) * static_cast<double>(x_prime[j]);     // (z_x - z_x*)^T x'
+    e += (static_cast<double>(x[j]) - x_star[j]) * zxp[j];       // (x - x*)^T z_x'
+  }
+  e -= dotd(zx, zxp);   // - z_x^T z_x'
+  e += dotd(zxs, zxp);  // + z_x*^T z_x'
+  e += 0.5 * (dotd(zx, zx) - 2.0 * dotf(zx, x) - dotd(zxs, zxs) +
+              2.0 * dotf(zxs, x_star));
+  return e;
+}
+
+double PruningMargin(const float* x, const float* x_star, const float* x_prime,
+                     size_t d) {
+  // a = (x - x*) / ||x - x*||, b = (||x||^2 - ||x*||^2) / (2 ||x - x*||)
+  std::vector<double> diff(d);
+  for (size_t j = 0; j < d; ++j) {
+    diff[j] = static_cast<double>(x[j]) - x_star[j];
+  }
+  double norm2 = 0.0;
+  for (size_t j = 0; j < d; ++j) norm2 += diff[j] * diff[j];
+  const double norm = std::sqrt(norm2);
+  if (norm == 0.0) return 0.0;
+  double a_dot_xp = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    a_dot_xp += diff[j] * static_cast<double>(x_prime[j]);
+  }
+  a_dot_xp /= norm;
+  const double b = (Norm2(x, d) - Norm2(x_star, d)) / (2.0 * norm);
+  return std::fabs(a_dot_xp - b) * norm;
+}
+
+PruningErrorTheory ComputePruningErrorTheory(double delta_x, double delta_xs,
+                                             double delta_xp,
+                                             double dist_x_xp,
+                                             double dist_xs_xp,
+                                             double dist_x_xs, size_t d) {
+  PruningErrorTheory t;
+  const double dx2 = delta_x * delta_x;
+  const double dxs2 = delta_xs * delta_xs;
+  const double dxp2 = delta_xp * delta_xp;
+  const double dd = static_cast<double>(d);
+
+  // Eq. 12.
+  t.mu_e = dd / 24.0 * (dx2 - dxs2);
+  // Eq. 13 (distances enter squared: ||.||^2).
+  const double var = dx2 / 12.0 * dist_x_xp * dist_x_xp +
+                     dxs2 / 12.0 * dist_xs_xp * dist_xs_xp +
+                     dxp2 / 12.0 * dist_x_xs * dist_x_xs +
+                     dd * (dx2 * dx2 + dxs2 * dxs2) / 720.0 +
+                     dd * dxp2 * (dx2 + dxs2) / 144.0;
+  t.sigma_e = std::sqrt(var);
+
+  // Corollary 1: folded normal moments (Eqs. 14-15).
+  if (t.sigma_e > 0.0) {
+    const double r = t.mu_e / t.sigma_e;
+    t.mu_abs_e = t.sigma_e * std::sqrt(2.0 / M_PI) * std::exp(-r * r / 2.0) +
+                 t.mu_e * (1.0 - 2.0 * Phi(-r));
+    const double var_abs = t.mu_e * t.mu_e + var - t.mu_abs_e * t.mu_abs_e;
+    t.sigma_abs_e = var_abs > 0.0 ? std::sqrt(var_abs) : 0.0;
+  } else {
+    t.mu_abs_e = std::fabs(t.mu_e);
+    t.sigma_abs_e = 0.0;
+  }
+  return t;
+}
+
+}  // namespace blink

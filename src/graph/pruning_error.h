@@ -1,0 +1,67 @@
+// Theory of graph pruning under LVQ compression (paper Sec. 4).
+//
+// When the graph is built from compressed vectors, the pruning rule of
+// Algorithm 2 evaluates sign(a^T x' - b) against quantized points; the
+// perturbation is an error term E (Eq. 19) that Proposition 2 shows to be
+// Gaussian with closed-form mean (Eq. 12) and variance (Eq. 13), and |E|
+// follows a folded normal (Corollary 1, Eqs. 14-15).
+//
+// This module computes both sides of Fig. 5 (right):
+//   - the empirical E for sampled pruning triplets (x, x*, x'), and
+//   - the theoretical mu_|E| / sigma_|E| from the propositions,
+// together with the safety margin |a^T x' - b| * ||x - x*|| (Eq. 11) that
+// the error must stay below for compressed and full-precision pruning to
+// agree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/prng.h"
+#include "util/thread_pool.h"
+
+namespace blink {
+
+/// One pruning triplet: x (node being wired), x* (closest candidate),
+/// x' (candidate tested for removal), sampled as in the paper: x random,
+/// x* uniform among x's T nearest neighbors, x' among those farther than x*.
+struct PruningTriplet {
+  uint32_t x;
+  uint32_t x_star;
+  uint32_t x_prime;
+};
+
+std::vector<PruningTriplet> SamplePruningTriplets(MatrixViewF data,
+                                                  size_t num_triplets,
+                                                  size_t t_neighbors,
+                                                  uint64_t seed,
+                                                  ThreadPool* pool = nullptr);
+
+/// Exact perturbation E of the pruning rule (Eq. 19), computed from the
+/// original vectors and their quantized reconstructions (z_v = v - Q(v)).
+double PruningErrorE(const float* x, const float* x_star, const float* x_prime,
+                     const float* qx, const float* qx_star,
+                     const float* qx_prime, size_t d);
+
+/// The margin |a^T x' - b| * ||x - x*|| of Eq. 11: pruning decisions agree
+/// whenever |E| stays below this.
+double PruningMargin(const float* x, const float* x_star, const float* x_prime,
+                     size_t d);
+
+/// Closed-form moments of E (Proposition 2) given the per-vector
+/// quantization steps Delta and the pairwise distances.
+struct PruningErrorTheory {
+  double mu_e = 0.0;
+  double sigma_e = 0.0;
+  double mu_abs_e = 0.0;     ///< folded-normal mean (Eq. 14)
+  double sigma_abs_e = 0.0;  ///< folded-normal stddev (Eq. 15)
+};
+
+PruningErrorTheory ComputePruningErrorTheory(double delta_x, double delta_xs,
+                                             double delta_xp,
+                                             double dist_x_xp,
+                                             double dist_xs_xp,
+                                             double dist_x_xs, size_t d);
+
+}  // namespace blink

@@ -1,0 +1,161 @@
+// Greedy graph search (paper Algorithm 1) with the Sec. 5 optimizations:
+// sorted linear buffer, software prefetching with tunable
+// (prefetch-offset, prefetch-step), optional visited set, and a final
+// two-level re-ranking gather when the storage has compressed residuals
+// (Sec. 3.2).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/search_buffer.h"
+
+namespace blink {
+
+/// Runtime knobs of one search. The window W trades accuracy for speed;
+/// the prefetch pair reproduces Fig. 7(a); `use_visited_set` reproduces the
+/// Sec. 5 visited-set ablation.
+struct SearchParams {
+  uint32_t window = 32;          ///< W: candidate-queue capacity (>= k)
+  uint32_t prefetch_offset = 0;  ///< lookahead offset into the neighbor list
+  uint32_t prefetch_step = 2;    ///< vectors prefetched per iteration
+  /// Track visited ids (Sec. 5 ablation). The paper disables its
+  /// associative visited structure for small d; our epoch-stamped array is
+  /// cheap enough that keeping it on measures faster on this substrate
+  /// (see bench/ablation_search_opts and EXPERIMENTS.md), so on is the
+  /// default. The knob reproduces the paper's ablation either way.
+  bool use_visited_set = true;
+  bool rerank = true;            ///< use the second level when available
+};
+
+struct SearchResult {
+  std::vector<uint32_t> ids;
+  std::vector<float> dists;
+  size_t distance_computations = 0;
+  size_t hops = 0;  ///< nodes expanded
+};
+
+/// Reusable single-query searcher over one (graph, storage) pair. Not
+/// thread-safe; create one per worker thread (batch parallelism is across
+/// queries, as in the paper).
+template <typename Storage>
+class GreedySearcher {
+ public:
+  GreedySearcher(const FlatGraph* graph, const Storage* storage)
+      : graph_(graph), storage_(storage), scratch_(storage->dim()) {}
+
+  /// Runs Algorithm 1 from `entry_point`, returning the k best candidates.
+  void Search(const float* query, size_t k, uint32_t entry_point,
+              const SearchParams& params, SearchResult* out) {
+    const uint32_t window = std::max<uint32_t>(params.window, k);
+    buffer_.Reset(window);
+    storage_->PrepareQuery(query, &query_state_);
+    if (params.use_visited_set) {
+      EnsureVisitedCapacity();
+      visited_.NextQuery();
+    }
+    out->distance_computations = 0;
+    out->hops = 0;
+
+    const float d0 = storage_->Distance(query_state_, entry_point);
+    ++out->distance_computations;
+    buffer_.Insert(d0, entry_point);
+    if (params.use_visited_set) visited_.CheckAndMark(entry_point);
+
+    // Safety bound: without a visited set a node can be re-expanded after
+    // buffer eviction; convergence is monotone but we cap hops anyway.
+    const size_t max_hops = 64 * static_cast<size_t>(window) + 256;
+
+    long idx;
+    while ((idx = buffer_.NextUnexplored()) >= 0 && out->hops < max_hops) {
+      const uint32_t node = buffer_[static_cast<size_t>(idx)].id;
+      buffer_.MarkExplored(static_cast<size_t>(idx));
+      ++out->hops;
+
+      const uint32_t* nbrs = graph_->neighbors(node);
+      const uint32_t deg = graph_->degree(node);
+
+      // Software prefetch schedule (Sec. 5): keep the prefetch pointer
+      // `offset + step` vectors ahead of the compute pointer. step==0 and
+      // offset==0 disables prefetching entirely.
+      const uint32_t lookahead = params.prefetch_offset + params.prefetch_step;
+      uint32_t pf = 0;
+      if (lookahead > 0) {
+        const uint32_t warm = std::min(deg, lookahead);
+        for (; pf < warm; ++pf) storage_->Prefetch(nbrs[pf]);
+      }
+      for (uint32_t t = 0; t < deg; ++t) {
+        if (lookahead > 0) {
+          const uint32_t target = std::min(deg, t + 1 + lookahead);
+          for (; pf < target; ++pf) storage_->Prefetch(nbrs[pf]);
+        }
+        const uint32_t cand = nbrs[t];
+        if (params.use_visited_set && !visited_.CheckAndMark(cand)) continue;
+        const float d = storage_->Distance(query_state_, cand);
+        ++out->distance_computations;
+        buffer_.Insert(d, cand);
+      }
+    }
+
+    ExtractTopK(k, params, out);
+  }
+
+  /// Accumulated candidates of the last search (ids in ascending-distance
+  /// order); used by the graph builder as the pruning candidate pool.
+  const SearchBuffer& buffer() const { return buffer_; }
+
+  const typename Storage::Query& query_state() const { return query_state_; }
+
+ private:
+  void EnsureVisitedCapacity() {
+    if (visited_capacity_ != storage_->size()) {
+      visited_.Resize(storage_->size());
+      visited_capacity_ = storage_->size();
+    }
+  }
+
+  /// Selects the k results. With a second level present and rerank enabled,
+  /// re-scores *all* W candidates with full two-level precision first
+  /// (the gather + recompute of Sec. 3.2).
+  void ExtractTopK(size_t k, const SearchParams& params, SearchResult* out) {
+    const size_t m = buffer_.size();
+    const size_t kk = std::min(k, m);
+    out->ids.resize(kk);
+    out->dists.resize(kk);
+    if (params.rerank && storage_->has_second_level() && m > 0) {
+      rerank_.clear();
+      rerank_.reserve(m);
+      for (size_t i = 0; i < m; ++i) {
+        storage_->PrefetchSecondLevel(buffer_[i].id);
+      }
+      for (size_t i = 0; i < m; ++i) {
+        const uint32_t id = buffer_[i].id;
+        rerank_.push_back(
+            {storage_->FullDistance(query_state_, id, scratch_.data()), id});
+      }
+      std::partial_sort(rerank_.begin(), rerank_.begin() + kk, rerank_.end());
+      for (size_t i = 0; i < kk; ++i) {
+        out->dists[i] = rerank_[i].first;
+        out->ids[i] = rerank_[i].second;
+      }
+      return;
+    }
+    for (size_t i = 0; i < kk; ++i) {
+      out->ids[i] = buffer_[i].id;
+      out->dists[i] = buffer_[i].dist;
+    }
+  }
+
+  const FlatGraph* graph_;
+  const Storage* storage_;
+  SearchBuffer buffer_;
+  typename Storage::Query query_state_;
+  VisitedSet visited_;
+  size_t visited_capacity_ = 0;
+  std::vector<float> scratch_;
+  std::vector<std::pair<float, uint32_t>> rerank_;
+};
+
+}  // namespace blink

@@ -1,0 +1,132 @@
+// The candidate queue of Algorithm 1 and the visited-tracking structures
+// (paper Sec. 5, "Optimizing graph search").
+//
+// The paper replaces the usual heap with a *sorted linear buffer*: for the
+// window sizes W common in practice (a few dozen) insertion-by-memmove into
+// a sorted array is faster than heap operations because it is branch- and
+// cache-friendly. Whether a node has been explored is stored inline with
+// the id and distance.
+//
+// The paper also found that maintaining a separate visited set can be a net
+// regression once distance computations are cheap; both modes are
+// supported (DESIGN.md ablation D5). Without a visited set, duplicates are
+// suppressed only against the buffer's current contents: equal ids produce
+// bit-identical distances, so duplicates are adjacent in the sorted order
+// and can be detected during insertion at negligible cost.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace blink {
+
+/// Sorted fixed-capacity candidate buffer ordered by ascending distance.
+class SearchBuffer {
+ public:
+  struct Entry {
+    float dist;
+    uint32_t id;
+    uint32_t explored;  // 0 / 1; u32 keeps Entry at 12 bytes, pow-2-friendly
+  };
+
+  explicit SearchBuffer(size_t capacity = 0) { Reset(capacity); }
+
+  void Reset(size_t capacity) {
+    capacity_ = capacity;
+    entries_.resize(capacity + 1);  // +1 slot simplifies full-buffer insert
+    size_ = 0;
+    first_unexplored_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  const Entry& operator[](size_t i) const { return entries_[i]; }
+
+  /// Inserts (dist, id) keeping the buffer sorted and capped at capacity.
+  /// Returns false if the candidate was rejected (too far) or a duplicate.
+  bool Insert(float dist, uint32_t id) {
+    if (size_ == capacity_ && dist >= entries_[size_ - 1].dist) return false;
+    // Binary search for the insertion position (first entry with
+    // entry.dist > dist; ties keep insertion order stable).
+    size_t lo = 0, hi = size_;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (entries_[mid].dist <= dist) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    // Duplicate check: an equal id yields a bit-identical distance, so any
+    // duplicate sits in the contiguous run of equal distances ending at lo.
+    for (size_t p = lo; p > 0 && entries_[p - 1].dist == dist; --p) {
+      if (entries_[p - 1].id == id) return false;
+    }
+    std::memmove(&entries_[lo + 1], &entries_[lo], (size_ - lo) * sizeof(Entry));
+    entries_[lo] = {dist, id, 0};
+    if (size_ < capacity_) ++size_;
+    if (lo < first_unexplored_) first_unexplored_ = lo;
+    return true;
+  }
+
+  /// Index of the closest unexplored entry, or -1 if all are explored.
+  long NextUnexplored() {
+    for (size_t i = first_unexplored_; i < size_; ++i) {
+      if (!entries_[i].explored) {
+        first_unexplored_ = i;
+        return static_cast<long>(i);
+      }
+    }
+    first_unexplored_ = size_;
+    return -1;
+  }
+
+  void MarkExplored(size_t i) { entries_[i].explored = 1; }
+
+  /// Worst (largest) distance currently held, +inf while not full.
+  float WorstDist() const {
+    if (size_ < capacity_) return kInf;
+    return entries_[size_ - 1].dist;
+  }
+
+ private:
+  static constexpr float kInf = 3.4e38f;
+
+  std::vector<Entry> entries_;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+  size_t first_unexplored_ = 0;
+};
+
+/// O(1)-reset visited tracking: per-node epoch stamps. Marking is a store;
+/// a query bump invalidates all previous marks at once.
+class VisitedSet {
+ public:
+  explicit VisitedSet(size_t n = 0) : stamps_(n, 0) {}
+
+  void Resize(size_t n) { stamps_.assign(n, 0); }
+
+  /// Invalidates all marks (start of a new query).
+  void NextQuery() {
+    if (++epoch_ == 0) {  // epoch wrap: hard reset
+      std::fill(stamps_.begin(), stamps_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  bool Visited(uint32_t id) const { return stamps_[id] == epoch_; }
+
+  /// Returns true if newly marked, false if already visited.
+  bool CheckAndMark(uint32_t id) {
+    if (stamps_[id] == epoch_) return false;
+    stamps_[id] = epoch_;
+    return true;
+  }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace blink

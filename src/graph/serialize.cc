@@ -1,0 +1,223 @@
+#include "graph/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace blink {
+
+namespace {
+
+constexpr uint32_t kGraphMagic = 0x47414C42u;  // "BLAG"
+constexpr uint32_t kLvqMagic = 0x51414C42u;    // "BLAQ"
+constexpr uint32_t kLvq2Magic = 0x32414C42u;   // "BLA2"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<FILE, FileCloser>;
+
+bool WriteAll(FILE* f, const void* p, size_t bytes) {
+  return bytes == 0 || std::fwrite(p, 1, bytes, f) == bytes;
+}
+
+bool ReadAll(FILE* f, void* p, size_t bytes) {
+  return bytes == 0 || std::fread(p, 1, bytes, f) == bytes;
+}
+
+template <typename T>
+bool WritePod(FILE* f, const T& v) {
+  return WriteAll(f, &v, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(FILE* f, T* v) {
+  return ReadAll(f, v, sizeof(T));
+}
+
+Status SaveLvqTo(FILE* f, const LvqDataset& ds, const std::string& path) {
+  const uint64_t n = ds.size(), d = ds.dim();
+  const uint32_t bits = static_cast<uint32_t>(ds.bits());
+  const uint64_t padding = ds.padding();
+  if (!WritePod(f, kLvqMagic) || !WritePod(f, kVersion) || !WritePod(f, n) ||
+      !WritePod(f, d) || !WritePod(f, bits) || !WritePod(f, padding) ||
+      !WriteAll(f, ds.mean().data(), d * sizeof(float)) ||
+      !WriteAll(f, ds.raw_blob(), n * ds.vector_footprint())) {
+    return Status::IOError(path + ": LVQ write failed");
+  }
+  return Status::OK();
+}
+
+Result<LvqDataset> LoadLvqFrom(FILE* f, const std::string& path,
+                               bool use_huge_pages) {
+  uint32_t magic = 0, version = 0, bits = 0;
+  uint64_t n = 0, d = 0, padding = 0;
+  if (!ReadPod(f, &magic) || magic != kLvqMagic) {
+    return Status::IOError(path + ": bad LVQ magic");
+  }
+  if (!ReadPod(f, &version) || version != kVersion) {
+    return Status::IOError(path + ": unsupported LVQ version");
+  }
+  if (!ReadPod(f, &n) || !ReadPod(f, &d) || !ReadPod(f, &bits) ||
+      !ReadPod(f, &padding) || bits < 1 || bits > 16) {
+    return Status::IOError(path + ": corrupt LVQ header");
+  }
+  std::vector<float> mean(d);
+  if (!ReadAll(f, mean.data(), d * sizeof(float))) {
+    return Status::IOError(path + ": truncated LVQ mean");
+  }
+  const size_t raw =
+      LvqDataset::kHeaderBytes + PackedBytes(d, static_cast<int>(bits));
+  const size_t stride = padding == 0 ? raw : (raw + padding - 1) / padding * padding;
+  std::vector<uint8_t> blob(n * stride);
+  if (!ReadAll(f, blob.data(), blob.size())) {
+    return Status::IOError(path + ": truncated LVQ payload");
+  }
+  return LvqDataset::FromRaw(n, d, static_cast<int>(bits), padding,
+                             std::move(mean), blob.data(), blob.size(),
+                             use_huge_pages);
+}
+
+}  // namespace
+
+Status SaveGraph(const std::string& path, const FlatGraph& graph,
+                 uint32_t entry_point) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  const uint64_t n = graph.size();
+  const uint32_t R = graph.max_degree();
+  if (!WritePod(f.get(), kGraphMagic) || !WritePod(f.get(), kVersion) ||
+      !WritePod(f.get(), n) || !WritePod(f.get(), R) ||
+      !WritePod(f.get(), entry_point)) {
+    return Status::IOError(path + ": header write failed");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t deg = graph.degree(i);
+    if (!WritePod(f.get(), deg) ||
+        !WriteAll(f.get(), graph.neighbors(i), deg * sizeof(uint32_t))) {
+      return Status::IOError(path + ": adjacency write failed");
+    }
+  }
+  return Status::OK();
+}
+
+Result<BuiltGraph> LoadGraph(const std::string& path, bool use_huge_pages) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  uint32_t magic = 0, version = 0, R = 0, entry = 0;
+  uint64_t n = 0;
+  if (!ReadPod(f.get(), &magic) || magic != kGraphMagic) {
+    return Status::IOError(path + ": bad graph magic");
+  }
+  if (!ReadPod(f.get(), &version) || version != kVersion) {
+    return Status::IOError(path + ": unsupported graph version");
+  }
+  if (!ReadPod(f.get(), &n) || !ReadPod(f.get(), &R) ||
+      !ReadPod(f.get(), &entry)) {
+    return Status::IOError(path + ": corrupt graph header");
+  }
+  BuiltGraph out;
+  out.graph = FlatGraph(n, R, use_huge_pages);
+  out.entry_point = entry;
+  std::vector<uint32_t> row(R);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t deg = 0;
+    if (!ReadPod(f.get(), &deg) || deg > R) {
+      return Status::IOError(path + ": corrupt adjacency row");
+    }
+    if (!ReadAll(f.get(), row.data(), deg * sizeof(uint32_t))) {
+      return Status::IOError(path + ": truncated adjacency row");
+    }
+    for (uint32_t e = 0; e < deg; ++e) {
+      if (row[e] >= n) return Status::IOError(path + ": neighbor id out of range");
+    }
+    out.graph.SetNeighbors(i, row.data(), deg);
+  }
+  return out;
+}
+
+Status SaveLvq(const std::string& path, const LvqDataset& ds) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  return SaveLvqTo(f.get(), ds, path);
+}
+
+Result<LvqDataset> LoadLvq(const std::string& path, bool use_huge_pages) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  return LoadLvqFrom(f.get(), path, use_huge_pages);
+}
+
+Status SaveLvq2(const std::string& path, const LvqDataset2& ds) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  const uint32_t bits2 = static_cast<uint32_t>(ds.bits2());
+  if (!WritePod(f.get(), kLvq2Magic) || !WritePod(f.get(), kVersion) ||
+      !WritePod(f.get(), bits2)) {
+    return Status::IOError(path + ": header write failed");
+  }
+  BLINK_RETURN_NOT_OK(SaveLvqTo(f.get(), ds.level1(), path));
+  if (!WriteAll(f.get(), ds.raw_residuals(),
+                ds.size() * ds.residual_stride())) {
+    return Status::IOError(path + ": residual write failed");
+  }
+  return Status::OK();
+}
+
+Result<LvqDataset2> LoadLvq2(const std::string& path, bool use_huge_pages) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  uint32_t magic = 0, version = 0, bits2 = 0;
+  if (!ReadPod(f.get(), &magic) || magic != kLvq2Magic) {
+    return Status::IOError(path + ": bad LVQ2 magic");
+  }
+  if (!ReadPod(f.get(), &version) || version != kVersion ||
+      !ReadPod(f.get(), &bits2) || bits2 < 1 || bits2 > 16) {
+    return Status::IOError(path + ": corrupt LVQ2 header");
+  }
+  Result<LvqDataset> level1 = LoadLvqFrom(f.get(), path, use_huge_pages);
+  if (!level1.ok()) return level1.status();
+  const size_t n = level1.value().size();
+  const size_t stride = PackedBytes(level1.value().dim(), static_cast<int>(bits2));
+  std::vector<uint8_t> residuals(n * stride);
+  if (!ReadAll(f.get(), residuals.data(), residuals.size())) {
+    return Status::IOError(path + ": truncated residuals");
+  }
+  return LvqDataset2::FromRaw(std::move(level1).value(),
+                              static_cast<int>(bits2), residuals.data(),
+                              residuals.size(), use_huge_pages);
+}
+
+Status SaveOgLvqIndex(const std::string& prefix,
+                      const VamanaIndex<LvqStorage>& index) {
+  if (index.storage().has_second_level()) {
+    BLINK_RETURN_NOT_OK(SaveLvq2(prefix + ".vecs", *index.storage().level2()));
+  } else {
+    BLINK_RETURN_NOT_OK(SaveLvq(prefix + ".vecs", index.storage().level1()));
+  }
+  return SaveGraph(prefix + ".graph", index.graph(), index.entry_point());
+}
+
+Result<std::unique_ptr<VamanaIndex<LvqStorage>>> LoadOgLvqIndex(
+    const std::string& prefix, Metric metric, const VamanaBuildParams& bp,
+    bool use_huge_pages) {
+  Result<BuiltGraph> graph = LoadGraph(prefix + ".graph", use_huge_pages);
+  if (!graph.ok()) return graph.status();
+  // Try two-level first, fall back to one-level.
+  Result<LvqDataset2> two = LoadLvq2(prefix + ".vecs", use_huge_pages);
+  if (two.ok()) {
+    LvqStorage storage(std::move(two).value(), metric);
+    return std::make_unique<VamanaIndex<LvqStorage>>(
+        std::move(storage), std::move(graph).value(), bp);
+  }
+  Result<LvqDataset> one = LoadLvq(prefix + ".vecs", use_huge_pages);
+  if (!one.ok()) return one.status();
+  LvqStorage storage(std::move(one).value(), metric);
+  return std::make_unique<VamanaIndex<LvqStorage>>(
+      std::move(storage), std::move(graph).value(), bp);
+}
+
+}  // namespace blink

@@ -1,0 +1,53 @@
+// Index persistence: save/load for flat graphs, LVQ datasets and complete
+// OG-LVQ index bundles.
+//
+// Production deployments build once and serve many times; the paper's
+// Table 1 is precisely about how expensive construction is. All formats are
+// little-endian, versioned, and streamed through plain stdio (no mmap
+// dependence), with the same "BLNK" magic family as util/io.h.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "graph/index.h"
+#include "graph/storage.h"
+#include "quant/lvq.h"
+#include "util/status.h"
+
+namespace blink {
+
+/// Saves a built graph (adjacency + entry point).
+Status SaveGraph(const std::string& path, const FlatGraph& graph,
+                 uint32_t entry_point);
+
+/// Loads a graph saved with SaveGraph.
+Result<BuiltGraph> LoadGraph(const std::string& path,
+                             bool use_huge_pages = true);
+
+/// Saves a one-level LVQ dataset (mean + per-vector blobs).
+Status SaveLvq(const std::string& path, const LvqDataset& ds);
+Result<LvqDataset> LoadLvq(const std::string& path,
+                           bool use_huge_pages = true);
+
+/// Saves a two-level LVQ dataset (level 1 + residual codes).
+Status SaveLvq2(const std::string& path, const LvqDataset2& ds);
+Result<LvqDataset2> LoadLvq2(const std::string& path,
+                             bool use_huge_pages = true);
+
+/// Saves a complete OG-LVQ index as `<prefix>.graph` + `<prefix>.vecs`.
+/// Only one-level LvqStorage indices are currently supported for the
+/// bundle (the configuration the paper ships as its default).
+Status SaveOgLvqIndex(const std::string& prefix,
+                      const VamanaIndex<LvqStorage>& index);
+
+/// Loads a bundle saved with SaveOgLvqIndex. `metric` and the build params
+/// are not serialized (they are configuration, not state); pass the values
+/// used at build time.
+Result<std::unique_ptr<VamanaIndex<LvqStorage>>> LoadOgLvqIndex(
+    const std::string& prefix, Metric metric, const VamanaBuildParams& bp,
+    bool use_huge_pages = true);
+
+}  // namespace blink

@@ -1,0 +1,480 @@
+// Vector storage codecs for graph indices.
+//
+// A Storage binds together (a) how vectors are laid out in memory, (b) the
+// fused distance kernel for that encoding, and (c) the per-query
+// preparation (LVQ compares in mean-centered space, so queries are centered
+// once per query, not once per distance). Graph search and construction are
+// templated on Storage, so the hot loop is monomorphic and kernel dispatch
+// happens once per index — one of the paper's implementation tenets.
+//
+// Storage concept:
+//   size(), dim(), memory_bytes()
+//   struct Query;                       // reusable per-query state
+//   PrepareQuery(const float* q, Query*) const
+//   float Distance(const Query&, size_t i) const      // traversal distance
+//   bool has_second_level() const
+//   float FullDistance(const Query&, size_t i, float* scratch) const
+//   void DecodeVector(size_t i, float* out) const     // original space
+//   void Prefetch(size_t i) const
+//   const char* encoding_name() const
+//
+// Distances are "lower is better": squared L2, or negated inner product.
+// Cosine similarity follows the paper: vectors are normalized upstream and
+// searched with L2.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "quant/global.h"
+#include "quant/lvq.h"
+#include "simd/distance.h"
+#include "util/float16.h"
+#include "util/matrix.h"
+#include "util/memory.h"
+
+namespace blink {
+
+enum class Metric {
+  kL2,            ///< squared Euclidean distance
+  kInnerProduct,  ///< negated inner product (maximum IP search)
+};
+
+inline const char* MetricName(Metric m) {
+  return m == Metric::kL2 ? "L2" : "IP";
+}
+
+// ---------------------------------------------------------------------------
+// Full-precision float32 storage (the paper's baseline encoding).
+// ---------------------------------------------------------------------------
+class FloatStorage {
+ public:
+  struct Query {
+    std::vector<float> q;
+  };
+
+  FloatStorage() = default;
+  FloatStorage(MatrixViewF data, Metric metric, bool use_huge_pages = true)
+      : n_(data.rows), d_(data.cols), metric_(metric) {
+    blob_ = Arena(n_ * d_ * sizeof(float), use_huge_pages);
+    for (size_t i = 0; i < n_; ++i) {
+      std::memcpy(blob_.data() + i * d_ * sizeof(float), data.row(i),
+                  d_ * sizeof(float));
+    }
+    l2_ = simd::GetL2F32(d_);
+    ip_ = simd::GetIpF32(d_);
+  }
+
+  size_t size() const { return n_; }
+  size_t dim() const { return d_; }
+  Metric metric() const { return metric_; }
+  size_t memory_bytes() const { return blob_.size(); }
+  const char* encoding_name() const { return "float32"; }
+
+  const float* row(size_t i) const {
+    return reinterpret_cast<const float*>(blob_.data()) + i * d_;
+  }
+
+  void PrepareQuery(const float* q, Query* out) const {
+    out->q.assign(q, q + d_);
+  }
+
+  float Distance(const Query& q, size_t i) const {
+    return metric_ == Metric::kL2 ? l2_(q.q.data(), row(i), d_)
+                                  : ip_(q.q.data(), row(i), d_);
+  }
+
+  bool has_second_level() const { return false; }
+  float FullDistance(const Query& q, size_t i, float* /*scratch*/) const {
+    return Distance(q, i);
+  }
+  void PrefetchSecondLevel(size_t /*i*/) const {}
+
+  void DecodeVector(size_t i, float* out) const {
+    std::memcpy(out, row(i), d_ * sizeof(float));
+  }
+
+  void Prefetch(size_t i) const {
+    simd::PrefetchBytes(row(i), d_ * sizeof(float));
+  }
+
+ private:
+  size_t n_ = 0;
+  size_t d_ = 0;
+  Metric metric_ = Metric::kL2;
+  Arena blob_;
+  simd::DistF32Fn l2_ = nullptr;
+  simd::DistF32Fn ip_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// float16 storage (bandwidth baseline; Figs. 7, 8, Table 4).
+// ---------------------------------------------------------------------------
+class F16Storage {
+ public:
+  struct Query {
+    std::vector<float> q;
+  };
+
+  F16Storage() = default;
+  F16Storage(MatrixViewF data, Metric metric, bool use_huge_pages = true)
+      : n_(data.rows), d_(data.cols), metric_(metric) {
+    blob_ = Arena(n_ * d_ * sizeof(Float16), use_huge_pages);
+    for (size_t i = 0; i < n_; ++i) {
+      Float16* dst = row_mut(i);
+      const float* src = data.row(i);
+      for (size_t j = 0; j < d_; ++j) dst[j] = Float16(src[j]);
+    }
+    l2_ = simd::GetL2F16(d_);
+    ip_ = simd::GetIpF16(d_);
+  }
+
+  size_t size() const { return n_; }
+  size_t dim() const { return d_; }
+  Metric metric() const { return metric_; }
+  size_t memory_bytes() const { return blob_.size(); }
+  const char* encoding_name() const { return "float16"; }
+
+  const Float16* row(size_t i) const {
+    return reinterpret_cast<const Float16*>(blob_.data()) + i * d_;
+  }
+
+  void PrepareQuery(const float* q, Query* out) const {
+    out->q.assign(q, q + d_);
+  }
+
+  float Distance(const Query& q, size_t i) const {
+    return metric_ == Metric::kL2 ? l2_(q.q.data(), row(i), d_)
+                                  : ip_(q.q.data(), row(i), d_);
+  }
+
+  bool has_second_level() const { return false; }
+  float FullDistance(const Query& q, size_t i, float* /*scratch*/) const {
+    return Distance(q, i);
+  }
+  void PrefetchSecondLevel(size_t /*i*/) const {}
+
+  void DecodeVector(size_t i, float* out) const {
+    const Float16* r = row(i);
+    for (size_t j = 0; j < d_; ++j) out[j] = static_cast<float>(r[j]);
+  }
+
+  void Prefetch(size_t i) const {
+    simd::PrefetchBytes(row(i), d_ * sizeof(Float16));
+  }
+
+ private:
+  Float16* row_mut(size_t i) {
+    return reinterpret_cast<Float16*>(blob_.data()) + i * d_;
+  }
+
+  size_t n_ = 0;
+  size_t d_ = 0;
+  Metric metric_ = Metric::kL2;
+  Arena blob_;
+  simd::DistF16Fn l2_ = nullptr;
+  simd::DistF16Fn ip_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// One- or two-level LVQ storage (LVQ-B and LVQ-B1xB2, paper Sec. 3).
+// ---------------------------------------------------------------------------
+class LvqStorage {
+ public:
+  struct Query {
+    std::vector<float> q;  ///< centered query (L2) or raw query (IP)
+    float bias = 0.0f;     ///< IP correction: -<q, mu>
+  };
+
+  LvqStorage() = default;
+
+  /// One-level LVQ-B.
+  LvqStorage(MatrixViewF data, Metric metric, int bits, size_t padding = 32,
+             ThreadPool* pool = nullptr) {
+    LvqDataset::Options o;
+    o.bits = bits;
+    o.padding = padding;
+    level1_ = LvqDataset::Encode(data, o, pool);
+    Init(metric);
+  }
+
+  /// Two-level LVQ-B1xB2.
+  LvqStorage(MatrixViewF data, Metric metric, int bits1, int bits2,
+             size_t padding, ThreadPool* pool = nullptr) {
+    LvqDataset2::Options o;
+    o.bits1 = bits1;
+    o.bits2 = bits2;
+    o.padding = padding;
+    two_level_ = LvqDataset2::Encode(data, o, pool);
+    is_two_level_ = true;
+    Init(metric);
+  }
+
+  /// Wraps an already-encoded one-level dataset.
+  LvqStorage(LvqDataset ds, Metric metric) : level1_(std::move(ds)) {
+    Init(metric);
+  }
+
+  /// Wraps an already-encoded two-level dataset.
+  LvqStorage(LvqDataset2 ds, Metric metric)
+      : two_level_(std::move(ds)), is_two_level_(true) {
+    Init(metric);
+  }
+
+  size_t size() const { return l1().size(); }
+  size_t dim() const { return l1().dim(); }
+  Metric metric() const { return metric_; }
+  int bits1() const { return l1().bits(); }
+  int bits2() const { return has_second_level() ? two_level_.bits2() : 0; }
+
+  size_t memory_bytes() const {
+    return has_second_level() ? two_level_.memory_bytes() : l1().memory_bytes();
+  }
+  std::string encoding_name_str() const {
+    if (has_second_level()) {
+      return "LVQ-" + std::to_string(bits1()) + "x" + std::to_string(bits2());
+    }
+    return "LVQ-" + std::to_string(bits1());
+  }
+  const char* encoding_name() const {
+    name_cache_ = encoding_name_str();
+    return name_cache_.c_str();
+  }
+
+  const LvqDataset& level1() const { return l1(); }
+  const LvqDataset2* level2() const {
+    return has_second_level() ? &two_level_ : nullptr;
+  }
+
+  void PrepareQuery(const float* q, Query* out) const {
+    const auto& mean = l1().mean();
+    const size_t d = dim();
+    out->q.resize(d);
+    if (metric_ == Metric::kL2) {
+      for (size_t j = 0; j < d; ++j) out->q[j] = q[j] - mean[j];
+      out->bias = 0.0f;
+    } else {
+      std::memcpy(out->q.data(), q, d * sizeof(float));
+      float dot = 0.0f;
+      for (size_t j = 0; j < d; ++j) dot += q[j] * mean[j];
+      out->bias = -dot;
+    }
+  }
+
+  float Distance(const Query& q, size_t i) const {
+    const LvqConstants c = l1().constants(i);
+    const uint8_t* codes = l1().codes(i);
+    const size_t d = dim();
+    float dist;
+    const int b = l1().bits();
+    if (b == 8) {
+      dist = metric_ == Metric::kL2 ? l2u8_(q.q.data(), codes, c.delta, c.lower, d)
+                                    : ipu8_(q.q.data(), codes, c.delta, c.lower, d);
+    } else if (b == 4) {
+      dist = metric_ == Metric::kL2 ? l2u4_(q.q.data(), codes, c.delta, c.lower, d)
+                                    : ipu4_(q.q.data(), codes, c.delta, c.lower, d);
+    } else {
+      dist = GenericDistance(q, codes, c, b, d);
+    }
+    return dist + q.bias;
+  }
+
+  bool has_second_level() const { return is_two_level_; }
+
+  /// Two-level distance for the final re-ranking gather (Sec. 3.2).
+  float FullDistance(const Query& q, size_t i, float* scratch) const {
+    if (!has_second_level()) return Distance(q, i);
+    two_level_.DecodeCentered(i, scratch);
+    const size_t d = dim();
+    if (metric_ == Metric::kL2) return simd::L2Sqr(q.q.data(), scratch, d);
+    return simd::IpDist(q.q.data(), scratch, d) + q.bias;
+  }
+
+  void DecodeVector(size_t i, float* out) const {
+    if (has_second_level()) {
+      two_level_.Decode(i, out);
+    } else {
+      level1_.Decode(i, out);
+    }
+  }
+
+  void Prefetch(size_t i) const { l1().PrefetchVector(i); }
+  void PrefetchSecondLevel(size_t i) const {
+    if (has_second_level()) two_level_.PrefetchResidual(i);
+  }
+
+ private:
+  const LvqDataset& l1() const {
+    return is_two_level_ ? two_level_.level1() : level1_;
+  }
+
+  void Init(Metric metric) {
+    metric_ = metric;
+    const size_t d = dim();
+    l2u8_ = simd::GetL2U8(d);
+    ipu8_ = simd::GetIpU8(d);
+    l2u4_ = simd::GetL2U4(d);
+    ipu4_ = simd::GetIpU4(d);
+  }
+
+  /// Arbitrary-B fallback for the bit-sweep analysis experiments.
+  float GenericDistance(const Query& q, const uint8_t* codes,
+                        const LvqConstants& c, int bits, size_t d) const {
+    float acc = 0.0f;
+    if (metric_ == Metric::kL2) {
+      for (size_t j = 0; j < d; ++j) {
+        const float v =
+            c.delta * static_cast<float>(UnpackCode(codes, j, bits)) + c.lower;
+        const float diff = q.q[j] - v;
+        acc += diff * diff;
+      }
+      return acc;
+    }
+    for (size_t j = 0; j < d; ++j) {
+      const float v =
+          c.delta * static_cast<float>(UnpackCode(codes, j, bits)) + c.lower;
+      acc += q.q[j] * v;
+    }
+    return -acc;
+  }
+
+  LvqDataset level1_;
+  LvqDataset2 two_level_;
+  bool is_two_level_ = false;
+  Metric metric_ = Metric::kL2;
+  simd::DistU8Fn l2u8_ = nullptr;
+  simd::DistU8Fn ipu8_ = nullptr;
+  simd::DistU4Fn l2u4_ = nullptr;
+  simd::DistU4Fn ipu4_ = nullptr;
+  mutable std::string name_cache_;
+};
+
+// ---------------------------------------------------------------------------
+// Global / per-dimension scalar quantization storage (ablation baseline).
+// ---------------------------------------------------------------------------
+class GlobalQuantStorage {
+ public:
+  struct Query {
+    std::vector<float> q;
+    float bias = 0.0f;
+  };
+
+  GlobalQuantStorage() = default;
+  GlobalQuantStorage(MatrixViewF data, Metric metric, int bits, int bits2 = 0,
+                     GlobalMode mode = GlobalMode::kGlobal,
+                     ThreadPool* pool = nullptr) {
+    GlobalDataset::Options o;
+    o.bits = bits;
+    o.bits2 = bits2;
+    o.mode = mode;
+    ds_ = GlobalDataset::Encode(data, o, pool);
+    metric_ = metric;
+    const size_t d = ds_.dim();
+    l2u8_ = simd::GetL2U8(d);
+    ipu8_ = simd::GetIpU8(d);
+    l2u4_ = simd::GetL2U4(d);
+    ipu4_ = simd::GetIpU4(d);
+  }
+
+  size_t size() const { return ds_.size(); }
+  size_t dim() const { return ds_.dim(); }
+  Metric metric() const { return metric_; }
+  size_t memory_bytes() const { return ds_.memory_bytes(); }
+  std::string encoding_name_str() const {
+    std::string s = "global-" + std::to_string(ds_.bits());
+    if (ds_.bits2() > 0) s += "x" + std::to_string(ds_.bits2());
+    return s;
+  }
+  const char* encoding_name() const {
+    name_cache_ = encoding_name_str();
+    return name_cache_.c_str();
+  }
+  const GlobalDataset& dataset() const { return ds_; }
+
+  void PrepareQuery(const float* q, Query* out) const {
+    const auto& mean = ds_.mean();
+    const size_t d = dim();
+    out->q.resize(d);
+    if (metric_ == Metric::kL2) {
+      for (size_t j = 0; j < d; ++j) out->q[j] = q[j] - mean[j];
+      out->bias = 0.0f;
+    } else {
+      std::memcpy(out->q.data(), q, d * sizeof(float));
+      float dot = 0.0f;
+      for (size_t j = 0; j < d; ++j) dot += q[j] * mean[j];
+      out->bias = -dot;
+    }
+  }
+
+  float Distance(const Query& q, size_t i) const {
+    const size_t d = dim();
+    const uint8_t* codes = ds_.codes(i);
+    const int b = ds_.bits();
+    float dist;
+    if (ds_.mode() == GlobalMode::kGlobal && b == 8) {
+      const ScalarQuantizer& sq = ds_.quantizers()[0];
+      dist = metric_ == Metric::kL2
+                 ? l2u8_(q.q.data(), codes, sq.delta(), sq.lower(), d)
+                 : ipu8_(q.q.data(), codes, sq.delta(), sq.lower(), d);
+    } else if (ds_.mode() == GlobalMode::kGlobal && b == 4) {
+      const ScalarQuantizer& sq = ds_.quantizers()[0];
+      dist = metric_ == Metric::kL2
+                 ? l2u4_(q.q.data(), codes, sq.delta(), sq.lower(), d)
+                 : ipu4_(q.q.data(), codes, sq.delta(), sq.lower(), d);
+    } else {
+      dist = GenericDistance(q, i);
+    }
+    return dist + q.bias;
+  }
+
+  bool has_second_level() const { return ds_.bits2() > 0; }
+
+  float FullDistance(const Query& q, size_t i, float* scratch) const {
+    if (!has_second_level()) return Distance(q, i);
+    ds_.DecodeCenteredFull(i, scratch);
+    const size_t d = dim();
+    if (metric_ == Metric::kL2) return simd::L2Sqr(q.q.data(), scratch, d);
+    return simd::IpDist(q.q.data(), scratch, d) + q.bias;
+  }
+
+  void DecodeVector(size_t i, float* out) const { ds_.Decode(i, out); }
+  void Prefetch(size_t i) const { ds_.PrefetchVector(i); }
+  void PrefetchSecondLevel(size_t i) const {
+    if (has_second_level()) {
+      simd::PrefetchBytes(ds_.residual_codes(i), PackedBytes(dim(), ds_.bits2()));
+    }
+  }
+
+ private:
+  float GenericDistance(const Query& q, size_t i) const {
+    const size_t d = dim();
+    const uint8_t* codes = ds_.codes(i);
+    const int b = ds_.bits();
+    float acc = 0.0f;
+    if (metric_ == Metric::kL2) {
+      for (size_t j = 0; j < d; ++j) {
+        const float v = ds_.quantizer(j).Decode(UnpackCode(codes, j, b));
+        const float diff = q.q[j] - v;
+        acc += diff * diff;
+      }
+      return acc;
+    }
+    for (size_t j = 0; j < d; ++j) {
+      const float v = ds_.quantizer(j).Decode(UnpackCode(codes, j, b));
+      acc += q.q[j] * v;
+    }
+    return -acc;
+  }
+
+  GlobalDataset ds_;
+  Metric metric_ = Metric::kL2;
+  simd::DistU8Fn l2u8_ = nullptr;
+  simd::DistU8Fn ipu8_ = nullptr;
+  simd::DistU4Fn l2u4_ = nullptr;
+  simd::DistU4Fn ipu4_ = nullptr;
+  mutable std::string name_cache_;
+};
+
+}  // namespace blink

@@ -1,0 +1,123 @@
+#include "quant/global.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace blink {
+
+namespace {
+size_t PaddedStride(size_t raw_bytes, size_t padding) {
+  if (padding == 0) return raw_bytes;
+  return (raw_bytes + padding - 1) / padding * padding;
+}
+}  // namespace
+
+GlobalDataset GlobalDataset::Encode(MatrixViewF data, const Options& opts,
+                                    ThreadPool* pool) {
+  assert(opts.bits >= 1 && opts.bits <= 16);
+  GlobalDataset ds;
+  ds.n_ = data.rows;
+  ds.d_ = data.cols;
+  ds.bits_ = opts.bits;
+  ds.bits2_ = opts.bits2;
+  ds.mode_ = opts.mode;
+  ds.stride_ = PaddedStride(PackedBytes(ds.d_, ds.bits_), opts.padding);
+  ds.residual_stride_ =
+      opts.bits2 > 0 ? PackedBytes(ds.d_, opts.bits2) : 0;
+
+  // Dataset mean (centering, shared with LVQ for a like-for-like ablation).
+  ds.mean_.assign(ds.d_, 0.0f);
+  if (ds.n_ > 0) {
+    std::vector<double> acc(ds.d_, 0.0);
+    for (size_t i = 0; i < ds.n_; ++i) {
+      const float* row = data.row(i);
+      for (size_t j = 0; j < ds.d_; ++j) acc[j] += row[j];
+    }
+    for (size_t j = 0; j < ds.d_; ++j) {
+      ds.mean_[j] = static_cast<float>(acc[j] / static_cast<double>(ds.n_));
+    }
+  }
+
+  // Bounds over centered values: one pair (kGlobal) or d pairs (kPerDimension).
+  const size_t nq = ds.mode_ == GlobalMode::kGlobal ? 1 : ds.d_;
+  std::vector<float> lo(nq, std::numeric_limits<float>::infinity());
+  std::vector<float> hi(nq, -std::numeric_limits<float>::infinity());
+  for (size_t i = 0; i < ds.n_; ++i) {
+    const float* row = data.row(i);
+    for (size_t j = 0; j < ds.d_; ++j) {
+      const float v = row[j] - ds.mean_[j];
+      const size_t q = ds.mode_ == GlobalMode::kGlobal ? 0 : j;
+      lo[q] = std::min(lo[q], v);
+      hi[q] = std::max(hi[q], v);
+    }
+  }
+  ds.quants_.reserve(nq);
+  ds.res_quants_.reserve(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    if (!(hi[q] > lo[q])) {  // degenerate or empty dataset
+      lo[q] = 0.0f;
+      hi[q] = 0.0f;
+    }
+    ds.quants_.emplace_back(ds.bits_, lo[q], hi[q]);
+    if (opts.bits2 > 0) {
+      ds.res_quants_.push_back(
+          ResidualQuantizer(ds.quants_.back().delta(), opts.bits2));
+    }
+  }
+
+  ds.blob_ = Arena(ds.n_ * ds.stride_, opts.use_huge_pages);
+  if (opts.bits2 > 0) {
+    ds.residuals_ = Arena(ds.n_ * ds.residual_stride_, opts.use_huge_pages);
+  }
+
+  auto encode_row = [&](size_t i) {
+    const float* row = data.row(i);
+    uint8_t* out = ds.blob_.data() + i * ds.stride_;
+    uint8_t* rout =
+        opts.bits2 > 0 ? ds.residuals_.data() + i * ds.residual_stride_ : nullptr;
+    for (size_t j = 0; j < ds.d_; ++j) {
+      const ScalarQuantizer& q = ds.quantizer(j);
+      const float v = row[j] - ds.mean_[j];
+      const uint32_t c = q.Encode(v);
+      PackCode(out, j, ds.bits_, c);
+      if (rout != nullptr) {
+        const ScalarQuantizer& rq =
+            ds.mode_ == GlobalMode::kGlobal ? ds.res_quants_[0] : ds.res_quants_[j];
+        PackCode(rout, j, ds.bits2_, rq.Encode(v - q.Decode(c)));
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(ds.n_, encode_row);
+  } else {
+    for (size_t i = 0; i < ds.n_; ++i) encode_row(i);
+  }
+  return ds;
+}
+
+void GlobalDataset::DecodeCentered(size_t i, float* out) const {
+  const uint8_t* cs = codes(i);
+  for (size_t j = 0; j < d_; ++j) {
+    out[j] = quantizer(j).Decode(UnpackCode(cs, j, bits_));
+  }
+}
+
+void GlobalDataset::DecodeCenteredFull(size_t i, float* out) const {
+  DecodeCentered(i, out);
+  if (bits2_ > 0) {
+    const uint8_t* rc = residual_codes(i);
+    for (size_t j = 0; j < d_; ++j) {
+      const ScalarQuantizer& rq =
+          mode_ == GlobalMode::kGlobal ? res_quants_[0] : res_quants_[j];
+      out[j] += rq.Decode(UnpackCode(rc, j, bits2_));
+    }
+  }
+}
+
+void GlobalDataset::Decode(size_t i, float* out) const {
+  DecodeCenteredFull(i, out);
+  for (size_t j = 0; j < d_; ++j) out[j] += mean_[j];
+}
+
+}  // namespace blink

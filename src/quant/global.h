@@ -1,0 +1,106 @@
+// Global and per-dimension scalar quantization — the paper's main ablation
+// baselines against LVQ (Figs. 2, 4, 5, 6, 11, 12).
+//
+// Both center the data with the dataset mean (so the comparison with LVQ
+// isolates the *bounds* choice), then quantize with:
+//   - kGlobal:       one (l, u) pair for the entire dataset, or
+//   - kPerDimension: one (l_j, u_j) pair per dimension.
+// Neither stores per-vector constants, so their footprint is slightly
+// smaller than LVQ's (the paper reports LVQ-8's footprint as ~5% larger
+// than global-8 for deep-96).
+//
+// An optional second level quantizes the residual with the (global or
+// per-dimension) step deduced from the first level, mirroring LVQ-B1xB2
+// ("global-quant-4x4" in Fig. 12).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "quant/packing.h"
+#include "quant/scalar.h"
+#include "util/matrix.h"
+#include "util/memory.h"
+#include "util/thread_pool.h"
+
+namespace blink {
+
+enum class GlobalMode {
+  kGlobal,        ///< single bounds for the whole dataset
+  kPerDimension,  ///< bounds per dimension
+};
+
+class GlobalDataset {
+ public:
+  struct Options {
+    int bits = 8;
+    int bits2 = 0;  ///< 0 = one level; >0 adds a residual level.
+    GlobalMode mode = GlobalMode::kGlobal;
+    size_t padding = 0;  ///< codes-only blobs; 0 = tightly packed.
+    bool use_huge_pages = true;
+  };
+
+  GlobalDataset() = default;
+
+  static GlobalDataset Encode(MatrixViewF data, const Options& opts,
+                              ThreadPool* pool = nullptr);
+
+  size_t size() const { return n_; }
+  size_t dim() const { return d_; }
+  int bits() const { return bits_; }
+  int bits2() const { return bits2_; }
+  GlobalMode mode() const { return mode_; }
+  const std::vector<float>& mean() const { return mean_; }
+
+  /// The per-dimension quantizers (size 1 in kGlobal mode).
+  const std::vector<ScalarQuantizer>& quantizers() const { return quants_; }
+  const ScalarQuantizer& quantizer(size_t j) const {
+    return mode_ == GlobalMode::kGlobal ? quants_[0] : quants_[j];
+  }
+
+  const uint8_t* codes(size_t i) const { return blob_.data() + i * stride_; }
+  uint32_t code(size_t i, size_t j) const { return UnpackCode(codes(i), j, bits_); }
+  const uint8_t* residual_codes(size_t i) const {
+    return residuals_.data() + i * residual_stride_;
+  }
+
+  size_t vector_footprint() const { return stride_ + residual_stride_; }
+  double compression_ratio() const {
+    return static_cast<double>(d_) * 32.0 /
+           (8.0 * static_cast<double>(vector_footprint()));
+  }
+  size_t memory_bytes() const {
+    return n_ * (stride_ + residual_stride_) + quants_.size() * sizeof(ScalarQuantizer);
+  }
+
+  /// Level-1-only reconstruction in centered space.
+  void DecodeCentered(size_t i, float* out) const;
+  /// Full reconstruction (both levels if present) in original space.
+  void Decode(size_t i, float* out) const;
+  /// Full reconstruction in centered space.
+  void DecodeCenteredFull(size_t i, float* out) const;
+
+  void PrefetchVector(size_t i) const {
+    const uint8_t* p = codes(i);
+    for (size_t off = 0; off < stride_; off += 64) {
+      __builtin_prefetch(p + off, 0, 3);
+    }
+  }
+
+ private:
+  size_t n_ = 0;
+  size_t d_ = 0;
+  int bits_ = 8;
+  int bits2_ = 0;
+  GlobalMode mode_ = GlobalMode::kGlobal;
+  size_t stride_ = 0;
+  size_t residual_stride_ = 0;
+  std::vector<float> mean_;
+  std::vector<ScalarQuantizer> quants_;      // level 1
+  std::vector<ScalarQuantizer> res_quants_;  // level 2 (deduced; cached)
+  Arena blob_;
+  Arena residuals_;
+};
+
+}  // namespace blink

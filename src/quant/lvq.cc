@@ -1,0 +1,207 @@
+#include "quant/lvq.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+namespace blink {
+
+namespace {
+
+size_t PaddedStride(size_t raw_bytes, size_t padding) {
+  if (padding == 0) return raw_bytes;
+  return (raw_bytes + padding - 1) / padding * padding;
+}
+
+/// Next representable float16 toward -infinity.
+Float16 NudgeDown(Float16 h) {
+  const uint16_t b = h.bits();
+  if (b == 0x0000) return Float16::FromBits(0x8001);  // +0 -> smallest negative
+  if (b & 0x8000) return Float16::FromBits(static_cast<uint16_t>(b + 1));
+  return Float16::FromBits(static_cast<uint16_t>(b - 1));
+}
+
+/// Next representable float16 toward +infinity.
+Float16 NudgeUp(Float16 h) {
+  const uint16_t b = h.bits();
+  if (b == 0x8000) return Float16::FromBits(0x0001);  // -0 -> smallest positive
+  if (b & 0x8000) return Float16::FromBits(static_cast<uint16_t>(b - 1));
+  return Float16::FromBits(static_cast<uint16_t>(b + 1));
+}
+
+/// Mean of all rows; the "global first moment" LVQ centers with.
+std::vector<float> ComputeMean(MatrixViewF data, ThreadPool* pool) {
+  const size_t n = data.rows, d = data.cols;
+  std::vector<float> mean(d, 0.0f);
+  if (n == 0) return mean;
+  // Accumulate in double to keep precision over large n.
+  std::vector<double> acc(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = data.row(i);
+    for (size_t j = 0; j < d; ++j) acc[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) {
+    mean[j] = static_cast<float>(acc[j] / static_cast<double>(n));
+  }
+  return mean;
+}
+
+}  // namespace
+
+LvqDataset LvqDataset::Encode(MatrixViewF data, const Options& opts,
+                              ThreadPool* pool) {
+  return EncodeWithMean(data, ComputeMean(data, pool), opts, pool);
+}
+
+LvqDataset LvqDataset::EncodeWithMean(MatrixViewF data,
+                                      const std::vector<float>& mean,
+                                      const Options& opts, ThreadPool* pool) {
+  assert(opts.bits >= 1 && opts.bits <= 16);
+  assert(mean.size() == data.cols);
+  LvqDataset ds;
+  ds.n_ = data.rows;
+  ds.d_ = data.cols;
+  ds.bits_ = opts.bits;
+  ds.padding_ = opts.padding;
+  ds.mean_ = mean;
+  const size_t raw = kHeaderBytes + PackedBytes(ds.d_, ds.bits_);
+  ds.stride_ = PaddedStride(raw, opts.padding);
+  ds.blob_ = Arena(ds.n_ * ds.stride_, opts.use_huge_pages);
+
+  auto encode_row = [&](size_t i) {
+    const float* row = data.row(i);
+    uint8_t* out = ds.blob_.data() + i * ds.stride_;
+    // Per-vector bounds over the centered components (Eq. 3).
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -std::numeric_limits<float>::infinity();
+    for (size_t j = 0; j < ds.d_; ++j) {
+      const float v = row[j] - mean[j];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    // Constants are stored in float16 (B_const = 16, Eq. 4); encoding must
+    // use the *stored* (rounded) bounds so codes and decoder agree. Widen
+    // the rounded bounds to cover the true range so the min/max components
+    // stay in range and reconstruct with zero error (paper Fig. 16).
+    Float16 l16(lo), u16(hi);
+    if (static_cast<float>(l16) > lo) l16 = NudgeDown(l16);
+    if (static_cast<float>(u16) < hi) u16 = NudgeUp(u16);
+    std::memcpy(out, &l16, 2);
+    std::memcpy(out + 2, &u16, 2);
+    const ScalarQuantizer q(ds.bits_, l16, u16);
+    uint8_t* codes = out + kHeaderBytes;
+    // Blob arrives zeroed from the Arena; PackCode ORs into it.
+    for (size_t j = 0; j < ds.d_; ++j) {
+      PackCode(codes, j, ds.bits_, q.Encode(row[j] - mean[j]));
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(ds.n_, encode_row);
+  } else {
+    for (size_t i = 0; i < ds.n_; ++i) encode_row(i);
+  }
+  return ds;
+}
+
+LvqDataset LvqDataset::FromRaw(size_t n, size_t d, int bits, size_t padding,
+                               std::vector<float> mean, const uint8_t* blob,
+                               size_t blob_bytes, bool use_huge_pages) {
+  assert(mean.size() == d);
+  LvqDataset ds;
+  ds.n_ = n;
+  ds.d_ = d;
+  ds.bits_ = bits;
+  ds.padding_ = padding;
+  ds.mean_ = std::move(mean);
+  ds.stride_ = PaddedStride(kHeaderBytes + PackedBytes(d, bits), padding);
+  assert(blob_bytes == n * ds.stride_ && "blob size mismatch");
+  ds.blob_ = Arena(blob_bytes, use_huge_pages);
+  if (blob_bytes > 0) std::memcpy(ds.blob_.data(), blob, blob_bytes);
+  return ds;
+}
+
+LvqDataset2 LvqDataset2::FromRaw(LvqDataset level1, int bits2,
+                                 const uint8_t* residuals,
+                                 size_t residual_bytes, bool use_huge_pages) {
+  LvqDataset2 ds;
+  ds.level1_ = std::move(level1);
+  ds.bits2_ = bits2;
+  ds.residual_stride_ = PackedBytes(ds.level1_.dim(), bits2);
+  assert(residual_bytes == ds.level1_.size() * ds.residual_stride_);
+  ds.residuals_ = Arena(residual_bytes, use_huge_pages);
+  if (residual_bytes > 0) {
+    std::memcpy(ds.residuals_.data(), residuals, residual_bytes);
+  }
+  return ds;
+}
+
+void LvqDataset::DecodeCentered(size_t i, float* out) const {
+  const LvqConstants c = constants(i);
+  const uint8_t* cs = codes(i);
+  for (size_t j = 0; j < d_; ++j) {
+    out[j] = c.delta * static_cast<float>(UnpackCode(cs, j, bits_)) + c.lower;
+  }
+}
+
+void LvqDataset::Decode(size_t i, float* out) const {
+  DecodeCentered(i, out);
+  for (size_t j = 0; j < d_; ++j) out[j] += mean_[j];
+}
+
+LvqDataset2 LvqDataset2::Encode(MatrixViewF data, const Options& opts,
+                                ThreadPool* pool) {
+  LvqDataset2 ds;
+  LvqDataset::Options l1opts;
+  l1opts.bits = opts.bits1;
+  l1opts.padding = opts.padding;
+  l1opts.use_huge_pages = opts.use_huge_pages;
+  ds.level1_ = LvqDataset::EncodeWithMean(data, ComputeMean(data, pool),
+                                          l1opts, pool);
+  ds.bits2_ = opts.bits2;
+  const size_t n = ds.level1_.size(), d = ds.level1_.dim();
+  ds.residual_stride_ = PackedBytes(d, opts.bits2);
+  ds.residuals_ = Arena(n * ds.residual_stride_, opts.use_huge_pages);
+
+  const auto& mean = ds.level1_.mean();
+  auto encode_row = [&](size_t i) {
+    const float* row = data.row(i);
+    const LvqConstants c = ds.level1_.constants(i);
+    // Residual quantizer over [-Delta/2, Delta/2) — deduced, not stored.
+    const ScalarQuantizer rq = ResidualQuantizer(c.delta, ds.bits2_);
+    uint8_t* out = ds.residuals_.data() + i * ds.residual_stride_;
+    const uint8_t* l1codes = ds.level1_.codes(i);
+    for (size_t j = 0; j < d; ++j) {
+      const float level1 =
+          c.delta * static_cast<float>(UnpackCode(l1codes, j, ds.level1_.bits())) +
+          c.lower;
+      const float r = (row[j] - mean[j]) - level1;  // r = x - mu - Q(x)
+      PackCode(out, j, ds.bits2_, rq.Encode(r));
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n, encode_row);
+  } else {
+    for (size_t i = 0; i < n; ++i) encode_row(i);
+  }
+  return ds;
+}
+
+void LvqDataset2::DecodeCentered(size_t i, float* out) const {
+  level1_.DecodeCentered(i, out);
+  const LvqConstants c = level1_.constants(i);
+  const ScalarQuantizer rq = ResidualQuantizer(c.delta, bits2_);
+  const uint8_t* rc = residual_codes(i);
+  for (size_t j = 0; j < dim(); ++j) {
+    out[j] += rq.Decode(UnpackCode(rc, j, bits2_));
+  }
+}
+
+void LvqDataset2::Decode(size_t i, float* out) const {
+  DecodeCentered(i, out);
+  const auto& mean = level1_.mean();
+  for (size_t j = 0; j < dim(); ++j) out[j] += mean[j];
+}
+
+}  // namespace blink

@@ -1,0 +1,212 @@
+// Locally-adaptive Vector Quantization (LVQ) — the paper's primary
+// contribution (Sec. 3).
+//
+// LVQ-B (Definition 1): vectors are mean-centered, then each vector is
+// scalar-quantized with *its own* bounds
+//     u = max_j (x_j - mu_j),   l = min_j (x_j - mu_j),
+// so every vector uses the full 2^B code range (paper Fig. 2). The two
+// constants are stored inline with the codes in float16 (B_const = 16).
+//
+// LVQ-B1xB2 (Definition 2): the level-1 quantization residual
+// r = x - mu - Q(x), which is uniform in [-Delta/2, Delta/2), is quantized
+// with B2 bits and no additional constants (Eq. 6). The second level is
+// fetched only for the final re-ranking step (Sec. 3.2).
+//
+// Memory layout per vector (one cache-line-friendly contiguous blob,
+// padded to `padding` bytes, Eq. 4):
+//     [ l : float16 ][ u : float16 ][ codes : ceil(d*B/8) bytes ][ pad ]
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "quant/packing.h"
+#include "quant/scalar.h"
+#include "util/float16.h"
+#include "util/matrix.h"
+#include "util/memory.h"
+#include "util/thread_pool.h"
+
+namespace blink {
+
+/// Per-vector decoding constants: reconstruction is delta * code + lower
+/// (in centered space).
+struct LvqConstants {
+  float delta;
+  float lower;
+};
+
+/// One-level LVQ-B compressed dataset.
+class LvqDataset {
+ public:
+  struct Options {
+    int bits = 8;        ///< B, the per-component code width (1..16).
+    size_t padding = 32; ///< Pad each vector blob to a multiple of this many
+                         ///< bytes (32 = half cache line, as in the paper);
+                         ///< 0 disables padding.
+    bool use_huge_pages = true;
+  };
+
+  LvqDataset() = default;
+
+  /// Compresses `data`, computing the dataset mean internally.
+  static LvqDataset Encode(MatrixViewF data, const Options& opts,
+                           ThreadPool* pool = nullptr);
+
+  /// Compresses `data` against a caller-provided mean. Used when re-encoding
+  /// after a data-distribution shift (Sec. 3.2) and for encoding query-side
+  /// structures consistently with an existing index.
+  static LvqDataset EncodeWithMean(MatrixViewF data,
+                                   const std::vector<float>& mean,
+                                   const Options& opts,
+                                   ThreadPool* pool = nullptr);
+
+  /// Reassembles a dataset from serialized parts (graph/serialize.h).
+  /// `blob_bytes` must equal n * stride for the given (d, bits, padding).
+  static LvqDataset FromRaw(size_t n, size_t d, int bits, size_t padding,
+                            std::vector<float> mean, const uint8_t* blob,
+                            size_t blob_bytes, bool use_huge_pages = true);
+
+  /// Base of the contiguous per-vector blob region (n * stride bytes).
+  const uint8_t* raw_blob() const { return blob_.data(); }
+
+  size_t size() const { return n_; }
+  size_t dim() const { return d_; }
+  int bits() const { return bits_; }
+  size_t padding() const { return padding_; }
+  const std::vector<float>& mean() const { return mean_; }
+
+  /// Bytes occupied by one compressed vector, including inline constants
+  /// and padding (Eq. 4).
+  size_t vector_footprint() const { return stride_; }
+
+  /// Compression ratio vs float32 storage (Eq. 5).
+  double compression_ratio() const {
+    return static_cast<double>(d_) * 32.0 / (8.0 * static_cast<double>(stride_));
+  }
+
+  /// Total bytes of the compressed blob (excluding the d-float mean).
+  size_t memory_bytes() const { return n_ * stride_; }
+
+  /// Start of the i-th vector's blob (constants then codes).
+  const uint8_t* blob(size_t i) const { return blob_.data() + i * stride_; }
+  /// Start of the i-th vector's packed codes.
+  const uint8_t* codes(size_t i) const { return blob(i) + kHeaderBytes; }
+
+  /// Decoded per-vector constants.
+  LvqConstants constants(size_t i) const {
+    const uint8_t* b = blob(i);
+    Float16 l16, u16;
+    __builtin_memcpy(&l16, b, 2);
+    __builtin_memcpy(&u16, b + 2, 2);
+    const float l = l16, u = u16;
+    const float range = u - l;
+    const float delta =
+        range > 0.0f ? range / static_cast<float>(MaxCode(bits_)) : 0.0f;
+    return {delta, l};
+  }
+
+  /// Integer code of component j of vector i.
+  uint32_t code(size_t i, size_t j) const { return UnpackCode(codes(i), j, bits_); }
+
+  /// Reconstructs vector i in centered space: out_j = Delta*c_j + l.
+  void DecodeCentered(size_t i, float* out) const;
+
+  /// Reconstructs vector i in the original space (adds the mean back).
+  void Decode(size_t i, float* out) const;
+
+  /// Prefetches the i-th blob into cache (Sec. 5, "Advanced prefetching").
+  void PrefetchVector(size_t i) const {
+    const uint8_t* p = blob(i);
+    for (size_t off = 0; off < stride_; off += 64) {
+      __builtin_prefetch(p + off, 0, 3);
+    }
+  }
+
+  static constexpr size_t kHeaderBytes = 4;  // l:f16 + u:f16
+
+ private:
+  size_t n_ = 0;
+  size_t d_ = 0;
+  int bits_ = 8;
+  size_t padding_ = 32;
+  size_t stride_ = 0;
+  std::vector<float> mean_;
+  Arena blob_;
+};
+
+/// Two-level LVQ-B1xB2 compressed dataset (Definition 2). The first level
+/// is an LvqDataset; the second level stores only packed residual codes
+/// (the residual quantizer's bounds are deduced from the level-1 constants,
+/// Eq. 6, so no extra constants are stored).
+class LvqDataset2 {
+ public:
+  struct Options {
+    int bits1 = 4;
+    int bits2 = 8;
+    size_t padding = 32;  ///< Padding of the level-1 blobs.
+    bool use_huge_pages = true;
+  };
+
+  LvqDataset2() = default;
+
+  static LvqDataset2 Encode(MatrixViewF data, const Options& opts,
+                            ThreadPool* pool = nullptr);
+
+  /// Reassembles from serialized parts (graph/serialize.h).
+  static LvqDataset2 FromRaw(LvqDataset level1, int bits2,
+                             const uint8_t* residuals, size_t residual_bytes,
+                             bool use_huge_pages = true);
+
+  /// Base of the contiguous residual-code region (n * residual_stride).
+  const uint8_t* raw_residuals() const { return residuals_.data(); }
+  size_t residual_stride() const { return residual_stride_; }
+
+  const LvqDataset& level1() const { return level1_; }
+  size_t size() const { return level1_.size(); }
+  size_t dim() const { return level1_.dim(); }
+  int bits1() const { return level1_.bits(); }
+  int bits2() const { return bits2_; }
+
+  const uint8_t* residual_codes(size_t i) const {
+    return residuals_.data() + i * residual_stride_;
+  }
+  uint32_t residual_code(size_t i, size_t j) const {
+    return UnpackCode(residual_codes(i), j, bits2_);
+  }
+
+  /// Per-vector footprint across both levels (Eq. 7).
+  size_t vector_footprint() const {
+    return level1_.vector_footprint() + residual_stride_;
+  }
+  double compression_ratio() const {
+    return static_cast<double>(dim()) * 32.0 /
+           (8.0 * static_cast<double>(vector_footprint()));
+  }
+  size_t memory_bytes() const {
+    return level1_.memory_bytes() + size() * residual_stride_;
+  }
+
+  /// Full two-level reconstruction in centered space:
+  /// out_j = Delta*c_j + l + (Delta2*c2_j - Delta/2).
+  void DecodeCentered(size_t i, float* out) const;
+
+  /// Full two-level reconstruction in the original space.
+  void Decode(size_t i, float* out) const;
+
+  void PrefetchResidual(size_t i) const {
+    const uint8_t* p = residual_codes(i);
+    for (size_t off = 0; off < residual_stride_; off += 64) {
+      __builtin_prefetch(p + off, 0, 2);
+    }
+  }
+
+ private:
+  LvqDataset level1_;
+  int bits2_ = 8;
+  size_t residual_stride_ = 0;
+  Arena residuals_;
+};
+
+}  // namespace blink

@@ -1,0 +1,80 @@
+// Bit-packing of integer quantization codes.
+//
+// Fast paths exist for the SIMD-kernel layouts the paper uses (B = 8: one
+// byte per code; B = 4: two codes per byte, low nibble first). A generic
+// LSB-first bitstream path supports any B in [1, 16] for the analysis
+// experiments that sweep the bit budget (Figs. 5, 6, 11).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace blink {
+
+/// Bytes needed to store d codes of `bits` bits each (unpadded).
+constexpr size_t PackedBytes(size_t d, int bits) {
+  return (d * static_cast<size_t>(bits) + 7) / 8;
+}
+
+/// Writes code (< 2^bits) at logical index i of an LSB-first bitstream.
+/// The destination buffer must be zero-initialized.
+inline void PackCode(uint8_t* buf, size_t i, int bits, uint32_t code) {
+  assert(bits >= 1 && bits <= 16);
+  assert(code < (1u << bits) || bits == 16);
+  if (bits == 8) {
+    buf[i] = static_cast<uint8_t>(code);
+    return;
+  }
+  if (bits == 16) {
+    buf[2 * i] = static_cast<uint8_t>(code & 0xFF);
+    buf[2 * i + 1] = static_cast<uint8_t>(code >> 8);
+    return;
+  }
+  if (bits == 4) {
+    uint8_t& b = buf[i >> 1];
+    if (i & 1) {
+      b = static_cast<uint8_t>((b & 0x0F) | (code << 4));
+    } else {
+      b = static_cast<uint8_t>((b & 0xF0) | code);
+    }
+    return;
+  }
+  const size_t bit_pos = i * static_cast<size_t>(bits);
+  size_t byte = bit_pos >> 3;
+  int shift = static_cast<int>(bit_pos & 7);
+  uint32_t v = code << shift;
+  int remaining = bits + shift;
+  while (remaining > 0) {
+    buf[byte] = static_cast<uint8_t>(buf[byte] | (v & 0xFF));
+    v >>= 8;
+    remaining -= 8;
+    ++byte;
+  }
+}
+
+/// Reads the code at logical index i of an LSB-first bitstream.
+inline uint32_t UnpackCode(const uint8_t* buf, size_t i, int bits) {
+  assert(bits >= 1 && bits <= 16);
+  if (bits == 8) return buf[i];
+  if (bits == 16) {
+    return static_cast<uint32_t>(buf[2 * i]) |
+           (static_cast<uint32_t>(buf[2 * i + 1]) << 8);
+  }
+  if (bits == 4) {
+    const uint8_t b = buf[i >> 1];
+    return (i & 1) ? (b >> 4) : (b & 0x0F);
+  }
+  const size_t bit_pos = i * static_cast<size_t>(bits);
+  const size_t byte = bit_pos >> 3;
+  const int shift = static_cast<int>(bit_pos & 7);
+  // The code spans at most bits + shift <= 23 bits, i.e. up to 3 bytes.
+  // Only touch bytes the code actually spans so reads stay in bounds.
+  const int spanned = bits + shift;
+  uint32_t v = static_cast<uint32_t>(buf[byte]);
+  if (spanned > 8) v |= static_cast<uint32_t>(buf[byte + 1]) << 8;
+  if (spanned > 16) v |= static_cast<uint32_t>(buf[byte + 2]) << 16;
+  return (v >> shift) & ((1u << bits) - 1u);
+}
+
+}  // namespace blink

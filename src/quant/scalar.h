@@ -1,0 +1,81 @@
+// Uniform scalar quantization (paper Eq. 1).
+//
+//   Q(x; B, l, u) = Delta * floor((x - l)/Delta + 1/2) + l,
+//   Delta = (u - l) / (2^B - 1).
+//
+// This is the primitive underneath every quantizer in the library: LVQ
+// computes (l, u) per vector, global quantization computes them once for
+// the dataset, per-dimension quantization computes them per dimension, and
+// the two-level residual uses it with bounds (-Delta/2, Delta/2).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace blink {
+
+/// Number of quantization levels for a B-bit code: 2^B - 1 steps.
+constexpr uint32_t MaxCode(int bits) {
+  return bits >= 32 ? 0xFFFFFFFFu : ((1u << bits) - 1u);
+}
+
+/// One-dimensional uniform quantizer over [l, u] with B-bit codes.
+/// Encode maps a float to an integer code in [0, 2^B - 1]; Decode maps a
+/// code back to the reconstruction level. Values outside [l, u] clamp to
+/// the edge codes (needed because stored bounds are rounded to float16).
+class ScalarQuantizer {
+ public:
+  ScalarQuantizer() = default;
+  ScalarQuantizer(int bits, float lower, float upper)
+      : bits_(bits), lower_(lower), upper_(upper) {
+    assert(bits >= 1 && bits <= 16);
+    const float range = upper - lower;
+    delta_ = range > 0.0f ? range / static_cast<float>(MaxCode(bits)) : 0.0f;
+    inv_delta_ = delta_ > 0.0f ? 1.0f / delta_ : 0.0f;
+  }
+
+  int bits() const { return bits_; }
+  float lower() const { return lower_; }
+  float upper() const { return upper_; }
+  /// The quantization step Delta from Eq. 1.
+  float delta() const { return delta_; }
+
+  /// Integer code for x, clamped to [0, 2^B - 1].
+  uint32_t Encode(float x) const {
+    if (delta_ == 0.0f) return 0;
+    const float t = (x - lower_) * inv_delta_ + 0.5f;
+    const int32_t c = static_cast<int32_t>(std::floor(t));
+    return static_cast<uint32_t>(
+        std::clamp<int32_t>(c, 0, static_cast<int32_t>(MaxCode(bits_))));
+  }
+
+  /// Reconstruction level of a code.
+  float Decode(uint32_t code) const {
+    assert(code <= MaxCode(bits_));
+    return delta_ * static_cast<float>(code) + lower_;
+  }
+
+  /// Q(x) from Eq. 1: quantize-and-reconstruct in one step.
+  float Quantize(float x) const { return Decode(Encode(x)); }
+
+  /// Worst-case reconstruction error for in-range values: Delta / 2.
+  float max_error() const { return delta_ * 0.5f; }
+
+ private:
+  int bits_ = 8;
+  float lower_ = 0.0f;
+  float upper_ = 0.0f;
+  float delta_ = 0.0f;
+  float inv_delta_ = 0.0f;
+};
+
+/// Quantizer for first-level residuals (paper Eq. 6): the level-1 error is
+/// uniform in [-Delta/2, Delta/2), so the residual quantizer is
+/// Q(x; B2, -Delta/2, Delta/2) with no extra stored constants.
+inline ScalarQuantizer ResidualQuantizer(float level1_delta, int bits2) {
+  return ScalarQuantizer(bits2, -level1_delta * 0.5f, level1_delta * 0.5f);
+}
+
+}  // namespace blink

@@ -1,0 +1,111 @@
+// Similarity-computation kernels (paper Sec. 5, "Efficient similarity
+// calculations using LVQ with AVX").
+//
+// Compressed vectors are stored as densely packed integers with the scaling
+// constants inline; kernels fuse decompression with the distance
+// computation: codes are loaded, widened, converted to float and combined
+// with (delta, lower) via FMA, accumulating partial results in SIMD
+// registers. There are no function calls or materialized decoded vectors
+// on the hot path.
+//
+// All kernels compare a float32 *query* against a stored vector in one of
+// the supported encodings:
+//   float32, float16, U8 codes (LVQ-8 / global-8), U4 packed nibbles
+//   (LVQ-4 / global-4).
+// For quantized encodings the query must already be mean-centered (LVQ
+// compares in centered space; see quant/lvq.h).
+//
+// Distance convention: lower = more similar. L2 kernels return squared
+// Euclidean distance; "IpDist" kernels return the *negated* inner product.
+//
+// Static dimensionality (paper: up to 32% speedup): Get*Fn(d) returns a
+// specialization with a compile-time trip count when d is one of the
+// instantiated dimensions, else the dynamic kernel. Get*FnDynamic() always
+// returns the dynamic kernel (for the Fig. 8 static-vs-dynamic ablation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/float16.h"
+
+namespace blink::simd {
+
+/// Name of the SIMD backend compiled in ("avx512", "avx2", "scalar").
+const char* BackendName();
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations (ground truth for tests; also the
+// fallback backend).
+// ---------------------------------------------------------------------------
+namespace ref {
+float L2Sqr(const float* a, const float* b, size_t d);
+float IpDist(const float* a, const float* b, size_t d);
+float L2SqrF16(const float* q, const Float16* v, size_t d);
+float IpDistF16(const float* q, const Float16* v, size_t d);
+/// Codes decode as delta * c_j + lower.
+float L2SqrU8(const float* q, const uint8_t* codes, float delta, float lower,
+              size_t d);
+float IpDistU8(const float* q, const uint8_t* codes, float delta, float lower,
+               size_t d);
+float L2SqrU4(const float* q, const uint8_t* codes, float delta, float lower,
+              size_t d);
+float IpDistU4(const float* q, const uint8_t* codes, float delta, float lower,
+               size_t d);
+}  // namespace ref
+
+// ---------------------------------------------------------------------------
+// Optimized kernels (backend chosen at compile time).
+// ---------------------------------------------------------------------------
+float L2Sqr(const float* a, const float* b, size_t d);
+float IpDist(const float* a, const float* b, size_t d);
+float L2SqrF16(const float* q, const Float16* v, size_t d);
+float IpDistF16(const float* q, const Float16* v, size_t d);
+float L2SqrU8(const float* q, const uint8_t* codes, float delta, float lower,
+              size_t d);
+float IpDistU8(const float* q, const uint8_t* codes, float delta, float lower,
+               size_t d);
+float L2SqrU4(const float* q, const uint8_t* codes, float delta, float lower,
+              size_t d);
+float IpDistU4(const float* q, const uint8_t* codes, float delta, float lower,
+               size_t d);
+
+/// Non-fused U8 L2 for the fusion ablation (DESIGN.md D3): decodes into
+/// `scratch` (>= d floats), then calls the float32 kernel.
+float L2SqrU8Unfused(const float* q, const uint8_t* codes, float delta,
+                     float lower, size_t d, float* scratch);
+
+// ---------------------------------------------------------------------------
+// Function-pointer dispatch with optional static dimensionality.
+// ---------------------------------------------------------------------------
+using DistF32Fn = float (*)(const float*, const float*, size_t);
+using DistF16Fn = float (*)(const float*, const Float16*, size_t);
+using DistU8Fn = float (*)(const float*, const uint8_t*, float, float, size_t);
+using DistU4Fn = float (*)(const float*, const uint8_t*, float, float, size_t);
+
+DistF32Fn GetL2F32(size_t d);
+DistF32Fn GetIpF32(size_t d);
+DistF16Fn GetL2F16(size_t d);
+DistF16Fn GetIpF16(size_t d);
+DistU8Fn GetL2U8(size_t d);
+DistU8Fn GetIpU8(size_t d);
+DistU4Fn GetL2U4(size_t d);
+DistU4Fn GetIpU4(size_t d);
+
+DistF32Fn GetL2F32Dynamic();
+DistU8Fn GetL2U8Dynamic();
+DistU4Fn GetL2U4Dynamic();
+DistF16Fn GetL2F16Dynamic();
+
+/// True if `d` has a compile-time specialization.
+bool HasStaticDim(size_t d);
+
+/// Prefetches `bytes` starting at `p` into L1/L2 (one request per line).
+inline void PrefetchBytes(const void* p, size_t bytes) {
+  const char* c = static_cast<const char*>(p);
+  for (size_t off = 0; off < bytes; off += 64) {
+    __builtin_prefetch(c + off, 0, 3);
+  }
+}
+
+}  // namespace blink::simd

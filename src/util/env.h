@@ -1,0 +1,51 @@
+// Environment-variable knobs shared by the benchmark harnesses.
+//
+// BLINK_SCALE   multiplies the default dataset sizes in bench/ (default 1.0).
+//               The paper runs up to 10^9 vectors on a 40-core 1TB server;
+//               this reproduction defaults to sizes that complete on a small
+//               VM and scales up with this knob.
+// BLINK_THREADS overrides the number of worker threads (default: hardware).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace blink {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double x = std::strtod(v, &end);
+  return (end == v) ? fallback : x;
+}
+
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long x = std::strtoll(v, &end, 10);
+  return (end == v) ? fallback : static_cast<int64_t>(x);
+}
+
+/// Global size multiplier for benchmark datasets.
+inline double BenchScale() { return EnvDouble("BLINK_SCALE", 1.0); }
+
+/// Scales a default point count by BLINK_SCALE, with a floor to keep the
+/// experiments meaningful.
+inline size_t ScaledN(size_t base, size_t floor_n = 1000) {
+  double n = static_cast<double>(base) * BenchScale();
+  size_t r = static_cast<size_t>(n);
+  return r < floor_n ? floor_n : r;
+}
+
+/// Worker-thread count for batch search and build.
+inline size_t NumThreads() {
+  int64_t t = EnvInt("BLINK_THREADS", 0);
+  if (t > 0) return static_cast<size_t>(t);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace blink

@@ -1,0 +1,111 @@
+// IEEE 754 binary16 (half-precision) storage type.
+//
+// The paper uses float16 both as a strong baseline encoding (Figs. 7, 8,
+// Table 4) and to store the per-vector LVQ scaling constants u and l
+// (B_const = 16 in Eq. 4). Arithmetic is always done in float32; float16 is
+// a storage/bandwidth format only, exactly as in the paper.
+//
+// Conversion uses the F16C intrinsics when compiled for a CPU that has them
+// (every AVX2 machine) and a bit-exact scalar fallback otherwise.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(__F16C__)
+#include <immintrin.h>
+#endif
+
+namespace blink {
+
+namespace detail {
+
+inline uint16_t F32ToF16Bits(float f) {
+#if defined(__F16C__)
+  return static_cast<uint16_t>(
+      _cvtss_sh(f, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+#else
+  // Scalar round-to-nearest-even conversion.
+  uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  uint32_t mant = x & 0x007FFFFFu;
+  int32_t exp = static_cast<int32_t>((x >> 23) & 0xFF) - 127 + 15;
+  if (exp >= 31) {  // overflow -> inf; NaN keeps a mantissa bit
+    if (((x >> 23) & 0xFF) == 0xFF && mant != 0) return sign | 0x7E00u;
+    return sign | 0x7C00u;
+  }
+  if (exp <= 0) {  // subnormal or zero
+    if (exp < -10) return sign;
+    mant |= 0x00800000u;
+    const int shift = 14 - exp;
+    uint32_t half = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half & 1))) ++half;
+    return sign | static_cast<uint16_t>(half);
+  }
+  uint32_t half = (static_cast<uint32_t>(exp) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1))) ++half;
+  return sign | static_cast<uint16_t>(half);
+#endif
+}
+
+inline float F16BitsToF32(uint16_t h) {
+#if defined(__F16C__)
+  return _cvtsh_ss(h);
+#else
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1F;
+  uint32_t mant = h & 0x3FFu;
+  uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;
+    } else {  // subnormal: normalize
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while ((mant & 0x400u) == 0);
+      out = sign | ((127 - 15 - e) << 23) | ((mant & 0x3FFu) << 13);
+    }
+  } else if (exp == 31) {
+    out = sign | 0x7F800000u | (mant << 13);
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &out, sizeof(f));
+  return f;
+#endif
+}
+
+}  // namespace detail
+
+/// Half-precision storage type. Implicitly converts to/from float; all
+/// arithmetic happens in float32.
+class Float16 {
+ public:
+  Float16() = default;
+  Float16(float f) : bits_(detail::F32ToF16Bits(f)) {}  // NOLINT implicit
+
+  operator float() const { return detail::F16BitsToF32(bits_); }  // NOLINT
+
+  static Float16 FromBits(uint16_t bits) {
+    Float16 h;
+    h.bits_ = bits;
+    return h;
+  }
+  uint16_t bits() const { return bits_; }
+
+  bool operator==(const Float16& o) const { return bits_ == o.bits_; }
+
+ private:
+  uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Float16) == 2, "Float16 must be 2 bytes");
+
+}  // namespace blink

@@ -1,0 +1,38 @@
+// Vector dataset IO.
+//
+// Supports the TEXMEX interchange formats used by every public ANN dataset
+// the paper evaluates (fvecs/ivecs: per-row int32 dimension header followed
+// by the row payload) and a simpler native format (single header, then a
+// dense row-major block) for fast reload of generated datasets and ground
+// truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace blink {
+
+/// Reads a .fvecs file (int32 d, d floats, repeated).
+Result<MatrixF> ReadFvecs(const std::string& path);
+
+/// Reads a .ivecs file (int32 d, d int32s, repeated).
+Result<Matrix<int32_t>> ReadIvecs(const std::string& path);
+
+/// Writes a matrix in fvecs format.
+Status WriteFvecs(const std::string& path, const MatrixF& m);
+
+/// Writes a matrix in ivecs format.
+Status WriteIvecs(const std::string& path, const Matrix<int32_t>& m);
+
+/// Native binary: magic "BLNK", u32 version, u64 rows, u64 cols, u32 dtype,
+/// then rows*cols elements row-major. dtype: 0=f32, 1=i32, 2=u32.
+Status WriteNative(const std::string& path, const MatrixF& m);
+Status WriteNative(const std::string& path, const Matrix<uint32_t>& m);
+Result<MatrixF> ReadNativeF32(const std::string& path);
+Result<Matrix<uint32_t>> ReadNativeU32(const std::string& path);
+
+}  // namespace blink

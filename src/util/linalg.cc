@@ -1,0 +1,137 @@
+#include "util/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace blink {
+
+SvdResult JacobiSvd(const MatrixF& a, size_t max_sweeps, double tol) {
+  const size_t n = a.rows();
+  assert(a.cols() == n && "JacobiSvd expects a square matrix");
+
+  // Work in double for stability; W starts as A, V as I. Right-rotations
+  // orthogonalize W's columns: A V = W  =>  A = W V^T = U diag(s) V^T.
+  std::vector<double> w(n * n), v(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) w[i * n + j] = a(i, j);
+    v[i * n + i] = 1.0;
+  }
+
+  auto col_dot = [&](const std::vector<double>& m, size_t p, size_t q) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) acc += m[i * n + p] * m[i * n + q];
+    return acc;
+  };
+  auto rotate_cols = [&](std::vector<double>& m, size_t p, size_t q, double c,
+                         double s) {
+    for (size_t i = 0; i < n; ++i) {
+      const double mp = m[i * n + p], mq = m[i * n + q];
+      m[i * n + p] = c * mp - s * mq;
+      m[i * n + q] = s * mp + c * mq;
+    }
+  };
+
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double app = col_dot(w, p, p);
+        const double aqq = col_dot(w, q, q);
+        const double apq = col_dot(w, p, q);
+        if (std::fabs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        off += std::fabs(apq);
+        // Jacobi rotation zeroing the (p, q) inner product.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        rotate_cols(w, p, q, c, s);
+        rotate_cols(v, p, q, c, s);
+      }
+    }
+    if (off == 0.0) break;
+  }
+
+  SvdResult r;
+  r.u = MatrixF(n, n);
+  r.v = MatrixF(n, n);
+  r.s.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    double norm2 = 0.0;
+    for (size_t i = 0; i < n; ++i) norm2 += w[i * n + j] * w[i * n + j];
+    const double norm = std::sqrt(norm2);
+    r.s[j] = static_cast<float>(norm);
+    const double inv = norm > 0.0 ? 1.0 / norm : 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      r.u(i, j) = static_cast<float>(w[i * n + j] * inv);
+      r.v(i, j) = static_cast<float>(v[i * n + j]);
+    }
+  }
+  // Zero singular values leave a zero column in U; re-orthogonalize it is
+  // unnecessary for Procrustes (the product U V^T stays orthogonal enough
+  // for full-rank Gram inputs, which is our use case).
+  return r;
+}
+
+MatrixF GramProduct(MatrixViewF a, MatrixViewF b) {
+  assert(a.rows == b.rows);
+  const size_t n = a.rows, da = a.cols, db = b.cols;
+  MatrixF out(da, db);
+  std::vector<double> acc(da * db, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* ra = a.row(i);
+    const float* rb = b.row(i);
+    for (size_t p = 0; p < da; ++p) {
+      const double ap = ra[p];
+      double* dst = &acc[p * db];
+      for (size_t q = 0; q < db; ++q) dst[q] += ap * rb[q];
+    }
+  }
+  for (size_t p = 0; p < da; ++p) {
+    for (size_t q = 0; q < db; ++q) {
+      out(p, q) = static_cast<float>(acc[p * db + q]);
+    }
+  }
+  return out;
+}
+
+void RowTimesMatrix(const float* x, const MatrixF& m, float* y) {
+  const size_t rows = m.rows(), cols = m.cols();
+  for (size_t j = 0; j < cols; ++j) y[j] = 0.0f;
+  for (size_t i = 0; i < rows; ++i) {
+    const float xi = x[i];
+    const float* row = m.row(i);
+    for (size_t j = 0; j < cols; ++j) y[j] += xi * row[j];
+  }
+}
+
+void RowTimesMatrixT(const float* x, const MatrixF& m, float* y) {
+  const size_t rows = m.rows(), cols = m.cols();
+  for (size_t i = 0; i < rows; ++i) {
+    const float* row = m.row(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols; ++j) acc += static_cast<double>(x[j]) * row[j];
+    y[i] = static_cast<float>(acc);
+  }
+}
+
+double OrthogonalityDefect(const MatrixF& a) {
+  const size_t n = a.rows();
+  double worst = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        dot += static_cast<double>(a(i, k)) * a(j, k);
+      }
+      const double target = i == j ? 1.0 : 0.0;
+      worst = std::max(worst, std::fabs(dot - target));
+    }
+  }
+  return worst;
+}
+
+}  // namespace blink

@@ -1,0 +1,36 @@
+// Small dense linear algebra: just enough for OPQ's orthogonal Procrustes
+// step (SVD of a d x d matrix via one-sided Jacobi).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace blink {
+
+/// Thin SVD of a square matrix A (n x n, row-major): A = U * diag(s) * V^T.
+/// One-sided Jacobi: numerically robust for the moderate d (<= ~1000) used
+/// here. U and V are orthogonal; s is non-negative, unsorted.
+struct SvdResult {
+  MatrixF u;             // n x n
+  std::vector<float> s;  // n
+  MatrixF v;             // n x n
+};
+
+SvdResult JacobiSvd(const MatrixF& a, size_t max_sweeps = 30,
+                    double tol = 1e-10);
+
+/// C = A^T * B for row-major (n x d) matrices: result is d x d.
+MatrixF GramProduct(MatrixViewF a, MatrixViewF b);
+
+/// y = x * M (row vector times matrix), M is (d x d) row-major.
+void RowTimesMatrix(const float* x, const MatrixF& m, float* y);
+
+/// y = x * M^T.
+void RowTimesMatrixT(const float* x, const MatrixF& m, float* y);
+
+/// ||A * A^T - I||_max: orthogonality defect, for tests.
+double OrthogonalityDefect(const MatrixF& a);
+
+}  // namespace blink

@@ -1,0 +1,131 @@
+#include "util/memory.h"
+
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace blink {
+
+namespace {
+constexpr size_t kHugePageSize = 2ull << 20;  // 2 MiB
+
+size_t RoundUp(size_t x, size_t to) { return (x + to - 1) / to * to; }
+}  // namespace
+
+const char* PageBackingName(PageBacking b) {
+  switch (b) {
+    case PageBacking::kExplicitHuge: return "explicit-huge(2MiB)";
+    case PageBacking::kTransparentHuge: return "transparent-huge";
+    case PageBacking::kStandard: return "standard(4KiB)";
+  }
+  return "?";
+}
+
+Arena::Arena(size_t bytes, bool want_huge_pages) {
+  if (bytes == 0) return;
+  bytes_ = bytes;
+
+  if (want_huge_pages) {
+    // Tier 1: explicit huge pages. Requires preallocated hugetlbfs pool
+    // (e.g. via hugeadm, as in the paper's setup); commonly absent on VMs.
+    const size_t rounded = RoundUp(bytes, kHugePageSize);
+    void* p = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    if (p != MAP_FAILED) {
+      ptr_ = p;
+      mapped_bytes_ = rounded;
+      backing_ = PageBacking::kExplicitHuge;
+      return;
+    }
+    // Tier 2: transparent huge pages via madvise on a 2MiB-aligned mapping.
+    p = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+             MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+#ifdef MADV_HUGEPAGE
+      if (madvise(p, rounded, MADV_HUGEPAGE) == 0) {
+        backing_ = PageBacking::kTransparentHuge;
+      } else {
+        backing_ = PageBacking::kStandard;
+      }
+#else
+      backing_ = PageBacking::kStandard;
+#endif
+      ptr_ = p;
+      mapped_bytes_ = rounded;
+      return;
+    }
+  }
+  // Tier 3: plain aligned allocation (zeroed to match mmap semantics).
+  ptr_ = AlignedAlloc(bytes, 64);
+  std::memset(ptr_, 0, bytes);
+  mapped_bytes_ = 0;
+  backing_ = PageBacking::kStandard;
+}
+
+Arena::~Arena() { Release(); }
+
+Arena::Arena(Arena&& o) noexcept
+    : ptr_(std::exchange(o.ptr_, nullptr)),
+      bytes_(std::exchange(o.bytes_, 0)),
+      mapped_bytes_(std::exchange(o.mapped_bytes_, 0)),
+      backing_(o.backing_) {}
+
+Arena& Arena::operator=(Arena&& o) noexcept {
+  if (this != &o) {
+    Release();
+    ptr_ = std::exchange(o.ptr_, nullptr);
+    bytes_ = std::exchange(o.bytes_, 0);
+    mapped_bytes_ = std::exchange(o.mapped_bytes_, 0);
+    backing_ = o.backing_;
+  }
+  return *this;
+}
+
+void Arena::Release() {
+  if (ptr_ == nullptr) return;
+  if (mapped_bytes_ > 0) {
+    munmap(ptr_, mapped_bytes_);
+  } else {
+    AlignedFree(ptr_);
+  }
+  ptr_ = nullptr;
+  bytes_ = 0;
+  mapped_bytes_ = 0;
+}
+
+void* AlignedAlloc(size_t bytes, size_t alignment) {
+  assert((alignment & (alignment - 1)) == 0 && "alignment must be power of 2");
+  if (bytes == 0) bytes = alignment;
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, RoundUp(bytes, alignment)) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+void AlignedFree(void* p) { std::free(p); }
+
+size_t PeakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<size_t>(ru.ru_maxrss) * 1024;  // ru_maxrss is KiB on Linux
+}
+
+size_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long pages_total = 0, pages_resident = 0;
+  const int got = std::fscanf(f, "%ld %ld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<size_t>(pages_resident) *
+         static_cast<size_t>(sysconf(_SC_PAGESIZE));
+}
+
+}  // namespace blink

@@ -1,0 +1,81 @@
+// Aligned and huge-page-backed memory allocation (paper Sec. 5, "Memory
+// layout and allocation").
+//
+// Graph-based search makes essentially random accesses across the whole
+// index, so with 4 KiB pages a TLB miss per vector access is nearly certain
+// at scale. The paper's implementation allocates the graph and the vectors
+// in large contiguous blocks backed by explicit huge pages. We implement:
+//   1. mmap with MAP_HUGETLB (explicit 2 MiB pages), falling back to
+//   2. mmap + madvise(MADV_HUGEPAGE) (transparent huge pages), falling back
+//   3. plain aligned allocation,
+// and record which tier was obtained so the Fig. 7(b) harness can report it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace blink {
+
+enum class PageBacking {
+  kExplicitHuge,     // MAP_HUGETLB succeeded
+  kTransparentHuge,  // madvise(MADV_HUGEPAGE) applied
+  kStandard,         // regular 4 KiB pages
+};
+
+const char* PageBackingName(PageBacking b);
+
+/// A large contiguous allocation, optionally backed by huge pages.
+/// Move-only; unmaps/frees on destruction.
+class Arena {
+ public:
+  Arena() = default;
+  /// Allocates `bytes` of zeroed memory, aligned to at least 64 bytes.
+  /// If `want_huge_pages`, tries explicit then transparent huge pages.
+  explicit Arena(size_t bytes, bool want_huge_pages = true);
+  ~Arena();
+
+  Arena(Arena&& o) noexcept;
+  Arena& operator=(Arena&& o) noexcept;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  uint8_t* data() { return static_cast<uint8_t*>(ptr_); }
+  const uint8_t* data() const { return static_cast<const uint8_t*>(ptr_); }
+  size_t size() const { return bytes_; }
+  PageBacking backing() const { return backing_; }
+  bool empty() const { return ptr_ == nullptr; }
+
+ private:
+  void Release();
+
+  void* ptr_ = nullptr;
+  size_t bytes_ = 0;
+  size_t mapped_bytes_ = 0;  // rounded-up size actually mmapped (0 => malloc'd)
+  PageBacking backing_ = PageBacking::kStandard;
+};
+
+/// Aligned heap allocation helpers for smaller structures.
+void* AlignedAlloc(size_t bytes, size_t alignment = 64);
+void AlignedFree(void* p);
+
+struct AlignedDeleter {
+  void operator()(void* p) const { AlignedFree(p); }
+};
+
+template <typename T>
+using AlignedPtr = std::unique_ptr<T[], AlignedDeleter>;
+
+template <typename T>
+AlignedPtr<T> MakeAligned(size_t count, size_t alignment = 64) {
+  return AlignedPtr<T>(static_cast<T*>(AlignedAlloc(count * sizeof(T), alignment)));
+}
+
+/// Maximum resident set size of this process in bytes (from getrusage).
+/// Used by the footprint experiments (Fig. 1, Fig. 21, Table 1).
+size_t PeakRssBytes();
+
+/// Current resident set size in bytes (from /proc/self/statm).
+size_t CurrentRssBytes();
+
+}  // namespace blink

@@ -1,0 +1,107 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components of the library (dataset synthesis, k-means
+// seeding, graph entry point selection) take an explicit seed so that every
+// experiment in bench/ is exactly reproducible run-to-run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace blink {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Satisfies UniformRandomBitGenerator so it plugs into <random> if needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding avoids correlated low-entropy states.
+    uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float UniformFloat() {
+    return static_cast<float>((*this)() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform float in [lo, hi).
+  float Uniform(float lo, float hi) { return lo + (hi - lo) * UniformFloat(); }
+
+  /// Uniform integer in [0, n). Unbiased via rejection (Lemire).
+  uint64_t Bounded(uint64_t n) {
+    if (n == 0) return 0;
+    uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  float Gaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    float u1, u2;
+    do {
+      u1 = UniformFloat();
+    } while (u1 <= 1e-12f);
+    u2 = UniformFloat();
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 6.28318530717958647692f * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  float Gaussian(float mean, float stddev) { return mean + stddev * Gaussian(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  float cached_ = 0.0f;
+  bool has_cached_ = false;
+};
+
+}  // namespace blink

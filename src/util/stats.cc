@@ -1,0 +1,89 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace blink {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(values.begin(), values.end());
+  const double idx = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::Add(double x) {
+  const size_t nbins = counts_.size();
+  double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(nbins);
+  long idx = static_cast<long>(std::floor(t));
+  idx = std::clamp<long>(idx, 0, static_cast<long>(nbins) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_center(size_t i) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+double Histogram::density(size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+double Histogram::RangeUtilization(double min_frac) const {
+  if (total_ == 0) return 0.0;
+  size_t used = 0;
+  for (size_t c : counts_) {
+    if (static_cast<double>(c) / static_cast<double>(total_) >= min_frac) ++used;
+  }
+  return static_cast<double>(used) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ToAscii(size_t width) const {
+  std::ostringstream os;
+  size_t max_count = 1;
+  for (size_t c : counts_) max_count = std::max(max_count, c);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const size_t bar = counts_[i] * width / max_count;
+    os.setf(std::ios::fixed);
+    os.precision(4);
+    os << bin_center(i) << " | ";
+    for (size_t j = 0; j < bar; ++j) os << '#';
+    os << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace blink

@@ -1,0 +1,57 @@
+// Small statistics helpers for the experiment harnesses: running moments,
+// percentiles, and fixed-width histograms (used to reproduce the
+// distribution figures: Figs. 2, 3, 14, 16).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace blink {
+
+/// Streaming mean/variance (Welford) with min/max tracking.
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation); p in [0, 100].
+double Percentile(std::vector<double> values, double p);
+
+/// Fixed-bin histogram over [lo, hi]; out-of-range samples clamp to the
+/// edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+  void Add(double x);
+  size_t count() const { return total_; }
+  const std::vector<size_t>& bins() const { return counts_; }
+  double bin_center(size_t i) const;
+  /// Fraction of samples in bin i.
+  double density(size_t i) const;
+  /// Fraction of the [lo,hi] range covered by bins holding >= `min_frac` of
+  /// the total mass. This is the "range utilization" statistic behind
+  /// Fig. 2: LVQ-normalized values should cover ~100% of the range.
+  double RangeUtilization(double min_frac = 1e-4) const;
+  std::string ToAscii(size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace blink

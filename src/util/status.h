@@ -1,0 +1,121 @@
+// Lightweight Status / Result<T> error handling, RocksDB-style.
+//
+// Fallible operations (IO, configuration validation) return Status or
+// Result<T>. Hot paths never allocate a Status; internal invariants use
+// assert() instead.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace blink {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+  kUnsupported,
+};
+
+/// Outcome of a fallible operation. Cheap to return by value; the message
+/// is only allocated on error.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kIOError: name = "IOError"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kOutOfRange: name = "OutOfRange"; break;
+      case StatusCode::kInternal: name = "Internal"; break;
+      case StatusCode::kUnsupported: name = "Unsupported"; break;
+    }
+    return std::string(name) + ": " + msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Access to value() on an
+/// error is a programming bug and asserts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}           // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {     // NOLINT implicit
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(v_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(v_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define BLINK_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::blink::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace blink

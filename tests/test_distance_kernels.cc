@@ -1,0 +1,161 @@
+// Unit tests for the SIMD distance kernels: every optimized kernel must
+// agree with the scalar reference across dimensions (including every tail
+// length), encodings, and static/dynamic dispatch.
+#include "simd/distance.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "quant/packing.h"
+#include "util/prng.h"
+
+namespace blink::simd {
+namespace {
+
+std::vector<float> RandomVec(size_t d, Rng& rng, float lo = -2.0f,
+                             float hi = 2.0f) {
+  std::vector<float> v(d);
+  for (auto& x : v) x = rng.Uniform(lo, hi);
+  return v;
+}
+
+// Relative tolerance: SIMD reassociation changes rounding, not math.
+void ExpectClose(float a, float b, float scale) {
+  EXPECT_NEAR(a, b, 1e-4f * std::max(1.0f, std::fabs(scale)));
+}
+
+class KernelDims : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KernelDims, L2MatchesReference) {
+  const size_t d = GetParam();
+  Rng rng(d);
+  const auto a = RandomVec(d, rng), b = RandomVec(d, rng);
+  ExpectClose(L2Sqr(a.data(), b.data(), d), ref::L2Sqr(a.data(), b.data(), d),
+              ref::L2Sqr(a.data(), b.data(), d));
+}
+
+TEST_P(KernelDims, IpMatchesReference) {
+  const size_t d = GetParam();
+  Rng rng(d + 1);
+  const auto a = RandomVec(d, rng), b = RandomVec(d, rng);
+  ExpectClose(IpDist(a.data(), b.data(), d), ref::IpDist(a.data(), b.data(), d),
+              static_cast<float>(d));
+}
+
+TEST_P(KernelDims, F16MatchesReference) {
+  const size_t d = GetParam();
+  Rng rng(d + 2);
+  const auto q = RandomVec(d, rng);
+  std::vector<Float16> v(d);
+  for (size_t j = 0; j < d; ++j) v[j] = Float16(rng.Uniform(-2.0f, 2.0f));
+  ExpectClose(L2SqrF16(q.data(), v.data(), d),
+              ref::L2SqrF16(q.data(), v.data(), d), static_cast<float>(d));
+  ExpectClose(IpDistF16(q.data(), v.data(), d),
+              ref::IpDistF16(q.data(), v.data(), d), static_cast<float>(d));
+}
+
+TEST_P(KernelDims, U8MatchesReferenceAndDecodedF32) {
+  const size_t d = GetParam();
+  Rng rng(d + 3);
+  const auto q = RandomVec(d, rng);
+  std::vector<uint8_t> codes(d);
+  for (auto& c : codes) c = static_cast<uint8_t>(rng.Bounded(256));
+  const float delta = 0.0123f, lower = -1.1f;
+
+  const float got_l2 = L2SqrU8(q.data(), codes.data(), delta, lower, d);
+  const float want_l2 = ref::L2SqrU8(q.data(), codes.data(), delta, lower, d);
+  ExpectClose(got_l2, want_l2, want_l2);
+
+  // The fused kernel equals decode-then-float32-distance.
+  std::vector<float> dec(d);
+  for (size_t j = 0; j < d; ++j) dec[j] = delta * codes[j] + lower;
+  ExpectClose(got_l2, ref::L2Sqr(q.data(), dec.data(), d), want_l2);
+
+  ExpectClose(IpDistU8(q.data(), codes.data(), delta, lower, d),
+              ref::IpDistU8(q.data(), codes.data(), delta, lower, d),
+              static_cast<float>(d));
+}
+
+TEST_P(KernelDims, U4MatchesReference) {
+  const size_t d = GetParam();
+  Rng rng(d + 4);
+  const auto q = RandomVec(d, rng);
+  std::vector<uint8_t> codes(PackedBytes(d, 4) + 8, 0);  // slack for SIMD loads
+  for (size_t j = 0; j < d; ++j) {
+    PackCode(codes.data(), j, 4, static_cast<uint32_t>(rng.Bounded(16)));
+  }
+  const float delta = 0.21f, lower = -1.6f;
+  const float want = ref::L2SqrU4(q.data(), codes.data(), delta, lower, d);
+  ExpectClose(L2SqrU4(q.data(), codes.data(), delta, lower, d), want, want);
+  ExpectClose(IpDistU4(q.data(), codes.data(), delta, lower, d),
+              ref::IpDistU4(q.data(), codes.data(), delta, lower, d),
+              static_cast<float>(d));
+}
+
+TEST_P(KernelDims, StaticAndDynamicDispatchAgree) {
+  const size_t d = GetParam();
+  Rng rng(d + 5);
+  const auto a = RandomVec(d, rng), b = RandomVec(d, rng);
+  const float dyn = GetL2F32Dynamic()(a.data(), b.data(), d);
+  const float sta = GetL2F32(d)(a.data(), b.data(), d);
+  EXPECT_FLOAT_EQ(dyn, sta);
+}
+
+// Every tail phase 1..33 plus the paper's dataset dimensionalities.
+INSTANTIATE_TEST_SUITE_P(
+    TailPhasesAndPaperDims, KernelDims,
+    ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16,
+                      17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30,
+                      31, 32, 33, 50, 96, 128, 200, 256, 768, 960));
+
+TEST(Kernels, ZeroDistanceForIdenticalVectors) {
+  Rng rng(77);
+  const auto a = RandomVec(96, rng);
+  EXPECT_FLOAT_EQ(L2Sqr(a.data(), a.data(), 96), 0.0f);
+}
+
+TEST(Kernels, L2IsSymmetric) {
+  Rng rng(78);
+  const auto a = RandomVec(100, rng), b = RandomVec(100, rng);
+  EXPECT_FLOAT_EQ(L2Sqr(a.data(), b.data(), 100), L2Sqr(b.data(), a.data(), 100));
+}
+
+TEST(Kernels, IpDistIsNegatedDotProduct) {
+  std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  std::vector<float> b = {4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(IpDist(a.data(), b.data(), 3), -(4.0f - 10.0f + 18.0f));
+}
+
+TEST(Kernels, UnfusedU8MatchesFused) {
+  Rng rng(79);
+  const size_t d = 96;
+  const auto q = RandomVec(d, rng);
+  std::vector<uint8_t> codes(d);
+  for (auto& c : codes) c = static_cast<uint8_t>(rng.Bounded(256));
+  std::vector<float> scratch(d);
+  const float fused = L2SqrU8(q.data(), codes.data(), 0.01f, -0.5f, d);
+  const float unfused =
+      L2SqrU8Unfused(q.data(), codes.data(), 0.01f, -0.5f, d, scratch.data());
+  EXPECT_NEAR(fused, unfused, 1e-4f * std::max(1.0f, fused));
+}
+
+TEST(Kernels, HasStaticDimForPaperDatasets) {
+  for (size_t d : {25u, 50u, 96u, 128u, 200u, 768u, 960u}) {
+    EXPECT_TRUE(HasStaticDim(d)) << d;
+  }
+  EXPECT_FALSE(HasStaticDim(97));
+}
+
+TEST(Kernels, BackendNameIsKnown) {
+  const std::string name = BackendName();
+  EXPECT_TRUE(name == "avx512" || name == "avx2" || name == "scalar") << name;
+}
+
+TEST(Kernels, PrefetchBytesDoesNotCrash) {
+  std::vector<uint8_t> buf(4096);
+  PrefetchBytes(buf.data(), buf.size());
+}
+
+}  // namespace
+}  // namespace blink::simd

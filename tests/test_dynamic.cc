@@ -1,0 +1,194 @@
+// Unit tests for the dynamic index (insert / delete / consolidate).
+#include "graph/dynamic.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "data/groundtruth.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "util/prng.h"
+
+namespace blink {
+namespace {
+
+DynamicIndex::Options SmallOpts(Metric m = Metric::kL2) {
+  DynamicIndex::Options o;
+  o.graph_max_degree = 16;
+  o.build_window = 48;
+  o.metric = m;
+  o.alpha = m == Metric::kL2 ? 1.2f : 0.95f;
+  return o;
+}
+
+/// Recall of the dynamic index against brute force over its live vectors.
+double LiveRecall(const DynamicIndex& idx, MatrixViewF queries, size_t k,
+                  uint32_t window) {
+  // Brute-force ground truth over the live set.
+  double total = 0.0;
+  SearchResult res;
+  for (size_t qi = 0; qi < queries.rows; ++qi) {
+    const float* q = queries.row(qi);
+    std::vector<std::pair<float, uint32_t>> exact;
+    for (uint32_t i = 0; i < idx.size(); ++i) {
+      if (idx.IsDeleted(i)) continue;
+      const float dist = idx.max_degree() == 0
+                             ? 0.0f
+                             : simd::L2Sqr(q, idx.vector(i), idx.dim());
+      exact.push_back({dist, i});
+    }
+    std::sort(exact.begin(), exact.end());
+    const size_t kk = std::min(k, exact.size());
+    std::set<uint32_t> gt;
+    for (size_t j = 0; j < kk; ++j) gt.insert(exact[j].second);
+    idx.Search(q, k, window, &res);
+    size_t hits = 0;
+    for (uint32_t id : res.ids) hits += gt.count(id);
+    total += kk > 0 ? static_cast<double>(hits) / static_cast<double>(kk) : 1.0;
+  }
+  return total / static_cast<double>(queries.rows);
+}
+
+TEST(Dynamic, EmptyIndexReturnsNothing) {
+  DynamicIndex idx(8, SmallOpts());
+  SearchResult res;
+  const float q[8] = {0};
+  idx.Search(q, 5, 16, &res);
+  EXPECT_TRUE(res.ids.empty());
+  EXPECT_EQ(idx.live_size(), 0u);
+}
+
+TEST(Dynamic, SingleInsertIsFindable) {
+  DynamicIndex idx(4, SmallOpts());
+  const float v[4] = {1, 2, 3, 4};
+  const uint32_t id = idx.Insert(v);
+  SearchResult res;
+  idx.Search(v, 1, 8, &res);
+  ASSERT_EQ(res.ids.size(), 1u);
+  EXPECT_EQ(res.ids[0], id);
+}
+
+TEST(Dynamic, IncrementalBuildReachesHighRecall) {
+  Dataset data = MakeDeepLike(2000, 50, 700);
+  DynamicIndex idx(96, SmallOpts());
+  for (size_t i = 0; i < 2000; ++i) idx.Insert(data.base.row(i));
+  EXPECT_EQ(idx.live_size(), 2000u);
+  EXPECT_GE(LiveRecall(idx, data.queries, 10, 64), 0.9);
+}
+
+TEST(Dynamic, DeletedVectorsDisappearFromResults) {
+  Dataset data = MakeDeepLike(500, 20, 701);
+  DynamicIndex idx(96, SmallOpts());
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < 500; ++i) ids.push_back(idx.Insert(data.base.row(i)));
+  // Delete the exact nearest neighbor of each query.
+  SearchResult res;
+  for (size_t qi = 0; qi < 20; ++qi) {
+    idx.Search(data.queries.row(qi), 1, 64, &res);
+    if (!res.ids.empty() && !idx.IsDeleted(res.ids[0])) {
+      ASSERT_TRUE(idx.Delete(res.ids[0]).ok());
+    }
+  }
+  for (size_t qi = 0; qi < 20; ++qi) {
+    idx.Search(data.queries.row(qi), 10, 64, &res);
+    for (uint32_t id : res.ids) EXPECT_FALSE(idx.IsDeleted(id));
+  }
+  EXPECT_LT(idx.live_size(), 500u);
+}
+
+TEST(Dynamic, DoubleDeleteIsAnError) {
+  DynamicIndex idx(4, SmallOpts());
+  const float v[4] = {1, 0, 0, 0};
+  const uint32_t id = idx.Insert(v);
+  EXPECT_TRUE(idx.Delete(id).ok());
+  EXPECT_FALSE(idx.Delete(id).ok());
+  EXPECT_FALSE(idx.Delete(999).ok());
+}
+
+TEST(Dynamic, ConsolidationPreservesRecall) {
+  Dataset data = MakeDeepLike(1500, 40, 702);
+  DynamicIndex idx(96, SmallOpts());
+  for (size_t i = 0; i < 1500; ++i) idx.Insert(data.base.row(i));
+  // Delete a third of the points, consolidate, check recall on the rest.
+  Rng rng(1);
+  size_t deleted = 0;
+  while (deleted < 500) {
+    const uint32_t id = static_cast<uint32_t>(rng.Bounded(1500));
+    if (!idx.IsDeleted(id)) {
+      ASSERT_TRUE(idx.Delete(id).ok());
+      ++deleted;
+    }
+  }
+  idx.ConsolidateDeletes();
+  EXPECT_EQ(idx.live_size(), 1000u);
+  EXPECT_GE(LiveRecall(idx, data.queries, 10, 64), 0.85);
+}
+
+TEST(Dynamic, SlotsAreRecycledAfterConsolidation) {
+  Dataset data = MakeDeepLike(300, 5, 703);
+  DynamicIndex idx(96, SmallOpts());
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < 200; ++i) ids.push_back(idx.Insert(data.base.row(i)));
+  const size_t before = idx.size();
+  ASSERT_TRUE(idx.Delete(ids[7]).ok());
+  ASSERT_TRUE(idx.Delete(ids[11]).ok());
+  idx.ConsolidateDeletes();
+  const uint32_t a = idx.Insert(data.base.row(200));
+  const uint32_t b = idx.Insert(data.base.row(201));
+  // Recycled ids, no growth.
+  EXPECT_TRUE(a == ids[7] || a == ids[11]);
+  EXPECT_TRUE(b == ids[7] || b == ids[11]);
+  EXPECT_EQ(idx.size(), before);
+  EXPECT_EQ(idx.live_size(), 200u);
+}
+
+TEST(Dynamic, InterleavedInsertDeleteStress) {
+  Dataset data = MakeDeepLike(3000, 20, 704);
+  DynamicIndex idx(96, SmallOpts());
+  Rng rng(9);
+  std::vector<uint32_t> live;
+  size_t next = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 300 && next < 3000; ++i) {
+      live.push_back(idx.Insert(data.base.row(next++)));
+    }
+    for (int i = 0; i < 100 && live.size() > 10; ++i) {
+      const size_t pick = rng.Bounded(live.size());
+      ASSERT_TRUE(idx.Delete(live[pick]).ok());
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    if (round % 2 == 1) idx.ConsolidateDeletes();
+  }
+  EXPECT_EQ(idx.live_size(), live.size());
+  EXPECT_GE(LiveRecall(idx, data.queries, 10, 96), 0.8);
+}
+
+TEST(Dynamic, GrowthBeyondInitialCapacity) {
+  DynamicIndex::Options o = SmallOpts();
+  o.initial_capacity = 16;
+  Dataset data = MakeDeepLike(400, 5, 705);
+  DynamicIndex idx(96, o);
+  for (size_t i = 0; i < 400; ++i) idx.Insert(data.base.row(i));
+  EXPECT_GE(idx.capacity(), 400u);
+  EXPECT_GE(LiveRecall(idx, data.queries, 10, 64), 0.85);
+}
+
+TEST(Dynamic, DeleteAllThenReinsert) {
+  Dataset data = MakeDeepLike(100, 3, 706);
+  DynamicIndex idx(96, SmallOpts());
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < 50; ++i) ids.push_back(idx.Insert(data.base.row(i)));
+  for (uint32_t id : ids) ASSERT_TRUE(idx.Delete(id).ok());
+  EXPECT_EQ(idx.live_size(), 0u);
+  SearchResult res;
+  idx.Search(data.queries.row(0), 5, 32, &res);
+  EXPECT_TRUE(res.ids.empty());
+  idx.ConsolidateDeletes();
+  for (size_t i = 50; i < 100; ++i) idx.Insert(data.base.row(i));
+  EXPECT_EQ(idx.live_size(), 50u);
+  EXPECT_GE(LiveRecall(idx, data.queries, 10, 64), 0.9);
+}
+
+}  // namespace
+}  // namespace blink

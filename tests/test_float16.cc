@@ -1,0 +1,77 @@
+// Unit tests for the float16 storage type.
+#include "util/float16.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <limits>
+
+#include "util/prng.h"
+
+namespace blink {
+namespace {
+
+TEST(Float16, ExactlyRepresentableValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -2.0f, 0.25f, 1024.0f,
+                  -1024.0f, 65504.0f /* max finite f16 */}) {
+    EXPECT_EQ(static_cast<float>(Float16(v)), v) << v;
+  }
+}
+
+TEST(Float16, KnownBitPatterns) {
+  EXPECT_EQ(Float16(1.0f).bits(), 0x3C00);
+  EXPECT_EQ(Float16(-2.0f).bits(), 0xC000);
+  EXPECT_EQ(Float16(0.0f).bits(), 0x0000);
+  EXPECT_EQ(Float16(65504.0f).bits(), 0x7BFF);
+  // Smallest positive subnormal: 2^-24.
+  EXPECT_FLOAT_EQ(static_cast<float>(Float16::FromBits(0x0001)),
+                  std::ldexp(1.0f, -24));
+}
+
+TEST(Float16, RelativeErrorWithinHalfUlp) {
+  // 10 mantissa bits -> relative error <= 2^-11 for normal values.
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const float v = rng.Uniform(-100.0f, 100.0f);
+    const float r = static_cast<float>(Float16(v));
+    if (std::fabs(v) > 1e-3f) {
+      EXPECT_LE(std::fabs(r - v) / std::fabs(v), std::ldexp(1.0f, -11)) << v;
+    }
+  }
+}
+
+TEST(Float16, OverflowGoesToInfinity) {
+  const float inf = static_cast<float>(Float16(1e6f));
+  EXPECT_TRUE(std::isinf(inf));
+  EXPECT_GT(inf, 0.0f);
+  EXPECT_TRUE(std::isinf(static_cast<float>(Float16(-1e6f))));
+}
+
+TEST(Float16, SubnormalsPreserved) {
+  const float tiny = std::ldexp(1.0f, -20);  // subnormal in f16
+  const float r = static_cast<float>(Float16(tiny));
+  EXPECT_NEAR(r, tiny, tiny * 0.1f);
+}
+
+TEST(Float16, ConversionIsMonotonic) {
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const float a = rng.Uniform(-50.0f, 50.0f);
+    const float b = rng.Uniform(-50.0f, 50.0f);
+    const float fa = static_cast<float>(Float16(std::min(a, b)));
+    const float fb = static_cast<float>(Float16(std::max(a, b)));
+    EXPECT_LE(fa, fb);
+  }
+}
+
+TEST(Float16, RoundTripThroughBitsIsIdentity) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const Float16 h(rng.Uniform(-10.0f, 10.0f));
+    EXPECT_EQ(Float16::FromBits(h.bits()), h);
+    // Converting the reconstruction again must be a fixed point.
+    EXPECT_EQ(Float16(static_cast<float>(h)).bits(), h.bits());
+  }
+}
+
+}  // namespace
+}  // namespace blink

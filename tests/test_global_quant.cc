@@ -1,0 +1,153 @@
+// Unit tests for global / per-dimension scalar quantization baselines.
+#include "quant/global.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "quant/lvq.h"
+#include "util/prng.h"
+
+namespace blink {
+namespace {
+
+MatrixF RandomData(size_t n, size_t d, uint64_t seed) {
+  MatrixF m(n, d);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      // Dimension-dependent spread so global != per-dimension.
+      const float s = 0.2f + 1.5f * static_cast<float>(j) / static_cast<float>(d);
+      m(i, j) = s * rng.Gaussian() + 0.5f * static_cast<float>(j % 3);
+    }
+  }
+  return m;
+}
+
+TEST(GlobalQuant, GlobalModeUsesOneQuantizer) {
+  MatrixF data = RandomData(100, 16, 30);
+  GlobalDataset ds = GlobalDataset::Encode(data, {});
+  EXPECT_EQ(ds.quantizers().size(), 1u);
+  EXPECT_EQ(&ds.quantizer(0), &ds.quantizer(15));
+}
+
+TEST(GlobalQuant, PerDimensionModeUsesDQuantizers) {
+  MatrixF data = RandomData(100, 16, 31);
+  GlobalDataset::Options o;
+  o.mode = GlobalMode::kPerDimension;
+  GlobalDataset ds = GlobalDataset::Encode(data, o);
+  EXPECT_EQ(ds.quantizers().size(), 16u);
+}
+
+TEST(GlobalQuant, BoundsCoverCenteredData) {
+  MatrixF data = RandomData(200, 8, 32);
+  GlobalDataset ds = GlobalDataset::Encode(data, {});
+  const ScalarQuantizer& q = ds.quantizers()[0];
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = 0; j < 8; ++j) {
+      const float v = data(i, j) - ds.mean()[j];
+      EXPECT_GE(v, q.lower() - 1e-5f);
+      EXPECT_LE(v, q.upper() + 1e-5f);
+    }
+  }
+}
+
+TEST(GlobalQuant, ReconstructionErrorBounded) {
+  MatrixF data = RandomData(200, 24, 33);
+  for (auto mode : {GlobalMode::kGlobal, GlobalMode::kPerDimension}) {
+    GlobalDataset::Options o;
+    o.mode = mode;
+    GlobalDataset ds = GlobalDataset::Encode(data, o);
+    std::vector<float> rec(24);
+    for (size_t i = 0; i < 200; ++i) {
+      ds.Decode(i, rec.data());
+      for (size_t j = 0; j < 24; ++j) {
+        EXPECT_LE(std::fabs(rec[j] - data(i, j)),
+                  ds.quantizer(j).max_error() * 1.001f);
+      }
+    }
+  }
+}
+
+TEST(GlobalQuant, PerDimensionBeatsGlobalOnHeterogeneousSpreads) {
+  // With dimension-dependent variance, per-dim bounds waste fewer levels.
+  MatrixF data = RandomData(500, 16, 34);
+  GlobalDataset::Options og;
+  GlobalDataset::Options op;
+  op.mode = GlobalMode::kPerDimension;
+  GlobalDataset g = GlobalDataset::Encode(data, og);
+  GlobalDataset p = GlobalDataset::Encode(data, op);
+  std::vector<float> rg(16), rp(16);
+  double eg = 0.0, ep = 0.0;
+  for (size_t i = 0; i < 500; ++i) {
+    g.Decode(i, rg.data());
+    p.Decode(i, rp.data());
+    for (size_t j = 0; j < 16; ++j) {
+      eg += std::pow(rg[j] - data(i, j), 2);
+      ep += std::pow(rp[j] - data(i, j), 2);
+    }
+  }
+  EXPECT_LT(ep, eg);
+}
+
+TEST(GlobalQuant, LvqBeatsBothOnPerVectorStructure) {
+  // The paper's core claim (Fig. 2): per-vector bounds reconstruct better
+  // than global or per-dimension bounds at equal bit budget.
+  MatrixF data = RandomData(500, 32, 35);
+  GlobalDataset::Options og;
+  og.bits = 8;
+  GlobalDataset g = GlobalDataset::Encode(data, og);
+  GlobalDataset::Options op = og;
+  op.mode = GlobalMode::kPerDimension;
+  GlobalDataset p = GlobalDataset::Encode(data, op);
+  LvqDataset::Options ol;
+  ol.bits = 8;
+  LvqDataset l = LvqDataset::Encode(data, ol);
+
+  auto mse = [&](auto& ds) {
+    std::vector<float> rec(32);
+    double acc = 0.0;
+    for (size_t i = 0; i < 500; ++i) {
+      ds.Decode(i, rec.data());
+      for (size_t j = 0; j < 32; ++j) acc += std::pow(rec[j] - data(i, j), 2);
+    }
+    return acc;
+  };
+  const double e_lvq = mse(l), e_global = mse(g), e_perdim = mse(p);
+  EXPECT_LT(e_lvq, e_global);
+  EXPECT_LT(e_lvq, e_perdim);
+}
+
+TEST(GlobalQuant, TwoLevelResidualImprovesReconstruction) {
+  MatrixF data = RandomData(300, 16, 36);
+  GlobalDataset::Options o1;
+  o1.bits = 4;
+  GlobalDataset one = GlobalDataset::Encode(data, o1);
+  GlobalDataset::Options o2 = o1;
+  o2.bits2 = 4;
+  GlobalDataset two = GlobalDataset::Encode(data, o2);
+  std::vector<float> r1(16), r2(16);
+  double e1 = 0.0, e2 = 0.0;
+  for (size_t i = 0; i < 300; ++i) {
+    one.Decode(i, r1.data());
+    two.Decode(i, r2.data());
+    for (size_t j = 0; j < 16; ++j) {
+      e1 += std::pow(r1[j] - data(i, j), 2);
+      e2 += std::pow(r2[j] - data(i, j), 2);
+    }
+  }
+  EXPECT_LT(e2, e1 / 10.0);
+}
+
+TEST(GlobalQuant, FootprintSmallerThanLvqAtSameBits) {
+  // No inline constants and no padding by default (paper: LVQ-8 footprint
+  // ~5% larger than global-8).
+  MatrixF data = RandomData(10, 96, 37);
+  GlobalDataset g = GlobalDataset::Encode(data, {});
+  LvqDataset l = LvqDataset::Encode(data, {});
+  EXPECT_LT(g.vector_footprint(), l.vector_footprint());
+  EXPECT_EQ(g.vector_footprint(), 96u);
+}
+
+}  // namespace
+}  // namespace blink

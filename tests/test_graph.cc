@@ -1,0 +1,92 @@
+// Unit tests for the flat graph store.
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace blink {
+namespace {
+
+TEST(FlatGraph, EmptyOnConstruction) {
+  FlatGraph g(10, 4);
+  EXPECT_EQ(g.size(), 10u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(g.degree(i), 0u);
+}
+
+TEST(FlatGraph, SetAndReadNeighbors) {
+  FlatGraph g(5, 3);
+  const uint32_t nbrs[] = {4, 1, 2};
+  g.SetNeighbors(0, nbrs, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.neighbors(0)[0], 4u);
+  EXPECT_EQ(g.neighbors(0)[1], 1u);
+  EXPECT_EQ(g.neighbors(0)[2], 2u);
+  EXPECT_EQ(g.degree(1), 0u);  // other rows untouched
+}
+
+TEST(FlatGraph, AddNeighborRespectsBound) {
+  FlatGraph g(2, 2);
+  EXPECT_TRUE(g.AddNeighbor(0, 1));
+  EXPECT_TRUE(g.AddNeighbor(0, 1));
+  EXPECT_FALSE(g.AddNeighbor(0, 1));  // full
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(FlatGraph, ClearResetsRow) {
+  FlatGraph g(2, 2);
+  g.AddNeighbor(0, 1);
+  g.Clear(0);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(FlatGraph, MemoryBytesIsFlatRowLayout) {
+  // One u32 degree + R u32 slots per node, no indirection.
+  FlatGraph g(100, 32);
+  EXPECT_EQ(g.memory_bytes(), 100u * 33u * sizeof(uint32_t));
+}
+
+TEST(FlatGraph, AverageDegree) {
+  FlatGraph g(4, 4);
+  const uint32_t a[] = {1, 2};
+  const uint32_t b[] = {0};
+  g.SetNeighbors(0, a, 2);
+  g.SetNeighbors(1, b, 1);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 3.0 / 4.0);
+}
+
+TEST(FlatGraph, SetNeighborsOverwrites) {
+  FlatGraph g(1, 4);
+  const uint32_t a[] = {1, 2, 3};
+  const uint32_t b[] = {9};
+  g.SetNeighbors(0, a, 3);
+  g.SetNeighbors(0, b, 1);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 9u);
+}
+
+TEST(FlatGraph, PrefetchDoesNotCrash) {
+  FlatGraph g(16, 8);
+  for (size_t i = 0; i < 16; ++i) g.PrefetchAdjacency(i);
+}
+
+TEST(FlatGraph, MoveTransfersStorage) {
+  FlatGraph g(8, 2);
+  g.AddNeighbor(3, 7);
+  FlatGraph h = std::move(g);
+  EXPECT_EQ(h.size(), 8u);
+  EXPECT_EQ(h.degree(3), 1u);
+  EXPECT_EQ(h.neighbors(3)[0], 7u);
+}
+
+TEST(FlatGraph, LargeDegreeGraph) {
+  FlatGraph g(10, 128);
+  std::vector<uint32_t> nbrs(128);
+  for (uint32_t j = 0; j < 128; ++j) nbrs[j] = j;
+  g.SetNeighbors(5, nbrs.data(), 128);
+  EXPECT_EQ(g.degree(5), 128u);
+  EXPECT_EQ(g.neighbors(5)[127], 127u);
+}
+
+}  // namespace
+}  // namespace blink

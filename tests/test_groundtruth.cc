@@ -1,0 +1,92 @@
+// Unit tests for exact ground-truth computation.
+#include "data/groundtruth.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "quant/lvq.h"
+#include "simd/distance.h"
+
+namespace blink {
+namespace {
+
+TEST(GroundTruth, MatchesNaiveReference) {
+  Dataset data = MakeDeepLike(300, 20, 90);
+  const size_t k = 5;
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, k,
+                                           data.metric);
+  for (size_t qi = 0; qi < 20; ++qi) {
+    std::vector<std::pair<float, uint32_t>> all;
+    for (size_t i = 0; i < 300; ++i) {
+      all.push_back({simd::ref::L2Sqr(data.queries.row(qi), data.base.row(i), 96),
+                     static_cast<uint32_t>(i)});
+    }
+    std::sort(all.begin(), all.end());
+    for (size_t j = 0; j < k; ++j) {
+      EXPECT_EQ(gt(qi, j), all[j].second) << "query " << qi << " rank " << j;
+    }
+  }
+}
+
+TEST(GroundTruth, InnerProductOrdering) {
+  Dataset data = MakeDprLike(200, 10, 91);
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, 3,
+                                           data.metric);
+  // The top hit must have the largest inner product.
+  for (size_t qi = 0; qi < 10; ++qi) {
+    const float best =
+        -simd::IpDist(data.queries.row(qi), data.base.row(gt(qi, 0)), 768);
+    for (size_t i = 0; i < 200; ++i) {
+      const float ip = -simd::IpDist(data.queries.row(qi), data.base.row(i), 768);
+      EXPECT_LE(ip, best + 1e-3f);
+    }
+  }
+}
+
+TEST(GroundTruth, KLargerThanNPadsWithSentinel) {
+  Dataset data = MakeDeepLike(3, 2, 92);
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, 8,
+                                           data.metric);
+  for (size_t qi = 0; qi < 2; ++qi) {
+    std::set<uint32_t> seen;
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_LT(gt(qi, j), 3u);
+      seen.insert(gt(qi, j));
+    }
+    EXPECT_EQ(seen.size(), 3u);  // all distinct
+    for (size_t j = 3; j < 8; ++j) EXPECT_EQ(gt(qi, j), UINT32_MAX);
+  }
+}
+
+TEST(GroundTruth, ParallelMatchesSerial) {
+  Dataset data = MakeDeepLike(500, 30, 93);
+  Matrix<uint32_t> serial =
+      ComputeGroundTruth(data.base, data.queries, 10, data.metric, nullptr);
+  ThreadPool pool(4);
+  Matrix<uint32_t> parallel =
+      ComputeGroundTruth(data.base, data.queries, 10, data.metric, &pool);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.data()[i], parallel.data()[i]);
+  }
+}
+
+TEST(GroundTruth, DecodeAllRoundTripsThroughLvq) {
+  Dataset data = MakeDeepLike(100, 2, 94);
+  LvqDataset::Options o;
+  o.bits = 8;
+  LvqDataset ds = LvqDataset::Encode(data.base, o);
+  MatrixF decoded = DecodeAll(ds);
+  ASSERT_EQ(decoded.rows(), 100u);
+  ASSERT_EQ(decoded.cols(), 96u);
+  std::vector<float> direct(96);
+  for (size_t i = 0; i < 100; i += 17) {
+    ds.Decode(i, direct.data());
+    for (size_t j = 0; j < 96; ++j) {
+      EXPECT_FLOAT_EQ(decoded(i, j), direct[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blink

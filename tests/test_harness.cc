@@ -1,0 +1,131 @@
+// Unit tests for the QPS/recall sweep harness.
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "data/groundtruth.h"
+#include "data/synthetic.h"
+#include "graph/index.h"
+
+namespace blink {
+namespace {
+
+/// An index that returns exact answers (brute force), used to validate the
+/// harness's recall accounting.
+class ExactIndex : public SearchIndex {
+ public:
+  ExactIndex(MatrixViewF base, Metric metric) : base_(base), metric_(metric) {}
+  std::string name() const override { return "exact"; }
+  size_t size() const override { return base_.rows; }
+  size_t dim() const override { return base_.cols; }
+  size_t memory_bytes() const override {
+    return base_.rows * base_.cols * sizeof(float);
+  }
+  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams&,
+                   uint32_t* ids, ThreadPool* pool) const override {
+    Matrix<uint32_t> gt = ComputeGroundTruth(base_, queries, k, metric_, pool);
+    std::copy(gt.data(), gt.data() + gt.size(), ids);
+  }
+
+ private:
+  MatrixViewF base_;
+  Metric metric_;
+};
+
+TEST(Harness, ExactIndexScoresRecallOne) {
+  Dataset data = MakeDeepLike(500, 20, 95);
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, 10,
+                                           data.metric);
+  ExactIndex idx(data.base, data.metric);
+  HarnessOptions opts;
+  opts.best_of = 1;
+  auto pts = RunSweep(idx, data.queries, gt, WindowSweep({10}), opts);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_DOUBLE_EQ(pts[0].recall, 1.0);
+  EXPECT_GT(pts[0].qps, 0.0);
+}
+
+TEST(Harness, SweepProducesOnePointPerSetting) {
+  Dataset data = MakeDeepLike(800, 10, 96);
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, 10,
+                                           data.metric);
+  VamanaBuildParams bp;
+  bp.graph_max_degree = 16;
+  bp.window_size = 32;
+  auto idx = BuildOgLvq(data.base, data.metric, 8, 0, bp);
+  HarnessOptions opts;
+  opts.best_of = 2;
+  auto pts = RunSweep(*idx, data.queries, gt, WindowSweep({10, 20, 40}), opts);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].params.window, 10u);
+  EXPECT_EQ(pts[2].params.window, 40u);
+  // Bigger window: recall must not drop meaningfully.
+  EXPECT_GE(pts[2].recall + 0.02, pts[0].recall);
+}
+
+TEST(Harness, SingleQueryModeRuns) {
+  Dataset data = MakeDeepLike(500, 10, 97);
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, 10,
+                                           data.metric);
+  VamanaBuildParams bp;
+  bp.graph_max_degree = 16;
+  bp.window_size = 32;
+  auto idx = BuildOgLvq(data.base, data.metric, 8, 0, bp);
+  HarnessOptions opts;
+  opts.best_of = 1;
+  opts.single_query = true;
+  auto pts = RunSweep(*idx, data.queries, gt, WindowSweep({20}), opts);
+  EXPECT_GT(pts[0].mean_latency_us, 0.0);
+  EXPECT_GT(pts[0].recall, 0.5);
+}
+
+TEST(Harness, QpsAtRecallPicksFrontier) {
+  std::vector<SweepPoint> pts(3);
+  pts[0].recall = 0.80;
+  pts[0].qps = 1000;
+  pts[1].recall = 0.92;
+  pts[1].qps = 600;
+  pts[2].recall = 0.99;
+  pts[2].qps = 200;
+  EXPECT_DOUBLE_EQ(QpsAtRecall(pts, 0.9), 600.0);
+  EXPECT_DOUBLE_EQ(QpsAtRecall(pts, 0.95), 200.0);
+  EXPECT_DOUBLE_EQ(QpsAtRecall(pts, 0.995), 0.0);  // unreachable
+}
+
+TEST(Harness, QpsAtRecallIgnoresDominatedPoints) {
+  std::vector<SweepPoint> pts(3);
+  pts[0].recall = 0.95;
+  pts[0].qps = 900;  // dominates the slower lower-recall point below
+  pts[1].recall = 0.91;
+  pts[1].qps = 500;
+  pts[2].recall = 0.99;
+  pts[2].qps = 100;
+  EXPECT_DOUBLE_EQ(QpsAtRecall(pts, 0.9), 900.0);
+}
+
+TEST(Harness, PointAtRecallReturnsBestQps) {
+  std::vector<SweepPoint> pts(3);
+  pts[0].recall = 0.91;
+  pts[0].qps = 500;
+  pts[1].recall = 0.93;
+  pts[1].qps = 700;
+  pts[2].recall = 0.89;
+  pts[2].qps = 900;
+  const SweepPoint* p = PointAtRecall(pts, 0.9);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->qps, 700.0);
+  EXPECT_EQ(PointAtRecall(pts, 0.999), nullptr);
+}
+
+TEST(Harness, SweepGenerators) {
+  auto w = WindowSweep({1, 2, 3});
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[1].window, 2u);
+  auto p = ProbeSweep({1, 5}, {0, 100});
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[3].nprobe, 5u);
+  EXPECT_EQ(p[3].reorder_k, 100u);
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,186 @@
+// End-to-end tests of the OG-LVQ index (graph + storage + search + rerank).
+#include "graph/index.h"
+
+#include <gtest/gtest.h>
+
+#include "data/groundtruth.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace blink {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  Matrix<uint32_t> gt;
+  VamanaBuildParams bp;
+
+  explicit Fixture(Dataset d, size_t k = 10) : data(std::move(d)) {
+    gt = ComputeGroundTruth(data.base, data.queries, k, data.metric);
+    bp.graph_max_degree = 24;
+    bp.window_size = 48;
+    bp.alpha = data.metric == Metric::kL2 ? 1.2f : 0.95f;
+  }
+};
+
+double RecallOf(const SearchIndex& idx, const Fixture& f, uint32_t window,
+                bool rerank = true, bool visited = false) {
+  const size_t k = 10;
+  RuntimeParams p;
+  p.window = window;
+  p.rerank = rerank;
+  p.use_visited_set = visited;
+  Matrix<uint32_t> ids(f.data.queries.rows(), k);
+  idx.SearchBatch(f.data.queries, k, p, ids.data());
+  return MeanRecallAtK(ids, f.gt, k);
+}
+
+TEST(Index, Float32HighRecall) {
+  Fixture f(MakeDeepLike(3000, 100, 20));
+  auto idx = BuildVamanaF32(f.data.base, f.data.metric, f.bp);
+  EXPECT_GE(RecallOf(*idx, f, 64), 0.95);
+}
+
+TEST(Index, Lvq8TracksFloat32Closely) {
+  // Paper: LVQ-8 introduces negligible accuracy degradation.
+  Fixture f(MakeDeepLike(3000, 100, 21));
+  auto f32 = BuildVamanaF32(f.data.base, f.data.metric, f.bp);
+  auto lvq = BuildOgLvq(f.data.base, f.data.metric, 8, 0, f.bp);
+  const double r32 = RecallOf(*f32, f, 64);
+  const double r8 = RecallOf(*lvq, f, 64);
+  EXPECT_GE(r8, r32 - 0.02);
+}
+
+TEST(Index, TwoLevelRerankBeatsLevel1Only) {
+  Fixture f(MakeDeepLike(3000, 100, 22));
+  auto idx = BuildOgLvq(f.data.base, f.data.metric, 4, 8, f.bp);
+  const double with_rerank = RecallOf(*idx, f, 48, /*rerank=*/true);
+  const double without = RecallOf(*idx, f, 48, /*rerank=*/false);
+  EXPECT_GT(with_rerank, without);
+  EXPECT_GE(with_rerank, 0.9);
+}
+
+TEST(Index, RecallMonotonicInWindow) {
+  Fixture f(MakeDeepLike(3000, 100, 23));
+  auto idx = BuildOgLvq(f.data.base, f.data.metric, 8, 0, f.bp);
+  const double r10 = RecallOf(*idx, f, 10);
+  const double r32 = RecallOf(*idx, f, 32);
+  const double r96 = RecallOf(*idx, f, 96);
+  EXPECT_LE(r10, r32 + 0.02);
+  EXPECT_LE(r32, r96 + 0.02);
+  EXPECT_GT(r96, r10);
+}
+
+TEST(Index, VisitedSetDoesNotChangeAccuracy) {
+  // The visited set is a performance knob (Sec. 5); recall must be
+  // essentially unchanged.
+  Fixture f(MakeDeepLike(2000, 100, 24));
+  auto idx = BuildOgLvq(f.data.base, f.data.metric, 8, 0, f.bp);
+  const double without = RecallOf(*idx, f, 48, true, false);
+  const double with = RecallOf(*idx, f, 48, true, true);
+  EXPECT_NEAR(without, with, 0.02);
+}
+
+TEST(Index, PrefetchSettingsDoNotChangeResults) {
+  Fixture f(MakeDeepLike(2000, 50, 25));
+  auto idx = BuildOgLvq(f.data.base, f.data.metric, 8, 0, f.bp);
+  const size_t k = 10;
+  RuntimeParams a, b;
+  a.window = b.window = 40;
+  a.prefetch_offset = 0;
+  a.prefetch_step = 0;  // no prefetch
+  b.prefetch_offset = 4;
+  b.prefetch_step = 8;
+  Matrix<uint32_t> ia(f.data.queries.rows(), k), ib(f.data.queries.rows(), k);
+  idx->SearchBatch(f.data.queries, k, a, ia.data());
+  idx->SearchBatch(f.data.queries, k, b, ib.data());
+  for (size_t i = 0; i < ia.size(); ++i) {
+    ASSERT_EQ(ia.data()[i], ib.data()[i]) << i;
+  }
+}
+
+TEST(Index, InnerProductMetricWorks) {
+  Fixture f(MakeDprLike(1500, 50, 26));
+  auto idx = BuildOgLvq(f.data.base, f.data.metric, 4, 8, f.bp);
+  EXPECT_GE(RecallOf(*idx, f, 64), 0.85);
+}
+
+TEST(Index, BatchMatchesSingleQuerySearch) {
+  Fixture f(MakeDeepLike(1500, 20, 27));
+  auto idx = BuildOgLvq(f.data.base, f.data.metric, 8, 0, f.bp);
+  const size_t k = 10;
+  RuntimeParams p;
+  p.window = 32;
+  Matrix<uint32_t> batch(f.data.queries.rows(), k);
+  idx->SearchBatch(f.data.queries, k, p, batch.data());
+  for (size_t qi = 0; qi < f.data.queries.rows(); ++qi) {
+    SearchResult res;
+    idx->Search(f.data.queries.row(qi), k, p, &res);
+    for (size_t j = 0; j < k; ++j) {
+      ASSERT_EQ(batch(qi, j), res.ids[j]) << "query " << qi;
+    }
+  }
+}
+
+TEST(Index, ThreadedBatchMatchesSerialBatch) {
+  Fixture f(MakeDeepLike(1500, 40, 28));
+  auto idx = BuildOgLvq(f.data.base, f.data.metric, 8, 0, f.bp);
+  const size_t k = 10;
+  RuntimeParams p;
+  p.window = 32;
+  Matrix<uint32_t> serial(f.data.queries.rows(), k);
+  Matrix<uint32_t> threaded(f.data.queries.rows(), k);
+  idx->SearchBatch(f.data.queries, k, p, serial.data(), nullptr);
+  ThreadPool pool(4);
+  idx->SearchBatch(f.data.queries, k, p, threaded.data(), &pool);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial.data()[i], threaded.data()[i]) << i;
+  }
+}
+
+TEST(Index, MemoryAccountingIsConsistent) {
+  Fixture f(MakeDeepLike(1000, 10, 29));
+  auto lvq = BuildOgLvq(f.data.base, f.data.metric, 8, 0, f.bp);
+  auto f32 = BuildVamanaF32(f.data.base, f.data.metric, f.bp);
+  EXPECT_EQ(lvq->memory_bytes(),
+            lvq->storage().memory_bytes() + lvq->graph().memory_bytes());
+  // LVQ-8 vectors are ~3x smaller than float32 at d = 96 (padded).
+  EXPECT_LT(lvq->storage().memory_bytes(),
+            f32->storage().memory_bytes() * 45 / 100);
+}
+
+TEST(Index, NamesIdentifyConfiguration) {
+  Fixture f(MakeDeepLike(300, 5, 30));
+  auto one = BuildOgLvq(f.data.base, f.data.metric, 8, 0, f.bp);
+  auto two = BuildOgLvq(f.data.base, f.data.metric, 4, 8, f.bp);
+  EXPECT_EQ(one->name(), "OG-LVQ-8-R24");
+  EXPECT_EQ(two->name(), "OG-LVQ-4x8-R24");
+}
+
+TEST(Index, KLargerThanWindowIsClamped) {
+  Fixture f(MakeDeepLike(500, 10, 31));
+  auto idx = BuildOgLvq(f.data.base, f.data.metric, 8, 0, f.bp);
+  RuntimeParams p;
+  p.window = 4;  // < k
+  const size_t k = 10;
+  Matrix<uint32_t> ids(f.data.queries.rows(), k);
+  idx->SearchBatch(f.data.queries, k, p, ids.data());
+  // All k slots must be filled with valid ids.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_NE(ids.data()[i], UINT32_MAX);
+  }
+}
+
+TEST(Index, GraphBuiltFromLvqSearchedWithFloat32) {
+  // The Sec. 4 experiment shape: build the graph from compressed vectors,
+  // then adopt it for full-precision search.
+  Fixture f(MakeDeepLike(2000, 100, 32));
+  LvqStorage lvq_storage(f.data.base, f.data.metric, 4);
+  BuiltGraph g = BuildVamana(lvq_storage, f.bp);
+  VamanaIndex<FloatStorage> idx(FloatStorage(f.data.base, f.data.metric),
+                                std::move(g), f.bp);
+  EXPECT_GE(RecallOf(idx, f, 64), 0.9);
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,152 @@
+// Unit tests for k-means (substrate for PQ / OPQ / IVF / ScaNN).
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "simd/distance.h"
+#include "util/prng.h"
+
+namespace blink {
+namespace {
+
+/// Three well-separated blobs in 2D.
+MatrixF Blobs(size_t per_cluster, uint64_t seed) {
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  MatrixF m(per_cluster * 3, 2);
+  Rng rng(seed);
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      float* row = m.row(c * per_cluster + i);
+      row[0] = centers[c][0] + 0.3f * rng.Gaussian();
+      row[1] = centers[c][1] + 0.3f * rng.Gaussian();
+    }
+  }
+  return m;
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  MatrixF data = Blobs(100, 1);
+  KMeansParams p;
+  p.k = 3;
+  KMeansResult r = KMeans(data, p);
+  // Every centroid must be close to one true center; all three distinct.
+  std::set<int> matched;
+  for (size_t c = 0; c < 3; ++c) {
+    const float* cc = r.centroids.row(c);
+    int best = -1;
+    const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    for (int t = 0; t < 3; ++t) {
+      const float dx = cc[0] - centers[t][0], dy = cc[1] - centers[t][1];
+      if (dx * dx + dy * dy < 1.0f) best = t;
+    }
+    ASSERT_GE(best, 0) << "centroid " << c << " far from every true center";
+    matched.insert(best);
+  }
+  EXPECT_EQ(matched.size(), 3u);
+}
+
+TEST(KMeans, AssignmentIsNearestCentroid) {
+  MatrixF data = Blobs(50, 2);
+  KMeansParams p;
+  p.k = 3;
+  KMeansResult r = KMeans(data, p);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    EXPECT_EQ(r.assignment[i], NearestCentroid(data.row(i), r.centroids));
+  }
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  MatrixF data = Blobs(100, 3);
+  KMeansParams p2, p8;
+  p2.k = 2;
+  p8.k = 8;
+  EXPECT_GT(KMeans(data, p2).inertia, KMeans(data, p8).inertia);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  MatrixF data = Blobs(60, 4);
+  KMeansParams p;
+  p.k = 4;
+  KMeansResult a = KMeans(data, p);
+  KMeansResult b = KMeans(data, p);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, KOneGivesGlobalMean) {
+  MatrixF data = Blobs(30, 5);
+  KMeansParams p;
+  p.k = 1;
+  KMeansResult r = KMeans(data, p);
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    mx += data(i, 0);
+    my += data(i, 1);
+  }
+  mx /= data.rows();
+  my /= data.rows();
+  EXPECT_NEAR(r.centroids(0, 0), mx, 1e-3);
+  EXPECT_NEAR(r.centroids(0, 1), my, 1e-3);
+}
+
+TEST(KMeans, KClampedToN) {
+  MatrixF data = Blobs(1, 6);  // 3 points
+  KMeansParams p;
+  p.k = 100;
+  KMeansResult r = KMeans(data, p);
+  EXPECT_EQ(r.centroids.rows(), 3u);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-6);  // every point its own centroid
+}
+
+TEST(KMeans, EmptyClustersGetReseeded) {
+  // Duplicate points + large k forces empty clusters during Lloyd steps.
+  MatrixF data(40, 2);
+  Rng rng(7);
+  for (size_t i = 0; i < 20; ++i) {
+    data(i, 0) = 0.0f;
+    data(i, 1) = 0.0f;
+    data(20 + i, 0) = 5.0f + 0.01f * rng.Gaussian();
+    data(20 + i, 1) = 5.0f;
+  }
+  KMeansParams p;
+  p.k = 8;
+  KMeansResult r = KMeans(data, p);
+  // Must terminate and produce a valid assignment.
+  for (uint32_t a : r.assignment) EXPECT_LT(a, 8u);
+}
+
+TEST(KMeans, NearestCentroidsAscendingOrder) {
+  MatrixF cents(5, 2);
+  for (size_t c = 0; c < 5; ++c) {
+    cents(c, 0) = static_cast<float>(c);
+    cents(c, 1) = 0.0f;
+  }
+  const float q[2] = {2.2f, 0.0f};
+  auto order = NearestCentroids(q, cents, 5);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 3u);  // |2.2-3| < |2.2-1|
+  EXPECT_EQ(order[2], 1u);
+  float prev = -1.0f;
+  for (uint32_t c : order) {
+    const float dist = simd::L2Sqr(q, cents.row(c), 2);
+    EXPECT_GE(dist, prev);
+    prev = dist;
+  }
+}
+
+TEST(KMeans, ParallelAssignMatchesSerial) {
+  MatrixF data = Blobs(200, 8);
+  KMeansParams p;
+  p.k = 6;
+  KMeansResult r = KMeans(data, p);
+  std::vector<uint32_t> serial(data.rows()), parallel(data.rows());
+  AssignToCentroids(data, r.centroids, serial.data(), nullptr, nullptr);
+  ThreadPool pool(4);
+  AssignToCentroids(data, r.centroids, parallel.data(), nullptr, &pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace blink

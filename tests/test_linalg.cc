@@ -1,0 +1,125 @@
+// Unit tests for the small linear-algebra kit (Jacobi SVD for OPQ).
+#include "util/linalg.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace blink {
+namespace {
+
+MatrixF RandomSquare(size_t n, uint64_t seed) {
+  MatrixF m(n, n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+void ExpectSvdReconstructs(const MatrixF& a, const SvdResult& svd,
+                           double tol) {
+  const size_t n = a.rows();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        acc += static_cast<double>(svd.u(i, k)) * svd.s[k] * svd.v(j, k);
+      }
+      EXPECT_NEAR(acc, a(i, j), tol) << i << "," << j;
+    }
+  }
+}
+
+TEST(JacobiSvd, ReconstructsRandomMatrix) {
+  MatrixF a = RandomSquare(12, 1);
+  SvdResult svd = JacobiSvd(a);
+  ExpectSvdReconstructs(a, svd, 1e-3);
+}
+
+TEST(JacobiSvd, FactorsAreOrthogonal) {
+  MatrixF a = RandomSquare(16, 2);
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_LT(OrthogonalityDefect(svd.u), 1e-3);
+  EXPECT_LT(OrthogonalityDefect(svd.v), 1e-3);
+}
+
+TEST(JacobiSvd, SingularValuesNonNegative) {
+  MatrixF a = RandomSquare(10, 3);
+  SvdResult svd = JacobiSvd(a);
+  for (float s : svd.s) EXPECT_GE(s, 0.0f);
+}
+
+TEST(JacobiSvd, IdentityMatrix) {
+  MatrixF a(8, 8);
+  for (size_t i = 0; i < 8; ++i) a(i, i) = 1.0f;
+  SvdResult svd = JacobiSvd(a);
+  for (float s : svd.s) EXPECT_NEAR(s, 1.0f, 1e-5f);
+  ExpectSvdReconstructs(a, svd, 1e-5);
+}
+
+TEST(JacobiSvd, DiagonalMatrixRecoversDiagonal) {
+  MatrixF a(6, 6);
+  const float diag[6] = {5.0f, 3.0f, 1.0f, 0.5f, 7.0f, 2.0f};
+  for (size_t i = 0; i < 6; ++i) a(i, i) = diag[i];
+  SvdResult svd = JacobiSvd(a);
+  std::vector<float> s = svd.s;
+  std::sort(s.begin(), s.end());
+  std::vector<float> want(diag, diag + 6);
+  std::sort(want.begin(), want.end());
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(s[i], want[i], 1e-4f);
+}
+
+TEST(JacobiSvd, LargerMatrixStillAccurate) {
+  MatrixF a = RandomSquare(96, 4);
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_LT(OrthogonalityDefect(svd.u), 1e-2);
+  ExpectSvdReconstructs(a, svd, 5e-3);
+}
+
+TEST(GramProduct, MatchesNaive) {
+  Rng rng(5);
+  MatrixF a(7, 4), b(7, 3);
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t j = 0; j < 4; ++j) a(i, j) = rng.Gaussian();
+    for (size_t j = 0; j < 3; ++j) b(i, j) = rng.Gaussian();
+  }
+  MatrixF g = GramProduct(a, b);
+  ASSERT_EQ(g.rows(), 4u);
+  ASSERT_EQ(g.cols(), 3u);
+  for (size_t p = 0; p < 4; ++p) {
+    for (size_t q = 0; q < 3; ++q) {
+      double want = 0.0;
+      for (size_t i = 0; i < 7; ++i) want += a(i, p) * b(i, q);
+      EXPECT_NEAR(g(p, q), want, 1e-4);
+    }
+  }
+}
+
+TEST(RowTimesMatrix, ForwardAndTransposeAreConsistent) {
+  Rng rng(6);
+  const size_t d = 9;
+  MatrixF r(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) r(i, j) = rng.Gaussian();
+  }
+  std::vector<float> x(d), y(d), back(d);
+  for (auto& v : x) v = rng.Gaussian();
+  RowTimesMatrix(x.data(), r, y.data());
+  // Naive check of y = x * R.
+  for (size_t j = 0; j < d; ++j) {
+    double want = 0.0;
+    for (size_t i = 0; i < d; ++i) want += x[i] * r(i, j);
+    EXPECT_NEAR(y[j], want, 1e-4);
+  }
+  // For orthogonal R, RowTimesMatrixT inverts RowTimesMatrix. Build one via
+  // SVD of a random matrix (U is orthogonal).
+  SvdResult svd = JacobiSvd(r);
+  RowTimesMatrix(x.data(), svd.u, y.data());
+  RowTimesMatrixT(y.data(), svd.u, back.data());
+  for (size_t j = 0; j < d; ++j) EXPECT_NEAR(back[j], x[j], 1e-3);
+}
+
+}  // namespace
+}  // namespace blink

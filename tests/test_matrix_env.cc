@@ -1,0 +1,105 @@
+// Unit tests for the small utilities: Matrix/MatrixView, env knobs, Timer.
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+#include "util/env.h"
+#include "util/matrix.h"
+#include "util/timer.h"
+
+namespace blink {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  MatrixF m(5, 7);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(Matrix, RowAccessAndIndexing) {
+  MatrixF m(3, 4);
+  m(1, 2) = 42.0f;
+  EXPECT_EQ(m.row(1)[2], 42.0f);
+  EXPECT_EQ(m.row_span(1)[2], 42.0f);
+  EXPECT_EQ(m.row(1), m.data() + 4);
+}
+
+TEST(Matrix, CloneIsDeep) {
+  MatrixF m(2, 2);
+  m(0, 0) = 1.0f;
+  MatrixF c = m.Clone();
+  c(0, 0) = 9.0f;
+  EXPECT_EQ(m(0, 0), 1.0f);
+  EXPECT_EQ(c(0, 0), 9.0f);
+}
+
+TEST(Matrix, MoveLeavesSourceEmpty) {
+  MatrixF m(4, 4);
+  m(3, 3) = 7.0f;
+  MatrixF n = std::move(m);
+  EXPECT_EQ(n(3, 3), 7.0f);
+  EXPECT_EQ(n.rows(), 4u);
+}
+
+TEST(Matrix, RowsAreCacheAligned) {
+  MatrixF m(3, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(m.data()) % 64, 0u);
+}
+
+TEST(MatrixView, WrapsMatrixTransparently) {
+  Matrix<int32_t> m(2, 3);
+  m(1, 1) = -5;
+  MatrixView<int32_t> v = m;
+  EXPECT_EQ(v.rows, 2u);
+  EXPECT_EQ(v.cols, 3u);
+  EXPECT_EQ(v.row(1)[1], -5);
+}
+
+TEST(Matrix, SupportsByteElementType) {
+  Matrix<uint8_t> m(4, 5);
+  m(3, 4) = 0xFE;
+  EXPECT_EQ(m(3, 4), 0xFE);
+  EXPECT_EQ(m.size(), 20u);
+}
+
+TEST(Env, DoubleAndIntParsing) {
+  setenv("BLINK_TEST_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("BLINK_TEST_D", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(EnvDouble("BLINK_TEST_MISSING", 7.0), 7.0);
+  setenv("BLINK_TEST_I", "42", 1);
+  EXPECT_EQ(EnvInt("BLINK_TEST_I", 1), 42);
+  setenv("BLINK_TEST_BAD", "zzz", 1);
+  EXPECT_EQ(EnvInt("BLINK_TEST_BAD", 3), 3);
+  unsetenv("BLINK_TEST_D");
+  unsetenv("BLINK_TEST_I");
+  unsetenv("BLINK_TEST_BAD");
+}
+
+TEST(Env, ScaledNAppliesScaleAndFloor) {
+  setenv("BLINK_SCALE", "2", 1);
+  EXPECT_EQ(ScaledN(1000), 2000u);
+  setenv("BLINK_SCALE", "0.001", 1);
+  EXPECT_EQ(ScaledN(1000, 500), 500u);  // floored
+  unsetenv("BLINK_SCALE");
+  EXPECT_EQ(ScaledN(1000), 1000u);
+}
+
+TEST(Env, NumThreadsOverride) {
+  setenv("BLINK_THREADS", "3", 1);
+  EXPECT_EQ(NumThreads(), 3u);
+  unsetenv("BLINK_THREADS");
+  EXPECT_GE(NumThreads(), 1u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
+  const double s = t.Seconds();
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 10.0);
+  EXPECT_NEAR(t.Millis(), t.Seconds() * 1e3, t.Seconds() * 1e3 * 0.5);
+  t.Reset();
+  EXPECT_LT(t.Seconds(), s + 1.0);
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,95 @@
+// Unit tests for arenas, aligned allocation, and RSS accounting.
+#include "util/memory.h"
+
+#include <cstdint>
+#include <cstring>
+#include <gtest/gtest.h>
+
+namespace blink {
+namespace {
+
+TEST(Arena, AllocatesZeroedMemory) {
+  Arena a(1 << 20);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.size(), 1u << 20);
+  for (size_t i = 0; i < a.size(); i += 4097) {
+    EXPECT_EQ(a.data()[i], 0u) << i;
+  }
+}
+
+TEST(Arena, MemoryIsWritable) {
+  Arena a(4096);
+  std::memset(a.data(), 0xAB, a.size());
+  EXPECT_EQ(a.data()[4095], 0xAB);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  Arena a(1024);
+  a.data()[7] = 42;
+  uint8_t* p = a.data();
+  Arena b = std::move(a);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b.data()[7], 42);
+  Arena c;
+  c = std::move(b);
+  EXPECT_EQ(c.data()[7], 42);
+}
+
+TEST(Arena, ZeroSizeIsEmpty) {
+  Arena a(0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(Arena, ReportsABackingTier) {
+  Arena a(4 << 20, /*want_huge_pages=*/true);
+  const char* name = PageBackingName(a.backing());
+  EXPECT_TRUE(std::string(name).find("huge") != std::string::npos ||
+              std::string(name).find("standard") != std::string::npos);
+}
+
+TEST(Arena, NonHugeRequestIsStandard) {
+  Arena a(4096, /*want_huge_pages=*/false);
+  EXPECT_EQ(a.backing(), PageBacking::kStandard);
+}
+
+TEST(Arena, AlignedToCacheLine) {
+  for (size_t sz : {64u, 100u, 4096u, 1u << 20}) {
+    Arena a(sz);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(a.data()) % 64, 0u) << sz;
+  }
+}
+
+TEST(AlignedAlloc, RespectsAlignment) {
+  for (size_t align : {64u, 128u, 4096u}) {
+    void* p = AlignedAlloc(1000, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u);
+    AlignedFree(p);
+  }
+}
+
+TEST(MakeAligned, TypedAllocation) {
+  auto p = MakeAligned<double>(100);
+  ASSERT_NE(p.get(), nullptr);
+  p[99] = 3.14;
+  EXPECT_DOUBLE_EQ(p[99], 3.14);
+}
+
+TEST(Rss, AccountsResidentMemory) {
+  EXPECT_GT(CurrentRssBytes(), 0u);
+  EXPECT_GT(PeakRssBytes(), 0u);
+  EXPECT_GE(PeakRssBytes(), CurrentRssBytes() / 2);  // sanity ordering
+}
+
+TEST(Rss, GrowsAfterTouchingLargeAllocation) {
+  const size_t before = CurrentRssBytes();
+  Arena a(64 << 20);
+  std::memset(a.data(), 1, a.size());
+  const size_t after = CurrentRssBytes();
+  EXPECT_GE(after, before + (48u << 20));
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,102 @@
+// Unit tests for k-recall@k and Ranked-Bias Overlap.
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace blink {
+namespace {
+
+TEST(Recall, ExactMatch) {
+  const uint32_t res[] = {1, 2, 3, 4};
+  const uint32_t gt[] = {4, 3, 2, 1};  // set semantics: order irrelevant
+  EXPECT_DOUBLE_EQ(RecallAtK({res, 4}, {gt, 4}, 4), 1.0);
+}
+
+TEST(Recall, PartialOverlap) {
+  const uint32_t res[] = {1, 2, 9, 8};
+  const uint32_t gt[] = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RecallAtK({res, 4}, {gt, 4}, 4), 0.5);
+}
+
+TEST(Recall, NoOverlap) {
+  const uint32_t res[] = {5, 6};
+  const uint32_t gt[] = {1, 2};
+  EXPECT_DOUBLE_EQ(RecallAtK({res, 2}, {gt, 2}, 2), 0.0);
+}
+
+TEST(Recall, SentinelEntriesIgnored) {
+  const uint32_t res[] = {1, UINT32_MAX, UINT32_MAX};
+  const uint32_t gt[] = {1, 2, 3};
+  EXPECT_NEAR(RecallAtK({res, 3}, {gt, 3}, 3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Recall, MeanOverBatch) {
+  Matrix<uint32_t> res(2, 2), gt(2, 2);
+  res(0, 0) = 1;
+  res(0, 1) = 2;  // full hit
+  res(1, 0) = 7;
+  res(1, 1) = 8;  // miss
+  gt(0, 0) = 2;
+  gt(0, 1) = 1;
+  gt(1, 0) = 1;
+  gt(1, 1) = 2;
+  EXPECT_DOUBLE_EQ(MeanRecallAtK(res, gt, 2), 0.5);
+}
+
+TEST(Rbo, IdenticalListsGiveOne) {
+  const uint32_t a[] = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(RankBiasedOverlap({a, 5}, {a, 5}, 0.9), 1.0, 1e-9);
+}
+
+TEST(Rbo, DisjointListsGiveZero) {
+  const uint32_t a[] = {1, 2, 3};
+  const uint32_t b[] = {4, 5, 6};
+  EXPECT_NEAR(RankBiasedOverlap({a, 3}, {b, 3}, 0.9), 0.0, 1e-9);
+}
+
+TEST(Rbo, SwapAtTopCostsMoreThanSwapAtBottom) {
+  // RBO is top-weighted: disturbing early ranks hurts more.
+  const uint32_t ref[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const uint32_t top_swap[] = {2, 1, 3, 4, 5, 6, 7, 8};
+  const uint32_t bot_swap[] = {1, 2, 3, 4, 5, 6, 8, 7};
+  const double top = RankBiasedOverlap({ref, 8}, {top_swap, 8}, 0.9);
+  const double bot = RankBiasedOverlap({ref, 8}, {bot_swap, 8}, 0.9);
+  EXPECT_LT(top, bot);
+  EXPECT_LT(bot, 1.0);
+}
+
+TEST(Rbo, BoundedInUnitInterval) {
+  const uint32_t a[] = {1, 2, 3, 4};
+  const uint32_t b[] = {3, 1, 9, 2};
+  for (double p : {0.5, 0.9, 0.98}) {
+    const double rbo = RankBiasedOverlap({a, 4}, {b, 4}, p);
+    EXPECT_GE(rbo, 0.0);
+    EXPECT_LE(rbo, 1.0);
+  }
+}
+
+TEST(Rbo, HandComputedSmallCase) {
+  // a = {1,2}, b = {2,1}, p = 0.5.
+  // depth1: overlap 0 -> A1 = 0; depth2: both sets equal -> A2 = 1.
+  // RBO_ext = (1-p)/p * (p*0 + p^2*1) + p^2 * 1 = 0.5*0.5 + 0.25 = 0.375...
+  // (1-0.5)/0.5 * (0.25) + 0.25 = 0.25 + 0.25 = 0.5.
+  const uint32_t a[] = {1, 2};
+  const uint32_t b[] = {2, 1};
+  EXPECT_NEAR(RankBiasedOverlap({a, 2}, {b, 2}, 0.5), 0.5, 1e-9);
+}
+
+TEST(Rbo, PrefixAgreementScoresHigh) {
+  // Same top half, scrambled bottom half: high but not perfect RBO.
+  const uint32_t a[] = {1, 2, 3, 4, 10, 11, 12, 13};
+  const uint32_t b[] = {1, 2, 3, 4, 20, 21, 22, 23};
+  const double rbo = RankBiasedOverlap({a, 8}, {b, 8}, 0.9);
+  EXPECT_GT(rbo, 0.5);
+  EXPECT_LT(rbo, 1.0);
+}
+
+TEST(Rbo, EmptyListsAreIdentical) {
+  EXPECT_DOUBLE_EQ(RankBiasedOverlap({}, {}, 0.9), 1.0);
+}
+
+}  // namespace
+}  // namespace blink

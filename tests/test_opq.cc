@@ -1,0 +1,141 @@
+// Unit tests for Optimized Product Quantization.
+#include "baselines/opq.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "simd/distance.h"
+#include "util/prng.h"
+
+namespace blink {
+namespace {
+
+/// Strongly correlated data where the correlation spans *distant*
+/// dimensions (j and j + d/2): plain PQ's contiguous segments cannot see
+/// it, so OPQ's rotation has something to exploit.
+MatrixF CorrelatedData(size_t n, size_t d, uint64_t seed) {
+  MatrixF m(n, d);
+  Rng rng(seed);
+  const size_t half = d / 2;
+  for (size_t i = 0; i < n; ++i) {
+    float* row = m.row(i);
+    for (size_t j = 0; j < half; ++j) {
+      const float latent = rng.Gaussian(0.0f, 2.0f);
+      row[j] = latent + 0.1f * rng.Gaussian();
+      row[j + half] = -latent + 0.1f * rng.Gaussian();
+    }
+  }
+  return m;
+}
+
+double ReconstructionError(const OpqCodec& c, MatrixViewF data, size_t count) {
+  std::vector<uint8_t> codes(c.code_bytes());
+  std::vector<float> dec(c.dim());
+  double err = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    c.Encode(data.row(i), codes.data());
+    c.Decode(codes.data(), dec.data());
+    for (size_t j = 0; j < c.dim(); ++j) {
+      err += std::pow(dec[j] - data.row(i)[j], 2);
+    }
+  }
+  return err;
+}
+
+double PqReconstructionError(const PqCodec& c, MatrixViewF data, size_t count) {
+  std::vector<uint8_t> codes(c.code_bytes());
+  std::vector<float> dec(c.dim());
+  double err = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    c.Encode(data.row(i), codes.data());
+    c.Decode(codes.data(), dec.data());
+    for (size_t j = 0; j < c.dim(); ++j) {
+      err += std::pow(dec[j] - data.row(i)[j], 2);
+    }
+  }
+  return err;
+}
+
+TEST(Opq, RotationIsOrthogonal) {
+  MatrixF data = CorrelatedData(2000, 16, 50);
+  OpqParams p;
+  p.pq.num_segments = 4;
+  p.opt_iters = 4;
+  OpqCodec c = OpqCodec::Train(data, p);
+  EXPECT_LT(OrthogonalityDefect(c.rotation()), 1e-2);
+}
+
+TEST(Opq, BeatsPlainPqOnCorrelatedData) {
+  MatrixF data = CorrelatedData(3000, 16, 51);
+  PqParams pq;
+  pq.num_segments = 8;
+  OpqParams op;
+  op.pq = pq;
+  op.opt_iters = 16;
+  PqCodec plain = PqCodec::Train(data, pq);
+  OpqCodec opq = OpqCodec::Train(data, op);
+  const double e_pq = PqReconstructionError(plain, data, 500);
+  const double e_opq = ReconstructionError(opq, data, 500);
+  EXPECT_LT(e_opq, e_pq * 0.92) << "OPQ should exploit cross-dim correlation";
+}
+
+TEST(Opq, DecodeRoundTripThroughRotation) {
+  MatrixF data = CorrelatedData(1000, 8, 52);
+  OpqParams p;
+  p.pq.num_segments = 4;
+  p.opt_iters = 3;
+  OpqCodec c = OpqCodec::Train(data, p);
+  // Encoding then decoding must land near the input (within quantizer error,
+  // which for this strongly-clustered data is small).
+  std::vector<uint8_t> codes(c.code_bytes());
+  std::vector<float> dec(8);
+  double err = 0.0, norm = 0.0;
+  for (size_t i = 0; i < 200; ++i) {
+    c.Encode(data.row(i), codes.data());
+    c.Decode(codes.data(), dec.data());
+    for (size_t j = 0; j < 8; ++j) {
+      err += std::pow(dec[j] - data(i, j), 2);
+      norm += std::pow(data(i, j), 2);
+    }
+  }
+  EXPECT_LT(err, norm * 0.2);
+}
+
+TEST(Opq, AdcConsistentWithDecodedDistance) {
+  MatrixF data = CorrelatedData(800, 16, 53);
+  OpqParams p;
+  p.pq.num_segments = 8;
+  p.opt_iters = 3;
+  OpqCodec c = OpqCodec::Train(data, p);
+  std::vector<float> lut(c.pq().num_segments() * c.pq().ksub());
+  std::vector<uint8_t> codes(c.code_bytes());
+  std::vector<float> dec(16);
+  const float* q = data.row(799);
+  c.BuildLut(q, Metric::kL2, lut.data());
+  for (size_t i = 0; i < 20; ++i) {
+    c.Encode(data.row(i), codes.data());
+    c.Decode(codes.data(), dec.data());
+    // Rotation is an isometry: ADC in rotated space == L2 in original space.
+    const float adc = c.AdcDistance(lut.data(), codes.data());
+    const float direct = simd::L2Sqr(q, dec.data(), 16);
+    EXPECT_NEAR(adc, direct, 1e-2f * std::max(1.0f, direct));
+  }
+}
+
+TEST(OpqDataset, ExhaustiveSearchRuns) {
+  Dataset data = MakeDeepLike(1000, 20, 54);
+  OpqParams p;
+  p.pq.num_segments = 24;
+  p.opt_iters = 3;
+  OpqCodec c = OpqCodec::Train(data.base, p);
+  OpqDataset ds(std::move(c), data.base);
+  Matrix<uint32_t> res = ds.ExhaustiveSearch(data.queries, 10, data.metric);
+  EXPECT_EQ(res.rows(), 20u);
+  for (size_t i = 0; i < res.size(); ++i) {
+    EXPECT_LT(res.data()[i], 1000u);
+  }
+}
+
+}  // namespace
+}  // namespace blink

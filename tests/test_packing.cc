@@ -1,0 +1,103 @@
+// Unit tests for bit-packed code storage.
+#include "quant/packing.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace blink {
+namespace {
+
+TEST(Packing, PackedBytesFormula) {
+  EXPECT_EQ(PackedBytes(96, 8), 96u);
+  EXPECT_EQ(PackedBytes(96, 4), 48u);
+  EXPECT_EQ(PackedBytes(96, 16), 192u);
+  EXPECT_EQ(PackedBytes(5, 3), 2u);   // 15 bits -> 2 bytes
+  EXPECT_EQ(PackedBytes(7, 1), 1u);   // 7 bits -> 1 byte
+  EXPECT_EQ(PackedBytes(9, 1), 2u);
+  EXPECT_EQ(PackedBytes(0, 8), 0u);
+}
+
+TEST(Packing, ByteAlignedFastPaths) {
+  std::vector<uint8_t> buf(16, 0);
+  PackCode(buf.data(), 3, 8, 0xAB);
+  EXPECT_EQ(buf[3], 0xAB);
+  EXPECT_EQ(UnpackCode(buf.data(), 3, 8), 0xABu);
+
+  std::fill(buf.begin(), buf.end(), 0);
+  PackCode(buf.data(), 2, 16, 0xBEEF);
+  EXPECT_EQ(UnpackCode(buf.data(), 2, 16), 0xBEEFu);
+  EXPECT_EQ(buf[4], 0xEF);  // LSB first
+  EXPECT_EQ(buf[5], 0xBE);
+}
+
+TEST(Packing, NibblePathLowNibbleFirst) {
+  std::vector<uint8_t> buf(4, 0);
+  PackCode(buf.data(), 0, 4, 0x3);
+  PackCode(buf.data(), 1, 4, 0xC);
+  EXPECT_EQ(buf[0], 0xC3);  // even index = low nibble
+  EXPECT_EQ(UnpackCode(buf.data(), 0, 4), 0x3u);
+  EXPECT_EQ(UnpackCode(buf.data(), 1, 4), 0xCu);
+}
+
+TEST(Packing, CrossByteBoundary) {
+  // 3-bit codes: index 2 spans bits [6, 9), crossing a byte boundary.
+  std::vector<uint8_t> buf(4, 0);
+  PackCode(buf.data(), 2, 3, 0b101);
+  EXPECT_EQ(UnpackCode(buf.data(), 2, 3), 0b101u);
+  // Neighbors unaffected.
+  EXPECT_EQ(UnpackCode(buf.data(), 0, 3), 0u);
+  EXPECT_EQ(UnpackCode(buf.data(), 1, 3), 0u);
+  EXPECT_EQ(UnpackCode(buf.data(), 3, 3), 0u);
+}
+
+TEST(Packing, LastCodeStaysInBounds) {
+  // A 2-bit stream of 4 codes occupies exactly 1 byte; reading the last
+  // code must not touch buf[1]. Canary bytes would make ASan-free
+  // corruption visible as a wrong value.
+  std::vector<uint8_t> buf = {0x00, 0xFF};
+  PackCode(buf.data(), 3, 2, 0b11);
+  EXPECT_EQ(UnpackCode(buf.data(), 3, 2), 0b11u);
+  EXPECT_EQ(buf[1], 0xFF);  // canary untouched by pack
+}
+
+class PackingRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackingRoundTrip, RandomCodesSurviveRoundTrip) {
+  const int bits = GetParam();
+  const size_t d = 97;  // prime length exercises every phase offset
+  std::vector<uint8_t> buf(PackedBytes(d, bits), 0);
+  std::vector<uint32_t> codes(d);
+  Rng rng(bits * 7919);
+  const uint32_t max_code = (bits == 16) ? 0xFFFFu : ((1u << bits) - 1u);
+  for (size_t j = 0; j < d; ++j) {
+    codes[j] = static_cast<uint32_t>(rng.Bounded(max_code + 1ull));
+    PackCode(buf.data(), j, bits, codes[j]);
+  }
+  for (size_t j = 0; j < d; ++j) {
+    EXPECT_EQ(UnpackCode(buf.data(), j, bits), codes[j])
+        << "bits=" << bits << " j=" << j;
+  }
+}
+
+TEST_P(PackingRoundTrip, StreamIsDense) {
+  // Writing all-ones codes must produce exactly ceil(d*bits/8) non-zero
+  // bytes of full coverage: every payload bit is set.
+  const int bits = GetParam();
+  const size_t d = 64;
+  std::vector<uint8_t> buf(PackedBytes(d, bits), 0);
+  const uint32_t ones = (bits == 16) ? 0xFFFFu : ((1u << bits) - 1u);
+  for (size_t j = 0; j < d; ++j) PackCode(buf.data(), j, bits, ones);
+  size_t set_bits = 0;
+  for (uint8_t b : buf) set_bits += static_cast<size_t>(__builtin_popcount(b));
+  EXPECT_EQ(set_bits, d * static_cast<size_t>(bits));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitWidths, PackingRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,152 @@
+// Unit tests for Product Quantization.
+#include "baselines/pq.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/groundtruth.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "simd/distance.h"
+
+namespace blink {
+namespace {
+
+TEST(PqCodec, SegmentBoundariesCoverAllDims) {
+  Dataset data = MakeDeepLike(500, 5, 40);
+  PqParams p;
+  p.num_segments = 7;  // 96 % 7 != 0: remainder spread over first segments
+  PqCodec c = PqCodec::Train(data.base, p);
+  EXPECT_EQ(c.offset(0), 0u);
+  size_t total = 0;
+  for (size_t s = 0; s < c.num_segments(); ++s) total += c.segment_dim(s);
+  EXPECT_EQ(total, 96u);
+  EXPECT_EQ(c.offset(c.num_segments() - 1) + c.segment_dim(c.num_segments() - 1),
+            96u);
+}
+
+TEST(PqCodec, AdcEqualsDecodedL2Distance) {
+  // ADC with an L2 table is exactly ||q - decode(codes)||^2.
+  Dataset data = MakeDeepLike(800, 10, 41);
+  PqParams p;
+  p.num_segments = 12;
+  PqCodec c = PqCodec::Train(data.base, p);
+  std::vector<uint8_t> codes(c.code_bytes());
+  std::vector<float> dec(96), lut(c.num_segments() * c.ksub());
+  for (size_t qi = 0; qi < 10; ++qi) {
+    const float* q = data.queries.row(qi);
+    c.BuildLut(q, Metric::kL2, lut.data());
+    for (size_t i = 0; i < 20; ++i) {
+      c.Encode(data.base.row(i), codes.data());
+      c.Decode(codes.data(), dec.data());
+      const float adc = c.AdcDistance(lut.data(), codes.data());
+      const float direct = simd::L2Sqr(q, dec.data(), 96);
+      EXPECT_NEAR(adc, direct, 1e-3f * std::max(1.0f, direct));
+    }
+  }
+}
+
+TEST(PqCodec, AdcEqualsDecodedIpDistance) {
+  Dataset data = MakeDprLike(400, 5, 42);
+  PqParams p;
+  p.num_segments = 16;
+  PqCodec c = PqCodec::Train(data.base, p);
+  std::vector<uint8_t> codes(c.code_bytes());
+  std::vector<float> dec(768), lut(c.num_segments() * c.ksub());
+  const float* q = data.queries.row(0);
+  c.BuildLut(q, Metric::kInnerProduct, lut.data());
+  for (size_t i = 0; i < 10; ++i) {
+    c.Encode(data.base.row(i), codes.data());
+    c.Decode(codes.data(), dec.data());
+    const float adc = c.AdcDistance(lut.data(), codes.data());
+    const float direct = simd::IpDist(q, dec.data(), 768);
+    EXPECT_NEAR(adc, direct, 1e-2f);
+  }
+}
+
+TEST(PqCodec, ReconstructionBeatsDatasetVariance) {
+  // A trained codebook must explain most of the variance.
+  Dataset data = MakeDeepLike(2000, 5, 43);
+  PqParams p;
+  p.num_segments = 24;
+  PqCodec c = PqCodec::Train(data.base, p);
+  std::vector<uint8_t> codes(c.code_bytes());
+  std::vector<float> dec(96);
+  double err = 0.0, var = 0.0;
+  std::vector<double> mean(96, 0.0);
+  for (size_t i = 0; i < 2000; ++i) {
+    for (size_t j = 0; j < 96; ++j) mean[j] += data.base(i, j);
+  }
+  for (auto& m : mean) m /= 2000.0;
+  for (size_t i = 0; i < 500; ++i) {
+    c.Encode(data.base.row(i), codes.data());
+    c.Decode(codes.data(), dec.data());
+    for (size_t j = 0; j < 96; ++j) {
+      err += std::pow(dec[j] - data.base(i, j), 2);
+      var += std::pow(data.base(i, j) - mean[j], 2);
+    }
+  }
+  EXPECT_LT(err, var * 0.25);
+}
+
+TEST(PqCodec, MoreSegmentsReduceError) {
+  Dataset data = MakeDeepLike(1500, 5, 44);
+  auto mse = [&](size_t m) {
+    PqParams p;
+    p.num_segments = m;
+    PqCodec c = PqCodec::Train(data.base, p);
+    std::vector<uint8_t> codes(c.code_bytes());
+    std::vector<float> dec(96);
+    double err = 0.0;
+    for (size_t i = 0; i < 300; ++i) {
+      c.Encode(data.base.row(i), codes.data());
+      c.Decode(codes.data(), dec.data());
+      for (size_t j = 0; j < 96; ++j) {
+        err += std::pow(dec[j] - data.base(i, j), 2);
+      }
+    }
+    return err;
+  };
+  EXPECT_LT(mse(24), mse(6));
+}
+
+TEST(PqCodec, CompressionRatioFormula) {
+  Dataset data = MakeDeepLike(200, 5, 45);
+  PqParams p;
+  p.num_segments = 8;
+  PqCodec c = PqCodec::Train(data.base, p);
+  // 96 floats (384 bytes) -> 8 bytes of codes: CR = 48.
+  EXPECT_DOUBLE_EQ(c.compression_ratio(), 48.0);
+}
+
+TEST(PqDataset, ExhaustiveSearchRecallReasonable) {
+  Dataset data = MakeDeepLike(3000, 50, 46);
+  const size_t k = 10;
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, k,
+                                           data.metric);
+  PqParams p;
+  p.num_segments = 48;  // 2 dims per segment: high-quality PQ
+  PqCodec c = PqCodec::Train(data.base, p);
+  PqDataset ds(std::move(c), data.base);
+  Matrix<uint32_t> res = ds.ExhaustiveSearch(data.queries, k, data.metric);
+  EXPECT_GE(MeanRecallAtK(res, gt, k), 0.7);
+}
+
+TEST(PqStorage, SatisfiesStorageConceptForGraphs) {
+  Dataset data = MakeDeepLike(500, 5, 47);
+  PqParams p;
+  p.num_segments = 96;  // the paper's PQ_M96 setting (1 dim per segment)
+  PqStorage storage(data.base, data.metric, p);
+  EXPECT_EQ(storage.size(), 500u);
+  EXPECT_EQ(storage.dim(), 96u);
+  PqStorage::Query q;
+  storage.PrepareQuery(data.queries.row(0), &q);
+  std::vector<float> dec(96);
+  storage.DecodeVector(3, dec.data());
+  const float adc = storage.Distance(q, 3);
+  const float direct = simd::L2Sqr(data.queries.row(0), dec.data(), 96);
+  EXPECT_NEAR(adc, direct, 1e-3f * std::max(1.0f, direct));
+}
+
+}  // namespace
+}  // namespace blink

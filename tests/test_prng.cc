@@ -1,0 +1,111 @@
+// Unit tests for the deterministic PRNG.
+#include "util/prng.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace blink {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2() != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformFloatInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = rng.UniformFloat();
+    EXPECT_GE(u, 0.0f);
+    EXPECT_LT(u, 1.0f);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const float u = rng.Uniform(-3.0f, 7.0f);
+    EXPECT_GE(u, -3.0f);
+    EXPECT_LT(u, 7.0f);
+  }
+}
+
+TEST(Rng, BoundedNeverExceedsBound) {
+  Rng rng(3);
+  for (uint64_t n : {1ull, 2ull, 7ull, 100ull, 1000000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.Bounded(n), n);
+    }
+  }
+  EXPECT_EQ(rng.Bounded(0), 0u);
+  EXPECT_EQ(rng.Bounded(1), 0u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(4);
+  const uint64_t n = 10;
+  std::vector<size_t> counts(n, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.Bounded(n)];
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), trials / 10.0, trials / 10.0 * 0.1);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+    sum3 += g * g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+  EXPECT_NEAR(sum3 / n, 0.0, 0.05);  // symmetry
+}
+
+TEST(Rng, GaussianWithParams) {
+  Rng rng(6);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian(10.0f, 3.0f);
+    sum += g;
+    sum2 += (g - 10.0) * (g - 10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum2 / n), 3.0, 0.05);
+}
+
+TEST(Rng, UniformDoubleHighResolution) {
+  Rng rng(7);
+  // 53-bit doubles: consecutive draws essentially never collide.
+  double prev = rng.UniformDouble();
+  int collisions = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    if (u == prev) ++collisions;
+    prev = u;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,210 @@
+// Tests of the Sec. 4 theory: the pruning-rule error term E (Prop. 1,
+// Eq. 19), its Gaussian moments (Prop. 2, Eqs. 12-13), and the folded
+// normal of |E| (Cor. 1, Eqs. 14-15).
+#include "graph/pruning_error.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "quant/lvq.h"
+
+namespace blink {
+namespace {
+
+/// sign(a^T x' - b) evaluated directly from vectors (Eq. 9).
+double HyperplaneSide(const float* x, const float* x_star, const float* x_prime,
+                      size_t d) {
+  double a_xp = 0.0, nx = 0.0, nxs = 0.0, norm2 = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(x[j]) - x_star[j];
+    a_xp += diff * x_prime[j];
+    norm2 += diff * diff;
+    nx += static_cast<double>(x[j]) * x[j];
+    nxs += static_cast<double>(x_star[j]) * x_star[j];
+  }
+  const double norm = std::sqrt(norm2);
+  return a_xp / norm - (nx - nxs) / (2.0 * norm);
+}
+
+TEST(PruningError, ExactIdentityOfPropositionOne) {
+  // The algebraic identity behind Prop. 1:
+  //   (a_hat^T Q(x') - b_hat) * ||Q(x) - Q(x*)||
+  //     == (a^T x' - b) * ||x - x*|| - E.
+  // We verify it numerically with real LVQ reconstructions.
+  Dataset data = MakeDeepLike(300, 2, 200);
+  LvqDataset::Options o;
+  o.bits = 4;
+  LvqDataset ds = LvqDataset::Encode(data.base, o);
+  const size_t d = 96;
+  std::vector<float> qx(d), qxs(d), qxp(d);
+  // Work in centered space: both sides shift identically under the mean.
+  std::vector<float> cx(d), cxs(d), cxp(d);
+  for (size_t trial = 0; trial < 50; ++trial) {
+    const size_t ix = trial, ixs = trial + 100, ixp = trial + 200;
+    ds.DecodeCentered(ix, qx.data());
+    ds.DecodeCentered(ixs, qxs.data());
+    ds.DecodeCentered(ixp, qxp.data());
+    for (size_t j = 0; j < d; ++j) {
+      cx[j] = data.base(ix, j) - ds.mean()[j];
+      cxs[j] = data.base(ixs, j) - ds.mean()[j];
+      cxp[j] = data.base(ixp, j) - ds.mean()[j];
+    }
+    const double e =
+        PruningErrorE(cx.data(), cxs.data(), cxp.data(), qx.data(), qxs.data(),
+                      qxp.data(), d);
+    // LHS: quantized-side hyperplane value scaled by ||Q(x) - Q(x*)||.
+    double qnorm2 = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = static_cast<double>(qx[j]) - qxs[j];
+      qnorm2 += diff * diff;
+    }
+    const double lhs =
+        HyperplaneSide(qx.data(), qxs.data(), qxp.data(), d) * std::sqrt(qnorm2);
+    // RHS: full-precision hyperplane value scaled by ||x - x*||, minus E.
+    double norm2 = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = static_cast<double>(cx[j]) - cxs[j];
+      norm2 += diff * diff;
+    }
+    const double rhs =
+        HyperplaneSide(cx.data(), cxs.data(), cxp.data(), d) * std::sqrt(norm2) -
+        e;
+    EXPECT_NEAR(lhs, rhs, 1e-3 * std::max(1.0, std::fabs(lhs)))
+        << "trial " << trial;
+  }
+}
+
+TEST(PruningError, TheoryMatchesMonteCarloMoments) {
+  // Prop. 2 assumes z ~ U[-Delta/2, Delta/2) per component. Simulate that
+  // exactly and compare the sampled mean/stddev of E with Eqs. 12-13.
+  const size_t d = 96;
+  Rng rng(9);
+  std::vector<float> x(d), xs(d), xp(d);
+  for (size_t j = 0; j < d; ++j) {
+    x[j] = rng.Gaussian();
+    xs[j] = x[j] + 0.2f * rng.Gaussian();
+    xp[j] = x[j] + 0.4f * rng.Gaussian();
+  }
+  const float dx = 0.05f, dxs = 0.03f, dxp = 0.04f;
+
+  std::vector<float> qx(d), qxs(d), qxp(d);
+  double sum = 0.0, sum2 = 0.0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t j = 0; j < d; ++j) {
+      qx[j] = x[j] - dx * (rng.UniformFloat() - 0.5f);
+      qxs[j] = xs[j] - dxs * (rng.UniformFloat() - 0.5f);
+      qxp[j] = xp[j] - dxp * (rng.UniformFloat() - 0.5f);
+    }
+    const double e = PruningErrorE(x.data(), xs.data(), xp.data(), qx.data(),
+                                   qxs.data(), qxp.data(), d);
+    sum += e;
+    sum2 += e * e;
+  }
+  const double mc_mean = sum / trials;
+  const double mc_std = std::sqrt(sum2 / trials - mc_mean * mc_mean);
+
+  double d_x_xp = 0.0, d_xs_xp = 0.0, d_x_xs = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    d_x_xp += std::pow(static_cast<double>(xp[j]) - x[j], 2);
+    d_xs_xp += std::pow(static_cast<double>(xp[j]) - xs[j], 2);
+    d_x_xs += std::pow(static_cast<double>(x[j]) - xs[j], 2);
+  }
+  const PruningErrorTheory th = ComputePruningErrorTheory(
+      dx, dxs, dxp, std::sqrt(d_x_xp), std::sqrt(d_xs_xp), std::sqrt(d_x_xs), d);
+
+  EXPECT_NEAR(mc_mean, th.mu_e, 5e-2 * std::max(1.0, std::fabs(th.mu_e)) + 5e-4);
+  EXPECT_NEAR(mc_std, th.sigma_e, 0.05 * th.sigma_e);
+}
+
+TEST(PruningError, FoldedNormalMomentsConsistent) {
+  // Cor. 1 internal consistency: when mu_E = 0, mu_|E| = sigma*sqrt(2/pi).
+  const PruningErrorTheory t =
+      ComputePruningErrorTheory(0.05, 0.05, 0.04, 1.0, 1.2, 0.8, 96);
+  EXPECT_NEAR(t.mu_e, 0.0, 1e-12);
+  EXPECT_NEAR(t.mu_abs_e, t.sigma_e * std::sqrt(2.0 / M_PI), 1e-9);
+  // And sigma_|E|^2 = mu^2 + sigma^2 - mu_|E|^2 stays positive.
+  EXPECT_GT(t.sigma_abs_e, 0.0);
+  EXPECT_LT(t.sigma_abs_e, t.sigma_e);
+}
+
+TEST(PruningError, MoreBitsShrinkTheoreticalError) {
+  // Halving Delta (one extra bit) must shrink mu_|E| roughly linearly.
+  double prev = 1e30;
+  for (int bits = 2; bits <= 10; ++bits) {
+    const double delta = 1.0 / ((1 << bits) - 1);
+    const PruningErrorTheory t =
+        ComputePruningErrorTheory(delta, delta, delta, 1.0, 1.0, 1.0, 96);
+    EXPECT_LT(t.mu_abs_e, prev);
+    prev = t.mu_abs_e;
+  }
+}
+
+TEST(PruningError, MarginIsPositiveAndScaleCovariant) {
+  const size_t d = 8;
+  std::vector<float> x(d, 0.0f), xs(d, 0.0f), xp(d, 0.0f);
+  xs[0] = 2.0f;   // x* at distance 2 along axis 0
+  xp[0] = 0.4f;   // x' clearly on x's side of the bisector (at 1.0)
+  const double m = PruningMargin(x.data(), xs.data(), xp.data(), d);
+  EXPECT_GT(m, 0.0);
+  // |a^T x' - b| = |0.4 - 1.0| = 0.6; margin = 0.6 * ||x - x*|| = 1.2.
+  EXPECT_NEAR(m, 1.2, 1e-5);
+}
+
+TEST(PruningError, TripletSamplerProducesOrderedTriplets) {
+  Dataset data = MakeDeepLike(500, 2, 201);
+  auto triplets = SamplePruningTriplets(data.base, 100, 50, 7);
+  ASSERT_EQ(triplets.size(), 100u);
+  for (const auto& t : triplets) {
+    EXPECT_LT(t.x, 500u);
+    EXPECT_LT(t.x_star, 500u);
+    EXPECT_LT(t.x_prime, 500u);
+    EXPECT_NE(t.x, t.x_star);
+    EXPECT_NE(t.x, t.x_prime);
+    // x* must be closer to x than x' (the sampling invariant).
+    const float d_star =
+        simd::L2Sqr(data.base.row(t.x), data.base.row(t.x_star), 96);
+    const float d_prime =
+        simd::L2Sqr(data.base.row(t.x), data.base.row(t.x_prime), 96);
+    EXPECT_LE(d_star, d_prime * (1.0f + 1e-5f));
+  }
+}
+
+TEST(PruningError, LvqSaferThanGlobalAtFourBits) {
+  // The Fig. 5 conclusion in miniature: at B = 4, LVQ's empirical |E| stays
+  // well under the pruning margin more often than global quantization's.
+  Dataset data = MakeDeepLike(2000, 2, 202);
+  auto triplets = SamplePruningTriplets(data.base, 200, 100, 11);
+
+  LvqDataset::Options lo;
+  lo.bits = 4;
+  LvqDataset lvq = LvqDataset::Encode(data.base, lo);
+  GlobalDataset::Options go;
+  go.bits = 4;
+  GlobalDataset glob = GlobalDataset::Encode(data.base, go);
+
+  const size_t d = 96;
+  std::vector<float> cx(d), cxs(d), cxp(d), qx(d), qxs(d), qxp(d);
+  auto mean_abs_e = [&](auto& ds) {
+    double acc = 0.0;
+    for (const auto& t : triplets) {
+      for (size_t j = 0; j < d; ++j) {
+        cx[j] = data.base(t.x, j) - ds.mean()[j];
+        cxs[j] = data.base(t.x_star, j) - ds.mean()[j];
+        cxp[j] = data.base(t.x_prime, j) - ds.mean()[j];
+      }
+      ds.DecodeCentered(t.x, qx.data());
+      ds.DecodeCentered(t.x_star, qxs.data());
+      ds.DecodeCentered(t.x_prime, qxp.data());
+      acc += std::fabs(PruningErrorE(cx.data(), cxs.data(), cxp.data(),
+                                     qx.data(), qxs.data(), qxp.data(), d));
+    }
+    return acc / triplets.size();
+  };
+  EXPECT_LT(mean_abs_e(lvq), mean_abs_e(glob));
+}
+
+}  // namespace
+}  // namespace blink

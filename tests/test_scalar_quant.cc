@@ -1,0 +1,122 @@
+// Unit tests for the uniform scalar quantizer (paper Eq. 1).
+#include "quant/scalar.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace blink {
+namespace {
+
+TEST(ScalarQuantizer, DeltaMatchesEquationOne) {
+  // Delta = (u - l) / (2^B - 1).
+  const ScalarQuantizer q(8, -1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(q.delta(), 2.0f / 255.0f);
+  const ScalarQuantizer q4(4, 0.0f, 30.0f);
+  EXPECT_FLOAT_EQ(q4.delta(), 2.0f);
+}
+
+TEST(ScalarQuantizer, BoundsEncodeToExtremeCodes) {
+  const ScalarQuantizer q(8, -3.0f, 5.0f);
+  EXPECT_EQ(q.Encode(-3.0f), 0u);
+  EXPECT_EQ(q.Encode(5.0f), 255u);
+  EXPECT_FLOAT_EQ(q.Decode(0), -3.0f);
+  EXPECT_FLOAT_EQ(q.Decode(255), 5.0f);
+}
+
+TEST(ScalarQuantizer, ReconstructionErrorWithinHalfDelta) {
+  const ScalarQuantizer q(6, -2.0f, 2.0f);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = rng.Uniform(-2.0f, 2.0f);
+    const float err = std::fabs(q.Quantize(x) - x);
+    EXPECT_LE(err, q.max_error() * (1.0f + 1e-5f)) << "x=" << x;
+  }
+}
+
+TEST(ScalarQuantizer, OutOfRangeValuesClampToEdges) {
+  const ScalarQuantizer q(8, 0.0f, 1.0f);
+  EXPECT_EQ(q.Encode(-5.0f), 0u);
+  EXPECT_EQ(q.Encode(42.0f), 255u);
+}
+
+TEST(ScalarQuantizer, DegenerateRangeYieldsZeroCode) {
+  const ScalarQuantizer q(8, 1.5f, 1.5f);
+  EXPECT_EQ(q.Encode(1.5f), 0u);
+  EXPECT_EQ(q.Encode(99.0f), 0u);
+  EXPECT_FLOAT_EQ(q.Decode(0), 1.5f);
+  EXPECT_FLOAT_EQ(q.delta(), 0.0f);
+}
+
+TEST(ScalarQuantizer, MidpointRoundsToNearestLevel) {
+  // Eq. 1 uses floor(t + 1/2): exact midpoints round up.
+  const ScalarQuantizer q(2, 0.0f, 3.0f);  // levels at 0,1,2,3
+  EXPECT_EQ(q.Encode(0.49f), 0u);
+  EXPECT_EQ(q.Encode(0.5f), 1u);
+  EXPECT_EQ(q.Encode(1.49f), 1u);
+}
+
+TEST(ScalarQuantizer, OneBitQuantizer) {
+  const ScalarQuantizer q(1, -1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(q.delta(), 2.0f);
+  EXPECT_EQ(q.Encode(-0.9f), 0u);
+  EXPECT_EQ(q.Encode(0.9f), 1u);
+}
+
+TEST(ResidualQuantizer, BoundsAreHalfDelta) {
+  // Eq. 6: residuals are quantized over [-Delta/2, Delta/2).
+  const ScalarQuantizer rq = ResidualQuantizer(0.5f, 8);
+  EXPECT_FLOAT_EQ(rq.lower(), -0.25f);
+  EXPECT_FLOAT_EQ(rq.upper(), 0.25f);
+  EXPECT_FLOAT_EQ(rq.delta(), 0.5f / 255.0f);
+}
+
+TEST(ResidualQuantizer, TwoStageErrorShrinksByCodeRange) {
+  // Quantizing the residual of an 8-bit quantizer with 8 more bits shrinks
+  // the max error by ~255x.
+  const ScalarQuantizer q1(8, -1.0f, 1.0f);
+  const ScalarQuantizer q2 = ResidualQuantizer(q1.delta(), 8);
+  Rng rng(2);
+  float max_err = 0.0f;
+  for (int i = 0; i < 2000; ++i) {
+    const float x = rng.Uniform(-1.0f, 1.0f);
+    const float l1 = q1.Quantize(x);
+    const float r = x - l1;
+    const float rec = l1 + q2.Quantize(r);
+    max_err = std::max(max_err, std::fabs(rec - x));
+  }
+  EXPECT_LE(max_err, q2.max_error() * 1.01f);
+  EXPECT_LT(max_err, q1.max_error() / 100.0f);
+}
+
+// Parameterized sweep: the quantizer contract holds for every bit width.
+class ScalarQuantBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalarQuantBits, RoundTripWithinHalfDeltaAndCodesInRange) {
+  const int bits = GetParam();
+  const ScalarQuantizer q(bits, -7.0f, 13.0f);
+  Rng rng(bits);
+  for (int i = 0; i < 500; ++i) {
+    const float x = rng.Uniform(-7.0f, 13.0f);
+    const uint32_t c = q.Encode(x);
+    EXPECT_LE(c, MaxCode(bits));
+    EXPECT_LE(std::fabs(q.Decode(c) - x), q.max_error() * (1.0f + 1e-5f));
+  }
+}
+
+TEST_P(ScalarQuantBits, DecodeEncodeIsIdentityOnLevels) {
+  const int bits = GetParam();
+  const ScalarQuantizer q(bits, 0.0f, 100.0f);
+  // Every reconstruction level must encode back to its own code.
+  const uint32_t step = std::max<uint32_t>(1, MaxCode(bits) / 64);
+  for (uint32_t c = 0; c <= MaxCode(bits); c += step) {
+    EXPECT_EQ(q.Encode(q.Decode(c)), c) << "bits=" << bits << " code=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitWidths, ScalarQuantBits,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10, 12, 16));
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,141 @@
+// Unit tests for the sorted linear candidate buffer and visited tracking
+// (paper Sec. 5 "Optimizing graph search").
+#include "graph/search_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace blink {
+namespace {
+
+TEST(SearchBuffer, KeepsAscendingOrder) {
+  SearchBuffer buf(8);
+  Rng rng(1);
+  for (uint32_t i = 0; i < 50; ++i) {
+    buf.Insert(rng.UniformFloat(), i);
+  }
+  ASSERT_EQ(buf.size(), 8u);
+  for (size_t i = 1; i < buf.size(); ++i) {
+    EXPECT_LE(buf[i - 1].dist, buf[i].dist);
+  }
+}
+
+TEST(SearchBuffer, EvictsWorstWhenFull) {
+  SearchBuffer buf(3);
+  buf.Insert(3.0f, 3);
+  buf.Insert(1.0f, 1);
+  buf.Insert(2.0f, 2);
+  EXPECT_FALSE(buf.Insert(5.0f, 5));  // rejected: worse than all
+  EXPECT_TRUE(buf.Insert(0.5f, 0));   // evicts id 3
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf[0].id, 0u);
+  EXPECT_EQ(buf[1].id, 1u);
+  EXPECT_EQ(buf[2].id, 2u);
+}
+
+TEST(SearchBuffer, RejectsDuplicateIds) {
+  SearchBuffer buf(4);
+  EXPECT_TRUE(buf.Insert(1.0f, 7));
+  EXPECT_FALSE(buf.Insert(1.0f, 7));  // same id, same (bit-identical) dist
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(SearchBuffer, DuplicatesAmongEqualDistances) {
+  SearchBuffer buf(8);
+  // Several ids sharing one distance; re-inserting any of them is a no-op.
+  EXPECT_TRUE(buf.Insert(1.0f, 1));
+  EXPECT_TRUE(buf.Insert(1.0f, 2));
+  EXPECT_TRUE(buf.Insert(1.0f, 3));
+  EXPECT_FALSE(buf.Insert(1.0f, 2));
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(SearchBuffer, ExploredTracking) {
+  SearchBuffer buf(4);
+  buf.Insert(2.0f, 2);
+  buf.Insert(1.0f, 1);
+  long idx = buf.NextUnexplored();
+  ASSERT_EQ(idx, 0);
+  EXPECT_EQ(buf[0].id, 1u);
+  buf.MarkExplored(0);
+  idx = buf.NextUnexplored();
+  ASSERT_EQ(idx, 1);
+  buf.MarkExplored(1);
+  EXPECT_EQ(buf.NextUnexplored(), -1);
+}
+
+TEST(SearchBuffer, InsertBeforeExploredRewindsScan) {
+  SearchBuffer buf(4);
+  buf.Insert(2.0f, 2);
+  buf.MarkExplored(static_cast<size_t>(buf.NextUnexplored()));
+  // A closer candidate arrives after the first was explored.
+  buf.Insert(1.0f, 1);
+  const long idx = buf.NextUnexplored();
+  ASSERT_EQ(idx, 0);
+  EXPECT_EQ(buf[0].id, 1u);
+  EXPECT_EQ(buf[0].explored, 0u);
+  EXPECT_EQ(buf[1].id, 2u);
+  EXPECT_EQ(buf[1].explored, 1u);
+}
+
+TEST(SearchBuffer, WorstDistIsInfinityUntilFull) {
+  SearchBuffer buf(2);
+  EXPECT_GT(buf.WorstDist(), 1e37f);
+  buf.Insert(1.0f, 1);
+  EXPECT_GT(buf.WorstDist(), 1e37f);
+  buf.Insert(2.0f, 2);
+  EXPECT_FLOAT_EQ(buf.WorstDist(), 2.0f);
+}
+
+TEST(SearchBuffer, ResetClearsState) {
+  SearchBuffer buf(4);
+  buf.Insert(1.0f, 1);
+  buf.MarkExplored(static_cast<size_t>(buf.NextUnexplored()));
+  buf.Reset(6);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), 6u);
+  EXPECT_EQ(buf.NextUnexplored(), -1);
+}
+
+TEST(SearchBuffer, StressAgainstSortedReference) {
+  const size_t cap = 16;
+  SearchBuffer buf(cap);
+  std::vector<std::pair<float, uint32_t>> ref;
+  Rng rng(42);
+  for (uint32_t i = 0; i < 500; ++i) {
+    const float dist = rng.UniformFloat();
+    buf.Insert(dist, i);
+    ref.push_back({dist, i});
+  }
+  std::sort(ref.begin(), ref.end());
+  ASSERT_EQ(buf.size(), cap);
+  for (size_t i = 0; i < cap; ++i) {
+    EXPECT_FLOAT_EQ(buf[i].dist, ref[i].first) << i;
+    EXPECT_EQ(buf[i].id, ref[i].second) << i;
+  }
+}
+
+TEST(VisitedSet, MarksAndResets) {
+  VisitedSet v(10);
+  v.NextQuery();
+  EXPECT_FALSE(v.Visited(3));
+  EXPECT_TRUE(v.CheckAndMark(3));
+  EXPECT_TRUE(v.Visited(3));
+  EXPECT_FALSE(v.CheckAndMark(3));
+  v.NextQuery();  // O(1) reset
+  EXPECT_FALSE(v.Visited(3));
+}
+
+TEST(VisitedSet, SurvivesEpochWraparound) {
+  VisitedSet v(4);
+  // Force many epochs; correctness must hold across the uint32 wrap.
+  for (int i = 0; i < 1000; ++i) {
+    v.NextQuery();
+    EXPECT_TRUE(v.CheckAndMark(2));
+    EXPECT_FALSE(v.CheckAndMark(2));
+  }
+}
+
+}  // namespace
+}  // namespace blink

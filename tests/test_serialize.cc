@@ -1,0 +1,160 @@
+// Unit tests for index persistence (graph/serialize.h).
+#include "graph/serialize.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "data/groundtruth.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace blink {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    const std::string p = testing::TempDir() + "blink_ser_" + name;
+    cleanup_.push_back(p);
+    return p;
+  }
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::remove(p.c_str());
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(SerializeTest, GraphRoundTrip) {
+  Dataset data = MakeDeepLike(500, 5, 600);
+  FloatStorage storage(data.base, data.metric);
+  VamanaBuildParams bp;
+  bp.graph_max_degree = 16;
+  bp.window_size = 32;
+  BuiltGraph g = BuildVamana(storage, bp);
+  const std::string p = Path("a.graph");
+  ASSERT_TRUE(SaveGraph(p, g.graph, g.entry_point).ok());
+  auto r = LoadGraph(p, /*use_huge_pages=*/false);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const BuiltGraph& g2 = r.value();
+  ASSERT_EQ(g2.graph.size(), g.graph.size());
+  ASSERT_EQ(g2.graph.max_degree(), g.graph.max_degree());
+  ASSERT_EQ(g2.entry_point, g.entry_point);
+  for (size_t i = 0; i < g.graph.size(); ++i) {
+    ASSERT_EQ(g2.graph.degree(i), g.graph.degree(i)) << i;
+    for (uint32_t e = 0; e < g.graph.degree(i); ++e) {
+      ASSERT_EQ(g2.graph.neighbors(i)[e], g.graph.neighbors(i)[e]) << i;
+    }
+  }
+}
+
+TEST_F(SerializeTest, LvqRoundTripIsBitExact) {
+  Dataset data = MakeDeepLike(300, 5, 601);
+  LvqDataset::Options o;
+  o.bits = 8;
+  LvqDataset ds = LvqDataset::Encode(data.base, o);
+  const std::string p = Path("a.vecs");
+  ASSERT_TRUE(SaveLvq(p, ds).ok());
+  auto r = LoadLvq(p, false);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const LvqDataset& ds2 = r.value();
+  ASSERT_EQ(ds2.size(), ds.size());
+  ASSERT_EQ(ds2.dim(), ds.dim());
+  ASSERT_EQ(ds2.bits(), ds.bits());
+  ASSERT_EQ(ds2.vector_footprint(), ds.vector_footprint());
+  EXPECT_EQ(ds2.mean(), ds.mean());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_EQ(0, std::memcmp(ds2.blob(i), ds.blob(i), ds.vector_footprint()))
+        << i;
+  }
+}
+
+TEST_F(SerializeTest, Lvq2RoundTripIsBitExact) {
+  Dataset data = MakeDeepLike(200, 5, 602);
+  LvqDataset2::Options o;
+  o.bits1 = 4;
+  o.bits2 = 8;
+  LvqDataset2 ds = LvqDataset2::Encode(data.base, o);
+  const std::string p = Path("b.vecs");
+  ASSERT_TRUE(SaveLvq2(p, ds).ok());
+  auto r = LoadLvq2(p, false);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const LvqDataset2& ds2 = r.value();
+  ASSERT_EQ(ds2.bits1(), 4);
+  ASSERT_EQ(ds2.bits2(), 8);
+  std::vector<float> a(ds.dim()), b(ds.dim());
+  for (size_t i = 0; i < ds.size(); i += 13) {
+    ds.Decode(i, a.data());
+    ds2.Decode(i, b.data());
+    for (size_t j = 0; j < ds.dim(); ++j) ASSERT_EQ(a[j], b[j]) << i;
+  }
+}
+
+TEST_F(SerializeTest, FullIndexBundleServesIdenticalResults) {
+  Dataset data = MakeDeepLike(1500, 30, 603);
+  VamanaBuildParams bp;
+  bp.graph_max_degree = 16;
+  bp.window_size = 32;
+  auto built = BuildOgLvq(data.base, data.metric, 8, 0, bp);
+  const std::string prefix = testing::TempDir() + "blink_ser_bundle";
+  cleanup_.push_back(prefix + ".graph");
+  cleanup_.push_back(prefix + ".vecs");
+  ASSERT_TRUE(SaveOgLvqIndex(prefix, *built).ok());
+
+  auto loaded = LoadOgLvqIndex(prefix, data.metric, bp, false);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  RuntimeParams p;
+  p.window = 40;
+  const size_t k = 10;
+  Matrix<uint32_t> a(data.queries.rows(), k), b(data.queries.rows(), k);
+  built->SearchBatch(data.queries, k, p, a.data());
+  loaded.value()->SearchBatch(data.queries, k, p, b.data());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << i;
+  }
+}
+
+TEST_F(SerializeTest, TwoLevelBundleRoundTrips) {
+  Dataset data = MakeDeepLike(800, 10, 604);
+  VamanaBuildParams bp;
+  bp.graph_max_degree = 16;
+  bp.window_size = 32;
+  auto built = BuildOgLvq(data.base, data.metric, 4, 8, bp);
+  const std::string prefix = testing::TempDir() + "blink_ser_bundle2";
+  cleanup_.push_back(prefix + ".graph");
+  cleanup_.push_back(prefix + ".vecs");
+  ASSERT_TRUE(SaveOgLvqIndex(prefix, *built).ok());
+  auto loaded = LoadOgLvqIndex(prefix, data.metric, bp, false);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value()->storage().has_second_level());
+  RuntimeParams p;
+  p.window = 32;
+  Matrix<uint32_t> a(10, 10), b(10, 10);
+  built->SearchBatch(data.queries, 10, p, a.data());
+  loaded.value()->SearchBatch(data.queries, 10, p, b.data());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST_F(SerializeTest, CorruptFilesRejected) {
+  const std::string p = Path("bad.graph");
+  FILE* f = std::fopen(p.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint32_t junk = 0x12345678;
+  std::fwrite(&junk, 4, 1, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadGraph(p).ok());
+  EXPECT_FALSE(LoadLvq(p).ok());
+  EXPECT_FALSE(LoadLvq2(p).ok());
+  EXPECT_FALSE(LoadGraph("/nonexistent/x.graph").ok());
+}
+
+TEST_F(SerializeTest, GraphWithOutOfRangeNeighborRejected) {
+  FlatGraph g(4, 2, false);
+  const uint32_t bogus[] = {99};  // beyond n=4
+  g.SetNeighbors(0, bogus, 1);
+  const std::string p = Path("oob.graph");
+  ASSERT_TRUE(SaveGraph(p, g, 0).ok());
+  EXPECT_FALSE(LoadGraph(p).ok());
+}
+
+}  // namespace
+}  // namespace blink

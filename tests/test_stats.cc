@@ -1,0 +1,84 @@
+// Unit tests for the statistics helpers.
+#include "util/stats.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace blink {
+namespace {
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, GaussianSampleMoments) {
+  RunningStats s;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) s.Add(rng.Gaussian(5.0f, 2.0f));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 73), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);    // bin 0
+  h.Add(9.5);    // bin 9
+  h.Add(-3.0);   // clamps to bin 0
+  h.Add(100.0);  // clamps to bin 9
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bins()[0], 2u);
+  EXPECT_EQ(h.bins()[9], 2u);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.5);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.125);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 0.875);
+}
+
+TEST(Histogram, RangeUtilizationFullVsPartial) {
+  // Uniform samples fill every bin; concentrated samples fill few.
+  Histogram full(0.0, 1.0, 20), narrow(0.0, 1.0, 20);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    full.Add(rng.UniformDouble());
+    narrow.Add(0.45 + 0.1 * rng.UniformDouble());
+  }
+  EXPECT_GT(full.RangeUtilization(), 0.95);
+  EXPECT_LT(narrow.RangeUtilization(), 0.2);
+}
+
+TEST(Histogram, AsciiRenderingContainsBars) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 10; ++i) h.Add(0.1);
+  const std::string s = h.ToAscii(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,194 @@
+// Unit tests for the synthetic dataset families (Table 2 stand-ins).
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <set>
+
+namespace blink {
+namespace {
+
+TEST(Synthetic, ShapesAndMetricsMatchFamilies) {
+  Dataset deep = MakeDeepLike(100, 10);
+  EXPECT_EQ(deep.base.rows(), 100u);
+  EXPECT_EQ(deep.base.cols(), 96u);
+  EXPECT_EQ(deep.queries.rows(), 10u);
+  EXPECT_EQ(deep.metric, Metric::kL2);
+
+  Dataset dpr = MakeDprLike(50, 5);
+  EXPECT_EQ(dpr.base.cols(), 768u);
+  EXPECT_EQ(dpr.metric, Metric::kInnerProduct);
+
+  Dataset t2i = MakeT2iLike(50, 5);
+  EXPECT_EQ(t2i.base.cols(), 200u);
+  EXPECT_EQ(t2i.metric, Metric::kInnerProduct);
+
+  Dataset gist = MakeGistLike(20, 2);
+  EXPECT_EQ(gist.base.cols(), 960u);
+  Dataset sift = MakeSiftLike(20, 2);
+  EXPECT_EQ(sift.base.cols(), 128u);
+  Dataset glove = MakeGloveLike(25, 20, 2);
+  EXPECT_EQ(glove.base.cols(), 25u);
+}
+
+TEST(Synthetic, CosineFamiliesAreUnitNormalized) {
+  auto check = [](const Dataset& data) {
+    for (size_t i = 0; i < data.base.rows(); ++i) {
+      double norm = 0.0;
+      for (size_t j = 0; j < data.base.cols(); ++j) {
+        norm += static_cast<double>(data.base(i, j)) * data.base(i, j);
+      }
+      EXPECT_NEAR(norm, 1.0, 1e-4) << data.name << " row " << i;
+    }
+  };
+  check(MakeDeepLike(200, 20));
+  check(MakeGloveLike(50, 200, 20));
+}
+
+TEST(Synthetic, DescriptorFamiliesAreNonNegative) {
+  auto check = [](const Dataset& data) {
+    for (size_t i = 0; i < data.base.rows(); ++i) {
+      for (size_t j = 0; j < data.base.cols(); ++j) {
+        EXPECT_GE(data.base(i, j), 0.0f) << data.name;
+      }
+    }
+  };
+  check(MakeSiftLike(100, 5));
+  check(MakeGistLike(50, 5));
+}
+
+TEST(Synthetic, DeterministicGivenSeed) {
+  Dataset a = MakeDeepLike(100, 10, 5);
+  Dataset b = MakeDeepLike(100, 10, 5);
+  Dataset c = MakeDeepLike(100, 10, 6);
+  for (size_t i = 0; i < a.base.size(); ++i) {
+    ASSERT_EQ(a.base.data()[i], b.base.data()[i]);
+  }
+  bool any_diff = false;
+  for (size_t i = 0; i < a.base.size(); ++i) {
+    if (a.base.data()[i] != c.base.data()[i]) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, DimensionsHaveDistinctMeans) {
+  // The property LVQ's de-meaning exploits (paper Fig. 3): raw dimensions
+  // have visibly different means.
+  Dataset data = MakeGloveLike(50, 2000, 10);
+  std::vector<double> means(50, 0.0);
+  for (size_t i = 0; i < data.base.rows(); ++i) {
+    for (size_t j = 0; j < 50; ++j) means[j] += data.base(i, j);
+  }
+  double spread = 0.0;
+  for (auto& m : means) m /= 2000.0;
+  for (double m : means) spread = std::max(spread, std::fabs(m));
+  EXPECT_GT(spread, 0.01);
+}
+
+TEST(Synthetic, DataIsClusterable) {
+  // Mixture structure: nearest-neighbor distances must be far below the
+  // typical inter-point distance (pure iid Gaussian would not show this).
+  Dataset data = MakeDeepLike(2000, 1, 11);
+  const size_t d = data.base.cols();
+  double nn = 0.0, avg = 0.0;
+  const size_t probes = 50;
+  for (size_t p = 0; p < probes; ++p) {
+    const float* x = data.base.row(p * 37 % 2000);
+    double best = 1e30, sum = 0.0;
+    for (size_t i = 0; i < 2000; ++i) {
+      if (data.base.row(i) == x) continue;
+      double dist = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = x[j] - data.base(i, j);
+        dist += diff * diff;
+      }
+      best = std::min(best, dist);
+      sum += dist;
+    }
+    nn += best;
+    avg += sum / 1999.0;
+  }
+  EXPECT_LT(nn / probes, 0.5 * avg / probes);
+}
+
+TEST(Synthetic, T2iQueriesComeFromShiftedDistribution) {
+  Dataset data = MakeT2iLike(3000, 3000, 12);
+  // Per-dimension means of base vs queries must differ measurably.
+  const size_t d = data.base.cols();
+  double max_shift = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    double mb = 0.0, mq = 0.0;
+    for (size_t i = 0; i < 3000; ++i) {
+      mb += data.base(i, j);
+      mq += data.queries(i, j);
+    }
+    max_shift = std::max(max_shift, std::fabs(mb - mq) / 3000.0);
+  }
+  EXPECT_GT(max_shift, 0.05);
+}
+
+TEST(Synthetic, ModifyVarianceScalesChosenDimsOnly) {
+  Dataset data = MakeDeepLike(500, 100, 13);
+  MatrixF base_orig = data.base.Clone();
+  MatrixF q_orig = data.queries.Clone();
+  ModifyDatasetVariance(&data.base, &data.queries, 0.2, 10.0, 100.0, 99);
+  size_t changed = 0;
+  for (size_t j = 0; j < 96; ++j) {
+    bool dim_changed = false;
+    for (size_t i = 0; i < 10; ++i) {
+      if (data.base(i, j) != base_orig(i, j)) dim_changed = true;
+    }
+    if (dim_changed) {
+      ++changed;
+      // Scaled consistently: ratio constant across rows (where nonzero).
+      const float ratio = data.base(0, j) / base_orig(0, j);
+      EXPECT_GT(ratio, 9.0f);
+      EXPECT_LT(ratio, 101.0f);
+      for (size_t i = 1; i < 5; ++i) {
+        if (std::fabs(base_orig(i, j)) > 1e-6f) {
+          EXPECT_NEAR(data.base(i, j) / base_orig(i, j), ratio,
+                      std::fabs(ratio) * 1e-4f);
+        }
+      }
+      // Queries scaled with the same factor.
+      if (std::fabs(q_orig(0, j)) > 1e-6f) {
+        EXPECT_NEAR(data.queries(0, j) / q_orig(0, j), ratio,
+                    std::fabs(ratio) * 1e-4f);
+      }
+    }
+  }
+  EXPECT_EQ(changed, 96u / 5u);  // 20% of dimensions
+}
+
+TEST(Synthetic, RandomVarVarHasBimodalSpread) {
+  Dataset data = MakeRandomVarVar(3000, 10, 96, 14);
+  // ~20% of dims must have stddev >= 10, the rest <= ~1.
+  size_t large = 0, small = 0;
+  for (size_t j = 0; j < 96; ++j) {
+    double m = 0.0, v = 0.0;
+    for (size_t i = 0; i < 3000; ++i) m += data.base(i, j);
+    m /= 3000.0;
+    for (size_t i = 0; i < 3000; ++i) v += std::pow(data.base(i, j) - m, 2);
+    const double sd = std::sqrt(v / 3000.0);
+    if (sd > 5.0) ++large;
+    if (sd < 1.5) ++small;
+  }
+  EXPECT_EQ(large, 96u / 5u);
+  EXPECT_EQ(small, 96u - 96u / 5u);
+}
+
+TEST(Synthetic, NormalizeRowsHandlesZeroVector) {
+  MatrixF m(2, 3);
+  m(0, 0) = 3.0f;
+  m(0, 1) = 4.0f;  // norm 5
+  NormalizeRows(&m);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.6f);
+  EXPECT_FLOAT_EQ(m(0, 1), 0.8f);
+  EXPECT_FLOAT_EQ(m(1, 0), 0.0f);  // zero row stays zero, no NaN
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,91 @@
+// blink_build — build an OG-LVQ index from an fvecs file and persist it.
+//
+// Usage:
+//   blink_build <base.fvecs> <out_prefix> [options]
+//     --metric l2|ip        similarity (default l2)
+//     --bits1 B             level-1 LVQ bits (default 8)
+//     --bits2 B             level-2 residual bits, 0 = one-level (default 0)
+//     --R N                 graph max out-degree (default 32)
+//     --window N            build window W (default 2R)
+//     --alpha F             pruning relaxation (default 1.2 l2 / 0.95 ip)
+// Writes <out_prefix>.graph and <out_prefix>.vecs (see graph/serialize.h).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "blink.h"
+
+using namespace blink;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <base.fvecs> <out_prefix> [--metric l2|ip] "
+               "[--bits1 B] [--bits2 B] [--R N] [--window N] [--alpha F]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  const std::string base_path = argv[1];
+  const std::string prefix = argv[2];
+  Metric metric = Metric::kL2;
+  int bits1 = 8, bits2 = 0;
+  uint32_t R = 32, window = 0;
+  float alpha = 0.0f;
+  for (int a = 3; a + 1 < argc; a += 2) {
+    const std::string flag = argv[a];
+    const char* val = argv[a + 1];
+    if (flag == "--metric") {
+      metric = std::strcmp(val, "ip") == 0 ? Metric::kInnerProduct : Metric::kL2;
+    } else if (flag == "--bits1") {
+      bits1 = std::atoi(val);
+    } else if (flag == "--bits2") {
+      bits2 = std::atoi(val);
+    } else if (flag == "--R") {
+      R = static_cast<uint32_t>(std::atoi(val));
+    } else if (flag == "--window") {
+      window = static_cast<uint32_t>(std::atoi(val));
+    } else if (flag == "--alpha") {
+      alpha = static_cast<float>(std::atof(val));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  auto base = ReadFvecs(base_path);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu vectors, d=%zu\n", base.value().rows(),
+              base.value().cols());
+
+  VamanaBuildParams bp;
+  bp.graph_max_degree = R;
+  bp.window_size = window > 0 ? window : 2 * R;
+  bp.alpha = alpha > 0.0f ? alpha
+                          : (metric == Metric::kL2 ? 1.2f : 0.95f);
+
+  ThreadPool pool(NumThreads());
+  Timer t;
+  auto index = BuildOgLvq(base.value(), metric, bits1, bits2, bp, &pool);
+  std::printf("built %s in %.1fs (%.1f MiB: vectors %.1f + graph %.1f)\n",
+              index->name().c_str(), t.Seconds(),
+              index->memory_bytes() / 1048576.0,
+              index->storage().memory_bytes() / 1048576.0,
+              index->graph().memory_bytes() / 1048576.0);
+
+  Status st = SaveOgLvqIndex(prefix, *index);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %s.{graph,vecs}\n", prefix.c_str());
+  return 0;
+}

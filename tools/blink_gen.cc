@@ -1,0 +1,88 @@
+// blink_gen — generate a synthetic dataset family to fvecs files.
+//
+// Usage:
+//   blink_gen <family> <n> <nq> <out_prefix> [seed]
+//     family: deep | gist | sift | glove25 | glove50 | dpr | t2i
+// Writes <out_prefix>.base.fvecs, <out_prefix>.query.fvecs and
+// <out_prefix>.gt.ivecs (exact top-100 under the family's metric).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "blink.h"
+
+using namespace blink;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <deep|gist|sift|glove25|glove50|dpr|t2i> <n> <nq> "
+               "<out_prefix> [seed]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 5) return Usage(argv[0]);
+  const std::string family = argv[1];
+  const size_t n = std::strtoull(argv[2], nullptr, 10);
+  const size_t nq = std::strtoull(argv[3], nullptr, 10);
+  const std::string prefix = argv[4];
+  const uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1234;
+  if (n == 0 || nq == 0) return Usage(argv[0]);
+
+  Dataset data;
+  if (family == "deep") {
+    data = MakeDeepLike(n, nq, seed);
+  } else if (family == "gist") {
+    data = MakeGistLike(n, nq, seed);
+  } else if (family == "sift") {
+    data = MakeSiftLike(n, nq, seed);
+  } else if (family == "glove25") {
+    data = MakeGloveLike(25, n, nq, seed);
+  } else if (family == "glove50") {
+    data = MakeGloveLike(50, n, nq, seed);
+  } else if (family == "dpr") {
+    data = MakeDprLike(n, nq, seed);
+  } else if (family == "t2i") {
+    data = MakeT2iLike(n, nq, seed);
+  } else {
+    return Usage(argv[0]);
+  }
+
+  std::printf("generated %s: n=%zu nq=%zu d=%zu metric=%s\n",
+              data.name.c_str(), n, nq, data.base.cols(),
+              MetricName(data.metric));
+
+  Status st = WriteFvecs(prefix + ".base.fvecs", data.base);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = WriteFvecs(prefix + ".query.fvecs", data.queries);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const size_t k = std::min<size_t>(100, n);
+  ThreadPool pool(NumThreads());
+  Matrix<uint32_t> gt =
+      ComputeGroundTruth(data.base, data.queries, k, data.metric, &pool);
+  Matrix<int32_t> gt_i(gt.rows(), gt.cols());
+  for (size_t i = 0; i < gt.size(); ++i) {
+    gt_i.data()[i] = static_cast<int32_t>(gt.data()[i]);
+  }
+  st = WriteIvecs(prefix + ".gt.ivecs", gt_i);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s.{base.fvecs,query.fvecs,gt.ivecs} (gt k=%zu)\n",
+              prefix.c_str(), k);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// blink_search — load a persisted OG-LVQ index, run a query batch, report
+// QPS (best of 5, as the paper measures) and, when ground truth is given,
+// k-recall@k.
+//
+// Usage:
+//   blink_search <index_prefix> <query.fvecs> [options]
+//     --metric l2|ip        similarity used at build time (default l2)
+//     --k N                 neighbors per query (default 10)
+//     --window N[,N...]     search windows to sweep (default 10,20,40,80)
+//     --gt file.ivecs       exact ground truth for recall
+//     --out file.ivecs      write result ids
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "blink.h"
+
+using namespace blink;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <index_prefix> <query.fvecs> [--metric l2|ip] "
+               "[--k N] [--window N,N,...] [--gt gt.ivecs] [--out res.ivecs]\n",
+               argv0);
+  return 2;
+}
+
+std::vector<uint32_t> ParseWindows(const char* s) {
+  std::vector<uint32_t> out;
+  for (const char* p = s; *p != '\0';) {
+    out.push_back(static_cast<uint32_t>(std::strtoul(p, nullptr, 10)));
+    p = std::strchr(p, ',');
+    if (p == nullptr) break;
+    ++p;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  const std::string prefix = argv[1];
+  const std::string query_path = argv[2];
+  Metric metric = Metric::kL2;
+  size_t k = 10;
+  std::vector<uint32_t> windows = {10, 20, 40, 80};
+  std::string gt_path, out_path;
+  for (int a = 3; a + 1 < argc; a += 2) {
+    const std::string flag = argv[a];
+    const char* val = argv[a + 1];
+    if (flag == "--metric") {
+      metric = std::strcmp(val, "ip") == 0 ? Metric::kInnerProduct : Metric::kL2;
+    } else if (flag == "--k") {
+      k = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--window") {
+      windows = ParseWindows(val);
+    } else if (flag == "--gt") {
+      gt_path = val;
+    } else if (flag == "--out") {
+      out_path = val;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  VamanaBuildParams bp;  // configuration only; graph comes from disk
+  auto index = LoadOgLvqIndex(prefix, metric, bp);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  auto queries = ReadFvecs(query_path);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  const size_t nq = queries.value().rows();
+  std::printf("index %s: n=%zu d=%zu (%.1f MiB); %zu queries\n",
+              index.value()->name().c_str(), index.value()->size(),
+              index.value()->dim(), index.value()->memory_bytes() / 1048576.0,
+              nq);
+
+  Matrix<uint32_t> gt;
+  if (!gt_path.empty()) {
+    auto g = ReadIvecs(gt_path);
+    if (!g.ok()) {
+      std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    gt = Matrix<uint32_t>(g.value().rows(), g.value().cols());
+    for (size_t i = 0; i < gt.size(); ++i) {
+      gt.data()[i] = static_cast<uint32_t>(g.value().data()[i]);
+    }
+  }
+
+  ThreadPool pool(NumThreads());
+  Matrix<uint32_t> ids(nq, k);
+  std::printf("%-8s %-12s %-10s\n", "window", "QPS", gt_path.empty() ? "-" : "recall");
+  for (uint32_t w : windows) {
+    RuntimeParams params;
+    params.window = w;
+    double best = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      Timer t;
+      index.value()->SearchBatch(queries.value(), k, params, ids.data(), &pool);
+      best = std::max(best, static_cast<double>(nq) / t.Seconds());
+    }
+    if (gt.rows() == nq) {
+      std::printf("%-8u %-12.0f %-10.4f\n", w, best, MeanRecallAtK(ids, gt, k));
+    } else {
+      std::printf("%-8u %-12.0f %-10s\n", w, best, "-");
+    }
+  }
+
+  if (!out_path.empty()) {
+    Matrix<int32_t> out(nq, k);
+    for (size_t i = 0; i < out.size(); ++i) {
+      out.data()[i] = static_cast<int32_t>(ids.data()[i]);
+    }
+    Status st = WriteIvecs(out_path, out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
