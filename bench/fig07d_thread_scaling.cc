@@ -12,7 +12,8 @@ using namespace blinkbench;
 namespace {
 
 template <typename Index>
-void Scaling(const Index& idx, const Dataset& data, const Matrix<uint32_t>& gt,
+void Scaling(const Index& idx, const Dataset& data,
+             [[maybe_unused]] const Matrix<uint32_t>& gt,
              const std::vector<size_t>& thread_counts) {
   std::printf("%-16s", idx.storage().encoding_name());
   RuntimeParams p;

@@ -63,7 +63,7 @@ struct Candidate {
 /// similarity form for IP (alpha <= 1); we evaluate it in similarity space
 /// so one code path serves both metrics.
 template <typename Storage>
-void RobustPrune(const Storage& storage, uint32_t x,
+void RobustPrune(const Storage& storage, [[maybe_unused]] uint32_t x,
                  std::vector<Candidate>& cands, float alpha, uint32_t R,
                  std::vector<float>& decode_buf,
                  typename Storage::Query& qstate,

@@ -58,7 +58,8 @@ void DynamicIndex::CollectCandidates(const float* query, uint32_t window,
   }
 }
 
-void DynamicIndex::RobustPrune(const float* x, std::vector<Candidate>& cands,
+void DynamicIndex::RobustPrune([[maybe_unused]] const float* x,
+                               std::vector<Candidate>& cands,
                                std::vector<uint32_t>* out) const {
   std::sort(cands.begin(), cands.end());
   cands.erase(std::unique(cands.begin(), cands.end(),

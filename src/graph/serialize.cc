@@ -206,18 +206,22 @@ Result<std::unique_ptr<VamanaIndex<LvqStorage>>> LoadOgLvqIndex(
     bool use_huge_pages) {
   Result<BuiltGraph> graph = LoadGraph(prefix + ".graph", use_huge_pages);
   if (!graph.ok()) return graph.status();
+  // The on-disk graph knows its own degree; don't let the caller's default
+  // build params misreport it (e.g. in name()).
+  VamanaBuildParams actual = bp;
+  actual.graph_max_degree = graph.value().graph.max_degree();
   // Try two-level first, fall back to one-level.
   Result<LvqDataset2> two = LoadLvq2(prefix + ".vecs", use_huge_pages);
   if (two.ok()) {
     LvqStorage storage(std::move(two).value(), metric);
     return std::make_unique<VamanaIndex<LvqStorage>>(
-        std::move(storage), std::move(graph).value(), bp);
+        std::move(storage), std::move(graph).value(), actual);
   }
   Result<LvqDataset> one = LoadLvq(prefix + ".vecs", use_huge_pages);
   if (!one.ok()) return one.status();
   LvqStorage storage(std::move(one).value(), metric);
   return std::make_unique<VamanaIndex<LvqStorage>>(
-      std::move(storage), std::move(graph).value(), bp);
+      std::move(storage), std::move(graph).value(), actual);
 }
 
 }  // namespace blink

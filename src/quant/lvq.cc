@@ -31,7 +31,8 @@ Float16 NudgeUp(Float16 h) {
 }
 
 /// Mean of all rows; the "global first moment" LVQ centers with.
-std::vector<float> ComputeMean(MatrixViewF data, ThreadPool* pool) {
+std::vector<float> ComputeMean(MatrixViewF data,
+                               [[maybe_unused]] ThreadPool* pool) {
   const size_t n = data.rows, d = data.cols;
   std::vector<float> mean(d, 0.0f);
   if (n == 0) return mean;

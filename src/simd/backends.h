@@ -1,0 +1,65 @@
+// Internal: per-backend kernel tables for runtime SIMD dispatch.
+//
+// Each instruction-set backend (scalar, AVX2, AVX-512) is the same kernel
+// source (kernels.inc) compiled in its own translation unit with per-file
+// -march flags, exporting one KernelTable. distance.cc picks a table at
+// startup with cpuid (overridable via BLINK_SIMD=scalar|avx2|avx512), so a
+// plain x86-64 binary still runs everywhere while using the widest ISA the
+// host supports. Not part of the public API — include simd/distance.h.
+#pragma once
+
+#include "simd/distance.h"
+
+// The dimensions of every dataset family in the paper (Table 2). Single
+// source of truth for the static-dimensionality specializations: consumed
+// by MAKE_DISPATCH in kernels.inc (per backend) and HasStaticDim() in
+// distance.cc. Extra arguments are forwarded to X after the dimension.
+#define BLINK_STATIC_DIMS_APPLY(X, D, ...) X(D __VA_OPT__(, ) __VA_ARGS__)
+#define BLINK_STATIC_DIMS(X, ...)                 \
+  BLINK_STATIC_DIMS_APPLY(X, 25, __VA_ARGS__)     \
+  BLINK_STATIC_DIMS_APPLY(X, 50, __VA_ARGS__)     \
+  BLINK_STATIC_DIMS_APPLY(X, 96, __VA_ARGS__)     \
+  BLINK_STATIC_DIMS_APPLY(X, 128, __VA_ARGS__)    \
+  BLINK_STATIC_DIMS_APPLY(X, 200, __VA_ARGS__)    \
+  BLINK_STATIC_DIMS_APPLY(X, 256, __VA_ARGS__)    \
+  BLINK_STATIC_DIMS_APPLY(X, 768, __VA_ARGS__)    \
+  BLINK_STATIC_DIMS_APPLY(X, 960, __VA_ARGS__)
+
+namespace blink::simd {
+
+struct KernelTable {
+  const char* name;
+
+  // Dynamic-dimension kernels (also what the static-dim getters fall back
+  // to for un-specialized d).
+  DistF32Fn l2_f32;
+  DistF32Fn ip_f32;
+  DistF16Fn l2_f16;
+  DistF16Fn ip_f16;
+  DistU8Fn l2_u8;
+  DistU8Fn ip_u8;
+  DistU4Fn l2_u4;
+  DistU4Fn ip_u4;
+
+  // Static-dimensionality getters: return a compile-time trip-count
+  // specialization when d is instantiated, else the dynamic kernel above.
+  DistF32Fn (*get_l2_f32)(size_t d);
+  DistF32Fn (*get_ip_f32)(size_t d);
+  DistF16Fn (*get_l2_f16)(size_t d);
+  DistF16Fn (*get_ip_f16)(size_t d);
+  DistU8Fn (*get_l2_u8)(size_t d);
+  DistU8Fn (*get_ip_u8)(size_t d);
+  DistU4Fn (*get_l2_u4)(size_t d);
+  DistU4Fn (*get_ip_u4)(size_t d);
+};
+
+// One per backend TU. The AVX tables exist only when the build compiled
+// their TU (BLINK_HAVE_AVX2_TU / BLINK_HAVE_AVX512_TU).
+const KernelTable& ScalarKernels();
+const KernelTable& Avx2Kernels();
+const KernelTable& Avx512Kernels();
+
+/// The table selected for this process (cpuid + BLINK_SIMD override).
+const KernelTable& ActiveKernels();
+
+}  // namespace blink::simd

@@ -1,17 +1,26 @@
+// Runtime-dispatched similarity kernels.
+//
+// The kernel bodies live in kernels.inc, compiled once per backend with
+// per-file -march flags (kernels_scalar.cc / kernels_avx2.cc /
+// kernels_avx512.cc). This TU holds the portable reference kernels and the
+// dispatcher: cpuid picks the widest table the host supports, and the
+// BLINK_SIMD environment variable (scalar|avx2|avx512) can force a narrower
+// one for testing and ablations.
+
 #include "simd/distance.h"
 
-#include <cassert>
-
-#if defined(__AVX512F__) || defined(__AVX2__)
-#include <immintrin.h>
-#endif
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "quant/packing.h"
+#include "simd/backends.h"
 
 namespace blink::simd {
 
 // ---------------------------------------------------------------------------
-// Scalar reference kernels.
+// Scalar reference kernels (ground truth for tests; shared by the scalar
+// backend and the U4 fallbacks of narrower SIMD backends).
 // ---------------------------------------------------------------------------
 namespace ref {
 
@@ -87,443 +96,98 @@ float IpDistU4(const float* q, const uint8_t* codes, float delta, float lower,
 
 }  // namespace ref
 
-const char* BackendName() {
-#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
-  return "avx512";
-#elif defined(__AVX2__)
-  return "avx2";
-#else
-  return "scalar";
-#endif
-}
-
 // ---------------------------------------------------------------------------
-// Kernel templates. D > 0 makes the trip count a compile-time constant so
-// the compiler can fully unroll (the paper's static-dimensionality
-// optimization, worth up to 32%).
+// Backend selection.
 // ---------------------------------------------------------------------------
 namespace {
 
-#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
-
-/// Horizontal sum of a 512-bit float accumulator. Hand-rolled instead of
-/// _mm512_reduce_add_ps to avoid a GCC -Wuninitialized false positive in
-/// the intrinsic header (it passes _mm256_undefined_pd to a masked extract).
-inline float ReduceAdd512(__m512 v) {
-  const __m256 lo = _mm512_castps512_ps256(v);
-  const __m256 hi = _mm512_extractf32x8_ps(v, 1);
-  const __m256 s = _mm256_add_ps(lo, hi);
-  __m128 s128 = _mm_add_ps(_mm256_castps256_ps128(s), _mm256_extractf128_ps(s, 1));
-  s128 = _mm_add_ps(s128, _mm_movehl_ps(s128, s128));
-  s128 = _mm_add_ss(s128, _mm_shuffle_ps(s128, s128, 0x55));
-  return _mm_cvtss_f32(s128);
-}
-
-template <int D>
-float L2SqrImpl(const float* a, const float* b, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-  __m512 acc = _mm512_setzero_ps();
-  size_t j = 0;
-  for (; j + 16 <= d; j += 16) {
-    const __m512 x = _mm512_loadu_ps(a + j);
-    const __m512 y = _mm512_loadu_ps(b + j);
-    const __m512 diff = _mm512_sub_ps(x, y);
-    acc = _mm512_fmadd_ps(diff, diff, acc);
-  }
-  if (j < d) {
-    const __mmask16 m = static_cast<__mmask16>((1u << (d - j)) - 1u);
-    const __m512 x = _mm512_maskz_loadu_ps(m, a + j);
-    const __m512 y = _mm512_maskz_loadu_ps(m, b + j);
-    const __m512 diff = _mm512_sub_ps(x, y);
-    acc = _mm512_fmadd_ps(diff, diff, acc);
-  }
-  return ReduceAdd512(acc);
-}
-
-template <int D>
-float IpDistImpl(const float* a, const float* b, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-  __m512 acc = _mm512_setzero_ps();
-  size_t j = 0;
-  for (; j + 16 <= d; j += 16) {
-    acc = _mm512_fmadd_ps(_mm512_loadu_ps(a + j), _mm512_loadu_ps(b + j), acc);
-  }
-  if (j < d) {
-    const __mmask16 m = static_cast<__mmask16>((1u << (d - j)) - 1u);
-    acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, a + j),
-                          _mm512_maskz_loadu_ps(m, b + j), acc);
-  }
-  return -ReduceAdd512(acc);
-}
-
-template <int D>
-float L2SqrF16Impl(const float* q, const Float16* v, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-  const uint16_t* vb = reinterpret_cast<const uint16_t*>(v);
-  __m512 acc = _mm512_setzero_ps();
-  size_t j = 0;
-  for (; j + 16 <= d; j += 16) {
-    const __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vb + j));
-    const __m512 f = _mm512_cvtph_ps(h);
-    const __m512 diff = _mm512_sub_ps(_mm512_loadu_ps(q + j), f);
-    acc = _mm512_fmadd_ps(diff, diff, acc);
-  }
-  if (j < d) {
-    const __mmask16 m = static_cast<__mmask16>((1u << (d - j)) - 1u);
-    const __m256i h = _mm256_maskz_loadu_epi16(m, vb + j);
-    const __m512 f = _mm512_cvtph_ps(h);
-    const __m512 diff = _mm512_sub_ps(_mm512_maskz_loadu_ps(m, q + j), f);
-    acc = _mm512_fmadd_ps(diff, diff, acc);
-  }
-  return ReduceAdd512(acc);
-}
-
-template <int D>
-float IpDistF16Impl(const float* q, const Float16* v, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-  const uint16_t* vb = reinterpret_cast<const uint16_t*>(v);
-  __m512 acc = _mm512_setzero_ps();
-  size_t j = 0;
-  for (; j + 16 <= d; j += 16) {
-    const __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vb + j));
-    acc = _mm512_fmadd_ps(_mm512_loadu_ps(q + j), _mm512_cvtph_ps(h), acc);
-  }
-  if (j < d) {
-    const __mmask16 m = static_cast<__mmask16>((1u << (d - j)) - 1u);
-    const __m256i h = _mm256_maskz_loadu_epi16(m, vb + j);
-    acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, q + j), _mm512_cvtph_ps(h), acc);
-  }
-  return -ReduceAdd512(acc);
-}
-
-template <int D>
-float L2SqrU8Impl(const float* q, const uint8_t* codes, float delta,
-                  float lower, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-  const __m512 vd = _mm512_set1_ps(delta);
-  const __m512 vl = _mm512_set1_ps(lower);
-  __m512 acc = _mm512_setzero_ps();
-  size_t j = 0;
-  for (; j + 16 <= d; j += 16) {
-    const __m128i bytes =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + j));
-    const __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(bytes));
-    const __m512 dec = _mm512_fmadd_ps(f, vd, vl);
-    const __m512 diff = _mm512_sub_ps(_mm512_loadu_ps(q + j), dec);
-    acc = _mm512_fmadd_ps(diff, diff, acc);
-  }
-  if (j < d) {
-    const __mmask16 m = static_cast<__mmask16>((1u << (d - j)) - 1u);
-    const __m128i bytes = _mm_maskz_loadu_epi8(m, codes + j);
-    const __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(bytes));
-    const __m512 dec = _mm512_fmadd_ps(f, vd, vl);
-    // Masked query load zeroes the lanes past d; zero the decoded lanes too
-    // so the masked-out components contribute nothing.
-    const __m512 diff =
-        _mm512_maskz_sub_ps(m, _mm512_maskz_loadu_ps(m, q + j), dec);
-    acc = _mm512_fmadd_ps(diff, diff, acc);
-  }
-  return ReduceAdd512(acc);
-}
-
-template <int D>
-float IpDistU8Impl(const float* q, const uint8_t* codes, float delta,
-                   float lower, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-  const __m512 vd = _mm512_set1_ps(delta);
-  const __m512 vl = _mm512_set1_ps(lower);
-  __m512 acc = _mm512_setzero_ps();
-  size_t j = 0;
-  for (; j + 16 <= d; j += 16) {
-    const __m128i bytes =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + j));
-    const __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(bytes));
-    const __m512 dec = _mm512_fmadd_ps(f, vd, vl);
-    acc = _mm512_fmadd_ps(_mm512_loadu_ps(q + j), dec, acc);
-  }
-  if (j < d) {
-    const __mmask16 m = static_cast<__mmask16>((1u << (d - j)) - 1u);
-    const __m128i bytes = _mm_maskz_loadu_epi8(m, codes + j);
-    const __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(bytes));
-    const __m512 dec = _mm512_fmadd_ps(f, vd, vl);
-    acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, q + j), dec, acc);
-  }
-  return -ReduceAdd512(acc);
-}
-
-/// Expands 8 packed bytes (16 nibbles, low nibble = even index) into 16
-/// ordered byte codes: unpacklo(lo, hi) interleaves exactly in code order.
-inline __m128i ExpandNibbles(__m128i bytes8) {
-  const __m128i mask = _mm_set1_epi8(0x0F);
-  const __m128i lo = _mm_and_si128(bytes8, mask);
-  const __m128i hi = _mm_and_si128(_mm_srli_epi16(bytes8, 4), mask);
-  return _mm_unpacklo_epi8(lo, hi);
-}
-
-template <int D>
-float L2SqrU4Impl(const float* q, const uint8_t* codes, float delta,
-                  float lower, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-  const __m512 vd = _mm512_set1_ps(delta);
-  const __m512 vl = _mm512_set1_ps(lower);
-  __m512 acc = _mm512_setzero_ps();
-  size_t j = 0;
-  for (; j + 16 <= d; j += 16) {
-    const __m128i b8 =
-        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + j / 2));
-    const __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(ExpandNibbles(b8)));
-    const __m512 dec = _mm512_fmadd_ps(f, vd, vl);
-    const __m512 diff = _mm512_sub_ps(_mm512_loadu_ps(q + j), dec);
-    acc = _mm512_fmadd_ps(diff, diff, acc);
-  }
-  float tail = 0.0f;
-  if constexpr (D <= 0 || D % 16 != 0) {  // tail is dead code otherwise
-    for (; j < d; ++j) {
-      const uint32_t c = UnpackCode(codes, j, 4);
-      const float diff = q[j] - (delta * static_cast<float>(c) + lower);
-      tail += diff * diff;
-    }
-  }
-  return ReduceAdd512(acc) + tail;
-}
-
-template <int D>
-float IpDistU4Impl(const float* q, const uint8_t* codes, float delta,
-                   float lower, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-  const __m512 vd = _mm512_set1_ps(delta);
-  const __m512 vl = _mm512_set1_ps(lower);
-  __m512 acc = _mm512_setzero_ps();
-  size_t j = 0;
-  for (; j + 16 <= d; j += 16) {
-    const __m128i b8 =
-        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + j / 2));
-    const __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(ExpandNibbles(b8)));
-    const __m512 dec = _mm512_fmadd_ps(f, vd, vl);
-    acc = _mm512_fmadd_ps(_mm512_loadu_ps(q + j), dec, acc);
-  }
-  float tail = 0.0f;
-  if constexpr (D <= 0 || D % 16 != 0) {  // tail is dead code otherwise
-    for (; j < d; ++j) {
-      const uint32_t c = UnpackCode(codes, j, 4);
-      tail += q[j] * (delta * static_cast<float>(c) + lower);
-    }
-  }
-  return -(ReduceAdd512(acc) + tail);
-}
-
-#elif defined(__AVX2__)
-
-inline float ReduceAdd256(__m256 v) {
-  __m128 lo = _mm256_castps256_ps128(v);
-  __m128 hi = _mm256_extractf128_ps(v, 1);
-  lo = _mm_add_ps(lo, hi);
-  lo = _mm_hadd_ps(lo, lo);
-  lo = _mm_hadd_ps(lo, lo);
-  return _mm_cvtss_f32(lo);
-}
-
-template <int D>
-float L2SqrImpl(const float* a, const float* b, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-  __m256 acc = _mm256_setzero_ps();
-  size_t j = 0;
-  for (; j + 8 <= d; j += 8) {
-    const __m256 diff =
-        _mm256_sub_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j));
-    acc = _mm256_fmadd_ps(diff, diff, acc);
-  }
-  float tail = 0.0f;
-  for (; j < d; ++j) {
-    const float diff = a[j] - b[j];
-    tail += diff * diff;
-  }
-  return ReduceAdd256(acc) + tail;
-}
-
-template <int D>
-float IpDistImpl(const float* a, const float* b, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-  __m256 acc = _mm256_setzero_ps();
-  size_t j = 0;
-  for (; j + 8 <= d; j += 8) {
-    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j), acc);
-  }
-  float tail = 0.0f;
-  for (; j < d; ++j) tail += a[j] * b[j];
-  return -(ReduceAdd256(acc) + tail);
-}
-
-template <int D>
-float L2SqrF16Impl(const float* q, const Float16* v, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-#if defined(__F16C__)
-  const uint16_t* vb = reinterpret_cast<const uint16_t*>(v);
-  __m256 acc = _mm256_setzero_ps();
-  size_t j = 0;
-  for (; j + 8 <= d; j += 8) {
-    const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(vb + j));
-    const __m256 f = _mm256_cvtph_ps(h);
-    const __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(q + j), f);
-    acc = _mm256_fmadd_ps(diff, diff, acc);
-  }
-  float tail = 0.0f;
-  for (; j < d; ++j) {
-    const float diff = q[j] - static_cast<float>(v[j]);
-    tail += diff * diff;
-  }
-  return ReduceAdd256(acc) + tail;
+bool HostHasAvx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+         __builtin_cpu_supports("f16c");
 #else
-  return ref::L2SqrF16(q, v, d);
+  return false;
 #endif
 }
 
-template <int D>
-float IpDistF16Impl(const float* q, const Float16* v, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-#if defined(__F16C__)
-  const uint16_t* vb = reinterpret_cast<const uint16_t*>(v);
-  __m256 acc = _mm256_setzero_ps();
-  size_t j = 0;
-  for (; j + 8 <= d; j += 8) {
-    const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(vb + j));
-    acc = _mm256_fmadd_ps(_mm256_loadu_ps(q + j), _mm256_cvtph_ps(h), acc);
-  }
-  float tail = 0.0f;
-  for (; j < d; ++j) tail += q[j] * static_cast<float>(v[j]);
-  return -(ReduceAdd256(acc) + tail);
+bool HostHasAvx512() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl") &&
+         __builtin_cpu_supports("avx512dq");
 #else
-  return ref::IpDistF16(q, v, d);
+  return false;
 #endif
 }
 
-template <int D>
-float L2SqrU8Impl(const float* q, const uint8_t* codes, float delta,
-                  float lower, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-  const __m256 vd = _mm256_set1_ps(delta);
-  const __m256 vl = _mm256_set1_ps(lower);
-  __m256 acc = _mm256_setzero_ps();
-  size_t j = 0;
-  for (; j + 8 <= d; j += 8) {
-    const __m128i bytes =
-        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + j));
-    const __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
-    const __m256 dec = _mm256_fmadd_ps(f, vd, vl);
-    const __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(q + j), dec);
-    acc = _mm256_fmadd_ps(diff, diff, acc);
+const KernelTable& SelectKernels() {
+  const char* force = std::getenv("BLINK_SIMD");
+  if (force != nullptr && *force == '\0') force = nullptr;
+  if (force != nullptr && std::strcmp(force, "scalar") != 0 &&
+      std::strcmp(force, "avx2") != 0 && std::strcmp(force, "avx512") != 0) {
+    std::fprintf(stderr,
+                 "blink: ignoring unknown BLINK_SIMD=\"%s\" "
+                 "(expected scalar|avx2|avx512); auto-selecting\n",
+                 force);
+    force = nullptr;
   }
-  float tail = 0.0f;
-  for (; j < d; ++j) {
-    const float diff = q[j] - (delta * static_cast<float>(codes[j]) + lower);
-    tail += diff * diff;
+#if defined(BLINK_HAVE_AVX512_TU)
+  if (HostHasAvx512() && HostHasAvx2() &&
+      (force == nullptr || std::strcmp(force, "avx512") == 0)) {
+    return Avx512Kernels();
   }
-  return ReduceAdd256(acc) + tail;
-}
-
-template <int D>
-float IpDistU8Impl(const float* q, const uint8_t* codes, float delta,
-                   float lower, size_t d_dyn) {
-  const size_t d = D > 0 ? static_cast<size_t>(D) : d_dyn;
-  const __m256 vd = _mm256_set1_ps(delta);
-  const __m256 vl = _mm256_set1_ps(lower);
-  __m256 acc = _mm256_setzero_ps();
-  size_t j = 0;
-  for (; j + 8 <= d; j += 8) {
-    const __m128i bytes =
-        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + j));
-    const __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
-    const __m256 dec = _mm256_fmadd_ps(f, vd, vl);
-    acc = _mm256_fmadd_ps(_mm256_loadu_ps(q + j), dec, acc);
+#endif
+#if defined(BLINK_HAVE_AVX2_TU)
+  if (HostHasAvx2() &&
+      (force == nullptr || std::strcmp(force, "avx2") == 0 ||
+       std::strcmp(force, "avx512") == 0)) {
+    return Avx2Kernels();
   }
-  float tail = 0.0f;
-  for (; j < d; ++j) {
-    tail += q[j] * (delta * static_cast<float>(codes[j]) + lower);
-  }
-  return -(ReduceAdd256(acc) + tail);
+#endif
+  (void)force;
+  return ScalarKernels();
 }
-
-template <int D>
-float L2SqrU4Impl(const float* q, const uint8_t* codes, float delta,
-                  float lower, size_t d_dyn) {
-  return ref::L2SqrU4(q, codes, delta, lower, D > 0 ? static_cast<size_t>(D) : d_dyn);
-}
-
-template <int D>
-float IpDistU4Impl(const float* q, const uint8_t* codes, float delta,
-                   float lower, size_t d_dyn) {
-  return ref::IpDistU4(q, codes, delta, lower, D > 0 ? static_cast<size_t>(D) : d_dyn);
-}
-
-#else  // scalar backend
-
-template <int D>
-float L2SqrImpl(const float* a, const float* b, size_t d_dyn) {
-  return ref::L2Sqr(a, b, D > 0 ? static_cast<size_t>(D) : d_dyn);
-}
-template <int D>
-float IpDistImpl(const float* a, const float* b, size_t d_dyn) {
-  return ref::IpDist(a, b, D > 0 ? static_cast<size_t>(D) : d_dyn);
-}
-template <int D>
-float L2SqrF16Impl(const float* q, const Float16* v, size_t d_dyn) {
-  return ref::L2SqrF16(q, v, D > 0 ? static_cast<size_t>(D) : d_dyn);
-}
-template <int D>
-float IpDistF16Impl(const float* q, const Float16* v, size_t d_dyn) {
-  return ref::IpDistF16(q, v, D > 0 ? static_cast<size_t>(D) : d_dyn);
-}
-template <int D>
-float L2SqrU8Impl(const float* q, const uint8_t* codes, float delta,
-                  float lower, size_t d_dyn) {
-  return ref::L2SqrU8(q, codes, delta, lower, D > 0 ? static_cast<size_t>(D) : d_dyn);
-}
-template <int D>
-float IpDistU8Impl(const float* q, const uint8_t* codes, float delta,
-                   float lower, size_t d_dyn) {
-  return ref::IpDistU8(q, codes, delta, lower, D > 0 ? static_cast<size_t>(D) : d_dyn);
-}
-template <int D>
-float L2SqrU4Impl(const float* q, const uint8_t* codes, float delta,
-                  float lower, size_t d_dyn) {
-  return ref::L2SqrU4(q, codes, delta, lower, D > 0 ? static_cast<size_t>(D) : d_dyn);
-}
-template <int D>
-float IpDistU4Impl(const float* q, const uint8_t* codes, float delta,
-                   float lower, size_t d_dyn) {
-  return ref::IpDistU4(q, codes, delta, lower, D > 0 ? static_cast<size_t>(D) : d_dyn);
-}
-
-#endif  // backend selection
 
 }  // namespace
 
+const KernelTable& ActiveKernels() {
+  static const KernelTable& table = SelectKernels();
+  return table;
+}
+
+const char* BackendName() { return ActiveKernels().name; }
+
 // ---------------------------------------------------------------------------
-// Public dynamic-dimension entry points.
+// Public entry points: forward through the selected table.
 // ---------------------------------------------------------------------------
-float L2Sqr(const float* a, const float* b, size_t d) { return L2SqrImpl<0>(a, b, d); }
-float IpDist(const float* a, const float* b, size_t d) { return IpDistImpl<0>(a, b, d); }
+float L2Sqr(const float* a, const float* b, size_t d) {
+  return ActiveKernels().l2_f32(a, b, d);
+}
+float IpDist(const float* a, const float* b, size_t d) {
+  return ActiveKernels().ip_f32(a, b, d);
+}
 float L2SqrF16(const float* q, const Float16* v, size_t d) {
-  return L2SqrF16Impl<0>(q, v, d);
+  return ActiveKernels().l2_f16(q, v, d);
 }
 float IpDistF16(const float* q, const Float16* v, size_t d) {
-  return IpDistF16Impl<0>(q, v, d);
+  return ActiveKernels().ip_f16(q, v, d);
 }
 float L2SqrU8(const float* q, const uint8_t* codes, float delta, float lower,
               size_t d) {
-  return L2SqrU8Impl<0>(q, codes, delta, lower, d);
+  return ActiveKernels().l2_u8(q, codes, delta, lower, d);
 }
 float IpDistU8(const float* q, const uint8_t* codes, float delta, float lower,
                size_t d) {
-  return IpDistU8Impl<0>(q, codes, delta, lower, d);
+  return ActiveKernels().ip_u8(q, codes, delta, lower, d);
 }
 float L2SqrU4(const float* q, const uint8_t* codes, float delta, float lower,
               size_t d) {
-  return L2SqrU4Impl<0>(q, codes, delta, lower, d);
+  return ActiveKernels().l2_u4(q, codes, delta, lower, d);
 }
 float IpDistU4(const float* q, const uint8_t* codes, float delta, float lower,
                size_t d) {
-  return IpDistU4Impl<0>(q, codes, delta, lower, d);
+  return ActiveKernels().ip_u4(q, codes, delta, lower, d);
 }
 
 float L2SqrU8Unfused(const float* q, const uint8_t* codes, float delta,
@@ -535,12 +199,9 @@ float L2SqrU8Unfused(const float* q, const uint8_t* codes, float delta,
 }
 
 // ---------------------------------------------------------------------------
-// Static-dimensionality dispatch.
+// Static-dimensionality dispatch (BLINK_STATIC_DIMS in backends.h; the
+// per-backend getters in kernels.inc switch over the same list).
 // ---------------------------------------------------------------------------
-// The dimensions of every dataset family in the paper (Table 2).
-#define BLINK_STATIC_DIMS(X) \
-  X(25) X(50) X(96) X(128) X(200) X(256) X(768) X(960)
-
 bool HasStaticDim(size_t d) {
   switch (d) {
 #define CASE(D) case D:
@@ -552,36 +213,18 @@ bool HasStaticDim(size_t d) {
   }
 }
 
-#define MAKE_DISPATCH(getter, fn_type, IMPL_NAME)     \
-  fn_type getter(size_t d) {                          \
-    switch (d) {                                      \
-      case 25: return &IMPL_NAME<25>;                 \
-      case 50: return &IMPL_NAME<50>;                 \
-      case 96: return &IMPL_NAME<96>;                 \
-      case 128: return &IMPL_NAME<128>;               \
-      case 200: return &IMPL_NAME<200>;               \
-      case 256: return &IMPL_NAME<256>;               \
-      case 768: return &IMPL_NAME<768>;               \
-      case 960: return &IMPL_NAME<960>;               \
-      default: return &IMPL_NAME<0>;                  \
-    }                                                 \
-  }
+DistF32Fn GetL2F32(size_t d) { return ActiveKernels().get_l2_f32(d); }
+DistF32Fn GetIpF32(size_t d) { return ActiveKernels().get_ip_f32(d); }
+DistF16Fn GetL2F16(size_t d) { return ActiveKernels().get_l2_f16(d); }
+DistF16Fn GetIpF16(size_t d) { return ActiveKernels().get_ip_f16(d); }
+DistU8Fn GetL2U8(size_t d) { return ActiveKernels().get_l2_u8(d); }
+DistU8Fn GetIpU8(size_t d) { return ActiveKernels().get_ip_u8(d); }
+DistU4Fn GetL2U4(size_t d) { return ActiveKernels().get_l2_u4(d); }
+DistU4Fn GetIpU4(size_t d) { return ActiveKernels().get_ip_u4(d); }
 
-MAKE_DISPATCH(GetL2F32, DistF32Fn, L2SqrImpl)
-MAKE_DISPATCH(GetIpF32, DistF32Fn, IpDistImpl)
-MAKE_DISPATCH(GetL2F16, DistF16Fn, L2SqrF16Impl)
-MAKE_DISPATCH(GetIpF16, DistF16Fn, IpDistF16Impl)
-MAKE_DISPATCH(GetL2U8, DistU8Fn, L2SqrU8Impl)
-MAKE_DISPATCH(GetIpU8, DistU8Fn, IpDistU8Impl)
-MAKE_DISPATCH(GetL2U4, DistU4Fn, L2SqrU4Impl)
-MAKE_DISPATCH(GetIpU4, DistU4Fn, IpDistU4Impl)
-
-#undef MAKE_DISPATCH
-#undef BLINK_STATIC_DIMS
-
-DistF32Fn GetL2F32Dynamic() { return &L2SqrImpl<0>; }
-DistU8Fn GetL2U8Dynamic() { return &L2SqrU8Impl<0>; }
-DistU4Fn GetL2U4Dynamic() { return &L2SqrU4Impl<0>; }
-DistF16Fn GetL2F16Dynamic() { return &L2SqrF16Impl<0>; }
+DistF32Fn GetL2F32Dynamic() { return ActiveKernels().l2_f32; }
+DistU8Fn GetL2U8Dynamic() { return ActiveKernels().l2_u8; }
+DistU4Fn GetL2U4Dynamic() { return ActiveKernels().l2_u4; }
+DistF16Fn GetL2F16Dynamic() { return ActiveKernels().l2_f16; }
 
 }  // namespace blink::simd

@@ -31,7 +31,11 @@
 
 namespace blink::simd {
 
-/// Name of the SIMD backend compiled in ("avx512", "avx2", "scalar").
+/// Name of the SIMD backend selected at runtime ("avx512", "avx2",
+/// "scalar"). Selection is by cpuid, overridable with BLINK_SIMD=scalar|
+/// avx2|avx512 (narrowing only: a forced backend the host cannot run falls
+/// back to the widest supported one; unknown values warn on stderr and
+/// auto-select).
 const char* BackendName();
 
 // ---------------------------------------------------------------------------
@@ -55,7 +59,7 @@ float IpDistU4(const float* q, const uint8_t* codes, float delta, float lower,
 }  // namespace ref
 
 // ---------------------------------------------------------------------------
-// Optimized kernels (backend chosen at compile time).
+// Optimized kernels (backend chosen at runtime; see BackendName()).
 // ---------------------------------------------------------------------------
 float L2Sqr(const float* a, const float* b, size_t d);
 float IpDist(const float* a, const float* b, size_t d);

@@ -1,0 +1,7 @@
+// AVX2 kernel backend. Compiled with -mavx2 -mfma -mf16c (see
+// CMakeLists.txt); only reached at runtime when cpuid reports those
+// features, so the binary as a whole stays runnable on plain x86-64.
+#define BLINK_SIMD_BACKEND_AVX2 1
+#define BLINK_SIMD_TABLE_FN Avx2Kernels
+#define BLINK_SIMD_TABLE_NAME "avx2"
+#include "simd/kernels.inc"

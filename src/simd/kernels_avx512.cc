@@ -1,0 +1,7 @@
+// AVX-512 kernel backend. Compiled with -mavx512f -mavx512bw -mavx512vl
+// -mavx512dq -mfma -mf16c (see CMakeLists.txt); only reached at runtime
+// when cpuid reports those features.
+#define BLINK_SIMD_BACKEND_AVX512 1
+#define BLINK_SIMD_TABLE_FN Avx512Kernels
+#define BLINK_SIMD_TABLE_NAME "avx512"
+#include "simd/kernels.inc"

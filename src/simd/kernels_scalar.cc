@@ -1,0 +1,7 @@
+// Portable kernel backend: always compiled, no ISA flags, runs on any
+// x86-64 (or non-x86) host. No BLINK_SIMD_BACKEND_* macro means kernels.inc
+// compiles the scalar branch even when the whole build is compiled with
+// -march=native (BLINK_NATIVE).
+#define BLINK_SIMD_TABLE_FN ScalarKernels
+#define BLINK_SIMD_TABLE_NAME "scalar"
+#include "simd/kernels.inc"

@@ -92,7 +92,7 @@ TEST(Env, NumThreadsOverride) {
 TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i * 0.5;
   const double s = t.Seconds();
   EXPECT_GT(s, 0.0);
   EXPECT_LT(s, 10.0);

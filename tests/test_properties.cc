@@ -177,7 +177,9 @@ TEST(Properties, PaddingOnlyEverGrowsFootprint) {
     o.padding = pad;
     LvqDataset ds = LvqDataset::Encode(data, o);
     EXPECT_GE(ds.vector_footprint(), 100u);  // 4 + 96 raw bytes
-    if (pad > 0) EXPECT_EQ(ds.vector_footprint() % pad, 0u);
+    if (pad > 0) {
+      EXPECT_EQ(ds.vector_footprint() % pad, 0u);
+    }
   }
 }
 

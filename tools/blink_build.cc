@@ -57,6 +57,12 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
+  // The serialized format (and UnpackCode) support 1..16 bits; bits2 == 0
+  // means one-level LVQ.
+  if (bits1 < 1 || bits1 > 16 || bits2 < 0 || bits2 > 16) {
+    std::fprintf(stderr, "--bits1 must be in 1..16 and --bits2 in 0..16\n");
+    return 1;
+  }
 
   auto base = ReadFvecs(base_path);
   if (!base.ok()) {
