@@ -21,6 +21,9 @@
 #include "graph/serialize.h"
 #include "graph/pruning_error.h"
 
+// Concurrent serving engine.
+#include "serve/engine.h"
+
 // SIMD distance kernels.
 #include "simd/distance.h"
 
@@ -41,6 +44,7 @@
 
 // Utilities.
 #include "util/env.h"
+#include "util/epoch.h"
 #include "util/float16.h"
 #include "util/io.h"
 #include "util/matrix.h"

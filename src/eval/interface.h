@@ -3,9 +3,12 @@
 // same-harness ablation methodology, Sec. 6.7).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/matrix.h"
 #include "util/thread_pool.h"
@@ -25,6 +28,81 @@ struct RuntimeParams {
   bool use_visited_set = true;   ///< graph visited-set ablation (see search.h)
 };
 
+/// Aggregate work counters of a batch (or of one searcher's lifetime).
+/// Indices that do not track a counter leave it at zero.
+struct BatchStats {
+  uint64_t distance_computations = 0;
+  uint64_t hops = 0;  ///< graph nodes expanded
+};
+
+/// Padding sentinels for queries with fewer than k reachable results: the
+/// id slot gets kInvalidId and the paired distance slot +infinity, on every
+/// search path (Search, SearchBatch, SearchBatchEx, Searcher).
+inline constexpr uint32_t kInvalidId = UINT32_MAX;
+inline constexpr float kInvalidDist = std::numeric_limits<float>::infinity();
+
+/// Copies `count` results into row-major output, padding to exactly k per
+/// the contract above. `src_dists` must hold `count` entries when `dists`
+/// is non-null. The single implementation of the padding contract — every
+/// index/searcher path funnels through it.
+inline void WritePaddedRow(const uint32_t* src_ids, const float* src_dists,
+                           size_t count, size_t k, uint32_t* ids,
+                           float* dists) {
+  for (size_t j = 0; j < k; ++j) {
+    ids[j] = j < count ? src_ids[j] : kInvalidId;
+  }
+  if (dists != nullptr) {
+    for (size_t j = 0; j < k; ++j) {
+      dists[j] = j < count ? src_dists[j] : kInvalidDist;
+    }
+  }
+}
+
+/// Shared partition-and-reduce loop of every batch-search path: splits
+/// [0, nq) into at most `max_slices` contiguous slices, runs
+/// `slice_fn(slice_index, lo, hi, &slice_stats)` for each — across `pool`
+/// when more than one slice, inline otherwise — and reduces the per-slice
+/// stats into `*stats` (may be null).
+template <typename SliceFn>
+inline void RunBatchSlices(size_t nq, size_t max_slices, ThreadPool* pool,
+                           BatchStats* stats, SliceFn&& slice_fn) {
+  if (nq == 0) return;
+  const size_t num_slices =
+      std::max<size_t>(1, std::min(max_slices, nq));
+  std::vector<BatchStats> slice_stats(num_slices);
+  auto run = [&](size_t w) {
+    const size_t lo = nq * w / num_slices;
+    const size_t hi = nq * (w + 1) / num_slices;
+    slice_fn(w, lo, hi, &slice_stats[w]);
+  };
+  if (num_slices > 1 && pool != nullptr) {
+    pool->ParallelFor(num_slices, run);
+  } else {
+    for (size_t w = 0; w < num_slices; ++w) run(w);
+  }
+  if (stats != nullptr) {
+    for (const BatchStats& s : slice_stats) {
+      stats->distance_computations += s.distance_computations;
+      stats->hops += s.hops;
+    }
+  }
+}
+
+/// Reusable single-query searcher: per-thread search state (visited epochs,
+/// candidate buffer, query scratch) survives across calls, which is where
+/// serving throughput comes from (see serve/engine.h). Not thread-safe —
+/// one Searcher per worker thread.
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  /// Writes exactly k ids (and, when `dists` is non-null, k distances) for
+  /// one query, padded per the contract above. When `stats` is non-null the
+  /// query's work counters are accumulated (+=) into it.
+  virtual void Search(const float* query, size_t k, const RuntimeParams& params,
+                      uint32_t* ids, float* dists, BatchStats* stats) = 0;
+};
+
 /// A built, queryable ANN index.
 class SearchIndex {
  public:
@@ -38,11 +116,60 @@ class SearchIndex {
 
   /// Finds the k nearest neighbors of each query row; writes row-major ids
   /// (queries.rows x k). When fewer than k results exist, the remainder is
-  /// filled with UINT32_MAX. Thread-safe; batch is parallelized across
+  /// filled with kInvalidId. Thread-safe; batch is parallelized across
   /// `pool` when provided (single-threaded otherwise).
   virtual void SearchBatch(MatrixViewF queries, size_t k,
                            const RuntimeParams& params, uint32_t* ids,
                            ThreadPool* pool = nullptr) const = 0;
+
+  /// Extended batch search: additionally reports per-query distances
+  /// (row-major queries.rows x k, padded with +inf) and aggregate work
+  /// counters. Either of `dists` / `stats` may be null. The default
+  /// implementation forwards to SearchBatch, fills `dists` with NaN
+  /// ("unavailable") and leaves `stats` untouched; indices that track these
+  /// (VamanaIndex, the dynamic index) override it.
+  virtual void SearchBatchEx(MatrixViewF queries, size_t k,
+                             const RuntimeParams& params, uint32_t* ids,
+                             float* dists, BatchStats* stats,
+                             ThreadPool* pool = nullptr) const {
+    SearchBatch(queries, k, params, ids, pool);
+    if (dists != nullptr) {
+      const size_t total = queries.rows * k;
+      for (size_t i = 0; i < total; ++i) {
+        dists[i] = std::numeric_limits<float>::quiet_NaN();
+      }
+    }
+    (void)stats;
+  }
+
+  /// Creates a reusable per-thread searcher. The default adapter runs
+  /// batches of one through SearchBatchEx (correct but without scratch
+  /// reuse); indices with per-query state override this to return a
+  /// searcher that keeps that state warm.
+  virtual std::unique_ptr<Searcher> MakeSearcher() const;
 };
+
+namespace detail {
+
+/// MakeSearcher() fallback: a stateless adapter over SearchBatchEx.
+class BatchOfOneSearcher : public Searcher {
+ public:
+  explicit BatchOfOneSearcher(const SearchIndex* index) : index_(index) {}
+
+  void Search(const float* query, size_t k, const RuntimeParams& params,
+              uint32_t* ids, float* dists, BatchStats* stats) override {
+    MatrixViewF one(query, 1, index_->dim());
+    index_->SearchBatchEx(one, k, params, ids, dists, stats, nullptr);
+  }
+
+ private:
+  const SearchIndex* index_;
+};
+
+}  // namespace detail
+
+inline std::unique_ptr<Searcher> SearchIndex::MakeSearcher() const {
+  return std::make_unique<detail::BatchOfOneSearcher>(this);
+}
 
 }  // namespace blink

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "graph/search_buffer.h"
 #include "simd/distance.h"
 
 namespace blink {
@@ -20,26 +19,36 @@ float DynamicIndex::Dist(const float* a, const float* b) const {
 
 void DynamicIndex::Grow(size_t min_capacity) {
   if (min_capacity <= capacity_) return;
-  size_t new_cap = std::max<size_t>(capacity_ * 2, min_capacity);
+  const size_t new_cap = std::max<size_t>(capacity_ * 2, min_capacity);
+  // Reallocation invalidates every pointer a concurrent search could hold;
+  // stop the world for the swap (rare: amortized doubling, and avoidable
+  // entirely by sizing initial_capacity for the workload).
+  EpochGuard::ExclusiveLock lock(&epoch_);
   vectors_.resize(new_cap * dim_);
   deleted_.resize(new_cap, 0);
   FlatGraph bigger(new_cap, opts_.graph_max_degree, /*use_huge_pages=*/false);
-  for (size_t i = 0; i < n_; ++i) {
+  const size_t n = n_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
     bigger.SetNeighbors(i, graph_.neighbors(i), graph_.degree(i));
   }
   graph_ = std::move(bigger);
   capacity_ = new_cap;
 }
 
+// Writer-side candidate gathering (Insert). The writer is the only thread
+// that stores rows, so it may read them plainly; vectors it touches are
+// live or tombstoned and never concurrently overwritten (recycled slots are
+// only written by this same serialized writer).
 void DynamicIndex::CollectCandidates(const float* query, uint32_t window,
                                      std::vector<Candidate>* out) const {
   out->clear();
-  if (n_ == 0) return;
+  const uint32_t ep = entry_point_.load(std::memory_order_relaxed);
+  if (ep == kNoEntry) return;
   SearchBuffer buffer(window);
   VisitedSet visited(capacity_);
   visited.NextQuery();
-  buffer.Insert(Dist(query, vector(entry_point_)), entry_point_);
-  visited.CheckAndMark(entry_point_);
+  buffer.Insert(Dist(query, vector(ep)), ep);
+  visited.CheckAndMark(ep);
   long idx;
   while ((idx = buffer.NextUnexplored()) >= 0) {
     const uint32_t node = buffer[static_cast<size_t>(idx)].id;
@@ -55,6 +64,45 @@ void DynamicIndex::CollectCandidates(const float* query, uint32_t window,
   out->reserve(buffer.size());
   for (size_t i = 0; i < buffer.size(); ++i) {
     out->push_back({buffer[i].dist, buffer[i].id});
+  }
+}
+
+// Reader-side traversal: adjacency is copied row-by-row through the
+// acquire/release protocol (graph.h), so it is safe against the concurrent
+// writer; the caller must hold an epoch ReadLock.
+void DynamicIndex::CollectIntoScratch(const float* query, uint32_t window,
+                                      SearchScratch* scratch) const {
+  scratch->buffer.Reset(window);
+  scratch->distance_computations = 0;
+  scratch->hops = 0;
+  // Acquire pairs with the entry-point release store: observing an id here
+  // implies its vector bytes are visible. kNoEntry means nothing is live
+  // (or the only live vector is still mid-publication) — return empty.
+  const uint32_t ep = entry_point_.load(std::memory_order_acquire);
+  if (ep == kNoEntry) return;
+  if (scratch->visited_capacity != capacity_) {
+    scratch->visited.Resize(capacity_);
+    scratch->visited_capacity = capacity_;
+  }
+  scratch->visited.NextQuery();
+  scratch->neighbors.resize(graph_.max_degree());
+  uint32_t* nbrs = scratch->neighbors.data();
+
+  scratch->buffer.Insert(Dist(query, vector(ep)), ep);
+  scratch->visited.CheckAndMark(ep);
+  ++scratch->distance_computations;
+  long idx;
+  while ((idx = scratch->buffer.NextUnexplored()) >= 0) {
+    const uint32_t node = scratch->buffer[static_cast<size_t>(idx)].id;
+    scratch->buffer.MarkExplored(static_cast<size_t>(idx));
+    ++scratch->hops;
+    const uint32_t deg = graph_.CopyNeighborsAcquire(node, nbrs);
+    for (uint32_t t = 0; t < deg; ++t) {
+      const uint32_t cand = nbrs[t];
+      if (!scratch->visited.CheckAndMark(cand)) continue;
+      scratch->buffer.Insert(Dist(query, vector(cand)), cand);
+      ++scratch->distance_computations;
+    }
   }
 }
 
@@ -86,22 +134,36 @@ void DynamicIndex::RobustPrune([[maybe_unused]] const float* x,
 }
 
 uint32_t DynamicIndex::Insert(const float* vec) {
+  std::lock_guard<std::mutex> writer(write_mu_);
   uint32_t id;
+  bool recycled = false;
   if (!free_slots_.empty()) {
     id = free_slots_.back();
     free_slots_.pop_back();
-    deleted_[id] = 0;
-    --num_deleted_;  // slot was counted deleted until recycled
+    recycled = true;
+    // Grace period before overwriting the slot: it was purged under the
+    // exclusive lock in ConsolidateDeletes(), so readers entering since
+    // then cannot reach it — but a reader that predates the purge (or one
+    // holding a stale entry point) could still hold the id. Wait those out.
+    epoch_.Quiesce();
   } else {
-    Grow(n_ + 1);
-    id = static_cast<uint32_t>(n_);
-    ++n_;
+    Grow(n_.load(std::memory_order_relaxed) + 1);
+    id = static_cast<uint32_t>(n_.load(std::memory_order_relaxed));
   }
+  // The vector must be fully written before anything can name the id: the
+  // liveness flip below (release) covers the entry-point path, and
+  // FlatGraph's release row stores cover the edge paths.
   std::copy(vec, vec + dim_, vectors_.data() + id * dim_);
+  if (recycled) {
+    SetDeleted(id, 0);
+    num_deleted_.fetch_sub(1, std::memory_order_release);
+  } else {
+    n_.fetch_add(1, std::memory_order_release);
+  }
 
   if (live_size() == 1) {  // first (or only) live vector
-    graph_.Clear(id);
-    entry_point_ = id;
+    graph_.PublishClear(id);
+    entry_point_.store(id, std::memory_order_release);
     return id;
   }
 
@@ -114,7 +176,8 @@ uint32_t DynamicIndex::Insert(const float* vec) {
               cands.end());
   std::vector<uint32_t> pruned;
   RobustPrune(vec, cands, &pruned);
-  graph_.SetNeighbors(id, pruned.data(), static_cast<uint32_t>(pruned.size()));
+  graph_.PublishNeighbors(id, pruned.data(),
+                          static_cast<uint32_t>(pruned.size()));
 
   // Backward edges with overflow pruning.
   std::vector<Candidate> nb_cands;
@@ -130,7 +193,7 @@ uint32_t DynamicIndex::Insert(const float* vec) {
       }
     }
     if (present) continue;
-    if (!graph_.AddNeighbor(nb, id)) {
+    if (!graph_.PublishAddNeighbor(nb, id)) {
       nb_cands.clear();
       const float* vnb = vector(nb);
       for (uint32_t e = 0; e < deg; ++e) {
@@ -138,45 +201,52 @@ uint32_t DynamicIndex::Insert(const float* vec) {
       }
       nb_cands.push_back({Dist(vnb, vec), id});
       RobustPrune(vnb, nb_cands, &nb_pruned);
-      graph_.SetNeighbors(nb, nb_pruned.data(),
-                          static_cast<uint32_t>(nb_pruned.size()));
+      graph_.PublishNeighbors(nb, nb_pruned.data(),
+                              static_cast<uint32_t>(nb_pruned.size()));
     }
   }
   return id;
 }
 
 Status DynamicIndex::Delete(uint32_t id) {
-  if (id >= n_) return Status::OutOfRange("id beyond index size");
-  if (deleted_[id]) return Status::InvalidArgument("id already deleted");
-  deleted_[id] = 1;
-  ++num_deleted_;
-  if (id == entry_point_) UpdateEntryPoint();
+  std::lock_guard<std::mutex> writer(write_mu_);
+  if (id >= n_.load(std::memory_order_relaxed)) {
+    return Status::OutOfRange("id beyond index size");
+  }
+  if (IsDeleted(id)) return Status::InvalidArgument("id already deleted");
+  SetDeleted(id, 1);
+  num_deleted_.fetch_add(1, std::memory_order_relaxed);
+  if (id == entry_point_.load(std::memory_order_relaxed)) UpdateEntryPoint();
   return Status::OK();
 }
 
 void DynamicIndex::UpdateEntryPoint() {
-  for (size_t i = 0; i < n_; ++i) {
-    if (!deleted_[i]) {
-      entry_point_ = static_cast<uint32_t>(i);
+  const size_t n = n_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    if (!IsDeleted(static_cast<uint32_t>(i))) {
+      entry_point_.store(static_cast<uint32_t>(i), std::memory_order_release);
       return;
     }
   }
-  entry_point_ = 0;  // empty index
+  entry_point_.store(kNoEntry, std::memory_order_release);  // empty index
 }
 
 void DynamicIndex::ConsolidateDeletes() {
-  if (num_deleted_ == 0) return;
+  std::lock_guard<std::mutex> writer(write_mu_);
+  if (num_deleted_.load(std::memory_order_relaxed) == 0) return;
   // DiskANN-style repair: every live node that points at a deleted node
-  // inherits that node's live out-neighbors, then re-prunes to R.
+  // inherits that node's live out-neighbors, then re-prunes to R. This
+  // phase runs concurrently with searches (atomic row publication).
+  const size_t n = n_.load(std::memory_order_relaxed);
   std::vector<Candidate> cands;
   std::vector<uint32_t> pruned;
-  for (size_t i = 0; i < n_; ++i) {
-    if (deleted_[i]) continue;
+  for (size_t i = 0; i < n; ++i) {
+    if (IsDeleted(static_cast<uint32_t>(i))) continue;
     const uint32_t* nbrs = graph_.neighbors(i);
     const uint32_t deg = graph_.degree(i);
     bool touches_deleted = false;
     for (uint32_t e = 0; e < deg; ++e) {
-      if (deleted_[nbrs[e]]) {
+      if (IsDeleted(nbrs[e])) {
         touches_deleted = true;
         break;
       }
@@ -187,26 +257,34 @@ void DynamicIndex::ConsolidateDeletes() {
     const float* x = vector(static_cast<uint32_t>(i));
     for (uint32_t e = 0; e < deg; ++e) {
       const uint32_t nb = nbrs[e];
-      if (!deleted_[nb]) {
+      if (!IsDeleted(nb)) {
         cands.push_back({Dist(x, vector(nb)), nb});
         continue;
       }
       const uint32_t* second = graph_.neighbors(nb);
       for (uint32_t s = 0; s < graph_.degree(nb); ++s) {
         const uint32_t nn = second[s];
-        if (!deleted_[nn] && nn != i) {
+        if (!IsDeleted(nn) && nn != i) {
           cands.push_back({Dist(x, vector(nn)), nn});
         }
       }
     }
     RobustPrune(x, cands, &pruned);
-    graph_.SetNeighbors(i, pruned.data(), static_cast<uint32_t>(pruned.size()));
+    graph_.PublishNeighbors(i, pruned.data(),
+                            static_cast<uint32_t>(pruned.size()));
   }
-  // Purge tombstones: clear their adjacency and recycle the slots.
-  for (size_t i = 0; i < n_; ++i) {
-    if (deleted_[i]) {
-      graph_.Clear(i);
-      free_slots_.push_back(static_cast<uint32_t>(i));
+  // Purge tombstones: clear their adjacency and recycle the slots. Under
+  // the exclusive lock so that (a) a reader mid-traversal cannot still hold
+  // a purged id when we return, and (b) readers entering afterwards are
+  // guaranteed to see the re-pruned rows above — together making the freed
+  // slots unreachable until a later Insert republishes them.
+  {
+    EpochGuard::ExclusiveLock lock(&epoch_);
+    for (size_t i = 0; i < n; ++i) {
+      if (IsDeleted(static_cast<uint32_t>(i))) {
+        graph_.Clear(i);
+        free_slots_.push_back(static_cast<uint32_t>(i));
+      }
     }
   }
   // Slots stay flagged deleted until re-used; num_deleted_ is decremented
@@ -214,22 +292,35 @@ void DynamicIndex::ConsolidateDeletes() {
 }
 
 void DynamicIndex::Search(const float* query, size_t k, uint32_t window,
-                          SearchResult* out) const {
+                          SearchResult* out, SearchScratch* scratch) const {
   out->ids.clear();
   out->dists.clear();
+  out->distance_computations = 0;
+  out->hops = 0;
+  EpochGuard::ReadLock reader(&epoch_);
   if (live_size() == 0) return;
   // Over-provision the window so tombstones cannot crowd out live results.
   const uint32_t w = std::max<uint32_t>(
-      window, static_cast<uint32_t>(k) +
-                  static_cast<uint32_t>(std::min<size_t>(num_deleted_, 64)));
-  std::vector<Candidate> cands;
-  CollectCandidates(query, w, &cands);
-  for (const Candidate& c : cands) {
-    if (deleted_[c.id]) continue;
-    out->ids.push_back(c.id);
-    out->dists.push_back(c.dist);
+      window,
+      static_cast<uint32_t>(k) +
+          static_cast<uint32_t>(std::min<size_t>(
+              num_deleted_.load(std::memory_order_relaxed), 64)));
+  CollectIntoScratch(query, w, scratch);
+  out->distance_computations = scratch->distance_computations;
+  out->hops = scratch->hops;
+  for (size_t i = 0; i < scratch->buffer.size(); ++i) {
+    const uint32_t id = scratch->buffer[i].id;
+    if (IsDeleted(id)) continue;
+    out->ids.push_back(id);
+    out->dists.push_back(scratch->buffer[i].dist);
     if (out->ids.size() == k) break;
   }
+}
+
+void DynamicIndex::Search(const float* query, size_t k, uint32_t window,
+                          SearchResult* out) const {
+  SearchScratch scratch;
+  Search(query, k, window, out, &scratch);
 }
 
 }  // namespace blink

@@ -12,23 +12,50 @@
 //     nodes inherit the deleted nodes' out-edges, then re-prune; slots are
 //     recycled by later inserts.
 //
+// Concurrency (DESIGN.md D6): the index is single-writer / multi-reader.
+// Searches run concurrently with Insert/Delete/ConsolidateDeletes without
+// taking a lock on the hot path — readers stamp an epoch slot on entry
+// (util/epoch.h) and traverse adjacency through FlatGraph's acquire/release
+// row protocol. Writers are serialized on an internal mutex; operations
+// that invalidate reader-visible memory coordinate through the guard:
+//   - Grow() reallocates the vector and graph arenas under the guard's
+//     exclusive lock (stop-the-world; rare — amortized doubling, avoidable
+//     via `initial_capacity`),
+//   - ConsolidateDeletes() purges tombstoned rows under the exclusive lock,
+//     so readers entering afterwards see the repaired graph and cannot
+//     reach a freed slot,
+//   - Insert() into a recycled slot runs a Quiesce() grace period first,
+//     draining any straggler reader that could still hold the old id, so
+//     the in-place vector overwrite is race-free.
+// A torn read of a row mid-publication yields a stale-but-valid neighbor
+// list; greedy search tolerates that (worst case: a wasted hop).
+//
 // Storage is growable float32 (dynamic compressed storage would need
 // re-encodable arenas; Sec. 3.2 re-encoding is demonstrated in
 // examples/dynamic_reencoding.cpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/search.h"
+#include "graph/search_buffer.h"
 #include "graph/storage.h"
+#include "util/epoch.h"
 #include "util/status.h"
 
 namespace blink {
 
 class DynamicIndex {
  public:
+  /// entry_point_ sentinel while no live vector exists. Readers never
+  /// dereference it, so an empty (or emptied) index can never lead a
+  /// search into a freed slot.
+  static constexpr uint32_t kNoEntry = UINT32_MAX;
+
   struct Options {
     uint32_t graph_max_degree = 32;  ///< R
     uint32_t build_window = 64;      ///< W for insert-time searches
@@ -37,31 +64,69 @@ class DynamicIndex {
     size_t initial_capacity = 1024;
   };
 
+  /// Reusable per-thread search state (candidate buffer, visited epochs,
+  /// neighbor-copy scratch). Create one per serving thread and pass it to
+  /// Search() to amortize per-query allocation; see serve/engine.h.
+  struct SearchScratch {
+    SearchBuffer buffer;
+    VisitedSet visited;
+    size_t visited_capacity = 0;
+    std::vector<uint32_t> neighbors;         // row copy, max_degree entries
+    uint64_t distance_computations = 0;      // of the last search
+    uint64_t hops = 0;
+  };
+
   DynamicIndex(size_t dim, const Options& opts);
 
   /// Inserts a vector; returns its id. Ids of consolidated deletions are
-  /// recycled.
+  /// recycled. Thread-safe against concurrent Search (writers serialize).
   uint32_t Insert(const float* vec);
 
   /// Tombstones a vector: it stops appearing in results immediately but
-  /// remains traversable until ConsolidateDeletes().
+  /// remains traversable until ConsolidateDeletes(). Thread-safe.
   Status Delete(uint32_t id);
 
   /// Repairs the graph around tombstoned nodes and recycles their slots.
+  /// Thread-safe; briefly blocks readers while purging.
   void ConsolidateDeletes();
 
-  /// k nearest *live* vectors.
+  /// k nearest *live* vectors. Safe to call from any number of threads
+  /// concurrently with writers. The scratch overload reuses per-thread
+  /// state; the plain overload allocates fresh scratch per call.
+  void Search(const float* query, size_t k, uint32_t window,
+              SearchResult* out, SearchScratch* scratch) const;
   void Search(const float* query, size_t k, uint32_t window,
               SearchResult* out) const;
 
   size_t dim() const { return dim_; }
   /// Slots in use (including tombstones awaiting consolidation).
-  size_t size() const { return n_; }
-  /// Live (searchable) vectors.
-  size_t live_size() const { return n_ - num_deleted_; }
-  size_t capacity() const { return capacity_; }
+  size_t size() const { return n_.load(std::memory_order_relaxed); }
+  /// Live (searchable) vectors. Acquire pairs with Insert's release when a
+  /// slot goes live, so a reader that observes the count also observes the
+  /// slot's vector bytes.
+  size_t live_size() const {
+    return n_.load(std::memory_order_acquire) -
+           num_deleted_.load(std::memory_order_acquire);
+  }
+  /// ReadLock-guarded: capacity_ and the container internals it reports
+  /// are mutated by Grow() under the exclusive lock.
+  size_t capacity() const {
+    EpochGuard::ReadLock reader(&epoch_);
+    return capacity_;
+  }
   uint32_t max_degree() const { return opts_.graph_max_degree; }
-  bool IsDeleted(uint32_t id) const { return deleted_[id] != 0; }
+  bool IsDeleted(uint32_t id) const {
+    return std::atomic_ref<uint8_t>(
+               const_cast<uint8_t&>(deleted_[id]))
+               .load(std::memory_order_relaxed) != 0;
+  }
+  /// Resident bytes of vectors + adjacency + tombstone flags.
+  /// ReadLock-guarded like capacity().
+  size_t memory_bytes() const {
+    EpochGuard::ReadLock reader(&epoch_);
+    return capacity_ * dim_ * sizeof(float) + graph_.memory_bytes() +
+           deleted_.size();
+  }
 
   const float* vector(uint32_t id) const { return vectors_.data() + id * dim_; }
 
@@ -78,23 +143,35 @@ class DynamicIndex {
   void Grow(size_t min_capacity);
   /// Greedy search over the current graph; returns the candidate pool
   /// (ascending distance, tombstones included — they remain navigable).
+  /// Reader-safe: copies adjacency rows through the acquire protocol.
   void CollectCandidates(const float* query, uint32_t window,
                          std::vector<Candidate>* out) const;
+  /// Scratch-based variant used by the read path; fills scratch->buffer and
+  /// the work counters instead of materializing a candidate vector.
+  void CollectIntoScratch(const float* query, uint32_t window,
+                          SearchScratch* scratch) const;
   /// Algorithm 2 on a sorted candidate list.
   void RobustPrune(const float* x, std::vector<Candidate>& cands,
                    std::vector<uint32_t>* out) const;
   void UpdateEntryPoint();
+  void SetDeleted(uint32_t id, uint8_t flag) {
+    std::atomic_ref<uint8_t>(deleted_[id])
+        .store(flag, std::memory_order_relaxed);
+  }
 
   size_t dim_;
   Options opts_;
-  size_t capacity_ = 0;
-  size_t n_ = 0;
-  size_t num_deleted_ = 0;
-  std::vector<float> vectors_;        // capacity * dim
-  FlatGraph graph_;                   // capacity rows
-  std::vector<uint8_t> deleted_;      // capacity
-  std::vector<uint32_t> free_slots_;  // recycled ids
-  uint32_t entry_point_ = 0;
+  size_t capacity_ = 0;                 // mutated only under exclusive lock
+  std::atomic<size_t> n_{0};
+  std::atomic<size_t> num_deleted_{0};
+  std::vector<float> vectors_;          // capacity * dim
+  FlatGraph graph_;                     // capacity rows
+  std::vector<uint8_t> deleted_;        // capacity (atomic_ref access)
+  std::vector<uint32_t> free_slots_;    // recycled ids (writer-only)
+  std::atomic<uint32_t> entry_point_{kNoEntry};
+
+  mutable EpochGuard epoch_;            // reader registration / quiescing
+  std::mutex write_mu_;                 // serializes writers
 };
 
 }  // namespace blink

@@ -11,6 +11,8 @@
 // Rows are addressable by multiplication, never by pointer chasing.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
@@ -55,6 +57,63 @@ class FlatGraph {
   }
 
   void Clear(size_t i) { row(i)[0] = 0; }
+
+  // -------------------------------------------------------------------------
+  // Single-writer / multi-reader row access (DESIGN.md D6).
+  //
+  // The dynamic index mutates adjacency while searches traverse it. The
+  // writer publishes rows with release stores on the degree word (data
+  // first, then count); readers copy rows with an acquire load on the
+  // degree. A concurrent reader may observe a slightly stale or mixed
+  // old/new neighbor list — every id it sees is individually valid (each is
+  // a single atomic u32), which greedy search tolerates — but it can never
+  // see a neighbor published after the degree it loaded without the writes
+  // that preceded that publication (in particular, the neighbor's vector
+  // data). Writers must be externally serialized. All cross-thread accesses
+  // go through std::atomic_ref, so the scheme is TSan-clean.
+  // -------------------------------------------------------------------------
+
+  /// Reader-side row copy: acquire-loads the degree, then copies the ids
+  /// into `out` (capacity >= max_degree). Returns the copied count.
+  uint32_t CopyNeighborsAcquire(size_t i, uint32_t* out) const {
+    uint32_t* r = const_cast<uint32_t*>(row(i));
+    const uint32_t deg = std::min(
+        std::atomic_ref<uint32_t>(r[0]).load(std::memory_order_acquire),
+        max_degree_);
+    for (uint32_t j = 0; j < deg; ++j) {
+      out[j] = std::atomic_ref<uint32_t>(r[1 + j]).load(
+          std::memory_order_relaxed);
+    }
+    return deg;
+  }
+
+  /// Writer-side full-row replacement: stores the ids, then release-stores
+  /// the new degree so readers that see it also see the ids.
+  void PublishNeighbors(size_t i, const uint32_t* ids, uint32_t count) {
+    assert(count <= max_degree_);
+    uint32_t* r = row(i);
+    for (uint32_t j = 0; j < count; ++j) {
+      std::atomic_ref<uint32_t>(r[1 + j]).store(ids[j],
+                                                std::memory_order_relaxed);
+    }
+    std::atomic_ref<uint32_t>(r[0]).store(count, std::memory_order_release);
+  }
+
+  /// Writer-side append; returns false if the row is full. The id is
+  /// visible to readers only once the incremented degree is.
+  bool PublishAddNeighbor(size_t i, uint32_t id) {
+    uint32_t* r = row(i);
+    const uint32_t deg = r[0];  // only the (serialized) writer stores rows
+    if (deg >= max_degree_) return false;
+    std::atomic_ref<uint32_t>(r[1 + deg]).store(id, std::memory_order_relaxed);
+    std::atomic_ref<uint32_t>(r[0]).store(deg + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Writer-side row clear visible to concurrent readers.
+  void PublishClear(size_t i) {
+    std::atomic_ref<uint32_t>(row(i)[0]).store(0, std::memory_order_release);
+  }
 
   size_t memory_bytes() const { return n_ * row_entries_ * sizeof(uint32_t); }
   PageBacking backing() const { return storage_.backing(); }

@@ -6,9 +6,11 @@
 // and return them behind the type-erased SearchIndex interface.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "eval/interface.h"
 #include "graph/builder.h"
@@ -46,34 +48,69 @@ class VamanaIndex : public SearchIndex {
 
   void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
                    uint32_t* ids, ThreadPool* pool = nullptr) const override {
-    const SearchParams sp = ToSearchParams(params, k);
-    const size_t nq = queries.rows;
-    const size_t workers = pool != nullptr ? pool->num_threads() : 1;
-    auto run_slice = [&](size_t widx, size_t num_slices) {
-      GreedySearcher<Storage> searcher(&built_.graph, &storage_);
-      SearchResult res;
-      const size_t lo = nq * widx / num_slices;
-      const size_t hi = nq * (widx + 1) / num_slices;
-      for (size_t qi = lo; qi < hi; ++qi) {
-        searcher.Search(queries.row(qi), k, built_.entry_point, sp, &res);
-        uint32_t* row = ids + qi * k;
-        for (size_t j = 0; j < k; ++j) {
-          row[j] = j < res.ids.size() ? res.ids[j] : UINT32_MAX;
-        }
-      }
-    };
-    if (pool != nullptr && workers > 1 && nq > 1) {
-      pool->ParallelFor(workers, [&](size_t w) { run_slice(w, workers); });
-    } else {
-      run_slice(0, 1);
-    }
+    SearchBatchEx(queries, k, params, ids, /*dists=*/nullptr,
+                  /*stats=*/nullptr, pool);
   }
 
-  /// Single-query search exposing full per-query statistics.
+  /// Batch search that also reports per-query distances and aggregate work
+  /// counters (either may be null); the plain batch path used to drop both.
+  void SearchBatchEx(MatrixViewF queries, size_t k, const RuntimeParams& params,
+                     uint32_t* ids, float* dists, BatchStats* stats,
+                     ThreadPool* pool = nullptr) const override {
+    const SearchParams sp = ToSearchParams(params, k);
+    const size_t workers = pool != nullptr ? pool->num_threads() : 1;
+    RunBatchSlices(
+        queries.rows, workers, pool, stats,
+        [&](size_t, size_t lo, size_t hi, BatchStats* slice_stats) {
+          GreedySearcher<Storage> searcher(&built_.graph, &storage_);
+          SearchResult res;
+          for (size_t qi = lo; qi < hi; ++qi) {
+            searcher.Search(queries.row(qi), k, built_.entry_point, sp, &res);
+            WriteRow(res, k, ids + qi * k,
+                     dists != nullptr ? dists + qi * k : nullptr);
+            slice_stats->distance_computations += res.distance_computations;
+            slice_stats->hops += res.hops;
+          }
+        });
+  }
+
+  /// Single-query search exposing full per-query statistics. Pads ids/dists
+  /// to exactly k entries (kInvalidId / +inf) like the batch paths.
   void Search(const float* query, size_t k, const RuntimeParams& params,
               SearchResult* out) const {
     GreedySearcher<Storage> searcher(&built_.graph, &storage_);
     searcher.Search(query, k, built_.entry_point, ToSearchParams(params, k), out);
+    out->ids.resize(k, kInvalidId);
+    out->dists.resize(k, kInvalidDist);
+  }
+
+  /// Pooled per-thread searcher: the GreedySearcher (visited epochs, query
+  /// scratch, candidate buffer) survives across queries, amortizing the
+  /// per-call setup the serving engine relies on.
+  std::unique_ptr<Searcher> MakeSearcher() const override {
+    class Pooled : public Searcher {
+     public:
+      explicit Pooled(const VamanaIndex* index)
+          : index_(index),
+            searcher_(&index->built_.graph, &index->storage_) {}
+
+      void Search(const float* query, size_t k, const RuntimeParams& params,
+                  uint32_t* ids, float* dists, BatchStats* stats) override {
+        searcher_.Search(query, k, index_->built_.entry_point,
+                         ToSearchParams(params, k), &res_);
+        WriteRow(res_, k, ids, dists);
+        if (stats != nullptr) {
+          stats->distance_computations += res_.distance_computations;
+          stats->hops += res_.hops;
+        }
+      }
+
+     private:
+      const VamanaIndex* index_;
+      GreedySearcher<Storage> searcher_;
+      SearchResult res_;
+    };
+    return std::make_unique<Pooled>(this);
   }
 
   const Storage& storage() const { return storage_; }
@@ -83,6 +120,13 @@ class VamanaIndex : public SearchIndex {
   const VamanaBuildParams& build_params() const { return build_params_; }
 
  private:
+  /// One result into row-major output via the shared padding contract.
+  static void WriteRow(const SearchResult& res, size_t k, uint32_t* ids,
+                       float* dists) {
+    WritePaddedRow(res.ids.data(), res.dists.data(), res.ids.size(), k, ids,
+                   dists);
+  }
+
   static SearchParams ToSearchParams(const RuntimeParams& p, size_t k) {
     SearchParams sp;
     sp.window = std::max<uint32_t>(p.window, static_cast<uint32_t>(k));

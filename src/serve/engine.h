@@ -1,0 +1,163 @@
+// Concurrent serving engine (DESIGN.md D7): the layer between a built index
+// and heavy multi-client traffic.
+//
+// The Sec. 5 engine is tuned for single-batch throughput; serving adds two
+// things it lacks:
+//
+//   1. Searcher pools. SearchBatch constructs a fresh GreedySearcher — and
+//      its visited array and scratch — per slice per call, which is pure
+//      overhead when requests arrive as many small batches. The engine owns
+//      `num_threads` reusable Searcher instances (SearchIndex::
+//      MakeSearcher()) whose state stays warm across requests: the visited
+//      epochs in particular make "reset" a counter bump instead of an
+//      O(n) zeroing.
+//
+//   2. An async submission path with micro-batching. Submit() enqueues one
+//      query and returns a future; a dispatcher thread collects queries for
+//      up to `batch_linger_us` (or until `max_batch` are waiting) and ships
+//      them to the worker pool as one task, amortizing queue and wakeup
+//      costs under high concurrency — the FAISS-style batching argument.
+//
+// The engine serves any SearchIndex. Static indices (VamanaIndex) are
+// immutable and need no coordination; the dynamic index is served through
+// DynamicIndexView below, whose reads ride DynamicIndex's epoch-based read
+// guard so searches proceed concurrently with Insert/Delete/Consolidate.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/interface.h"
+#include "graph/dynamic.h"
+#include "graph/search.h"
+#include "util/thread_pool.h"
+
+namespace blink {
+
+struct ServingOptions {
+  size_t num_threads = 0;      ///< searcher-pool size; 0 = env NumThreads()
+  size_t max_batch = 32;       ///< async micro-batch: dispatch at this many
+  size_t batch_linger_us = 100;  ///< ... or this long after the first query
+  size_t queue_capacity = 1 << 16;  ///< async backpressure bound
+};
+
+/// Aggregate counters since engine construction (monotonic, thread-safe).
+struct ServingCounters {
+  uint64_t queries = 0;
+  uint64_t batches = 0;  ///< async micro-batches dispatched
+  uint64_t distance_computations = 0;
+  uint64_t hops = 0;
+};
+
+class ServingEngine {
+ public:
+  /// The engine keeps a non-owning reference; `index` must outlive it.
+  ServingEngine(const SearchIndex* index, const ServingOptions& options);
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Synchronous batch search across the pooled searchers. Writes row-major
+  /// ids (queries.rows x k, padded with kInvalidId) and, when given,
+  /// per-query dists (+inf padding) and aggregate stats for this call.
+  /// Thread-safe: any number of client threads may call concurrently; they
+  /// share the searcher pool.
+  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
+                   uint32_t* ids, float* dists = nullptr,
+                   BatchStats* stats = nullptr);
+
+  /// Asynchronous single-query submission (the query is copied). The future
+  /// resolves to exactly k ids/dists (padded). Blocks only when
+  /// `queue_capacity` queries are already waiting. Thread-safe.
+  std::future<SearchResult> Submit(const float* query, size_t k,
+                                   const RuntimeParams& params);
+
+  /// Blocks until every previously submitted async query has completed.
+  void Drain();
+
+  const SearchIndex& index() const { return *index_; }
+  size_t num_threads() const { return searchers_.size(); }
+  ServingCounters counters() const;
+
+ private:
+  struct Request {
+    std::vector<float> query;
+    size_t k;
+    RuntimeParams params;
+    std::promise<SearchResult> promise;
+  };
+
+  Searcher* AcquireSearcher();
+  void ReleaseSearcher(Searcher* s);
+  void DispatcherLoop();
+  void ProcessBatch(std::vector<Request> batch);
+
+  const SearchIndex* index_;
+  ServingOptions opts_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Searcher pool: a free-list guarded by a mutex; Acquire blocks until one
+  // is available (deadlock-free: a slice holds at most one searcher).
+  std::vector<std::unique_ptr<Searcher>> searchers_;
+  std::vector<Searcher*> free_;
+  std::mutex free_mu_;
+  std::condition_variable free_cv_;
+
+  // Async queue + dispatcher.
+  std::deque<Request> queue_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;      // dispatcher wakeups
+  std::condition_variable capacity_cv_;   // producer backpressure
+  bool stop_ = false;
+  std::atomic<uint64_t> inflight_{0};     // queued + executing async queries
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::thread dispatcher_;
+
+  // Counters.
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> distance_computations_{0};
+  std::atomic<uint64_t> hops_{0};
+};
+
+/// SearchIndex facade over a DynamicIndex, so the engine (and the eval
+/// harness) can serve a mutating index. RuntimeParams::window maps to the
+/// dynamic search window; per-thread SearchScratch is pooled through
+/// MakeSearcher(). Reads are safe concurrently with writers — see
+/// graph/dynamic.h.
+class DynamicIndexView : public SearchIndex {
+ public:
+  /// Non-owning; `index` must outlive the view.
+  explicit DynamicIndexView(const DynamicIndex* index) : index_(index) {}
+
+  std::string name() const override { return "dynamic-f32"; }
+  size_t size() const override { return index_->live_size(); }
+  size_t dim() const override { return index_->dim(); }
+  size_t memory_bytes() const override { return index_->memory_bytes(); }
+
+  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
+                   uint32_t* ids, ThreadPool* pool = nullptr) const override {
+    SearchBatchEx(queries, k, params, ids, nullptr, nullptr, pool);
+  }
+
+  void SearchBatchEx(MatrixViewF queries, size_t k, const RuntimeParams& params,
+                     uint32_t* ids, float* dists, BatchStats* stats,
+                     ThreadPool* pool = nullptr) const override;
+
+  std::unique_ptr<Searcher> MakeSearcher() const override;
+
+ private:
+  const DynamicIndex* index_;
+};
+
+}  // namespace blink

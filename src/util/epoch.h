@@ -1,0 +1,140 @@
+// Epoch-based read guard for single-writer / multi-reader structures
+// (DESIGN.md D6; used by the dynamic index and the serving engine).
+//
+// Readers announce themselves by stamping the current epoch into one of a
+// fixed set of cache-line-sized slots — one CAS on entry, one store on exit,
+// no mutex on the query hot path. The writer has two levels of coordination:
+//
+//   - Quiesce(): advance the epoch and wait until every reader that entered
+//     *before* the advance has left. New readers are not blocked. Used after
+//     unlinking nodes so their memory can be reused once the last possible
+//     observer is gone (RCU-style grace period).
+//   - LockExclusive()/UnlockExclusive(): stop-the-world — block new readers
+//     and drain existing ones. Used for reallocation (index growth), where
+//     readers must not touch the old arrays at all. The Dekker-style
+//     recheck on the reader side (publish slot, then re-test the writer
+//     flag with seq_cst ordering) guarantees a reader is never active
+//     inside an exclusive section.
+//
+// All reader/writer interaction is through std::atomic, so the protocol is
+// clean under -fsanitize=thread; passing TSan on the concurrent serving
+// tests is part of the contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+namespace blink {
+
+class EpochGuard {
+ public:
+  /// Concurrent-reader slots. More simultaneous readers than this is legal:
+  /// the surplus spin-yields for a free slot.
+  static constexpr size_t kSlots = 64;
+
+  EpochGuard() = default;
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+  /// RAII read-side critical section.
+  class ReadLock {
+   public:
+    explicit ReadLock(EpochGuard* g) : g_(g), slot_(g->EnterReader()) {}
+    ~ReadLock() { g_->ExitReader(slot_); }
+    ReadLock(const ReadLock&) = delete;
+    ReadLock& operator=(const ReadLock&) = delete;
+
+   private:
+    EpochGuard* g_;
+    size_t slot_;
+  };
+
+  /// Reader entry: claims a slot stamped with the current epoch. Spins only
+  /// while a writer holds the exclusive lock or all slots are taken.
+  size_t EnterReader() {
+    const size_t start =
+        std::hash<std::thread::id>()(std::this_thread::get_id()) % kSlots;
+    for (;;) {
+      while (blocked_.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const uint64_t e = epoch_.load(std::memory_order_relaxed);
+      size_t slot = kSlots;
+      for (size_t probe = 0; probe < kSlots; ++probe) {
+        const size_t s = (start + probe) % kSlots;
+        uint64_t expected = kFree;
+        if (slots_[s].v.compare_exchange_strong(expected, e,
+                                                std::memory_order_seq_cst)) {
+          slot = s;
+          break;
+        }
+      }
+      if (slot == kSlots) {  // all slots busy; wait and retry
+        std::this_thread::yield();
+        continue;
+      }
+      // Dekker recheck: if a writer set blocked_ before observing our slot,
+      // we must retreat; seq_cst total order makes exactly one of us yield.
+      if (!blocked_.load(std::memory_order_seq_cst)) return slot;
+      slots_[slot].v.store(kFree, std::memory_order_release);
+    }
+  }
+
+  void ExitReader(size_t slot) {
+    slots_[slot].v.store(kFree, std::memory_order_release);
+  }
+
+  /// Writer: waits until every reader that entered before this call has
+  /// exited. Readers entering afterwards are unaffected and do not delay
+  /// the wait (their stamp is >= the advanced epoch).
+  void Quiesce() {
+    const uint64_t target = epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    for (size_t s = 0; s < kSlots; ++s) {
+      for (;;) {
+        const uint64_t v = slots_[s].v.load(std::memory_order_acquire);
+        if (v == kFree || v >= target) break;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Writer: blocks new readers and drains active ones. On return the
+  /// caller has exclusive access until UnlockExclusive().
+  void LockExclusive() {
+    blocked_.store(true, std::memory_order_seq_cst);
+    for (size_t s = 0; s < kSlots; ++s) {
+      while (slots_[s].v.load(std::memory_order_acquire) != kFree) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  void UnlockExclusive() { blocked_.store(false, std::memory_order_release); }
+
+  /// RAII exclusive section.
+  class ExclusiveLock {
+   public:
+    explicit ExclusiveLock(EpochGuard* g) : g_(g) { g_->LockExclusive(); }
+    ~ExclusiveLock() { g_->UnlockExclusive(); }
+    ExclusiveLock(const ExclusiveLock&) = delete;
+    ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+   private:
+    EpochGuard* g_;
+  };
+
+ private:
+  static constexpr uint64_t kFree = 0;
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{kFree};
+  };
+
+  std::atomic<uint64_t> epoch_{1};  // starts at 1 so kFree is unambiguous
+  std::atomic<bool> blocked_{false};
+  Slot slots_[kSlots];
+};
+
+}  // namespace blink

@@ -1,0 +1,132 @@
+// Padding-contract tests (ISSUE 2 satellite): when k exceeds the number of
+// reachable results, every search path pads ids with kInvalidId and dists
+// with +inf — Search, SearchBatch, SearchBatchEx, MakeSearcher() searchers,
+// the serving engine, and the dynamic-index view.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "eval/interface.h"
+#include "graph/index.h"
+#include "serve/engine.h"
+
+namespace blink {
+namespace {
+
+constexpr size_t kCorpus = 5;  // tiny corpus so k=16 must pad
+constexpr size_t kK = 16;
+
+struct TinyFixture {
+  TinyFixture() : data(MakeDeepLike(kCorpus, 4, /*seed=*/99)) {
+    VamanaBuildParams bp;
+    bp.graph_max_degree = 4;
+    bp.window_size = 8;
+    index = BuildVamanaF32(data.base, data.metric, bp);
+  }
+  Dataset data;
+  std::unique_ptr<VamanaIndex<FloatStorage>> index;
+};
+
+void ExpectPaddedRow(const uint32_t* ids, const float* dists, size_t k,
+                     size_t corpus) {
+  size_t real = 0;
+  for (size_t j = 0; j < k; ++j) {
+    if (ids[j] != kInvalidId) {
+      EXPECT_LT(ids[j], corpus);
+      if (dists != nullptr) {
+        EXPECT_TRUE(std::isfinite(dists[j])) << j;
+      }
+      EXPECT_EQ(real, j) << "padding must be a suffix";
+      ++real;
+    } else if (dists != nullptr) {
+      EXPECT_TRUE(std::isinf(dists[j])) << "dist " << j;
+    }
+  }
+  EXPECT_EQ(real, corpus) << "all reachable results present before padding";
+}
+
+TEST(Padding, SingleQuerySearchPadsToK) {
+  TinyFixture f;
+  RuntimeParams p;
+  SearchResult res;
+  f.index->Search(f.data.queries.row(0), kK, p, &res);
+  ASSERT_EQ(res.ids.size(), kK);
+  ASSERT_EQ(res.dists.size(), kK);
+  ExpectPaddedRow(res.ids.data(), res.dists.data(), kK, kCorpus);
+}
+
+TEST(Padding, SearchBatchPadsToK) {
+  TinyFixture f;
+  RuntimeParams p;
+  const size_t nq = f.data.queries.rows();
+  Matrix<uint32_t> ids(nq, kK);
+  f.index->SearchBatch(f.data.queries, kK, p, ids.data());
+  for (size_t qi = 0; qi < nq; ++qi) {
+    ExpectPaddedRow(ids.row(qi), nullptr, kK, kCorpus);
+  }
+}
+
+TEST(Padding, SearchBatchExPadsIdsAndDists) {
+  TinyFixture f;
+  RuntimeParams p;
+  const size_t nq = f.data.queries.rows();
+  Matrix<uint32_t> ids(nq, kK);
+  MatrixF dists(nq, kK);
+  ThreadPool pool(2);
+  f.index->SearchBatchEx(f.data.queries, kK, p, ids.data(), dists.data(),
+                         nullptr, &pool);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    ExpectPaddedRow(ids.row(qi), dists.row(qi), kK, kCorpus);
+  }
+}
+
+TEST(Padding, PooledSearcherPadsToK) {
+  TinyFixture f;
+  RuntimeParams p;
+  auto searcher = f.index->MakeSearcher();
+  std::vector<uint32_t> ids(kK);
+  std::vector<float> dists(kK);
+  searcher->Search(f.data.queries.row(0), kK, p, ids.data(), dists.data(),
+                   nullptr);
+  ExpectPaddedRow(ids.data(), dists.data(), kK, kCorpus);
+}
+
+TEST(Padding, ServingEnginePadsSyncAndAsync) {
+  TinyFixture f;
+  RuntimeParams p;
+  ServingOptions opts;
+  opts.num_threads = 2;
+  ServingEngine engine(f.index.get(), opts);
+  const size_t nq = f.data.queries.rows();
+  Matrix<uint32_t> ids(nq, kK);
+  MatrixF dists(nq, kK);
+  engine.SearchBatch(f.data.queries, kK, p, ids.data(), dists.data());
+  for (size_t qi = 0; qi < nq; ++qi) {
+    ExpectPaddedRow(ids.row(qi), dists.row(qi), kK, kCorpus);
+  }
+  SearchResult res = engine.Submit(f.data.queries.row(0), kK, p).get();
+  ASSERT_EQ(res.ids.size(), kK);
+  ExpectPaddedRow(res.ids.data(), res.dists.data(), kK, kCorpus);
+}
+
+TEST(Padding, DynamicIndexViewPadsToK) {
+  Dataset data = MakeDeepLike(kCorpus, 3, 101);
+  DynamicIndex::Options o;
+  o.graph_max_degree = 4;
+  o.build_window = 8;
+  DynamicIndex dyn(96, o);
+  for (size_t i = 0; i < kCorpus; ++i) dyn.Insert(data.base.row(i));
+  DynamicIndexView view(&dyn);
+  RuntimeParams p;
+  const size_t nq = data.queries.rows();
+  Matrix<uint32_t> ids(nq, kK);
+  MatrixF dists(nq, kK);
+  view.SearchBatchEx(data.queries, kK, p, ids.data(), dists.data(), nullptr);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    ExpectPaddedRow(ids.row(qi), dists.row(qi), kK, kCorpus);
+  }
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,360 @@
+// Serving engine tests: pooled-searcher correctness against the direct
+// paths, async micro-batching, and the ISSUE 2 multi-threaded stress test —
+// concurrent SearchBatch from many threads while a writer mutates the
+// dynamic index. Runs under the ASan and TSan CI jobs.
+#include "serve/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "data/groundtruth.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "graph/index.h"
+#include "util/prng.h"
+
+namespace blink {
+namespace {
+
+struct StaticFixture {
+  StaticFixture()
+      : data(MakeDeepLike(3000, 100, /*seed=*/808)),
+        index(BuildOgLvq(data.base, data.metric, 8, 0, Params())) {}
+
+  static VamanaBuildParams Params() {
+    VamanaBuildParams bp;
+    bp.graph_max_degree = 24;
+    bp.window_size = 48;
+    return bp;
+  }
+
+  Dataset data;
+  std::unique_ptr<VamanaIndex<LvqStorage>> index;
+};
+
+TEST(ServingEngine, SyncMatchesDirectSearchBatch) {
+  StaticFixture f;
+  const size_t k = 10, nq = f.data.queries.rows();
+  RuntimeParams p;
+  p.window = 32;
+  Matrix<uint32_t> direct(nq, k), served(nq, k);
+  f.index->SearchBatch(f.data.queries, k, p, direct.data());
+
+  ServingOptions opts;
+  opts.num_threads = 4;
+  ServingEngine engine(f.index.get(), opts);
+  engine.SearchBatch(f.data.queries, k, p, served.data());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    ASSERT_EQ(direct.data()[i], served.data()[i]) << "flat index " << i;
+  }
+  const ServingCounters c = engine.counters();
+  EXPECT_EQ(c.queries, nq);
+  EXPECT_GT(c.distance_computations, 0u);
+  EXPECT_GT(c.hops, 0u);
+}
+
+TEST(ServingEngine, SyncReportsDistsAndStats) {
+  StaticFixture f;
+  const size_t k = 10, nq = f.data.queries.rows();
+  RuntimeParams p;
+  p.window = 32;
+  Matrix<uint32_t> ids(nq, k);
+  MatrixF dists(nq, k);
+  BatchStats stats;
+  ServingOptions opts;
+  opts.num_threads = 2;
+  ServingEngine engine(f.index.get(), opts);
+  engine.SearchBatch(f.data.queries, k, p, ids.data(), dists.data(), &stats);
+  EXPECT_GT(stats.distance_computations, stats.hops);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    for (size_t j = 1; j < k; ++j) {
+      ASSERT_LE(dists(qi, j - 1), dists(qi, j)) << "unsorted dists, q" << qi;
+    }
+  }
+}
+
+TEST(ServingEngine, AsyncMatchesSync) {
+  StaticFixture f;
+  const size_t k = 10, nq = f.data.queries.rows();
+  RuntimeParams p;
+  p.window = 32;
+  Matrix<uint32_t> sync_ids(nq, k);
+  ServingOptions opts;
+  opts.num_threads = 4;
+  opts.max_batch = 7;  // force multi-query micro-batches
+  ServingEngine engine(f.index.get(), opts);
+  engine.SearchBatch(f.data.queries, k, p, sync_ids.data());
+
+  std::vector<std::future<SearchResult>> futures;
+  futures.reserve(nq);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    futures.push_back(engine.Submit(f.data.queries.row(qi), k, p));
+  }
+  for (size_t qi = 0; qi < nq; ++qi) {
+    SearchResult res = futures[qi].get();
+    ASSERT_EQ(res.ids.size(), k);
+    ASSERT_EQ(res.dists.size(), k);
+    EXPECT_GT(res.distance_computations, 0u);
+    for (size_t j = 0; j < k; ++j) {
+      ASSERT_EQ(res.ids[j], sync_ids(qi, j)) << "query " << qi;
+    }
+  }
+  EXPECT_GT(engine.counters().batches, 0u);
+}
+
+TEST(ServingEngine, AsyncManyClientThreads) {
+  StaticFixture f;
+  const size_t k = 10, nq = f.data.queries.rows();
+  RuntimeParams p;
+  p.window = 32;
+  ServingOptions opts;
+  opts.num_threads = 2;
+  ServingEngine engine(f.index.get(), opts);
+  Matrix<uint32_t> results(nq, k);
+  std::vector<std::thread> clients;
+  const size_t nclients = 8;
+  for (size_t c = 0; c < nclients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t qi = c; qi < nq; qi += nclients) {
+        SearchResult res = engine.Submit(f.data.queries.row(qi), k, p).get();
+        EXPECT_EQ(res.ids.size(), k);
+        std::copy(res.ids.begin(), res.ids.end(), results.row(qi));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  Matrix<uint32_t> gt =
+      ComputeGroundTruth(f.data.base, f.data.queries, k, f.data.metric);
+  EXPECT_GE(MeanRecallAtK(results, gt, k), 0.9);
+  EXPECT_EQ(engine.counters().queries, nq);
+}
+
+TEST(ServingEngine, DrainWaitsForAllSubmitted) {
+  StaticFixture f;
+  RuntimeParams p;
+  p.window = 16;
+  ServingOptions opts;
+  opts.num_threads = 2;
+  ServingEngine engine(f.index.get(), opts);
+  std::vector<std::future<SearchResult>> futures;
+  for (size_t qi = 0; qi < 64; ++qi) {
+    futures.push_back(engine.Submit(f.data.queries.row(qi), 5, p));
+  }
+  engine.Drain();
+  for (auto& fut : futures) {
+    // After Drain every future must be immediately ready.
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+TEST(ServingEngine, ServesDynamicIndexView) {
+  Dataset data = MakeDeepLike(1200, 40, 809);
+  DynamicIndex::Options o;
+  o.graph_max_degree = 16;
+  o.build_window = 48;
+  DynamicIndex dyn(96, o);
+  for (size_t i = 0; i < 1200; ++i) dyn.Insert(data.base.row(i));
+  DynamicIndexView view(&dyn);
+  EXPECT_EQ(view.size(), 1200u);
+  EXPECT_EQ(view.dim(), 96u);
+  EXPECT_GT(view.memory_bytes(), 0u);
+
+  const size_t k = 10, nq = data.queries.rows();
+  RuntimeParams p;
+  p.window = 64;
+  ServingOptions opts;
+  opts.num_threads = 4;
+  ServingEngine engine(&view, opts);
+  Matrix<uint32_t> results(nq, k);
+  BatchStats stats;
+  engine.SearchBatch(data.queries, k, p, results.data(), nullptr, &stats);
+  EXPECT_GT(stats.distance_computations, 0u);
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, k,
+                                           data.metric);
+  EXPECT_GE(MeanRecallAtK(results, gt, k), 0.85);
+}
+
+// ---------------------------------------------------------------------------
+// The ISSUE 2 stress test: concurrent SearchBatch from 8 threads while a
+// writer inserts/deletes (and periodically consolidates), asserting no lost
+// results and recall above a floor.
+// ---------------------------------------------------------------------------
+
+TEST(ServingEngine, ConcurrentReadWriteStress) {
+  const size_t kStable = 700;   // never deleted; must stay findable
+  const size_t kChurn = 500;    // inserted/deleted by the writer during load
+  const size_t kDim = 96;
+  Dataset data = MakeDeepLike(kStable + kChurn, 1, 810);
+
+  DynamicIndex::Options o;
+  o.graph_max_degree = 16;
+  o.build_window = 48;
+  o.initial_capacity = kStable + kChurn + 64;  // avoid stop-the-world growth
+  DynamicIndex dyn(kDim, o);
+  std::vector<uint32_t> stable_ids;
+  for (size_t i = 0; i < kStable; ++i) {
+    stable_ids.push_back(dyn.Insert(data.base.row(i)));
+  }
+
+  DynamicIndexView view(&dyn);
+  ServingOptions opts;
+  opts.num_threads = 4;
+  ServingEngine engine(&view, opts);
+  RuntimeParams p;
+  p.window = 64;
+
+  // Writer: churn the kChurn extra vectors through insert/delete cycles
+  // with periodic consolidation (slot recycling under live traffic).
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    Rng rng(7);
+    std::vector<uint32_t> churn_ids;
+    size_t next = kStable;
+    while (!stop_writer.load()) {
+      if (churn_ids.size() < kChurn / 2 ||
+          (next < kStable + kChurn && rng.Bounded(2) == 0)) {
+        const size_t src = next < kStable + kChurn
+                               ? next++
+                               : kStable + rng.Bounded(kChurn);
+        churn_ids.push_back(dyn.Insert(data.base.row(src)));
+      } else if (!churn_ids.empty()) {
+        const size_t pick = rng.Bounded(churn_ids.size());
+        EXPECT_TRUE(dyn.Delete(churn_ids[pick]).ok());
+        churn_ids[pick] = churn_ids.back();
+        churn_ids.pop_back();
+      }
+      if (rng.Bounded(97) == 0) dyn.ConsolidateDeletes();
+    }
+  });
+
+  // 8 reader threads: each repeatedly SearchBatches the *stable* vectors'
+  // own coordinates through the engine. A stable vector must never get
+  // lost: its exact duplicate is in the index, so it must appear in its own
+  // top-k in the overwhelming majority of searches even mid-churn.
+  const size_t kReaders = 8;
+  const size_t kRounds = 6;
+  const size_t kQueriesPerRound = 64;
+  const size_t k = 10;
+  std::atomic<uint64_t> self_hits{0};
+  std::atomic<uint64_t> self_queries{0};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(100 + r);
+      Matrix<uint32_t> ids(kQueriesPerRound, k);
+      MatrixF queries(kQueriesPerRound, kDim);
+      std::vector<uint32_t> expected(kQueriesPerRound);
+      for (size_t round = 0; round < kRounds; ++round) {
+        for (size_t qi = 0; qi < kQueriesPerRound; ++qi) {
+          const size_t pick = rng.Bounded(kStable);
+          expected[qi] = stable_ids[pick];
+          std::copy(data.base.row(pick), data.base.row(pick) + kDim,
+                    queries.row(qi));
+        }
+        engine.SearchBatch(queries, k, p, ids.data());
+        for (size_t qi = 0; qi < kQueriesPerRound; ++qi) {
+          ++self_queries;
+          for (size_t j = 0; j < k; ++j) {
+            EXPECT_LT(ids(qi, j) == kInvalidId ? 0u : ids(qi, j),
+                      dyn.capacity());  // every id is in-range
+            if (ids(qi, j) == expected[qi]) {
+              ++self_hits;
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop_writer.store(true);
+  writer.join();
+
+  // No lost results: under churn a self-query may occasionally miss, but
+  // the overwhelming majority must find the stable vector.
+  const double hit_rate = static_cast<double>(self_hits.load()) /
+                          static_cast<double>(self_queries.load());
+  EXPECT_GE(hit_rate, 0.95) << self_hits.load() << "/" << self_queries.load();
+
+  // Quiesced recall floor: after the writer stops, every stable vector must
+  // be findable and batch recall against brute force must clear the bar.
+  dyn.ConsolidateDeletes();
+  SearchResult res;
+  size_t found = 0;
+  for (size_t i = 0; i < kStable; ++i) {
+    dyn.Search(data.base.row(i), k, 64, &res);
+    for (uint32_t id : res.ids) {
+      if (id == stable_ids[i]) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(static_cast<double>(found) / kStable, 0.99);
+}
+
+// Async submissions racing a writer: every future must resolve with k
+// in-range ids (no hangs, no lost promises).
+TEST(ServingEngine, AsyncSubmitRacingWriter) {
+  const size_t kDim = 96;
+  Dataset data = MakeDeepLike(900, 60, 811);
+  DynamicIndex::Options o;
+  o.graph_max_degree = 16;
+  o.build_window = 48;
+  o.initial_capacity = 1200;
+  DynamicIndex dyn(kDim, o);
+  for (size_t i = 0; i < 600; ++i) dyn.Insert(data.base.row(i));
+
+  DynamicIndexView view(&dyn);
+  ServingOptions opts;
+  opts.num_threads = 2;
+  opts.max_batch = 4;
+  ServingEngine engine(&view, opts);
+  RuntimeParams p;
+  p.window = 48;
+
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    Rng rng(13);
+    size_t next = 600;
+    std::vector<uint32_t> extra;
+    while (!stop_writer.load()) {
+      if (next < 900 && rng.Bounded(2) == 0) {
+        extra.push_back(dyn.Insert(data.base.row(next++)));
+      } else if (!extra.empty()) {
+        const size_t pick = rng.Bounded(extra.size());
+        (void)dyn.Delete(extra[pick]);
+        extra[pick] = extra.back();
+        extra.pop_back();
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  const size_t k = 5;
+  std::vector<std::future<SearchResult>> futures;
+  for (int round = 0; round < 10; ++round) {
+    futures.clear();
+    for (size_t qi = 0; qi < data.queries.rows(); ++qi) {
+      futures.push_back(engine.Submit(data.queries.row(qi), k, p));
+    }
+    for (auto& fut : futures) {
+      SearchResult res = fut.get();
+      ASSERT_EQ(res.ids.size(), k);
+      for (uint32_t id : res.ids) {
+        ASSERT_TRUE(id == kInvalidId || id < dyn.capacity());
+      }
+    }
+  }
+  stop_writer.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,180 @@
+// blink_serve — closed-loop load generator for the serving engine.
+//
+// Builds an OG index over a synthetic dataset (no input files needed),
+// stands up a ServingEngine, and drives it with C closed-loop client
+// threads for a fixed duration; reports QPS, latency percentiles
+// (p50/p90/p99/max) and k-recall@k against exact ground truth.
+//
+// Usage:
+//   blink_serve [options]
+//     --n N            base vectors                  (default 20000)
+//     --nq N           distinct queries              (default 1000)
+//     --k N            neighbors per query           (default 10)
+//     --window N       search window W               (default 32)
+//     --threads T      engine searcher pool size     (default NumThreads())
+//     --clients C      closed-loop client threads    (default 2*threads)
+//     --duration S     seconds of load               (default 3)
+//     --mode M         sync | async                  (default async)
+//     --batch B        queries per sync request      (default 8)
+//     --lvq B          LVQ bits (0 = float32 index)  (default 8)
+//     --seed S         dataset/build seed            (default 1234)
+//
+// sync  — each client calls ServingEngine::SearchBatch with B queries per
+//         request (the request is the latency unit).
+// async — each client Submit()s one query at a time and waits on the
+//         future; the engine micro-batches across clients.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blink.h"
+
+using namespace blink;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--n N] [--nq N] [--k N] [--window N] [--threads T] "
+               "[--clients C]\n                  [--duration S] "
+               "[--mode sync|async] [--batch B] [--lvq bits] [--seed S]\n",
+               argv0);
+  return 2;
+}
+
+struct ClientResult {
+  std::vector<double> latencies_ms;
+  size_t queries = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = 20000, nq = 1000, k = 10, batch = 8;
+  uint32_t window = 32;
+  size_t threads = NumThreads();
+  size_t clients = 0;
+  double duration = 3.0;
+  int lvq_bits = 8;
+  uint64_t seed = 1234;
+  bool async_mode = true;
+  for (int a = 1; a + 1 < argc; a += 2) {
+    const std::string flag = argv[a];
+    const char* val = argv[a + 1];
+    if (flag == "--n") n = std::strtoull(val, nullptr, 10);
+    else if (flag == "--nq") nq = std::strtoull(val, nullptr, 10);
+    else if (flag == "--k") k = std::strtoull(val, nullptr, 10);
+    else if (flag == "--window") window = static_cast<uint32_t>(std::strtoul(val, nullptr, 10));
+    else if (flag == "--threads") threads = std::strtoull(val, nullptr, 10);
+    else if (flag == "--clients") clients = std::strtoull(val, nullptr, 10);
+    else if (flag == "--duration") duration = std::strtod(val, nullptr);
+    else if (flag == "--batch") batch = std::strtoull(val, nullptr, 10);
+    else if (flag == "--lvq") lvq_bits = std::atoi(val);
+    else if (flag == "--seed") seed = std::strtoull(val, nullptr, 10);
+    else if (flag == "--mode") async_mode = std::strcmp(val, "async") == 0;
+    else return Usage(argv[0]);
+  }
+  if (threads == 0) threads = 1;
+  if (clients == 0) clients = 2 * threads;
+  if (batch == 0) batch = 1;
+  // Each client owns a disjoint stripe of the query set (so concurrent
+  // writes into the recall matrix never overlap); more clients than
+  // queries would collapse stripes.
+  if (clients > nq) clients = nq;
+
+  std::printf("blink_serve: n=%zu nq=%zu d=96 k=%zu W=%u | engine threads=%zu "
+              "clients=%zu mode=%s%s | backend=%s\n",
+              n, nq, k, window, threads, clients,
+              async_mode ? "async" : "sync",
+              async_mode ? "" : (" batch=" + std::to_string(batch)).c_str(),
+              simd::BackendName());
+
+  ThreadPool build_pool(threads);
+  Dataset data = MakeDeepLike(n, nq, seed);
+  VamanaBuildParams bp;
+  bp.graph_max_degree = 32;
+  bp.window_size = 64;
+  Timer build_timer;
+  std::unique_ptr<SearchIndex> index;
+  if (lvq_bits > 0) {
+    index = BuildOgLvq(data.base, data.metric, lvq_bits, 0, bp, &build_pool);
+  } else {
+    index = BuildVamanaF32(data.base, data.metric, bp, &build_pool);
+  }
+  std::printf("built %s in %.1fs (%.1f MiB)\n", index->name().c_str(),
+              build_timer.Seconds(), index->memory_bytes() / 1048576.0);
+  Matrix<uint32_t> gt =
+      ComputeGroundTruth(data.base, data.queries, k, data.metric, &build_pool);
+
+  ServingOptions opts;
+  opts.num_threads = threads;
+  ServingEngine engine(index.get(), opts);
+
+  RuntimeParams params;
+  params.window = window;
+
+  // Closed loop: each client owns a stripe of the query set and hammers it
+  // until the deadline, recording per-request latency.
+  Matrix<uint32_t> results(nq, k);  // last result per query, for recall
+  std::vector<ClientResult> per_client(clients);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  Timer wall;
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      ClientResult& out = per_client[c];
+      const size_t lo = nq * c / clients;
+      const size_t hi = std::max(lo + 1, nq * (c + 1) / clients);
+      size_t qi = lo;
+      while (wall.Seconds() < duration) {
+        Timer t;
+        if (async_mode) {
+          auto fut = engine.Submit(data.queries.row(qi), k, params);
+          SearchResult res = fut.get();
+          std::copy(res.ids.begin(), res.ids.end(), results.row(qi));
+          out.queries += 1;
+          qi = qi + 1 >= hi ? lo : qi + 1;
+        } else {
+          const size_t take = std::min(batch, hi - qi);
+          MatrixViewF slice(data.queries.row(qi), take, data.queries.cols());
+          engine.SearchBatch(slice, k, params, results.row(qi));
+          out.queries += take;
+          qi = qi + take >= hi ? lo : qi + take;
+        }
+        out.latencies_ms.push_back(t.Millis());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed = wall.Seconds();
+
+  std::vector<double> lat;
+  size_t total_queries = 0;
+  for (const ClientResult& r : per_client) {
+    lat.insert(lat.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+    total_queries += r.queries;
+  }
+  const ServingCounters c = engine.counters();
+  const double qps = static_cast<double>(total_queries) / elapsed;
+  std::printf("\n%zu queries in %.2fs  (%zu requests, %llu micro-batches)\n",
+              total_queries, elapsed, lat.size(),
+              static_cast<unsigned long long>(c.batches));
+  std::printf("QPS               %10.0f\n", qps);
+  if (!lat.empty()) {
+    std::printf("latency p50       %10.3f ms\n", Percentile(lat, 50));
+    std::printf("latency p90       %10.3f ms\n", Percentile(lat, 90));
+    std::printf("latency p99       %10.3f ms\n", Percentile(lat, 99));
+    std::printf("latency max       %10.3f ms\n",
+                *std::max_element(lat.begin(), lat.end()));
+  }
+  std::printf("dists/query       %10.1f\n",
+              c.queries > 0 ? static_cast<double>(c.distance_computations) /
+                                  static_cast<double>(c.queries)
+                            : 0.0);
+  std::printf("recall@%-2zu         %10.4f\n", k, MeanRecallAtK(results, gt, k));
+  return 0;
+}
