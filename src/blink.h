@@ -21,6 +21,11 @@
 #include "graph/serialize.h"
 #include "graph/pruning_error.h"
 
+// Sharded index (partition-then-probe at dataset scale).
+#include "shard/partitioner.h"
+#include "shard/sharded_index.h"
+#include "shard/serialize.h"
+
 // Concurrent serving engine.
 #include "serve/engine.h"
 

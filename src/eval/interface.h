@@ -23,6 +23,7 @@ struct RuntimeParams {
   bool rerank = true;            ///< two-level final re-ranking (LVQ-B1xB2)
   uint32_t nprobe = 8;           ///< IVF/ScaNN: partitions probed
   uint32_t reorder_k = 0;        ///< IVF/ScaNN: full-precision re-rank depth
+  uint32_t nprobe_shards = 0;    ///< sharded index: shards probed (0 = all)
   uint32_t prefetch_offset = 0;  ///< graph prefetcher lookahead offset
   uint32_t prefetch_step = 2;    ///< graph prefetcher vectors/iteration
   bool use_visited_set = true;   ///< graph visited-set ablation (see search.h)

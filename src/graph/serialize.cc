@@ -4,39 +4,22 @@
 #include <cstring>
 #include <vector>
 
+#include "util/binio.h"
+
 namespace blink {
 
 namespace {
+
+using binio::File;
+using binio::ReadAll;
+using binio::ReadPod;
+using binio::WriteAll;
+using binio::WritePod;
 
 constexpr uint32_t kGraphMagic = 0x47414C42u;  // "BLAG"
 constexpr uint32_t kLvqMagic = 0x51414C42u;    // "BLAQ"
 constexpr uint32_t kLvq2Magic = 0x32414C42u;   // "BLA2"
 constexpr uint32_t kVersion = 1;
-
-struct FileCloser {
-  void operator()(FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using File = std::unique_ptr<FILE, FileCloser>;
-
-bool WriteAll(FILE* f, const void* p, size_t bytes) {
-  return bytes == 0 || std::fwrite(p, 1, bytes, f) == bytes;
-}
-
-bool ReadAll(FILE* f, void* p, size_t bytes) {
-  return bytes == 0 || std::fread(p, 1, bytes, f) == bytes;
-}
-
-template <typename T>
-bool WritePod(FILE* f, const T& v) {
-  return WriteAll(f, &v, sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(FILE* f, T* v) {
-  return ReadAll(f, v, sizeof(T));
-}
 
 Status SaveLvqTo(FILE* f, const LvqDataset& ds, const std::string& path) {
   const uint64_t n = ds.size(), d = ds.dim();

@@ -1,0 +1,121 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "cluster/kmeans.h"
+#include "util/prng.h"
+
+namespace blink {
+
+namespace {
+
+/// Recomputes centroids as the mean of each shard's assigned members (empty
+/// shards keep a zero centroid; they are never probed — see ShardedIndex).
+MatrixF MemberMeans(MatrixViewF data,
+                    const std::vector<std::vector<uint32_t>>& shard_to_global,
+                    size_t d) {
+  MatrixF centroids(shard_to_global.size(), d);
+  std::vector<double> acc(d);
+  for (size_t s = 0; s < shard_to_global.size(); ++s) {
+    const auto& members = shard_to_global[s];
+    if (members.empty()) continue;
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (uint32_t g : members) {
+      const float* row = data.row(g);
+      for (size_t j = 0; j < d; ++j) acc[j] += row[j];
+    }
+    float* c = centroids.row(s);
+    for (size_t j = 0; j < d; ++j) {
+      c[j] = static_cast<float>(acc[j] / static_cast<double>(members.size()));
+    }
+  }
+  return centroids;
+}
+
+Partition RoundRobin(MatrixViewF data, size_t S) {
+  Partition out;
+  out.shard_to_global.resize(S);
+  out.global_to_shard.resize(data.rows);
+  for (size_t i = 0; i < data.rows; ++i) {
+    const size_t s = i % S;
+    out.shard_to_global[s].push_back(static_cast<uint32_t>(i));
+    out.global_to_shard[i] = static_cast<uint32_t>(s);
+  }
+  out.centroids = MemberMeans(data, out.shard_to_global, data.cols);
+  return out;
+}
+
+Partition BalancedKMeans(MatrixViewF data, const PartitionerParams& params,
+                         ThreadPool* pool) {
+  const size_t n = data.rows;
+  const size_t d = data.cols;
+  const size_t S = params.num_shards;
+
+  // Train centroids on a uniform subsample (reservoir-free: a fixed-seed
+  // shuffle prefix), enough for S cluster centers.
+  KMeansParams kp;
+  kp.k = S;
+  kp.max_iters = params.max_kmeans_iters;
+  kp.seed = params.seed;
+  MatrixF sample;
+  MatrixViewF train = data;
+  if (n > params.train_sample && params.train_sample >= S) {
+    std::vector<uint32_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    Rng rng(params.seed ^ 0x9e3779b9u);
+    for (size_t i = 0; i < params.train_sample; ++i) {
+      const size_t j = i + static_cast<size_t>(rng() % (n - i));
+      std::swap(perm[i], perm[j]);
+    }
+    sample = MatrixF(params.train_sample, d);
+    for (size_t i = 0; i < params.train_sample; ++i) {
+      std::memcpy(sample.row(i), data.row(perm[i]), d * sizeof(float));
+    }
+    train = sample;
+  }
+  KMeansResult km = KMeans(train, kp, pool);
+
+  // Greedy capacity-bounded assignment: each point takes the nearest
+  // centroid that still has room. Deterministic (fixed point order), and
+  // no shard exceeds the cap, so per-shard build cost is bounded.
+  const size_t cap = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(
+             static_cast<double>((n + S - 1) / S) *
+             (1.0 + std::max(0.0, params.balance_slack)))));
+  Partition out;
+  out.shard_to_global.resize(S);
+  out.global_to_shard.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<uint32_t> prefs =
+        NearestCentroids(data.row(i), km.centroids, S);
+    uint32_t chosen = prefs.back();
+    for (uint32_t s : prefs) {
+      if (out.shard_to_global[s].size() < cap) {
+        chosen = s;
+        break;
+      }
+    }
+    out.shard_to_global[chosen].push_back(static_cast<uint32_t>(i));
+    out.global_to_shard[i] = chosen;
+  }
+  out.centroids = MemberMeans(data, out.shard_to_global, d);
+  return out;
+}
+
+}  // namespace
+
+Partition PartitionDataset(MatrixViewF data, const PartitionerParams& params,
+                           ThreadPool* pool) {
+  const size_t S = std::max<size_t>(1, params.num_shards);
+  PartitionerParams p = params;
+  p.num_shards = S;
+  if (p.method == PartitionMethod::kRoundRobin || S == 1 || data.rows <= S) {
+    return RoundRobin(data, S);
+  }
+  return BalancedKMeans(data, p, pool);
+}
+
+}  // namespace blink

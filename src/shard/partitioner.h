@@ -1,0 +1,62 @@
+// Dataset partitioning for the sharded index (DESIGN.md D8).
+//
+// A Partition splits [0, n) into S disjoint shards plus the global<->local
+// id remap the sharded search needs: shard-local result ids are translated
+// back to global ids during the merge. Two methods:
+//
+//   kBalancedKMeans — k-means centroids (cluster/kmeans) followed by a
+//       deterministic greedy capacity-bounded assignment, so shards are
+//       both geometrically coherent (centroid probing prunes well) and
+//       balanced (no shard exceeds ceil(n/S) * (1 + balance_slack), which
+//       bounds per-shard build time and memory).
+//   kRoundRobin — shard = i mod S. The fallback when geometry is useless
+//       (adversarial data) or when reproducible uniform shards are wanted;
+//       centroid probing degrades to probing all shards.
+//
+// Centroids are always recomputed as the mean of the members actually
+// assigned (after balancing / for round-robin), so probe-time centroid
+// distances reflect the shards as built. Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/thread_pool.h"
+
+namespace blink {
+
+enum class PartitionMethod {
+  kBalancedKMeans,
+  kRoundRobin,
+};
+
+struct PartitionerParams {
+  size_t num_shards = 4;
+  PartitionMethod method = PartitionMethod::kBalancedKMeans;
+  uint64_t seed = 0x5eed;
+  size_t max_kmeans_iters = 15;
+  /// Max shard size = ceil(n / S) * (1 + balance_slack).
+  double balance_slack = 0.15;
+  /// k-means trains on at most this many rows (uniform subsample).
+  size_t train_sample = 100000;
+};
+
+/// A disjoint partition of [0, n) into S shards with the id remap.
+struct Partition {
+  MatrixF centroids;  ///< S x d, mean of each shard's members
+  /// shard -> ascending global ids of its members. shard_to_global[s][l]
+  /// is the global id of shard s's local row l.
+  std::vector<std::vector<uint32_t>> shard_to_global;
+  std::vector<uint32_t> global_to_shard;  ///< n, shard of each global id
+
+  size_t num_shards() const { return shard_to_global.size(); }
+  size_t total_size() const { return global_to_shard.size(); }
+};
+
+/// Splits `data` into params.num_shards shards. Every row lands in exactly
+/// one shard; shards may be empty only when n < num_shards.
+Partition PartitionDataset(MatrixViewF data, const PartitionerParams& params,
+                           ThreadPool* pool = nullptr);
+
+}  // namespace blink

@@ -1,0 +1,153 @@
+#include "shard/serialize.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "graph/serialize.h"
+#include "util/binio.h"
+
+namespace blink {
+
+namespace {
+
+using binio::File;
+using binio::ReadAll;
+using binio::ReadPod;
+using binio::WriteAll;
+using binio::WritePod;
+
+constexpr uint32_t kManifestMagic = 0x48534C42u;  // "BLSH"
+constexpr uint32_t kManifestVersion = 1;
+
+std::string ShardPrefix(const std::string& dir, size_t s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/shard_%04zu", s);
+  return dir + buf;
+}
+
+std::string ManifestPath(const std::string& dir) { return dir + "/manifest"; }
+
+}  // namespace
+
+bool IsShardedIndexDir(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(ManifestPath(path), ec);
+}
+
+Status SaveShardedIndex(const std::string& dir, const ShardedIndex& index) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create " + dir + ": " + ec.message());
+  }
+  const Partition& part = index.partition();
+  const std::string path = ManifestPath(dir);
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+
+  const uint64_t S = part.num_shards();
+  const uint64_t n = part.total_size();
+  const uint64_t d = index.dim();
+  const uint32_t bits1 = static_cast<uint32_t>(index.bits1());
+  const uint32_t bits2 = static_cast<uint32_t>(index.bits2());
+  if (!WritePod(f.get(), kManifestMagic) ||
+      !WritePod(f.get(), kManifestVersion) || !WritePod(f.get(), S) ||
+      !WritePod(f.get(), n) || !WritePod(f.get(), d) ||
+      !WritePod(f.get(), bits1) || !WritePod(f.get(), bits2) ||
+      !WriteAll(f.get(), part.centroids.data(),
+                part.centroids.size() * sizeof(float))) {
+    return Status::IOError(path + ": manifest header write failed");
+  }
+  for (uint64_t s = 0; s < S; ++s) {
+    const auto& members = part.shard_to_global[s];
+    const uint64_t m = members.size();
+    if (!WritePod(f.get(), m) ||
+        !WriteAll(f.get(), members.data(), m * sizeof(uint32_t))) {
+      return Status::IOError(path + ": manifest shard list write failed");
+    }
+  }
+  for (uint64_t s = 0; s < S; ++s) {
+    if (index.shard(s) == nullptr) continue;
+    BLINK_RETURN_NOT_OK(SaveOgLvqIndex(ShardPrefix(dir, s), *index.shard(s)));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardedIndex>> LoadShardedIndex(
+    const std::string& dir, Metric metric, const VamanaBuildParams& bp,
+    bool use_huge_pages) {
+  const std::string path = ManifestPath(dir);
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  uint32_t magic = 0, version = 0, bits1 = 0, bits2 = 0;
+  uint64_t S = 0, n = 0, d = 0;
+  if (!ReadPod(f.get(), &magic) || magic != kManifestMagic) {
+    return Status::IOError(path + ": bad manifest magic");
+  }
+  if (!ReadPod(f.get(), &version) || version != kManifestVersion) {
+    return Status::IOError(path + ": unsupported manifest version");
+  }
+  if (!ReadPod(f.get(), &S) || !ReadPod(f.get(), &n) || !ReadPod(f.get(), &d) ||
+      !ReadPod(f.get(), &bits1) || !ReadPod(f.get(), &bits2) || S == 0 ||
+      d == 0) {
+    return Status::IOError(path + ": corrupt manifest header");
+  }
+  // Bound every allocation below by what the file could actually hold: the
+  // manifest stores S*d centroid floats and n member ids, so corrupt header
+  // fields must fail with a Status like every other corruption, not OOM.
+  std::error_code ec;
+  const uint64_t fsize = std::filesystem::file_size(path, ec);
+  if (ec || d > fsize / sizeof(float) || S > (fsize / sizeof(float)) / d ||
+      n > fsize / sizeof(uint32_t)) {
+    return Status::IOError(path + ": manifest header disagrees with size");
+  }
+  Partition part;
+  part.centroids = MatrixF(S, d);
+  if (!ReadAll(f.get(), part.centroids.data(), S * d * sizeof(float))) {
+    return Status::IOError(path + ": truncated centroids");
+  }
+  part.shard_to_global.resize(S);
+  part.global_to_shard.assign(n, UINT32_MAX);
+  for (uint64_t s = 0; s < S; ++s) {
+    uint64_t m = 0;
+    if (!ReadPod(f.get(), &m) || m > n) {
+      return Status::IOError(path + ": corrupt shard list header");
+    }
+    auto& members = part.shard_to_global[s];
+    members.resize(m);
+    if (!ReadAll(f.get(), members.data(), m * sizeof(uint32_t))) {
+      return Status::IOError(path + ": truncated shard list");
+    }
+    for (uint32_t g : members) {
+      if (g >= n || part.global_to_shard[g] != UINT32_MAX) {
+        return Status::IOError(path + ": shard lists are not a partition");
+      }
+      part.global_to_shard[g] = static_cast<uint32_t>(s);
+    }
+  }
+  for (uint64_t g = 0; g < n; ++g) {
+    if (part.global_to_shard[g] == UINT32_MAX) {
+      return Status::IOError(path + ": shard lists are not a partition");
+    }
+  }
+
+  std::vector<std::unique_ptr<ShardedIndex::Shard>> shards(S);
+  for (uint64_t s = 0; s < S; ++s) {
+    const size_t m = part.shard_to_global[s].size();
+    if (m == 0) continue;
+    auto shard =
+        LoadOgLvqIndex(ShardPrefix(dir, s), metric, bp, use_huge_pages);
+    if (!shard.ok()) return shard.status();
+    if (shard.value()->size() != m || shard.value()->dim() != d) {
+      return Status::IOError(ShardPrefix(dir, s) +
+                             ": shard size/dim disagrees with manifest");
+    }
+    shards[s] = std::move(shard).value();
+  }
+  return std::make_unique<ShardedIndex>(std::move(shards), std::move(part),
+                                        metric, static_cast<int>(bits1),
+                                        static_cast<int>(bits2));
+}
+
+}  // namespace blink

@@ -1,0 +1,31 @@
+// Sharded index persistence: a directory with a manifest plus one
+// `<dir>/shard_NNNN.{graph,vecs}` bundle per non-empty shard, each written
+// with the single-index format of graph/serialize.h.
+//
+// The manifest records the partition (shard count, centroids, the
+// shard -> global-id lists that define the id remap) and the LVQ
+// configuration; like the single-index bundle, `metric` and build params
+// are configuration, not state, and are passed at load time.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "shard/sharded_index.h"
+#include "util/status.h"
+
+namespace blink {
+
+/// Saves `index` under directory `dir` (created if missing) as
+/// `dir/manifest` + per-shard bundles.
+Status SaveShardedIndex(const std::string& dir, const ShardedIndex& index);
+
+/// Loads a directory written by SaveShardedIndex.
+Result<std::unique_ptr<ShardedIndex>> LoadShardedIndex(
+    const std::string& dir, Metric metric, const VamanaBuildParams& bp,
+    bool use_huge_pages = true);
+
+/// True when `path` looks like a sharded-index directory (has a manifest).
+bool IsShardedIndexDir(const std::string& path);
+
+}  // namespace blink

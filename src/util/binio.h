@@ -1,0 +1,39 @@
+// Shared stdio plumbing for the binary index formats (graph/serialize.cc,
+// shard/serialize.cc): RAII FILE handle and exact-size read/write helpers.
+// All formats are little-endian POD streams; these helpers return false on
+// short IO so callers can surface a Status instead of asserting.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+namespace blink {
+namespace binio {
+
+struct FileCloser {
+  void operator()(FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<FILE, FileCloser>;
+
+inline bool WriteAll(FILE* f, const void* p, size_t bytes) {
+  return bytes == 0 || std::fwrite(p, 1, bytes, f) == bytes;
+}
+
+inline bool ReadAll(FILE* f, void* p, size_t bytes) {
+  return bytes == 0 || std::fread(p, 1, bytes, f) == bytes;
+}
+
+template <typename T>
+bool WritePod(FILE* f, const T& v) {
+  return WriteAll(f, &v, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(FILE* f, T* v) {
+  return ReadAll(f, v, sizeof(T));
+}
+
+}  // namespace binio
+}  // namespace blink

@@ -3,12 +3,13 @@
 
 #include <gtest/gtest.h>
 
-#include "data/groundtruth.h"
-#include "data/synthetic.h"
-#include "graph/index.h"
+#include "testutil.h"
 
 namespace blink {
 namespace {
+
+using testutil::DeepFixture;
+using testutil::Fixture;
 
 /// An index that returns exact answers (brute force), used to validate the
 /// harness's recall accounting.
@@ -33,29 +34,22 @@ class ExactIndex : public SearchIndex {
 };
 
 TEST(Harness, ExactIndexScoresRecallOne) {
-  Dataset data = MakeDeepLike(500, 20, 95);
-  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, 10,
-                                           data.metric);
-  ExactIndex idx(data.base, data.metric);
+  Fixture f = DeepFixture(500, 20, 95);
+  ExactIndex idx(f.data.base, f.data.metric);
   HarnessOptions opts;
   opts.best_of = 1;
-  auto pts = RunSweep(idx, data.queries, gt, WindowSweep({10}), opts);
+  auto pts = RunSweep(idx, f.data.queries, f.gt, WindowSweep({10}), opts);
   ASSERT_EQ(pts.size(), 1u);
   EXPECT_DOUBLE_EQ(pts[0].recall, 1.0);
   EXPECT_GT(pts[0].qps, 0.0);
 }
 
 TEST(Harness, SweepProducesOnePointPerSetting) {
-  Dataset data = MakeDeepLike(800, 10, 96);
-  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, 10,
-                                           data.metric);
-  VamanaBuildParams bp;
-  bp.graph_max_degree = 16;
-  bp.window_size = 32;
-  auto idx = BuildOgLvq(data.base, data.metric, 8, 0, bp);
+  Fixture f = DeepFixture(800, 10, 96, /*k=*/10, /*R=*/16, /*W=*/32);
+  auto idx = BuildOgLvq(f.data.base, f.data.metric, 8, 0, f.bp);
   HarnessOptions opts;
   opts.best_of = 2;
-  auto pts = RunSweep(*idx, data.queries, gt, WindowSweep({10, 20, 40}), opts);
+  auto pts = RunSweep(*idx, f.data.queries, f.gt, WindowSweep({10, 20, 40}), opts);
   ASSERT_EQ(pts.size(), 3u);
   EXPECT_EQ(pts[0].params.window, 10u);
   EXPECT_EQ(pts[2].params.window, 40u);
@@ -64,17 +58,12 @@ TEST(Harness, SweepProducesOnePointPerSetting) {
 }
 
 TEST(Harness, SingleQueryModeRuns) {
-  Dataset data = MakeDeepLike(500, 10, 97);
-  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, 10,
-                                           data.metric);
-  VamanaBuildParams bp;
-  bp.graph_max_degree = 16;
-  bp.window_size = 32;
-  auto idx = BuildOgLvq(data.base, data.metric, 8, 0, bp);
+  Fixture f = DeepFixture(500, 10, 97, /*k=*/10, /*R=*/16, /*W=*/32);
+  auto idx = BuildOgLvq(f.data.base, f.data.metric, 8, 0, f.bp);
   HarnessOptions opts;
   opts.best_of = 1;
   opts.single_query = true;
-  auto pts = RunSweep(*idx, data.queries, gt, WindowSweep({20}), opts);
+  auto pts = RunSweep(*idx, f.data.queries, f.gt, WindowSweep({20}), opts);
   EXPECT_GT(pts[0].mean_latency_us, 0.0);
   EXPECT_GT(pts[0].recall, 0.5);
 }

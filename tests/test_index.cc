@@ -3,36 +3,16 @@
 
 #include <gtest/gtest.h>
 
-#include "data/groundtruth.h"
-#include "data/synthetic.h"
-#include "eval/metrics.h"
+#include "testutil.h"
 
 namespace blink {
 namespace {
 
-struct Fixture {
-  Dataset data;
-  Matrix<uint32_t> gt;
-  VamanaBuildParams bp;
-
-  explicit Fixture(Dataset d, size_t k = 10) : data(std::move(d)) {
-    gt = ComputeGroundTruth(data.base, data.queries, k, data.metric);
-    bp.graph_max_degree = 24;
-    bp.window_size = 48;
-    bp.alpha = data.metric == Metric::kL2 ? 1.2f : 0.95f;
-  }
-};
+using testutil::Fixture;
 
 double RecallOf(const SearchIndex& idx, const Fixture& f, uint32_t window,
                 bool rerank = true, bool visited = false) {
-  const size_t k = 10;
-  RuntimeParams p;
-  p.window = window;
-  p.rerank = rerank;
-  p.use_visited_set = visited;
-  Matrix<uint32_t> ids(f.data.queries.rows(), k);
-  idx.SearchBatch(f.data.queries, k, p, ids.data());
-  return MeanRecallAtK(ids, f.gt, k);
+  return testutil::RecallAtWindow(idx, f, window, rerank, visited);
 }
 
 TEST(Index, Float32HighRecall) {

@@ -4,30 +4,23 @@
 #include <gtest/gtest.h>
 
 #include "blink.h"
+#include "testutil.h"
 
 namespace blink {
 namespace {
 
-struct World {
-  Dataset data;
-  Matrix<uint32_t> gt;
+/// testutil::Fixture plus the old local shorthand of this file.
+struct World : testutil::Fixture {
   static constexpr size_t kK = 10;
-
-  explicit World(Dataset d) : data(std::move(d)) {
-    gt = ComputeGroundTruth(data.base, data.queries, kK, data.metric);
-  }
+  explicit World(Dataset d) : testutil::Fixture(std::move(d), kK) {}
   double Recall(const SearchIndex& idx, const RuntimeParams& p) const {
-    Matrix<uint32_t> ids(data.queries.rows(), kK);
-    idx.SearchBatch(data.queries, kK, p, ids.data());
-    return MeanRecallAtK(ids, gt, kK);
+    return testutil::RecallOf(idx, *this, p);
   }
 };
 
 TEST(Integration, EveryIndexFamilyReachesHighRecall) {
   World w(MakeDeepLike(3000, 50, 300));
-  VamanaBuildParams bp;
-  bp.graph_max_degree = 24;
-  bp.window_size = 48;
+  const VamanaBuildParams& bp = w.bp;  // R=24, W=48 fixture defaults
 
   RuntimeParams graph_p;
   graph_p.window = 64;
@@ -56,6 +49,14 @@ TEST(Integration, EveryIndexFamilyReachesHighRecall) {
   ScannParams sp;
   ScannIndex scann(w.data.base, w.data.metric, sp);
   EXPECT_GE(w.Recall(scann, probe_p), 0.9) << scann.name();
+
+  ShardedBuildParams ssp;
+  ssp.partition.num_shards = 4;
+  ssp.graph = bp;
+  auto sharded = BuildShardedLvq(w.data.base, w.data.metric, ssp);
+  RuntimeParams sharded_p = graph_p;
+  sharded_p.nprobe_shards = 2;
+  EXPECT_GE(w.Recall(*sharded, sharded_p), 0.9) << sharded->name();
 }
 
 TEST(Integration, MiniFig4_GraphsBuiltFromLvq4AreAsGoodAsFloat32) {

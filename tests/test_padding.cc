@@ -4,47 +4,18 @@
 // the serving engine, and the dynamic-index view.
 #include <gtest/gtest.h>
 
-#include <cmath>
-
-#include "data/synthetic.h"
-#include "eval/interface.h"
-#include "graph/index.h"
 #include "serve/engine.h"
+#include "testutil.h"
 
 namespace blink {
 namespace {
 
+using testutil::ExpectPaddedRow;
+
 constexpr size_t kCorpus = 5;  // tiny corpus so k=16 must pad
 constexpr size_t kK = 16;
 
-struct TinyFixture {
-  TinyFixture() : data(MakeDeepLike(kCorpus, 4, /*seed=*/99)) {
-    VamanaBuildParams bp;
-    bp.graph_max_degree = 4;
-    bp.window_size = 8;
-    index = BuildVamanaF32(data.base, data.metric, bp);
-  }
-  Dataset data;
-  std::unique_ptr<VamanaIndex<FloatStorage>> index;
-};
-
-void ExpectPaddedRow(const uint32_t* ids, const float* dists, size_t k,
-                     size_t corpus) {
-  size_t real = 0;
-  for (size_t j = 0; j < k; ++j) {
-    if (ids[j] != kInvalidId) {
-      EXPECT_LT(ids[j], corpus);
-      if (dists != nullptr) {
-        EXPECT_TRUE(std::isfinite(dists[j])) << j;
-      }
-      EXPECT_EQ(real, j) << "padding must be a suffix";
-      ++real;
-    } else if (dists != nullptr) {
-      EXPECT_TRUE(std::isinf(dists[j])) << "dist " << j;
-    }
-  }
-  EXPECT_EQ(real, corpus) << "all reachable results present before padding";
-}
+using TinyFixture = testutil::TinyWorld;  // corpus 5, 4 queries, seed 99
 
 TEST(Padding, SingleQuerySearchPadsToK) {
   TinyFixture f;

@@ -4,24 +4,22 @@
 #include <cstdio>
 #include <gtest/gtest.h>
 
-#include "data/groundtruth.h"
-#include "data/synthetic.h"
-#include "eval/metrics.h"
+#include "testutil.h"
 
 namespace blink {
 namespace {
 
-class SerializeTest : public ::testing::Test {
+using testutil::ExpectSameIds;
+using testutil::SearchIds;
+
+class SerializeTest : public testutil::TempPathTest {
  protected:
-  std::string Path(const std::string& name) {
-    const std::string p = testing::TempDir() + "blink_ser_" + name;
-    cleanup_.push_back(p);
-    return p;
+  /// Registers both files of an index bundle and returns the prefix.
+  std::string BundlePrefix(const std::string& name) {
+    const std::string graph = Path(name + ".graph");
+    Path(name + ".vecs");
+    return graph.substr(0, graph.size() - sizeof(".graph") + 1);
   }
-  void TearDown() override {
-    for (const auto& p : cleanup_) std::remove(p.c_str());
-  }
-  std::vector<std::string> cleanup_;
 };
 
 TEST_F(SerializeTest, GraphRoundTrip) {
@@ -95,9 +93,7 @@ TEST_F(SerializeTest, FullIndexBundleServesIdenticalResults) {
   bp.graph_max_degree = 16;
   bp.window_size = 32;
   auto built = BuildOgLvq(data.base, data.metric, 8, 0, bp);
-  const std::string prefix = testing::TempDir() + "blink_ser_bundle";
-  cleanup_.push_back(prefix + ".graph");
-  cleanup_.push_back(prefix + ".vecs");
+  const std::string prefix = BundlePrefix("bundle");
   ASSERT_TRUE(SaveOgLvqIndex(prefix, *built).ok());
 
   auto loaded = LoadOgLvqIndex(prefix, data.metric, bp, false);
@@ -105,12 +101,9 @@ TEST_F(SerializeTest, FullIndexBundleServesIdenticalResults) {
   RuntimeParams p;
   p.window = 40;
   const size_t k = 10;
-  Matrix<uint32_t> a(data.queries.rows(), k), b(data.queries.rows(), k);
-  built->SearchBatch(data.queries, k, p, a.data());
-  loaded.value()->SearchBatch(data.queries, k, p, b.data());
-  for (size_t i = 0; i < a.size(); ++i) {
-    ASSERT_EQ(a.data()[i], b.data()[i]) << i;
-  }
+  ExpectSameIds(SearchIds(*built, data.queries, k, p),
+                SearchIds(*loaded.value(), data.queries, k, p),
+                "bundle round trip");
 }
 
 TEST_F(SerializeTest, TwoLevelBundleRoundTrips) {
@@ -119,19 +112,16 @@ TEST_F(SerializeTest, TwoLevelBundleRoundTrips) {
   bp.graph_max_degree = 16;
   bp.window_size = 32;
   auto built = BuildOgLvq(data.base, data.metric, 4, 8, bp);
-  const std::string prefix = testing::TempDir() + "blink_ser_bundle2";
-  cleanup_.push_back(prefix + ".graph");
-  cleanup_.push_back(prefix + ".vecs");
+  const std::string prefix = BundlePrefix("bundle2");
   ASSERT_TRUE(SaveOgLvqIndex(prefix, *built).ok());
   auto loaded = LoadOgLvqIndex(prefix, data.metric, bp, false);
   ASSERT_TRUE(loaded.ok());
   EXPECT_TRUE(loaded.value()->storage().has_second_level());
   RuntimeParams p;
   p.window = 32;
-  Matrix<uint32_t> a(10, 10), b(10, 10);
-  built->SearchBatch(data.queries, 10, p, a.data());
-  loaded.value()->SearchBatch(data.queries, 10, p, b.data());
-  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a.data()[i], b.data()[i]);
+  ExpectSameIds(SearchIds(*built, data.queries, 10, p),
+                SearchIds(*loaded.value(), data.queries, 10, p),
+                "two-level bundle round trip");
 }
 
 TEST_F(SerializeTest, CorruptFilesRejected) {

@@ -12,28 +12,20 @@
 #include <thread>
 #include <vector>
 
-#include "data/groundtruth.h"
-#include "data/synthetic.h"
-#include "eval/metrics.h"
-#include "graph/index.h"
+#include "testutil.h"
 #include "util/prng.h"
 
 namespace blink {
 namespace {
 
-struct StaticFixture {
+/// testutil::Fixture (deep-like corpus, R=24/W=48) plus a built LVQ-8
+/// index — the engine tests search it through every serving path. The
+/// ground truth computed by the base fixture serves the recall checks.
+struct StaticFixture : testutil::Fixture {
   StaticFixture()
-      : data(MakeDeepLike(3000, 100, /*seed=*/808)),
-        index(BuildOgLvq(data.base, data.metric, 8, 0, Params())) {}
+      : testutil::Fixture(MakeDeepLike(3000, 100, /*seed=*/808)),
+        index(BuildOgLvq(data.base, data.metric, 8, 0, bp)) {}
 
-  static VamanaBuildParams Params() {
-    VamanaBuildParams bp;
-    bp.graph_max_degree = 24;
-    bp.window_size = 48;
-    return bp;
-  }
-
-  Dataset data;
   std::unique_ptr<VamanaIndex<LvqStorage>> index;
 };
 
@@ -128,9 +120,7 @@ TEST(ServingEngine, AsyncManyClientThreads) {
     });
   }
   for (auto& t : clients) t.join();
-  Matrix<uint32_t> gt =
-      ComputeGroundTruth(f.data.base, f.data.queries, k, f.data.metric);
-  EXPECT_GE(MeanRecallAtK(results, gt, k), 0.9);
+  EXPECT_GE(MeanRecallAtK(results, f.gt, k), 0.9);
   EXPECT_EQ(engine.counters().queries, nq);
 }
 

@@ -8,7 +8,11 @@
 //     --R N                 graph max out-degree (default 32)
 //     --window N            build window W (default 2R)
 //     --alpha F             pruning relaxation (default 1.2 l2 / 0.95 ip)
-// Writes <out_prefix>.graph and <out_prefix>.vecs (see graph/serialize.h).
+//     --shards S            split into S shards, built in parallel (default 1)
+//     --partition kmeans|rr sharding method (default kmeans)
+// With --shards 1, writes <out_prefix>.graph and <out_prefix>.vecs (see
+// graph/serialize.h); with S > 1, writes the <out_prefix>/ directory
+// (manifest + per-shard bundles, see shard/serialize.h).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,7 +27,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <base.fvecs> <out_prefix> [--metric l2|ip] "
-               "[--bits1 B] [--bits2 B] [--R N] [--window N] [--alpha F]\n",
+               "[--bits1 B] [--bits2 B] [--R N] [--window N] [--alpha F]\n"
+               "       [--shards S] [--partition kmeans|rr]\n",
                argv0);
   return 2;
 }
@@ -38,6 +43,8 @@ int main(int argc, char** argv) {
   int bits1 = 8, bits2 = 0;
   uint32_t R = 32, window = 0;
   float alpha = 0.0f;
+  size_t shards = 1;
+  PartitionMethod method = PartitionMethod::kBalancedKMeans;
   for (int a = 3; a + 1 < argc; a += 2) {
     const std::string flag = argv[a];
     const char* val = argv[a + 1];
@@ -53,10 +60,16 @@ int main(int argc, char** argv) {
       window = static_cast<uint32_t>(std::atoi(val));
     } else if (flag == "--alpha") {
       alpha = static_cast<float>(std::atof(val));
+    } else if (flag == "--shards") {
+      shards = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--partition") {
+      method = std::strcmp(val, "rr") == 0 ? PartitionMethod::kRoundRobin
+                                           : PartitionMethod::kBalancedKMeans;
     } else {
       return Usage(argv[0]);
     }
   }
+  if (shards == 0) shards = 1;
   // The serialized format (and UnpackCode) support 1..16 bits; bits2 == 0
   // means one-level LVQ.
   if (bits1 < 1 || bits1 > 16 || bits2 < 0 || bits2 > 16) {
@@ -79,6 +92,27 @@ int main(int argc, char** argv) {
                           : (metric == Metric::kL2 ? 1.2f : 0.95f);
 
   ThreadPool pool(NumThreads());
+  if (shards > 1) {
+    ShardedBuildParams sp;
+    sp.partition.num_shards = shards;
+    sp.partition.method = method;
+    sp.graph = bp;
+    sp.bits1 = bits1;
+    sp.bits2 = bits2;
+    Timer t;
+    auto index = BuildShardedLvq(base.value(), metric, sp, &pool);
+    std::printf("built %s in %.1fs (%.1f MiB, %zu shards)\n",
+                index->name().c_str(), t.Seconds(),
+                index->memory_bytes() / 1048576.0, index->num_shards());
+    Status st = SaveShardedIndex(prefix, *index);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved %s/ (manifest + shard bundles)\n", prefix.c_str());
+    return 0;
+  }
+
   Timer t;
   auto index = BuildOgLvq(base.value(), metric, bits1, bits2, bp, &pool);
   std::printf("built %s in %.1fs (%.1f MiB: vectors %.1f + graph %.1f)\n",

@@ -1,12 +1,13 @@
-// blink_search — load a persisted OG-LVQ index, run a query batch, report
-// QPS (best of 5, as the paper measures) and, when ground truth is given,
-// k-recall@k.
+// blink_search — load a persisted index (single OG-LVQ bundle or sharded
+// directory, auto-detected), run a query batch, report QPS (best of 5, as
+// the paper measures) and, when ground truth is given, k-recall@k.
 //
 // Usage:
 //   blink_search <index_prefix> <query.fvecs> [options]
 //     --metric l2|ip        similarity used at build time (default l2)
 //     --k N                 neighbors per query (default 10)
 //     --window N[,N...]     search windows to sweep (default 10,20,40,80)
+//     --nprobe-shards N     sharded index: shards probed per query (0 = all)
 //     --gt file.ivecs       exact ground truth for recall
 //     --out file.ivecs      write result ids
 #include <cstdio>
@@ -24,7 +25,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <index_prefix> <query.fvecs> [--metric l2|ip] "
-               "[--k N] [--window N,N,...] [--gt gt.ivecs] [--out res.ivecs]\n",
+               "[--k N] [--window N,N,...] [--nprobe-shards N] "
+               "[--gt gt.ivecs] [--out res.ivecs]\n",
                argv0);
   return 2;
 }
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   const std::string query_path = argv[2];
   Metric metric = Metric::kL2;
   size_t k = 10;
+  uint32_t nprobe_shards = 0;
   std::vector<uint32_t> windows = {10, 20, 40, 80};
   std::string gt_path, out_path;
   for (int a = 3; a + 1 < argc; a += 2) {
@@ -59,6 +62,8 @@ int main(int argc, char** argv) {
       k = std::strtoull(val, nullptr, 10);
     } else if (flag == "--window") {
       windows = ParseWindows(val);
+    } else if (flag == "--nprobe-shards") {
+      nprobe_shards = static_cast<uint32_t>(std::strtoul(val, nullptr, 10));
     } else if (flag == "--gt") {
       gt_path = val;
     } else if (flag == "--out") {
@@ -69,7 +74,16 @@ int main(int argc, char** argv) {
   }
 
   VamanaBuildParams bp;  // configuration only; graph comes from disk
-  auto index = LoadOgLvqIndex(prefix, metric, bp);
+  Result<std::unique_ptr<SearchIndex>> index = [&]() -> Result<std::unique_ptr<SearchIndex>> {
+    if (IsShardedIndexDir(prefix)) {
+      auto r = LoadShardedIndex(prefix, metric, bp);
+      if (!r.ok()) return r.status();
+      return std::unique_ptr<SearchIndex>(std::move(r).value());
+    }
+    auto r = LoadOgLvqIndex(prefix, metric, bp);
+    if (!r.ok()) return r.status();
+    return std::unique_ptr<SearchIndex>(std::move(r).value());
+  }();
   if (!index.ok()) {
     std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
     return 1;
@@ -104,6 +118,7 @@ int main(int argc, char** argv) {
   for (uint32_t w : windows) {
     RuntimeParams params;
     params.window = w;
+    params.nprobe_shards = nprobe_shards;
     double best = 0.0;
     for (int rep = 0; rep < 5; ++rep) {
       Timer t;

@@ -17,6 +17,8 @@
 //     --mode M         sync | async                  (default async)
 //     --batch B        queries per sync request      (default 8)
 //     --lvq B          LVQ bits (0 = float32 index)  (default 8)
+//     --shards S       sharded index with S shards   (default 1 = unsharded)
+//     --nprobe-shards P shards probed per query      (default 0 = all)
 //     --seed S         dataset/build seed            (default 1234)
 //
 // sync  — each client calls ServingEngine::SearchBatch with B queries per
@@ -41,7 +43,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--n N] [--nq N] [--k N] [--window N] [--threads T] "
                "[--clients C]\n                  [--duration S] "
-               "[--mode sync|async] [--batch B] [--lvq bits] [--seed S]\n",
+               "[--mode sync|async] [--batch B] [--lvq bits]\n"
+               "                  [--shards S] [--nprobe-shards P] [--seed S]\n",
                argv0);
   return 2;
 }
@@ -60,6 +63,8 @@ int main(int argc, char** argv) {
   size_t clients = 0;
   double duration = 3.0;
   int lvq_bits = 8;
+  size_t shards = 1;
+  uint32_t nprobe_shards = 0;
   uint64_t seed = 1234;
   bool async_mode = true;
   for (int a = 1; a + 1 < argc; a += 2) {
@@ -74,6 +79,8 @@ int main(int argc, char** argv) {
     else if (flag == "--duration") duration = std::strtod(val, nullptr);
     else if (flag == "--batch") batch = std::strtoull(val, nullptr, 10);
     else if (flag == "--lvq") lvq_bits = std::atoi(val);
+    else if (flag == "--shards") shards = std::strtoull(val, nullptr, 10);
+    else if (flag == "--nprobe-shards") nprobe_shards = static_cast<uint32_t>(std::strtoul(val, nullptr, 10));
     else if (flag == "--seed") seed = std::strtoull(val, nullptr, 10);
     else if (flag == "--mode") async_mode = std::strcmp(val, "async") == 0;
     else return Usage(argv[0]);
@@ -100,7 +107,15 @@ int main(int argc, char** argv) {
   bp.window_size = 64;
   Timer build_timer;
   std::unique_ptr<SearchIndex> index;
-  if (lvq_bits > 0) {
+  if (shards > 1) {
+    // The engine serves the sharded index through the same SearchIndex /
+    // MakeSearcher seam as every other index — no serving changes needed.
+    ShardedBuildParams sp;
+    sp.partition.num_shards = shards;
+    sp.graph = bp;
+    sp.bits1 = lvq_bits > 0 ? lvq_bits : 8;
+    index = BuildShardedLvq(data.base, data.metric, sp, &build_pool);
+  } else if (lvq_bits > 0) {
     index = BuildOgLvq(data.base, data.metric, lvq_bits, 0, bp, &build_pool);
   } else {
     index = BuildVamanaF32(data.base, data.metric, bp, &build_pool);
@@ -116,6 +131,7 @@ int main(int argc, char** argv) {
 
   RuntimeParams params;
   params.window = window;
+  params.nprobe_shards = nprobe_shards;
 
   // Closed loop: each client owns a stripe of the query set and hammers it
   // until the deadline, recording per-request latency.
