@@ -2,29 +2,32 @@
 
 #include <algorithm>
 #include <cassert>
-
-#include "simd/distance.h"
+#include <limits>
 
 namespace blink {
 
-DynamicIndex::DynamicIndex(size_t dim, const Options& opts)
-    : dim_(dim), opts_(opts) {
+template <typename Storage>
+DynamicGraphIndex<Storage>::DynamicGraphIndex(size_t dim, const Options& opts)
+    : DynamicGraphIndex(dim, opts, Storage(dim, opts.metric)) {}
+
+template <typename Storage>
+DynamicGraphIndex<Storage>::DynamicGraphIndex(size_t dim, const Options& opts,
+                                              Storage storage)
+    : dim_(dim), opts_(opts), storage_(std::move(storage)) {
+  assert(storage_.dim() == dim);
+  writer_decode_.resize(dim);
   Grow(std::max<size_t>(opts.initial_capacity, 16));
 }
 
-float DynamicIndex::Dist(const float* a, const float* b) const {
-  return opts_.metric == Metric::kL2 ? simd::L2Sqr(a, b, dim_)
-                                     : simd::IpDist(a, b, dim_);
-}
-
-void DynamicIndex::Grow(size_t min_capacity) {
+template <typename Storage>
+void DynamicGraphIndex<Storage>::Grow(size_t min_capacity) {
   if (min_capacity <= capacity_) return;
   const size_t new_cap = std::max<size_t>(capacity_ * 2, min_capacity);
   // Reallocation invalidates every pointer a concurrent search could hold;
   // stop the world for the swap (rare: amortized doubling, and avoidable
   // entirely by sizing initial_capacity for the workload).
   EpochGuard::ExclusiveLock lock(&epoch_);
-  vectors_.resize(new_cap * dim_);
+  storage_.Grow(new_cap);
   deleted_.resize(new_cap, 0);
   FlatGraph bigger(new_cap, opts_.graph_max_degree, /*use_huge_pages=*/false);
   const size_t n = n_.load(std::memory_order_relaxed);
@@ -35,19 +38,28 @@ void DynamicIndex::Grow(size_t min_capacity) {
   capacity_ = new_cap;
 }
 
+template <typename Storage>
+void DynamicGraphIndex<Storage>::PrepareStored(uint32_t id,
+                                               typename Storage::Query* q) {
+  storage_.DecodeVector(id, writer_decode_.data());
+  storage_.PrepareQuery(writer_decode_.data(), q);
+}
+
 // Writer-side candidate gathering (Insert). The writer is the only thread
 // that stores rows, so it may read them plainly; vectors it touches are
 // live or tombstoned and never concurrently overwritten (recycled slots are
 // only written by this same serialized writer).
-void DynamicIndex::CollectCandidates(const float* query, uint32_t window,
-                                     std::vector<Candidate>* out) const {
+template <typename Storage>
+void DynamicGraphIndex<Storage>::CollectCandidates(
+    const float* query, uint32_t window, std::vector<Candidate>* out) {
   out->clear();
   const uint32_t ep = entry_point_.load(std::memory_order_relaxed);
   if (ep == kNoEntry) return;
+  storage_.PrepareQuery(query, &writer_query_);
   SearchBuffer buffer(window);
   VisitedSet visited(capacity_);
   visited.NextQuery();
-  buffer.Insert(Dist(query, vector(ep)), ep);
+  buffer.Insert(storage_.Distance(writer_query_, ep), ep);
   visited.CheckAndMark(ep);
   long idx;
   while ((idx = buffer.NextUnexplored()) >= 0) {
@@ -58,7 +70,7 @@ void DynamicIndex::CollectCandidates(const float* query, uint32_t window,
     for (uint32_t t = 0; t < deg; ++t) {
       const uint32_t cand = nbrs[t];
       if (!visited.CheckAndMark(cand)) continue;
-      buffer.Insert(Dist(query, vector(cand)), cand);
+      buffer.Insert(storage_.Distance(writer_query_, cand), cand);
     }
   }
   out->reserve(buffer.size());
@@ -70,8 +82,9 @@ void DynamicIndex::CollectCandidates(const float* query, uint32_t window,
 // Reader-side traversal: adjacency is copied row-by-row through the
 // acquire/release protocol (graph.h), so it is safe against the concurrent
 // writer; the caller must hold an epoch ReadLock.
-void DynamicIndex::CollectIntoScratch(const float* query, uint32_t window,
-                                      SearchScratch* scratch) const {
+template <typename Storage>
+void DynamicGraphIndex<Storage>::CollectIntoScratch(
+    const float* query, uint32_t window, SearchScratch* scratch) const {
   scratch->buffer.Reset(window);
   scratch->distance_computations = 0;
   scratch->hops = 0;
@@ -80,6 +93,7 @@ void DynamicIndex::CollectIntoScratch(const float* query, uint32_t window,
   // (or the only live vector is still mid-publication) — return empty.
   const uint32_t ep = entry_point_.load(std::memory_order_acquire);
   if (ep == kNoEntry) return;
+  storage_.PrepareQuery(query, &scratch->query);
   if (scratch->visited_capacity != capacity_) {
     scratch->visited.Resize(capacity_);
     scratch->visited_capacity = capacity_;
@@ -88,7 +102,7 @@ void DynamicIndex::CollectIntoScratch(const float* query, uint32_t window,
   scratch->neighbors.resize(graph_.max_degree());
   uint32_t* nbrs = scratch->neighbors.data();
 
-  scratch->buffer.Insert(Dist(query, vector(ep)), ep);
+  scratch->buffer.Insert(storage_.Distance(scratch->query, ep), ep);
   scratch->visited.CheckAndMark(ep);
   ++scratch->distance_computations;
   long idx;
@@ -100,15 +114,15 @@ void DynamicIndex::CollectIntoScratch(const float* query, uint32_t window,
     for (uint32_t t = 0; t < deg; ++t) {
       const uint32_t cand = nbrs[t];
       if (!scratch->visited.CheckAndMark(cand)) continue;
-      scratch->buffer.Insert(Dist(query, vector(cand)), cand);
+      scratch->buffer.Insert(storage_.Distance(scratch->query, cand), cand);
       ++scratch->distance_computations;
     }
   }
 }
 
-void DynamicIndex::RobustPrune([[maybe_unused]] const float* x,
-                               std::vector<Candidate>& cands,
-                               std::vector<uint32_t>* out) const {
+template <typename Storage>
+void DynamicGraphIndex<Storage>::RobustPrune(std::vector<Candidate>& cands,
+                                             std::vector<uint32_t>* out) {
   std::sort(cands.begin(), cands.end());
   cands.erase(std::unique(cands.begin(), cands.end(),
                           [](const Candidate& a, const Candidate& b) {
@@ -122,18 +136,23 @@ void DynamicIndex::RobustPrune([[maybe_unused]] const float* x,
     if (removed[s]) continue;
     out->push_back(cands[s].id);
     if (out->size() == opts_.graph_max_degree) break;
-    const float* star = vector(cands[s].id);
+    // Stored-to-stored distances: decode the selected star once, then run
+    // the same asymmetric kernel the read path uses against each remaining
+    // candidate's stored form.
+    PrepareStored(cands[s].id, &prune_query_);
     for (size_t t = s + 1; t < cands.size(); ++t) {
       if (removed[t]) continue;
       // alpha * sim(x*, x') >= sim(x, x')  =>  remove (similarity form).
-      if (alpha * (-Dist(star, vector(cands[t].id))) >= -cands[t].dist) {
+      if (alpha * (-storage_.Distance(prune_query_, cands[t].id)) >=
+          -cands[t].dist) {
         removed[t] = 1;
       }
     }
   }
 }
 
-uint32_t DynamicIndex::Insert(const float* vec) {
+template <typename Storage>
+uint32_t DynamicGraphIndex<Storage>::Insert(const float* vec) {
   std::lock_guard<std::mutex> writer(write_mu_);
   uint32_t id;
   bool recycled = false;
@@ -150,12 +169,13 @@ uint32_t DynamicIndex::Insert(const float* vec) {
     Grow(n_.load(std::memory_order_relaxed) + 1);
     id = static_cast<uint32_t>(n_.load(std::memory_order_relaxed));
   }
-  // The vector must be fully written before anything can name the id: the
-  // liveness flip below (release) covers the entry-point path, and
-  // FlatGraph's release row stores cover the edge paths.
-  std::copy(vec, vec + dim_, vectors_.data() + id * dim_);
+  // The vector must be fully written (encoded, for compressed storage)
+  // before anything can name the id: the liveness flip below (release)
+  // covers the entry-point path, and FlatGraph's release row stores cover
+  // the edge paths.
+  storage_.Set(id, vec);
   if (recycled) {
-    SetDeleted(id, 0);
+    SetDeleted(id, kLive);  // was kPurged since the consolidation
     num_deleted_.fetch_sub(1, std::memory_order_release);
   } else {
     n_.fetch_add(1, std::memory_order_release);
@@ -175,7 +195,7 @@ uint32_t DynamicIndex::Insert(const float* vec) {
                              [&](const Candidate& c) { return c.id == id; }),
               cands.end());
   std::vector<uint32_t> pruned;
-  RobustPrune(vec, cands, &pruned);
+  RobustPrune(cands, &pruned);
   graph_.PublishNeighbors(id, pruned.data(),
                           static_cast<uint32_t>(pruned.size()));
 
@@ -195,12 +215,12 @@ uint32_t DynamicIndex::Insert(const float* vec) {
     if (present) continue;
     if (!graph_.PublishAddNeighbor(nb, id)) {
       nb_cands.clear();
-      const float* vnb = vector(nb);
+      PrepareStored(nb, &writer_query_);
       for (uint32_t e = 0; e < deg; ++e) {
-        nb_cands.push_back({Dist(vnb, vector(nbrs[e])), nbrs[e]});
+        nb_cands.push_back({storage_.Distance(writer_query_, nbrs[e]), nbrs[e]});
       }
-      nb_cands.push_back({Dist(vnb, vec), id});
-      RobustPrune(vnb, nb_cands, &nb_pruned);
+      nb_cands.push_back({storage_.Distance(writer_query_, id), id});
+      RobustPrune(nb_cands, &nb_pruned);
       graph_.PublishNeighbors(nb, nb_pruned.data(),
                               static_cast<uint32_t>(nb_pruned.size()));
     }
@@ -208,19 +228,22 @@ uint32_t DynamicIndex::Insert(const float* vec) {
   return id;
 }
 
-Status DynamicIndex::Delete(uint32_t id) {
+template <typename Storage>
+Status DynamicGraphIndex<Storage>::Delete(uint32_t id) {
   std::lock_guard<std::mutex> writer(write_mu_);
   if (id >= n_.load(std::memory_order_relaxed)) {
     return Status::OutOfRange("id beyond index size");
   }
   if (IsDeleted(id)) return Status::InvalidArgument("id already deleted");
-  SetDeleted(id, 1);
+  SetDeleted(id, kTombstone);
   num_deleted_.fetch_add(1, std::memory_order_relaxed);
+  num_tombstones_.fetch_add(1, std::memory_order_relaxed);
   if (id == entry_point_.load(std::memory_order_relaxed)) UpdateEntryPoint();
   return Status::OK();
 }
 
-void DynamicIndex::UpdateEntryPoint() {
+template <typename Storage>
+void DynamicGraphIndex<Storage>::UpdateEntryPoint() {
   const size_t n = n_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < n; ++i) {
     if (!IsDeleted(static_cast<uint32_t>(i))) {
@@ -231,9 +254,12 @@ void DynamicIndex::UpdateEntryPoint() {
   entry_point_.store(kNoEntry, std::memory_order_release);  // empty index
 }
 
-void DynamicIndex::ConsolidateDeletes() {
+template <typename Storage>
+void DynamicGraphIndex<Storage>::ConsolidateDeletes() {
   std::lock_guard<std::mutex> writer(write_mu_);
-  if (num_deleted_.load(std::memory_order_relaxed) == 0) return;
+  // Purged slots are already unlinked and queued; only navigable
+  // tombstones need repair + purge.
+  if (num_tombstones_.load(std::memory_order_relaxed) == 0) return;
   // DiskANN-style repair: every live node that points at a deleted node
   // inherits that node's live out-neighbors, then re-prunes to R. This
   // phase runs concurrently with searches (atomic row publication).
@@ -254,22 +280,22 @@ void DynamicIndex::ConsolidateDeletes() {
     if (!touches_deleted) continue;
 
     cands.clear();
-    const float* x = vector(static_cast<uint32_t>(i));
+    PrepareStored(static_cast<uint32_t>(i), &writer_query_);
     for (uint32_t e = 0; e < deg; ++e) {
       const uint32_t nb = nbrs[e];
       if (!IsDeleted(nb)) {
-        cands.push_back({Dist(x, vector(nb)), nb});
+        cands.push_back({storage_.Distance(writer_query_, nb), nb});
         continue;
       }
       const uint32_t* second = graph_.neighbors(nb);
       for (uint32_t s = 0; s < graph_.degree(nb); ++s) {
         const uint32_t nn = second[s];
         if (!IsDeleted(nn) && nn != i) {
-          cands.push_back({Dist(x, vector(nn)), nn});
+          cands.push_back({storage_.Distance(writer_query_, nn), nn});
         }
       }
     }
-    RobustPrune(x, cands, &pruned);
+    RobustPrune(cands, &pruned);
     graph_.PublishNeighbors(i, pruned.data(),
                             static_cast<uint32_t>(pruned.size()));
   }
@@ -280,47 +306,124 @@ void DynamicIndex::ConsolidateDeletes() {
   // slots unreachable until a later Insert republishes them.
   {
     EpochGuard::ExclusiveLock lock(&epoch_);
+    size_t purged = 0;
     for (size_t i = 0; i < n; ++i) {
-      if (IsDeleted(static_cast<uint32_t>(i))) {
+      // Only kTombstone slots: a slot purged by an earlier consolidation
+      // and not yet recycled is already in free_slots_ — re-queueing it
+      // would hand the same slot to two Inserts.
+      if (DeletedFlag(static_cast<uint32_t>(i)) == kTombstone) {
         graph_.Clear(i);
         free_slots_.push_back(static_cast<uint32_t>(i));
+        SetDeleted(static_cast<uint32_t>(i), kPurged);
+        ++purged;
       }
     }
+    num_tombstones_.fetch_sub(purged, std::memory_order_relaxed);
   }
-  // Slots stay flagged deleted until re-used; num_deleted_ is decremented
-  // on recycle so live_size() remains correct throughout.
+  // Slots stay flagged (kPurged) until re-used; num_deleted_ is
+  // decremented on recycle so live_size() remains correct throughout.
 }
 
-void DynamicIndex::Search(const float* query, size_t k, uint32_t window,
-                          SearchResult* out, SearchScratch* scratch) const {
+template <typename Storage>
+void DynamicGraphIndex<Storage>::Search(const float* query, size_t k,
+                                        uint32_t window, SearchResult* out,
+                                        SearchScratch* scratch,
+                                        bool rerank) const {
   out->ids.clear();
   out->dists.clear();
   out->distance_computations = 0;
   out->hops = 0;
   EpochGuard::ReadLock reader(&epoch_);
-  if (live_size() == 0) return;
-  // Over-provision the window so tombstones cannot crowd out live results.
-  const uint32_t w = std::max<uint32_t>(
-      window,
-      static_cast<uint32_t>(k) +
-          static_cast<uint32_t>(std::min<size_t>(
-              num_deleted_.load(std::memory_order_relaxed), 64)));
+  // Over-provision the window by the *navigable* tombstone count:
+  // tombstones occupy candidate-buffer slots but are filtered from
+  // results, so a window sized for the live case could surface fewer than
+  // k live results even when k are reachable. Purged slots are unreachable
+  // and do not count; ConsolidateDeletes therefore resets the slack.
+  const size_t tomb = num_tombstones_.load(std::memory_order_relaxed);
+  const size_t want = std::max<size_t>(window, k + tomb);
+  const uint32_t w = static_cast<uint32_t>(
+      std::min<size_t>(want, std::numeric_limits<uint32_t>::max()));
   CollectIntoScratch(query, w, scratch);
   out->distance_computations = scratch->distance_computations;
   out->hops = scratch->hops;
-  for (size_t i = 0; i < scratch->buffer.size(); ++i) {
-    const uint32_t id = scratch->buffer[i].id;
-    if (IsDeleted(id)) continue;
-    out->ids.push_back(id);
-    out->dists.push_back(scratch->buffer[i].dist);
-    if (out->ids.size() == k) break;
+  const size_t m = scratch->buffer.size();
+  if (rerank && storage_.has_second_level() && m > 0) {
+    // Re-score every candidate at full two-level precision before the
+    // top-k selection (the gather + recompute of Sec. 3.2).
+    scratch->decode.resize(dim_);
+    scratch->rerank.clear();
+    scratch->rerank.reserve(m);
+    for (size_t i = 0; i < m; ++i) {
+      storage_.PrefetchSecondLevel(scratch->buffer[i].id);
+    }
+    for (size_t i = 0; i < m; ++i) {
+      const uint32_t id = scratch->buffer[i].id;
+      scratch->rerank.push_back(
+          {storage_.FullDistance(scratch->query, id, scratch->decode.data()),
+           id});
+    }
+    out->distance_computations += m;
+    scratch->distance_computations += m;
+    std::sort(scratch->rerank.begin(), scratch->rerank.end());
+    for (const auto& [dist, id] : scratch->rerank) {
+      if (IsDeleted(id)) continue;
+      out->ids.push_back(id);
+      out->dists.push_back(dist);
+      if (out->ids.size() == k) break;
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      const uint32_t id = scratch->buffer[i].id;
+      if (IsDeleted(id)) continue;
+      out->ids.push_back(id);
+      out->dists.push_back(scratch->buffer[i].dist);
+      if (out->ids.size() == k) break;
+    }
   }
+  // Contract (eval/interface.h): exactly k entries on every path, invalid
+  // slots padded with kInvalidId / +inf — including the empty-index case.
+  out->ids.resize(k, kInvalidId);
+  out->dists.resize(k, kInvalidDist);
 }
 
-void DynamicIndex::Search(const float* query, size_t k, uint32_t window,
-                          SearchResult* out) const {
+template <typename Storage>
+void DynamicGraphIndex<Storage>::Search(const float* query, size_t k,
+                                        uint32_t window,
+                                        SearchResult* out) const {
   SearchScratch scratch;
   Search(query, k, window, out, &scratch);
 }
+
+template <typename Storage>
+std::unique_ptr<DynamicGraphIndex<Storage>> DynamicGraphIndex<Storage>::Restore(
+    size_t dim, const Options& opts, Storage storage, FlatGraph graph,
+    std::vector<uint8_t> deleted, std::vector<uint32_t> free_slots, size_t n,
+    size_t num_deleted, uint32_t entry_point) {
+  assert(storage.dim() == dim);
+  assert(graph.size() == storage.capacity());
+  assert(n <= storage.capacity());
+  std::unique_ptr<DynamicGraphIndex> idx(new DynamicGraphIndex());
+  idx->dim_ = dim;
+  idx->opts_ = opts;
+  idx->capacity_ = storage.capacity();
+  idx->storage_ = std::move(storage);
+  idx->graph_ = std::move(graph);
+  deleted.resize(idx->capacity_, 0);
+  idx->deleted_ = std::move(deleted);
+  idx->free_slots_ = std::move(free_slots);
+  idx->n_.store(n, std::memory_order_relaxed);
+  idx->num_deleted_.store(num_deleted, std::memory_order_relaxed);
+  size_t tombstones = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (idx->deleted_[i] == kTombstone) ++tombstones;
+  }
+  idx->num_tombstones_.store(tombstones, std::memory_order_relaxed);
+  idx->entry_point_.store(entry_point, std::memory_order_relaxed);
+  idx->writer_decode_.resize(dim);
+  return idx;
+}
+
+template class DynamicGraphIndex<DynamicFloatStorage>;
+template class DynamicGraphIndex<DynamicLvqStorage>;
 
 }  // namespace blink

@@ -1,4 +1,5 @@
-// Dynamic graph index: insertions, deletions and model updates.
+// Dynamic graph index: insertions, deletions and model updates, over a
+// pluggable (growable) vector storage.
 //
 // The paper motivates LVQ partly through dynamic indices (Sec. 3.2): when
 // the data distribution shifts, LVQ's model update is a linear-time mean
@@ -11,6 +12,16 @@
 //   - ConsolidateDeletes: DiskANN-style repair — neighbors of deleted
 //     nodes inherit the deleted nodes' out-edges, then re-prune; slots are
 //     recycled by later inserts.
+//
+// Storage (DESIGN.md D9): DynamicGraphIndex<Storage> is templated on a
+// growable storage codec (graph/dynamic_storage.h), mirroring
+// VamanaIndex<Storage>. DynamicIndex (float32) is the uncompressed
+// baseline; DynamicLvqIndex encodes each vector at insert time against a
+// fixed sample mean (LVQ-B, optionally with B2-bit residuals re-ranked at
+// the end of every search), so the streaming path gets the same 4-8x
+// footprint reduction as the static one. Insert-time pruning measures
+// stored-to-stored distances by decoding one endpoint and running the same
+// asymmetric kernel the read path uses.
 //
 // Concurrency (DESIGN.md D6): the index is single-writer / multi-reader.
 // Searches run concurrently with Insert/Delete/ConsolidateDeletes without
@@ -26,57 +37,73 @@
 //     reach a freed slot,
 //   - Insert() into a recycled slot runs a Quiesce() grace period first,
 //     draining any straggler reader that could still hold the old id, so
-//     the in-place vector overwrite is race-free.
+//     the in-place vector overwrite (or re-encode) is race-free.
 // A torn read of a row mid-publication yields a stale-but-valid neighbor
 // list; greedy search tolerates that (worst case: a wasted hop).
 //
-// Storage is growable float32 (dynamic compressed storage would need
-// re-encodable arenas; Sec. 3.2 re-encoding is demonstrated in
-// examples/dynamic_reencoding.cpp).
+// Results follow the eval/interface.h padding contract: Search always
+// produces exactly k (id, dist) pairs, padded with kInvalidId/+inf when
+// fewer live vectors are reachable.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
+#include "eval/interface.h"
+#include "graph/dynamic_storage.h"
 #include "graph/graph.h"
 #include "graph/search.h"
 #include "graph/search_buffer.h"
-#include "graph/storage.h"
 #include "util/epoch.h"
 #include "util/status.h"
 
 namespace blink {
 
-class DynamicIndex {
+/// Build-time knobs of the dynamic index (storage-independent).
+struct DynamicOptions {
+  uint32_t graph_max_degree = 32;  ///< R
+  uint32_t build_window = 64;      ///< W for insert-time searches
+  float alpha = 1.2f;              ///< pruning relaxation (<1 for IP)
+  Metric metric = Metric::kL2;
+  size_t initial_capacity = 1024;
+};
+
+template <typename Storage>
+class DynamicGraphIndex {
  public:
   /// entry_point_ sentinel while no live vector exists. Readers never
   /// dereference it, so an empty (or emptied) index can never lead a
   /// search into a freed slot.
   static constexpr uint32_t kNoEntry = UINT32_MAX;
 
-  struct Options {
-    uint32_t graph_max_degree = 32;  ///< R
-    uint32_t build_window = 64;      ///< W for insert-time searches
-    float alpha = 1.2f;              ///< pruning relaxation (<1 for IP)
-    Metric metric = Metric::kL2;
-    size_t initial_capacity = 1024;
-  };
+  using Options = DynamicOptions;
 
   /// Reusable per-thread search state (candidate buffer, visited epochs,
-  /// neighbor-copy scratch). Create one per serving thread and pass it to
-  /// Search() to amortize per-query allocation; see serve/engine.h.
+  /// prepared query, re-rank scratch). Create one per serving thread and
+  /// pass it to Search() to amortize per-query allocation; see
+  /// serve/engine.h.
   struct SearchScratch {
     SearchBuffer buffer;
     VisitedSet visited;
     size_t visited_capacity = 0;
     std::vector<uint32_t> neighbors;         // row copy, max_degree entries
+    typename Storage::Query query;           // prepared per-query state
+    std::vector<float> decode;               // dim floats (two-level re-rank)
+    std::vector<std::pair<float, uint32_t>> rerank;
     uint64_t distance_computations = 0;      // of the last search
     uint64_t hops = 0;
   };
 
-  DynamicIndex(size_t dim, const Options& opts);
+  /// Storage built with its default configuration for this (dim, metric).
+  DynamicGraphIndex(size_t dim, const Options& opts);
+  /// Adopts a configured storage (e.g. DynamicLvqStorage with a sample
+  /// mean). `storage.dim()` must equal `dim`; its capacity is grown to
+  /// `opts.initial_capacity`.
+  DynamicGraphIndex(size_t dim, const Options& opts, Storage storage);
 
   /// Inserts a vector; returns its id. Ids of consolidated deletions are
   /// recycled. Thread-safe against concurrent Search (writers serialize).
@@ -90,11 +117,16 @@ class DynamicIndex {
   /// Thread-safe; briefly blocks readers while purging.
   void ConsolidateDeletes();
 
-  /// k nearest *live* vectors. Safe to call from any number of threads
-  /// concurrently with writers. The scratch overload reuses per-thread
-  /// state; the plain overload allocates fresh scratch per call.
+  /// k nearest *live* vectors, padded to exactly k entries per the
+  /// eval/interface.h contract (kInvalidId / +inf). Safe to call from any
+  /// number of threads concurrently with writers. The scratch overload
+  /// reuses per-thread state; the plain overload allocates fresh scratch
+  /// per call. When the storage has a second level and `rerank` is set,
+  /// all candidates are re-scored at full two-level precision before the
+  /// top-k selection (Sec. 3.2).
   void Search(const float* query, size_t k, uint32_t window,
-              SearchResult* out, SearchScratch* scratch) const;
+              SearchResult* out, SearchScratch* scratch,
+              bool rerank = true) const;
   void Search(const float* query, size_t k, uint32_t window,
               SearchResult* out) const;
 
@@ -107,6 +139,16 @@ class DynamicIndex {
   size_t live_size() const {
     return n_.load(std::memory_order_acquire) -
            num_deleted_.load(std::memory_order_acquire);
+  }
+  /// Deleted slots not yet recycled (navigable tombstones + purged slots
+  /// awaiting reuse); size() - num_deleted() == live_size().
+  size_t num_deleted() const {
+    return num_deleted_.load(std::memory_order_acquire);
+  }
+  /// Tombstones still navigable by searches (deleted but not yet purged by
+  /// ConsolidateDeletes) — the window over-provision slack.
+  size_t num_tombstones() const {
+    return num_tombstones_.load(std::memory_order_acquire);
   }
   /// ReadLock-guarded: capacity_ and the container internals it reports
   /// are mutated by Grow() under the exclusive lock.
@@ -124,11 +166,45 @@ class DynamicIndex {
   /// ReadLock-guarded like capacity().
   size_t memory_bytes() const {
     EpochGuard::ReadLock reader(&epoch_);
-    return capacity_ * dim_ * sizeof(float) + graph_.memory_bytes() +
-           deleted_.size();
+    return storage_.memory_bytes() + graph_.memory_bytes() + deleted_.size();
   }
 
-  const float* vector(uint32_t id) const { return vectors_.data() + id * dim_; }
+  const Storage& storage() const { return storage_; }
+
+  /// Direct row access — float32 storage only (compressed storages have no
+  /// materialized float row; use DecodeVector).
+  const float* vector(uint32_t id) const
+    requires requires(const Storage& s, uint32_t i) { s.row(i); }
+  {
+    return storage_.row(id);
+  }
+
+  /// Reconstructs a stored vector in the original space (`out` must hold
+  /// dim() floats). Exact for float32 storage, the LVQ reconstruction for
+  /// compressed storage.
+  void DecodeVector(uint32_t id, float* out) const {
+    storage_.DecodeVector(id, out);
+  }
+
+  // --- persistence access (graph/serialize.cc) -----------------------------
+  // Save-side accessors and the load-side factory. Both assume no
+  // concurrent writer (readers are fine: everything here is
+  // writer-published state).
+
+  const FlatGraph& graph() const { return graph_; }
+  uint32_t entry_point() const {
+    return entry_point_.load(std::memory_order_acquire);
+  }
+  const std::vector<uint8_t>& deleted_flags() const { return deleted_; }
+  const std::vector<uint32_t>& free_slots() const { return free_slots_; }
+
+  /// Reassembles an index from serialized parts. `storage` must already
+  /// hold the first `n` rows and have capacity >= n; `graph` must have
+  /// storage.capacity() rows; `deleted` is resized to capacity.
+  static std::unique_ptr<DynamicGraphIndex> Restore(
+      size_t dim, const Options& opts, Storage storage, FlatGraph graph,
+      std::vector<uint8_t> deleted, std::vector<uint32_t> free_slots,
+      size_t n, size_t num_deleted, uint32_t entry_point);
 
  private:
   struct Candidate {
@@ -139,39 +215,72 @@ class DynamicIndex {
     }
   };
 
-  float Dist(const float* a, const float* b) const;
+  DynamicGraphIndex() = default;  // Restore()
+
   void Grow(size_t min_capacity);
-  /// Greedy search over the current graph; returns the candidate pool
-  /// (ascending distance, tombstones included — they remain navigable).
-  /// Reader-safe: copies adjacency rows through the acquire protocol.
+  /// Writer-side greedy search over the current graph; returns the
+  /// candidate pool (ascending distance, tombstones included — they remain
+  /// navigable). Prepares `writer_query_` from `query`.
   void CollectCandidates(const float* query, uint32_t window,
-                         std::vector<Candidate>* out) const;
+                         std::vector<Candidate>* out);
   /// Scratch-based variant used by the read path; fills scratch->buffer and
-  /// the work counters instead of materializing a candidate vector.
+  /// the work counters instead of materializing a candidate vector. The
+  /// caller must hold an epoch ReadLock.
   void CollectIntoScratch(const float* query, uint32_t window,
                           SearchScratch* scratch) const;
-  /// Algorithm 2 on a sorted candidate list.
-  void RobustPrune(const float* x, std::vector<Candidate>& cands,
-                   std::vector<uint32_t>* out) const;
+  /// Algorithm 2 on a sorted candidate list. Stored-to-stored distances go
+  /// through PrepareStored + the asymmetric kernel (uses `prune_query_`).
+  void RobustPrune(std::vector<Candidate>& cands, std::vector<uint32_t>* out);
+  /// Decodes stored vector `id` and prepares `q` for distances against it.
+  void PrepareStored(uint32_t id, typename Storage::Query* q);
   void UpdateEntryPoint();
   void SetDeleted(uint32_t id, uint8_t flag) {
     std::atomic_ref<uint8_t>(deleted_[id])
         .store(flag, std::memory_order_relaxed);
   }
+  uint8_t DeletedFlag(uint32_t id) const {
+    return std::atomic_ref<uint8_t>(const_cast<uint8_t&>(deleted_[id]))
+        .load(std::memory_order_relaxed);
+  }
 
-  size_t dim_;
+  /// deleted_ slot states. A slot advances kLive -> kTombstone (Delete) ->
+  /// kPurged (ConsolidateDeletes unlinks it and queues it in free_slots_)
+  /// -> kLive (Insert recycles it). The tombstone/purged split keeps a
+  /// second consolidation from re-queueing an already-free slot, and lets
+  /// the search window slack count only *navigable* tombstones.
+  static constexpr uint8_t kLive = 0;
+  static constexpr uint8_t kTombstone = 1;
+  static constexpr uint8_t kPurged = 2;
+
+  size_t dim_ = 0;
   Options opts_;
   size_t capacity_ = 0;                 // mutated only under exclusive lock
   std::atomic<size_t> n_{0};
-  std::atomic<size_t> num_deleted_{0};
-  std::vector<float> vectors_;          // capacity * dim
+  std::atomic<size_t> num_deleted_{0};     // kTombstone + kPurged slots
+  std::atomic<size_t> num_tombstones_{0};  // kTombstone slots only
+  Storage storage_;                     // capacity slots
   FlatGraph graph_;                     // capacity rows
   std::vector<uint8_t> deleted_;        // capacity (atomic_ref access)
   std::vector<uint32_t> free_slots_;    // recycled ids (writer-only)
   std::atomic<uint32_t> entry_point_{kNoEntry};
 
+  // Writer-side scratch (guarded by write_mu_): prepared queries for the
+  // insert vector / decoded stored vectors, and the decode buffer.
+  typename Storage::Query writer_query_;
+  typename Storage::Query prune_query_;
+  std::vector<float> writer_decode_;
+
   mutable EpochGuard epoch_;            // reader registration / quiescing
   std::mutex write_mu_;                 // serializes writers
 };
+
+/// The uncompressed dynamic index (the pre-D9 DynamicIndex).
+using DynamicIndex = DynamicGraphIndex<DynamicFloatStorage>;
+/// The compressed dynamic index: LVQ-B (optionally B1xB2) storage encoded
+/// at insert time against a fixed sample mean.
+using DynamicLvqIndex = DynamicGraphIndex<DynamicLvqStorage>;
+
+extern template class DynamicGraphIndex<DynamicFloatStorage>;
+extern template class DynamicGraphIndex<DynamicLvqStorage>;
 
 }  // namespace blink

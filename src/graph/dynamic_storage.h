@@ -1,0 +1,227 @@
+// Growable vector-storage codecs for the dynamic index.
+//
+// graph/storage.h defines the *static* storage concept: built once over a
+// full dataset, immutable afterwards. The dynamic index needs three more
+// operations, all writer-side:
+//
+//   Grow(new_capacity)   — enlarge the arena (under the index's exclusive
+//                          lock; the old arena is freed on return),
+//   Set(slot, vec)       — write/encode one vector into an unpublished
+//                          slot (fresh, or recycled after a quiesce),
+//   DecodeVector(i, out) — reconstruct a stored vector so insert-time
+//                          pruning can measure stored-to-stored distances
+//                          through the same asymmetric kernels.
+//
+// plus the static concept's query side (PrepareQuery / Distance /
+// FullDistance / Prefetch), which the read path uses unchanged. Both
+// storages index by slot in [0, capacity); liveness is the index's concern.
+//
+// DynamicFloatStorage is the uncompressed baseline (what DynamicIndex
+// always stored); DynamicLvqStorage binds the growable LVQ code arena
+// (quant/lvq_dynamic.h) to a metric and the fused distance kernels,
+// mirroring how LvqStorage wraps LvqDataset.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/storage.h"
+#include "quant/lvq_dynamic.h"
+#include "simd/distance.h"
+
+namespace blink {
+
+// ---------------------------------------------------------------------------
+// Growable full-precision float32 storage.
+// ---------------------------------------------------------------------------
+class DynamicFloatStorage {
+ public:
+  struct Query {
+    std::vector<float> q;
+  };
+
+  DynamicFloatStorage() = default;
+  DynamicFloatStorage(size_t dim, Metric metric)
+      : d_(dim),
+        metric_(metric),
+        l2_(simd::GetL2F32(dim)),
+        ip_(simd::GetIpF32(dim)) {}
+
+  size_t dim() const { return d_; }
+  Metric metric() const { return metric_; }
+  size_t capacity() const { return capacity_; }
+  size_t memory_bytes() const { return capacity_ * d_ * sizeof(float); }
+  const char* encoding_name() const { return "float32"; }
+
+  void Grow(size_t new_capacity) {
+    if (new_capacity <= capacity_) return;
+    data_.resize(new_capacity * d_);
+    capacity_ = new_capacity;
+  }
+
+  void Set(uint32_t slot, const float* vec) {
+    assert(slot < capacity_);
+    std::copy(vec, vec + d_, data_.data() + slot * d_);
+  }
+
+  const float* row(uint32_t i) const { return data_.data() + i * d_; }
+
+  void PrepareQuery(const float* q, Query* out) const {
+    out->q.assign(q, q + d_);
+  }
+
+  float Distance(const Query& q, uint32_t i) const {
+    return metric_ == Metric::kL2 ? l2_(q.q.data(), row(i), d_)
+                                  : ip_(q.q.data(), row(i), d_);
+  }
+
+  bool has_second_level() const { return false; }
+  float FullDistance(const Query& q, uint32_t i, float* /*scratch*/) const {
+    return Distance(q, i);
+  }
+
+  void DecodeVector(uint32_t i, float* out) const {
+    std::memcpy(out, row(i), d_ * sizeof(float));
+  }
+
+  void Prefetch(uint32_t i) const {
+    simd::PrefetchBytes(row(i), d_ * sizeof(float));
+  }
+  void PrefetchSecondLevel(uint32_t /*i*/) const {}
+
+  // --- persistence access (graph/serialize.cc) -----------------------------
+
+  const float* raw_rows() const { return data_.data(); }
+  /// Copies `n` serialized rows into the arena. Requires capacity() >= n.
+  void RestoreRows(const float* rows, size_t n) {
+    assert(n <= capacity_);
+    std::memcpy(data_.data(), rows, n * d_ * sizeof(float));
+  }
+
+ private:
+  size_t d_ = 0;
+  Metric metric_ = Metric::kL2;
+  size_t capacity_ = 0;
+  std::vector<float> data_;  // capacity * dim
+  simd::DistF32Fn l2_ = nullptr;
+  simd::DistF32Fn ip_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Growable LVQ-B / LVQ-B1xB2 storage (insert-time encoding).
+// ---------------------------------------------------------------------------
+class DynamicLvqStorage {
+ public:
+  using Options = DynamicLvqDataset::Options;
+
+  struct Query {
+    std::vector<float> q;  ///< centered query (L2) or raw query (IP)
+    float bias = 0.0f;     ///< IP correction: -<q, mu>
+  };
+
+  DynamicLvqStorage() = default;
+  DynamicLvqStorage(size_t dim, Metric metric, Options opts)
+      : ds_(dim, std::move(opts)), metric_(metric) {
+    l2u8_ = simd::GetL2U8(dim);
+    ipu8_ = simd::GetIpU8(dim);
+    l2u4_ = simd::GetL2U4(dim);
+    ipu4_ = simd::GetIpU4(dim);
+  }
+  /// Default configuration (one-level LVQ-8, zero mean).
+  DynamicLvqStorage(size_t dim, Metric metric)
+      : DynamicLvqStorage(dim, metric, Options()) {}
+
+  size_t dim() const { return ds_.dim(); }
+  Metric metric() const { return metric_; }
+  size_t capacity() const { return ds_.capacity(); }
+  size_t memory_bytes() const { return ds_.memory_bytes(); }
+  const char* encoding_name() const {
+    name_cache_ = ds_.has_second_level()
+                      ? "LVQ-" + std::to_string(ds_.bits1()) + "x" +
+                            std::to_string(ds_.bits2())
+                      : "LVQ-" + std::to_string(ds_.bits1());
+    return name_cache_.c_str();
+  }
+
+  const DynamicLvqDataset& dataset() const { return ds_; }
+  DynamicLvqDataset& dataset() { return ds_; }
+
+  void Grow(size_t new_capacity) { ds_.Grow(new_capacity); }
+  void Set(uint32_t slot, const float* vec) { ds_.EncodeInto(slot, vec); }
+
+  void PrepareQuery(const float* q, Query* out) const {
+    const std::vector<float>& mean = ds_.mean();
+    const size_t d = ds_.dim();
+    out->q.resize(d);
+    if (metric_ == Metric::kL2) {
+      for (size_t j = 0; j < d; ++j) out->q[j] = q[j] - mean[j];
+      out->bias = 0.0f;
+    } else {
+      std::memcpy(out->q.data(), q, d * sizeof(float));
+      float dot = 0.0f;
+      for (size_t j = 0; j < d; ++j) dot += q[j] * mean[j];
+      out->bias = -dot;
+    }
+  }
+
+  float Distance(const Query& q, uint32_t i) const {
+    const LvqConstants c = ds_.constants(i);
+    const uint8_t* cs = ds_.codes(i);
+    const size_t d = ds_.dim();
+    const int b = ds_.bits1();
+    float dist;
+    if (b == 8) {
+      dist = metric_ == Metric::kL2 ? l2u8_(q.q.data(), cs, c.delta, c.lower, d)
+                                    : ipu8_(q.q.data(), cs, c.delta, c.lower, d);
+    } else if (b == 4) {
+      dist = metric_ == Metric::kL2 ? l2u4_(q.q.data(), cs, c.delta, c.lower, d)
+                                    : ipu4_(q.q.data(), cs, c.delta, c.lower, d);
+    } else {
+      dist = GenericDistance(q, cs, c, b, d);
+    }
+    return dist + q.bias;
+  }
+
+  bool has_second_level() const { return ds_.has_second_level(); }
+
+  /// Two-level distance for the final re-ranking gather (Sec. 3.2).
+  float FullDistance(const Query& q, uint32_t i, float* scratch) const {
+    if (!has_second_level()) return Distance(q, i);
+    ds_.DecodeCentered(i, scratch);
+    const size_t d = ds_.dim();
+    if (metric_ == Metric::kL2) return simd::L2Sqr(q.q.data(), scratch, d);
+    return simd::IpDist(q.q.data(), scratch, d) + q.bias;
+  }
+
+  void DecodeVector(uint32_t i, float* out) const { ds_.Decode(i, out); }
+
+  void Prefetch(uint32_t i) const {
+    simd::PrefetchBytes(ds_.blob(i), ds_.stride());
+  }
+  void PrefetchSecondLevel(uint32_t i) const {
+    if (has_second_level()) {
+      simd::PrefetchBytes(ds_.residual_codes(i), ds_.residual_stride());
+    }
+  }
+
+ private:
+  /// Arbitrary-B fallback (shared reference kernels, quant/lvq.h).
+  float GenericDistance(const Query& q, const uint8_t* cs,
+                        const LvqConstants& c, int bits, size_t d) const {
+    return metric_ == Metric::kL2 ? LvqGenericL2(q.q.data(), cs, c, bits, d)
+                                  : LvqGenericIp(q.q.data(), cs, c, bits, d);
+  }
+
+  DynamicLvqDataset ds_;
+  Metric metric_ = Metric::kL2;
+  simd::DistU8Fn l2u8_ = nullptr;
+  simd::DistU8Fn ipu8_ = nullptr;
+  simd::DistU4Fn l2u4_ = nullptr;
+  simd::DistU4Fn ipu4_ = nullptr;
+  mutable std::string name_cache_;
+};
+
+}  // namespace blink

@@ -1,5 +1,6 @@
 #include "graph/serialize.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -19,7 +20,12 @@ using binio::WritePod;
 constexpr uint32_t kGraphMagic = 0x47414C42u;  // "BLAG"
 constexpr uint32_t kLvqMagic = 0x51414C42u;    // "BLAQ"
 constexpr uint32_t kLvq2Magic = 0x32414C42u;   // "BLA2"
+constexpr uint32_t kDynMagic = 0x59444C42u;    // "BLDY"
 constexpr uint32_t kVersion = 1;
+
+// Storage kind tags of the dynamic-index container.
+constexpr uint32_t kDynKindF32 = 0;
+constexpr uint32_t kDynKindLvq = 1;
 
 Status SaveLvqTo(FILE* f, const LvqDataset& ds, const std::string& path) {
   const uint64_t n = ds.size(), d = ds.dim();
@@ -54,7 +60,7 @@ Result<LvqDataset> LoadLvqFrom(FILE* f, const std::string& path,
   }
   const size_t raw =
       LvqDataset::kHeaderBytes + PackedBytes(d, static_cast<int>(bits));
-  const size_t stride = padding == 0 ? raw : (raw + padding - 1) / padding * padding;
+  const size_t stride = LvqPaddedStride(raw, padding);
   std::vector<uint8_t> blob(n * stride);
   if (!ReadAll(f, blob.data(), blob.size())) {
     return Status::IOError(path + ": truncated LVQ payload");
@@ -172,6 +178,265 @@ Result<LvqDataset2> LoadLvq2(const std::string& path, bool use_huge_pages) {
   return LvqDataset2::FromRaw(std::move(level1).value(),
                               static_cast<int>(bits2), residuals.data(),
                               residuals.size(), use_huge_pages);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic index bundles ("BLDY"): one file holding the storage rows, the
+// tombstone flags, the free-slot list (recycling order is state — it
+// determines the ids future inserts receive) and the adjacency rows.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DynHeader {
+  uint32_t kind = 0;
+  uint64_t dim = 0;
+  uint64_t n = 0;
+  uint64_t num_deleted = 0;
+  uint32_t entry = 0;
+  uint32_t max_degree = 0;
+};
+
+Status WriteDynHeader(FILE* f, const DynHeader& h, const std::string& path) {
+  if (!WritePod(f, kDynMagic) || !WritePod(f, kVersion) ||
+      !WritePod(f, h.kind) || !WritePod(f, h.dim) || !WritePod(f, h.n) ||
+      !WritePod(f, h.num_deleted) || !WritePod(f, h.entry) ||
+      !WritePod(f, h.max_degree)) {
+    return Status::IOError(path + ": dynamic header write failed");
+  }
+  return Status::OK();
+}
+
+Result<DynHeader> ReadDynHeader(FILE* f, const std::string& path) {
+  uint32_t magic = 0, version = 0;
+  DynHeader h;
+  if (!ReadPod(f, &magic) || magic != kDynMagic) {
+    return Status::IOError(path + ": bad dynamic-index magic");
+  }
+  if (!ReadPod(f, &version) || version != kVersion) {
+    return Status::IOError(path + ": unsupported dynamic-index version");
+  }
+  // Sanity bounds keep a corrupt header from driving the size arithmetic
+  // below into overflow or absurd allocations (cf. the MakeAligned guard).
+  constexpr uint64_t kMaxDim = 1u << 20;
+  constexpr uint64_t kMaxDegree = 1u << 20;
+  if (!ReadPod(f, &h.kind) || !ReadPod(f, &h.dim) || !ReadPod(f, &h.n) ||
+      !ReadPod(f, &h.num_deleted) || !ReadPod(f, &h.entry) ||
+      !ReadPod(f, &h.max_degree) || h.dim == 0 || h.dim > kMaxDim ||
+      h.max_degree == 0 || h.max_degree > kMaxDegree ||
+      h.num_deleted > h.n || h.n > (1ull << 40)) {
+    return Status::IOError(path + ": corrupt dynamic-index header");
+  }
+  if (h.entry != DynamicIndex::kNoEntry && h.entry >= h.n) {
+    return Status::IOError(path + ": entry point out of range");
+  }
+  return h;
+}
+
+/// The state shared by both storage kinds, written after the payload.
+template <typename Index>
+Status WriteDynState(FILE* f, const Index& index, size_t n,
+                     const std::string& path) {
+  if (!WriteAll(f, index.deleted_flags().data(), n)) {
+    return Status::IOError(path + ": tombstone-flag write failed");
+  }
+  const uint64_t free_count = index.free_slots().size();
+  if (!WritePod(f, free_count) ||
+      !WriteAll(f, index.free_slots().data(),
+                free_count * sizeof(uint32_t))) {
+    return Status::IOError(path + ": free-slot write failed");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t deg = index.graph().degree(i);
+    if (!WritePod(f, deg) ||
+        !WriteAll(f, index.graph().neighbors(i), deg * sizeof(uint32_t))) {
+      return Status::IOError(path + ": adjacency write failed");
+    }
+  }
+  return Status::OK();
+}
+
+Status ReadDynState(FILE* f, const DynHeader& h, size_t capacity,
+                    FlatGraph* graph, std::vector<uint8_t>* deleted,
+                    std::vector<uint32_t>* free_slots,
+                    const std::string& path) {
+  const size_t n = h.n;
+  deleted->assign(n, 0);
+  if (!ReadAll(f, deleted->data(), n)) {
+    return Status::IOError(path + ": truncated tombstone flags");
+  }
+  // Flags are the dynamic index's slot states: 0 live, 1 tombstoned
+  // (navigable), 2 purged (queued for recycling). Their total must match
+  // the header's deleted count.
+  size_t flagged = 0;
+  for (uint8_t flag : *deleted) {
+    if (flag > 2) return Status::IOError(path + ": corrupt tombstone flag");
+    if (flag != 0) ++flagged;
+  }
+  if (flagged != h.num_deleted) {
+    return Status::IOError(path + ": tombstone flags disagree with header");
+  }
+  uint64_t free_count = 0;
+  if (!ReadPod(f, &free_count) || free_count > n) {
+    return Status::IOError(path + ": corrupt free-slot count");
+  }
+  free_slots->resize(free_count);
+  if (!ReadAll(f, free_slots->data(), free_count * sizeof(uint32_t))) {
+    return Status::IOError(path + ": truncated free-slot list");
+  }
+  for (uint32_t s : *free_slots) {
+    // Exactly the purged slots are queued for reuse (graph/dynamic.cc).
+    if (s >= n || (*deleted)[s] != 2) {
+      return Status::IOError(path + ": corrupt free-slot list");
+    }
+  }
+  *graph = FlatGraph(capacity, h.max_degree, /*use_huge_pages=*/false);
+  std::vector<uint32_t> row(h.max_degree);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t deg = 0;
+    if (!ReadPod(f, &deg) || deg > h.max_degree) {
+      return Status::IOError(path + ": corrupt adjacency row");
+    }
+    if (!ReadAll(f, row.data(), deg * sizeof(uint32_t))) {
+      return Status::IOError(path + ": truncated adjacency row");
+    }
+    for (uint32_t e = 0; e < deg; ++e) {
+      if (row[e] >= n) {
+        return Status::IOError(path + ": neighbor id out of range");
+      }
+    }
+    graph->SetNeighbors(i, row.data(), deg);
+  }
+  return Status::OK();
+}
+
+/// Capacity a restored index is provisioned with: at least the saved rows,
+/// the caller's requested floor, and the constructor's minimum.
+size_t RestoredCapacity(const DynHeader& h, const DynamicOptions& opts) {
+  return std::max<size_t>(std::max<size_t>(h.n, opts.initial_capacity), 16);
+}
+
+}  // namespace
+
+Status SaveDynamic(const std::string& path, const DynamicIndex& index) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  DynHeader h;
+  h.kind = kDynKindF32;
+  h.dim = index.dim();
+  h.n = index.size();
+  h.num_deleted = index.num_deleted();
+  h.entry = index.entry_point();
+  h.max_degree = index.max_degree();
+  BLINK_RETURN_NOT_OK(WriteDynHeader(f.get(), h, path));
+  if (!WriteAll(f.get(), index.storage().raw_rows(),
+                h.n * h.dim * sizeof(float))) {
+    return Status::IOError(path + ": vector write failed");
+  }
+  return WriteDynState(f.get(), index, h.n, path);
+}
+
+Status SaveDynamic(const std::string& path, const DynamicLvqIndex& index) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  const DynamicLvqDataset& ds = index.storage().dataset();
+  DynHeader h;
+  h.kind = kDynKindLvq;
+  h.dim = index.dim();
+  h.n = index.size();
+  h.num_deleted = index.num_deleted();
+  h.entry = index.entry_point();
+  h.max_degree = index.max_degree();
+  BLINK_RETURN_NOT_OK(WriteDynHeader(f.get(), h, path));
+  const uint32_t bits1 = static_cast<uint32_t>(ds.bits1());
+  const uint32_t bits2 = static_cast<uint32_t>(ds.bits2());
+  const uint64_t padding = ds.padding();
+  if (!WritePod(f.get(), bits1) || !WritePod(f.get(), bits2) ||
+      !WritePod(f.get(), padding) ||
+      !WriteAll(f.get(), ds.mean().data(), h.dim * sizeof(float)) ||
+      !WriteAll(f.get(), ds.raw_blob(), h.n * ds.stride()) ||
+      !WriteAll(f.get(), ds.raw_residuals(), h.n * ds.residual_stride())) {
+    return Status::IOError(path + ": LVQ payload write failed");
+  }
+  return WriteDynState(f.get(), index, h.n, path);
+}
+
+Result<std::unique_ptr<DynamicIndex>> LoadDynamicF32(const std::string& path,
+                                                     DynamicOptions opts) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  Result<DynHeader> header = ReadDynHeader(f.get(), path);
+  if (!header.ok()) return header.status();
+  const DynHeader h = header.value();
+  if (h.kind != kDynKindF32) {
+    return Status::InvalidArgument(path + ": not a float32 dynamic index");
+  }
+  opts.graph_max_degree = h.max_degree;
+  const size_t capacity = RestoredCapacity(h, opts);
+  DynamicFloatStorage storage(h.dim, opts.metric);
+  storage.Grow(capacity);
+  std::vector<float> rows(h.n * h.dim);
+  if (!ReadAll(f.get(), rows.data(), rows.size() * sizeof(float))) {
+    return Status::IOError(path + ": truncated vectors");
+  }
+  storage.RestoreRows(rows.data(), h.n);
+  FlatGraph graph;
+  std::vector<uint8_t> deleted;
+  std::vector<uint32_t> free_slots;
+  BLINK_RETURN_NOT_OK(
+      ReadDynState(f.get(), h, capacity, &graph, &deleted, &free_slots, path));
+  return DynamicIndex::Restore(h.dim, opts, std::move(storage),
+                               std::move(graph), std::move(deleted),
+                               std::move(free_slots), h.n, h.num_deleted,
+                               h.entry);
+}
+
+Result<std::unique_ptr<DynamicLvqIndex>> LoadDynamicLvq(
+    const std::string& path, DynamicOptions opts) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  Result<DynHeader> header = ReadDynHeader(f.get(), path);
+  if (!header.ok()) return header.status();
+  const DynHeader h = header.value();
+  if (h.kind != kDynKindLvq) {
+    return Status::InvalidArgument(path + ": not an LVQ dynamic index");
+  }
+  opts.graph_max_degree = h.max_degree;
+  uint32_t bits1 = 0, bits2 = 0;
+  uint64_t padding = 0;
+  if (!ReadPod(f.get(), &bits1) || !ReadPod(f.get(), &bits2) ||
+      !ReadPod(f.get(), &padding) || bits1 < 1 || bits1 > 16 || bits2 > 16 ||
+      padding > (1u << 20)) {  // bounded so the stride can't overflow
+    return Status::IOError(path + ": corrupt LVQ dynamic header");
+  }
+  DynamicLvqDataset::Options lvq_opts;
+  lvq_opts.bits1 = static_cast<int>(bits1);
+  lvq_opts.bits2 = static_cast<int>(bits2);
+  lvq_opts.padding = padding;
+  lvq_opts.mean.resize(h.dim);
+  if (!ReadAll(f.get(), lvq_opts.mean.data(), h.dim * sizeof(float))) {
+    return Status::IOError(path + ": truncated mean");
+  }
+  DynamicLvqStorage storage(h.dim, opts.metric, std::move(lvq_opts));
+  const size_t capacity = RestoredCapacity(h, opts);
+  storage.Grow(capacity);
+  const DynamicLvqDataset& ds = storage.dataset();
+  std::vector<uint8_t> blob(h.n * ds.stride());
+  std::vector<uint8_t> residuals(h.n * ds.residual_stride());
+  if (!ReadAll(f.get(), blob.data(), blob.size()) ||
+      !ReadAll(f.get(), residuals.data(), residuals.size())) {
+    return Status::IOError(path + ": truncated LVQ payload");
+  }
+  storage.dataset().RestoreRows(blob.data(), residuals.data(), h.n);
+  FlatGraph graph;
+  std::vector<uint8_t> deleted;
+  std::vector<uint32_t> free_slots;
+  BLINK_RETURN_NOT_OK(
+      ReadDynState(f.get(), h, capacity, &graph, &deleted, &free_slots, path));
+  return DynamicLvqIndex::Restore(h.dim, opts, std::move(storage),
+                                  std::move(graph), std::move(deleted),
+                                  std::move(free_slots), h.n, h.num_deleted,
+                                  h.entry);
 }
 
 Status SaveOgLvqIndex(const std::string& prefix,

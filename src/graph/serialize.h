@@ -11,6 +11,7 @@
 #include <string>
 
 #include "graph/builder.h"
+#include "graph/dynamic.h"
 #include "graph/graph.h"
 #include "graph/index.h"
 #include "graph/storage.h"
@@ -49,5 +50,22 @@ Status SaveOgLvqIndex(const std::string& prefix,
 Result<std::unique_ptr<VamanaIndex<LvqStorage>>> LoadOgLvqIndex(
     const std::string& prefix, Metric metric, const VamanaBuildParams& bp,
     bool use_huge_pages = true);
+
+/// Saves a dynamic index (storage rows, tombstone flags, free-slot list,
+/// adjacency, entry point) as one file. The caller must guarantee no
+/// concurrent writer for the duration of the call; concurrent readers are
+/// fine. Both storages share the "BLDY" container, tagged by encoding.
+Status SaveDynamic(const std::string& path, const DynamicIndex& index);
+Status SaveDynamic(const std::string& path, const DynamicLvqIndex& index);
+
+/// Loads a dynamic index saved with SaveDynamic. `opts` supplies the
+/// configuration that is not serialized (metric, alpha, build window,
+/// initial_capacity floor); graph_max_degree comes from the file. The
+/// loader checks that the file's encoding matches the requested index
+/// flavor (float32 vs LVQ).
+Result<std::unique_ptr<DynamicIndex>> LoadDynamicF32(const std::string& path,
+                                                     DynamicOptions opts);
+Result<std::unique_ptr<DynamicLvqIndex>> LoadDynamicLvq(const std::string& path,
+                                                        DynamicOptions opts);
 
 }  // namespace blink

@@ -322,22 +322,8 @@ class LvqStorage {
   /// Arbitrary-B fallback for the bit-sweep analysis experiments.
   float GenericDistance(const Query& q, const uint8_t* codes,
                         const LvqConstants& c, int bits, size_t d) const {
-    float acc = 0.0f;
-    if (metric_ == Metric::kL2) {
-      for (size_t j = 0; j < d; ++j) {
-        const float v =
-            c.delta * static_cast<float>(UnpackCode(codes, j, bits)) + c.lower;
-        const float diff = q.q[j] - v;
-        acc += diff * diff;
-      }
-      return acc;
-    }
-    for (size_t j = 0; j < d; ++j) {
-      const float v =
-          c.delta * static_cast<float>(UnpackCode(codes, j, bits)) + c.lower;
-      acc += q.q[j] * v;
-    }
-    return -acc;
+    return metric_ == Metric::kL2 ? LvqGenericL2(q.q.data(), codes, c, bits, d)
+                                  : LvqGenericIp(q.q.data(), codes, c, bits, d);
   }
 
   LvqDataset level1_;

@@ -9,27 +9,6 @@ namespace blink {
 
 namespace {
 
-size_t PaddedStride(size_t raw_bytes, size_t padding) {
-  if (padding == 0) return raw_bytes;
-  return (raw_bytes + padding - 1) / padding * padding;
-}
-
-/// Next representable float16 toward -infinity.
-Float16 NudgeDown(Float16 h) {
-  const uint16_t b = h.bits();
-  if (b == 0x0000) return Float16::FromBits(0x8001);  // +0 -> smallest negative
-  if (b & 0x8000) return Float16::FromBits(static_cast<uint16_t>(b + 1));
-  return Float16::FromBits(static_cast<uint16_t>(b - 1));
-}
-
-/// Next representable float16 toward +infinity.
-Float16 NudgeUp(Float16 h) {
-  const uint16_t b = h.bits();
-  if (b == 0x8000) return Float16::FromBits(0x0001);  // -0 -> smallest positive
-  if (b & 0x8000) return Float16::FromBits(static_cast<uint16_t>(b - 1));
-  return Float16::FromBits(static_cast<uint16_t>(b + 1));
-}
-
 /// Mean of all rows; the "global first moment" LVQ centers with.
 std::vector<float> ComputeMean(MatrixViewF data,
                                [[maybe_unused]] ThreadPool* pool) {
@@ -67,7 +46,7 @@ LvqDataset LvqDataset::EncodeWithMean(MatrixViewF data,
   ds.padding_ = opts.padding;
   ds.mean_ = mean;
   const size_t raw = kHeaderBytes + PackedBytes(ds.d_, ds.bits_);
-  ds.stride_ = PaddedStride(raw, opts.padding);
+  ds.stride_ = LvqPaddedStride(raw, opts.padding);
   ds.blob_ = Arena(ds.n_ * ds.stride_, opts.use_huge_pages);
 
   auto encode_row = [&](size_t i) {
@@ -86,8 +65,8 @@ LvqDataset LvqDataset::EncodeWithMean(MatrixViewF data,
     // the rounded bounds to cover the true range so the min/max components
     // stay in range and reconstruct with zero error (paper Fig. 16).
     Float16 l16(lo), u16(hi);
-    if (static_cast<float>(l16) > lo) l16 = NudgeDown(l16);
-    if (static_cast<float>(u16) < hi) u16 = NudgeUp(u16);
+    if (static_cast<float>(l16) > lo) l16 = NextFloat16Down(l16);
+    if (static_cast<float>(u16) < hi) u16 = NextFloat16Up(u16);
     std::memcpy(out, &l16, 2);
     std::memcpy(out + 2, &u16, 2);
     const ScalarQuantizer q(ds.bits_, l16, u16);
@@ -116,7 +95,7 @@ LvqDataset LvqDataset::FromRaw(size_t n, size_t d, int bits, size_t padding,
   ds.bits_ = bits;
   ds.padding_ = padding;
   ds.mean_ = std::move(mean);
-  ds.stride_ = PaddedStride(kHeaderBytes + PackedBytes(d, bits), padding);
+  ds.stride_ = LvqPaddedStride(kHeaderBytes + PackedBytes(d, bits), padding);
   assert(blob_bytes == n * ds.stride_ && "blob size mismatch");
   ds.blob_ = Arena(blob_bytes, use_huge_pages);
   if (blob_bytes > 0) std::memcpy(ds.blob_.data(), blob, blob_bytes);

@@ -37,6 +37,42 @@ struct LvqConstants {
   float lower;
 };
 
+/// Bytes per vector blob after padding to a multiple of `padding` (Eq. 4;
+/// 0 disables padding). Shared by the static and dynamic encoders and the
+/// serializers so the stride can never diverge between them.
+constexpr size_t LvqPaddedStride(size_t raw_bytes, size_t padding) {
+  if (padding == 0) return raw_bytes;
+  return (raw_bytes + padding - 1) / padding * padding;
+}
+
+/// Reference asymmetric L2 over packed B-bit LVQ codes — the arbitrary-B
+/// fallback for widths without a fused SIMD kernel (the Figs. 5/6/11 bit
+/// sweeps). `q` must already be centered.
+inline float LvqGenericL2(const float* q, const uint8_t* codes,
+                          const LvqConstants& c, int bits, size_t d) {
+  float acc = 0.0f;
+  for (size_t j = 0; j < d; ++j) {
+    const float v =
+        c.delta * static_cast<float>(UnpackCode(codes, j, bits)) + c.lower;
+    const float diff = q[j] - v;
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// Reference asymmetric negated inner product over packed B-bit LVQ codes
+/// (`q` raw; the caller adds the -<q, mu> bias).
+inline float LvqGenericIp(const float* q, const uint8_t* codes,
+                          const LvqConstants& c, int bits, size_t d) {
+  float acc = 0.0f;
+  for (size_t j = 0; j < d; ++j) {
+    const float v =
+        c.delta * static_cast<float>(UnpackCode(codes, j, bits)) + c.lower;
+    acc += q[j] * v;
+  }
+  return -acc;
+}
+
 /// One-level LVQ-B compressed dataset.
 class LvqDataset {
  public:

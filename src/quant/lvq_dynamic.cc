@@ -1,0 +1,145 @@
+#include "quant/lvq_dynamic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+#include "quant/scalar.h"
+#include "util/float16.h"
+
+namespace blink {
+
+DynamicLvqDataset::DynamicLvqDataset(size_t dim, Options opts)
+    : d_(dim), opts_(std::move(opts)) {
+  assert(opts_.bits1 >= 1 && opts_.bits1 <= 16);
+  assert(opts_.bits2 >= 0 && opts_.bits2 <= 16);
+  assert(opts_.mean.empty() || opts_.mean.size() == dim);
+  if (opts_.mean.empty()) opts_.mean.assign(dim, 0.0f);
+  stride_ = LvqPaddedStride(
+      LvqDataset::kHeaderBytes + PackedBytes(d_, opts_.bits1), opts_.padding);
+  residual_stride_ = opts_.bits2 > 0 ? PackedBytes(d_, opts_.bits2) : 0;
+}
+
+void DynamicLvqDataset::Grow(size_t new_capacity) {
+  if (new_capacity <= capacity_) return;
+  Arena bigger(new_capacity * stride_, opts_.use_huge_pages);
+  if (capacity_ > 0) {
+    std::memcpy(bigger.data(), blob_.data(), capacity_ * stride_);
+  }
+  blob_ = std::move(bigger);
+  if (residual_stride_ > 0) {
+    Arena bigger2(new_capacity * residual_stride_, opts_.use_huge_pages);
+    if (capacity_ > 0) {
+      std::memcpy(bigger2.data(), residuals_.data(),
+                  capacity_ * residual_stride_);
+    }
+    residuals_ = std::move(bigger2);
+  }
+  capacity_ = new_capacity;
+}
+
+void DynamicLvqDataset::EncodeInto(uint32_t slot, const float* vec) {
+  assert(slot < capacity_);
+  const std::vector<float>& mean = opts_.mean;
+  uint8_t* out = blob_.data() + slot * stride_;
+  // Per-vector bounds over the centered components (Eq. 3).
+  float lo = std::numeric_limits<float>::infinity();
+  float hi = -std::numeric_limits<float>::infinity();
+  for (size_t j = 0; j < d_; ++j) {
+    const float v = vec[j] - mean[j];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  // Same bound widening as the static encoder (quant/lvq.cc): encode with
+  // the *stored* (rounded) float16 bounds so codes and decoder agree.
+  Float16 l16(lo), u16(hi);
+  if (static_cast<float>(l16) > lo) l16 = NextFloat16Down(l16);
+  if (static_cast<float>(u16) < hi) u16 = NextFloat16Up(u16);
+  std::memcpy(out, &l16, 2);
+  std::memcpy(out + 2, &u16, 2);
+  const ScalarQuantizer q(opts_.bits1, l16, u16);
+  uint8_t* codes = out + LvqDataset::kHeaderBytes;
+  // Recycled slots hold stale codes and PackCode ORs into its buffer for
+  // the generic bit widths, so clear the code region first.
+  std::memset(codes, 0, stride_ - LvqDataset::kHeaderBytes);
+  for (size_t j = 0; j < d_; ++j) {
+    PackCode(codes, j, opts_.bits1, q.Encode(vec[j] - mean[j]));
+  }
+  if (residual_stride_ == 0) return;
+
+  // Level-2 residual r = x - mu - Q(x), quantized over the deduced range
+  // [-Delta/2, Delta/2) (Eq. 6).
+  const LvqConstants c = constants(slot);
+  const ScalarQuantizer rq = ResidualQuantizer(c.delta, opts_.bits2);
+  uint8_t* rout = residuals_.data() + slot * residual_stride_;
+  std::memset(rout, 0, residual_stride_);
+  for (size_t j = 0; j < d_; ++j) {
+    const float level1 =
+        c.delta * static_cast<float>(UnpackCode(codes, j, opts_.bits1)) +
+        c.lower;
+    PackCode(rout, j, opts_.bits2, rq.Encode((vec[j] - mean[j]) - level1));
+  }
+}
+
+LvqConstants DynamicLvqDataset::constants(size_t i) const {
+  const uint8_t* b = blob(i);
+  Float16 l16, u16;
+  __builtin_memcpy(&l16, b, 2);
+  __builtin_memcpy(&u16, b + 2, 2);
+  const float l = l16, u = u16;
+  const float range = u - l;
+  const float delta =
+      range > 0.0f ? range / static_cast<float>(MaxCode(opts_.bits1)) : 0.0f;
+  return {delta, l};
+}
+
+void DynamicLvqDataset::DecodeCentered(size_t i, float* out) const {
+  const LvqConstants c = constants(i);
+  const uint8_t* cs = codes(i);
+  for (size_t j = 0; j < d_; ++j) {
+    out[j] =
+        c.delta * static_cast<float>(UnpackCode(cs, j, opts_.bits1)) + c.lower;
+  }
+  if (residual_stride_ == 0) return;
+  const ScalarQuantizer rq = ResidualQuantizer(c.delta, opts_.bits2);
+  const uint8_t* rc = residual_codes(i);
+  for (size_t j = 0; j < d_; ++j) {
+    out[j] += rq.Decode(UnpackCode(rc, j, opts_.bits2));
+  }
+}
+
+void DynamicLvqDataset::Decode(size_t i, float* out) const {
+  DecodeCentered(i, out);
+  const std::vector<float>& mean = opts_.mean;
+  for (size_t j = 0; j < d_; ++j) out[j] += mean[j];
+}
+
+void DynamicLvqDataset::RestoreRows(const uint8_t* blob,
+                                    const uint8_t* residuals, size_t n) {
+  assert(n <= capacity_);
+  if (n == 0) return;
+  std::memcpy(blob_.data(), blob, n * stride_);
+  if (residual_stride_ > 0) {
+    std::memcpy(residuals_.data(), residuals, n * residual_stride_);
+  }
+}
+
+std::vector<float> DynamicLvqDataset::SampleMean(MatrixViewF sample,
+                                                 size_t max_rows) {
+  const size_t n = std::min(sample.rows, max_rows);
+  const size_t d = sample.cols;
+  std::vector<float> mean(d, 0.0f);
+  if (n == 0) return mean;
+  std::vector<double> acc(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = sample.row(i);
+    for (size_t j = 0; j < d; ++j) acc[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) {
+    mean[j] = static_cast<float>(acc[j] / static_cast<double>(n));
+  }
+  return mean;
+}
+
+}  // namespace blink

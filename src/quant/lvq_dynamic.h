@@ -1,0 +1,130 @@
+// Growable LVQ dataset for the dynamic (streaming) index.
+//
+// The static LvqDataset encodes a whole dataset at once against its
+// empirical mean. A mutable index cannot do that: vectors arrive one at a
+// time, slots are recycled after tombstone purges, and the arena must grow
+// in place under the index's stop-the-world lock. This dataset keeps the
+// paper's per-vector layout (Sec. 3, Eq. 4) —
+//
+//     [ l : float16 ][ u : float16 ][ codes : ceil(d*B1/8) bytes ][ pad ]
+//
+// optionally followed by a parallel arena of packed B2-bit residual codes
+// (LVQ-B1xB2, Definition 2) — but encodes each vector *at insert time*
+// against a mean that is fixed up front from a sample of the expected
+// distribution (Options::mean; zeros when no sample is available).
+//
+// Mean drift (DESIGN.md D9): LVQ's per-vector bounds absorb a stale mean —
+// each vector still uses its full code range, only centered suboptimally —
+// so recall degrades gracefully as the stream drifts away from the sample.
+// The linear-time remedy the paper describes (recompute mean, re-encode)
+// maps to rebuilding the dynamic index from decoded vectors.
+//
+// Concurrency contract (enforced by the owning index, graph/dynamic.h):
+// EncodeInto() is writer-only and runs before the slot's id is published
+// through the graph's release protocol, so readers that can name a slot
+// always see its fully written blob; Grow() swaps the arenas and must run
+// under the index's exclusive lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "quant/lvq.h"
+#include "quant/packing.h"
+#include "util/matrix.h"
+#include "util/memory.h"
+
+namespace blink {
+
+/// Growable, insert-time-encoded LVQ-B / LVQ-B1xB2 code arena.
+class DynamicLvqDataset {
+ public:
+  struct Options {
+    int bits1 = 8;        ///< level-1 code width (1..16)
+    int bits2 = 0;        ///< residual code width; 0 = one-level LVQ-B
+    size_t padding = 32;  ///< level-1 blob padding (Eq. 4); 0 disables
+    /// Fixed centering mean, captured from a sample of the expected data
+    /// distribution (e.g. the first batch; see SampleMean). Empty = zero
+    /// mean; per-vector bounds keep encoding correct either way.
+    std::vector<float> mean;
+    /// Growable arenas are reallocated on growth; huge pages make those
+    /// copies stop-the-world-expensive, so default off (unlike the static
+    /// datasets, which allocate once).
+    bool use_huge_pages = false;
+  };
+
+  DynamicLvqDataset() = default;
+  DynamicLvqDataset(size_t dim, Options opts);
+
+  size_t dim() const { return d_; }
+  size_t capacity() const { return capacity_; }
+  int bits1() const { return opts_.bits1; }
+  int bits2() const { return opts_.bits2; }
+  size_t padding() const { return opts_.padding; }
+  const std::vector<float>& mean() const { return opts_.mean; }
+  bool has_second_level() const { return opts_.bits2 > 0; }
+
+  /// Bytes of one slot across both levels (Eq. 7).
+  size_t vector_footprint() const { return stride_ + residual_stride_; }
+  /// Resident bytes of the arenas (capacity slots, live or not).
+  size_t memory_bytes() const { return capacity_ * vector_footprint(); }
+
+  size_t stride() const { return stride_; }
+  size_t residual_stride() const { return residual_stride_; }
+
+  /// Grows the arenas to hold `new_capacity` slots (copying existing
+  /// blobs). Writer-only, under the owning index's exclusive lock: the old
+  /// arenas are freed on return.
+  void Grow(size_t new_capacity);
+
+  /// Encodes `vec` (original space, dim floats) into `slot`: per-vector
+  /// bounds + level-1 codes, and the residual codes when two-level.
+  /// Writer-only; the slot must be unpublished — fresh, or recycled after
+  /// the owning index's quiesce grace period.
+  void EncodeInto(uint32_t slot, const float* vec);
+
+  /// Start of slot i's level-1 blob (constants then codes).
+  const uint8_t* blob(size_t i) const { return blob_.data() + i * stride_; }
+  /// Start of slot i's packed level-1 codes.
+  const uint8_t* codes(size_t i) const {
+    return blob(i) + LvqDataset::kHeaderBytes;
+  }
+  const uint8_t* residual_codes(size_t i) const {
+    return residuals_.data() + i * residual_stride_;
+  }
+
+  /// Decoded per-vector constants (delta, lower), as LvqDataset::constants.
+  LvqConstants constants(size_t i) const;
+
+  /// Reconstructs slot i in centered space (level 1 + residual when
+  /// two-level).
+  void DecodeCentered(size_t i, float* out) const;
+  /// Reconstructs slot i in the original space (adds the mean back).
+  void Decode(size_t i, float* out) const;
+
+  // --- persistence access (graph/serialize.cc) -----------------------------
+
+  const uint8_t* raw_blob() const { return blob_.data(); }
+  const uint8_t* raw_residuals() const { return residuals_.data(); }
+
+  /// Copies `n` serialized slots (level-1 blobs and, when two-level,
+  /// residual codes) into the arenas. Requires capacity() >= n.
+  void RestoreRows(const uint8_t* blob, const uint8_t* residuals, size_t n);
+
+  /// Mean of (up to) the first `max_rows` rows of `sample` — the fixed
+  /// centering mean for a stream expected to look like `sample`.
+  static std::vector<float> SampleMean(MatrixViewF sample,
+                                       size_t max_rows = 16384);
+
+ private:
+  size_t d_ = 0;
+  Options opts_;
+  size_t capacity_ = 0;
+  size_t stride_ = 0;           ///< level-1 bytes per slot (padded)
+  size_t residual_stride_ = 0;  ///< level-2 bytes per slot (0 = one-level)
+  Arena blob_;                  ///< capacity * stride
+  Arena residuals_;             ///< capacity * residual_stride
+};
+
+}  // namespace blink

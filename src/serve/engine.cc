@@ -195,54 +195,4 @@ ServingCounters ServingEngine::counters() const {
   return c;
 }
 
-// ---------------------------------------------------------------------------
-// DynamicIndexView.
-// ---------------------------------------------------------------------------
-
-namespace {
-
-class DynamicPooledSearcher : public Searcher {
- public:
-  explicit DynamicPooledSearcher(const DynamicIndex* index) : index_(index) {}
-
-  void Search(const float* query, size_t k, const RuntimeParams& params,
-              uint32_t* ids, float* dists, BatchStats* stats) override {
-    index_->Search(query, k, params.window, &res_, &scratch_);
-    WritePaddedRow(res_.ids.data(), res_.dists.data(), res_.ids.size(), k,
-                   ids, dists);
-    if (stats != nullptr) {
-      stats->distance_computations += res_.distance_computations;
-      stats->hops += res_.hops;
-    }
-  }
-
- private:
-  const DynamicIndex* index_;
-  DynamicIndex::SearchScratch scratch_;
-  SearchResult res_;
-};
-
-}  // namespace
-
-void DynamicIndexView::SearchBatchEx(MatrixViewF queries, size_t k,
-                                     const RuntimeParams& params,
-                                     uint32_t* ids, float* dists,
-                                     BatchStats* stats,
-                                     ThreadPool* pool) const {
-  RunBatchSlices(
-      queries.rows, pool != nullptr ? pool->num_threads() : 1, pool, stats,
-      [&](size_t, size_t lo, size_t hi, BatchStats* slice_stats) {
-        DynamicPooledSearcher searcher(index_);
-        for (size_t qi = lo; qi < hi; ++qi) {
-          searcher.Search(queries.row(qi), k, params, ids + qi * k,
-                          dists != nullptr ? dists + qi * k : nullptr,
-                          slice_stats);
-        }
-      });
-}
-
-std::unique_ptr<Searcher> DynamicIndexView::MakeSearcher() const {
-  return std::make_unique<DynamicPooledSearcher>(index_);
-}
-
 }  // namespace blink

@@ -130,17 +130,53 @@ class ServingEngine {
   std::atomic<uint64_t> hops_{0};
 };
 
-/// SearchIndex facade over a DynamicIndex, so the engine (and the eval
-/// harness) can serve a mutating index. RuntimeParams::window maps to the
-/// dynamic search window; per-thread SearchScratch is pooled through
+namespace detail {
+
+/// Pooled searcher over a dynamic index: the SearchScratch (visited
+/// epochs, candidate buffer, prepared query) survives across queries.
+template <typename Storage>
+class DynamicPooledSearcher : public Searcher {
+ public:
+  explicit DynamicPooledSearcher(const DynamicGraphIndex<Storage>* index)
+      : index_(index) {}
+
+  void Search(const float* query, size_t k, const RuntimeParams& params,
+              uint32_t* ids, float* dists, BatchStats* stats) override {
+    index_->Search(query, k, params.window, &res_, &scratch_, params.rerank);
+    WritePaddedRow(res_.ids.data(), res_.dists.data(), res_.ids.size(), k,
+                   ids, dists);
+    if (stats != nullptr) {
+      stats->distance_computations += res_.distance_computations;
+      stats->hops += res_.hops;
+    }
+  }
+
+ private:
+  const DynamicGraphIndex<Storage>* index_;
+  typename DynamicGraphIndex<Storage>::SearchScratch scratch_;
+  SearchResult res_;
+};
+
+}  // namespace detail
+
+/// SearchIndex facade over a DynamicGraphIndex of any storage, so the
+/// engine (and the eval harness) can serve a mutating index — float32 or
+/// compressed LVQ — through the same seam. RuntimeParams::window maps to
+/// the dynamic search window and RuntimeParams::rerank to the two-level
+/// re-ranking pass; per-thread SearchScratch is pooled through
 /// MakeSearcher(). Reads are safe concurrently with writers — see
 /// graph/dynamic.h.
-class DynamicIndexView : public SearchIndex {
+template <typename Storage>
+class DynamicView : public SearchIndex {
  public:
-  /// Non-owning; `index` must outlive the view.
-  explicit DynamicIndexView(const DynamicIndex* index) : index_(index) {}
+  using Index = DynamicGraphIndex<Storage>;
 
-  std::string name() const override { return "dynamic-f32"; }
+  /// Non-owning; `index` must outlive the view.
+  explicit DynamicView(const Index* index) : index_(index) {}
+
+  std::string name() const override {
+    return std::string("dynamic-") + index_->storage().encoding_name();
+  }
   size_t size() const override { return index_->live_size(); }
   size_t dim() const override { return index_->dim(); }
   size_t memory_bytes() const override { return index_->memory_bytes(); }
@@ -152,12 +188,30 @@ class DynamicIndexView : public SearchIndex {
 
   void SearchBatchEx(MatrixViewF queries, size_t k, const RuntimeParams& params,
                      uint32_t* ids, float* dists, BatchStats* stats,
-                     ThreadPool* pool = nullptr) const override;
+                     ThreadPool* pool = nullptr) const override {
+    RunBatchSlices(
+        queries.rows, pool != nullptr ? pool->num_threads() : 1, pool, stats,
+        [&](size_t, size_t lo, size_t hi, BatchStats* slice_stats) {
+          detail::DynamicPooledSearcher<Storage> searcher(index_);
+          for (size_t qi = lo; qi < hi; ++qi) {
+            searcher.Search(queries.row(qi), k, params, ids + qi * k,
+                            dists != nullptr ? dists + qi * k : nullptr,
+                            slice_stats);
+          }
+        });
+  }
 
-  std::unique_ptr<Searcher> MakeSearcher() const override;
+  std::unique_ptr<Searcher> MakeSearcher() const override {
+    return std::make_unique<detail::DynamicPooledSearcher<Storage>>(index_);
+  }
 
  private:
-  const DynamicIndex* index_;
+  const Index* index_;
 };
+
+/// The float32 view (the pre-D9 DynamicIndexView).
+using DynamicIndexView = DynamicView<DynamicFloatStorage>;
+/// View over the compressed dynamic index.
+using DynamicLvqIndexView = DynamicView<DynamicLvqStorage>;
 
 }  // namespace blink

@@ -108,4 +108,23 @@ class Float16 {
 
 static_assert(sizeof(Float16) == 2, "Float16 must be 2 bytes");
 
+/// Next representable float16 toward -infinity. The LVQ encoders use the
+/// nudge pair to widen rounded bounds so the stored (l, u) always cover
+/// the true per-vector range (paper Fig. 16); the +0/-0 edge cases matter,
+/// so there is exactly one implementation.
+inline Float16 NextFloat16Down(Float16 h) {
+  const uint16_t b = h.bits();
+  if (b == 0x0000) return Float16::FromBits(0x8001);  // +0 -> smallest negative
+  if (b & 0x8000) return Float16::FromBits(static_cast<uint16_t>(b + 1));
+  return Float16::FromBits(static_cast<uint16_t>(b - 1));
+}
+
+/// Next representable float16 toward +infinity.
+inline Float16 NextFloat16Up(Float16 h) {
+  const uint16_t b = h.bits();
+  if (b == 0x8000) return Float16::FromBits(0x0001);  // -0 -> smallest positive
+  if (b & 0x8000) return Float16::FromBits(static_cast<uint16_t>(b - 1));
+  return Float16::FromBits(static_cast<uint16_t>(b + 1));
+}
+
 }  // namespace blink

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cassert>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -102,6 +103,9 @@ void Arena::Release() {
 void* AlignedAlloc(size_t bytes, size_t alignment) {
   assert((alignment & (alignment - 1)) == 0 && "alignment must be power of 2");
   if (bytes == 0) bytes = alignment;
+  // RoundUp would wrap for sizes within `alignment` of SIZE_MAX; treat the
+  // request as unsatisfiable rather than allocating a wrapped tiny size.
+  if (bytes > SIZE_MAX - (alignment - 1)) return nullptr;
   void* p = nullptr;
   if (posix_memalign(&p, alignment, RoundUp(bytes, alignment)) != 0) {
     return nullptr;

@@ -68,6 +68,10 @@ using AlignedPtr = std::unique_ptr<T[], AlignedDeleter>;
 
 template <typename T>
 AlignedPtr<T> MakeAligned(size_t count, size_t alignment = 64) {
+  // A wrapped count * sizeof(T) would allocate a tiny buffer that
+  // type-checks as `count` elements; fail like an allocation failure
+  // (null) instead so callers see it immediately.
+  if (count > SIZE_MAX / sizeof(T)) return AlignedPtr<T>(nullptr);
   return AlignedPtr<T>(static_cast<T*>(AlignedAlloc(count * sizeof(T), alignment)));
 }
 

@@ -2,6 +2,7 @@
 #include "graph/dynamic.h"
 
 #include <gtest/gtest.h>
+#include <cmath>
 #include <set>
 
 #include "data/groundtruth.h"
@@ -49,12 +50,18 @@ double LiveRecall(const DynamicIndex& idx, MatrixViewF queries, size_t k,
   return total / static_cast<double>(queries.rows);
 }
 
-TEST(Dynamic, EmptyIndexReturnsNothing) {
+TEST(Dynamic, EmptyIndexPadsToK) {
   DynamicIndex idx(8, SmallOpts());
   SearchResult res;
   const float q[8] = {0};
   idx.Search(q, 5, 16, &res);
-  EXPECT_TRUE(res.ids.empty());
+  // Contract: exactly k slots even with nothing live, all padded.
+  ASSERT_EQ(res.ids.size(), 5u);
+  ASSERT_EQ(res.dists.size(), 5u);
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(res.ids[j], kInvalidId);
+    EXPECT_TRUE(std::isinf(res.dists[j]));
+  }
   EXPECT_EQ(idx.live_size(), 0u);
 }
 
@@ -91,7 +98,10 @@ TEST(Dynamic, DeletedVectorsDisappearFromResults) {
   }
   for (size_t qi = 0; qi < 20; ++qi) {
     idx.Search(data.queries.row(qi), 10, 64, &res);
-    for (uint32_t id : res.ids) EXPECT_FALSE(idx.IsDeleted(id));
+    for (uint32_t id : res.ids) {
+      if (id == kInvalidId) continue;  // padding, not a result
+      EXPECT_FALSE(idx.IsDeleted(id));
+    }
   }
   EXPECT_LT(idx.live_size(), 500u);
 }
@@ -142,6 +152,34 @@ TEST(Dynamic, SlotsAreRecycledAfterConsolidation) {
   EXPECT_EQ(idx.live_size(), 200u);
 }
 
+// Regression: a second ConsolidateDeletes used to re-queue already-purged,
+// not-yet-recycled slots into the free list, handing the same slot to two
+// different Inserts (aliased ids) and underflowing the deleted count.
+TEST(Dynamic, RepeatedConsolidationDoesNotDuplicateFreeSlots) {
+  Dataset data = MakeDeepLike(10, 1, 707);
+  DynamicIndex idx(96, SmallOpts());
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < 5; ++i) ids.push_back(idx.Insert(data.base.row(i)));
+  ASSERT_TRUE(idx.Delete(ids[0]).ok());
+  ASSERT_TRUE(idx.Delete(ids[1]).ok());
+  idx.ConsolidateDeletes();
+  // Purged slots no longer navigate; the search slack must reset even
+  // though the slots are still unreused.
+  EXPECT_EQ(idx.num_tombstones(), 0u);
+  EXPECT_EQ(idx.num_deleted(), 2u);
+  const uint32_t x = idx.Insert(data.base.row(5));  // recycles one slot
+  ASSERT_TRUE(idx.Delete(ids[2]).ok());
+  idx.ConsolidateDeletes();  // must not re-queue the still-free slot
+  const uint32_t a = idx.Insert(data.base.row(6));
+  const uint32_t b = idx.Insert(data.base.row(7));
+  const uint32_t c = idx.Insert(data.base.row(8));
+  std::set<uint32_t> live_ids = {ids[3], ids[4], x, a, b, c};
+  EXPECT_EQ(live_ids.size(), 6u) << "an id was handed out twice";
+  EXPECT_EQ(idx.live_size(), 6u);
+  EXPECT_EQ(idx.size(), 6u);
+  EXPECT_EQ(idx.num_deleted(), 0u);
+}
+
 TEST(Dynamic, InterleavedInsertDeleteStress) {
   Dataset data = MakeDeepLike(3000, 20, 704);
   DynamicIndex idx(96, SmallOpts());
@@ -183,7 +221,8 @@ TEST(Dynamic, DeleteAllThenReinsert) {
   EXPECT_EQ(idx.live_size(), 0u);
   SearchResult res;
   idx.Search(data.queries.row(0), 5, 32, &res);
-  EXPECT_TRUE(res.ids.empty());
+  ASSERT_EQ(res.ids.size(), 5u);
+  for (uint32_t id : res.ids) EXPECT_EQ(id, kInvalidId);
   idx.ConsolidateDeletes();
   for (size_t i = 50; i < 100; ++i) idx.Insert(data.base.row(i));
   EXPECT_EQ(idx.live_size(), 50u);

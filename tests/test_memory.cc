@@ -77,6 +77,22 @@ TEST(MakeAligned, TypedAllocation) {
   EXPECT_DOUBLE_EQ(p[99], 3.14);
 }
 
+// Regression (ISSUE 4): count * sizeof(T) used to be computed unchecked, so
+// a count near SIZE_MAX wrapped to a tiny allocation that type-checked as
+// `count` elements. Overflow must now surface as a failed (null) allocation.
+TEST(MakeAligned, CountOverflowFailsInsteadOfWrapping) {
+  // SIZE_MAX/4 doubles = SIZE_MAX*2 bytes: wraps without the guard.
+  auto p = MakeAligned<double>(SIZE_MAX / 4);
+  EXPECT_EQ(p.get(), nullptr);
+  auto q = MakeAligned<uint32_t>(SIZE_MAX / 2);
+  EXPECT_EQ(q.get(), nullptr);
+}
+
+TEST(AlignedAlloc, NearMaxSizeFailsInsteadOfWrapping) {
+  // Rounding SIZE_MAX - 1 up to the alignment would wrap to 0.
+  EXPECT_EQ(AlignedAlloc(SIZE_MAX - 1, 64), nullptr);
+}
+
 TEST(Rss, AccountsResidentMemory) {
   EXPECT_GT(CurrentRssBytes(), 0u);
   EXPECT_GT(PeakRssBytes(), 0u);

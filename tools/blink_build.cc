@@ -19,6 +19,7 @@
 #include <string>
 
 #include "blink.h"
+#include "flags.h"
 
 using namespace blink;
 
@@ -45,23 +46,33 @@ int main(int argc, char** argv) {
   float alpha = 0.0f;
   size_t shards = 1;
   PartitionMethod method = PartitionMethod::kBalancedKMeans;
-  for (int a = 3; a + 1 < argc; a += 2) {
-    const std::string flag = argv[a];
-    const char* val = argv[a + 1];
+  tools::FlagParser args(argc, argv, 3);
+  std::string flag;
+  const char* val = nullptr;
+  long long iv = 0;
+  double dv = 0.0;
+  while (args.Next(&flag, &val)) {
     if (flag == "--metric") {
       metric = std::strcmp(val, "ip") == 0 ? Metric::kInnerProduct : Metric::kL2;
     } else if (flag == "--bits1") {
-      bits1 = std::atoi(val);
+      // The serialized format (and UnpackCode) support 1..16 bits.
+      if (!tools::ParseIntFlag(flag, val, 1, 16, &iv)) return 1;
+      bits1 = static_cast<int>(iv);
     } else if (flag == "--bits2") {
-      bits2 = std::atoi(val);
+      if (!tools::ParseIntFlag(flag, val, 0, 16, &iv)) return 1;  // 0 = one-level
+      bits2 = static_cast<int>(iv);
     } else if (flag == "--R") {
-      R = static_cast<uint32_t>(std::atoi(val));
+      if (!tools::ParseIntFlag(flag, val, 1, 4096, &iv)) return 1;
+      R = static_cast<uint32_t>(iv);
     } else if (flag == "--window") {
-      window = static_cast<uint32_t>(std::atoi(val));
+      if (!tools::ParseIntFlag(flag, val, 1, 1 << 20, &iv)) return 1;
+      window = static_cast<uint32_t>(iv);
     } else if (flag == "--alpha") {
-      alpha = static_cast<float>(std::atof(val));
+      if (!tools::ParseDoubleFlag(flag, val, &dv)) return 1;
+      alpha = static_cast<float>(dv);
     } else if (flag == "--shards") {
-      shards = std::strtoull(val, nullptr, 10);
+      if (!tools::ParseIntFlag(flag, val, 1, 1 << 16, &iv)) return 1;
+      shards = static_cast<size_t>(iv);
     } else if (flag == "--partition") {
       method = std::strcmp(val, "rr") == 0 ? PartitionMethod::kRoundRobin
                                            : PartitionMethod::kBalancedKMeans;
@@ -69,13 +80,7 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (shards == 0) shards = 1;
-  // The serialized format (and UnpackCode) support 1..16 bits; bits2 == 0
-  // means one-level LVQ.
-  if (bits1 < 1 || bits1 > 16 || bits2 < 0 || bits2 > 16) {
-    std::fprintf(stderr, "--bits1 must be in 1..16 and --bits2 in 0..16\n");
-    return 1;
-  }
+  if (!args.ok()) return Usage(argv[0]);
 
   auto base = ReadFvecs(base_path);
   if (!base.ok()) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "blink.h"
+#include "flags.h"
 
 using namespace blink;
 
@@ -31,13 +32,20 @@ int Usage(const char* argv0) {
   return 2;
 }
 
+/// Parses a comma-separated list of positive windows; empty on malformed
+/// input (each segment must be a whole number followed by ',' or the end).
 std::vector<uint32_t> ParseWindows(const char* s) {
   std::vector<uint32_t> out;
   for (const char* p = s; *p != '\0';) {
-    out.push_back(static_cast<uint32_t>(std::strtoul(p, nullptr, 10)));
-    p = std::strchr(p, ',');
-    if (p == nullptr) break;
-    ++p;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p || v == 0 || v > (1u << 20) ||
+        (*end != '\0' && *end != ',')) {
+      return {};
+    }
+    out.push_back(static_cast<uint32_t>(v));
+    if (*end == '\0') break;
+    p = end + 1;
   }
   return out;
 }
@@ -53,17 +61,25 @@ int main(int argc, char** argv) {
   uint32_t nprobe_shards = 0;
   std::vector<uint32_t> windows = {10, 20, 40, 80};
   std::string gt_path, out_path;
-  for (int a = 3; a + 1 < argc; a += 2) {
-    const std::string flag = argv[a];
-    const char* val = argv[a + 1];
+  tools::FlagParser args(argc, argv, 3);
+  std::string flag;
+  const char* val = nullptr;
+  long long iv = 0;
+  while (args.Next(&flag, &val)) {
     if (flag == "--metric") {
       metric = std::strcmp(val, "ip") == 0 ? Metric::kInnerProduct : Metric::kL2;
     } else if (flag == "--k") {
-      k = std::strtoull(val, nullptr, 10);
+      if (!tools::ParseIntFlag(flag, val, 1, 1 << 20, &iv)) return 1;
+      k = static_cast<size_t>(iv);
     } else if (flag == "--window") {
       windows = ParseWindows(val);
+      if (windows.empty()) {
+        std::fprintf(stderr, "--window: expected N[,N...], got '%s'\n", val);
+        return 1;
+      }
     } else if (flag == "--nprobe-shards") {
-      nprobe_shards = static_cast<uint32_t>(std::strtoul(val, nullptr, 10));
+      if (!tools::ParseIntFlag(flag, val, 0, 1 << 16, &iv)) return 1;
+      nprobe_shards = static_cast<uint32_t>(iv);
     } else if (flag == "--gt") {
       gt_path = val;
     } else if (flag == "--out") {
@@ -72,6 +88,7 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
+  if (!args.ok()) return Usage(argv[0]);
 
   VamanaBuildParams bp;  // configuration only; graph comes from disk
   Result<std::unique_ptr<SearchIndex>> index = [&]() -> Result<std::unique_ptr<SearchIndex>> {

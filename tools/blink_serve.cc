@@ -1,9 +1,19 @@
 // blink_serve — closed-loop load generator for the serving engine.
 //
-// Builds an OG index over a synthetic dataset (no input files needed),
-// stands up a ServingEngine, and drives it with C closed-loop client
-// threads for a fixed duration; reports QPS, latency percentiles
-// (p50/p90/p99/max) and k-recall@k against exact ground truth.
+// Builds an index over a synthetic dataset (no input files needed), stands
+// up a ServingEngine, and drives it with C closed-loop client threads for a
+// fixed duration; reports QPS, latency percentiles (p50/p90/p99/max) and
+// k-recall@k against exact ground truth.
+//
+// Two index families:
+//   static  (default)    — OG-LVQ / float32 Vamana, optionally sharded.
+//   dynamic (--dynamic 1) — a mutable DynamicGraphIndex built by streaming
+//         inserts and served through DynamicView; --lvq selects the
+//         compressed storage (LVQ-B, encoded at insert time against a
+//         sample mean; --bits2 adds a residual level), --lvq 0 the float32
+//         baseline. --churn keeps a single writer inserting/deleting
+//         vectors (with periodic consolidation) while the clients search,
+//         exercising the single-writer/multi-reader path under load.
 //
 // Usage:
 //   blink_serve [options]
@@ -17,8 +27,11 @@
 //     --mode M         sync | async                  (default async)
 //     --batch B        queries per sync request      (default 8)
 //     --lvq B          LVQ bits (0 = float32 index)  (default 8)
+//     --bits2 B        dynamic LVQ residual bits     (default 0 = one-level)
 //     --shards S       sharded index with S shards   (default 1 = unsharded)
 //     --nprobe-shards P shards probed per query      (default 0 = all)
+//     --dynamic 0|1    streaming dynamic index       (default 0)
+//     --churn OPS      writer ops/sec during load    (default 0; needs --dynamic)
 //     --seed S         dataset/build seed            (default 1234)
 //
 // sync  — each client calls ServingEngine::SearchBatch with B queries per
@@ -26,14 +39,19 @@
 // async — each client Submit()s one query at a time and waits on the
 //         future; the engine micro-batches across clients.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "blink.h"
+#include "flags.h"
 
 using namespace blink;
 
@@ -43,8 +61,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--n N] [--nq N] [--k N] [--window N] [--threads T] "
                "[--clients C]\n                  [--duration S] "
-               "[--mode sync|async] [--batch B] [--lvq bits]\n"
-               "                  [--shards S] [--nprobe-shards P] [--seed S]\n",
+               "[--mode sync|async] [--batch B] [--lvq bits] [--bits2 bits]\n"
+               "                  [--shards S] [--nprobe-shards P] "
+               "[--dynamic 0|1] [--churn OPS] [--seed S]\n",
                argv0);
   return 2;
 }
@@ -62,32 +81,85 @@ int main(int argc, char** argv) {
   size_t threads = NumThreads();
   size_t clients = 0;
   double duration = 3.0;
-  int lvq_bits = 8;
+  int lvq_bits = 8, bits2 = 0;
   size_t shards = 1;
   uint32_t nprobe_shards = 0;
   uint64_t seed = 1234;
   bool async_mode = true;
-  for (int a = 1; a + 1 < argc; a += 2) {
-    const std::string flag = argv[a];
-    const char* val = argv[a + 1];
-    if (flag == "--n") n = std::strtoull(val, nullptr, 10);
-    else if (flag == "--nq") nq = std::strtoull(val, nullptr, 10);
-    else if (flag == "--k") k = std::strtoull(val, nullptr, 10);
-    else if (flag == "--window") window = static_cast<uint32_t>(std::strtoul(val, nullptr, 10));
-    else if (flag == "--threads") threads = std::strtoull(val, nullptr, 10);
-    else if (flag == "--clients") clients = std::strtoull(val, nullptr, 10);
-    else if (flag == "--duration") duration = std::strtod(val, nullptr);
-    else if (flag == "--batch") batch = std::strtoull(val, nullptr, 10);
-    else if (flag == "--lvq") lvq_bits = std::atoi(val);
-    else if (flag == "--shards") shards = std::strtoull(val, nullptr, 10);
-    else if (flag == "--nprobe-shards") nprobe_shards = static_cast<uint32_t>(std::strtoul(val, nullptr, 10));
-    else if (flag == "--seed") seed = std::strtoull(val, nullptr, 10);
-    else if (flag == "--mode") async_mode = std::strcmp(val, "async") == 0;
-    else return Usage(argv[0]);
+  bool dynamic_mode = false;
+  size_t churn_ops = 0;
+  tools::FlagParser args(argc, argv, 1);
+  std::string flag;
+  const char* val = nullptr;
+  long long iv = 0;
+  while (args.Next(&flag, &val)) {
+    if (flag == "--n") {
+      if (!tools::ParseIntFlag(flag, val, 1, 1LL << 32, &iv)) return 1;
+      n = static_cast<size_t>(iv);
+    } else if (flag == "--nq") {
+      if (!tools::ParseIntFlag(flag, val, 1, 1LL << 24, &iv)) return 1;
+      nq = static_cast<size_t>(iv);
+    } else if (flag == "--k") {
+      if (!tools::ParseIntFlag(flag, val, 1, 1 << 20, &iv)) return 1;
+      k = static_cast<size_t>(iv);
+    } else if (flag == "--window") {
+      if (!tools::ParseIntFlag(flag, val, 1, 1 << 20, &iv)) return 1;
+      window = static_cast<uint32_t>(iv);
+    } else if (flag == "--threads") {
+      if (!tools::ParseIntFlag(flag, val, 1, 1 << 12, &iv)) return 1;
+      threads = static_cast<size_t>(iv);
+    } else if (flag == "--clients") {
+      if (!tools::ParseIntFlag(flag, val, 1, 1 << 12, &iv)) return 1;
+      clients = static_cast<size_t>(iv);
+    } else if (flag == "--duration") {
+      if (!tools::ParseDoubleFlag(flag, val, &duration)) return 1;
+    } else if (flag == "--batch") {
+      if (!tools::ParseIntFlag(flag, val, 1, 1 << 16, &iv)) return 1;
+      batch = static_cast<size_t>(iv);
+    } else if (flag == "--lvq") {
+      // Validated: garbage used to parse as 0 bits (i.e. silently float32).
+      if (!tools::ParseIntFlag(flag, val, 0, 16, &iv)) return 1;
+      lvq_bits = static_cast<int>(iv);
+    } else if (flag == "--bits2") {
+      if (!tools::ParseIntFlag(flag, val, 0, 16, &iv)) return 1;
+      bits2 = static_cast<int>(iv);
+    } else if (flag == "--shards") {
+      if (!tools::ParseIntFlag(flag, val, 1, 1 << 16, &iv)) return 1;
+      shards = static_cast<size_t>(iv);
+    } else if (flag == "--nprobe-shards") {
+      if (!tools::ParseIntFlag(flag, val, 0, 1 << 16, &iv)) return 1;
+      nprobe_shards = static_cast<uint32_t>(iv);
+    } else if (flag == "--dynamic") {
+      if (!tools::ParseIntFlag(flag, val, 0, 1, &iv)) return 1;
+      dynamic_mode = iv != 0;
+    } else if (flag == "--churn") {
+      if (!tools::ParseIntFlag(flag, val, 0, 1 << 24, &iv)) return 1;
+      churn_ops = static_cast<size_t>(iv);
+    } else if (flag == "--seed") {
+      if (!tools::ParseIntFlag(flag, val, 0,
+                               std::numeric_limits<long long>::max(), &iv)) {
+        return 1;
+      }
+      seed = static_cast<uint64_t>(iv);
+    } else if (flag == "--mode") {
+      if (std::strcmp(val, "async") == 0) {
+        async_mode = true;
+      } else if (std::strcmp(val, "sync") == 0) {
+        async_mode = false;
+      } else {
+        std::fprintf(stderr, "--mode: expected sync or async, got '%s'\n", val);
+        return 1;
+      }
+    } else {
+      return Usage(argv[0]);
+    }
   }
-  if (threads == 0) threads = 1;
+  if (!args.ok()) return Usage(argv[0]);
+  if (churn_ops > 0 && !dynamic_mode) {
+    std::fprintf(stderr, "--churn requires --dynamic 1\n");
+    return 1;
+  }
   if (clients == 0) clients = 2 * threads;
-  if (batch == 0) batch = 1;
   // Each client owns a disjoint stripe of the query set (so concurrent
   // writes into the recall matrix never overlap); more clients than
   // queries would collapse stripes.
@@ -102,12 +174,36 @@ int main(int argc, char** argv) {
 
   ThreadPool build_pool(threads);
   Dataset data = MakeDeepLike(n, nq, seed);
+  const size_t dim = data.base.cols();
   VamanaBuildParams bp;
   bp.graph_max_degree = 32;
   bp.window_size = 64;
   Timer build_timer;
   std::unique_ptr<SearchIndex> index;
-  if (shards > 1) {
+  std::unique_ptr<DynamicIndex> dyn_f32;
+  std::unique_ptr<DynamicLvqIndex> dyn_lvq;
+  if (dynamic_mode) {
+    DynamicOptions dopts;
+    dopts.graph_max_degree = bp.graph_max_degree;
+    dopts.build_window = bp.window_size;
+    dopts.metric = data.metric;
+    dopts.alpha = data.metric == Metric::kL2 ? 1.2f : 0.95f;
+    dopts.initial_capacity = n + 1024;  // headroom so churn never stops the world
+    if (lvq_bits > 0) {
+      DynamicLvqDataset::Options lo;
+      lo.bits1 = lvq_bits;
+      lo.bits2 = bits2;
+      lo.mean = DynamicLvqDataset::SampleMean(data.base);
+      dyn_lvq = std::make_unique<DynamicLvqIndex>(
+          dim, dopts, DynamicLvqStorage(dim, data.metric, std::move(lo)));
+      for (size_t i = 0; i < n; ++i) dyn_lvq->Insert(data.base.row(i));
+      index = std::make_unique<DynamicLvqIndexView>(dyn_lvq.get());
+    } else {
+      dyn_f32 = std::make_unique<DynamicIndex>(dim, dopts);
+      for (size_t i = 0; i < n; ++i) dyn_f32->Insert(data.base.row(i));
+      index = std::make_unique<DynamicIndexView>(dyn_f32.get());
+    }
+  } else if (shards > 1) {
     // The engine serves the sharded index through the same SearchIndex /
     // MakeSearcher seam as every other index — no serving changes needed.
     ShardedBuildParams sp;
@@ -132,6 +228,46 @@ int main(int argc, char** argv) {
   RuntimeParams params;
   params.window = window;
   params.nprobe_shards = nprobe_shards;
+
+  // Live writer: insert copies of random base vectors and delete them
+  // again, consolidating occasionally, at ~churn_ops/sec. Base content
+  // stays intact, so the recall figure below remains meaningful (a
+  // transient duplicate can only tie with its original).
+  std::atomic<bool> stop_churn{false};
+  std::thread churner;
+  if (churn_ops > 0) {
+    churner = std::thread([&] {
+      Rng rng(seed + 1);
+      std::vector<uint32_t> extra;
+      const auto pause =
+          std::chrono::microseconds(1000000 / std::max<size_t>(churn_ops, 1));
+      auto do_insert = [&](const float* v) {
+        return dyn_lvq ? dyn_lvq->Insert(v) : dyn_f32->Insert(v);
+      };
+      auto do_delete = [&](uint32_t id) {
+        return dyn_lvq ? dyn_lvq->Delete(id) : dyn_f32->Delete(id);
+      };
+      size_t ops = 0;
+      while (!stop_churn.load(std::memory_order_relaxed)) {
+        if (extra.size() < 256 && rng.Bounded(2) == 0) {
+          extra.push_back(do_insert(data.base.row(rng.Bounded(n))));
+        } else if (!extra.empty()) {
+          const size_t pick = rng.Bounded(extra.size());
+          (void)do_delete(extra[pick]);
+          extra[pick] = extra.back();
+          extra.pop_back();
+        }
+        if (++ops % 512 == 0) {
+          if (dyn_lvq) {
+            dyn_lvq->ConsolidateDeletes();
+          } else {
+            dyn_f32->ConsolidateDeletes();
+          }
+        }
+        std::this_thread::sleep_for(pause);
+      }
+    });
+  }
 
   // Closed loop: each client owns a stripe of the query set and hammers it
   // until the deadline, recording per-request latency.
@@ -167,6 +303,10 @@ int main(int argc, char** argv) {
   }
   for (auto& w : workers) w.join();
   const double elapsed = wall.Seconds();
+  if (churner.joinable()) {
+    stop_churn.store(true);
+    churner.join();
+  }
 
   std::vector<double> lat;
   size_t total_queries = 0;

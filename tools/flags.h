@@ -1,0 +1,85 @@
+// Shared command-line flag plumbing for the blink_* tools.
+//
+// Every tool takes `--flag value` pairs. The historical loop
+// (`for (a; a + 1 < argc; a += 2)`) silently dropped a trailing flag with
+// no value, and `std::atoi` turned garbage into 0; FlagParser makes both
+// hard errors: a dangling flag and a malformed or out-of-range number each
+// produce a message on stderr and a false/ok()==false the tool turns into
+// its usage exit.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace blink {
+namespace tools {
+
+/// Iterates `--flag value` pairs from argv[start..). Next() returns false
+/// at the end of the arguments *or* on a dangling flag; check ok() after
+/// the loop to tell the two apart.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv, int start)
+      : argc_(argc), argv_(argv), pos_(start) {}
+
+  bool Next(std::string* flag, const char** value) {
+    if (pos_ >= argc_) return false;  // end of arguments
+    *flag = argv_[pos_];
+    if (pos_ + 1 >= argc_) {
+      std::fprintf(stderr, "missing value for %s\n", argv_[pos_]);
+      dangling_ = true;
+      return false;
+    }
+    *value = argv_[pos_ + 1];
+    pos_ += 2;
+    return true;
+  }
+
+  /// False when the loop stopped on a dangling flag rather than the end.
+  bool ok() const { return !dangling_; }
+
+ private:
+  int argc_;
+  char** argv_;
+  int pos_;
+  bool dangling_ = false;
+};
+
+/// Strict decimal integer parse: the whole token must be a number in
+/// [min_v, max_v]. Prints a message and returns false otherwise (so
+/// `--lvq garbage` is an error, not silently 0 bits).
+inline bool ParseIntFlag(const std::string& flag, const char* value,
+                         long long min_v, long long max_v, long long* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || v < min_v ||
+      v > max_v) {
+    std::fprintf(stderr, "%s: expected an integer in [%lld, %lld], got '%s'\n",
+                 flag.c_str(), min_v, max_v, value);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Strict double parse (> 0 unless allow_zero).
+inline bool ParseDoubleFlag(const std::string& flag, const char* value,
+                            double* out, bool allow_zero = false) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE || v < 0.0 ||
+      (!allow_zero && v == 0.0)) {
+    std::fprintf(stderr, "%s: expected a positive number, got '%s'\n",
+                 flag.c_str(), value);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace tools
+}  // namespace blink
