@@ -1,0 +1,428 @@
+#include "api/index.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "graph/index.h"
+#include "graph/serialize.h"
+#include "quant/lvq_dynamic.h"
+#include "shard/serialize.h"
+#include "shard/sharded_index.h"
+
+namespace blink {
+
+namespace detail {
+
+// ---------------------------------------------------------------------------
+// IndexImpl: the type-erasure seam behind the Index handle. One subclass
+// per flavor family; mutation defaults to Unsupported so only the dynamic
+// flavors opt in.
+// ---------------------------------------------------------------------------
+class IndexImpl {
+ public:
+  IndexImpl(IndexSpec spec, Capabilities caps, bool self_described)
+      : spec_(std::move(spec)), caps_(caps), self_described_(self_described) {}
+  virtual ~IndexImpl() = default;
+
+  virtual const SearchIndex& search() const = 0;
+
+  virtual Status Save(const std::string& /*path*/) const {
+    return Status::Unsupported(search().name() + " cannot be saved");
+  }
+  virtual Result<uint32_t> Insert(const float* /*vec*/) {
+    return Status::Unsupported(search().name() + " is immutable");
+  }
+  virtual Status Delete(uint32_t /*id*/) {
+    return Status::Unsupported(search().name() + " is immutable");
+  }
+  virtual Status Consolidate() {
+    return Status::Unsupported(search().name() + " is immutable");
+  }
+
+  const IndexSpec& spec() const { return spec_; }
+  Capabilities capabilities() const { return caps_; }
+  bool self_described() const { return self_described_; }
+
+ private:
+  IndexSpec spec_;
+  Capabilities caps_;
+  bool self_described_;
+};
+
+namespace {
+
+/// Static flavors: a VamanaIndex over Float/F16/Lvq storage, saved as a
+/// self-describing <prefix>.{graph,vecs} bundle.
+template <typename Storage>
+class StaticFlavor : public IndexImpl {
+ public:
+  StaticFlavor(std::unique_ptr<VamanaIndex<Storage>> index, IndexSpec spec,
+               Capabilities caps, bool self_described)
+      : IndexImpl(std::move(spec), caps, self_described),
+        index_(std::move(index)) {}
+
+  const SearchIndex& search() const override { return *index_; }
+
+  Status Save(const std::string& path) const override {
+    return SaveIndexBundle(path, *index_);
+  }
+
+ private:
+  std::unique_ptr<VamanaIndex<Storage>> index_;
+};
+
+class ShardedFlavor : public IndexImpl {
+ public:
+  ShardedFlavor(std::unique_ptr<ShardedIndex> index, IndexSpec spec,
+                Capabilities caps, bool self_described)
+      : IndexImpl(std::move(spec), caps, self_described),
+        index_(std::move(index)) {}
+
+  const SearchIndex& search() const override { return *index_; }
+
+  Status Save(const std::string& path) const override {
+    return SaveShardedIndex(path, *index_);
+  }
+
+ private:
+  std::unique_ptr<ShardedIndex> index_;
+};
+
+/// Dynamic flavors own the mutable index plus the DynamicView that adapts
+/// it to the SearchIndex seam (search sizes report live vectors).
+template <typename Storage>
+class DynamicFlavor : public IndexImpl {
+ public:
+  DynamicFlavor(std::unique_ptr<DynamicGraphIndex<Storage>> index,
+                IndexSpec spec, Capabilities caps, bool self_described)
+      : IndexImpl(std::move(spec), caps, self_described),
+        index_(std::move(index)),
+        view_(index_.get()) {}
+
+  const SearchIndex& search() const override { return view_; }
+
+  Status Save(const std::string& path) const override {
+    return SaveDynamic(path, *index_);
+  }
+  Result<uint32_t> Insert(const float* vec) override {
+    return index_->Insert(vec);
+  }
+  Status Delete(uint32_t id) override { return index_->Delete(id); }
+  Status Consolidate() override {
+    index_->ConsolidateDeletes();
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<DynamicGraphIndex<Storage>> index_;
+  DynamicView<Storage> view_;
+};
+
+/// Anything else that implements SearchIndex (the baselines): search-only.
+class WrappedFlavor : public IndexImpl {
+ public:
+  WrappedFlavor(std::unique_ptr<SearchIndex> index, IndexSpec spec)
+      : IndexImpl(std::move(spec), kCapSearch, /*self_described=*/true),
+        index_(std::move(index)) {}
+
+  const SearchIndex& search() const override { return *index_; }
+
+ private:
+  std::unique_ptr<SearchIndex> index_;
+};
+
+Capabilities StaticCaps(const IndexSpec& spec) {
+  Capabilities caps = kCapSearch | kCapSave;
+  if (spec.kind == IndexKind::kSharded) caps |= kCapShardProbe;
+  const bool lvq = spec.kind == IndexKind::kStaticLvq ||
+                   spec.kind == IndexKind::kSharded ||
+                   spec.kind == IndexKind::kDynamicLvq;
+  if (lvq && spec.bits2 > 0) caps |= kCapRerank;
+  return caps;
+}
+
+Capabilities DynamicCaps(const IndexSpec& spec) {
+  return StaticCaps(spec) | kCapInsert | kCapDelete | kCapConsolidate;
+}
+
+DynamicOptions ToDynamicOptions(const IndexSpec& spec) {
+  DynamicOptions opts;
+  opts.graph_max_degree = spec.graph.graph_max_degree;
+  opts.build_window = spec.graph.window_size;
+  opts.alpha = spec.graph.alpha;
+  opts.metric = spec.metric;
+  opts.initial_capacity = spec.dynamic.initial_capacity;
+  return opts;
+}
+
+/// Spec as reconstructed from a reopened dynamic index.
+template <typename Storage>
+IndexSpec DynamicSpecOf(const DynamicGraphIndex<Storage>& index,
+                        IndexKind kind) {
+  IndexSpec spec;
+  spec.kind = kind;
+  spec.metric = index.options().metric;
+  spec.graph.graph_max_degree = index.options().graph_max_degree;
+  spec.graph.window_size = index.options().build_window;
+  spec.graph.alpha = index.options().alpha;
+  spec.dynamic.initial_capacity = index.options().initial_capacity;
+  return spec;
+}
+
+}  // namespace
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Index: thin forwarding over IndexImpl.
+// ---------------------------------------------------------------------------
+
+Index::Index() = default;
+Index::Index(std::unique_ptr<detail::IndexImpl> impl)
+    : impl_(std::move(impl)) {}
+Index::~Index() = default;
+Index::Index(Index&&) noexcept = default;
+Index& Index::operator=(Index&&) noexcept = default;
+
+std::string Index::name() const { return impl_->search().name(); }
+size_t Index::size() const { return impl_->search().size(); }
+size_t Index::dim() const { return impl_->search().dim(); }
+size_t Index::memory_bytes() const { return impl_->search().memory_bytes(); }
+IndexKind Index::kind() const { return impl_->spec().kind; }
+Metric Index::metric() const { return impl_->spec().metric; }
+Capabilities Index::capabilities() const { return impl_->capabilities(); }
+const IndexSpec& Index::spec() const { return impl_->spec(); }
+bool Index::self_described() const { return impl_->self_described(); }
+
+void Index::SearchBatch(MatrixViewF queries, size_t k,
+                        const RuntimeParams& params, uint32_t* ids,
+                        ThreadPool* pool) const {
+  impl_->search().SearchBatch(queries, k, params, ids, pool);
+}
+
+void Index::SearchBatchEx(MatrixViewF queries, size_t k,
+                          const RuntimeParams& params, uint32_t* ids,
+                          float* dists, BatchStats* stats,
+                          ThreadPool* pool) const {
+  impl_->search().SearchBatchEx(queries, k, params, ids, dists, stats, pool);
+}
+
+std::unique_ptr<Searcher> Index::MakeSearcher() const {
+  return impl_->search().MakeSearcher();
+}
+
+const SearchIndex& Index::AsSearchIndex() const { return impl_->search(); }
+
+Status Index::Save(const std::string& path) const { return impl_->Save(path); }
+
+Result<uint32_t> Index::Insert(const float* vec) { return impl_->Insert(vec); }
+Status Index::Delete(uint32_t id) { return impl_->Delete(id); }
+Status Index::Consolidate() { return impl_->Consolidate(); }
+
+std::unique_ptr<ServingEngine> Index::Serve(
+    const ServingOptions& options) const {
+  return std::make_unique<ServingEngine>(&impl_->search(), options);
+}
+
+// ---------------------------------------------------------------------------
+// Build.
+// ---------------------------------------------------------------------------
+
+Result<Index> Build(const IndexSpec& spec_in, MatrixViewF data,
+                    ThreadPool* pool) {
+  BLINK_RETURN_NOT_OK(spec_in.Validate());
+  const IndexSpec spec = spec_in.Resolved();
+  using detail::DynamicCaps;
+  using detail::StaticCaps;
+  switch (spec.kind) {
+    case IndexKind::kStaticF32: {
+      auto idx = BuildVamanaF32(data, spec.metric, spec.graph, pool);
+      return Index(std::make_unique<detail::StaticFlavor<FloatStorage>>(
+          std::move(idx), spec, StaticCaps(spec), true));
+    }
+    case IndexKind::kStaticF16: {
+      auto idx = BuildVamanaF16(data, spec.metric, spec.graph, pool);
+      return Index(std::make_unique<detail::StaticFlavor<F16Storage>>(
+          std::move(idx), spec, StaticCaps(spec), true));
+    }
+    case IndexKind::kStaticLvq: {
+      auto idx = BuildOgLvq(data, spec.metric, spec.bits1, spec.bits2,
+                            spec.graph, pool);
+      return Index(std::make_unique<detail::StaticFlavor<LvqStorage>>(
+          std::move(idx), spec, StaticCaps(spec), true));
+    }
+    case IndexKind::kSharded: {
+      ShardedBuildParams sp;
+      sp.partition = spec.partition;
+      sp.graph = spec.graph;
+      sp.bits1 = spec.bits1;
+      sp.bits2 = spec.bits2;
+      auto idx = BuildShardedLvq(data, spec.metric, sp, pool);
+      return Index(std::make_unique<detail::ShardedFlavor>(
+          std::move(idx), spec, StaticCaps(spec), true));
+    }
+    case IndexKind::kDynamicF32: {
+      auto idx = std::make_unique<DynamicIndex>(data.cols,
+                                                detail::ToDynamicOptions(spec));
+      for (size_t i = 0; i < data.rows; ++i) idx->Insert(data.row(i));
+      return Index(std::make_unique<detail::DynamicFlavor<DynamicFloatStorage>>(
+          std::move(idx), spec, DynamicCaps(spec), true));
+    }
+    case IndexKind::kDynamicLvq: {
+      DynamicLvqDataset::Options lo;
+      lo.bits1 = spec.bits1;
+      lo.bits2 = spec.bits2;
+      lo.mean = DynamicLvqDataset::SampleMean(data);
+      auto idx = std::make_unique<DynamicLvqIndex>(
+          data.cols, detail::ToDynamicOptions(spec),
+          DynamicLvqStorage(data.cols, spec.metric, std::move(lo)));
+      for (size_t i = 0; i < data.rows; ++i) idx->Insert(data.row(i));
+      return Index(std::make_unique<detail::DynamicFlavor<DynamicLvqStorage>>(
+          std::move(idx), spec, DynamicCaps(spec), true));
+    }
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+Index WrapSearchIndex(std::unique_ptr<SearchIndex> index,
+                      const IndexSpec& spec) {
+  return Index(std::make_unique<detail::WrappedFlavor>(std::move(index), spec));
+}
+
+// ---------------------------------------------------------------------------
+// Open: sniff the artifact, reconstruct the flavor.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result<Index> OpenSharded(const std::string& path, const OpenOptions& opts) {
+  bool self_described = false;
+  auto idx = LoadShardedIndex(path, opts.fallback_metric, opts.fallback_graph,
+                              opts.use_huge_pages, &self_described);
+  if (!idx.ok()) return idx.status();
+  IndexSpec spec;
+  spec.kind = IndexKind::kSharded;
+  spec.metric = idx.value()->metric();
+  spec.bits1 = idx.value()->bits1();
+  spec.bits2 = idx.value()->bits2();
+  spec.graph = idx.value()->build_params();
+  spec.partition.num_shards = idx.value()->num_shards();
+  const Capabilities caps = detail::StaticCaps(spec);
+  return Index(std::make_unique<detail::ShardedFlavor>(
+      std::move(idx).value(), std::move(spec), caps, self_described));
+}
+
+Result<Index> OpenDynamic(const std::string& path, const OpenOptions& opts) {
+  Result<DynamicKind> kind = PeekDynamicKind(path);
+  if (!kind.ok()) return kind.status();
+  DynamicOptions dopts;
+  dopts.metric = opts.fallback_metric;
+  dopts.alpha = opts.fallback_graph.alpha;
+  dopts.build_window = opts.fallback_graph.window_size;
+  dopts.initial_capacity = opts.dynamic_initial_capacity;
+  bool self_described = false;
+  if (kind.value() == DynamicKind::kF32) {
+    auto idx = LoadDynamicF32(path, dopts, &self_described);
+    if (!idx.ok()) return idx.status();
+    IndexSpec spec =
+        detail::DynamicSpecOf(*idx.value(), IndexKind::kDynamicF32);
+    spec.dynamic.initial_capacity = opts.dynamic_initial_capacity;
+    const Capabilities caps = detail::DynamicCaps(spec);
+    return Index(std::make_unique<detail::DynamicFlavor<DynamicFloatStorage>>(
+        std::move(idx).value(), std::move(spec), caps, self_described));
+  }
+  auto idx = LoadDynamicLvq(path, dopts, &self_described);
+  if (!idx.ok()) return idx.status();
+  IndexSpec spec = detail::DynamicSpecOf(*idx.value(), IndexKind::kDynamicLvq);
+  spec.dynamic.initial_capacity = opts.dynamic_initial_capacity;
+  spec.bits1 = idx.value()->storage().dataset().bits1();
+  spec.bits2 = idx.value()->storage().dataset().bits2();
+  const Capabilities caps = detail::DynamicCaps(spec);
+  return Index(std::make_unique<detail::DynamicFlavor<DynamicLvqStorage>>(
+      std::move(idx).value(), std::move(spec), caps, self_described));
+}
+
+template <typename Storage>
+Result<Index> MakeStatic(Storage storage, BuiltGraph graph, IndexSpec spec,
+                         bool self_described) {
+  spec.graph.graph_max_degree = graph.graph.max_degree();
+  auto idx = std::make_unique<VamanaIndex<Storage>>(
+      std::move(storage), std::move(graph), spec.graph);
+  const Capabilities caps = detail::StaticCaps(spec);
+  return Index(std::make_unique<detail::StaticFlavor<Storage>>(
+      std::move(idx), std::move(spec), caps, self_described));
+}
+
+Result<Index> OpenStatic(const std::string& prefix, const OpenOptions& opts) {
+  IndexMeta meta;
+  bool has_meta = false;
+  Result<BuiltGraph> graph =
+      LoadGraph(prefix + ".graph", opts.use_huge_pages, &meta, &has_meta);
+  if (!graph.ok()) return graph.status();
+  IndexSpec spec;
+  spec.metric = has_meta ? meta.metric : opts.fallback_metric;
+  spec.graph = has_meta ? meta.params : opts.fallback_graph;
+
+  const std::string vecs = prefix + ".vecs";
+  Result<VecsEncoding> enc = PeekVecsEncoding(vecs);
+  if (!enc.ok()) return enc.status();
+  switch (enc.value()) {
+    case VecsEncoding::kLvq1: {
+      auto ds = LoadLvq(vecs, opts.use_huge_pages);
+      if (!ds.ok()) return ds.status();
+      spec.kind = IndexKind::kStaticLvq;
+      spec.bits1 = ds.value().bits();
+      spec.bits2 = 0;
+      return MakeStatic(LvqStorage(std::move(ds).value(), spec.metric),
+                        std::move(graph).value(), std::move(spec), has_meta);
+    }
+    case VecsEncoding::kLvq2: {
+      auto ds = LoadLvq2(vecs, opts.use_huge_pages);
+      if (!ds.ok()) return ds.status();
+      spec.kind = IndexKind::kStaticLvq;
+      spec.bits1 = ds.value().bits1();
+      spec.bits2 = ds.value().bits2();
+      return MakeStatic(LvqStorage(std::move(ds).value(), spec.metric),
+                        std::move(graph).value(), std::move(spec), has_meta);
+    }
+    case VecsEncoding::kFloat32: {
+      auto st = LoadFloatVecs(vecs, spec.metric, opts.use_huge_pages);
+      if (!st.ok()) return st.status();
+      spec.kind = IndexKind::kStaticF32;
+      return MakeStatic(std::move(st).value(), std::move(graph).value(),
+                        std::move(spec), has_meta);
+    }
+    case VecsEncoding::kFloat16: {
+      auto st = LoadF16Vecs(vecs, spec.metric, opts.use_huge_pages);
+      if (!st.ok()) return st.status();
+      spec.kind = IndexKind::kStaticF16;
+      return MakeStatic(std::move(st).value(), std::move(graph).value(),
+                        std::move(spec), has_meta);
+    }
+  }
+  return Status::Internal(vecs + ": unhandled vecs encoding");
+}
+
+}  // namespace
+
+Result<Index> Open(const std::string& path, const OpenOptions& options) {
+  std::error_code ec;
+  if (IsShardedIndexDir(path)) return OpenSharded(path, options);
+  if (std::filesystem::is_directory(path, ec)) {
+    return Status::IOError(path + ": directory has no sharded-index manifest");
+  }
+  if (std::filesystem::is_regular_file(path, ec)) {
+    if (IsDynamicIndexFile(path)) return OpenDynamic(path, options);
+    return Status::IOError(path +
+                           ": not a recognized index artifact (expected a "
+                           "BLDY dynamic-index file, a sharded-index "
+                           "directory, or a <prefix>.graph/.vecs bundle)");
+  }
+  if (std::filesystem::is_regular_file(path + ".graph", ec)) {
+    return OpenStatic(path, options);
+  }
+  return Status::NotFound(path +
+                          ": no such artifact (tried a sharded directory, a "
+                          "dynamic-index file, and " + path + ".graph)");
+}
+
+}  // namespace blink

@@ -1,0 +1,144 @@
+// The public front door (DESIGN.md D10): one spec, one Build, one
+// self-describing Open, one handle — across every index flavor.
+//
+//   IndexSpec spec;                       // what you want
+//   spec.kind = IndexKind::kStaticLvq;
+//   Result<Index> idx = Build(spec, data);            // build it
+//   idx.value().Save("/tmp/my_index");                // persist it
+//   Result<Index> back = Open("/tmp/my_index");       // reload — no
+//                                                     // metric, no params
+//
+// Open() sniffs the artifact: a "BLDY" file is a dynamic index, a
+// directory with a manifest is a sharded index, a `<prefix>.graph` +
+// `<prefix>.vecs` pair is a static bundle whose vecs magic picks the
+// storage. Version-2 artifacts embed their own metric and build params;
+// the handle they reopen into is configured exactly as the one that was
+// saved. Version-1 (pre-API) artifacts still load, using the
+// OpenOptions fallbacks.
+//
+// The Index handle is movable and type-erased. Every flavor searches
+// through the same SearchIndex seam the evaluation harness and the
+// serving engine already use; mutation (Insert/Delete/Consolidate) is
+// forwarded to the dynamic flavors and returns an Unsupported Status on
+// the rest — probe `capabilities()` to know without trying.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/spec.h"
+#include "eval/interface.h"
+#include "serve/engine.h"
+#include "util/status.h"
+
+namespace blink {
+
+/// What an Index handle can do, as a bitmask (an index that cannot Save —
+/// e.g. a registry-built baseline — still searches).
+enum : uint32_t {
+  kCapSearch = 1u << 0,       ///< SearchBatch / SearchBatchEx / MakeSearcher
+  kCapSave = 1u << 1,         ///< Save(path) round-trips through Open
+  kCapInsert = 1u << 2,       ///< Insert(vec)
+  kCapDelete = 1u << 3,       ///< Delete(id)
+  kCapConsolidate = 1u << 4,  ///< Consolidate()
+  kCapShardProbe = 1u << 5,   ///< honors RuntimeParams::nprobe_shards
+  kCapRerank = 1u << 6,       ///< two-level re-ranking (honors params.rerank)
+};
+using Capabilities = uint32_t;
+
+namespace detail {
+class IndexImpl;
+}  // namespace detail
+
+/// Movable, type-erased handle over any index flavor. A default-constructed
+/// handle is empty (operator bool is false); every other method requires a
+/// non-empty handle.
+class Index {
+ public:
+  Index();
+  explicit Index(std::unique_ptr<detail::IndexImpl> impl);
+  ~Index();
+  Index(Index&&) noexcept;
+  Index& operator=(Index&&) noexcept;
+  Index(const Index&) = delete;
+  Index& operator=(const Index&) = delete;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  // --- identity ------------------------------------------------------------
+  std::string name() const;
+  size_t size() const;  ///< live vectors (dynamic flavors exclude tombstones)
+  size_t dim() const;
+  size_t memory_bytes() const;
+  IndexKind kind() const;
+  Metric metric() const;
+  Capabilities capabilities() const;
+  bool has(Capabilities caps) const { return (capabilities() & caps) == caps; }
+  /// The (resolved) spec this index was built from or reopened with.
+  const IndexSpec& spec() const;
+  /// True when the configuration came from the artifact itself (every
+  /// Build()-made index; Open() of a version-2 artifact). False only for
+  /// reopened version-1 artifacts, which used the OpenOptions fallbacks —
+  /// the tools warn-and-ignore --metric exactly when this is true.
+  bool self_described() const;
+
+  // --- search --------------------------------------------------------------
+  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
+                   uint32_t* ids, ThreadPool* pool = nullptr) const;
+  void SearchBatchEx(MatrixViewF queries, size_t k, const RuntimeParams& params,
+                     uint32_t* ids, float* dists, BatchStats* stats,
+                     ThreadPool* pool = nullptr) const;
+  std::unique_ptr<Searcher> MakeSearcher() const;
+  /// The underlying type-erased index, for call sites that speak the
+  /// eval/interface.h seam directly (RunSweep, ServingEngine, ...). Valid
+  /// as long as the handle lives.
+  const SearchIndex& AsSearchIndex() const;
+
+  // --- persistence ---------------------------------------------------------
+  /// Saves a self-describing artifact that Open(path) reconstructs with no
+  /// further configuration. Unsupported for baseline-wrapped indices.
+  Status Save(const std::string& path) const;
+
+  // --- mutation (dynamic flavors; Unsupported Status otherwise) ------------
+  Result<uint32_t> Insert(const float* vec);
+  Status Delete(uint32_t id);
+  Status Consolidate();
+
+  // --- serving -------------------------------------------------------------
+  /// Stands up a ServingEngine over this index (searcher pool + async
+  /// micro-batching). The handle must outlive the engine.
+  std::unique_ptr<ServingEngine> Serve(const ServingOptions& options) const;
+
+ private:
+  std::unique_ptr<detail::IndexImpl> impl_;
+};
+
+/// Builds the index `spec` describes over `data`. Validates the spec,
+/// resolves defaulted fields (alpha, window), and returns a handle with
+/// kCapSave plus the kind's mutation capabilities.
+Result<Index> Build(const IndexSpec& spec, MatrixViewF data,
+                    ThreadPool* pool = nullptr);
+
+/// Wraps an arbitrary SearchIndex (e.g. a baseline) into a search-only
+/// handle — no Save, no mutation. `spec` records the configuration it was
+/// built from; the registry uses this for the non-facade baselines.
+Index WrapSearchIndex(std::unique_ptr<SearchIndex> index,
+                      const IndexSpec& spec);
+
+/// Fallback configuration for artifacts that predate the self-describing
+/// (version-2) headers. Ignored for version-2 artifacts.
+struct OpenOptions {
+  Metric fallback_metric = Metric::kL2;
+  VamanaBuildParams fallback_graph;
+  /// Capacity floor for reopened dynamic indices (applies to both format
+  /// versions; capacity is runtime provisioning, not artifact state).
+  size_t dynamic_initial_capacity = 1024;
+  bool use_huge_pages = true;
+};
+
+/// Opens any artifact Save() (or the legacy per-flavor savers) produced,
+/// sniffing the flavor from the artifact itself. See the file comment for
+/// the detection rules.
+Result<Index> Open(const std::string& path, const OpenOptions& options = {});
+
+}  // namespace blink

@@ -1,0 +1,138 @@
+#include "api/registry.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "baselines/hnsw.h"
+#include "baselines/ivf.h"
+#include "baselines/scann.h"
+#include "graph/index.h"
+
+namespace blink {
+
+namespace {
+
+struct RegistryState {
+  std::mutex mu;
+  std::map<std::string, IndexFactory> factories;
+};
+
+/// One factory per facade kind: force the kind, delegate to Build().
+IndexFactory KindFactory(IndexKind kind) {
+  return [kind](const IndexSpec& spec, MatrixViewF data, ThreadPool* pool) {
+    IndexSpec s = spec;
+    s.kind = kind;
+    return Build(s, data, pool);
+  };
+}
+
+RegistryState& Registry() {
+  static RegistryState* state = [] {
+    auto* s = new RegistryState();
+    for (IndexKind kind :
+         {IndexKind::kStaticF32, IndexKind::kStaticF16, IndexKind::kStaticLvq,
+          IndexKind::kSharded, IndexKind::kDynamicF32,
+          IndexKind::kDynamicLvq}) {
+      s->factories.emplace(KindName(kind), KindFactory(kind));
+    }
+    // Baselines, mapped onto the spec's shared fields. The paper relates
+    // graph parameters as R = 2M (Sec. 6.2), so HNSW reads M = R/2 and
+    // ef_construction from the build window.
+    s->factories.emplace(
+        "hnsw", [](const IndexSpec& spec, MatrixViewF data, ThreadPool* pool) {
+          const IndexSpec r = spec.Resolved();
+          HnswParams hp;
+          hp.M = std::max<uint32_t>(1, r.graph.graph_max_degree / 2);
+          hp.ef_construction = std::max<uint32_t>(r.graph.window_size, 2 * hp.M);
+          hp.seed = r.graph.seed;
+          auto idx = std::make_unique<HnswIndex>(data, r.metric, hp, pool);
+          return Result<Index>(WrapSearchIndex(std::move(idx), r));
+        });
+    s->factories.emplace(
+        "ivf-pq",
+        [](const IndexSpec& spec, MatrixViewF data, ThreadPool* pool) {
+          const IndexSpec r = spec.Resolved();
+          IvfPqParams ip;
+          // Square-root-ish list count, bounded for tiny datasets.
+          ip.nlist = std::max<size_t>(
+              1, std::min<size_t>(1024, data.rows / 32));
+          ip.seed = r.graph.seed;
+          auto idx = std::make_unique<IvfPqIndex>(data, r.metric, ip, pool);
+          return Result<Index>(WrapSearchIndex(std::move(idx), r));
+        });
+    s->factories.emplace(
+        "scann", [](const IndexSpec& spec, MatrixViewF data, ThreadPool* pool) {
+          const IndexSpec r = spec.Resolved();
+          ScannParams sp;  // n_leaves = 0 -> sqrt(n), the authors' default
+          sp.seed = r.graph.seed;
+          auto idx = std::make_unique<ScannIndex>(data, r.metric, sp, pool);
+          return Result<Index>(WrapSearchIndex(std::move(idx), r));
+        });
+    s->factories.emplace(
+        "og-global",
+        [](const IndexSpec& spec, MatrixViewF data,
+           ThreadPool* pool) -> Result<Index> {
+          const IndexSpec r = spec.Resolved();
+          // BuildNamed validates against spec.kind, which need not be an
+          // LVQ kind; this factory consumes the bit widths regardless, so
+          // re-check them under a kind whose validation covers them.
+          IndexSpec bits_check = r;
+          bits_check.kind = IndexKind::kStaticLvq;
+          BLINK_RETURN_NOT_OK(bits_check.Validate());
+          auto idx =
+              BuildOgGlobal(data, r.metric, r.bits1, r.bits2, r.graph, pool);
+          return WrapSearchIndex(std::move(idx), r);
+        });
+    return s;
+  }();
+  return *state;
+}
+
+}  // namespace
+
+bool RegisterIndexFactory(const std::string& name, IndexFactory factory) {
+  RegistryState& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.factories.emplace(name, std::move(factory)).second;
+}
+
+Result<Index> BuildNamed(const std::string& name, const IndexSpec& spec,
+                         MatrixViewF data, ThreadPool* pool) {
+  // The facade-kind factories re-validate through Build(); checking here
+  // covers the baseline factories too, which interpret the shared fields
+  // directly (see the extra bit-width check in og-global).
+  BLINK_RETURN_NOT_OK(spec.Validate());
+  IndexFactory factory;
+  {
+    RegistryState& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.factories.find(name);
+    if (it == reg.factories.end()) {
+      std::string msg = "no index factory named '";
+      msg += name;
+      msg += "' (registered: ";
+      bool first = true;
+      for (const auto& [k, v] : reg.factories) {
+        if (!first) msg += ", ";
+        msg += k;
+        first = false;
+      }
+      msg += ")";
+      return Status::NotFound(std::move(msg));
+    }
+    factory = it->second;  // copy so the build runs outside the lock
+  }
+  return factory(spec, data, pool);
+}
+
+std::vector<std::string> RegisteredIndexNames() {
+  RegistryState& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> names;
+  names.reserve(reg.factories.size());
+  for (const auto& [k, v] : reg.factories) names.push_back(k);
+  return names;
+}
+
+}  // namespace blink

@@ -1,0 +1,40 @@
+// Name -> factory registry over the public API, so harness sweeps (and
+// anything else that enumerates index families) can instantiate indices
+// from an IndexSpec plus a string.
+//
+// Built-in registrations cover the six facade kinds under their
+// KindName()s ("static-lvq", "sharded", ...) and the same-harness
+// baselines the paper compares against ("hnsw", "ivf-pq", "scann",
+// "og-global"); baselines come back as search-only handles (no Save).
+// Call sites can register additional factories — e.g. a bench that wants
+// a pre-tuned configuration under a short name.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/index.h"
+#include "api/spec.h"
+
+namespace blink {
+
+/// Builds an Index for `spec` over `data`. Factories interpret the spec's
+/// shared fields (metric, graph params, bits) in their own terms — e.g.
+/// HNSW reads graph_max_degree as 2M and window_size as ef_construction.
+using IndexFactory =
+    std::function<Result<Index>(const IndexSpec&, MatrixViewF, ThreadPool*)>;
+
+/// Registers `factory` under `name`. Returns false (and leaves the
+/// existing entry) when the name is already taken. Thread-safe.
+bool RegisterIndexFactory(const std::string& name, IndexFactory factory);
+
+/// Instantiates the factory registered under `name`. Unknown names return
+/// NotFound listing the registered set.
+Result<Index> BuildNamed(const std::string& name, const IndexSpec& spec,
+                         MatrixViewF data, ThreadPool* pool = nullptr);
+
+/// Sorted names of every registered factory (built-ins included).
+std::vector<std::string> RegisteredIndexNames();
+
+}  // namespace blink

@@ -1,0 +1,83 @@
+#include "api/spec.h"
+
+namespace blink {
+
+const char* KindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kStaticF32: return "static-f32";
+    case IndexKind::kStaticF16: return "static-f16";
+    case IndexKind::kStaticLvq: return "static-lvq";
+    case IndexKind::kSharded: return "sharded";
+    case IndexKind::kDynamicF32: return "dynamic-f32";
+    case IndexKind::kDynamicLvq: return "dynamic-lvq";
+  }
+  return "unknown";
+}
+
+Result<IndexKind> ParseIndexKind(const std::string& name) {
+  for (IndexKind kind :
+       {IndexKind::kStaticF32, IndexKind::kStaticF16, IndexKind::kStaticLvq,
+        IndexKind::kSharded, IndexKind::kDynamicF32, IndexKind::kDynamicLvq}) {
+    if (name == KindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown index kind '" + name +
+                                 "' (expected static-f32, static-f16, "
+                                 "static-lvq, sharded, dynamic-f32 or "
+                                 "dynamic-lvq)");
+}
+
+bool IsDynamicKind(IndexKind kind) {
+  return kind == IndexKind::kDynamicF32 || kind == IndexKind::kDynamicLvq;
+}
+
+namespace {
+
+bool UsesLvq(IndexKind kind) {
+  return kind == IndexKind::kStaticLvq || kind == IndexKind::kSharded ||
+         kind == IndexKind::kDynamicLvq;
+}
+
+}  // namespace
+
+Status IndexSpec::Validate() const {
+  if (graph.graph_max_degree == 0 || graph.graph_max_degree > 4096) {
+    return Status::InvalidArgument(
+        "graph_max_degree must be in [1, 4096], got " +
+        std::to_string(graph.graph_max_degree));
+  }
+  if (graph.window_size > (1u << 20)) {
+    return Status::InvalidArgument("window_size out of range");
+  }
+  if (graph.alpha > 16.0f) {
+    return Status::InvalidArgument("alpha out of range (> 16)");
+  }
+  if (UsesLvq(kind)) {
+    if (bits1 < 1 || bits1 > 16) {
+      return Status::InvalidArgument("bits1 must be in [1, 16], got " +
+                                     std::to_string(bits1));
+    }
+    if (bits2 < 0 || bits2 > 16) {
+      return Status::InvalidArgument("bits2 must be in [0, 16], got " +
+                                     std::to_string(bits2));
+    }
+  }
+  if (kind == IndexKind::kSharded) {
+    if (partition.num_shards == 0 || partition.num_shards > (1u << 16)) {
+      return Status::InvalidArgument("num_shards must be in [1, 65536]");
+    }
+  }
+  return Status::OK();
+}
+
+IndexSpec IndexSpec::Resolved() const {
+  IndexSpec r = *this;
+  if (r.graph.window_size == 0) {
+    r.graph.window_size = 2 * r.graph.graph_max_degree;
+  }
+  if (!(r.graph.alpha > 0.0f)) {
+    r.graph.alpha = r.metric == Metric::kL2 ? 1.2f : 0.95f;
+  }
+  return r;
+}
+
+}  // namespace blink

@@ -4,7 +4,16 @@
 // Umbrella header: pulls in the full public API. Reproduction of
 // "Similarity search in the blink of an eye with compressed indices"
 // (VLDB 2023). See README.md for a tour and DESIGN.md for the system map.
+//
+// Most applications only need the facade in src/api/ — IndexSpec,
+// Build(), Open(), the Index handle and the name->factory registry; the
+// subsystem headers below are the implementation layers it fronts.
 #pragma once
+
+// Public facade: one spec, one Build, one self-describing Open.
+#include "api/spec.h"
+#include "api/index.h"
+#include "api/registry.h"
 
 // Core quantization (the paper's contribution).
 #include "quant/scalar.h"      // uniform scalar quantization (Eq. 1)

@@ -170,6 +170,8 @@ class DynamicGraphIndex {
   }
 
   const Storage& storage() const { return storage_; }
+  /// The configuration the index runs with (metric, alpha, build window).
+  const Options& options() const { return opts_; }
 
   /// Direct row access — float32 storage only (compressed storages have no
   /// materialized float row; use DecodeVector).

@@ -20,12 +20,41 @@ using binio::WritePod;
 constexpr uint32_t kGraphMagic = 0x47414C42u;  // "BLAG"
 constexpr uint32_t kLvqMagic = 0x51414C42u;    // "BLAQ"
 constexpr uint32_t kLvq2Magic = 0x32414C42u;   // "BLA2"
+constexpr uint32_t kF32Magic = 0x46414C42u;    // "BLAF"
+constexpr uint32_t kF16Magic = 0x48414C42u;    // "BLAH"
 constexpr uint32_t kDynMagic = 0x59444C42u;    // "BLDY"
 constexpr uint32_t kVersion = 1;
+// Version 2 appends the IndexMeta block (graph) or the extended header
+// fields (dynamic); version-1 files remain loadable.
+constexpr uint32_t kVersionMeta = 2;
 
 // Storage kind tags of the dynamic-index container.
 constexpr uint32_t kDynKindF32 = 0;
 constexpr uint32_t kDynKindLvq = 1;
+
+uint32_t MetricToWire(Metric m) {
+  return m == Metric::kInnerProduct ? 1u : 0u;
+}
+
+Status MetricFromWire(uint32_t w, Metric* out, const std::string& path) {
+  if (w > 1) return Status::IOError(path + ": unknown metric tag");
+  *out = w == 1 ? Metric::kInnerProduct : Metric::kL2;
+  return Status::OK();
+}
+
+/// Bytes between the stream position and end-of-file, so loaders can
+/// reject a corrupt header whose counts imply more payload than the file
+/// holds *before* sizing any allocation from them (cf. the manifest
+/// loader's file-size check). 0 on a non-seekable stream keeps the
+/// check permissive there (plain files are the only real input).
+uint64_t RemainingBytes(FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0) return 0;
+  if (std::fseek(f, 0, SEEK_END) != 0) return 0;
+  const long end = std::ftell(f);
+  std::fseek(f, pos, SEEK_SET);
+  return end > pos ? static_cast<uint64_t>(end - pos) : 0;
+}
 
 Status SaveLvqTo(FILE* f, const LvqDataset& ds, const std::string& path) {
   const uint64_t n = ds.size(), d = ds.dim();
@@ -51,8 +80,16 @@ Result<LvqDataset> LoadLvqFrom(FILE* f, const std::string& path,
     return Status::IOError(path + ": unsupported LVQ version");
   }
   if (!ReadPod(f, &n) || !ReadPod(f, &d) || !ReadPod(f, &bits) ||
-      !ReadPod(f, &padding) || bits < 1 || bits > 16) {
+      !ReadPod(f, &padding) || bits < 1 || bits > 16 || d == 0 ||
+      d > (1u << 20) || padding > (1u << 20)) {
     return Status::IOError(path + ": corrupt LVQ header");
+  }
+  // The payload is d mean floats + n strided rows; a header that implies
+  // more than the file holds must fail like any other corruption, not
+  // drive the allocations below into OOM.
+  const uint64_t remaining = RemainingBytes(f);
+  if (d * sizeof(float) > remaining || n > remaining) {
+    return Status::IOError(path + ": LVQ header disagrees with file size");
   }
   std::vector<float> mean(d);
   if (!ReadAll(f, mean.data(), d * sizeof(float))) {
@@ -61,6 +98,9 @@ Result<LvqDataset> LoadLvqFrom(FILE* f, const std::string& path,
   const size_t raw =
       LvqDataset::kHeaderBytes + PackedBytes(d, static_cast<int>(bits));
   const size_t stride = LvqPaddedStride(raw, padding);
+  if (n * stride > remaining) {
+    return Status::IOError(path + ": LVQ header disagrees with file size");
+  }
   std::vector<uint8_t> blob(n * stride);
   if (!ReadAll(f, blob.data(), blob.size())) {
     return Status::IOError(path + ": truncated LVQ payload");
@@ -70,18 +110,95 @@ Result<LvqDataset> LoadLvqFrom(FILE* f, const std::string& path,
                              use_huge_pages);
 }
 
+/// Shared (n, d) header + raw row payload of the float32/float16 formats.
+Status SaveRawVecs(const std::string& path, uint32_t magic, uint64_t n,
+                   uint64_t d, const void* rows, size_t row_bytes) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  if (!WritePod(f.get(), magic) || !WritePod(f.get(), kVersion) ||
+      !WritePod(f.get(), n) || !WritePod(f.get(), d) ||
+      !WriteAll(f.get(), rows, n * row_bytes)) {
+    return Status::IOError(path + ": vector write failed");
+  }
+  return Status::OK();
+}
+
+Status LoadRawVecs(const std::string& path, uint32_t magic,
+                   size_t elem_bytes, uint64_t* n, uint64_t* d,
+                   std::vector<uint8_t>* payload) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  uint32_t got = 0, version = 0;
+  if (!ReadPod(f.get(), &got) || got != magic) {
+    return Status::IOError(path + ": bad vecs magic");
+  }
+  if (!ReadPod(f.get(), &version) || version != kVersion) {
+    return Status::IOError(path + ": unsupported vecs version");
+  }
+  if (!ReadPod(f.get(), n) || !ReadPod(f.get(), d) || *d == 0 ||
+      *d > (1u << 20) || *n > (1ull << 40)) {
+    return Status::IOError(path + ": corrupt vecs header");
+  }
+  // Bound the allocation by what the file can actually hold (a forged
+  // header must fail with a Status, not an OOM).
+  if (*n * *d * elem_bytes > RemainingBytes(f.get())) {
+    return Status::IOError(path + ": vecs header disagrees with file size");
+  }
+  payload->resize(*n * *d * elem_bytes);
+  if (!ReadAll(f.get(), payload->data(), payload->size())) {
+    return Status::IOError(path + ": truncated vecs payload");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
+namespace detail {
+
+Status WriteIndexMeta(std::FILE* f, const IndexMeta& meta,
+                      const std::string& path) {
+  const uint32_t metric = MetricToWire(meta.metric);
+  const uint32_t two_passes = meta.params.two_passes ? 1u : 0u;
+  if (!WritePod(f, metric) || !WritePod(f, meta.params.window_size) ||
+      !WritePod(f, meta.params.alpha) ||
+      !WritePod(f, meta.params.max_candidates) ||
+      !WritePod(f, meta.params.seed) || !WritePod(f, two_passes)) {
+    return Status::IOError(path + ": metadata write failed");
+  }
+  return Status::OK();
+}
+
+Status ReadIndexMeta(std::FILE* f, IndexMeta* meta, const std::string& path) {
+  uint32_t metric = 0, two_passes = 0;
+  if (!ReadPod(f, &metric) || !ReadPod(f, &meta->params.window_size) ||
+      !ReadPod(f, &meta->params.alpha) ||
+      !ReadPod(f, &meta->params.max_candidates) ||
+      !ReadPod(f, &meta->params.seed) || !ReadPod(f, &two_passes) ||
+      two_passes > 1 || meta->params.window_size == 0 ||
+      meta->params.window_size > (1u << 20) ||
+      !(meta->params.alpha > 0.0f) || meta->params.alpha > 16.0f) {
+    return Status::IOError(path + ": corrupt metadata block");
+  }
+  meta->params.two_passes = two_passes != 0;
+  return MetricFromWire(metric, &meta->metric, path);
+}
+
+}  // namespace detail
+
 Status SaveGraph(const std::string& path, const FlatGraph& graph,
-                 uint32_t entry_point) {
+                 uint32_t entry_point, const IndexMeta* meta) {
   File f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::IOError("cannot open " + path + " for writing");
   const uint64_t n = graph.size();
   const uint32_t R = graph.max_degree();
-  if (!WritePod(f.get(), kGraphMagic) || !WritePod(f.get(), kVersion) ||
+  const uint32_t version = meta != nullptr ? kVersionMeta : kVersion;
+  if (!WritePod(f.get(), kGraphMagic) || !WritePod(f.get(), version) ||
       !WritePod(f.get(), n) || !WritePod(f.get(), R) ||
       !WritePod(f.get(), entry_point)) {
     return Status::IOError(path + ": header write failed");
+  }
+  if (meta != nullptr) {
+    BLINK_RETURN_NOT_OK(detail::WriteIndexMeta(f.get(), *meta, path));
   }
   for (size_t i = 0; i < n; ++i) {
     const uint32_t deg = graph.degree(i);
@@ -93,7 +210,9 @@ Status SaveGraph(const std::string& path, const FlatGraph& graph,
   return Status::OK();
 }
 
-Result<BuiltGraph> LoadGraph(const std::string& path, bool use_huge_pages) {
+Result<BuiltGraph> LoadGraph(const std::string& path, bool use_huge_pages,
+                             IndexMeta* meta, bool* has_meta) {
+  if (has_meta != nullptr) *has_meta = false;
   File f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IOError("cannot open " + path);
   uint32_t magic = 0, version = 0, R = 0, entry = 0;
@@ -101,12 +220,28 @@ Result<BuiltGraph> LoadGraph(const std::string& path, bool use_huge_pages) {
   if (!ReadPod(f.get(), &magic) || magic != kGraphMagic) {
     return Status::IOError(path + ": bad graph magic");
   }
-  if (!ReadPod(f.get(), &version) || version != kVersion) {
+  if (!ReadPod(f.get(), &version) ||
+      (version != kVersion && version != kVersionMeta)) {
     return Status::IOError(path + ": unsupported graph version");
   }
   if (!ReadPod(f.get(), &n) || !ReadPod(f.get(), &R) ||
       !ReadPod(f.get(), &entry)) {
     return Status::IOError(path + ": corrupt graph header");
+  }
+  // Every adjacency row occupies at least its 4-byte degree field, so a
+  // header claiming more rows than the file could hold is corrupt — and
+  // must fail before n * R sizes the FlatGraph allocation. R gets the
+  // dynamic loader's degree bound for the same reason.
+  if (R == 0 || R > (1u << 20) ||
+      n > RemainingBytes(f.get()) / sizeof(uint32_t)) {
+    return Status::IOError(path + ": graph header disagrees with file size");
+  }
+  if (version == kVersionMeta) {
+    IndexMeta local;
+    BLINK_RETURN_NOT_OK(detail::ReadIndexMeta(f.get(), &local, path));
+    local.params.graph_max_degree = R;
+    if (meta != nullptr) *meta = local;
+    if (has_meta != nullptr) *has_meta = true;
   }
   BuiltGraph out;
   out.graph = FlatGraph(n, R, use_huge_pages);
@@ -180,10 +315,62 @@ Result<LvqDataset2> LoadLvq2(const std::string& path, bool use_huge_pages) {
                               residuals.size(), use_huge_pages);
 }
 
+Status SaveFloatVecs(const std::string& path, const FloatStorage& storage) {
+  return SaveRawVecs(path, kF32Magic, storage.size(), storage.dim(),
+                     storage.size() > 0 ? storage.row(0) : nullptr,
+                     storage.dim() * sizeof(float));
+}
+
+Result<FloatStorage> LoadFloatVecs(const std::string& path, Metric metric,
+                                   bool use_huge_pages) {
+  uint64_t n = 0, d = 0;
+  std::vector<uint8_t> payload;
+  BLINK_RETURN_NOT_OK(LoadRawVecs(path, kF32Magic, sizeof(float), &n, &d,
+                                  &payload));
+  // One transient payload copy before the arena takes over — the same 2x
+  // peak as the LVQ loaders' FromRaw path.
+  MatrixViewF view(reinterpret_cast<const float*>(payload.data()), n, d);
+  return FloatStorage(view, metric, use_huge_pages);
+}
+
+Status SaveF16Vecs(const std::string& path, const F16Storage& storage) {
+  return SaveRawVecs(path, kF16Magic, storage.size(), storage.dim(),
+                     storage.size() > 0 ? storage.row(0) : nullptr,
+                     storage.dim() * sizeof(Float16));
+}
+
+Result<F16Storage> LoadF16Vecs(const std::string& path, Metric metric,
+                               bool use_huge_pages) {
+  uint64_t n = 0, d = 0;
+  std::vector<uint8_t> payload;
+  BLINK_RETURN_NOT_OK(LoadRawVecs(path, kF16Magic, sizeof(Float16), &n, &d,
+                                  &payload));
+  return F16Storage(reinterpret_cast<const Float16*>(payload.data()), n, d,
+                    metric, use_huge_pages);
+}
+
+Result<VecsEncoding> PeekVecsEncoding(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  uint32_t magic = 0;
+  if (!ReadPod(f.get(), &magic)) {
+    return Status::IOError(path + ": truncated vecs file");
+  }
+  switch (magic) {
+    case kLvqMagic: return VecsEncoding::kLvq1;
+    case kLvq2Magic: return VecsEncoding::kLvq2;
+    case kF32Magic: return VecsEncoding::kFloat32;
+    case kF16Magic: return VecsEncoding::kFloat16;
+    default: return Status::IOError(path + ": unrecognized vecs magic");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Dynamic index bundles ("BLDY"): one file holding the storage rows, the
 // tombstone flags, the free-slot list (recycling order is state — it
 // determines the ids future inserts receive) and the adjacency rows.
+// Version 2 extends the header with metric/alpha/build_window so the file
+// reloads without caller configuration.
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -195,13 +382,19 @@ struct DynHeader {
   uint64_t num_deleted = 0;
   uint32_t entry = 0;
   uint32_t max_degree = 0;
+  // Version-2 fields.
+  bool has_meta = false;
+  Metric metric = Metric::kL2;
+  float alpha = 1.2f;
+  uint32_t build_window = 64;
 };
 
 Status WriteDynHeader(FILE* f, const DynHeader& h, const std::string& path) {
-  if (!WritePod(f, kDynMagic) || !WritePod(f, kVersion) ||
+  if (!WritePod(f, kDynMagic) || !WritePod(f, kVersionMeta) ||
       !WritePod(f, h.kind) || !WritePod(f, h.dim) || !WritePod(f, h.n) ||
       !WritePod(f, h.num_deleted) || !WritePod(f, h.entry) ||
-      !WritePod(f, h.max_degree)) {
+      !WritePod(f, h.max_degree) || !WritePod(f, MetricToWire(h.metric)) ||
+      !WritePod(f, h.alpha) || !WritePod(f, h.build_window)) {
     return Status::IOError(path + ": dynamic header write failed");
   }
   return Status::OK();
@@ -213,7 +406,8 @@ Result<DynHeader> ReadDynHeader(FILE* f, const std::string& path) {
   if (!ReadPod(f, &magic) || magic != kDynMagic) {
     return Status::IOError(path + ": bad dynamic-index magic");
   }
-  if (!ReadPod(f, &version) || version != kVersion) {
+  if (!ReadPod(f, &version) ||
+      (version != kVersion && version != kVersionMeta)) {
     return Status::IOError(path + ": unsupported dynamic-index version");
   }
   // Sanity bounds keep a corrupt header from driving the size arithmetic
@@ -226,6 +420,17 @@ Result<DynHeader> ReadDynHeader(FILE* f, const std::string& path) {
       h.max_degree == 0 || h.max_degree > kMaxDegree ||
       h.num_deleted > h.n || h.n > (1ull << 40)) {
     return Status::IOError(path + ": corrupt dynamic-index header");
+  }
+  if (version == kVersionMeta) {
+    uint32_t metric = 0;
+    if (!ReadPod(f, &metric) || !ReadPod(f, &h.alpha) ||
+        !ReadPod(f, &h.build_window) || !(h.alpha > 0.0f) ||
+        h.alpha > 16.0f || h.build_window == 0 ||
+        h.build_window > (1u << 20)) {
+      return Status::IOError(path + ": corrupt dynamic-index metadata");
+    }
+    BLINK_RETURN_NOT_OK(MetricFromWire(metric, &h.metric, path));
+    h.has_meta = true;
   }
   if (h.entry != DynamicIndex::kNoEntry && h.entry >= h.n) {
     return Status::IOError(path + ": entry point out of range");
@@ -316,7 +521,34 @@ size_t RestoredCapacity(const DynHeader& h, const DynamicOptions& opts) {
   return std::max<size_t>(std::max<size_t>(h.n, opts.initial_capacity), 16);
 }
 
+/// Version-2 headers override the caller's configuration: the artifact is
+/// the single source of truth for metric / alpha / build window.
+void ApplyDynMeta(const DynHeader& h, DynamicOptions* opts) {
+  opts->graph_max_degree = h.max_degree;
+  if (h.has_meta) {
+    opts->metric = h.metric;
+    opts->alpha = h.alpha;
+    opts->build_window = h.build_window;
+  }
+}
+
 }  // namespace
+
+bool IsDynamicIndexFile(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  uint32_t magic = 0;
+  return ReadPod(f.get(), &magic) && magic == kDynMagic;
+}
+
+Result<DynamicKind> PeekDynamicKind(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  Result<DynHeader> header = ReadDynHeader(f.get(), path);
+  if (!header.ok()) return header.status();
+  return header.value().kind == kDynKindLvq ? DynamicKind::kLvq
+                                            : DynamicKind::kF32;
+}
 
 Status SaveDynamic(const std::string& path, const DynamicIndex& index) {
   File f(std::fopen(path.c_str(), "wb"));
@@ -328,6 +560,9 @@ Status SaveDynamic(const std::string& path, const DynamicIndex& index) {
   h.num_deleted = index.num_deleted();
   h.entry = index.entry_point();
   h.max_degree = index.max_degree();
+  h.metric = index.options().metric;
+  h.alpha = index.options().alpha;
+  h.build_window = index.options().build_window;
   BLINK_RETURN_NOT_OK(WriteDynHeader(f.get(), h, path));
   if (!WriteAll(f.get(), index.storage().raw_rows(),
                 h.n * h.dim * sizeof(float))) {
@@ -347,6 +582,9 @@ Status SaveDynamic(const std::string& path, const DynamicLvqIndex& index) {
   h.num_deleted = index.num_deleted();
   h.entry = index.entry_point();
   h.max_degree = index.max_degree();
+  h.metric = index.options().metric;
+  h.alpha = index.options().alpha;
+  h.build_window = index.options().build_window;
   BLINK_RETURN_NOT_OK(WriteDynHeader(f.get(), h, path));
   const uint32_t bits1 = static_cast<uint32_t>(ds.bits1());
   const uint32_t bits2 = static_cast<uint32_t>(ds.bits2());
@@ -362,7 +600,8 @@ Status SaveDynamic(const std::string& path, const DynamicLvqIndex& index) {
 }
 
 Result<std::unique_ptr<DynamicIndex>> LoadDynamicF32(const std::string& path,
-                                                     DynamicOptions opts) {
+                                                     DynamicOptions opts,
+                                                     bool* self_described) {
   File f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IOError("cannot open " + path);
   Result<DynHeader> header = ReadDynHeader(f.get(), path);
@@ -371,7 +610,13 @@ Result<std::unique_ptr<DynamicIndex>> LoadDynamicF32(const std::string& path,
   if (h.kind != kDynKindF32) {
     return Status::InvalidArgument(path + ": not a float32 dynamic index");
   }
-  opts.graph_max_degree = h.max_degree;
+  ApplyDynMeta(h, &opts);
+  if (self_described != nullptr) *self_described = h.has_meta;
+  // Rows + per-slot state must fit in the file before h.n sizes any
+  // allocation (forged headers fail with a Status, not an OOM).
+  if (h.n * h.dim * sizeof(float) > RemainingBytes(f.get())) {
+    return Status::IOError(path + ": dynamic header disagrees with file size");
+  }
   const size_t capacity = RestoredCapacity(h, opts);
   DynamicFloatStorage storage(h.dim, opts.metric);
   storage.Grow(capacity);
@@ -392,7 +637,7 @@ Result<std::unique_ptr<DynamicIndex>> LoadDynamicF32(const std::string& path,
 }
 
 Result<std::unique_ptr<DynamicLvqIndex>> LoadDynamicLvq(
-    const std::string& path, DynamicOptions opts) {
+    const std::string& path, DynamicOptions opts, bool* self_described) {
   File f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IOError("cannot open " + path);
   Result<DynHeader> header = ReadDynHeader(f.get(), path);
@@ -401,7 +646,8 @@ Result<std::unique_ptr<DynamicLvqIndex>> LoadDynamicLvq(
   if (h.kind != kDynKindLvq) {
     return Status::InvalidArgument(path + ": not an LVQ dynamic index");
   }
-  opts.graph_max_degree = h.max_degree;
+  ApplyDynMeta(h, &opts);
+  if (self_described != nullptr) *self_described = h.has_meta;
   uint32_t bits1 = 0, bits2 = 0;
   uint64_t padding = 0;
   if (!ReadPod(f.get(), &bits1) || !ReadPod(f.get(), &bits2) ||
@@ -418,9 +664,14 @@ Result<std::unique_ptr<DynamicLvqIndex>> LoadDynamicLvq(
     return Status::IOError(path + ": truncated mean");
   }
   DynamicLvqStorage storage(h.dim, opts.metric, std::move(lvq_opts));
+  const DynamicLvqDataset& ds = storage.dataset();
+  // Same forged-header allocation bound as the float32 path, checked
+  // before Grow() sizes the arena from h.n.
+  if (h.n * ds.stride() > RemainingBytes(f.get())) {
+    return Status::IOError(path + ": dynamic header disagrees with file size");
+  }
   const size_t capacity = RestoredCapacity(h, opts);
   storage.Grow(capacity);
-  const DynamicLvqDataset& ds = storage.dataset();
   std::vector<uint8_t> blob(h.n * ds.stride());
   std::vector<uint8_t> residuals(h.n * ds.residual_stride());
   if (!ReadAll(f.get(), blob.data(), blob.size()) ||
@@ -439,35 +690,69 @@ Result<std::unique_ptr<DynamicLvqIndex>> LoadDynamicLvq(
                                   h.entry);
 }
 
-Status SaveOgLvqIndex(const std::string& prefix,
-                      const VamanaIndex<LvqStorage>& index) {
+// ---------------------------------------------------------------------------
+// Static index bundles: <prefix>.graph (version 2, self-describing) +
+// <prefix>.vecs in the storage's native payload format.
+// ---------------------------------------------------------------------------
+
+Status SaveIndexBundle(const std::string& prefix,
+                       const VamanaIndex<LvqStorage>& index) {
   if (index.storage().has_second_level()) {
     BLINK_RETURN_NOT_OK(SaveLvq2(prefix + ".vecs", *index.storage().level2()));
   } else {
     BLINK_RETURN_NOT_OK(SaveLvq(prefix + ".vecs", index.storage().level1()));
   }
-  return SaveGraph(prefix + ".graph", index.graph(), index.entry_point());
+  const IndexMeta meta{index.storage().metric(), index.build_params()};
+  return SaveGraph(prefix + ".graph", index.graph(), index.entry_point(),
+                   &meta);
+}
+
+Status SaveIndexBundle(const std::string& prefix,
+                       const VamanaIndex<FloatStorage>& index) {
+  BLINK_RETURN_NOT_OK(SaveFloatVecs(prefix + ".vecs", index.storage()));
+  const IndexMeta meta{index.storage().metric(), index.build_params()};
+  return SaveGraph(prefix + ".graph", index.graph(), index.entry_point(),
+                   &meta);
+}
+
+Status SaveIndexBundle(const std::string& prefix,
+                       const VamanaIndex<F16Storage>& index) {
+  BLINK_RETURN_NOT_OK(SaveF16Vecs(prefix + ".vecs", index.storage()));
+  const IndexMeta meta{index.storage().metric(), index.build_params()};
+  return SaveGraph(prefix + ".graph", index.graph(), index.entry_point(),
+                   &meta);
+}
+
+Status SaveOgLvqIndex(const std::string& prefix,
+                      const VamanaIndex<LvqStorage>& index) {
+  return SaveIndexBundle(prefix, index);
 }
 
 Result<std::unique_ptr<VamanaIndex<LvqStorage>>> LoadOgLvqIndex(
     const std::string& prefix, Metric metric, const VamanaBuildParams& bp,
     bool use_huge_pages) {
-  Result<BuiltGraph> graph = LoadGraph(prefix + ".graph", use_huge_pages);
+  IndexMeta meta;
+  bool has_meta = false;
+  Result<BuiltGraph> graph =
+      LoadGraph(prefix + ".graph", use_huge_pages, &meta, &has_meta);
   if (!graph.ok()) return graph.status();
-  // The on-disk graph knows its own degree; don't let the caller's default
-  // build params misreport it (e.g. in name()).
-  VamanaBuildParams actual = bp;
+  // A version-2 graph header carries the build-time configuration; the
+  // caller's values are only the fallback for version-1 artifacts. Either
+  // way the on-disk graph knows its own degree — don't let the caller's
+  // defaults misreport it (e.g. in name()).
+  VamanaBuildParams actual = has_meta ? meta.params : bp;
   actual.graph_max_degree = graph.value().graph.max_degree();
+  const Metric actual_metric = has_meta ? meta.metric : metric;
   // Try two-level first, fall back to one-level.
   Result<LvqDataset2> two = LoadLvq2(prefix + ".vecs", use_huge_pages);
   if (two.ok()) {
-    LvqStorage storage(std::move(two).value(), metric);
+    LvqStorage storage(std::move(two).value(), actual_metric);
     return std::make_unique<VamanaIndex<LvqStorage>>(
         std::move(storage), std::move(graph).value(), actual);
   }
   Result<LvqDataset> one = LoadLvq(prefix + ".vecs", use_huge_pages);
   if (!one.ok()) return one.status();
-  LvqStorage storage(std::move(one).value(), metric);
+  LvqStorage storage(std::move(one).value(), actual_metric);
   return std::make_unique<VamanaIndex<LvqStorage>>(
       std::move(storage), std::move(graph).value(), actual);
 }

@@ -1,12 +1,27 @@
-// Index persistence: save/load for flat graphs, LVQ datasets and complete
-// OG-LVQ index bundles.
+// Index persistence: save/load for flat graphs, vector datasets (LVQ,
+// float32, float16) and complete index bundles.
 //
 // Production deployments build once and serve many times; the paper's
 // Table 1 is precisely about how expensive construction is. All formats are
 // little-endian, versioned, and streamed through plain stdio (no mmap
 // dependence), with the same "BLNK" magic family as util/io.h.
+//
+// Format versions (DESIGN.md D10 has the full table):
+//   graph "BLAG"     v1: header + adjacency.
+//                    v2: v1 + an IndexMeta block (metric + build params),
+//                        so the artifact is self-describing.
+//   vecs  "BLAQ"/"BLA2"  LVQ-B / LVQ-B1xB2 payloads (v1, unchanged).
+//         "BLAF"/"BLAH"  float32 / float16 payloads (new with the API
+//                        layer; static bundles are no longer LVQ-only).
+//   dynamic "BLDY"   v1: header + rows + tombstones + free list + graph.
+//                    v2: header additionally carries metric/alpha/window.
+//   sharded manifest "BLSH" — see shard/serialize.h (v2 adds IndexMeta).
+//
+// Version-1 artifacts remain loadable forever; the loaders fall back to
+// caller-supplied configuration exactly as the pre-v2 API required.
 #pragma once
 
+#include <cstdio>
 #include <memory>
 #include <string>
 
@@ -20,13 +35,30 @@
 
 namespace blink {
 
-/// Saves a built graph (adjacency + entry point).
-Status SaveGraph(const std::string& path, const FlatGraph& graph,
-                 uint32_t entry_point);
+/// Build-time configuration embedded in version-2 artifacts, so Open()
+/// can reconstruct an index without the caller re-supplying the metric or
+/// the build parameters.
+struct IndexMeta {
+  Metric metric = Metric::kL2;
+  VamanaBuildParams params;
+};
 
-/// Loads a graph saved with SaveGraph.
+/// Saves a built graph (adjacency + entry point). With `meta` the file is
+/// written as version 2 (self-describing); without it the legacy version-1
+/// layout is produced byte-identically (also how the back-compat test
+/// fixtures were generated).
+Status SaveGraph(const std::string& path, const FlatGraph& graph,
+                 uint32_t entry_point, const IndexMeta* meta = nullptr);
+
+/// Loads a graph saved with SaveGraph (either version). When the file is
+/// version 2, `*meta` (if non-null) receives the embedded configuration,
+/// with params.graph_max_degree set from the stored graph, and `*has_meta`
+/// is set true; version-1 files leave `*meta` untouched and `*has_meta`
+/// false.
 Result<BuiltGraph> LoadGraph(const std::string& path,
-                             bool use_huge_pages = true);
+                             bool use_huge_pages = true,
+                             IndexMeta* meta = nullptr,
+                             bool* has_meta = nullptr);
 
 /// Saves a one-level LVQ dataset (mean + per-vector blobs).
 Status SaveLvq(const std::string& path, const LvqDataset& ds);
@@ -38,34 +70,81 @@ Status SaveLvq2(const std::string& path, const LvqDataset2& ds);
 Result<LvqDataset2> LoadLvq2(const std::string& path,
                              bool use_huge_pages = true);
 
-/// Saves a complete OG-LVQ index as `<prefix>.graph` + `<prefix>.vecs`.
-/// Only one-level LvqStorage indices are currently supported for the
-/// bundle (the configuration the paper ships as its default).
+/// Saves / loads a full-precision float32 vector payload ("BLAF").
+Status SaveFloatVecs(const std::string& path, const FloatStorage& storage);
+Result<FloatStorage> LoadFloatVecs(const std::string& path, Metric metric,
+                                   bool use_huge_pages = true);
+
+/// Saves / loads a float16 vector payload ("BLAH").
+Status SaveF16Vecs(const std::string& path, const F16Storage& storage);
+Result<F16Storage> LoadF16Vecs(const std::string& path, Metric metric,
+                               bool use_huge_pages = true);
+
+/// The storage encoding of a `.vecs` file, sniffed from its magic — how
+/// Open() decides which static flavor to reconstruct.
+enum class VecsEncoding { kLvq1, kLvq2, kFloat32, kFloat16 };
+Result<VecsEncoding> PeekVecsEncoding(const std::string& path);
+
+/// Saves a complete static index as `<prefix>.graph` + `<prefix>.vecs`.
+/// The graph file embeds the metric and build params (version 2), so the
+/// bundle reloads without configuration.
+Status SaveIndexBundle(const std::string& prefix,
+                       const VamanaIndex<LvqStorage>& index);
+Status SaveIndexBundle(const std::string& prefix,
+                       const VamanaIndex<FloatStorage>& index);
+Status SaveIndexBundle(const std::string& prefix,
+                       const VamanaIndex<F16Storage>& index);
+
+/// Legacy name for the LVQ bundle save (now writes version 2).
 Status SaveOgLvqIndex(const std::string& prefix,
                       const VamanaIndex<LvqStorage>& index);
 
-/// Loads a bundle saved with SaveOgLvqIndex. `metric` and the build params
-/// are not serialized (they are configuration, not state); pass the values
-/// used at build time.
+/// Loads an LVQ bundle. `metric` and `bp` are fallbacks for version-1
+/// artifacts; a version-2 graph header overrides both (the artifact is the
+/// single source of truth for its own configuration).
 Result<std::unique_ptr<VamanaIndex<LvqStorage>>> LoadOgLvqIndex(
     const std::string& prefix, Metric metric, const VamanaBuildParams& bp,
     bool use_huge_pages = true);
 
+/// True when `path` is a dynamic-index ("BLDY") file.
+bool IsDynamicIndexFile(const std::string& path);
+
+/// Storage kind of a BLDY file without loading the payload.
+enum class DynamicKind { kF32, kLvq };
+Result<DynamicKind> PeekDynamicKind(const std::string& path);
+
 /// Saves a dynamic index (storage rows, tombstone flags, free-slot list,
-/// adjacency, entry point) as one file. The caller must guarantee no
+/// adjacency, entry point) as one file, version 2: the header embeds the
+/// metric, pruning alpha and build window. The caller must guarantee no
 /// concurrent writer for the duration of the call; concurrent readers are
 /// fine. Both storages share the "BLDY" container, tagged by encoding.
 Status SaveDynamic(const std::string& path, const DynamicIndex& index);
 Status SaveDynamic(const std::string& path, const DynamicLvqIndex& index);
 
-/// Loads a dynamic index saved with SaveDynamic. `opts` supplies the
-/// configuration that is not serialized (metric, alpha, build window,
-/// initial_capacity floor); graph_max_degree comes from the file. The
-/// loader checks that the file's encoding matches the requested index
-/// flavor (float32 vs LVQ).
-Result<std::unique_ptr<DynamicIndex>> LoadDynamicF32(const std::string& path,
-                                                     DynamicOptions opts);
-Result<std::unique_ptr<DynamicLvqIndex>> LoadDynamicLvq(const std::string& path,
-                                                        DynamicOptions opts);
+/// Loads a dynamic index saved with SaveDynamic. For version-2 files the
+/// metric/alpha/build_window come from the header (opts supplies only the
+/// initial_capacity floor); version-1 files take all of `opts` as-is.
+/// graph_max_degree always comes from the file. The loader checks that the
+/// file's encoding matches the requested index flavor (float32 vs LVQ).
+/// `*self_described` (if non-null) reports whether the file carried its
+/// own configuration.
+Result<std::unique_ptr<DynamicIndex>> LoadDynamicF32(
+    const std::string& path, DynamicOptions opts,
+    bool* self_described = nullptr);
+Result<std::unique_ptr<DynamicLvqIndex>> LoadDynamicLvq(
+    const std::string& path, DynamicOptions opts,
+    bool* self_described = nullptr);
+
+namespace detail {
+
+/// The IndexMeta wire block shared by the graph (v2) and sharded-manifest
+/// (v2) headers: metric u32, window u32, alpha f32, max_candidates u32,
+/// seed u64, two_passes u32. graph_max_degree is not part of the block —
+/// every container already records it.
+Status WriteIndexMeta(std::FILE* f, const IndexMeta& meta,
+                      const std::string& path);
+Status ReadIndexMeta(std::FILE* f, IndexMeta* meta, const std::string& path);
+
+}  // namespace detail
 
 }  // namespace blink

@@ -127,8 +127,17 @@ class F16Storage {
       const float* src = data.row(i);
       for (size_t j = 0; j < d_; ++j) dst[j] = Float16(src[j]);
     }
-    l2_ = simd::GetL2F16(d_);
-    ip_ = simd::GetIpF16(d_);
+    Init();
+  }
+
+  /// Adopts already-encoded half rows (the deserialization path — avoids
+  /// a full-size float32 intermediary).
+  F16Storage(const Float16* rows, size_t n, size_t d, Metric metric,
+             bool use_huge_pages = true)
+      : n_(n), d_(d), metric_(metric) {
+    blob_ = Arena(n_ * d_ * sizeof(Float16), use_huge_pages);
+    std::memcpy(blob_.data(), rows, n_ * d_ * sizeof(Float16));
+    Init();
   }
 
   size_t size() const { return n_; }
@@ -166,6 +175,11 @@ class F16Storage {
   }
 
  private:
+  void Init() {
+    l2_ = simd::GetL2F16(d_);
+    ip_ = simd::GetIpF16(d_);
+  }
+
   Float16* row_mut(size_t i) {
     return reinterpret_cast<Float16*>(blob_.data()) + i * d_;
   }
@@ -369,8 +383,14 @@ class GlobalQuantStorage {
   Metric metric() const { return metric_; }
   size_t memory_bytes() const { return ds_.memory_bytes(); }
   std::string encoding_name_str() const {
-    std::string s = "global-" + std::to_string(ds_.bits());
-    if (ds_.bits2() > 0) s += "x" + std::to_string(ds_.bits2());
+    // Built with += (not operator+ chains): GCC 12's -Wrestrict trips a
+    // false positive on `const char* + std::string&&` at -O2.
+    std::string s = "global-";
+    s += std::to_string(ds_.bits());
+    if (ds_.bits2() > 0) {
+      s += "x";
+      s += std::to_string(ds_.bits2());
+    }
     return s;
   }
   const char* encoding_name() const {

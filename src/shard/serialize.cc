@@ -19,6 +19,9 @@ using binio::WritePod;
 
 constexpr uint32_t kManifestMagic = 0x48534C42u;  // "BLSH"
 constexpr uint32_t kManifestVersion = 1;
+// Version 2 inserts the IndexMeta block (metric + graph build params)
+// between the fixed header fields and the centroid payload.
+constexpr uint32_t kManifestVersionMeta = 2;
 
 std::string ShardPrefix(const std::string& dir, size_t s) {
   char buf[32];
@@ -52,12 +55,16 @@ Status SaveShardedIndex(const std::string& dir, const ShardedIndex& index) {
   const uint32_t bits1 = static_cast<uint32_t>(index.bits1());
   const uint32_t bits2 = static_cast<uint32_t>(index.bits2());
   if (!WritePod(f.get(), kManifestMagic) ||
-      !WritePod(f.get(), kManifestVersion) || !WritePod(f.get(), S) ||
+      !WritePod(f.get(), kManifestVersionMeta) || !WritePod(f.get(), S) ||
       !WritePod(f.get(), n) || !WritePod(f.get(), d) ||
-      !WritePod(f.get(), bits1) || !WritePod(f.get(), bits2) ||
-      !WriteAll(f.get(), part.centroids.data(),
-                part.centroids.size() * sizeof(float))) {
+      !WritePod(f.get(), bits1) || !WritePod(f.get(), bits2)) {
     return Status::IOError(path + ": manifest header write failed");
+  }
+  const IndexMeta meta{index.metric(), index.build_params()};
+  BLINK_RETURN_NOT_OK(detail::WriteIndexMeta(f.get(), meta, path));
+  if (!WriteAll(f.get(), part.centroids.data(),
+                part.centroids.size() * sizeof(float))) {
+    return Status::IOError(path + ": manifest centroid write failed");
   }
   for (uint64_t s = 0; s < S; ++s) {
     const auto& members = part.shard_to_global[s];
@@ -76,7 +83,8 @@ Status SaveShardedIndex(const std::string& dir, const ShardedIndex& index) {
 
 Result<std::unique_ptr<ShardedIndex>> LoadShardedIndex(
     const std::string& dir, Metric metric, const VamanaBuildParams& bp,
-    bool use_huge_pages) {
+    bool use_huge_pages, bool* self_described) {
+  if (self_described != nullptr) *self_described = false;
   const std::string path = ManifestPath(dir);
   File f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IOError("cannot open " + path);
@@ -85,13 +93,24 @@ Result<std::unique_ptr<ShardedIndex>> LoadShardedIndex(
   if (!ReadPod(f.get(), &magic) || magic != kManifestMagic) {
     return Status::IOError(path + ": bad manifest magic");
   }
-  if (!ReadPod(f.get(), &version) || version != kManifestVersion) {
+  if (!ReadPod(f.get(), &version) ||
+      (version != kManifestVersion && version != kManifestVersionMeta)) {
     return Status::IOError(path + ": unsupported manifest version");
   }
   if (!ReadPod(f.get(), &S) || !ReadPod(f.get(), &n) || !ReadPod(f.get(), &d) ||
       !ReadPod(f.get(), &bits1) || !ReadPod(f.get(), &bits2) || S == 0 ||
       d == 0) {
     return Status::IOError(path + ": corrupt manifest header");
+  }
+  // A version-2 manifest overrides the caller's fallback configuration.
+  Metric actual_metric = metric;
+  VamanaBuildParams actual_bp = bp;
+  if (version == kManifestVersionMeta) {
+    IndexMeta meta;
+    BLINK_RETURN_NOT_OK(detail::ReadIndexMeta(f.get(), &meta, path));
+    actual_metric = meta.metric;
+    actual_bp = meta.params;
+    if (self_described != nullptr) *self_described = true;
   }
   // Bound every allocation below by what the file could actually hold: the
   // manifest stores S*d centroid floats and n member ids, so corrupt header
@@ -136,8 +155,8 @@ Result<std::unique_ptr<ShardedIndex>> LoadShardedIndex(
   for (uint64_t s = 0; s < S; ++s) {
     const size_t m = part.shard_to_global[s].size();
     if (m == 0) continue;
-    auto shard =
-        LoadOgLvqIndex(ShardPrefix(dir, s), metric, bp, use_huge_pages);
+    auto shard = LoadOgLvqIndex(ShardPrefix(dir, s), actual_metric, actual_bp,
+                                use_huge_pages);
     if (!shard.ok()) return shard.status();
     if (shard.value()->size() != m || shard.value()->dim() != d) {
       return Status::IOError(ShardPrefix(dir, s) +
@@ -146,7 +165,7 @@ Result<std::unique_ptr<ShardedIndex>> LoadShardedIndex(
     shards[s] = std::move(shard).value();
   }
   return std::make_unique<ShardedIndex>(std::move(shards), std::move(part),
-                                        metric, static_cast<int>(bits1),
+                                        actual_metric, static_cast<int>(bits1),
                                         static_cast<int>(bits2));
 }
 

@@ -4,8 +4,10 @@
 //
 // The manifest records the partition (shard count, centroids, the
 // shard -> global-id lists that define the id remap) and the LVQ
-// configuration; like the single-index bundle, `metric` and build params
-// are configuration, not state, and are passed at load time.
+// configuration. Version 2 additionally embeds the metric and graph build
+// params (the IndexMeta block of graph/serialize.h), so a sharded artifact
+// reloads without caller configuration; version-1 manifests still load
+// with the caller's fallback values.
 #pragma once
 
 #include <memory>
@@ -20,10 +22,13 @@ namespace blink {
 /// `dir/manifest` + per-shard bundles.
 Status SaveShardedIndex(const std::string& dir, const ShardedIndex& index);
 
-/// Loads a directory written by SaveShardedIndex.
+/// Loads a directory written by SaveShardedIndex. `metric` and `bp` are
+/// fallbacks for version-1 manifests; a version-2 manifest overrides both.
+/// `*self_described` (if non-null) reports whether the manifest carried
+/// its own configuration.
 Result<std::unique_ptr<ShardedIndex>> LoadShardedIndex(
     const std::string& dir, Metric metric, const VamanaBuildParams& bp,
-    bool use_huge_pages = true);
+    bool use_huge_pages = true, bool* self_described = nullptr);
 
 /// True when `path` looks like a sharded-index directory (has a manifest).
 bool IsShardedIndexDir(const std::string& path);

@@ -67,6 +67,13 @@ class ShardedIndex : public SearchIndex {
   Metric metric() const { return metric_; }
   int bits1() const { return bits1_; }
   int bits2() const { return bits2_; }
+  /// Graph build params of the shards (from the first live shard; every
+  /// shard is built with the same configuration). Defaults when all shards
+  /// are empty.
+  VamanaBuildParams build_params() const {
+    return live_shards_.empty() ? VamanaBuildParams{}
+                                : shards_[live_shards_[0]]->build_params();
+  }
   double build_seconds() const { return build_seconds_; }
   void set_build_seconds(double s) { build_seconds_ = s; }
 

@@ -1,0 +1,313 @@
+// Open() robustness (ISSUE 5 satellite): every malformed, truncated,
+// missing or legacy artifact must come back as a descriptive Status —
+// never a crash — and the checked-in version-1 fixtures (tests/data/,
+// written by the pre-metadata serializers) must keep loading with the
+// OpenOptions fallbacks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/index.h"
+#include "graph/serialize.h"
+#include "testutil.h"
+
+namespace blink {
+namespace {
+
+using testutil::TempPathTest;
+
+const std::string kDataDir = BLINK_TEST_DATA_DIR;
+
+/// The dataset every fixture in tests/data/ was generated from (see
+/// tests/data/README.md): MakeDeepLike(64, 8, seed=7), R=8 / W=16 /
+/// alpha=1.2 / L2.
+struct V1World {
+  Dataset data = MakeDeepLike(64, 8, 7);
+  VamanaBuildParams bp;
+  V1World() {
+    bp.graph_max_degree = 8;
+    bp.window_size = 16;
+    bp.alpha = 1.2f;
+  }
+};
+
+std::vector<char> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const char* data, size_t size) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(data, static_cast<std::streamsize>(size));
+}
+
+class OpenRobustness : public TempPathTest {};
+
+// --- missing / unrecognized -------------------------------------------------
+
+TEST_F(OpenRobustness, MissingPathIsDescriptiveNotFound) {
+  auto r = Open("/nonexistent/prefix");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find(".graph"), std::string::npos)
+      << "message should say what was tried: " << r.status().ToString();
+}
+
+TEST_F(OpenRobustness, WrongMagicFileIsRejected) {
+  const std::string p = Path("wrong_magic");
+  WriteFile(p, "this is not an index artifact at all", 37);
+  auto r = Open(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("not a recognized index artifact"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(OpenRobustness, DirectoryWithoutManifestIsRejected) {
+  const std::string dir = DirPath("no_manifest");
+  std::filesystem::create_directories(dir);
+  auto r = Open(dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("manifest"), std::string::npos);
+}
+
+TEST_F(OpenRobustness, BundleWithWrongVecsMagicIsRejected) {
+  const std::string prefix = Path("bad_vecs");
+  const std::string graph_src = kDataDir + "/v1_static_lvq.graph";
+  const auto graph_bytes = ReadFile(graph_src);
+  WriteFile(prefix + ".graph", graph_bytes.data(), graph_bytes.size());
+  (void)Path("bad_vecs.graph");
+  (void)Path("bad_vecs.vecs");
+  WriteFile(prefix + ".vecs", "XXXXGARBAGE", 11);
+  auto r = Open(prefix);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(OpenRobustness, ForgedHugeVecsHeaderFailsWithoutAllocating) {
+  // A 'BLAF' header claiming n = 2^40, d = 2^20 passes the field bounds
+  // alone; the loader must reject it against the actual file size instead
+  // of attempting a 2^62-byte allocation.
+  const std::string prefix = Path("forged");
+  (void)Path("forged.graph");
+  (void)Path("forged.vecs");
+  const auto graph = ReadFile(kDataDir + "/v1_static_lvq.graph");
+  WriteFile(prefix + ".graph", graph.data(), graph.size());
+  struct __attribute__((packed)) {
+    uint32_t magic = 0x46414C42u;  // "BLAF"
+    uint32_t version = 1;
+    uint64_t n = 1ull << 40;
+    uint64_t d = 1ull << 20;
+  } hdr;
+  WriteFile(prefix + ".vecs", reinterpret_cast<const char*>(&hdr),
+            sizeof(hdr));
+  auto r = Open(prefix);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("file size"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(OpenRobustness, ForgedHugeLvqRowCountFails) {
+  // Same attack on the LVQ payload: take the valid v1 vecs file and bump
+  // its row count to 2^39 without adding payload.
+  const std::string prefix = Path("forged_lvq");
+  (void)Path("forged_lvq.graph");
+  (void)Path("forged_lvq.vecs");
+  const auto graph = ReadFile(kDataDir + "/v1_static_lvq.graph");
+  WriteFile(prefix + ".graph", graph.data(), graph.size());
+  auto vecs = ReadFile(kDataDir + "/v1_static_lvq.vecs");
+  const uint64_t huge = 1ull << 39;
+  std::memcpy(vecs.data() + 8, &huge, sizeof(huge));  // n field (magic+version)
+  WriteFile(prefix + ".vecs", vecs.data(), vecs.size());
+  auto r = Open(prefix);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("file size"), std::string::npos)
+      << r.status().ToString();
+}
+
+// --- truncation -------------------------------------------------------------
+
+// Every strict prefix of a valid artifact must fail with a Status. Loading
+// byte-by-byte would be slow; probing a spread of cut points (including
+// mid-header and mid-payload) covers the decode paths.
+void ExpectTruncationsFail(const std::string& src, const std::string& dst,
+                           const OpenOptions& opts) {
+  const auto bytes = ReadFile(src);
+  ASSERT_GT(bytes.size(), 16u);
+  for (size_t cut : {size_t{0}, size_t{2}, size_t{5}, size_t{11},
+                     size_t{17}, bytes.size() / 4, bytes.size() / 2,
+                     bytes.size() - 5, bytes.size() - 1}) {
+    if (cut >= bytes.size()) continue;
+    WriteFile(dst, bytes.data(), cut);
+    auto r = Open(dst, opts);
+    EXPECT_FALSE(r.ok()) << src << " truncated to " << cut
+                         << " bytes unexpectedly loaded";
+  }
+}
+
+TEST_F(OpenRobustness, TruncatedDynamicFileFails) {
+  ExpectTruncationsFail(kDataDir + "/v1_dynamic_lvq.bldy",
+                        Path("trunc_dyn"), {});
+}
+
+TEST_F(OpenRobustness, TruncatedGraphFails) {
+  const std::string prefix = Path("trunc_static");
+  (void)Path("trunc_static.graph");
+  (void)Path("trunc_static.vecs");
+  const auto vecs = ReadFile(kDataDir + "/v1_static_lvq.vecs");
+  WriteFile(prefix + ".vecs", vecs.data(), vecs.size());
+  ExpectTruncationsFail(kDataDir + "/v1_static_lvq.graph", prefix + ".graph",
+                        {});
+}
+
+TEST_F(OpenRobustness, TruncatedVecsFails) {
+  const std::string prefix = Path("trunc_vecs");
+  (void)Path("trunc_vecs.graph");
+  (void)Path("trunc_vecs.vecs");
+  const auto graph = ReadFile(kDataDir + "/v1_static_lvq.graph");
+  WriteFile(prefix + ".graph", graph.data(), graph.size());
+  const auto vecs = ReadFile(kDataDir + "/v1_static_lvq.vecs");
+  for (size_t cut : {size_t{2}, size_t{9}, vecs.size() / 2,
+                     vecs.size() - 1}) {
+    WriteFile(prefix + ".vecs", vecs.data(), cut);
+    auto r = Open(prefix);
+    EXPECT_FALSE(r.ok()) << "vecs truncated to " << cut;
+  }
+}
+
+TEST_F(OpenRobustness, TruncatedManifestFails) {
+  const std::string dir = DirPath("trunc_manifest");
+  std::filesystem::create_directories(dir);
+  const auto manifest = ReadFile(kDataDir + "/v1_sharded/manifest");
+  for (size_t cut : {size_t{2}, size_t{9}, size_t{21}, manifest.size() / 2,
+                     manifest.size() - 1}) {
+    WriteFile(dir + "/manifest", manifest.data(), cut);
+    auto r = Open(dir);
+    EXPECT_FALSE(r.ok()) << "manifest truncated to " << cut;
+  }
+}
+
+TEST_F(OpenRobustness, ShardedWithMissingShardFileFails) {
+  const std::string dir = DirPath("missing_shard");
+  std::filesystem::create_directories(dir);
+  for (const char* name : {"manifest", "shard_0000.graph", "shard_0000.vecs",
+                           "shard_0001.graph", "shard_0001.vecs"}) {
+    const auto bytes = ReadFile(kDataDir + "/v1_sharded/" + name);
+    WriteFile(dir + "/" + name, bytes.data(), bytes.size());
+  }
+  std::remove((dir + "/shard_0001.graph").c_str());
+  auto r = Open(dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("shard_0001"), std::string::npos)
+      << r.status().ToString();
+}
+
+// --- version-1 back-compat fixtures ----------------------------------------
+
+TEST(OpenBackCompat, V1StaticBundleLoadsWithFallbacks) {
+  const V1World w;
+  OpenOptions opts;
+  opts.fallback_metric = w.data.metric;
+  opts.fallback_graph = w.bp;
+  opts.use_huge_pages = false;
+  auto idx = Open(kDataDir + "/v1_static_lvq", opts);
+  ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+  EXPECT_FALSE(idx.value().self_described());  // v1: config came from opts
+  EXPECT_EQ(idx.value().kind(), IndexKind::kStaticLvq);
+  EXPECT_EQ(idx.value().size(), 64u);
+  EXPECT_EQ(idx.value().dim(), w.data.base.cols());
+  EXPECT_EQ(idx.value().spec().bits1, 8);
+
+  // Byte-identical to the legacy per-flavor loader on the same artifact.
+  auto legacy = LoadOgLvqIndex(kDataDir + "/v1_static_lvq", w.data.metric,
+                               w.bp, false);
+  ASSERT_TRUE(legacy.ok());
+  RuntimeParams p;
+  p.window = 16;
+  const auto via_open = testutil::SearchIds(idx.value().AsSearchIndex(),
+                                            w.data.queries, 5, p);
+  const auto via_legacy =
+      testutil::SearchIds(*legacy.value(), w.data.queries, 5, p);
+  testutil::ExpectSameIds(via_open, via_legacy, "v1 static");
+}
+
+TEST(OpenBackCompat, V1ShardedDirLoadsWithFallbacks) {
+  const V1World w;
+  OpenOptions opts;
+  opts.fallback_metric = w.data.metric;
+  opts.fallback_graph = w.bp;
+  opts.use_huge_pages = false;
+  auto idx = Open(kDataDir + "/v1_sharded", opts);
+  ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+  EXPECT_FALSE(idx.value().self_described());
+  EXPECT_EQ(idx.value().kind(), IndexKind::kSharded);
+  EXPECT_EQ(idx.value().size(), 64u);
+  EXPECT_EQ(idx.value().spec().partition.num_shards, 2u);
+  RuntimeParams p;
+  p.window = 16;
+  const auto ids = testutil::SearchIds(idx.value().AsSearchIndex(),
+                                       w.data.queries, 5, p);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_LT(ids.data()[i], 64u);
+  }
+}
+
+TEST(OpenBackCompat, V1DynamicFilesLoadWithFallbacks) {
+  const V1World w;
+  OpenOptions opts;
+  opts.fallback_metric = w.data.metric;
+  opts.fallback_graph = w.bp;
+  for (const auto& [file, kind, live] :
+       {std::tuple{"/v1_dynamic_f32.bldy", IndexKind::kDynamicF32,
+                   size_t{61}},  // 64 inserted, 3 deleted
+        std::tuple{"/v1_dynamic_lvq.bldy", IndexKind::kDynamicLvq,
+                   size_t{63}}}) {
+    auto idx = Open(kDataDir + file, opts);
+    ASSERT_TRUE(idx.ok()) << file << ": " << idx.status().ToString();
+    EXPECT_FALSE(idx.value().self_described()) << file;
+    EXPECT_EQ(idx.value().kind(), kind) << file;
+    EXPECT_EQ(idx.value().size(), live) << file;
+    EXPECT_TRUE(idx.value().has(kCapInsert | kCapDelete | kCapConsolidate));
+    // Still mutable after the reload.
+    auto id = idx.value().Insert(w.data.base.row(0));
+    ASSERT_TRUE(id.ok()) << file;
+    EXPECT_EQ(idx.value().size(), live + 1) << file;
+  }
+}
+
+// --- new-format artifacts are self-describing -------------------------------
+
+class OpenSelfDescribing : public TempPathTest {};
+
+TEST_F(OpenSelfDescribing, WrongFallbacksAreIgnoredForV2) {
+  const V1World w;
+  IndexSpec spec;
+  spec.kind = IndexKind::kStaticLvq;
+  spec.metric = w.data.metric;
+  spec.graph = w.bp;
+  auto built = Build(spec, w.data.base);
+  ASSERT_TRUE(built.ok());
+  const std::string prefix = Path("v2_static");
+  (void)Path("v2_static.graph");
+  (void)Path("v2_static.vecs");
+  ASSERT_TRUE(built.value().Save(prefix).ok());
+
+  OpenOptions wrong;
+  wrong.fallback_metric = Metric::kInnerProduct;  // must be overridden
+  wrong.fallback_graph.window_size = 999;
+  wrong.use_huge_pages = false;
+  auto back = Open(prefix, wrong);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().self_described());
+  EXPECT_EQ(back.value().metric(), Metric::kL2);
+  EXPECT_EQ(back.value().spec().graph.window_size, w.bp.window_size);
+}
+
+}  // namespace
+}  // namespace blink

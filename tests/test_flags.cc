@@ -1,0 +1,76 @@
+// The tools' shared flag plumbing (tools/flags.h): the list parser behind
+// the --window sweep flags (malformed-input satellite) and the strict
+// metric parser (garbage used to silently map to L2).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../tools/flags.h"
+
+namespace blink {
+namespace {
+
+using tools::FlagParser;
+using tools::ParseMetricFlag;
+using tools::ParseUintListFlag;
+
+TEST(ParseUintList, AcceptsSingleAndMultiple) {
+  std::vector<uint32_t> out;
+  EXPECT_TRUE(ParseUintListFlag("--window", "32", 1, 1u << 20, &out));
+  EXPECT_EQ(out, (std::vector<uint32_t>{32}));
+  EXPECT_TRUE(ParseUintListFlag("--window", "10,20,40,80", 1, 1u << 20, &out));
+  EXPECT_EQ(out, (std::vector<uint32_t>{10, 20, 40, 80}));
+  EXPECT_TRUE(ParseUintListFlag("--window", "1", 1, 1u << 20, &out));
+  EXPECT_EQ(out, (std::vector<uint32_t>{1}));
+}
+
+TEST(ParseUintList, RejectsMalformedInput) {
+  std::vector<uint32_t> out;
+  for (const char* bad : {"", ",", "10,", ",10", "10,,20", "abc", "10,abc",
+                          "abc,10", "10 20", "10, 20", "-5", "3.5", "0",
+                          "10,0", "2097153" /* > 2^20+ */}) {
+    EXPECT_FALSE(ParseUintListFlag("--window", bad, 1, 1u << 20, &out))
+        << "accepted '" << bad << "'";
+    EXPECT_TRUE(out.empty()) << "non-empty result for '" << bad << "'";
+  }
+}
+
+TEST(ParseUintList, HonorsBounds) {
+  std::vector<uint32_t> out;
+  EXPECT_TRUE(ParseUintListFlag("--f", "5,10", 5, 10, &out));
+  EXPECT_FALSE(ParseUintListFlag("--f", "4", 5, 10, &out));
+  EXPECT_FALSE(ParseUintListFlag("--f", "11", 5, 10, &out));
+  EXPECT_FALSE(ParseUintListFlag("--f", "5,11", 5, 10, &out));
+}
+
+TEST(ParseMetric, AcceptsExactlyL2AndIp) {
+  Metric m = Metric::kL2;
+  EXPECT_TRUE(ParseMetricFlag("--metric", "ip", &m));
+  EXPECT_EQ(m, Metric::kInnerProduct);
+  EXPECT_TRUE(ParseMetricFlag("--metric", "l2", &m));
+  EXPECT_EQ(m, Metric::kL2);
+}
+
+TEST(ParseMetric, RejectsEverythingElse) {
+  Metric m = Metric::kL2;
+  for (const char* bad : {"", "L2", "IP", "cosine", "l2 ", " ip", "euclidean",
+                          "0", "garbage"}) {
+    EXPECT_FALSE(ParseMetricFlag("--metric", bad, &m))
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(FlagParserLoop, DanglingFlagIsAnError) {
+  const char* argv[] = {"tool", "--a", "1", "--dangling"};
+  FlagParser p(4, const_cast<char**>(argv), 1);
+  std::string flag;
+  const char* val = nullptr;
+  ASSERT_TRUE(p.Next(&flag, &val));
+  EXPECT_EQ(flag, "--a");
+  EXPECT_FALSE(p.Next(&flag, &val));
+  EXPECT_FALSE(p.ok());
+}
+
+}  // namespace
+}  // namespace blink

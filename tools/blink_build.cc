@@ -1,21 +1,24 @@
-// blink_build — build an OG-LVQ index from an fvecs file and persist it.
+// blink_build — build an index of any flavor from an fvecs file and
+// persist it as a self-describing artifact (reload with Open(): no
+// metric or params need re-supplying).
 //
 // Usage:
 //   blink_build <base.fvecs> <out_prefix> [options]
+//     --kind K              static-lvq (default) | static-f32 | static-f16 |
+//                           sharded | dynamic-f32 | dynamic-lvq
 //     --metric l2|ip        similarity (default l2)
 //     --bits1 B             level-1 LVQ bits (default 8)
 //     --bits2 B             level-2 residual bits, 0 = one-level (default 0)
 //     --R N                 graph max out-degree (default 32)
 //     --window N            build window W (default 2R)
 //     --alpha F             pruning relaxation (default 1.2 l2 / 0.95 ip)
-//     --shards S            split into S shards, built in parallel (default 1)
+//     --shards S            shard count; S > 1 implies --kind sharded
 //     --partition kmeans|rr sharding method (default kmeans)
-// With --shards 1, writes <out_prefix>.graph and <out_prefix>.vecs (see
-// graph/serialize.h); with S > 1, writes the <out_prefix>/ directory
-// (manifest + per-shard bundles, see shard/serialize.h).
+// Static kinds write <out_prefix>.graph and <out_prefix>.vecs; sharded
+// writes the <out_prefix>/ directory (manifest + per-shard bundles);
+// dynamic kinds write the single <out_prefix> BLDY file.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "blink.h"
@@ -27,8 +30,9 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <base.fvecs> <out_prefix> [--metric l2|ip] "
-               "[--bits1 B] [--bits2 B] [--R N] [--window N] [--alpha F]\n"
+               "usage: %s <base.fvecs> <out_prefix> [--kind K] "
+               "[--metric l2|ip] [--bits1 B] [--bits2 B] [--R N] "
+               "[--window N] [--alpha F]\n"
                "       [--shards S] [--partition kmeans|rr]\n",
                argv0);
   return 2;
@@ -40,42 +44,51 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage(argv[0]);
   const std::string base_path = argv[1];
   const std::string prefix = argv[2];
-  Metric metric = Metric::kL2;
-  int bits1 = 8, bits2 = 0;
-  uint32_t R = 32, window = 0;
-  float alpha = 0.0f;
-  size_t shards = 1;
-  PartitionMethod method = PartitionMethod::kBalancedKMeans;
+  IndexSpec spec;
+  spec.graph.graph_max_degree = 32;
+  spec.graph.window_size = 0;  // 0 = 2R, resolved by Build()
+  spec.graph.alpha = 0.0f;     // 0 = metric default, resolved by Build()
+  bool kind_set = false;
   tools::FlagParser args(argc, argv, 3);
   std::string flag;
   const char* val = nullptr;
   long long iv = 0;
   double dv = 0.0;
   while (args.Next(&flag, &val)) {
-    if (flag == "--metric") {
-      metric = std::strcmp(val, "ip") == 0 ? Metric::kInnerProduct : Metric::kL2;
+    if (flag == "--kind") {
+      auto kind = ParseIndexKind(val);
+      if (!kind.ok()) {
+        std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+        return 1;
+      }
+      spec.kind = kind.value();
+      kind_set = true;
+    } else if (flag == "--metric") {
+      if (!tools::ParseMetricFlag(flag, val, &spec.metric)) return 1;
     } else if (flag == "--bits1") {
       // The serialized format (and UnpackCode) support 1..16 bits.
       if (!tools::ParseIntFlag(flag, val, 1, 16, &iv)) return 1;
-      bits1 = static_cast<int>(iv);
+      spec.bits1 = static_cast<int>(iv);
     } else if (flag == "--bits2") {
       if (!tools::ParseIntFlag(flag, val, 0, 16, &iv)) return 1;  // 0 = one-level
-      bits2 = static_cast<int>(iv);
+      spec.bits2 = static_cast<int>(iv);
     } else if (flag == "--R") {
       if (!tools::ParseIntFlag(flag, val, 1, 4096, &iv)) return 1;
-      R = static_cast<uint32_t>(iv);
+      spec.graph.graph_max_degree = static_cast<uint32_t>(iv);
     } else if (flag == "--window") {
       if (!tools::ParseIntFlag(flag, val, 1, 1 << 20, &iv)) return 1;
-      window = static_cast<uint32_t>(iv);
+      spec.graph.window_size = static_cast<uint32_t>(iv);
     } else if (flag == "--alpha") {
       if (!tools::ParseDoubleFlag(flag, val, &dv)) return 1;
-      alpha = static_cast<float>(dv);
+      spec.graph.alpha = static_cast<float>(dv);
     } else if (flag == "--shards") {
       if (!tools::ParseIntFlag(flag, val, 1, 1 << 16, &iv)) return 1;
-      shards = static_cast<size_t>(iv);
+      spec.partition.num_shards = static_cast<size_t>(iv);
+      if (iv > 1 && !kind_set) spec.kind = IndexKind::kSharded;
     } else if (flag == "--partition") {
-      method = std::strcmp(val, "rr") == 0 ? PartitionMethod::kRoundRobin
-                                           : PartitionMethod::kBalancedKMeans;
+      spec.partition.method = std::strcmp(val, "rr") == 0
+                                  ? PartitionMethod::kRoundRobin
+                                  : PartitionMethod::kBalancedKMeans;
     } else {
       return Usage(argv[0]);
     }
@@ -89,48 +102,25 @@ int main(int argc, char** argv) {
   }
   std::printf("loaded %zu vectors, d=%zu\n", base.value().rows(),
               base.value().cols());
-
-  VamanaBuildParams bp;
-  bp.graph_max_degree = R;
-  bp.window_size = window > 0 ? window : 2 * R;
-  bp.alpha = alpha > 0.0f ? alpha
-                          : (metric == Metric::kL2 ? 1.2f : 0.95f);
+  spec.dynamic.initial_capacity = base.value().rows() + 1024;
 
   ThreadPool pool(NumThreads());
-  if (shards > 1) {
-    ShardedBuildParams sp;
-    sp.partition.num_shards = shards;
-    sp.partition.method = method;
-    sp.graph = bp;
-    sp.bits1 = bits1;
-    sp.bits2 = bits2;
-    Timer t;
-    auto index = BuildShardedLvq(base.value(), metric, sp, &pool);
-    std::printf("built %s in %.1fs (%.1f MiB, %zu shards)\n",
-                index->name().c_str(), t.Seconds(),
-                index->memory_bytes() / 1048576.0, index->num_shards());
-    Status st = SaveShardedIndex(prefix, *index);
-    if (!st.ok()) {
-      std::fprintf(stderr, "%s\n", st.ToString().c_str());
-      return 1;
-    }
-    std::printf("saved %s/ (manifest + shard bundles)\n", prefix.c_str());
-    return 0;
-  }
-
   Timer t;
-  auto index = BuildOgLvq(base.value(), metric, bits1, bits2, bp, &pool);
-  std::printf("built %s in %.1fs (%.1f MiB: vectors %.1f + graph %.1f)\n",
-              index->name().c_str(), t.Seconds(),
-              index->memory_bytes() / 1048576.0,
-              index->storage().memory_bytes() / 1048576.0,
-              index->graph().memory_bytes() / 1048576.0);
+  Result<Index> index = Build(spec, base.value(), &pool);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("built %s (%s) in %.1fs (%.1f MiB)\n",
+              index.value().name().c_str(), KindName(index.value().kind()),
+              t.Seconds(), index.value().memory_bytes() / 1048576.0);
 
-  Status st = SaveOgLvqIndex(prefix, *index);
+  Status st = index.value().Save(prefix);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("saved %s.{graph,vecs}\n", prefix.c_str());
+  std::printf("saved %s (self-describing; reload with Open, no flags)\n",
+              prefix.c_str());
   return 0;
 }

@@ -1,18 +1,21 @@
-// blink_search — load a persisted index (single OG-LVQ bundle or sharded
-// directory, auto-detected), run a query batch, report QPS (best of 5, as
-// the paper measures) and, when ground truth is given, k-recall@k.
+// blink_search — Open() a persisted index of any flavor (static bundle,
+// sharded directory or dynamic BLDY file, auto-detected and
+// self-configuring), run a query batch, report QPS (best of 5, as the
+// paper measures) and, when ground truth is given, k-recall@k.
 //
 // Usage:
-//   blink_search <index_prefix> <query.fvecs> [options]
-//     --metric l2|ip        similarity used at build time (default l2)
+//   blink_search <index_path> <query.fvecs> [options]
+//     --metric l2|ip        fallback for pre-metadata (v1) artifacts only;
+//                           ignored with a warning when the artifact is
+//                           self-describing
 //     --k N                 neighbors per query (default 10)
 //     --window N[,N...]     search windows to sweep (default 10,20,40,80)
 //     --nprobe-shards N     sharded index: shards probed per query (0 = all)
 //     --gt file.ivecs       exact ground truth for recall
 //     --out file.ivecs      write result ids
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -25,29 +28,11 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <index_prefix> <query.fvecs> [--metric l2|ip] "
+               "usage: %s <index_path> <query.fvecs> [--metric l2|ip] "
                "[--k N] [--window N,N,...] [--nprobe-shards N] "
                "[--gt gt.ivecs] [--out res.ivecs]\n",
                argv0);
   return 2;
-}
-
-/// Parses a comma-separated list of positive windows; empty on malformed
-/// input (each segment must be a whole number followed by ',' or the end).
-std::vector<uint32_t> ParseWindows(const char* s) {
-  std::vector<uint32_t> out;
-  for (const char* p = s; *p != '\0';) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(p, &end, 10);
-    if (end == p || v == 0 || v > (1u << 20) ||
-        (*end != '\0' && *end != ',')) {
-      return {};
-    }
-    out.push_back(static_cast<uint32_t>(v));
-    if (*end == '\0') break;
-    p = end + 1;
-  }
-  return out;
 }
 
 }  // namespace
@@ -56,7 +41,8 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage(argv[0]);
   const std::string prefix = argv[1];
   const std::string query_path = argv[2];
-  Metric metric = Metric::kL2;
+  OpenOptions open_opts;
+  bool metric_flag = false;
   size_t k = 10;
   uint32_t nprobe_shards = 0;
   std::vector<uint32_t> windows = {10, 20, 40, 80};
@@ -67,14 +53,15 @@ int main(int argc, char** argv) {
   long long iv = 0;
   while (args.Next(&flag, &val)) {
     if (flag == "--metric") {
-      metric = std::strcmp(val, "ip") == 0 ? Metric::kInnerProduct : Metric::kL2;
+      if (!tools::ParseMetricFlag(flag, val, &open_opts.fallback_metric)) {
+        return 1;
+      }
+      metric_flag = true;
     } else if (flag == "--k") {
       if (!tools::ParseIntFlag(flag, val, 1, 1 << 20, &iv)) return 1;
       k = static_cast<size_t>(iv);
     } else if (flag == "--window") {
-      windows = ParseWindows(val);
-      if (windows.empty()) {
-        std::fprintf(stderr, "--window: expected N[,N...], got '%s'\n", val);
+      if (!tools::ParseUintListFlag(flag, val, 1, 1u << 20, &windows)) {
         return 1;
       }
     } else if (flag == "--nprobe-shards") {
@@ -90,20 +77,16 @@ int main(int argc, char** argv) {
   }
   if (!args.ok()) return Usage(argv[0]);
 
-  VamanaBuildParams bp;  // configuration only; graph comes from disk
-  Result<std::unique_ptr<SearchIndex>> index = [&]() -> Result<std::unique_ptr<SearchIndex>> {
-    if (IsShardedIndexDir(prefix)) {
-      auto r = LoadShardedIndex(prefix, metric, bp);
-      if (!r.ok()) return r.status();
-      return std::unique_ptr<SearchIndex>(std::move(r).value());
-    }
-    auto r = LoadOgLvqIndex(prefix, metric, bp);
-    if (!r.ok()) return r.status();
-    return std::unique_ptr<SearchIndex>(std::move(r).value());
-  }();
+  Result<Index> index = Open(prefix, open_opts);
   if (!index.ok()) {
     std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
     return 1;
+  }
+  if (metric_flag && index.value().self_described()) {
+    std::fprintf(stderr,
+                 "warning: --metric ignored; %s is self-describing and was "
+                 "built with %s\n",
+                 prefix.c_str(), MetricName(index.value().metric()));
   }
   auto queries = ReadFvecs(query_path);
   if (!queries.ok()) {
@@ -111,9 +94,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   const size_t nq = queries.value().rows();
-  std::printf("index %s: n=%zu d=%zu (%.1f MiB); %zu queries\n",
-              index.value()->name().c_str(), index.value()->size(),
-              index.value()->dim(), index.value()->memory_bytes() / 1048576.0,
+  std::printf("index %s (%s, %s): n=%zu d=%zu (%.1f MiB); %zu queries\n",
+              index.value().name().c_str(), KindName(index.value().kind()),
+              MetricName(index.value().metric()), index.value().size(),
+              index.value().dim(), index.value().memory_bytes() / 1048576.0,
               nq);
 
   Matrix<uint32_t> gt;
@@ -139,7 +123,7 @@ int main(int argc, char** argv) {
     double best = 0.0;
     for (int rep = 0; rep < 5; ++rep) {
       Timer t;
-      index.value()->SearchBatch(queries.value(), k, params, ids.data(), &pool);
+      index.value().SearchBatch(queries.value(), k, params, ids.data(), &pool);
       best = std::max(best, static_cast<double>(nq) / t.Seconds());
     }
     if (gt.rows() == nq) {

@@ -1,37 +1,41 @@
-// blink_serve — closed-loop load generator for the serving engine.
+// blink_serve — closed-loop load generator for the serving engine, built
+// on the public facade (IndexSpec / Build / Open / Index::Serve).
 //
-// Builds an index over a synthetic dataset (no input files needed), stands
-// up a ServingEngine, and drives it with C closed-loop client threads for a
-// fixed duration; reports QPS, latency percentiles (p50/p90/p99/max) and
-// k-recall@k against exact ground truth.
+// Two ways to get an index:
+//   default       — build over a synthetic dataset (no input files), with
+//                   exact ground truth so recall is reported.
+//   --index PATH  — Open() a persisted artifact of any flavor (static
+//                   bundle, sharded directory, dynamic BLDY file); queries
+//                   are synthetic vectors of the index's dimension and
+//                   recall is not reported (no ground truth).
 //
-// Two index families:
-//   static  (default)    — OG-LVQ / float32 Vamana, optionally sharded.
-//   dynamic (--dynamic 1) — a mutable DynamicGraphIndex built by streaming
-//         inserts and served through DynamicView; --lvq selects the
-//         compressed storage (LVQ-B, encoded at insert time against a
-//         sample mean; --bits2 adds a residual level), --lvq 0 the float32
-//         baseline. --churn keeps a single writer inserting/deleting
-//         vectors (with periodic consolidation) while the clients search,
-//         exercising the single-writer/multi-reader path under load.
+// The synthetic build covers every facade flavor: --kind picks it
+// directly, or the legacy shorthands compose it (--dynamic 1 + --lvq B,
+// --shards S, --lvq 0 for float32). --churn keeps a single writer
+// inserting/deleting through the Index handle (with periodic
+// consolidation) while the clients search — facade mutation forwarding
+// under real load.
 //
 // Usage:
 //   blink_serve [options]
+//     --index PATH     serve a persisted artifact (see above)
+//     --kind K         explicit facade kind (static-lvq, sharded, ...)
 //     --n N            base vectors                  (default 20000)
 //     --nq N           distinct queries              (default 1000)
 //     --k N            neighbors per query           (default 10)
-//     --window N       search window W               (default 32)
+//     --window N[,N..] search window sweep           (default 32)
 //     --threads T      engine searcher pool size     (default NumThreads())
 //     --clients C      closed-loop client threads    (default 2*threads)
-//     --duration S     seconds of load               (default 3)
+//     --duration S     seconds of load per window    (default 3)
 //     --mode M         sync | async                  (default async)
 //     --batch B        queries per sync request      (default 8)
 //     --lvq B          LVQ bits (0 = float32 index)  (default 8)
-//     --bits2 B        dynamic LVQ residual bits     (default 0 = one-level)
+//     --bits2 B        LVQ residual bits             (default 0 = one-level)
 //     --shards S       sharded index with S shards   (default 1 = unsharded)
 //     --nprobe-shards P shards probed per query      (default 0 = all)
 //     --dynamic 0|1    streaming dynamic index       (default 0)
-//     --churn OPS      writer ops/sec during load    (default 0; needs --dynamic)
+//     --churn OPS      writer ops/sec during load    (default 0; needs a
+//                      mutable index)
 //     --seed S         dataset/build seed            (default 1234)
 //
 // sync  — each client calls ServingEngine::SearchBatch with B queries per
@@ -59,11 +63,12 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--n N] [--nq N] [--k N] [--window N] [--threads T] "
-               "[--clients C]\n                  [--duration S] "
-               "[--mode sync|async] [--batch B] [--lvq bits] [--bits2 bits]\n"
-               "                  [--shards S] [--nprobe-shards P] "
-               "[--dynamic 0|1] [--churn OPS] [--seed S]\n",
+               "usage: %s [--index PATH] [--kind K] [--n N] [--nq N] [--k N] "
+               "[--window N,N,...]\n                  [--threads T] "
+               "[--clients C] [--duration S] [--mode sync|async] [--batch B]\n"
+               "                  [--lvq bits] [--bits2 bits] [--shards S] "
+               "[--nprobe-shards P]\n                  [--dynamic 0|1] "
+               "[--churn OPS] [--seed S]\n",
                argv0);
   return 2;
 }
@@ -73,11 +78,85 @@ struct ClientResult {
   size_t queries = 0;
 };
 
+/// One closed-loop measurement: C clients hammering the engine for
+/// `duration` seconds at one RuntimeParams setting.
+struct LoadResult {
+  std::vector<double> latencies_ms;
+  size_t queries = 0;
+  double elapsed = 0.0;
+  uint64_t batches = 0;
+  double dists_per_query = 0.0;
+};
+
+LoadResult RunLoad(ServingEngine& engine, MatrixViewF queries, size_t k,
+                   const RuntimeParams& params, size_t clients, double duration,
+                   bool async_mode, size_t batch, Matrix<uint32_t>* results) {
+  const size_t nq = queries.rows;
+  std::vector<ClientResult> per_client(clients);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  const ServingCounters before = engine.counters();
+  Timer wall;
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      ClientResult& out = per_client[c];
+      const size_t lo = nq * c / clients;
+      const size_t hi = std::max(lo + 1, nq * (c + 1) / clients);
+      size_t qi = lo;
+      while (wall.Seconds() < duration) {
+        Timer t;
+        if (async_mode) {
+          auto fut = engine.Submit(queries.row(qi), k, params);
+          SearchResult res = fut.get();
+          std::copy(res.ids.begin(), res.ids.end(), results->row(qi));
+          out.queries += 1;
+          qi = qi + 1 >= hi ? lo : qi + 1;
+        } else {
+          const size_t take = std::min(batch, hi - qi);
+          MatrixViewF slice(queries.row(qi), take, queries.cols);
+          engine.SearchBatch(slice, k, params, results->row(qi));
+          out.queries += take;
+          qi = qi + take >= hi ? lo : qi + take;
+        }
+        out.latencies_ms.push_back(t.Millis());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  LoadResult r;
+  r.elapsed = wall.Seconds();
+  for (const ClientResult& c : per_client) {
+    r.latencies_ms.insert(r.latencies_ms.end(), c.latencies_ms.begin(),
+                          c.latencies_ms.end());
+    r.queries += c.queries;
+  }
+  const ServingCounters after = engine.counters();
+  r.batches = after.batches - before.batches;
+  const uint64_t q = after.queries - before.queries;
+  r.dists_per_query =
+      q > 0 ? static_cast<double>(after.distance_computations -
+                                  before.distance_computations) /
+                  static_cast<double>(q)
+            : 0.0;
+  return r;
+}
+
+/// Gaussian query matrix for --index mode (no dataset to draw from).
+MatrixF RandomQueries(size_t nq, size_t dim, uint64_t seed) {
+  MatrixF q(nq, dim);
+  Rng rng(seed);
+  for (size_t i = 0; i < q.size(); ++i) {
+    q.data()[i] = rng.Gaussian();
+  }
+  return q;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string index_path;
   size_t n = 20000, nq = 1000, k = 10, batch = 8;
-  uint32_t window = 32;
+  std::vector<uint32_t> windows = {32};
   size_t threads = NumThreads();
   size_t clients = 0;
   double duration = 3.0;
@@ -87,13 +166,25 @@ int main(int argc, char** argv) {
   uint64_t seed = 1234;
   bool async_mode = true;
   bool dynamic_mode = false;
+  bool kind_set = false;
+  IndexKind kind = IndexKind::kStaticLvq;
   size_t churn_ops = 0;
   tools::FlagParser args(argc, argv, 1);
   std::string flag;
   const char* val = nullptr;
   long long iv = 0;
   while (args.Next(&flag, &val)) {
-    if (flag == "--n") {
+    if (flag == "--index") {
+      index_path = val;
+    } else if (flag == "--kind") {
+      auto parsed = ParseIndexKind(val);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 1;
+      }
+      kind = parsed.value();
+      kind_set = true;
+    } else if (flag == "--n") {
       if (!tools::ParseIntFlag(flag, val, 1, 1LL << 32, &iv)) return 1;
       n = static_cast<size_t>(iv);
     } else if (flag == "--nq") {
@@ -103,8 +194,9 @@ int main(int argc, char** argv) {
       if (!tools::ParseIntFlag(flag, val, 1, 1 << 20, &iv)) return 1;
       k = static_cast<size_t>(iv);
     } else if (flag == "--window") {
-      if (!tools::ParseIntFlag(flag, val, 1, 1 << 20, &iv)) return 1;
-      window = static_cast<uint32_t>(iv);
+      if (!tools::ParseUintListFlag(flag, val, 1, 1u << 20, &windows)) {
+        return 1;
+      }
     } else if (flag == "--threads") {
       if (!tools::ParseIntFlag(flag, val, 1, 1 << 12, &iv)) return 1;
       threads = static_cast<size_t>(iv);
@@ -155,182 +247,158 @@ int main(int argc, char** argv) {
     }
   }
   if (!args.ok()) return Usage(argv[0]);
-  if (churn_ops > 0 && !dynamic_mode) {
-    std::fprintf(stderr, "--churn requires --dynamic 1\n");
-    return 1;
-  }
   if (clients == 0) clients = 2 * threads;
   // Each client owns a disjoint stripe of the query set (so concurrent
   // writes into the recall matrix never overlap); more clients than
   // queries would collapse stripes.
   if (clients > nq) clients = nq;
 
-  std::printf("blink_serve: n=%zu nq=%zu d=96 k=%zu W=%u | engine threads=%zu "
+  // Compose the spec from the legacy shorthand flags unless --kind said it
+  // outright: --dynamic picks the mutable flavors, --shards the sharded
+  // one, --lvq 0 the float32 baseline.
+  if (!kind_set) {
+    if (dynamic_mode) {
+      kind = lvq_bits > 0 ? IndexKind::kDynamicLvq : IndexKind::kDynamicF32;
+    } else if (shards > 1) {
+      kind = IndexKind::kSharded;
+    } else {
+      kind = lvq_bits > 0 ? IndexKind::kStaticLvq : IndexKind::kStaticF32;
+    }
+  }
+
+  ThreadPool build_pool(threads);
+  Index index;
+  MatrixF queries;
+  MatrixF churn_base;   // vectors the churn writer inserts (see below)
+  Matrix<uint32_t> gt;  // empty when no ground truth (--index mode)
+  if (!index_path.empty()) {
+    Result<Index> opened = Open(index_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    index = std::move(opened).value();
+    queries = RandomQueries(nq, index.dim(), seed + 17);
+    std::printf("opened %s (%s) from %s: n=%zu d=%zu (%.1f MiB)\n",
+                index.name().c_str(), KindName(index.kind()),
+                index_path.c_str(), index.size(), index.dim(),
+                index.memory_bytes() / 1048576.0);
+  } else {
+    Dataset data = MakeDeepLike(n, nq, seed);
+    IndexSpec spec;
+    spec.kind = kind;
+    spec.metric = data.metric;
+    spec.bits1 = lvq_bits > 0 ? lvq_bits : 8;
+    spec.bits2 = bits2;
+    spec.graph.graph_max_degree = 32;
+    spec.graph.window_size = 64;
+    spec.partition.num_shards = shards;
+    spec.dynamic.initial_capacity =
+        n + 1024;  // headroom so churn never stops the world
+    Timer build_timer;
+    Result<Index> built = Build(spec, data.base, &build_pool);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    index = std::move(built).value();
+    std::printf("built %s (%s) in %.1fs (%.1f MiB)\n", index.name().c_str(),
+                KindName(index.kind()), build_timer.Seconds(),
+                index.memory_bytes() / 1048576.0);
+    gt = ComputeGroundTruth(data.base, data.queries, k, data.metric,
+                            &build_pool);
+    queries = data.queries.Clone();
+    // The churn writer must insert *base* vectors: a transient duplicate
+    // of a base vector can only tie with its original under the ground
+    // truth, while a duplicate of a query would sit at distance 0 and
+    // deflate recall.
+    churn_base = std::move(data.base);
+  }
+  if (churn_ops > 0 && !index.has(kCapInsert)) {
+    std::fprintf(stderr, "--churn requires a mutable index (%s is %s)\n",
+                 index.name().c_str(), KindName(index.kind()));
+    return 1;
+  }
+
+  std::printf("blink_serve: nq=%zu d=%zu k=%zu | engine threads=%zu "
               "clients=%zu mode=%s%s | backend=%s\n",
-              n, nq, k, window, threads, clients,
+              nq, index.dim(), k, threads, clients,
               async_mode ? "async" : "sync",
               async_mode ? "" : (" batch=" + std::to_string(batch)).c_str(),
               simd::BackendName());
 
-  ThreadPool build_pool(threads);
-  Dataset data = MakeDeepLike(n, nq, seed);
-  const size_t dim = data.base.cols();
-  VamanaBuildParams bp;
-  bp.graph_max_degree = 32;
-  bp.window_size = 64;
-  Timer build_timer;
-  std::unique_ptr<SearchIndex> index;
-  std::unique_ptr<DynamicIndex> dyn_f32;
-  std::unique_ptr<DynamicLvqIndex> dyn_lvq;
-  if (dynamic_mode) {
-    DynamicOptions dopts;
-    dopts.graph_max_degree = bp.graph_max_degree;
-    dopts.build_window = bp.window_size;
-    dopts.metric = data.metric;
-    dopts.alpha = data.metric == Metric::kL2 ? 1.2f : 0.95f;
-    dopts.initial_capacity = n + 1024;  // headroom so churn never stops the world
-    if (lvq_bits > 0) {
-      DynamicLvqDataset::Options lo;
-      lo.bits1 = lvq_bits;
-      lo.bits2 = bits2;
-      lo.mean = DynamicLvqDataset::SampleMean(data.base);
-      dyn_lvq = std::make_unique<DynamicLvqIndex>(
-          dim, dopts, DynamicLvqStorage(dim, data.metric, std::move(lo)));
-      for (size_t i = 0; i < n; ++i) dyn_lvq->Insert(data.base.row(i));
-      index = std::make_unique<DynamicLvqIndexView>(dyn_lvq.get());
-    } else {
-      dyn_f32 = std::make_unique<DynamicIndex>(dim, dopts);
-      for (size_t i = 0; i < n; ++i) dyn_f32->Insert(data.base.row(i));
-      index = std::make_unique<DynamicIndexView>(dyn_f32.get());
-    }
-  } else if (shards > 1) {
-    // The engine serves the sharded index through the same SearchIndex /
-    // MakeSearcher seam as every other index — no serving changes needed.
-    ShardedBuildParams sp;
-    sp.partition.num_shards = shards;
-    sp.graph = bp;
-    sp.bits1 = lvq_bits > 0 ? lvq_bits : 8;
-    index = BuildShardedLvq(data.base, data.metric, sp, &build_pool);
-  } else if (lvq_bits > 0) {
-    index = BuildOgLvq(data.base, data.metric, lvq_bits, 0, bp, &build_pool);
-  } else {
-    index = BuildVamanaF32(data.base, data.metric, bp, &build_pool);
-  }
-  std::printf("built %s in %.1fs (%.1f MiB)\n", index->name().c_str(),
-              build_timer.Seconds(), index->memory_bytes() / 1048576.0);
-  Matrix<uint32_t> gt =
-      ComputeGroundTruth(data.base, data.queries, k, data.metric, &build_pool);
-
   ServingOptions opts;
   opts.num_threads = threads;
-  ServingEngine engine(index.get(), opts);
+  std::unique_ptr<ServingEngine> engine = index.Serve(opts);
 
-  RuntimeParams params;
-  params.window = window;
-  params.nprobe_shards = nprobe_shards;
-
-  // Live writer: insert copies of random base vectors and delete them
-  // again, consolidating occasionally, at ~churn_ops/sec. Base content
-  // stays intact, so the recall figure below remains meaningful (a
-  // transient duplicate can only tie with its original).
+  // Live writer: insert fresh vectors and delete them again through the
+  // facade's mutation seam, consolidating occasionally, at ~churn_ops/sec.
+  // Synthetic-build mode inserts copies of base vectors (a duplicate can
+  // only tie with its original, so the recall figure stays meaningful);
+  // --index mode inserts gaussian vectors (no recall is reported there).
   std::atomic<bool> stop_churn{false};
   std::thread churner;
   if (churn_ops > 0) {
     churner = std::thread([&] {
       Rng rng(seed + 1);
+      const MatrixF& source = churn_base.empty() ? queries : churn_base;
       std::vector<uint32_t> extra;
       const auto pause =
           std::chrono::microseconds(1000000 / std::max<size_t>(churn_ops, 1));
-      auto do_insert = [&](const float* v) {
-        return dyn_lvq ? dyn_lvq->Insert(v) : dyn_f32->Insert(v);
-      };
-      auto do_delete = [&](uint32_t id) {
-        return dyn_lvq ? dyn_lvq->Delete(id) : dyn_f32->Delete(id);
-      };
       size_t ops = 0;
       while (!stop_churn.load(std::memory_order_relaxed)) {
         if (extra.size() < 256 && rng.Bounded(2) == 0) {
-          extra.push_back(do_insert(data.base.row(rng.Bounded(n))));
+          auto id = index.Insert(source.row(rng.Bounded(source.rows())));
+          if (id.ok()) extra.push_back(id.value());
         } else if (!extra.empty()) {
           const size_t pick = rng.Bounded(extra.size());
-          (void)do_delete(extra[pick]);
+          (void)index.Delete(extra[pick]);
           extra[pick] = extra.back();
           extra.pop_back();
         }
-        if (++ops % 512 == 0) {
-          if (dyn_lvq) {
-            dyn_lvq->ConsolidateDeletes();
-          } else {
-            dyn_f32->ConsolidateDeletes();
-          }
-        }
+        if (++ops % 512 == 0) (void)index.Consolidate();
         std::this_thread::sleep_for(pause);
       }
+      // Leave the index as found: drop the writer's surviving inserts.
+      for (uint32_t id : extra) (void)index.Delete(id);
+      (void)index.Consolidate();
     });
   }
 
-  // Closed loop: each client owns a stripe of the query set and hammers it
-  // until the deadline, recording per-request latency.
   Matrix<uint32_t> results(nq, k);  // last result per query, for recall
-  std::vector<ClientResult> per_client(clients);
-  std::vector<std::thread> workers;
-  workers.reserve(clients);
-  Timer wall;
-  for (size_t c = 0; c < clients; ++c) {
-    workers.emplace_back([&, c] {
-      ClientResult& out = per_client[c];
-      const size_t lo = nq * c / clients;
-      const size_t hi = std::max(lo + 1, nq * (c + 1) / clients);
-      size_t qi = lo;
-      while (wall.Seconds() < duration) {
-        Timer t;
-        if (async_mode) {
-          auto fut = engine.Submit(data.queries.row(qi), k, params);
-          SearchResult res = fut.get();
-          std::copy(res.ids.begin(), res.ids.end(), results.row(qi));
-          out.queries += 1;
-          qi = qi + 1 >= hi ? lo : qi + 1;
-        } else {
-          const size_t take = std::min(batch, hi - qi);
-          MatrixViewF slice(data.queries.row(qi), take, data.queries.cols());
-          engine.SearchBatch(slice, k, params, results.row(qi));
-          out.queries += take;
-          qi = qi + take >= hi ? lo : qi + take;
-        }
-        out.latencies_ms.push_back(t.Millis());
-      }
-    });
+  const bool have_gt = gt.rows() == nq;
+  for (uint32_t w : windows) {
+    RuntimeParams params;
+    params.window = w;
+    params.nprobe_shards = nprobe_shards;
+    LoadResult r = RunLoad(*engine, queries, k, params, clients, duration,
+                           async_mode, batch, &results);
+    const double qps = static_cast<double>(r.queries) / r.elapsed;
+    std::printf("\nwindow %u: %zu queries in %.2fs  (%zu requests, %llu "
+                "micro-batches)\n",
+                w, r.queries, r.elapsed, r.latencies_ms.size(),
+                static_cast<unsigned long long>(r.batches));
+    std::printf("QPS               %10.0f\n", qps);
+    if (!r.latencies_ms.empty()) {
+      std::printf("latency p50       %10.3f ms\n",
+                  Percentile(r.latencies_ms, 50));
+      std::printf("latency p90       %10.3f ms\n",
+                  Percentile(r.latencies_ms, 90));
+      std::printf("latency p99       %10.3f ms\n",
+                  Percentile(r.latencies_ms, 99));
+      std::printf("latency max       %10.3f ms\n",
+                  *std::max_element(r.latencies_ms.begin(),
+                                    r.latencies_ms.end()));
+    }
+    std::printf("dists/query       %10.1f\n", r.dists_per_query);
+    if (have_gt) {
+      std::printf("recall@%-2zu         %10.4f\n", k,
+                  MeanRecallAtK(results, gt, k));
+    }
   }
-  for (auto& w : workers) w.join();
-  const double elapsed = wall.Seconds();
   if (churner.joinable()) {
     stop_churn.store(true);
     churner.join();
   }
-
-  std::vector<double> lat;
-  size_t total_queries = 0;
-  for (const ClientResult& r : per_client) {
-    lat.insert(lat.end(), r.latencies_ms.begin(), r.latencies_ms.end());
-    total_queries += r.queries;
-  }
-  const ServingCounters c = engine.counters();
-  const double qps = static_cast<double>(total_queries) / elapsed;
-  std::printf("\n%zu queries in %.2fs  (%zu requests, %llu micro-batches)\n",
-              total_queries, elapsed, lat.size(),
-              static_cast<unsigned long long>(c.batches));
-  std::printf("QPS               %10.0f\n", qps);
-  if (!lat.empty()) {
-    std::printf("latency p50       %10.3f ms\n", Percentile(lat, 50));
-    std::printf("latency p90       %10.3f ms\n", Percentile(lat, 90));
-    std::printf("latency p99       %10.3f ms\n", Percentile(lat, 99));
-    std::printf("latency max       %10.3f ms\n",
-                *std::max_element(lat.begin(), lat.end()));
-  }
-  std::printf("dists/query       %10.1f\n",
-              c.queries > 0 ? static_cast<double>(c.distance_computations) /
-                                  static_cast<double>(c.queries)
-                            : 0.0);
-  std::printf("recall@%-2zu         %10.4f\n", k, MeanRecallAtK(results, gt, k));
   return 0;
 }

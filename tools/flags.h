@@ -11,7 +11,11 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
+
+#include "graph/storage.h"
 
 namespace blink {
 namespace tools {
@@ -63,6 +67,58 @@ inline bool ParseIntFlag(const std::string& flag, const char* value,
   }
   *out = v;
   return true;
+}
+
+/// Strict comma-separated unsigned list parse ("10,20,40"): every segment
+/// must be a whole number in [min_v, max_v]; empty segments, trailing
+/// commas and garbage are errors. Shared by the tools' sweep flags
+/// (blink_search / blink_serve --window).
+inline bool ParseUintListFlag(const std::string& flag, const char* value,
+                              unsigned long min_v, unsigned long max_v,
+                              std::vector<uint32_t>* out) {
+  out->clear();
+  const char* p = value;
+  while (true) {
+    errno = 0;
+    char* end = nullptr;
+    // strtoul would skip leading whitespace and accept '+'/'-'; a segment
+    // must start with a digit outright.
+    const bool digit_start = *p >= '0' && *p <= '9';
+    const unsigned long v = digit_start ? std::strtoul(p, &end, 10) : 0;
+    if (!digit_start || end == p || errno == ERANGE || v < min_v ||
+        v > max_v || (*end != '\0' && *end != ',')) {
+      std::fprintf(stderr,
+                   "%s: expected N[,N...] with N in [%lu, %lu], got '%s'\n",
+                   flag.c_str(), min_v, max_v, value);
+      out->clear();
+      return false;
+    }
+    out->push_back(static_cast<uint32_t>(v));
+    if (*end == '\0') return true;
+    p = end + 1;
+    if (*p == '\0') {  // trailing comma
+      std::fprintf(stderr, "%s: trailing ',' in '%s'\n", flag.c_str(), value);
+      out->clear();
+      return false;
+    }
+  }
+}
+
+/// Strict metric parse: exactly "l2" or "ip" (anything else used to fall
+/// through to L2 silently).
+inline bool ParseMetricFlag(const std::string& flag, const char* value,
+                            Metric* out) {
+  if (std::strcmp(value, "l2") == 0) {
+    *out = Metric::kL2;
+    return true;
+  }
+  if (std::strcmp(value, "ip") == 0) {
+    *out = Metric::kInnerProduct;
+    return true;
+  }
+  std::fprintf(stderr, "%s: expected l2 or ip, got '%s'\n", flag.c_str(),
+               value);
+  return false;
 }
 
 /// Strict double parse (> 0 unless allow_zero).
