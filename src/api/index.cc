@@ -3,6 +3,8 @@
 #include <filesystem>
 #include <utility>
 
+#include "api/calibrate.h"
+
 #include "graph/index.h"
 #include "graph/serialize.h"
 #include "quant/lvq_dynamic.h"
@@ -131,20 +133,6 @@ class WrappedFlavor : public IndexImpl {
   std::unique_ptr<SearchIndex> index_;
 };
 
-Capabilities StaticCaps(const IndexSpec& spec) {
-  Capabilities caps = kCapSearch | kCapSave;
-  if (spec.kind == IndexKind::kSharded) caps |= kCapShardProbe;
-  const bool lvq = spec.kind == IndexKind::kStaticLvq ||
-                   spec.kind == IndexKind::kSharded ||
-                   spec.kind == IndexKind::kDynamicLvq;
-  if (lvq && spec.bits2 > 0) caps |= kCapRerank;
-  return caps;
-}
-
-Capabilities DynamicCaps(const IndexSpec& spec) {
-  return StaticCaps(spec) | kCapInsert | kCapDelete | kCapConsolidate;
-}
-
 DynamicOptions ToDynamicOptions(const IndexSpec& spec) {
   DynamicOptions opts;
   opts.graph_max_degree = spec.graph.graph_max_degree;
@@ -194,13 +182,13 @@ const IndexSpec& Index::spec() const { return impl_->spec(); }
 bool Index::self_described() const { return impl_->self_described(); }
 
 void Index::SearchBatch(MatrixViewF queries, size_t k,
-                        const RuntimeParams& params, uint32_t* ids,
+                        const SearchOptions& params, uint32_t* ids,
                         ThreadPool* pool) const {
   impl_->search().SearchBatch(queries, k, params, ids, pool);
 }
 
 void Index::SearchBatchEx(MatrixViewF queries, size_t k,
-                          const RuntimeParams& params, uint32_t* ids,
+                          const SearchOptions& params, uint32_t* ids,
                           float* dists, BatchStats* stats,
                           ThreadPool* pool) const {
   impl_->search().SearchBatchEx(queries, k, params, ids, dists, stats, pool);
@@ -211,6 +199,12 @@ std::unique_ptr<Searcher> Index::MakeSearcher() const {
 }
 
 const SearchIndex& Index::AsSearchIndex() const { return impl_->search(); }
+
+Result<SearchOptions> Index::Calibrate(const CalibrationTarget& target) const {
+  Result<CalibrationReport> report = CalibrateIndex(*this, target);
+  if (!report.ok()) return report.status();
+  return std::move(report).value().options;
+}
 
 Status Index::Save(const std::string& path) const { return impl_->Save(path); }
 
@@ -231,24 +225,22 @@ Result<Index> Build(const IndexSpec& spec_in, MatrixViewF data,
                     ThreadPool* pool) {
   BLINK_RETURN_NOT_OK(spec_in.Validate());
   const IndexSpec spec = spec_in.Resolved();
-  using detail::DynamicCaps;
-  using detail::StaticCaps;
   switch (spec.kind) {
     case IndexKind::kStaticF32: {
       auto idx = BuildVamanaF32(data, spec.metric, spec.graph, pool);
       return Index(std::make_unique<detail::StaticFlavor<FloatStorage>>(
-          std::move(idx), spec, StaticCaps(spec), true));
+          std::move(idx), spec, SpecCapabilities(spec), true));
     }
     case IndexKind::kStaticF16: {
       auto idx = BuildVamanaF16(data, spec.metric, spec.graph, pool);
       return Index(std::make_unique<detail::StaticFlavor<F16Storage>>(
-          std::move(idx), spec, StaticCaps(spec), true));
+          std::move(idx), spec, SpecCapabilities(spec), true));
     }
     case IndexKind::kStaticLvq: {
       auto idx = BuildOgLvq(data, spec.metric, spec.bits1, spec.bits2,
                             spec.graph, pool);
       return Index(std::make_unique<detail::StaticFlavor<LvqStorage>>(
-          std::move(idx), spec, StaticCaps(spec), true));
+          std::move(idx), spec, SpecCapabilities(spec), true));
     }
     case IndexKind::kSharded: {
       ShardedBuildParams sp;
@@ -258,14 +250,14 @@ Result<Index> Build(const IndexSpec& spec_in, MatrixViewF data,
       sp.bits2 = spec.bits2;
       auto idx = BuildShardedLvq(data, spec.metric, sp, pool);
       return Index(std::make_unique<detail::ShardedFlavor>(
-          std::move(idx), spec, StaticCaps(spec), true));
+          std::move(idx), spec, SpecCapabilities(spec), true));
     }
     case IndexKind::kDynamicF32: {
       auto idx = std::make_unique<DynamicIndex>(data.cols,
                                                 detail::ToDynamicOptions(spec));
       for (size_t i = 0; i < data.rows; ++i) idx->Insert(data.row(i));
       return Index(std::make_unique<detail::DynamicFlavor<DynamicFloatStorage>>(
-          std::move(idx), spec, DynamicCaps(spec), true));
+          std::move(idx), spec, SpecCapabilities(spec), true));
     }
     case IndexKind::kDynamicLvq: {
       DynamicLvqDataset::Options lo;
@@ -277,7 +269,7 @@ Result<Index> Build(const IndexSpec& spec_in, MatrixViewF data,
           DynamicLvqStorage(data.cols, spec.metric, std::move(lo)));
       for (size_t i = 0; i < data.rows; ++i) idx->Insert(data.row(i));
       return Index(std::make_unique<detail::DynamicFlavor<DynamicLvqStorage>>(
-          std::move(idx), spec, DynamicCaps(spec), true));
+          std::move(idx), spec, SpecCapabilities(spec), true));
     }
   }
   return Status::InvalidArgument("unknown index kind");
@@ -306,7 +298,7 @@ Result<Index> OpenSharded(const std::string& path, const OpenOptions& opts) {
   spec.bits2 = idx.value()->bits2();
   spec.graph = idx.value()->build_params();
   spec.partition.num_shards = idx.value()->num_shards();
-  const Capabilities caps = detail::StaticCaps(spec);
+  const Capabilities caps = SpecCapabilities(spec);
   return Index(std::make_unique<detail::ShardedFlavor>(
       std::move(idx).value(), std::move(spec), caps, self_described));
 }
@@ -326,7 +318,7 @@ Result<Index> OpenDynamic(const std::string& path, const OpenOptions& opts) {
     IndexSpec spec =
         detail::DynamicSpecOf(*idx.value(), IndexKind::kDynamicF32);
     spec.dynamic.initial_capacity = opts.dynamic_initial_capacity;
-    const Capabilities caps = detail::DynamicCaps(spec);
+    const Capabilities caps = SpecCapabilities(spec);
     return Index(std::make_unique<detail::DynamicFlavor<DynamicFloatStorage>>(
         std::move(idx).value(), std::move(spec), caps, self_described));
   }
@@ -336,7 +328,7 @@ Result<Index> OpenDynamic(const std::string& path, const OpenOptions& opts) {
   spec.dynamic.initial_capacity = opts.dynamic_initial_capacity;
   spec.bits1 = idx.value()->storage().dataset().bits1();
   spec.bits2 = idx.value()->storage().dataset().bits2();
-  const Capabilities caps = detail::DynamicCaps(spec);
+  const Capabilities caps = SpecCapabilities(spec);
   return Index(std::make_unique<detail::DynamicFlavor<DynamicLvqStorage>>(
       std::move(idx).value(), std::move(spec), caps, self_described));
 }
@@ -347,7 +339,7 @@ Result<Index> MakeStatic(Storage storage, BuiltGraph graph, IndexSpec spec,
   spec.graph.graph_max_degree = graph.graph.max_degree();
   auto idx = std::make_unique<VamanaIndex<Storage>>(
       std::move(storage), std::move(graph), spec.graph);
-  const Capabilities caps = detail::StaticCaps(spec);
+  const Capabilities caps = SpecCapabilities(spec);
   return Index(std::make_unique<detail::StaticFlavor<Storage>>(
       std::move(idx), std::move(spec), caps, self_described));
 }

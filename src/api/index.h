@@ -33,18 +33,11 @@
 
 namespace blink {
 
-/// What an Index handle can do, as a bitmask (an index that cannot Save —
-/// e.g. a registry-built baseline — still searches).
-enum : uint32_t {
-  kCapSearch = 1u << 0,       ///< SearchBatch / SearchBatchEx / MakeSearcher
-  kCapSave = 1u << 1,         ///< Save(path) round-trips through Open
-  kCapInsert = 1u << 2,       ///< Insert(vec)
-  kCapDelete = 1u << 3,       ///< Delete(id)
-  kCapConsolidate = 1u << 4,  ///< Consolidate()
-  kCapShardProbe = 1u << 5,   ///< honors RuntimeParams::nprobe_shards
-  kCapRerank = 1u << 6,       ///< two-level re-ranking (honors params.rerank)
-};
-using Capabilities = uint32_t;
+// The Capabilities bitmask (kCapSearch, kCapSave, ...) lives in
+// eval/interface.h next to SearchOptions, whose defaulting is
+// capability-aware; it is re-exported here through that include.
+
+struct CalibrationTarget;  // api/calibrate.h
 
 namespace detail {
 class IndexImpl;
@@ -83,9 +76,9 @@ class Index {
   bool self_described() const;
 
   // --- search --------------------------------------------------------------
-  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
+  void SearchBatch(MatrixViewF queries, size_t k, const SearchOptions& params,
                    uint32_t* ids, ThreadPool* pool = nullptr) const;
-  void SearchBatchEx(MatrixViewF queries, size_t k, const RuntimeParams& params,
+  void SearchBatchEx(MatrixViewF queries, size_t k, const SearchOptions& params,
                      uint32_t* ids, float* dists, BatchStats* stats,
                      ThreadPool* pool = nullptr) const;
   std::unique_ptr<Searcher> MakeSearcher() const;
@@ -93,6 +86,14 @@ class Index {
   /// eval/interface.h seam directly (RunSweep, ServingEngine, ...). Valid
   /// as long as the handle lives.
   const SearchIndex& AsSearchIndex() const;
+
+  /// Deterministically searches the runtime-knob space (binary search on
+  /// `window`, then greedy refinement of `nprobe_shards` and
+  /// `rerank_window` where capabilities() says they apply) for the cheapest
+  /// SearchOptions meeting `target.target_recall` on the given sample
+  /// queries + ground truth. See api/calibrate.h for the target struct and
+  /// CalibrateIndex() for the full per-step trace.
+  Result<SearchOptions> Calibrate(const CalibrationTarget& target) const;
 
   // --- persistence ---------------------------------------------------------
   /// Saves a self-describing artifact that Open(path) reconstructs with no

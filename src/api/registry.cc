@@ -1,6 +1,7 @@
 #include "api/registry.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <mutex>
 
@@ -38,13 +39,22 @@ RegistryState& Registry() {
     }
     // Baselines, mapped onto the spec's shared fields. The paper relates
     // graph parameters as R = 2M (Sec. 6.2), so HNSW reads M = R/2 and
-    // ef_construction from the build window.
+    // ef_construction from the build window; search time ef comes from
+    // SearchOptions::window (see baselines/hnsw.h). A build window below
+    // 2M cannot be honored — HNSW's layer-0 beam must cover the degree —
+    // so the clamp is reported instead of applied silently.
     s->factories.emplace(
         "hnsw", [](const IndexSpec& spec, MatrixViewF data, ThreadPool* pool) {
           const IndexSpec r = spec.Resolved();
           HnswParams hp;
           hp.M = std::max<uint32_t>(1, r.graph.graph_max_degree / 2);
           hp.ef_construction = std::max<uint32_t>(r.graph.window_size, 2 * hp.M);
+          if (hp.ef_construction != r.graph.window_size) {
+            std::fprintf(stderr,
+                         "hnsw: window_size %u below 2M=%u; using "
+                         "ef_construction=%u\n",
+                         r.graph.window_size, 2 * hp.M, hp.ef_construction);
+          }
           hp.seed = r.graph.seed;
           auto idx = std::make_unique<HnswIndex>(data, r.metric, hp, pool);
           return Result<Index>(WrapSearchIndex(std::move(idx), r));

@@ -39,6 +39,16 @@ bool UsesLvq(IndexKind kind) {
 
 }  // namespace
 
+Capabilities SpecCapabilities(const IndexSpec& spec) {
+  Capabilities caps = kCapSearch | kCapSave;
+  if (spec.kind == IndexKind::kSharded) caps |= kCapShardProbe;
+  if (UsesLvq(spec.kind) && spec.bits2 > 0) caps |= kCapRerank;
+  if (IsDynamicKind(spec.kind)) {
+    caps |= kCapInsert | kCapDelete | kCapConsolidate;
+  }
+  return caps;
+}
+
 Status IndexSpec::Validate() const {
   if (graph.graph_max_degree == 0 || graph.graph_max_degree > 4096) {
     return Status::InvalidArgument(

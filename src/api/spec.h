@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "eval/interface.h"
 #include "graph/builder.h"
 #include "graph/storage.h"
 #include "shard/partitioner.h"
@@ -76,5 +77,12 @@ struct IndexSpec {
 
 /// True for the kinds whose handle supports Insert/Delete/Consolidate.
 bool IsDynamicKind(IndexKind kind);
+
+/// The capability bitmask an Index built from `spec` reports: search + save
+/// for every facade kind, shard probing for kSharded, two-level re-ranking
+/// when bits2 > 0 on an LVQ kind, and the mutation trio for the dynamic
+/// kinds. The one definition shared by Build/Open (the handle's
+/// capabilities()) and Calibrate (which knobs are worth tuning).
+Capabilities SpecCapabilities(const IndexSpec& spec);
 
 }  // namespace blink

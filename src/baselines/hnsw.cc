@@ -194,7 +194,7 @@ double HnswIndex::AverageDegree(int level) const {
 }
 
 void HnswIndex::SearchBatch(MatrixViewF queries, size_t k,
-                            const RuntimeParams& params, uint32_t* ids,
+                            const SearchOptions& params, uint32_t* ids,
                             ThreadPool* pool) const {
   const size_t nq = queries.rows;
   const size_t ef = std::max<size_t>(params.window, k);

@@ -38,8 +38,8 @@ class HnswIndex : public SearchIndex {
   size_t dim() const override { return d_; }
   size_t memory_bytes() const override;
 
-  /// RuntimeParams::window is ef-search.
-  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
+  /// SearchOptions::window is ef-search.
+  void SearchBatch(MatrixViewF queries, size_t k, const SearchOptions& params,
                    uint32_t* ids, ThreadPool* pool = nullptr) const override;
 
   int max_level() const { return max_level_; }

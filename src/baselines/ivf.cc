@@ -134,7 +134,7 @@ void IvfPqIndex::SearchOne(const float* q, size_t k, uint32_t nprobe,
 }
 
 void IvfPqIndex::SearchBatch(MatrixViewF queries, size_t k,
-                             const RuntimeParams& params, uint32_t* ids,
+                             const SearchOptions& params, uint32_t* ids,
                              ThreadPool* pool) const {
   auto one = [&](size_t qi) {
     SearchOne(queries.row(qi), k, params.nprobe, params.reorder_k, ids + qi * k);

@@ -44,7 +44,7 @@ class IvfPqIndex : public SearchIndex {
   size_t dim() const override { return d_; }
   size_t memory_bytes() const override;
 
-  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
+  void SearchBatch(MatrixViewF queries, size_t k, const SearchOptions& params,
                    uint32_t* ids, ThreadPool* pool = nullptr) const override;
 
   size_t nlist() const { return centroids_.rows(); }

@@ -45,8 +45,8 @@ class ScannIndex : public SearchIndex {
   size_t dim() const override { return d_; }
   size_t memory_bytes() const override;
 
-  /// RuntimeParams::nprobe = leaves_to_search, reorder_k = reorder depth.
-  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
+  /// SearchOptions::nprobe = leaves_to_search, reorder_k = reorder depth.
+  void SearchBatch(MatrixViewF queries, size_t k, const SearchOptions& params,
                    uint32_t* ids, ThreadPool* pool = nullptr) const override;
 
   size_t n_leaves() const { return n_leaves_; }

@@ -14,6 +14,7 @@
 #include "api/spec.h"
 #include "api/index.h"
 #include "api/registry.h"
+#include "api/calibrate.h"
 
 // Core quantization (the paper's contribution).
 #include "quant/scalar.h"      // uniform scalar quantization (Eq. 1)
@@ -57,6 +58,7 @@
 #include "eval/interface.h"
 #include "eval/metrics.h"
 #include "eval/harness.h"
+#include "eval/report.h"
 
 // Utilities.
 #include "util/env.h"

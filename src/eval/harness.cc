@@ -10,14 +10,14 @@ namespace blink {
 
 std::vector<SweepPoint> RunSweep(const SearchIndex& index, MatrixViewF queries,
                                  const Matrix<uint32_t>& ground_truth,
-                                 std::span<const RuntimeParams> settings,
+                                 std::span<const SearchOptions> settings,
                                  const HarnessOptions& opts) {
   std::vector<SweepPoint> points;
   points.reserve(settings.size());
   const size_t nq = queries.rows;
   Matrix<uint32_t> ids(nq, opts.k);
 
-  for (const RuntimeParams& params : settings) {
+  for (const SearchOptions& params : settings) {
     SweepPoint pt;
     pt.params = params;
     double best_seconds = -1.0;
@@ -94,28 +94,28 @@ const SweepPoint* PointAtRecall(std::span<const SweepPoint> points,
   return best;
 }
 
-std::vector<RuntimeParams> WindowSweep(std::initializer_list<uint32_t> windows) {
+std::vector<SearchOptions> WindowSweep(std::initializer_list<uint32_t> windows) {
   return WindowSweep(std::vector<uint32_t>(windows));
 }
 
-std::vector<RuntimeParams> WindowSweep(const std::vector<uint32_t>& windows) {
-  std::vector<RuntimeParams> out;
+std::vector<SearchOptions> WindowSweep(const std::vector<uint32_t>& windows) {
+  std::vector<SearchOptions> out;
   out.reserve(windows.size());
   for (uint32_t w : windows) {
-    RuntimeParams p;
+    SearchOptions p;
     p.window = w;
     out.push_back(p);
   }
   return out;
 }
 
-std::vector<RuntimeParams> ProbeSweep(const std::vector<uint32_t>& nprobes,
+std::vector<SearchOptions> ProbeSweep(const std::vector<uint32_t>& nprobes,
                                       const std::vector<uint32_t>& reorder_ks) {
-  std::vector<RuntimeParams> out;
+  std::vector<SearchOptions> out;
   out.reserve(nprobes.size() * reorder_ks.size());
   for (uint32_t np : nprobes) {
     for (uint32_t rk : reorder_ks) {
-      RuntimeParams p;
+      SearchOptions p;
       p.nprobe = np;
       p.reorder_k = rk;
       out.push_back(p);

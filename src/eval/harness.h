@@ -15,7 +15,7 @@
 namespace blink {
 
 struct SweepPoint {
-  RuntimeParams params;
+  SearchOptions params;
   double recall = 0.0;
   double qps = 0.0;
   double mean_latency_us = 0.0;  ///< per-query wall time (single-query mode)
@@ -31,7 +31,7 @@ struct HarnessOptions {
 /// Runs the index over every setting and returns one point per setting.
 std::vector<SweepPoint> RunSweep(const SearchIndex& index, MatrixViewF queries,
                                  const Matrix<uint32_t>& ground_truth,
-                                 std::span<const RuntimeParams> settings,
+                                 std::span<const SearchOptions> settings,
                                  const HarnessOptions& opts);
 
 /// Best QPS among points with recall >= target; linearly interpolates QPS
@@ -44,12 +44,12 @@ double QpsAtRecall(std::span<const SweepPoint> points, double target_recall);
 const SweepPoint* PointAtRecall(std::span<const SweepPoint> points,
                                 double target_recall);
 
-/// Graph-index sweep: one RuntimeParams per window value.
-std::vector<RuntimeParams> WindowSweep(std::initializer_list<uint32_t> windows);
-std::vector<RuntimeParams> WindowSweep(const std::vector<uint32_t>& windows);
+/// Graph-index sweep: one SearchOptions per window value.
+std::vector<SearchOptions> WindowSweep(std::initializer_list<uint32_t> windows);
+std::vector<SearchOptions> WindowSweep(const std::vector<uint32_t>& windows);
 
 /// IVF/ScaNN sweep: the cross product of probe counts and re-rank depths.
-std::vector<RuntimeParams> ProbeSweep(const std::vector<uint32_t>& nprobes,
+std::vector<SearchOptions> ProbeSweep(const std::vector<uint32_t>& nprobes,
                                       const std::vector<uint32_t>& reorder_ks);
 
 /// Prints "recall qps" rows with a header, as the figures report them.

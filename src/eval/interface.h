@@ -11,14 +11,32 @@
 #include <vector>
 
 #include "util/matrix.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace blink {
 
-/// Runtime (per-query-batch) knobs. Each index reads the fields relevant to
-/// it; sweeping `window` traces a graph index's QPS/recall Pareto curve,
-/// sweeping (nprobe, reorder_k) traces an IVF/ScaNN curve.
-struct RuntimeParams {
+/// What an index can do, as a bitmask. Declared here (not in api/index.h)
+/// because SearchOptions defaulting is capability-aware: knobs that a flavor
+/// cannot honor are neutralized in one place instead of being silently
+/// ignored at N call sites.
+enum : uint32_t {
+  kCapSearch = 1u << 0,       ///< SearchBatch / SearchBatchEx / MakeSearcher
+  kCapSave = 1u << 1,         ///< Save(path) round-trips through Open
+  kCapInsert = 1u << 2,       ///< Insert(vec)
+  kCapDelete = 1u << 3,       ///< Delete(id)
+  kCapConsolidate = 1u << 4,  ///< Consolidate()
+  kCapShardProbe = 1u << 5,   ///< honors SearchOptions::nprobe_shards
+  kCapRerank = 1u << 6,       ///< two-level re-ranking (honors rerank knobs)
+};
+using Capabilities = uint32_t;
+
+/// Named search-time options (per query batch). Each index reads the fields
+/// relevant to it; sweeping `window` traces a graph index's QPS/recall
+/// Pareto curve, sweeping (nprobe, reorder_k) traces an IVF/ScaNN curve.
+/// `Index::Calibrate` searches this space for the cheapest configuration
+/// meeting a recall target (api/calibrate.h).
+struct SearchOptions {
   uint32_t window = 32;          ///< graph W / HNSW ef-search
   bool rerank = true;            ///< two-level final re-ranking (LVQ-B1xB2)
   uint32_t nprobe = 8;           ///< IVF/ScaNN: partitions probed
@@ -27,7 +45,56 @@ struct RuntimeParams {
   uint32_t prefetch_offset = 0;  ///< graph prefetcher lookahead offset
   uint32_t prefetch_step = 2;    ///< graph prefetcher vectors/iteration
   bool use_visited_set = true;   ///< graph visited-set ablation (see search.h)
+  /// Two-level re-rank depth: how many of the window's candidates are
+  /// re-scored at full precision before the top-k selection. 0 = the whole
+  /// window (the paper's Sec. 3.2 gather; the historical behavior); smaller
+  /// values trade residual-gather work for recall. Clamped to >= k and
+  /// ignored when `rerank` is false or the storage has no second level.
+  uint32_t rerank_window = 0;
+
+  /// OK iff every knob is inside its representable range. Search paths do
+  /// not validate (they clamp); call this at configuration boundaries (CLI
+  /// parsing, calibration, serving setup).
+  Status Validate() const {
+    if (window == 0) {
+      return Status::InvalidArgument("SearchOptions::window must be >= 1");
+    }
+    if (window > (1u << 20)) {
+      return Status::InvalidArgument("SearchOptions::window out of range (> 2^20)");
+    }
+    if (rerank_window > window) {
+      return Status::InvalidArgument(
+          "SearchOptions::rerank_window (" + std::to_string(rerank_window) +
+          ") exceeds window (" + std::to_string(window) + ")");
+    }
+    if (nprobe == 0) {
+      return Status::InvalidArgument("SearchOptions::nprobe must be >= 1");
+    }
+    return Status::OK();
+  }
+
+  /// The options with capability-unaware knobs neutralized: nprobe_shards
+  /// falls back to 0 (all shards) without kCapShardProbe, the re-rank pair
+  /// is disabled without kCapRerank, and rerank_window is clamped into
+  /// [k, window] when set. The one place flavor-specific defaulting lives.
+  SearchOptions ResolvedFor(Capabilities caps, size_t k) const {
+    SearchOptions r = *this;
+    r.window = std::max<uint32_t>(r.window, static_cast<uint32_t>(k));
+    if ((caps & kCapShardProbe) == 0) r.nprobe_shards = 0;
+    if ((caps & kCapRerank) == 0) {
+      r.rerank = false;
+      r.rerank_window = 0;
+    } else if (r.rerank_window != 0) {
+      r.rerank_window = std::clamp<uint32_t>(
+          r.rerank_window, static_cast<uint32_t>(k), r.window);
+    }
+    return r;
+  }
 };
+
+/// Deprecated name of SearchOptions, kept so out-of-tree callers compile;
+/// new code should spell SearchOptions.
+using RuntimeParams = SearchOptions;
 
 /// Aggregate work counters of a batch (or of one searcher's lifetime).
 /// Indices that do not track a counter leave it at zero.
@@ -100,7 +167,7 @@ class Searcher {
   /// Writes exactly k ids (and, when `dists` is non-null, k distances) for
   /// one query, padded per the contract above. When `stats` is non-null the
   /// query's work counters are accumulated (+=) into it.
-  virtual void Search(const float* query, size_t k, const RuntimeParams& params,
+  virtual void Search(const float* query, size_t k, const SearchOptions& params,
                       uint32_t* ids, float* dists, BatchStats* stats) = 0;
 };
 
@@ -120,7 +187,7 @@ class SearchIndex {
   /// filled with kInvalidId. Thread-safe; batch is parallelized across
   /// `pool` when provided (single-threaded otherwise).
   virtual void SearchBatch(MatrixViewF queries, size_t k,
-                           const RuntimeParams& params, uint32_t* ids,
+                           const SearchOptions& params, uint32_t* ids,
                            ThreadPool* pool = nullptr) const = 0;
 
   /// Extended batch search: additionally reports per-query distances
@@ -130,7 +197,7 @@ class SearchIndex {
   /// ("unavailable") and leaves `stats` untouched; indices that track these
   /// (VamanaIndex, the dynamic index) override it.
   virtual void SearchBatchEx(MatrixViewF queries, size_t k,
-                             const RuntimeParams& params, uint32_t* ids,
+                             const SearchOptions& params, uint32_t* ids,
                              float* dists, BatchStats* stats,
                              ThreadPool* pool = nullptr) const {
     SearchBatch(queries, k, params, ids, pool);
@@ -157,7 +224,7 @@ class BatchOfOneSearcher : public Searcher {
  public:
   explicit BatchOfOneSearcher(const SearchIndex* index) : index_(index) {}
 
-  void Search(const float* query, size_t k, const RuntimeParams& params,
+  void Search(const float* query, size_t k, const SearchOptions& params,
               uint32_t* ids, float* dists, BatchStats* stats) override {
     MatrixViewF one(query, 1, index_->dim());
     index_->SearchBatchEx(one, k, params, ids, dists, stats, nullptr);

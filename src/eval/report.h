@@ -1,0 +1,183 @@
+// Machine-readable perf trajectory (DESIGN.md D11): every flavor the
+// registry knows, run through Build -> Calibrate -> timed search, serialized
+// as a schema-versioned BENCH_report.json. CI runs blink_report on a tiny
+// fixed-seed dataset each push and diffs the result against the committed
+// bench/baseline.json, so recall regressions fail the build instead of
+// rotting silently in stdout logs.
+//
+// The JSON schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "generator": "blink_report",
+//     "dataset": {"name", "n", "nq", "dim", "metric", "seed"},
+//     "k", "target_recall", "threads",
+//     "flavors": [{
+//       "name", "build_seconds", "memory_bytes",
+//       "calibrated",            // false => calibration_error says why and
+//       "calibration_error",     //          the options are the defaults
+//       "options": {"window", "nprobe_shards", "rerank", "rerank_window",
+//                   "nprobe", "reorder_k"},
+//       "recall", "qps", "p50_us", "p99_us", "dists_per_query"
+//     }, ...]
+//   }
+// Numbers are always finite (non-finite measurements serialize as 0).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/index.h"
+#include "eval/interface.h"
+#include "util/matrix.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace blink {
+
+// --- minimal JSON ---------------------------------------------------------
+// Just enough JSON to write and reread the bench reports (and for tests to
+// inspect them) without an external dependency.
+namespace json {
+
+class Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+/// Tagged union over the JSON types. A plain struct (not std::variant):
+/// the recursive Object/Array alternatives trip GCC's -Wmaybe-uninitialized
+/// in variant's generated assignment, and the reports are small enough that
+/// the unused members cost nothing that matters.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Value() = default;
+  Value(std::nullptr_t) {}                                       // NOLINT
+  Value(bool b) : type_(Type::kBool), bool_(b) {}                // NOLINT
+  Value(double d) : type_(Type::kNumber), num_(d) {}             // NOLINT
+  Value(int i) : Value(static_cast<double>(i)) {}                // NOLINT
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}                // NOLINT
+  Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}  // NOLINT
+  Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}    // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const Object& as_object() const { return obj_; }
+  const Array& as_array() const { return arr_; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Object obj_;
+  Array arr_;
+};
+
+/// Serializes with stable ordering (std::map keys) and 2-space indentation.
+/// Non-finite numbers serialize as 0 — reports must stay diffable and
+/// parseable everywhere.
+std::string Dump(const Value& value);
+
+/// Strict-enough parser for Dump() output and hand-written baselines.
+Result<Value> Parse(const std::string& text);
+
+}  // namespace json
+
+// --- the report -----------------------------------------------------------
+
+inline constexpr int kBenchReportSchemaVersion = 1;
+
+/// One index flavor's row in the trajectory.
+struct BenchFlavorReport {
+  std::string name;            ///< registry name ("static-lvq", "hnsw", ...)
+  double build_seconds = 0.0;
+  double memory_bytes = 0.0;
+  bool calibrated = false;     ///< Calibrate met the target on this flavor
+  std::string calibration_error;  ///< Status text when !calibrated
+  SearchOptions options;       ///< calibrated (or fallback default) options
+  double recall = 0.0;         ///< measured with `options` on the eval split
+  double qps = 0.0;            ///< batch mode, best of the configured reps
+  double p50_us = 0.0;         ///< single-query latency percentiles
+  double p99_us = 0.0;
+  double dists_per_query = 0.0;
+};
+
+struct BenchReport {
+  int schema_version = kBenchReportSchemaVersion;
+  std::string generator = "blink_report";
+  std::string dataset_name;
+  size_t n = 0;        ///< base vectors
+  size_t nq = 0;       ///< total queries (calibration + eval splits)
+  size_t dim = 0;
+  std::string metric;  ///< MetricName()
+  uint64_t seed = 0;
+  size_t k = 10;
+  double target_recall = 0.9;
+  size_t threads = 1;
+  std::vector<BenchFlavorReport> flavors;
+};
+
+std::string BenchReportToJson(const BenchReport& report);
+Result<BenchReport> ParseBenchReport(const std::string& text);
+
+// --- measurement ----------------------------------------------------------
+
+struct BenchRunConfig {
+  size_t k = 10;
+  double target_recall = 0.9;
+  uint32_t max_window = 1024;  ///< calibration search bound
+  int best_of = 3;             ///< QPS reps (the harness' best-of protocol)
+  ThreadPool* pool = nullptr;  ///< batch parallelism (latency path ignores it)
+};
+
+/// Calibrates `index` on the first half of `queries` (the held-out sample),
+/// then measures recall / QPS / latency percentiles / distance comps on the
+/// second half with the chosen options. When calibration fails (target
+/// unreachable, flavor without tunable knobs hitting its plateau), the
+/// flavor is still measured with the default options and the error recorded
+/// — a report row never disappears just because a flavor got slower.
+BenchFlavorReport MeasureFlavor(const std::string& name, const Index& index,
+                                double build_seconds, MatrixViewF queries,
+                                const Matrix<uint32_t>& groundtruth,
+                                const BenchRunConfig& config);
+
+// --- the baseline gate ----------------------------------------------------
+
+struct BaselineGate {
+  /// Fail when a flavor's recall drops more than this below the smaller of
+  /// the baseline's recall and the configured target (the min() keeps a
+  /// baseline machine that overshot the target from tightening the gate).
+  double recall_tolerance = 0.01;
+  /// Warn (never fail — machines differ) when QPS falls below this fraction
+  /// of the baseline.
+  double qps_warn_ratio = 0.5;
+};
+
+struct GateResult {
+  bool pass = true;
+  std::vector<std::string> failures;  ///< recall regressions, missing flavors
+  std::vector<std::string> warnings;  ///< QPS drops, new flavors
+};
+
+/// Diffs `current` against `baseline` under the gate's tolerances.
+GateResult CompareToBaseline(const BenchReport& current,
+                             const BenchReport& baseline,
+                             const BaselineGate& gate = {});
+
+}  // namespace blink

@@ -327,8 +327,8 @@ void DynamicGraphIndex<Storage>::ConsolidateDeletes() {
 template <typename Storage>
 void DynamicGraphIndex<Storage>::Search(const float* query, size_t k,
                                         uint32_t window, SearchResult* out,
-                                        SearchScratch* scratch,
-                                        bool rerank) const {
+                                        SearchScratch* scratch, bool rerank,
+                                        uint32_t rerank_window) const {
   out->ids.clear();
   out->dists.clear();
   out->distance_computations = 0;
@@ -346,7 +346,13 @@ void DynamicGraphIndex<Storage>::Search(const float* query, size_t k,
   CollectIntoScratch(query, w, scratch);
   out->distance_computations = scratch->distance_computations;
   out->hops = scratch->hops;
-  const size_t m = scratch->buffer.size();
+  size_t m = scratch->buffer.size();
+  if (rerank && storage_.has_second_level() && rerank_window > 0) {
+    // Partial re-rank depth, over-provisioned by the navigable tombstone
+    // count like the window above (tombstoned candidates are filtered from
+    // results after re-ranking, so the depth must cover them too).
+    m = std::min<size_t>(m, std::max<size_t>(rerank_window, k) + tomb);
+  }
   if (rerank && storage_.has_second_level() && m > 0) {
     // Re-score every candidate at full two-level precision before the
     // top-k selection (the gather + recompute of Sec. 3.2).

@@ -122,11 +122,11 @@ class DynamicGraphIndex {
   /// number of threads concurrently with writers. The scratch overload
   /// reuses per-thread state; the plain overload allocates fresh scratch
   /// per call. When the storage has a second level and `rerank` is set,
-  /// all candidates are re-scored at full two-level precision before the
-  /// top-k selection (Sec. 3.2).
+  /// the top `rerank_window` candidates (all of them when 0) are re-scored
+  /// at full two-level precision before the top-k selection (Sec. 3.2).
   void Search(const float* query, size_t k, uint32_t window,
               SearchResult* out, SearchScratch* scratch,
-              bool rerank = true) const;
+              bool rerank = true, uint32_t rerank_window = 0) const;
   void Search(const float* query, size_t k, uint32_t window,
               SearchResult* out) const;
 

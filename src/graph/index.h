@@ -46,7 +46,7 @@ class VamanaIndex : public SearchIndex {
     return storage_.memory_bytes() + built_.graph.memory_bytes();
   }
 
-  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
+  void SearchBatch(MatrixViewF queries, size_t k, const SearchOptions& params,
                    uint32_t* ids, ThreadPool* pool = nullptr) const override {
     SearchBatchEx(queries, k, params, ids, /*dists=*/nullptr,
                   /*stats=*/nullptr, pool);
@@ -54,7 +54,7 @@ class VamanaIndex : public SearchIndex {
 
   /// Batch search that also reports per-query distances and aggregate work
   /// counters (either may be null); the plain batch path used to drop both.
-  void SearchBatchEx(MatrixViewF queries, size_t k, const RuntimeParams& params,
+  void SearchBatchEx(MatrixViewF queries, size_t k, const SearchOptions& params,
                      uint32_t* ids, float* dists, BatchStats* stats,
                      ThreadPool* pool = nullptr) const override {
     const SearchParams sp = ToSearchParams(params, k);
@@ -76,7 +76,7 @@ class VamanaIndex : public SearchIndex {
 
   /// Single-query search exposing full per-query statistics. Pads ids/dists
   /// to exactly k entries (kInvalidId / +inf) like the batch paths.
-  void Search(const float* query, size_t k, const RuntimeParams& params,
+  void Search(const float* query, size_t k, const SearchOptions& params,
               SearchResult* out) const {
     GreedySearcher<Storage> searcher(&built_.graph, &storage_);
     searcher.Search(query, k, built_.entry_point, ToSearchParams(params, k), out);
@@ -94,7 +94,7 @@ class VamanaIndex : public SearchIndex {
           : index_(index),
             searcher_(&index->built_.graph, &index->storage_) {}
 
-      void Search(const float* query, size_t k, const RuntimeParams& params,
+      void Search(const float* query, size_t k, const SearchOptions& params,
                   uint32_t* ids, float* dists, BatchStats* stats) override {
         searcher_.Search(query, k, index_->built_.entry_point,
                          ToSearchParams(params, k), &res_);
@@ -127,13 +127,14 @@ class VamanaIndex : public SearchIndex {
                    dists);
   }
 
-  static SearchParams ToSearchParams(const RuntimeParams& p, size_t k) {
+  static SearchParams ToSearchParams(const SearchOptions& p, size_t k) {
     SearchParams sp;
     sp.window = std::max<uint32_t>(p.window, static_cast<uint32_t>(k));
     sp.prefetch_offset = p.prefetch_offset;
     sp.prefetch_step = p.prefetch_step;
     sp.use_visited_set = p.use_visited_set;
     sp.rerank = p.rerank;
+    sp.rerank_window = p.rerank_window;
     return sp;
   }
 

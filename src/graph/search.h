@@ -28,6 +28,11 @@ struct SearchParams {
   /// default. The knob reproduces the paper's ablation either way.
   bool use_visited_set = true;
   bool rerank = true;            ///< use the second level when available
+  /// Re-rank depth: candidates re-scored at full two-level precision before
+  /// the top-k selection. 0 = all W candidates (the historical behavior);
+  /// otherwise clamped into [k, W]. Only meaningful when `rerank` is set
+  /// and the storage has a second level.
+  uint32_t rerank_window = 0;
 };
 
 struct SearchResult {
@@ -117,10 +122,15 @@ class GreedySearcher {
   }
 
   /// Selects the k results. With a second level present and rerank enabled,
-  /// re-scores *all* W candidates with full two-level precision first
-  /// (the gather + recompute of Sec. 3.2).
+  /// re-scores the top `rerank_window` candidates (all W when 0) with full
+  /// two-level precision first (the gather + recompute of Sec. 3.2). The
+  /// buffer is sorted by level-1 distance, so a partial depth re-ranks the
+  /// most promising prefix.
   void ExtractTopK(size_t k, const SearchParams& params, SearchResult* out) {
-    const size_t m = buffer_.size();
+    size_t m = buffer_.size();
+    if (params.rerank_window > 0) {
+      m = std::min<size_t>(m, std::max<size_t>(params.rerank_window, k));
+    }
     const size_t kk = std::min(k, m);
     out->ids.resize(kk);
     out->dists.resize(kk);

@@ -56,7 +56,7 @@ void ServingEngine::ReleaseSearcher(Searcher* s) {
 }
 
 void ServingEngine::SearchBatch(MatrixViewF queries, size_t k,
-                                const RuntimeParams& params, uint32_t* ids,
+                                const SearchOptions& params, uint32_t* ids,
                                 float* dists, BatchStats* stats) {
   const size_t nq = queries.rows;
   if (nq == 0) return;
@@ -83,7 +83,7 @@ void ServingEngine::SearchBatch(MatrixViewF queries, size_t k,
 }
 
 std::future<SearchResult> ServingEngine::Submit(const float* query, size_t k,
-                                                const RuntimeParams& params) {
+                                                const SearchOptions& params) {
   Request req;
   req.query.assign(query, query + index_->dim());
   req.k = k;

@@ -71,7 +71,7 @@ class ServingEngine {
   /// per-query dists (+inf padding) and aggregate stats for this call.
   /// Thread-safe: any number of client threads may call concurrently; they
   /// share the searcher pool.
-  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
+  void SearchBatch(MatrixViewF queries, size_t k, const SearchOptions& params,
                    uint32_t* ids, float* dists = nullptr,
                    BatchStats* stats = nullptr);
 
@@ -79,7 +79,7 @@ class ServingEngine {
   /// resolves to exactly k ids/dists (padded). Blocks only when
   /// `queue_capacity` queries are already waiting. Thread-safe.
   std::future<SearchResult> Submit(const float* query, size_t k,
-                                   const RuntimeParams& params);
+                                   const SearchOptions& params);
 
   /// Blocks until every previously submitted async query has completed.
   void Drain();
@@ -92,7 +92,7 @@ class ServingEngine {
   struct Request {
     std::vector<float> query;
     size_t k;
-    RuntimeParams params;
+    SearchOptions params;
     std::promise<SearchResult> promise;
   };
 
@@ -140,9 +140,10 @@ class DynamicPooledSearcher : public Searcher {
   explicit DynamicPooledSearcher(const DynamicGraphIndex<Storage>* index)
       : index_(index) {}
 
-  void Search(const float* query, size_t k, const RuntimeParams& params,
+  void Search(const float* query, size_t k, const SearchOptions& params,
               uint32_t* ids, float* dists, BatchStats* stats) override {
-    index_->Search(query, k, params.window, &res_, &scratch_, params.rerank);
+    index_->Search(query, k, params.window, &res_, &scratch_, params.rerank,
+                   params.rerank_window);
     WritePaddedRow(res_.ids.data(), res_.dists.data(), res_.ids.size(), k,
                    ids, dists);
     if (stats != nullptr) {
@@ -161,8 +162,8 @@ class DynamicPooledSearcher : public Searcher {
 
 /// SearchIndex facade over a DynamicGraphIndex of any storage, so the
 /// engine (and the eval harness) can serve a mutating index — float32 or
-/// compressed LVQ — through the same seam. RuntimeParams::window maps to
-/// the dynamic search window and RuntimeParams::rerank to the two-level
+/// compressed LVQ — through the same seam. SearchOptions::window maps to
+/// the dynamic search window and SearchOptions::rerank to the two-level
 /// re-ranking pass; per-thread SearchScratch is pooled through
 /// MakeSearcher(). Reads are safe concurrently with writers — see
 /// graph/dynamic.h.
@@ -181,12 +182,12 @@ class DynamicView : public SearchIndex {
   size_t dim() const override { return index_->dim(); }
   size_t memory_bytes() const override { return index_->memory_bytes(); }
 
-  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
+  void SearchBatch(MatrixViewF queries, size_t k, const SearchOptions& params,
                    uint32_t* ids, ThreadPool* pool = nullptr) const override {
     SearchBatchEx(queries, k, params, ids, nullptr, nullptr, pool);
   }
 
-  void SearchBatchEx(MatrixViewF queries, size_t k, const RuntimeParams& params,
+  void SearchBatchEx(MatrixViewF queries, size_t k, const SearchOptions& params,
                      uint32_t* ids, float* dists, BatchStats* stats,
                      ThreadPool* pool = nullptr) const override {
     RunBatchSlices(

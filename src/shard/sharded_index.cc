@@ -20,7 +20,7 @@ class ShardedIndex::ShardedSearcher : public Searcher {
     }
   }
 
-  void Search(const float* query, size_t k, const RuntimeParams& params,
+  void Search(const float* query, size_t k, const SearchOptions& params,
               uint32_t* ids, float* dists, BatchStats* stats) override {
     const auto& live = index_->live_shards_;
     const MatrixF& centroids = index_->partition_.centroids;
@@ -136,14 +136,14 @@ size_t ShardedIndex::memory_bytes() const {
 }
 
 void ShardedIndex::SearchBatch(MatrixViewF queries, size_t k,
-                               const RuntimeParams& params, uint32_t* ids,
+                               const SearchOptions& params, uint32_t* ids,
                                ThreadPool* pool) const {
   SearchBatchEx(queries, k, params, ids, /*dists=*/nullptr, /*stats=*/nullptr,
                 pool);
 }
 
 void ShardedIndex::SearchBatchEx(MatrixViewF queries, size_t k,
-                                 const RuntimeParams& params, uint32_t* ids,
+                                 const SearchOptions& params, uint32_t* ids,
                                  float* dists, BatchStats* stats,
                                  ThreadPool* pool) const {
   const size_t workers = pool != nullptr ? pool->num_threads() : 1;

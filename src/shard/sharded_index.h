@@ -11,7 +11,7 @@
 //
 // Search: partition-then-probe. Per query, rank live shards by centroid
 // distance, run the per-shard searchers (warm scratch via each shard's
-// MakeSearcher) on the closest `RuntimeParams::nprobe_shards` shards, and
+// MakeSearcher) on the closest `SearchOptions::nprobe_shards` shards, and
 // k-way-merge the per-shard top-k into global ids. Shards are disjoint, so
 // the merge needs no dedup; padded per-shard slots (kInvalidId / +inf)
 // sort last and are dropped, and the merged row is re-padded through
@@ -49,10 +49,10 @@ class ShardedIndex : public SearchIndex {
   size_t dim() const override;
   size_t memory_bytes() const override;
 
-  void SearchBatch(MatrixViewF queries, size_t k, const RuntimeParams& params,
+  void SearchBatch(MatrixViewF queries, size_t k, const SearchOptions& params,
                    uint32_t* ids, ThreadPool* pool = nullptr) const override;
 
-  void SearchBatchEx(MatrixViewF queries, size_t k, const RuntimeParams& params,
+  void SearchBatchEx(MatrixViewF queries, size_t k, const SearchOptions& params,
                      uint32_t* ids, float* dists, BatchStats* stats,
                      ThreadPool* pool = nullptr) const override;
 

@@ -153,4 +153,26 @@ Result<Matrix<uint32_t>> ReadNativeU32(const std::string& path) {
   return ReadNativeImpl<uint32_t>(path, 2);
 }
 
+Result<std::string> ReadTextFile(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string text;
+  char buf[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    text.append(buf, got);
+  }
+  if (std::ferror(f.get())) return Status::IOError("read error on " + path);
+  return text;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  if (std::fwrite(text.data(), 1, text.size(), f.get()) != text.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace blink

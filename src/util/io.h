@@ -35,4 +35,8 @@ Status WriteNative(const std::string& path, const Matrix<uint32_t>& m);
 Result<MatrixF> ReadNativeF32(const std::string& path);
 Result<Matrix<uint32_t>> ReadNativeU32(const std::string& path);
 
+/// Whole-file text IO (bench reports, baselines).
+Result<std::string> ReadTextFile(const std::string& path);
+Status WriteTextFile(const std::string& path, const std::string& text);
+
 }  // namespace blink

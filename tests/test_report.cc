@@ -1,0 +1,302 @@
+// BENCH_report.json (ISSUE 6): the minimal JSON layer, the schema-versioned
+// report serialization, the MeasureFlavor protocol, and the CI baseline
+// gate. The golden-schema test pins the version-1 key set — renaming or
+// dropping a key is a schema bump, not a refactor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "api/index.h"
+#include "eval/report.h"
+#include "testutil.h"
+
+namespace blink {
+namespace {
+
+using testutil::Fixture;
+
+// --- the JSON layer -------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+  json::Object inner;
+  inner["pi"] = 3.25;
+  inner["yes"] = true;
+  inner["no"] = false;
+  inner["nothing"] = nullptr;
+  json::Array list;
+  list.push_back(1);
+  list.push_back("two");
+  list.push_back(json::Object{});
+  json::Object root;
+  root["inner"] = std::move(inner);
+  root["list"] = std::move(list);
+  root["name"] = "escaped \"quotes\" and\nnewlines\t";
+
+  const std::string text = json::Dump(json::Value(std::move(root)));
+  Result<json::Value> back = json::Parse(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const json::Value& v = back.value();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.Find("inner")->Find("pi")->as_number(), 3.25);
+  EXPECT_TRUE(v.Find("inner")->Find("yes")->as_bool());
+  EXPECT_FALSE(v.Find("inner")->Find("no")->as_bool());
+  EXPECT_TRUE(v.Find("inner")->Find("nothing")->is_null());
+  ASSERT_EQ(v.Find("list")->as_array().size(), 3u);
+  EXPECT_EQ(v.Find("list")->as_array()[1].as_string(), "two");
+  EXPECT_EQ(v.Find("name")->as_string(), "escaped \"quotes\" and\nnewlines\t");
+  // Dump is deterministic (std::map key order), so round-tripping the text
+  // reproduces it byte for byte — the property that keeps baselines
+  // diffable.
+  EXPECT_EQ(json::Dump(back.value()), text);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsZero) {
+  json::Object o;
+  o["a"] = std::nan("");
+  o["b"] = std::numeric_limits<double>::infinity();
+  const std::string text = json::Dump(json::Value(std::move(o)));
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  Result<json::Value> back = json::Parse(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back.value().Find("a")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(back.value().Find("b")->as_number(), 0.0);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(json::Parse("").ok());
+  EXPECT_FALSE(json::Parse("{").ok());
+  EXPECT_FALSE(json::Parse("[1, 2,]").ok());
+  EXPECT_FALSE(json::Parse("{\"a\": tru}").ok());
+  EXPECT_FALSE(json::Parse("{} trailing").ok());
+  EXPECT_FALSE(json::Parse("\"unterminated").ok());
+}
+
+TEST(Json, FindOnNonObjectIsNull) {
+  json::Value num(1.0);
+  EXPECT_EQ(num.Find("x"), nullptr);
+  json::Object o;
+  o["present"] = 1;
+  json::Value v(std::move(o));
+  EXPECT_NE(v.Find("present"), nullptr);
+  EXPECT_EQ(v.Find("absent"), nullptr);
+}
+
+// --- report serialization -------------------------------------------------
+
+BenchReport TwoFlavorReport() {
+  BenchReport r;
+  r.dataset_name = "deep-like";
+  r.n = 2000;
+  r.nq = 200;
+  r.dim = 96;
+  r.metric = "l2";
+  r.seed = 77;
+  r.k = 10;
+  r.target_recall = 0.9;
+  r.threads = 2;
+  BenchFlavorReport a;
+  a.name = "static-lvq";
+  a.build_seconds = 0.25;
+  a.memory_bytes = 123456;
+  a.calibrated = true;
+  a.options.window = 24;
+  a.options.rerank_window = 10;
+  a.recall = 0.97;
+  a.qps = 50000;
+  a.p50_us = 40;
+  a.p99_us = 120;
+  a.dists_per_query = 800;
+  BenchFlavorReport b;
+  b.name = "ivf-pq";
+  b.calibrated = false;
+  b.calibration_error = "OutOfRange: target unreachable";
+  b.recall = 0.65;
+  b.qps = 90000;
+  r.flavors = {a, b};
+  return r;
+}
+
+TEST(BenchReportJson, RoundTripPreservesEveryField) {
+  const BenchReport r = TwoFlavorReport();
+  Result<BenchReport> back = ParseBenchReport(BenchReportToJson(r));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const BenchReport& p = back.value();
+  EXPECT_EQ(p.schema_version, kBenchReportSchemaVersion);
+  EXPECT_EQ(p.generator, "blink_report");
+  EXPECT_EQ(p.dataset_name, r.dataset_name);
+  EXPECT_EQ(p.n, r.n);
+  EXPECT_EQ(p.nq, r.nq);
+  EXPECT_EQ(p.dim, r.dim);
+  EXPECT_EQ(p.metric, r.metric);
+  EXPECT_EQ(p.seed, r.seed);
+  EXPECT_EQ(p.k, r.k);
+  EXPECT_DOUBLE_EQ(p.target_recall, r.target_recall);
+  EXPECT_EQ(p.threads, r.threads);
+  ASSERT_EQ(p.flavors.size(), 2u);
+  EXPECT_EQ(p.flavors[0].name, "static-lvq");
+  EXPECT_TRUE(p.flavors[0].calibrated);
+  EXPECT_EQ(p.flavors[0].options.window, 24u);
+  EXPECT_EQ(p.flavors[0].options.rerank_window, 10u);
+  EXPECT_DOUBLE_EQ(p.flavors[0].recall, 0.97);
+  EXPECT_DOUBLE_EQ(p.flavors[0].p99_us, 120.0);
+  EXPECT_FALSE(p.flavors[1].calibrated);
+  EXPECT_EQ(p.flavors[1].calibration_error, "OutOfRange: target unreachable");
+}
+
+TEST(BenchReportJson, GoldenSchemaVersion1Keys) {
+  const std::string text = BenchReportToJson(TwoFlavorReport());
+  // The version-1 contract: these keys exist under these names. Consumers
+  // (the CI gate, plotting scripts) key on them; renames bump the version.
+  for (const char* key :
+       {"\"schema_version\"", "\"generator\"", "\"dataset\"", "\"name\"",
+        "\"n\"", "\"nq\"", "\"dim\"", "\"metric\"", "\"seed\"", "\"k\"",
+        "\"target_recall\"", "\"threads\"", "\"flavors\"", "\"build_seconds\"",
+        "\"memory_bytes\"", "\"calibrated\"", "\"options\"", "\"window\"",
+        "\"nprobe_shards\"", "\"rerank\"", "\"rerank_window\"", "\"nprobe\"",
+        "\"reorder_k\"", "\"recall\"", "\"qps\"", "\"p50_us\"", "\"p99_us\"",
+        "\"dists_per_query\""}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(text.find("\"schema_version\": 1"), std::string::npos);
+  // Finite-numbers guarantee: no NaN/Inf spellings anywhere in the output.
+  for (const char* bad : {"nan", "NaN", "inf", "Inf"}) {
+    EXPECT_EQ(text.find(bad), std::string::npos) << bad;
+  }
+}
+
+TEST(BenchReportJson, ParseRejectsWrongShape) {
+  EXPECT_FALSE(ParseBenchReport("[]").ok());
+  EXPECT_FALSE(ParseBenchReport("{}").ok());  // no schema_version
+  EXPECT_FALSE(
+      ParseBenchReport("{\"schema_version\": 1}").ok());  // no flavors
+  EXPECT_FALSE(ParseBenchReport(
+                   "{\"schema_version\": 1, \"flavors\": [{}]}")
+                   .ok());  // flavor without a name
+}
+
+// --- MeasureFlavor --------------------------------------------------------
+
+TEST(MeasureFlavor, CalibratesAndMeasuresARealIndex) {
+  const Fixture f(MakeDeepLike(1200, 80, 77));
+  IndexSpec spec;
+  spec.kind = IndexKind::kStaticLvq;
+  spec.metric = f.data.metric;
+  spec.bits1 = 4;
+  spec.bits2 = 8;
+  spec.graph = f.bp;
+  Result<Index> index = Build(spec, f.data.base);
+  ASSERT_TRUE(index.ok());
+
+  BenchRunConfig config;
+  config.k = f.k;
+  config.target_recall = 0.9;
+  const BenchFlavorReport row = MeasureFlavor(
+      "static-lvq", index.value(), /*build_seconds=*/0.1, f.data.queries,
+      f.gt, config);
+  EXPECT_EQ(row.name, "static-lvq");
+  EXPECT_TRUE(row.calibrated) << row.calibration_error;
+  // Calibration met 0.9 on the first half; the eval half is drawn from the
+  // same distribution, so the tolerance only absorbs sampling drift.
+  EXPECT_GE(row.recall, 0.9 - 0.05);
+  EXPECT_GT(row.qps, 0.0);
+  EXPECT_GT(row.p50_us, 0.0);
+  EXPECT_GE(row.p99_us, row.p50_us);
+  EXPECT_GT(row.dists_per_query, 0.0);
+  EXPECT_GT(row.memory_bytes, 0.0);
+}
+
+TEST(MeasureFlavor, RecordsCalibrationFailureButStillMeasures) {
+  const Fixture f(MakeDeepLike(800, 60, 77));
+  IndexSpec spec;
+  spec.kind = IndexKind::kStaticLvq;
+  spec.metric = f.data.metric;
+  spec.bits1 = 4;
+  spec.bits2 = 0;  // one-level: no re-rank, imperfect ceiling
+  spec.graph = f.bp;
+  Result<Index> index = Build(spec, f.data.base);
+  ASSERT_TRUE(index.ok());
+
+  BenchRunConfig config;
+  config.k = f.k;
+  config.target_recall = 1.0;
+  config.max_window = static_cast<uint32_t>(f.k);  // force OutOfRange
+  const BenchFlavorReport row = MeasureFlavor(
+      "static-lvq4", index.value(), 0.1, f.data.queries, f.gt, config);
+  EXPECT_FALSE(row.calibrated);
+  EXPECT_FALSE(row.calibration_error.empty());
+  // The row still carries a real measurement (default options).
+  EXPECT_GT(row.recall, 0.0);
+  EXPECT_GT(row.qps, 0.0);
+}
+
+// --- the baseline gate ----------------------------------------------------
+
+TEST(BaselineGate, PassesWhenNothingRegressed) {
+  const BenchReport base = TwoFlavorReport();
+  BenchReport cur = base;
+  cur.flavors[0].recall += 0.005;  // noise-level improvement
+  const GateResult g = CompareToBaseline(cur, base);
+  EXPECT_TRUE(g.pass) << (g.failures.empty() ? "" : g.failures[0]);
+  EXPECT_TRUE(g.failures.empty());
+}
+
+TEST(BaselineGate, RecallRegressionFails) {
+  const BenchReport base = TwoFlavorReport();
+  BenchReport cur = base;
+  cur.flavors[1].recall = base.flavors[1].recall - 0.02;  // > 0.01 tolerance
+  const GateResult g = CompareToBaseline(cur, base);
+  EXPECT_FALSE(g.pass);
+  ASSERT_EQ(g.failures.size(), 1u);
+  EXPECT_NE(g.failures[0].find("ivf-pq"), std::string::npos);
+}
+
+TEST(BaselineGate, TargetRecallCapsTheFloor) {
+  // A baseline machine that overshot the target (0.97 vs target 0.9) must
+  // not tighten the gate: the floor is min(baseline, target) - tolerance.
+  const BenchReport base = TwoFlavorReport();
+  BenchReport cur = base;
+  cur.flavors[0].recall = 0.895;  // above 0.9 - 0.01, far below 0.97 - 0.01
+  EXPECT_TRUE(CompareToBaseline(cur, base).pass);
+  cur.flavors[0].recall = 0.88;  // below even the capped floor
+  EXPECT_FALSE(CompareToBaseline(cur, base).pass);
+}
+
+TEST(BaselineGate, MissingFlavorFailsNewFlavorWarns) {
+  const BenchReport base = TwoFlavorReport();
+  BenchReport cur = base;
+  cur.flavors[1].name = "brand-new";  // ivf-pq gone, brand-new appeared
+  const GateResult g = CompareToBaseline(cur, base);
+  EXPECT_FALSE(g.pass);
+  ASSERT_EQ(g.failures.size(), 1u);
+  EXPECT_NE(g.failures[0].find("ivf-pq"), std::string::npos);
+  bool warned_new = false;
+  for (const std::string& w : g.warnings) {
+    warned_new = warned_new || w.find("brand-new") != std::string::npos;
+  }
+  EXPECT_TRUE(warned_new);
+}
+
+TEST(BaselineGate, QpsDropOnlyWarns) {
+  const BenchReport base = TwoFlavorReport();
+  BenchReport cur = base;
+  cur.flavors[0].qps = base.flavors[0].qps * 0.25;  // below the 0.5 ratio
+  const GateResult g = CompareToBaseline(cur, base);
+  EXPECT_TRUE(g.pass);
+  EXPECT_FALSE(g.warnings.empty());
+}
+
+TEST(BaselineGate, SchemaMismatchFails) {
+  const BenchReport base = TwoFlavorReport();
+  BenchReport cur = base;
+  cur.schema_version = kBenchReportSchemaVersion + 1;
+  const GateResult g = CompareToBaseline(cur, base);
+  EXPECT_FALSE(g.pass);
+  ASSERT_FALSE(g.failures.empty());
+  EXPECT_NE(g.failures[0].find("schema"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blink

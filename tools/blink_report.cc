@@ -1,0 +1,201 @@
+// blink_report — the machine-readable perf trajectory. Runs every requested
+// index flavor through Build -> Calibrate -> timed search over a fixed-seed
+// synthetic dataset and writes a schema-versioned JSON report (recall, QPS,
+// latency percentiles, distance computations, memory, build time per
+// flavor). CI runs this on a tiny dataset each push and gates on the
+// committed bench/baseline.json.
+//
+// Usage:
+//   blink_report [options]
+//     --n N               base vectors (default 2000)
+//     --nq N              queries; half calibrate, half evaluate (default 200)
+//     --seed S            dataset seed (default 77)
+//     --k N               neighbors per query (default 10)
+//     --target-recall R   calibration target (default 0.9)
+//     --max-window N      calibration search bound (default 1024)
+//     --kinds a,b,c       comma-separated registry names (default: every
+//                         registered factory)
+//     --out FILE          report path (default BENCH_report.json)
+//     --baseline FILE     gate against a committed baseline report; recall
+//                         regressions beyond the tolerance exit non-zero
+//     --threads N         worker threads (default: BLINK_THREADS/hardware)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "blink.h"
+#include "flags.h"
+
+using namespace blink;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--n N] [--nq N] [--seed S] [--k N] "
+               "[--target-recall R] [--max-window N] [--kinds a,b,...] "
+               "[--out report.json] [--baseline baseline.json] "
+               "[--threads N]\n",
+               argv0);
+  return 2;
+}
+
+std::vector<std::string> SplitNames(const std::string& csv) {
+  std::vector<std::string> names;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > pos) names.push_back(csv.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = 2000, nq = 200, k = 10;
+  uint64_t seed = 77;
+  double target_recall = 0.9;
+  long long max_window = 1024;
+  long long threads = 0;
+  std::string kinds_csv, out_path = "BENCH_report.json", baseline_path;
+
+  tools::FlagParser args(argc, argv, 1);
+  std::string flag;
+  const char* val = nullptr;
+  long long iv = 0;
+  while (args.Next(&flag, &val)) {
+    if (flag == "--n") {
+      if (!tools::ParseIntFlag(flag, val, 16, 1LL << 32, &iv)) return 1;
+      n = static_cast<size_t>(iv);
+    } else if (flag == "--nq") {
+      if (!tools::ParseIntFlag(flag, val, 4, 1 << 24, &iv)) return 1;
+      nq = static_cast<size_t>(iv);
+    } else if (flag == "--seed") {
+      if (!tools::ParseIntFlag(flag, val, 0, 1LL << 62, &iv)) return 1;
+      seed = static_cast<uint64_t>(iv);
+    } else if (flag == "--k") {
+      if (!tools::ParseIntFlag(flag, val, 1, 1 << 16, &iv)) return 1;
+      k = static_cast<size_t>(iv);
+    } else if (flag == "--target-recall") {
+      if (!tools::ParseDoubleFlag(flag, val, &target_recall)) return 1;
+      if (target_recall > 1.0) {
+        std::fprintf(stderr, "--target-recall: must be in (0, 1]\n");
+        return 1;
+      }
+    } else if (flag == "--max-window") {
+      if (!tools::ParseIntFlag(flag, val, 1, 1 << 20, &max_window)) return 1;
+    } else if (flag == "--kinds") {
+      kinds_csv = val;
+    } else if (flag == "--out") {
+      out_path = val;
+    } else if (flag == "--baseline") {
+      baseline_path = val;
+    } else if (flag == "--threads") {
+      if (!tools::ParseIntFlag(flag, val, 1, 4096, &threads)) return 1;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (!args.ok()) return Usage(argv[0]);
+
+  const size_t nthreads =
+      threads > 0 ? static_cast<size_t>(threads) : NumThreads();
+  ThreadPool pool(nthreads);
+
+  Dataset ds = MakeDeepLike(n, nq, seed);
+  Matrix<uint32_t> gt =
+      ComputeGroundTruth(ds.base, ds.queries, k, ds.metric, &pool);
+
+  std::vector<std::string> kinds =
+      kinds_csv.empty() ? RegisteredIndexNames() : SplitNames(kinds_csv);
+
+  BenchReport report;
+  report.dataset_name = ds.name;
+  report.n = n;
+  report.nq = nq;
+  report.dim = ds.base.cols();
+  report.metric = MetricName(ds.metric);
+  report.seed = seed;
+  report.k = k;
+  report.target_recall = target_recall;
+  report.threads = nthreads;
+
+  BenchRunConfig cfg;
+  cfg.k = k;
+  cfg.target_recall = target_recall;
+  cfg.max_window = static_cast<uint32_t>(max_window);
+  cfg.pool = &pool;
+
+  for (const std::string& name : kinds) {
+    // The paper's flagship configuration — two-level LVQ-4x8, R=24 — sized
+    // down to the report dataset; every flavor interprets the shared
+    // fields its own way (see api/registry.cc).
+    IndexSpec spec;
+    spec.metric = ds.metric;
+    spec.bits1 = 4;
+    spec.bits2 = 8;
+    spec.graph.graph_max_degree = 24;
+    spec.graph.window_size = 48;
+    spec.partition.num_shards = 4;
+    spec.dynamic.initial_capacity = n;
+
+    Timer build_timer;
+    Result<Index> index = BuildNamed(name, spec, ds.base, &pool);
+    const double build_seconds = build_timer.Seconds();
+    if (!index.ok()) {
+      std::fprintf(stderr, "%s: build failed: %s\n", name.c_str(),
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    BenchFlavorReport f = MeasureFlavor(name, index.value(), build_seconds,
+                                        ds.queries, gt, cfg);
+    std::printf("%-12s recall %.4f  qps %8.0f  p50 %7.1fus  p99 %7.1fus  "
+                "window %-4u %s\n",
+                f.name.c_str(), f.recall, f.qps, f.p50_us, f.p99_us,
+                f.options.window,
+                f.calibrated ? "" : "(calibration failed; defaults)");
+    report.flavors.push_back(std::move(f));
+  }
+
+  const std::string json = BenchReportToJson(report);
+  Status wst = WriteTextFile(out_path, json);
+  if (!wst.ok()) {
+    std::fprintf(stderr, "%s\n", wst.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu flavors)\n", out_path.c_str(),
+              report.flavors.size());
+
+  if (!baseline_path.empty()) {
+    Result<std::string> text = ReadTextFile(baseline_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    Result<BenchReport> baseline = ParseBenchReport(text.value());
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "%s: %s\n", baseline_path.c_str(),
+                   baseline.status().ToString().c_str());
+      return 1;
+    }
+    GateResult gate = CompareToBaseline(report, baseline.value());
+    for (const std::string& w : gate.warnings) {
+      std::fprintf(stderr, "warning: %s\n", w.c_str());
+    }
+    for (const std::string& f : gate.failures) {
+      std::fprintf(stderr, "FAIL: %s\n", f.c_str());
+    }
+    if (!gate.pass) {
+      std::fprintf(stderr, "baseline gate failed against %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::printf("baseline gate passed against %s\n", baseline_path.c_str());
+  }
+  return 0;
+}

@@ -10,6 +10,11 @@
 //                           self-describing
 //     --k N                 neighbors per query (default 10)
 //     --window N[,N...]     search windows to sweep (default 10,20,40,80)
+//     --target-recall R     calibrate instead of sweeping: find the cheapest
+//                           SearchOptions meeting recall R on the first half
+//                           of the queries (requires --gt; mutually
+//                           exclusive with --window), print them, then run
+//                           the full batch with the chosen options
 //     --nprobe-shards N     sharded index: shards probed per query (0 = all)
 //     --gt file.ivecs       exact ground truth for recall
 //     --out file.ivecs      write result ids
@@ -29,8 +34,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <index_path> <query.fvecs> [--metric l2|ip] "
-               "[--k N] [--window N,N,...] [--nprobe-shards N] "
-               "[--gt gt.ivecs] [--out res.ivecs]\n",
+               "[--k N] [--window N,N,... | --target-recall R] "
+               "[--nprobe-shards N] [--gt gt.ivecs] [--out res.ivecs]\n",
                argv0);
   return 2;
 }
@@ -46,6 +51,8 @@ int main(int argc, char** argv) {
   size_t k = 10;
   uint32_t nprobe_shards = 0;
   std::vector<uint32_t> windows = {10, 20, 40, 80};
+  bool window_set = false;
+  double target_recall = 0.0;  // 0 = sweep mode
   std::string gt_path, out_path;
   tools::FlagParser args(argc, argv, 3);
   std::string flag;
@@ -64,6 +71,13 @@ int main(int argc, char** argv) {
       if (!tools::ParseUintListFlag(flag, val, 1, 1u << 20, &windows)) {
         return 1;
       }
+      window_set = true;
+    } else if (flag == "--target-recall") {
+      if (!tools::ParseDoubleFlag(flag, val, &target_recall)) return 1;
+      if (target_recall > 1.0) {
+        std::fprintf(stderr, "--target-recall: must be in (0, 1]\n");
+        return 1;
+      }
     } else if (flag == "--nprobe-shards") {
       if (!tools::ParseIntFlag(flag, val, 0, 1 << 16, &iv)) return 1;
       nprobe_shards = static_cast<uint32_t>(iv);
@@ -76,6 +90,17 @@ int main(int argc, char** argv) {
     }
   }
   if (!args.ok()) return Usage(argv[0]);
+  if (target_recall > 0.0 && window_set) {
+    std::fprintf(stderr,
+                 "--target-recall and --window are mutually exclusive: "
+                 "calibration picks the window\n");
+    return 1;
+  }
+  if (target_recall > 0.0 && gt_path.empty()) {
+    std::fprintf(stderr, "--target-recall requires --gt (calibration "
+                         "measures recall against exact ground truth)\n");
+    return 1;
+  }
 
   Result<Index> index = Open(prefix, open_opts);
   if (!index.ok()) {
@@ -115,11 +140,53 @@ int main(int argc, char** argv) {
 
   ThreadPool pool(NumThreads());
   Matrix<uint32_t> ids(nq, k);
+
+  std::vector<SearchOptions> settings;
+  if (target_recall > 0.0) {
+    if (gt.rows() != nq) {
+      std::fprintf(stderr, "--gt rows (%zu) != queries (%zu)\n",
+                   static_cast<size_t>(gt.rows()), nq);
+      return 1;
+    }
+    // Calibrate on the first half of the queries (held out from nothing
+    // the tool reports — the final run covers the full set, but the tuned
+    // options must generalize past their sample).
+    const size_t ns = nq >= 4 ? nq / 2 : nq;
+    MatrixViewF sample(queries.value().row(0), ns, queries.value().cols());
+    Matrix<uint32_t> gt_sample(ns, gt.cols());
+    for (size_t i = 0; i < ns; ++i) {
+      std::copy_n(gt.row(i), gt.cols(), gt_sample.row(i));
+    }
+    CalibrationTarget target;
+    target.target_recall = target_recall;
+    target.sample_queries = sample;
+    target.groundtruth = &gt_sample;
+    target.k = k;
+    target.seed.nprobe_shards = nprobe_shards;
+    target.pool = &pool;
+    Result<SearchOptions> chosen = index.value().Calibrate(target);
+    if (!chosen.ok()) {
+      std::fprintf(stderr, "calibration failed: %s\n",
+                   chosen.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("calibrated for recall >= %.3f on %zu sample queries: "
+                "window=%u nprobe_shards=%u rerank_window=%u\n",
+                target_recall, ns, chosen.value().window,
+                chosen.value().nprobe_shards, chosen.value().rerank_window);
+    settings.push_back(chosen.value());
+  } else {
+    for (uint32_t w : windows) {
+      SearchOptions params;
+      params.window = w;
+      params.nprobe_shards = nprobe_shards;
+      settings.push_back(params);
+    }
+  }
+
   std::printf("%-8s %-12s %-10s\n", "window", "QPS", gt_path.empty() ? "-" : "recall");
-  for (uint32_t w : windows) {
-    RuntimeParams params;
-    params.window = w;
-    params.nprobe_shards = nprobe_shards;
+  for (const SearchOptions& params : settings) {
+    const uint32_t w = params.window;
     double best = 0.0;
     for (int rep = 0; rep < 5; ++rep) {
       Timer t;

@@ -24,6 +24,12 @@
 //     --nq N           distinct queries              (default 1000)
 //     --k N            neighbors per query           (default 10)
 //     --window N[,N..] search window sweep           (default 32)
+//     --target-recall R calibrate instead of sweeping: serve with the
+//                      cheapest SearchOptions meeting recall R on a held-out
+//                      half of the queries. Synthetic-build mode only (the
+//                      --index path has no ground truth); mutually
+//                      exclusive with --window. The chosen options are
+//                      printed before load starts.
 //     --threads T      engine searcher pool size     (default NumThreads())
 //     --clients C      closed-loop client threads    (default 2*threads)
 //     --duration S     seconds of load per window    (default 3)
@@ -64,7 +70,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--index PATH] [--kind K] [--n N] [--nq N] [--k N] "
-               "[--window N,N,...]\n                  [--threads T] "
+               "[--window N,N,... | --target-recall R]\n"
+               "                  [--threads T] "
                "[--clients C] [--duration S] [--mode sync|async] [--batch B]\n"
                "                  [--lvq bits] [--bits2 bits] [--shards S] "
                "[--nprobe-shards P]\n                  [--dynamic 0|1] "
@@ -79,7 +86,7 @@ struct ClientResult {
 };
 
 /// One closed-loop measurement: C clients hammering the engine for
-/// `duration` seconds at one RuntimeParams setting.
+/// `duration` seconds at one SearchOptions setting.
 struct LoadResult {
   std::vector<double> latencies_ms;
   size_t queries = 0;
@@ -89,7 +96,7 @@ struct LoadResult {
 };
 
 LoadResult RunLoad(ServingEngine& engine, MatrixViewF queries, size_t k,
-                   const RuntimeParams& params, size_t clients, double duration,
+                   const SearchOptions& params, size_t clients, double duration,
                    bool async_mode, size_t batch, Matrix<uint32_t>* results) {
   const size_t nq = queries.rows;
   std::vector<ClientResult> per_client(clients);
@@ -157,6 +164,8 @@ int main(int argc, char** argv) {
   std::string index_path;
   size_t n = 20000, nq = 1000, k = 10, batch = 8;
   std::vector<uint32_t> windows = {32};
+  bool window_set = false;
+  double target_recall = 0.0;  // 0 = sweep mode
   size_t threads = NumThreads();
   size_t clients = 0;
   double duration = 3.0;
@@ -195,6 +204,13 @@ int main(int argc, char** argv) {
       k = static_cast<size_t>(iv);
     } else if (flag == "--window") {
       if (!tools::ParseUintListFlag(flag, val, 1, 1u << 20, &windows)) {
+        return 1;
+      }
+      window_set = true;
+    } else if (flag == "--target-recall") {
+      if (!tools::ParseDoubleFlag(flag, val, &target_recall)) return 1;
+      if (target_recall > 1.0) {
+        std::fprintf(stderr, "--target-recall: must be in (0, 1]\n");
         return 1;
       }
     } else if (flag == "--threads") {
@@ -247,6 +263,18 @@ int main(int argc, char** argv) {
     }
   }
   if (!args.ok()) return Usage(argv[0]);
+  if (target_recall > 0.0 && window_set) {
+    std::fprintf(stderr,
+                 "--target-recall and --window are mutually exclusive: "
+                 "calibration picks the window\n");
+    return 1;
+  }
+  if (target_recall > 0.0 && !index_path.empty()) {
+    std::fprintf(stderr,
+                 "--target-recall needs exact ground truth, which only the "
+                 "synthetic build has; it cannot be combined with --index\n");
+    return 1;
+  }
   if (clients == 0) clients = 2 * threads;
   // Each client owns a disjoint stripe of the query set (so concurrent
   // writes into the recall matrix never overlap); more clients than
@@ -327,6 +355,43 @@ int main(int argc, char** argv) {
               async_mode ? "" : (" batch=" + std::to_string(batch)).c_str(),
               simd::BackendName());
 
+  // Calibration runs before the churn writer starts: the sample measurement
+  // should see the index as built, not mid-mutation.
+  std::vector<SearchOptions> settings;
+  if (target_recall > 0.0) {
+    const size_t ns = nq >= 4 ? nq / 2 : nq;
+    MatrixViewF sample(queries.row(0), ns, queries.cols());
+    Matrix<uint32_t> gt_sample(ns, gt.cols());
+    for (size_t i = 0; i < ns; ++i) {
+      std::copy_n(gt.row(i), gt.cols(), gt_sample.row(i));
+    }
+    CalibrationTarget target;
+    target.target_recall = target_recall;
+    target.sample_queries = sample;
+    target.groundtruth = &gt_sample;
+    target.k = k;
+    target.seed.nprobe_shards = nprobe_shards;
+    target.pool = &build_pool;
+    Result<SearchOptions> chosen = index.Calibrate(target);
+    if (!chosen.ok()) {
+      std::fprintf(stderr, "calibration failed: %s\n",
+                   chosen.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("calibrated for recall >= %.3f on %zu sample queries: "
+                "window=%u nprobe_shards=%u rerank_window=%u\n",
+                target_recall, ns, chosen.value().window,
+                chosen.value().nprobe_shards, chosen.value().rerank_window);
+    settings.push_back(chosen.value());
+  } else {
+    for (uint32_t w : windows) {
+      SearchOptions params;
+      params.window = w;
+      params.nprobe_shards = nprobe_shards;
+      settings.push_back(params);
+    }
+  }
+
   ServingOptions opts;
   opts.num_threads = threads;
   std::unique_ptr<ServingEngine> engine = index.Serve(opts);
@@ -367,10 +432,8 @@ int main(int argc, char** argv) {
 
   Matrix<uint32_t> results(nq, k);  // last result per query, for recall
   const bool have_gt = gt.rows() == nq;
-  for (uint32_t w : windows) {
-    RuntimeParams params;
-    params.window = w;
-    params.nprobe_shards = nprobe_shards;
+  for (const SearchOptions& params : settings) {
+    const uint32_t w = params.window;
     LoadResult r = RunLoad(*engine, queries, k, params, clients, duration,
                            async_mode, batch, &results);
     const double qps = static_cast<double>(r.queries) / r.elapsed;
