@@ -1,0 +1,175 @@
+// cold_vs_warm — out-of-core serving (DESIGN.md D12): heap Open vs
+// mmap Open of the same static LVQ bundle, cold and warm.
+//
+// Three claims, three measurements:
+//   1. A warm mmap reopen beats a heap Open by >= 10x: kMap validates the
+//      headers and points into the page cache instead of copying every
+//      row onto the heap.
+//   2. Recall is identical (the mapped payload is bit-exact), so the
+//      |delta| <= 0.01 acceptance gate holds trivially.
+//   3. Map-mode serving grows resident memory by far less than the
+//      artifact size — the kernel pages vectors in on demand, which is
+//      what keeps datasets larger than RAM servable.
+// "Cold" rows drop the artifact's cached pages first via DropFileCache
+// (posix_fadvise DONTNEED; best-effort without root, see util/mmap_file.h)
+// so the first mapped batch actually faults from disk.
+//
+// Scales with BLINK_SCALE like every bench.
+#include "common.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/mmap_file.h"
+
+namespace blinkbench {
+namespace {
+
+constexpr size_t kK = 10;
+constexpr uint32_t kWindow = 64;
+
+Index MustOpen(const std::string& prefix, LoadMode mode, double* seconds) {
+  OpenOptions opt;
+  opt.load_mode = mode;
+  Timer t;
+  Result<Index> idx = Open(prefix, opt);
+  if (seconds != nullptr) *seconds = t.Seconds();
+  if (!idx.ok()) {
+    std::fprintf(stderr, "Open(%s, %s) failed: %s\n", prefix.c_str(),
+                 LoadModeName(mode), idx.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(idx).value();
+}
+
+/// Best-of-3 Open wall-clock; the returned handle is the last rep's.
+Index BestOpen(const std::string& prefix, LoadMode mode, double* best) {
+  *best = 1e30;
+  Index idx;
+  for (int rep = 0; rep < 3; ++rep) {
+    double secs = 0.0;
+    idx = MustOpen(prefix, mode, &secs);
+    *best = std::min(*best, secs);
+  }
+  return idx;
+}
+
+double BatchMillis(const Index& idx, MatrixViewF queries, ThreadPool* pool,
+                   Matrix<uint32_t>* ids) {
+  SearchOptions params;
+  params.window = kWindow;
+  Timer t;
+  idx.SearchBatch(queries, kK, params, ids->data(), pool);
+  return t.Millis();
+}
+
+size_t FileBytes(const std::string& path) {
+  std::error_code ec;
+  const auto sz = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<size_t>(sz);
+}
+
+void Run() {
+  Banner("cold_vs_warm",
+         "out-of-core serving: heap Open vs mmap Open, cold + warm");
+  const size_t n = ScaledN(200000, 16000);
+  const size_t nq = ScaledN(500, 100);
+  ThreadPool pool(NumThreads());
+  Dataset data = MakeDeepLike(n, nq, /*seed=*/1234);
+  Matrix<uint32_t> gt =
+      ComputeGroundTruth(data.base, data.queries, kK, data.metric, &pool);
+
+  IndexSpec spec;
+  spec.kind = IndexKind::kStaticLvq;
+  spec.metric = data.metric;
+  spec.bits1 = 4;
+  spec.bits2 = 8;
+  spec.graph = GraphParams(32, data.metric);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "blink_cold_vs_warm").string();
+  std::filesystem::create_directories(dir);
+  const std::string prefix = dir + "/idx";
+
+  Timer build_t;
+  Result<Index> built = Build(spec, data.base, &pool);
+  if (!built.ok()) {
+    std::fprintf(stderr, "Build failed: %s\n",
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  const double build_s = build_t.Seconds();
+  Status saved = built.value().Save(prefix);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "Save failed: %s\n", saved.ToString().c_str());
+    std::exit(1);
+  }
+  const size_t artifact_bytes =
+      FileBytes(prefix + ".graph") + FileBytes(prefix + ".vecs");
+  std::printf("n=%zu d=%zu nq=%zu  build=%.1fs  artifact=%.1f MiB "
+              "(graph+vecs)\n\n",
+              n, data.base.cols(), nq, build_s, Mib(artifact_bytes));
+  built = Index();  // drop the builder's heap copy before measuring
+
+  // --- heap Open (the pre-v3 behavior): copies the whole artifact -------
+  const size_t rss_before_load = CurrentRssBytes();
+  double load_open_s = 0.0;
+  Index loaded = BestOpen(prefix, LoadMode::kLoad, &load_open_s);
+  const size_t rss_load = CurrentRssBytes() - rss_before_load;
+  Matrix<uint32_t> ids_load(nq, kK);
+  BatchMillis(loaded, data.queries, &pool, &ids_load);  // warm-up
+  const double load_batch_ms = BatchMillis(loaded, data.queries, &pool, &ids_load);
+  const double recall_load = MeanRecallAtK(ids_load, gt, kK);
+  loaded = Index();  // release the heap copy
+
+  // --- mmap Open, warm page cache ---------------------------------------
+  double map_warm_open_s = 0.0;
+  Index mapped = BestOpen(prefix, LoadMode::kMap, &map_warm_open_s);
+  if (mapped.spec().load_mode != LoadMode::kMap) {
+    std::fprintf(stderr, "expected kMap to take effect on a v3 bundle\n");
+    std::exit(1);
+  }
+  mapped = Index();
+
+  // --- mmap Open, cold: drop the page cache, then fault on demand -------
+  for (const char* ext : {".graph", ".vecs"}) {
+    Status s = DropFileCache(prefix + ext);
+    if (!s.ok()) std::printf("note: %s\n", s.ToString().c_str());
+  }
+  const size_t rss_before_map = CurrentRssBytes();
+  double map_cold_open_s = 0.0;
+  mapped = MustOpen(prefix, LoadMode::kMap, &map_cold_open_s);
+  Matrix<uint32_t> ids_map(nq, kK);
+  const double cold_batch_ms = BatchMillis(mapped, data.queries, &pool, &ids_map);
+  const double warm_batch_ms = BatchMillis(mapped, data.queries, &pool, &ids_map);
+  const size_t rss_map = CurrentRssBytes() - rss_before_map;
+  const double recall_map = MeanRecallAtK(ids_map, gt, kK);
+
+  std::printf("%-14s %-12s %-12s %-10s %-10s\n", "mode", "open_ms",
+              "batch_ms", "recall", "rss_MiB");
+  std::printf("%-14s %-12.2f %-12.2f %-10.4f %-10.1f\n", "load(heap)",
+              load_open_s * 1e3, load_batch_ms, recall_load, Mib(rss_load));
+  std::printf("%-14s %-12.2f %-12.2f %-10.4f %-10s\n", "map(warm)",
+              map_warm_open_s * 1e3, warm_batch_ms, recall_map, "-");
+  std::printf("%-14s %-12.2f %-12.2f %-10.4f %-10.1f\n", "map(cold)",
+              map_cold_open_s * 1e3, cold_batch_ms, recall_map, Mib(rss_map));
+  std::printf("\n");
+  std::printf("warm map reopen speedup vs heap Open: %.1fx (target >= 10x)\n",
+              map_warm_open_s > 0.0 ? load_open_s / map_warm_open_s : 0.0);
+  std::printf("recall delta map-load: %+.4f (target |delta| <= 0.01)\n",
+              recall_map - recall_load);
+  std::printf("map-mode resident growth: %.1f MiB for a %.1f MiB artifact "
+              "(heap load: %.1f MiB)\n",
+              Mib(rss_map), Mib(artifact_bytes), Mib(rss_load));
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace blinkbench
+
+int main() {
+  blinkbench::Run();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <utility>
+#include <vector>
 
 #include "api/calibrate.h"
 
@@ -54,13 +55,18 @@ class IndexImpl {
 namespace {
 
 /// Static flavors: a VamanaIndex over Float/F16/Lvq storage, saved as a
-/// self-describing <prefix>.{graph,vecs} bundle.
+/// self-describing <prefix>.{graph,vecs} bundle. In map mode the flavor
+/// also owns the file mappings the graph/storage views point into — they
+/// must outlive the index, and destruction order here guarantees it
+/// (members destroy in reverse declaration order).
 template <typename Storage>
 class StaticFlavor : public IndexImpl {
  public:
   StaticFlavor(std::unique_ptr<VamanaIndex<Storage>> index, IndexSpec spec,
-               Capabilities caps, bool self_described)
+               Capabilities caps, bool self_described,
+               std::vector<MmapFile> mappings = {})
       : IndexImpl(std::move(spec), caps, self_described),
+        mappings_(std::move(mappings)),
         index_(std::move(index)) {}
 
   const SearchIndex& search() const override { return *index_; }
@@ -70,6 +76,7 @@ class StaticFlavor : public IndexImpl {
   }
 
  private:
+  std::vector<MmapFile> mappings_;
   std::unique_ptr<VamanaIndex<Storage>> index_;
 };
 
@@ -335,16 +342,96 @@ Result<Index> OpenDynamic(const std::string& path, const OpenOptions& opts) {
 
 template <typename Storage>
 Result<Index> MakeStatic(Storage storage, BuiltGraph graph, IndexSpec spec,
-                         bool self_described) {
+                         bool self_described,
+                         std::vector<MmapFile> mappings = {}) {
   spec.graph.graph_max_degree = graph.graph.max_degree();
   auto idx = std::make_unique<VamanaIndex<Storage>>(
       std::move(storage), std::move(graph), spec.graph);
   const Capabilities caps = SpecCapabilities(spec);
   return Index(std::make_unique<detail::StaticFlavor<Storage>>(
-      std::move(idx), std::move(spec), caps, self_described));
+      std::move(idx), std::move(spec), caps, self_described,
+      std::move(mappings)));
+}
+
+/// Map-mode static open: both bundle files are v3-aligned (the caller
+/// checked), so graph and vectors are served straight from read-only
+/// mappings; the flavor keeps the MmapFiles alive alongside the index.
+Result<Index> OpenStaticMapped(const std::string& prefix,
+                               const OpenOptions& opts) {
+  MmapFile::Options mopts;
+  mopts.random = true;  // greedy search touches pages in graph order
+  mopts.huge_pages = opts.use_huge_pages;
+  const std::string graph_path = prefix + ".graph";
+  const std::string vecs_path = prefix + ".vecs";
+  Result<MmapFile> gmap = MmapFile::Map(graph_path, mopts);
+  if (!gmap.ok()) return gmap.status();
+  Result<MmapFile> vmap = MmapFile::Map(vecs_path, mopts);
+  if (!vmap.ok()) return vmap.status();
+
+  IndexMeta meta;
+  bool has_meta = false;
+  Result<BuiltGraph> graph =
+      MapGraph(gmap.value(), graph_path, &meta, &has_meta);
+  if (!graph.ok()) return graph.status();
+  IndexSpec spec;
+  spec.metric = has_meta ? meta.metric : opts.fallback_metric;
+  spec.graph = has_meta ? meta.params : opts.fallback_graph;
+  spec.load_mode = LoadMode::kMap;
+
+  std::vector<MmapFile> mappings;
+  mappings.push_back(std::move(gmap).value());
+  mappings.push_back(std::move(vmap).value());
+  const MmapFile& vm = mappings.back();
+
+  Result<VecsEncoding> enc = PeekVecsEncoding(vecs_path);
+  if (!enc.ok()) return enc.status();
+  switch (enc.value()) {
+    case VecsEncoding::kLvq1: {
+      auto ds = MapLvq(vm, vecs_path);
+      if (!ds.ok()) return ds.status();
+      spec.kind = IndexKind::kStaticLvq;
+      spec.bits1 = ds.value().bits();
+      spec.bits2 = 0;
+      return MakeStatic(LvqStorage(std::move(ds).value(), spec.metric),
+                        std::move(graph).value(), std::move(spec), has_meta,
+                        std::move(mappings));
+    }
+    case VecsEncoding::kLvq2: {
+      auto ds = MapLvq2(vm, vecs_path);
+      if (!ds.ok()) return ds.status();
+      spec.kind = IndexKind::kStaticLvq;
+      spec.bits1 = ds.value().bits1();
+      spec.bits2 = ds.value().bits2();
+      return MakeStatic(LvqStorage(std::move(ds).value(), spec.metric),
+                        std::move(graph).value(), std::move(spec), has_meta,
+                        std::move(mappings));
+    }
+    case VecsEncoding::kFloat32: {
+      auto st = MapFloatVecs(vm, vecs_path, spec.metric);
+      if (!st.ok()) return st.status();
+      spec.kind = IndexKind::kStaticF32;
+      return MakeStatic(std::move(st).value(), std::move(graph).value(),
+                        std::move(spec), has_meta, std::move(mappings));
+    }
+    case VecsEncoding::kFloat16: {
+      auto st = MapF16Vecs(vm, vecs_path, spec.metric);
+      if (!st.ok()) return st.status();
+      spec.kind = IndexKind::kStaticF16;
+      return MakeStatic(std::move(st).value(), std::move(graph).value(),
+                        std::move(spec), has_meta, std::move(mappings));
+    }
+  }
+  return Status::Internal(vecs_path + ": unhandled vecs encoding");
 }
 
 Result<Index> OpenStatic(const std::string& prefix, const OpenOptions& opts) {
+  // Map mode needs both files in the aligned v3 layout; anything older
+  // heap-loads below exactly as before (spec records the fallback).
+  if (opts.load_mode == LoadMode::kMap &&
+      IsMappableArtifact(prefix + ".graph") &&
+      IsMappableArtifact(prefix + ".vecs")) {
+    return OpenStaticMapped(prefix, opts);
+  }
   IndexMeta meta;
   bool has_meta = false;
   Result<BuiltGraph> graph =

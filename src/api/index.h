@@ -135,6 +135,11 @@ struct OpenOptions {
   /// versions; capacity is runtime provisioning, not artifact state).
   size_t dynamic_initial_capacity = 1024;
   bool use_huge_pages = true;
+  /// kMap serves static bundles out of a read-only file mapping instead of
+  /// copying them onto the heap (out-of-core serving; DESIGN.md D12).
+  /// A hint, not a demand: non-static flavors and pre-v3 artifacts fall
+  /// back to kLoad — check spec().load_mode for the mode in effect.
+  LoadMode load_mode = LoadMode::kLoad;
 };
 
 /// Opens any artifact Save() (or the legacy per-flavor savers) produced,

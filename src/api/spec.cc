@@ -14,6 +14,10 @@ const char* KindName(IndexKind kind) {
   return "unknown";
 }
 
+const char* LoadModeName(LoadMode mode) {
+  return mode == LoadMode::kMap ? "map" : "load";
+}
+
 Result<IndexKind> ParseIndexKind(const std::string& name) {
   for (IndexKind kind :
        {IndexKind::kStaticF32, IndexKind::kStaticF16, IndexKind::kStaticLvq,

@@ -34,6 +34,19 @@ enum class IndexKind {
 /// the tools' --kind flag both speak it.
 const char* KindName(IndexKind kind);
 
+/// How Open() materializes an artifact's payload (DESIGN.md D12).
+/// kLoad copies everything onto the heap (the pre-v3 behavior); kMap
+/// serves the static flavors straight out of a read-only file mapping —
+/// near-instant open on a warm page cache, and datasets larger than
+/// resident memory stay servable because the kernel pages vectors in and
+/// out on demand. Requesting kMap is a hint: sharded and dynamic flavors,
+/// and pre-v3 (unaligned) artifacts, silently fall back to kLoad, and the
+/// spec records the mode actually in effect.
+enum class LoadMode { kLoad, kMap };
+
+/// Stable lowercase name ("load" / "map") for tools and reports.
+const char* LoadModeName(LoadMode mode);
+
 /// Parses KindName() output; error Status on unknown names.
 Result<IndexKind> ParseIndexKind(const std::string& name);
 
@@ -66,6 +79,12 @@ struct IndexSpec {
 
   /// Dynamic-index extras (kDynamicF32 / kDynamicLvq only).
   DynamicSpec dynamic;
+
+  /// The payload materialization in effect. Build() always produces kLoad
+  /// (a built index is heap-resident by construction); Open() records the
+  /// mode it actually used, which may be kLoad even when kMap was
+  /// requested (fallback for non-static flavors and pre-v3 artifacts).
+  LoadMode load_mode = LoadMode::kLoad;
 
   /// OK iff the spec describes a buildable configuration.
   Status Validate() const;

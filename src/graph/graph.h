@@ -32,6 +32,19 @@ class FlatGraph {
                      sizeof(uint32_t),
                  use_huge_pages) {}
 
+  /// Non-owning view over externally owned rows in exactly this layout
+  /// (the mmap-serving path: a v3 graph file's payload *is* the row
+  /// array). The view is read-only — mutators assert. The caller keeps
+  /// `rows` alive and 4-byte aligned for the graph's lifetime.
+  FlatGraph(const uint32_t* rows, size_t num_nodes, uint32_t max_degree)
+      : n_(num_nodes),
+        max_degree_(max_degree),
+        row_entries_(1 + static_cast<size_t>(max_degree)),
+        ext_rows_(rows) {}
+
+  /// True when this graph is a view over external (e.g. mapped) rows.
+  bool mapped() const { return ext_rows_ != nullptr; }
+
   size_t size() const { return n_; }
   uint32_t max_degree() const { return max_degree_; }
 
@@ -135,17 +148,22 @@ class FlatGraph {
  private:
   uint32_t* row(size_t i) {
     assert(i < n_);
+    assert(ext_rows_ == nullptr && "mapped graphs are read-only");
     return reinterpret_cast<uint32_t*>(storage_.data()) + i * row_entries_;
   }
   const uint32_t* row(size_t i) const {
     assert(i < n_);
-    return reinterpret_cast<const uint32_t*>(storage_.data()) + i * row_entries_;
+    const uint32_t* base =
+        ext_rows_ != nullptr ? ext_rows_
+                             : reinterpret_cast<const uint32_t*>(storage_.data());
+    return base + i * row_entries_;
   }
 
   size_t n_ = 0;
   uint32_t max_degree_ = 0;
   size_t row_entries_ = 0;
   Arena storage_;
+  const uint32_t* ext_rows_ = nullptr;
 };
 
 }  // namespace blink

@@ -86,6 +86,23 @@ class GreedySearcher {
       // `offset + step` vectors ahead of the compute pointer. step==0 and
       // offset==0 disables prefetching entirely.
       const uint32_t lookahead = params.prefetch_offset + params.prefetch_step;
+
+      // Next-hop prefetch: NextUnexplored() is an idempotent cursor peek,
+      // so the likely next expansion is known now — issue its adjacency
+      // row and vector fetch to overlap with this node's distance
+      // computations. On a mapped (out-of-core) index this is what turns a
+      // cold page fault into work hidden behind compute; on a resident
+      // index it is an ordinary cache-line prefetch. An Insert below can
+      // still supersede the peeked candidate — the prefetch is then merely
+      // wasted, never wrong.
+      if (lookahead > 0) {
+        const long next = buffer_.NextUnexplored();
+        if (next >= 0) {
+          const uint32_t next_node = buffer_[static_cast<size_t>(next)].id;
+          graph_->PrefetchAdjacency(next_node);
+          storage_->Prefetch(next_node);
+        }
+      }
       uint32_t pf = 0;
       if (lookahead > 0) {
         const uint32_t warm = std::min(deg, lookahead);

@@ -27,6 +27,14 @@ constexpr uint32_t kVersion = 1;
 // Version 2 appends the IndexMeta block (graph) or the extended header
 // fields (dynamic); version-1 files remain loadable.
 constexpr uint32_t kVersionMeta = 2;
+// Version 3 zero-pads to a 64-byte file offset before each payload
+// section, and the graph payload becomes fixed-stride rows — the layout a
+// mapping can serve directly (DESIGN.md D12). v1/v2 files remain loadable.
+constexpr uint32_t kVersionAligned = 3;
+
+// File-offset alignment of v3 payload sections. Mappings are page-aligned,
+// so a 64-byte file offset is a 64-byte (cache-line / SIMD-load) address.
+constexpr size_t kSectionAlign = 64;
 
 // Storage kind tags of the dynamic-index container.
 constexpr uint32_t kDynKindF32 = 0;
@@ -56,71 +64,183 @@ uint64_t RemainingBytes(FILE* f) {
   return end > pos ? static_cast<uint64_t>(end - pos) : 0;
 }
 
+/// Zero-pads the stream to the next kSectionAlign file offset (v3 writers).
+bool WriteSectionPad(FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0) return false;
+  const size_t rem = static_cast<size_t>(pos) % kSectionAlign;
+  if (rem == 0) return true;
+  const uint8_t zeros[kSectionAlign] = {};
+  return WriteAll(f, zeros, kSectionAlign - rem);
+}
+
+/// Consumes the v3 section padding on the read side.
+bool SkipSectionPad(FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0) return false;
+  const size_t rem = static_cast<size_t>(pos) % kSectionAlign;
+  return rem == 0 || std::fseek(f, kSectionAlign - rem, SEEK_CUR) == 0;
+}
+
+/// Bounds-checked cursor over a mapped artifact — the ByteReader twin of
+/// the FILE* helpers, for loaders that parse headers in place.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* v) {
+    if (sizeof(T) > size_ - off_) return false;
+    std::memcpy(v, data_ + off_, sizeof(T));
+    off_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(void* out, size_t bytes) {
+    if (bytes > size_ - off_) return false;
+    std::memcpy(out, data_ + off_, bytes);
+    off_ += bytes;
+    return true;
+  }
+
+  bool Align(size_t alignment) {
+    const size_t rem = off_ % alignment;
+    if (rem == 0) return true;
+    const size_t pad = alignment - rem;
+    if (pad > size_ - off_) return false;
+    off_ += pad;
+    return true;
+  }
+
+  /// Consumes `bytes` without copying (in-place payload sections).
+  bool Advance(size_t bytes) {
+    if (bytes > size_ - off_) return false;
+    off_ += bytes;
+    return true;
+  }
+
+  const uint8_t* cursor() const { return data_ + off_; }
+  size_t remaining() const { return size_ - off_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t off_ = 0;
+};
+
+/// Lets the header-parsing templates below read from either stream kind.
+template <typename T>
+bool ReadPod(ByteReader* r, T* v) {
+  return r->Read(v);
+}
+
 Status SaveLvqTo(FILE* f, const LvqDataset& ds, const std::string& path) {
   const uint64_t n = ds.size(), d = ds.dim();
   const uint32_t bits = static_cast<uint32_t>(ds.bits());
   const uint64_t padding = ds.padding();
-  if (!WritePod(f, kLvqMagic) || !WritePod(f, kVersion) || !WritePod(f, n) ||
-      !WritePod(f, d) || !WritePod(f, bits) || !WritePod(f, padding) ||
+  if (!WritePod(f, kLvqMagic) || !WritePod(f, kVersionAligned) ||
+      !WritePod(f, n) || !WritePod(f, d) || !WritePod(f, bits) ||
+      !WritePod(f, padding) ||
       !WriteAll(f, ds.mean().data(), d * sizeof(float)) ||
+      !WriteSectionPad(f) ||
       !WriteAll(f, ds.raw_blob(), n * ds.vector_footprint())) {
     return Status::IOError(path + ": LVQ write failed");
   }
   return Status::OK();
 }
 
-Result<LvqDataset> LoadLvqFrom(FILE* f, const std::string& path,
-                               bool use_huge_pages) {
-  uint32_t magic = 0, version = 0, bits = 0;
+/// Header fields shared by the FILE* and mapped BLAQ readers, validated
+/// identically in both.
+struct LvqHeader {
   uint64_t n = 0, d = 0, padding = 0;
-  if (!ReadPod(f, &magic) || magic != kLvqMagic) {
+  uint32_t version = 0, bits = 0;
+  size_t stride = 0;
+};
+
+template <typename Reader>
+Status ReadLvqHeader(Reader* r, LvqHeader* h, const std::string& path) {
+  uint32_t magic = 0;
+  if (!ReadPod(r, &magic) || magic != kLvqMagic) {
     return Status::IOError(path + ": bad LVQ magic");
   }
-  if (!ReadPod(f, &version) || version != kVersion) {
+  if (!ReadPod(r, &h->version) ||
+      (h->version != kVersion && h->version != kVersionAligned)) {
     return Status::IOError(path + ": unsupported LVQ version");
   }
-  if (!ReadPod(f, &n) || !ReadPod(f, &d) || !ReadPod(f, &bits) ||
-      !ReadPod(f, &padding) || bits < 1 || bits > 16 || d == 0 ||
-      d > (1u << 20) || padding > (1u << 20)) {
+  if (!ReadPod(r, &h->n) || !ReadPod(r, &h->d) || !ReadPod(r, &h->bits) ||
+      !ReadPod(r, &h->padding) || h->bits < 1 || h->bits > 16 || h->d == 0 ||
+      h->d > (1u << 20) || h->padding > (1u << 20)) {
     return Status::IOError(path + ": corrupt LVQ header");
   }
+  const size_t raw = LvqDataset::kHeaderBytes +
+                     PackedBytes(h->d, static_cast<int>(h->bits));
+  h->stride = LvqPaddedStride(raw, h->padding);
+  return Status::OK();
+}
+
+Result<LvqDataset> LoadLvqFrom(FILE* f, const std::string& path,
+                               bool use_huge_pages) {
+  LvqHeader h;
+  BLINK_RETURN_NOT_OK(ReadLvqHeader(f, &h, path));
   // The payload is d mean floats + n strided rows; a header that implies
   // more than the file holds must fail like any other corruption, not
   // drive the allocations below into OOM.
   const uint64_t remaining = RemainingBytes(f);
-  if (d * sizeof(float) > remaining || n > remaining) {
+  if (h.d * sizeof(float) > remaining || h.n > remaining) {
     return Status::IOError(path + ": LVQ header disagrees with file size");
   }
-  std::vector<float> mean(d);
-  if (!ReadAll(f, mean.data(), d * sizeof(float))) {
+  std::vector<float> mean(h.d);
+  if (!ReadAll(f, mean.data(), h.d * sizeof(float))) {
     return Status::IOError(path + ": truncated LVQ mean");
   }
-  const size_t raw =
-      LvqDataset::kHeaderBytes + PackedBytes(d, static_cast<int>(bits));
-  const size_t stride = LvqPaddedStride(raw, padding);
-  if (n * stride > remaining) {
+  if (h.version >= kVersionAligned && !SkipSectionPad(f)) {
+    return Status::IOError(path + ": truncated LVQ section padding");
+  }
+  if (h.n * h.stride > RemainingBytes(f)) {
     return Status::IOError(path + ": LVQ header disagrees with file size");
   }
-  std::vector<uint8_t> blob(n * stride);
+  std::vector<uint8_t> blob(h.n * h.stride);
   if (!ReadAll(f, blob.data(), blob.size())) {
     return Status::IOError(path + ": truncated LVQ payload");
   }
-  return LvqDataset::FromRaw(n, d, static_cast<int>(bits), padding,
+  return LvqDataset::FromRaw(h.n, h.d, static_cast<int>(h.bits), h.padding,
                              std::move(mean), blob.data(), blob.size(),
                              use_huge_pages);
+}
+
+/// Mapped-path twin of LoadLvqFrom: parses the header from the reader and
+/// returns a dataset viewing the blob section in place.
+Result<LvqDataset> MapLvqFrom(ByteReader* r, const std::string& path) {
+  LvqHeader h;
+  BLINK_RETURN_NOT_OK(ReadLvqHeader(r, &h, path));
+  if (h.version < kVersionAligned) {
+    return Status::Unsupported(path +
+                               ": map mode requires a v3 aligned artifact");
+  }
+  std::vector<float> mean(h.d);
+  if (!r->ReadBytes(mean.data(), h.d * sizeof(float)) ||
+      !r->Align(kSectionAlign) || h.n * h.stride > r->remaining()) {
+    return Status::IOError(path + ": LVQ header disagrees with file size");
+  }
+  const uint8_t* blob = r->cursor();
+  if (!r->Advance(h.n * h.stride)) {
+    return Status::IOError(path + ": truncated LVQ payload");
+  }
+  return LvqDataset::FromExternal(h.n, h.d, static_cast<int>(h.bits),
+                                  h.padding, std::move(mean), blob);
 }
 
 /// Shared (n, d) header + raw row payload of the float32/float16 formats.
 Status SaveRawVecs(const std::string& path, uint32_t magic, uint64_t n,
                    uint64_t d, const void* rows, size_t row_bytes) {
-  File f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open " + path + " for writing");
-  if (!WritePod(f.get(), magic) || !WritePod(f.get(), kVersion) ||
+  binio::AtomicFile f(path);
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for writing");
+  if (!WritePod(f.get(), magic) || !WritePod(f.get(), kVersionAligned) ||
       !WritePod(f.get(), n) || !WritePod(f.get(), d) ||
-      !WriteAll(f.get(), rows, n * row_bytes)) {
+      !WriteSectionPad(f.get()) || !WriteAll(f.get(), rows, n * row_bytes)) {
     return Status::IOError(path + ": vector write failed");
   }
-  return Status::OK();
+  return f.Commit();
 }
 
 Status LoadRawVecs(const std::string& path, uint32_t magic,
@@ -132,12 +252,16 @@ Status LoadRawVecs(const std::string& path, uint32_t magic,
   if (!ReadPod(f.get(), &got) || got != magic) {
     return Status::IOError(path + ": bad vecs magic");
   }
-  if (!ReadPod(f.get(), &version) || version != kVersion) {
+  if (!ReadPod(f.get(), &version) ||
+      (version != kVersion && version != kVersionAligned)) {
     return Status::IOError(path + ": unsupported vecs version");
   }
   if (!ReadPod(f.get(), n) || !ReadPod(f.get(), d) || *d == 0 ||
       *d > (1u << 20) || *n > (1ull << 40)) {
     return Status::IOError(path + ": corrupt vecs header");
+  }
+  if (version >= kVersionAligned && !SkipSectionPad(f.get())) {
+    return Status::IOError(path + ": truncated vecs section padding");
   }
   // Bound the allocation by what the file can actually hold (a forged
   // header must fail with a Status, not an OOM).
@@ -149,6 +273,53 @@ Status LoadRawVecs(const std::string& path, uint32_t magic,
     return Status::IOError(path + ": truncated vecs payload");
   }
   return Status::OK();
+}
+
+/// Mapped-path twin of LoadRawVecs: validates the v3 header and returns
+/// the in-place row section.
+Status MapRawVecs(const MmapFile& map, const std::string& path,
+                  uint32_t magic, size_t elem_bytes, uint64_t* n,
+                  uint64_t* d, const uint8_t** rows) {
+  ByteReader r(map.data(), map.size());
+  uint32_t got = 0, version = 0;
+  if (!r.Read(&got) || got != magic) {
+    return Status::IOError(path + ": bad vecs magic");
+  }
+  if (!r.Read(&version)) {
+    return Status::IOError(path + ": truncated vecs header");
+  }
+  if (version < kVersionAligned) {
+    return Status::Unsupported(path +
+                               ": map mode requires a v3 aligned artifact");
+  }
+  if (version != kVersionAligned || !r.Read(n) || !r.Read(d) || *d == 0 ||
+      *d > (1u << 20) || *n > (1ull << 40)) {
+    return Status::IOError(path + ": corrupt vecs header");
+  }
+  if (!r.Align(kSectionAlign) ||
+      *n * *d * elem_bytes > r.remaining()) {
+    return Status::IOError(path + ": vecs header disagrees with file size");
+  }
+  *rows = r.cursor();
+  return Status::OK();
+}
+
+/// IndexMeta block reader shared by the FILE* (LoadGraph) and ByteReader
+/// (MapGraph) paths — one set of validation bounds for both.
+template <typename Reader>
+Status ReadIndexMetaT(Reader* f, IndexMeta* meta, const std::string& path) {
+  uint32_t metric = 0, two_passes = 0;
+  if (!ReadPod(f, &metric) || !ReadPod(f, &meta->params.window_size) ||
+      !ReadPod(f, &meta->params.alpha) ||
+      !ReadPod(f, &meta->params.max_candidates) ||
+      !ReadPod(f, &meta->params.seed) || !ReadPod(f, &two_passes) ||
+      two_passes > 1 || meta->params.window_size == 0 ||
+      meta->params.window_size > (1u << 20) ||
+      !(meta->params.alpha > 0.0f) || meta->params.alpha > 16.0f) {
+    return Status::IOError(path + ": corrupt metadata block");
+  }
+  meta->params.two_passes = two_passes != 0;
+  return MetricFromWire(metric, &meta->metric, path);
 }
 
 }  // namespace
@@ -169,29 +340,21 @@ Status WriteIndexMeta(std::FILE* f, const IndexMeta& meta,
 }
 
 Status ReadIndexMeta(std::FILE* f, IndexMeta* meta, const std::string& path) {
-  uint32_t metric = 0, two_passes = 0;
-  if (!ReadPod(f, &metric) || !ReadPod(f, &meta->params.window_size) ||
-      !ReadPod(f, &meta->params.alpha) ||
-      !ReadPod(f, &meta->params.max_candidates) ||
-      !ReadPod(f, &meta->params.seed) || !ReadPod(f, &two_passes) ||
-      two_passes > 1 || meta->params.window_size == 0 ||
-      meta->params.window_size > (1u << 20) ||
-      !(meta->params.alpha > 0.0f) || meta->params.alpha > 16.0f) {
-    return Status::IOError(path + ": corrupt metadata block");
-  }
-  meta->params.two_passes = two_passes != 0;
-  return MetricFromWire(metric, &meta->metric, path);
+  return ReadIndexMetaT(f, meta, path);
 }
 
 }  // namespace detail
 
 Status SaveGraph(const std::string& path, const FlatGraph& graph,
                  uint32_t entry_point, const IndexMeta* meta) {
-  File f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  binio::AtomicFile f(path);
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for writing");
   const uint64_t n = graph.size();
   const uint32_t R = graph.max_degree();
-  const uint32_t version = meta != nullptr ? kVersionMeta : kVersion;
+  // With meta the graph is written as v3: self-describing header plus
+  // fixed-stride rows a mapping serves in place. Without meta the legacy
+  // v1 byte layout is preserved (back-compat fixture generation).
+  const uint32_t version = meta != nullptr ? kVersionAligned : kVersion;
   if (!WritePod(f.get(), kGraphMagic) || !WritePod(f.get(), version) ||
       !WritePod(f.get(), n) || !WritePod(f.get(), R) ||
       !WritePod(f.get(), entry_point)) {
@@ -199,6 +362,23 @@ Status SaveGraph(const std::string& path, const FlatGraph& graph,
   }
   if (meta != nullptr) {
     BLINK_RETURN_NOT_OK(detail::WriteIndexMeta(f.get(), *meta, path));
+    if (!WriteSectionPad(f.get())) {
+      return Status::IOError(path + ": section padding write failed");
+    }
+    // Fixed-stride payload: [deg][R ids] per node, unused tail zeroed —
+    // exactly FlatGraph's in-memory row layout.
+    std::vector<uint32_t> row(1 + static_cast<size_t>(R));
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t deg = graph.degree(i);
+      row[0] = deg;
+      std::memcpy(row.data() + 1, graph.neighbors(i),
+                  deg * sizeof(uint32_t));
+      std::fill(row.begin() + 1 + deg, row.end(), 0u);
+      if (!WriteAll(f.get(), row.data(), row.size() * sizeof(uint32_t))) {
+        return Status::IOError(path + ": adjacency write failed");
+      }
+    }
+    return f.Commit();
   }
   for (size_t i = 0; i < n; ++i) {
     const uint32_t deg = graph.degree(i);
@@ -207,7 +387,7 @@ Status SaveGraph(const std::string& path, const FlatGraph& graph,
       return Status::IOError(path + ": adjacency write failed");
     }
   }
-  return Status::OK();
+  return f.Commit();
 }
 
 Result<BuiltGraph> LoadGraph(const std::string& path, bool use_huge_pages,
@@ -221,7 +401,8 @@ Result<BuiltGraph> LoadGraph(const std::string& path, bool use_huge_pages,
     return Status::IOError(path + ": bad graph magic");
   }
   if (!ReadPod(f.get(), &version) ||
-      (version != kVersion && version != kVersionMeta)) {
+      (version != kVersion && version != kVersionMeta &&
+       version != kVersionAligned)) {
     return Status::IOError(path + ": unsupported graph version");
   }
   if (!ReadPod(f.get(), &n) || !ReadPod(f.get(), &R) ||
@@ -231,21 +412,46 @@ Result<BuiltGraph> LoadGraph(const std::string& path, bool use_huge_pages,
   // Every adjacency row occupies at least its 4-byte degree field, so a
   // header claiming more rows than the file could hold is corrupt — and
   // must fail before n * R sizes the FlatGraph allocation. R gets the
-  // dynamic loader's degree bound for the same reason.
+  // dynamic loader's degree bound for the same reason. The entry point
+  // must name a stored node — greedy search starts there unchecked.
   if (R == 0 || R > (1u << 20) ||
       n > RemainingBytes(f.get()) / sizeof(uint32_t)) {
     return Status::IOError(path + ": graph header disagrees with file size");
   }
-  if (version == kVersionMeta) {
+  if (n > 0 && entry >= n) {
+    return Status::IOError(path + ": entry point out of range");
+  }
+  if (version >= kVersionMeta) {
     IndexMeta local;
     BLINK_RETURN_NOT_OK(detail::ReadIndexMeta(f.get(), &local, path));
     local.params.graph_max_degree = R;
     if (meta != nullptr) *meta = local;
     if (has_meta != nullptr) *has_meta = true;
   }
+  if (version >= kVersionAligned && !SkipSectionPad(f.get())) {
+    return Status::IOError(path + ": truncated graph section padding");
+  }
   BuiltGraph out;
   out.graph = FlatGraph(n, R, use_huge_pages);
   out.entry_point = entry;
+  if (version >= kVersionAligned) {
+    // Fixed-stride payload: each row is (1 + R) u32 regardless of degree.
+    std::vector<uint32_t> row(1 + static_cast<size_t>(R));
+    for (size_t i = 0; i < n; ++i) {
+      if (!ReadAll(f.get(), row.data(), row.size() * sizeof(uint32_t))) {
+        return Status::IOError(path + ": truncated adjacency row");
+      }
+      const uint32_t deg = row[0];
+      if (deg > R) return Status::IOError(path + ": corrupt adjacency row");
+      for (uint32_t e = 0; e < deg; ++e) {
+        if (row[1 + e] >= n) {
+          return Status::IOError(path + ": neighbor id out of range");
+        }
+      }
+      out.graph.SetNeighbors(i, row.data() + 1, deg);
+    }
+    return out;
+  }
   std::vector<uint32_t> row(R);
   for (size_t i = 0; i < n; ++i) {
     uint32_t deg = 0;
@@ -264,9 +470,10 @@ Result<BuiltGraph> LoadGraph(const std::string& path, bool use_huge_pages,
 }
 
 Status SaveLvq(const std::string& path, const LvqDataset& ds) {
-  File f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open " + path + " for writing");
-  return SaveLvqTo(f.get(), ds, path);
+  binio::AtomicFile f(path);
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for writing");
+  BLINK_RETURN_NOT_OK(SaveLvqTo(f.get(), ds, path));
+  return f.Commit();
 }
 
 Result<LvqDataset> LoadLvq(const std::string& path, bool use_huge_pages) {
@@ -276,19 +483,22 @@ Result<LvqDataset> LoadLvq(const std::string& path, bool use_huge_pages) {
 }
 
 Status SaveLvq2(const std::string& path, const LvqDataset2& ds) {
-  File f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  binio::AtomicFile f(path);
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for writing");
   const uint32_t bits2 = static_cast<uint32_t>(ds.bits2());
-  if (!WritePod(f.get(), kLvq2Magic) || !WritePod(f.get(), kVersion) ||
+  if (!WritePod(f.get(), kLvq2Magic) || !WritePod(f.get(), kVersionAligned) ||
       !WritePod(f.get(), bits2)) {
     return Status::IOError(path + ": header write failed");
   }
+  // The nested level-1 section carries its own v3 pad; a second pad before
+  // the residual rows gives them an aligned offset of their own.
   BLINK_RETURN_NOT_OK(SaveLvqTo(f.get(), ds.level1(), path));
-  if (!WriteAll(f.get(), ds.raw_residuals(),
+  if (!WriteSectionPad(f.get()) ||
+      !WriteAll(f.get(), ds.raw_residuals(),
                 ds.size() * ds.residual_stride())) {
     return Status::IOError(path + ": residual write failed");
   }
-  return Status::OK();
+  return f.Commit();
 }
 
 Result<LvqDataset2> LoadLvq2(const std::string& path, bool use_huge_pages) {
@@ -298,12 +508,16 @@ Result<LvqDataset2> LoadLvq2(const std::string& path, bool use_huge_pages) {
   if (!ReadPod(f.get(), &magic) || magic != kLvq2Magic) {
     return Status::IOError(path + ": bad LVQ2 magic");
   }
-  if (!ReadPod(f.get(), &version) || version != kVersion ||
+  if (!ReadPod(f.get(), &version) ||
+      (version != kVersion && version != kVersionAligned) ||
       !ReadPod(f.get(), &bits2) || bits2 < 1 || bits2 > 16) {
     return Status::IOError(path + ": corrupt LVQ2 header");
   }
   Result<LvqDataset> level1 = LoadLvqFrom(f.get(), path, use_huge_pages);
   if (!level1.ok()) return level1.status();
+  if (version >= kVersionAligned && !SkipSectionPad(f.get())) {
+    return Status::IOError(path + ": truncated LVQ2 section padding");
+  }
   const size_t n = level1.value().size();
   const size_t stride = PackedBytes(level1.value().dim(), static_cast<int>(bits2));
   std::vector<uint8_t> residuals(n * stride);
@@ -363,6 +577,137 @@ Result<VecsEncoding> PeekVecsEncoding(const std::string& path) {
     case kF16Magic: return VecsEncoding::kFloat16;
     default: return Status::IOError(path + ": unrecognized vecs magic");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Map-mode loaders: parse headers from an established mapping and return
+// graphs/storages viewing the payload sections in place (serialize.h has
+// the validation policy).
+// ---------------------------------------------------------------------------
+
+bool IsMappableArtifact(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(f.get(), &magic) || !ReadPod(f.get(), &version)) return false;
+  switch (magic) {
+    case kGraphMagic:
+    case kLvqMagic:
+    case kLvq2Magic:
+    case kF32Magic:
+    case kF16Magic:
+      return version >= kVersionAligned;
+    default:
+      return false;
+  }
+}
+
+Result<BuiltGraph> MapGraph(const MmapFile& map, const std::string& path,
+                            IndexMeta* meta, bool* has_meta) {
+  if (has_meta != nullptr) *has_meta = false;
+  ByteReader r(map.data(), map.size());
+  uint32_t magic = 0, version = 0, R = 0, entry = 0;
+  uint64_t n = 0;
+  if (!r.Read(&magic) || magic != kGraphMagic) {
+    return Status::IOError(path + ": bad graph magic");
+  }
+  if (!r.Read(&version)) {
+    return Status::IOError(path + ": corrupt graph header");
+  }
+  if (version < kVersionAligned) {
+    return Status::Unsupported(path +
+                               ": map mode requires a v3 aligned artifact");
+  }
+  if (version != kVersionAligned || !r.Read(&n) || !r.Read(&R) ||
+      !r.Read(&entry) || R == 0 || R > (1u << 20)) {
+    return Status::IOError(path + ": corrupt graph header");
+  }
+  if (n > 0 && entry >= n) {
+    return Status::IOError(path + ": entry point out of range");
+  }
+  // v3 graphs always carry the meta block (SaveGraph writes v1 otherwise).
+  IndexMeta local;
+  BLINK_RETURN_NOT_OK(ReadIndexMetaT(&r, &local, path));
+  local.params.graph_max_degree = R;
+  if (meta != nullptr) *meta = local;
+  if (has_meta != nullptr) *has_meta = true;
+  const size_t row_entries = 1 + static_cast<size_t>(R);
+  if (!r.Align(kSectionAlign) ||
+      n > r.remaining() / (row_entries * sizeof(uint32_t))) {
+    return Status::IOError(path + ": graph header disagrees with file size");
+  }
+  const uint32_t* rows = reinterpret_cast<const uint32_t*>(r.cursor());
+  // Eager validation: adjacency ids index the vector payload unchecked at
+  // search time, and the graph is the small section — touch all of it now
+  // so a corrupt row can never become an out-of-bounds read mid-query.
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t* row = rows + i * row_entries;
+    const uint32_t deg = row[0];
+    if (deg > R) return Status::IOError(path + ": corrupt adjacency row");
+    for (uint32_t e = 0; e < deg; ++e) {
+      if (row[1 + e] >= n) {
+        return Status::IOError(path + ": neighbor id out of range");
+      }
+    }
+  }
+  BuiltGraph out;
+  out.graph = FlatGraph(rows, n, R);
+  out.entry_point = entry;
+  return out;
+}
+
+Result<LvqDataset> MapLvq(const MmapFile& map, const std::string& path) {
+  ByteReader r(map.data(), map.size());
+  return MapLvqFrom(&r, path);
+}
+
+Result<LvqDataset2> MapLvq2(const MmapFile& map, const std::string& path) {
+  ByteReader r(map.data(), map.size());
+  uint32_t magic = 0, version = 0, bits2 = 0;
+  if (!r.Read(&magic) || magic != kLvq2Magic) {
+    return Status::IOError(path + ": bad LVQ2 magic");
+  }
+  if (!r.Read(&version)) {
+    return Status::IOError(path + ": corrupt LVQ2 header");
+  }
+  if (version < kVersionAligned) {
+    return Status::Unsupported(path +
+                               ": map mode requires a v3 aligned artifact");
+  }
+  if (version != kVersionAligned || !r.Read(&bits2) || bits2 < 1 ||
+      bits2 > 16) {
+    return Status::IOError(path + ": corrupt LVQ2 header");
+  }
+  Result<LvqDataset> level1 = MapLvqFrom(&r, path);
+  if (!level1.ok()) return level1.status();
+  const size_t n = level1.value().size();
+  const size_t stride =
+      PackedBytes(level1.value().dim(), static_cast<int>(bits2));
+  if (!r.Align(kSectionAlign) || n * stride > r.remaining()) {
+    return Status::IOError(path + ": LVQ2 header disagrees with file size");
+  }
+  return LvqDataset2::FromExternal(std::move(level1).value(),
+                                   static_cast<int>(bits2), r.cursor());
+}
+
+Result<FloatStorage> MapFloatVecs(const MmapFile& map,
+                                  const std::string& path, Metric metric) {
+  uint64_t n = 0, d = 0;
+  const uint8_t* rows = nullptr;
+  BLINK_RETURN_NOT_OK(
+      MapRawVecs(map, path, kF32Magic, sizeof(float), &n, &d, &rows));
+  return FloatStorage::FromExternal(reinterpret_cast<const float*>(rows), n,
+                                    d, metric);
+}
+
+Result<F16Storage> MapF16Vecs(const MmapFile& map, const std::string& path,
+                              Metric metric) {
+  uint64_t n = 0, d = 0;
+  const uint8_t* rows = nullptr;
+  BLINK_RETURN_NOT_OK(
+      MapRawVecs(map, path, kF16Magic, sizeof(Float16), &n, &d, &rows));
+  return F16Storage::FromExternal(reinterpret_cast<const Float16*>(rows), n,
+                                  d, metric);
 }
 
 // ---------------------------------------------------------------------------
@@ -551,8 +896,8 @@ Result<DynamicKind> PeekDynamicKind(const std::string& path) {
 }
 
 Status SaveDynamic(const std::string& path, const DynamicIndex& index) {
-  File f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  binio::AtomicFile f(path);
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for writing");
   DynHeader h;
   h.kind = kDynKindF32;
   h.dim = index.dim();
@@ -568,12 +913,13 @@ Status SaveDynamic(const std::string& path, const DynamicIndex& index) {
                 h.n * h.dim * sizeof(float))) {
     return Status::IOError(path + ": vector write failed");
   }
-  return WriteDynState(f.get(), index, h.n, path);
+  BLINK_RETURN_NOT_OK(WriteDynState(f.get(), index, h.n, path));
+  return f.Commit();
 }
 
 Status SaveDynamic(const std::string& path, const DynamicLvqIndex& index) {
-  File f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  binio::AtomicFile f(path);
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for writing");
   const DynamicLvqDataset& ds = index.storage().dataset();
   DynHeader h;
   h.kind = kDynKindLvq;
@@ -596,7 +942,8 @@ Status SaveDynamic(const std::string& path, const DynamicLvqIndex& index) {
       !WriteAll(f.get(), ds.raw_residuals(), h.n * ds.residual_stride())) {
     return Status::IOError(path + ": LVQ payload write failed");
   }
-  return WriteDynState(f.get(), index, h.n, path);
+  BLINK_RETURN_NOT_OK(WriteDynState(f.get(), index, h.n, path));
+  return f.Commit();
 }
 
 Result<std::unique_ptr<DynamicIndex>> LoadDynamicF32(const std::string& path,

@@ -6,19 +6,33 @@
 // little-endian, versioned, and streamed through plain stdio (no mmap
 // dependence), with the same "BLNK" magic family as util/io.h.
 //
-// Format versions (DESIGN.md D10 has the full table):
-//   graph "BLAG"     v1: header + adjacency.
+// Format versions (DESIGN.md D10/D12 have the full tables):
+//   graph "BLAG"     v1: header + variable-length adjacency rows.
 //                    v2: v1 + an IndexMeta block (metric + build params),
 //                        so the artifact is self-describing.
-//   vecs  "BLAQ"/"BLA2"  LVQ-B / LVQ-B1xB2 payloads (v1, unchanged).
-//         "BLAF"/"BLAH"  float32 / float16 payloads (new with the API
-//                        layer; static bundles are no longer LVQ-only).
+//                    v3: v2 header/meta, then zero-padding to a 64-byte
+//                        file offset, then *fixed-stride* rows of
+//                        (1 + max_degree) u32 — byte-identical to
+//                        FlatGraph's in-memory layout, so a mapping of
+//                        the file serves directly (DESIGN.md D12).
+//   vecs  "BLAQ"/"BLA2"  LVQ-B / LVQ-B1xB2 payloads. v3 pads to a
+//                        64-byte offset before each blob/residual
+//                        section (v1 reads kept).
+//         "BLAF"/"BLAH"  float32 / float16 payloads; v3 pads before the
+//                        row section likewise.
 //   dynamic "BLDY"   v1: header + rows + tombstones + free list + graph.
 //                    v2: header additionally carries metric/alpha/window.
+//                    (Always heap-loaded: the index is mutable.)
 //   sharded manifest "BLSH" — see shard/serialize.h (v2 adds IndexMeta).
 //
-// Version-1 artifacts remain loadable forever; the loaders fall back to
-// caller-supplied configuration exactly as the pre-v2 API required.
+// Version-1/2 artifacts remain loadable forever; the loaders fall back to
+// caller-supplied configuration exactly as the pre-v2 API required. The
+// Map* loaders accept only v3 (aligned) artifacts — Open() falls back to
+// heap loading for anything older.
+//
+// All saves are atomic: payloads stream to `<path>.tmp.<pid>` and rename
+// over the destination only after an fsync, so a crash mid-save can never
+// leave a torn file where Open()'s sniffing finds it.
 #pragma once
 
 #include <cstdio>
@@ -31,6 +45,7 @@
 #include "graph/index.h"
 #include "graph/storage.h"
 #include "quant/lvq.h"
+#include "util/mmap_file.h"
 #include "util/status.h"
 
 namespace blink {
@@ -44,9 +59,10 @@ struct IndexMeta {
 };
 
 /// Saves a built graph (adjacency + entry point). With `meta` the file is
-/// written as version 2 (self-describing); without it the legacy version-1
-/// layout is produced byte-identically (also how the back-compat test
-/// fixtures were generated).
+/// written as version 3 (self-describing, 64-byte-aligned fixed-stride
+/// rows, mmap-servable); without it the legacy version-1 layout is
+/// produced byte-identically (also how the back-compat test fixtures were
+/// generated).
 Status SaveGraph(const std::string& path, const FlatGraph& graph,
                  uint32_t entry_point, const IndexMeta* meta = nullptr);
 
@@ -84,6 +100,46 @@ Result<F16Storage> LoadF16Vecs(const std::string& path, Metric metric,
 /// Open() decides which static flavor to reconstruct.
 enum class VecsEncoding { kLvq1, kLvq2, kFloat32, kFloat16 };
 Result<VecsEncoding> PeekVecsEncoding(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Map-mode loaders (ROADMAP item 2). Each parses headers from an
+// already-established read-only mapping and returns a graph/storage that
+// references the mapping's payload section directly — no copy, no
+// allocation proportional to the dataset. The caller must keep `map`
+// alive for as long as the returned object (api::Open stores the mapping
+// next to the index). Only version-3 (64-byte-aligned) artifacts qualify;
+// probe with IsMappableArtifact() and fall back to the heap loaders for
+// older files.
+//
+// Validation policy (DESIGN.md D12): headers and section bounds are fully
+// checked, and graph adjacency rows are validated eagerly (they are the
+// only ids indexed into other arrays, and the graph is the small section),
+// but vector payload pages are never touched — they fault in lazily as
+// searches visit them.
+// ---------------------------------------------------------------------------
+
+/// True when `path` holds a version-3 aligned artifact of a known magic —
+/// i.e. the Map* loaders below can serve it.
+bool IsMappableArtifact(const std::string& path);
+
+/// Maps a v3 graph file. Meta semantics match LoadGraph.
+Result<BuiltGraph> MapGraph(const MmapFile& map, const std::string& path,
+                            IndexMeta* meta = nullptr,
+                            bool* has_meta = nullptr);
+
+/// Maps a v3 one-level LVQ payload ("BLAQ").
+Result<LvqDataset> MapLvq(const MmapFile& map, const std::string& path);
+
+/// Maps a v3 two-level LVQ payload ("BLA2").
+Result<LvqDataset2> MapLvq2(const MmapFile& map, const std::string& path);
+
+/// Maps a v3 float32 payload ("BLAF").
+Result<FloatStorage> MapFloatVecs(const MmapFile& map,
+                                  const std::string& path, Metric metric);
+
+/// Maps a v3 float16 payload ("BLAH").
+Result<F16Storage> MapF16Vecs(const MmapFile& map, const std::string& path,
+                              Metric metric);
 
 /// Saves a complete static index as `<prefix>.graph` + `<prefix>.vecs`.
 /// The graph file embeds the metric and build params (version 2), so the

@@ -67,14 +67,32 @@ class FloatStorage {
     ip_ = simd::GetIpF32(d_);
   }
 
+  /// Non-owning view over externally owned rows (the mmap-serving path:
+  /// a v3 "BLAF" payload is exactly this layout). The caller keeps `rows`
+  /// alive and 4-byte aligned for the storage's lifetime.
+  static FloatStorage FromExternal(const float* rows, size_t n, size_t d,
+                                   Metric metric) {
+    FloatStorage s;
+    s.n_ = n;
+    s.d_ = d;
+    s.metric_ = metric;
+    s.ext_rows_ = rows;
+    s.l2_ = simd::GetL2F32(d);
+    s.ip_ = simd::GetIpF32(d);
+    return s;
+  }
+
   size_t size() const { return n_; }
   size_t dim() const { return d_; }
   Metric metric() const { return metric_; }
-  size_t memory_bytes() const { return blob_.size(); }
+  size_t memory_bytes() const { return n_ * d_ * sizeof(float); }
   const char* encoding_name() const { return "float32"; }
 
   const float* row(size_t i) const {
-    return reinterpret_cast<const float*>(blob_.data()) + i * d_;
+    return (ext_rows_ != nullptr
+                ? ext_rows_
+                : reinterpret_cast<const float*>(blob_.data())) +
+           i * d_;
   }
 
   void PrepareQuery(const float* q, Query* out) const {
@@ -105,6 +123,7 @@ class FloatStorage {
   size_t d_ = 0;
   Metric metric_ = Metric::kL2;
   Arena blob_;
+  const float* ext_rows_ = nullptr;
   simd::DistF32Fn l2_ = nullptr;
   simd::DistF32Fn ip_ = nullptr;
 };
@@ -140,14 +159,30 @@ class F16Storage {
     Init();
   }
 
+  /// Non-owning view over externally owned half rows (map-mode "BLAH"
+  /// payload). The caller keeps `rows` alive for the storage's lifetime.
+  static F16Storage FromExternal(const Float16* rows, size_t n, size_t d,
+                                 Metric metric) {
+    F16Storage s;
+    s.n_ = n;
+    s.d_ = d;
+    s.metric_ = metric;
+    s.ext_rows_ = rows;
+    s.Init();
+    return s;
+  }
+
   size_t size() const { return n_; }
   size_t dim() const { return d_; }
   Metric metric() const { return metric_; }
-  size_t memory_bytes() const { return blob_.size(); }
+  size_t memory_bytes() const { return n_ * d_ * sizeof(Float16); }
   const char* encoding_name() const { return "float16"; }
 
   const Float16* row(size_t i) const {
-    return reinterpret_cast<const Float16*>(blob_.data()) + i * d_;
+    return (ext_rows_ != nullptr
+                ? ext_rows_
+                : reinterpret_cast<const Float16*>(blob_.data())) +
+           i * d_;
   }
 
   void PrepareQuery(const float* q, Query* out) const {
@@ -188,6 +223,7 @@ class F16Storage {
   size_t d_ = 0;
   Metric metric_ = Metric::kL2;
   Arena blob_;
+  const Float16* ext_rows_ = nullptr;
   simd::DistF16Fn l2_ = nullptr;
   simd::DistF16Fn ip_ = nullptr;
 };

@@ -102,6 +102,21 @@ LvqDataset LvqDataset::FromRaw(size_t n, size_t d, int bits, size_t padding,
   return ds;
 }
 
+LvqDataset LvqDataset::FromExternal(size_t n, size_t d, int bits,
+                                    size_t padding, std::vector<float> mean,
+                                    const uint8_t* blob) {
+  assert(mean.size() == d);
+  LvqDataset ds;
+  ds.n_ = n;
+  ds.d_ = d;
+  ds.bits_ = bits;
+  ds.padding_ = padding;
+  ds.mean_ = std::move(mean);
+  ds.stride_ = LvqPaddedStride(kHeaderBytes + PackedBytes(d, bits), padding);
+  ds.ext_blob_ = blob;
+  return ds;
+}
+
 LvqDataset2 LvqDataset2::FromRaw(LvqDataset level1, int bits2,
                                  const uint8_t* residuals,
                                  size_t residual_bytes, bool use_huge_pages) {
@@ -114,6 +129,16 @@ LvqDataset2 LvqDataset2::FromRaw(LvqDataset level1, int bits2,
   if (residual_bytes > 0) {
     std::memcpy(ds.residuals_.data(), residuals, residual_bytes);
   }
+  return ds;
+}
+
+LvqDataset2 LvqDataset2::FromExternal(LvqDataset level1, int bits2,
+                                      const uint8_t* residuals) {
+  LvqDataset2 ds;
+  ds.level1_ = std::move(level1);
+  ds.bits2_ = bits2;
+  ds.residual_stride_ = PackedBytes(ds.level1_.dim(), bits2);
+  ds.ext_residuals_ = residuals;
   return ds;
 }
 

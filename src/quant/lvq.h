@@ -104,8 +104,17 @@ class LvqDataset {
                             std::vector<float> mean, const uint8_t* blob,
                             size_t blob_bytes, bool use_huge_pages = true);
 
+  /// Like FromRaw but without copying: the dataset reads blobs directly
+  /// from `blob` (n * stride bytes, e.g. a section of a mapped v3
+  /// artifact), which the caller keeps alive. The small mean vector is
+  /// still owned. Only the d-sized mean is touched at construction — the
+  /// blob pages fault in lazily as searches visit them.
+  static LvqDataset FromExternal(size_t n, size_t d, int bits, size_t padding,
+                                 std::vector<float> mean,
+                                 const uint8_t* blob);
+
   /// Base of the contiguous per-vector blob region (n * stride bytes).
-  const uint8_t* raw_blob() const { return blob_.data(); }
+  const uint8_t* raw_blob() const { return data_ptr(); }
 
   size_t size() const { return n_; }
   size_t dim() const { return d_; }
@@ -126,7 +135,7 @@ class LvqDataset {
   size_t memory_bytes() const { return n_ * stride_; }
 
   /// Start of the i-th vector's blob (constants then codes).
-  const uint8_t* blob(size_t i) const { return blob_.data() + i * stride_; }
+  const uint8_t* blob(size_t i) const { return data_ptr() + i * stride_; }
   /// Start of the i-th vector's packed codes.
   const uint8_t* codes(size_t i) const { return blob(i) + kHeaderBytes; }
 
@@ -162,7 +171,14 @@ class LvqDataset {
 
   static constexpr size_t kHeaderBytes = 4;  // l:f16 + u:f16
 
+  /// True when the blob region is an external (e.g. mapped) view.
+  bool mapped() const { return ext_blob_ != nullptr; }
+
  private:
+  const uint8_t* data_ptr() const {
+    return ext_blob_ != nullptr ? ext_blob_ : blob_.data();
+  }
+
   size_t n_ = 0;
   size_t d_ = 0;
   int bits_ = 8;
@@ -170,6 +186,7 @@ class LvqDataset {
   size_t stride_ = 0;
   std::vector<float> mean_;
   Arena blob_;
+  const uint8_t* ext_blob_ = nullptr;
 };
 
 /// Two-level LVQ-B1xB2 compressed dataset (Definition 2). The first level
@@ -195,8 +212,14 @@ class LvqDataset2 {
                              const uint8_t* residuals, size_t residual_bytes,
                              bool use_huge_pages = true);
 
+  /// Non-copying variant of FromRaw over an external residual region
+  /// (n * residual_stride bytes) the caller keeps alive — the map-mode
+  /// counterpart of LvqDataset::FromExternal.
+  static LvqDataset2 FromExternal(LvqDataset level1, int bits2,
+                                  const uint8_t* residuals);
+
   /// Base of the contiguous residual-code region (n * residual_stride).
-  const uint8_t* raw_residuals() const { return residuals_.data(); }
+  const uint8_t* raw_residuals() const { return residual_ptr(); }
   size_t residual_stride() const { return residual_stride_; }
 
   const LvqDataset& level1() const { return level1_; }
@@ -206,7 +229,7 @@ class LvqDataset2 {
   int bits2() const { return bits2_; }
 
   const uint8_t* residual_codes(size_t i) const {
-    return residuals_.data() + i * residual_stride_;
+    return residual_ptr() + i * residual_stride_;
   }
   uint32_t residual_code(size_t i, size_t j) const {
     return UnpackCode(residual_codes(i), j, bits2_);
@@ -239,10 +262,15 @@ class LvqDataset2 {
   }
 
  private:
+  const uint8_t* residual_ptr() const {
+    return ext_residuals_ != nullptr ? ext_residuals_ : residuals_.data();
+  }
+
   LvqDataset level1_;
   int bits2_ = 8;
   size_t residual_stride_ = 0;
   Arena residuals_;
+  const uint8_t* ext_residuals_ = nullptr;
 };
 
 }  // namespace blink

@@ -46,8 +46,11 @@ Status SaveShardedIndex(const std::string& dir, const ShardedIndex& index) {
   }
   const Partition& part = index.partition();
   const std::string path = ManifestPath(dir);
-  File f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  // Atomic like every other artifact: IsShardedIndexDir() keys on the
+  // manifest's existence, so a torn manifest would make the whole
+  // directory look like a valid sharded index.
+  binio::AtomicFile f(path);
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for writing");
 
   const uint64_t S = part.num_shards();
   const uint64_t n = part.total_size();
@@ -74,11 +77,14 @@ Status SaveShardedIndex(const std::string& dir, const ShardedIndex& index) {
       return Status::IOError(path + ": manifest shard list write failed");
     }
   }
+  // Shards are written before the manifest commits: a crash anywhere in
+  // the sequence leaves either no manifest (the directory is not a
+  // sharded index yet) or a complete one whose shards already exist.
   for (uint64_t s = 0; s < S; ++s) {
     if (index.shard(s) == nullptr) continue;
     BLINK_RETURN_NOT_OK(SaveOgLvqIndex(ShardPrefix(dir, s), *index.shard(s)));
   }
-  return Status::OK();
+  return f.Commit();
 }
 
 Result<std::unique_ptr<ShardedIndex>> LoadShardedIndex(

@@ -1,11 +1,17 @@
 // Shared stdio plumbing for the binary index formats (graph/serialize.cc,
-// shard/serialize.cc): RAII FILE handle and exact-size read/write helpers.
-// All formats are little-endian POD streams; these helpers return false on
-// short IO so callers can surface a Status instead of asserting.
+// shard/serialize.cc): RAII FILE handle, exact-size read/write helpers,
+// and the atomic-save protocol. All formats are little-endian POD
+// streams; the helpers return false on short IO so callers can surface a
+// Status instead of asserting.
 #pragma once
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <memory>
+#include <string>
+
+#include "util/status.h"
 
 namespace blink {
 namespace binio {
@@ -34,6 +40,61 @@ template <typename T>
 bool ReadPod(FILE* f, T* v) {
   return ReadAll(f, v, sizeof(T));
 }
+
+/// Atomic save protocol: every artifact streams to `<path>.tmp.<pid>` and
+/// replaces the destination via rename(2) only after Commit() fsyncs the
+/// temp — so a crash mid-save (or a failed write) can never leave a torn
+/// file where Open()'s sniffing finds one, and readers of the old artifact
+/// (including live mappings) keep a consistent view. Destruction without
+/// Commit() discards the temp file.
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path)
+      : path_(std::move(path)),
+        tmp_(path_ + ".tmp." + std::to_string(::getpid())) {
+    file_.reset(std::fopen(tmp_.c_str(), "wb"));
+  }
+
+  ~AtomicFile() {
+    if (file_ != nullptr) {
+      file_.reset();
+      std::remove(tmp_.c_str());
+    }
+  }
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// False when the temp file could not be opened.
+  bool ok() const { return file_ != nullptr; }
+  FILE* get() { return file_.get(); }
+
+  /// Flushes, fsyncs and renames the temp over the destination. After a
+  /// successful Commit the handle is closed; on any failure the temp is
+  /// removed and the original destination file is left untouched.
+  Status Commit() {
+    if (file_ == nullptr) {
+      return Status::IOError("cannot open " + tmp_ + " for writing");
+    }
+    const bool flushed =
+        std::fflush(file_.get()) == 0 && ::fsync(::fileno(file_.get())) == 0;
+    file_.reset();
+    if (!flushed) {
+      std::remove(tmp_.c_str());
+      return Status::IOError(path_ + ": flush failed during save");
+    }
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+      std::remove(tmp_.c_str());
+      return Status::IOError(path_ + ": atomic rename failed");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  File file_;
+};
 
 }  // namespace binio
 }  // namespace blink

@@ -22,6 +22,18 @@ File OpenFile(const std::string& path, const char* mode) {
   return File(std::fopen(path.c_str(), mode));
 }
 
+/// Bytes from the stream position to end-of-file (0 on a non-seekable
+/// stream). Readers check header-implied payload sizes against this so a
+/// forged header fails with a Status instead of sizing an allocation.
+uint64_t RemainingBytes(FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0) return 0;
+  if (std::fseek(f, 0, SEEK_END) != 0) return 0;
+  const long end = std::ftell(f);
+  std::fseek(f, pos, SEEK_SET);
+  return end > pos ? static_cast<uint64_t>(end - pos) : 0;
+}
+
 template <typename T>
 Result<Matrix<T>> ReadXvecs(const std::string& path) {
   File f = OpenFile(path, "rb");
@@ -35,6 +47,12 @@ Result<Matrix<T>> ReadXvecs(const std::string& path) {
   int32_t d = 0;
   if (std::fread(&d, sizeof(d), 1, f.get()) != 1 || d <= 0) {
     return Status::IOError(path + ": bad dimension header");
+  }
+  // d is bounded before it sizes row_bytes (and, via rows * d, the Matrix
+  // allocation): INT32_MAX * sizeof(T) would already overflow row_bytes'
+  // arithmetic on 32-bit size_t, and no real dataset is 2^20-dimensional.
+  if (static_cast<uint64_t>(d) > (1u << 20)) {
+    return Status::IOError(path + ": implausible dimension header");
   }
   const size_t row_bytes = sizeof(int32_t) + static_cast<size_t>(d) * sizeof(T);
   if (static_cast<size_t>(fsize) % row_bytes != 0) {
@@ -110,6 +128,16 @@ Result<Matrix<T>> ReadNativeImpl(const std::string& path, uint32_t want_dtype) {
   }
   if (dtype != want_dtype) {
     return Status::InvalidArgument(path + ": dtype mismatch");
+  }
+  // Validate the header-implied payload against the actual file size
+  // before rows * cols sizes the Matrix allocation: a forged or corrupt
+  // header must produce a Status, not an OOM — and rows * cols itself must
+  // not overflow on the way to that check.
+  const uint64_t remaining = RemainingBytes(f.get());
+  if (cols > (1u << 20) ||
+      (cols > 0 && rows > remaining / (cols * sizeof(T))) ||
+      (cols == 0 && rows > remaining)) {
+    return Status::IOError(path + ": header disagrees with file size");
   }
   Matrix<T> m(rows, cols);
   if (m.size() > 0 &&

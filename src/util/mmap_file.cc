@@ -1,0 +1,103 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace blink {
+
+MmapFile::~MmapFile() { Release(); }
+
+MmapFile::MmapFile(MmapFile&& o) noexcept
+    : ptr_(o.ptr_), bytes_(o.bytes_), backing_(o.backing_) {
+  o.ptr_ = nullptr;
+  o.bytes_ = 0;
+  o.backing_ = PageBacking::kStandard;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& o) noexcept {
+  if (this != &o) {
+    Release();
+    ptr_ = o.ptr_;
+    bytes_ = o.bytes_;
+    backing_ = o.backing_;
+    o.ptr_ = nullptr;
+    o.bytes_ = 0;
+    o.backing_ = PageBacking::kStandard;
+  }
+  return *this;
+}
+
+void MmapFile::Release() {
+  if (ptr_ != nullptr) {
+    ::munmap(ptr_, bytes_);
+    ptr_ = nullptr;
+    bytes_ = 0;
+    backing_ = PageBacking::kStandard;
+  }
+}
+
+Result<MmapFile> MmapFile::Map(const std::string& path, const Options& opts) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat " + path + ": " + std::strerror(err));
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::IOError(path + ": empty file cannot be mapped");
+  }
+  const size_t bytes = static_cast<size_t>(st.st_size);
+  // MAP_PRIVATE: the artifact is immutable input; a concurrent writer
+  // replacing it via rename (the atomic-save protocol) leaves this mapping
+  // pinned to the old inode, which is exactly the hot-swap semantics the
+  // serving layer wants.
+  void* p = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // the mapping keeps its own reference to the inode
+  if (p == MAP_FAILED) {
+    return Status::IOError("cannot mmap " + path + ": " +
+                           std::strerror(map_err));
+  }
+  MmapFile out;
+  out.ptr_ = p;
+  out.bytes_ = bytes;
+  // Advice is best-effort: a kernel rejecting a hint (e.g. file-backed
+  // MADV_HUGEPAGE without CONFIG_READ_ONLY_THP_FOR_FS) degrades the
+  // backing tier, never the mapping.
+  if (opts.random) ::madvise(p, bytes, MADV_RANDOM);
+  if (opts.huge_pages && ::madvise(p, bytes, MADV_HUGEPAGE) == 0) {
+    out.backing_ = PageBacking::kTransparentHuge;
+  }
+  if (opts.willneed) ::madvise(p, bytes, MADV_WILLNEED);
+  return out;
+}
+
+Status DropFileCache(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  // Flush any dirty pages first — DONTNEED skips them silently.
+  ::fsync(fd);
+  const int rc = ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError(path + ": posix_fadvise failed: " +
+                           std::strerror(rc));
+  }
+  return Status::OK();
+}
+
+}  // namespace blink

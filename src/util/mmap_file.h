@@ -1,0 +1,72 @@
+// Read-only memory-mapped file access for the out-of-core serving path
+// (ROADMAP item 2; paper Sec. 5, "Memory layout and allocation").
+//
+// Heap loaders copy the whole artifact through a read() stream, so process
+// start costs a full file scan and the dataset must fit RAM. A mapping
+// instead faults pages in on first touch: start is near-instant on a warm
+// page cache, and the kernel evicts cold vector pages under memory
+// pressure, letting an index larger than resident memory serve with
+// bounded latency loss. Access hints mirror the Arena tier logic in
+// util/memory.h: MADV_RANDOM for the graph-search access pattern,
+// MADV_WILLNEED to prefault eagerly, and MADV_HUGEPAGE as the
+// transparent-huge-page tier (file-backed THP is kernel-config dependent,
+// so the achieved backing is recorded, not assumed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/memory.h"
+#include "util/status.h"
+
+namespace blink {
+
+/// A read-only, page-aligned mapping of a whole file. Move-only; unmaps on
+/// destruction. Anything holding pointers into data() must keep the
+/// MmapFile alive.
+class MmapFile {
+ public:
+  struct Options {
+    bool random = true;      ///< madvise(MADV_RANDOM): graph-search pattern
+    bool willneed = false;   ///< madvise(MADV_WILLNEED): prefault eagerly
+    bool huge_pages = true;  ///< try madvise(MADV_HUGEPAGE)
+  };
+
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& o) noexcept;
+  MmapFile& operator=(MmapFile&& o) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only in full and applies the requested advice.
+  static Result<MmapFile> Map(const std::string& path, const Options& opts);
+  static Result<MmapFile> Map(const std::string& path) {
+    return Map(path, Options());
+  }
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(ptr_); }
+  size_t size() const { return bytes_; }
+  bool empty() const { return ptr_ == nullptr; }
+
+  /// kTransparentHuge when MADV_HUGEPAGE was accepted, else kStandard
+  /// (explicit MAP_HUGETLB does not apply to file-backed mappings).
+  PageBacking backing() const { return backing_; }
+
+ private:
+  void Release();
+
+  void* ptr_ = nullptr;
+  size_t bytes_ = 0;
+  PageBacking backing_ = PageBacking::kStandard;
+};
+
+/// Asks the kernel to drop `path`'s cached pages (posix_fadvise
+/// POSIX_FADV_DONTNEED). Best-effort and unprivileged — dirty or mapped
+/// pages stay — but sufficient to make bench/cold_vs_warm's "cold" runs
+/// actually fault from disk without root.
+Status DropFileCache(const std::string& path);
+
+}  // namespace blink

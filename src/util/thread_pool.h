@@ -103,8 +103,13 @@ class ThreadPool {
     };
     auto helper = [&st, drain] {
       drain();
+      // The decrement must happen under st.mu: were the count to reach
+      // zero outside the lock, the caller's predicate could observe it,
+      // return, and destroy `st` (a stack frame) before this task takes
+      // the lock — a use-after-free that preemption right after an
+      // unlocked fetch_sub makes real on single-core runners.
+      std::unique_lock<std::mutex> lk(st.mu);
       if (st.tasks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::unique_lock<std::mutex> lk(st.mu);
         st.cv.notify_all();
       }
     };

@@ -309,5 +309,139 @@ TEST_F(OpenSelfDescribing, WrongFallbacksAreIgnoredForV2) {
   EXPECT_EQ(back.value().spec().graph.window_size, w.bp.window_size);
 }
 
+// --- map mode (out-of-core serving, DESIGN.md D12) --------------------------
+
+class OpenMapMode : public TempPathTest {
+ protected:
+  /// Registers both bundle files and returns the prefix.
+  std::string BundlePrefix(const std::string& name) {
+    const std::string graph = Path(name + ".graph");
+    Path(name + ".vecs");
+    return graph.substr(0, graph.size() - sizeof(".graph") + 1);
+  }
+};
+
+// The core map-mode contract: for every static flavor, a mapped reopen
+// serves byte-identical results to a heap-loaded reopen of the same
+// artifact, and the spec records the mode actually in effect.
+TEST_F(OpenMapMode, MappedSearchMatchesLoadedForEveryStaticFlavor) {
+  const V1World w;
+  struct Flavor {
+    IndexKind kind;
+    int bits1, bits2;
+    const char* name;
+  };
+  for (const Flavor& fl :
+       {Flavor{IndexKind::kStaticF32, 8, 0, "f32"},
+        Flavor{IndexKind::kStaticF16, 8, 0, "f16"},
+        Flavor{IndexKind::kStaticLvq, 8, 0, "lvq8"},
+        Flavor{IndexKind::kStaticLvq, 4, 8, "lvq4x8"}}) {
+    IndexSpec spec;
+    spec.kind = fl.kind;
+    spec.metric = w.data.metric;
+    spec.bits1 = fl.bits1;
+    spec.bits2 = fl.bits2;
+    spec.graph = w.bp;
+    auto built = Build(spec, w.data.base);
+    ASSERT_TRUE(built.ok()) << fl.name << ": " << built.status().ToString();
+    const std::string prefix = BundlePrefix(std::string("map_") + fl.name);
+    ASSERT_TRUE(built.value().Save(prefix).ok()) << fl.name;
+
+    OpenOptions heap;
+    heap.use_huge_pages = false;
+    auto loaded = Open(prefix, heap);
+    ASSERT_TRUE(loaded.ok()) << fl.name << ": " << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().spec().load_mode, LoadMode::kLoad) << fl.name;
+
+    OpenOptions map = heap;
+    map.load_mode = LoadMode::kMap;
+    auto mapped = Open(prefix, map);
+    ASSERT_TRUE(mapped.ok()) << fl.name << ": " << mapped.status().ToString();
+    EXPECT_EQ(mapped.value().spec().load_mode, LoadMode::kMap)
+        << fl.name << ": a fresh Save() must be v3 and actually map";
+    EXPECT_TRUE(mapped.value().self_described()) << fl.name;
+    EXPECT_EQ(mapped.value().size(), w.data.base.rows()) << fl.name;
+
+    RuntimeParams p;
+    p.window = 16;
+    testutil::ExpectSameIds(
+        testutil::SearchIds(loaded.value().AsSearchIndex(), w.data.queries, 5,
+                            p),
+        testutil::SearchIds(mapped.value().AsSearchIndex(), w.data.queries, 5,
+                            p),
+        std::string("map vs load: ") + fl.name);
+  }
+}
+
+// Every strict prefix of a v3 bundle must fail cleanly under a map-mode
+// open too — the mapped parsers bounds-check instead of faulting.
+TEST_F(OpenMapMode, TruncationSweepRejectsInMapMode) {
+  const V1World w;
+  IndexSpec spec;
+  spec.kind = IndexKind::kStaticLvq;
+  spec.metric = w.data.metric;
+  spec.graph = w.bp;
+  auto built = Build(spec, w.data.base);
+  ASSERT_TRUE(built.ok());
+  const std::string src = BundlePrefix("trunc_src");
+  ASSERT_TRUE(built.value().Save(src).ok());
+
+  const std::string dst = BundlePrefix("trunc_map");
+  OpenOptions map;
+  map.use_huge_pages = false;
+  map.load_mode = LoadMode::kMap;
+
+  const auto vecs = ReadFile(src + ".vecs");
+  WriteFile(dst + ".vecs", vecs.data(), vecs.size());
+  const auto graph = ReadFile(src + ".graph");
+  for (size_t cut : {size_t{0}, size_t{2}, size_t{11}, size_t{17},
+                     graph.size() / 4, graph.size() / 2, graph.size() - 5,
+                     graph.size() - 1}) {
+    WriteFile(dst + ".graph", graph.data(), cut);
+    auto r = Open(dst, map);
+    EXPECT_FALSE(r.ok()) << "graph truncated to " << cut
+                         << " bytes opened in map mode";
+  }
+  WriteFile(dst + ".graph", graph.data(), graph.size());
+  for (size_t cut : {size_t{2}, size_t{9}, vecs.size() / 2,
+                     vecs.size() - 1}) {
+    WriteFile(dst + ".vecs", vecs.data(), cut);
+    auto r = Open(dst, map);
+    EXPECT_FALSE(r.ok()) << "vecs truncated to " << cut
+                         << " bytes opened in map mode";
+  }
+}
+
+// Pre-v3 artifacts cannot be mapped; requesting kMap on one must silently
+// fall back to the heap loaders and serve the same results as before.
+TEST(OpenMapModeBackCompat, V1BundleFallsBackToHeapLoad) {
+  const V1World w;
+  OpenOptions opts;
+  opts.fallback_metric = w.data.metric;
+  opts.fallback_graph = w.bp;
+  opts.use_huge_pages = false;
+  opts.load_mode = LoadMode::kMap;
+  auto idx = Open(kDataDir + "/v1_static_lvq", opts);
+  ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+  EXPECT_EQ(idx.value().spec().load_mode, LoadMode::kLoad)
+      << "a v1 artifact has no aligned sections to map";
+  EXPECT_EQ(idx.value().size(), 64u);
+}
+
+// Sharded and dynamic flavors are heap-only; the map hint is ignored.
+TEST(OpenMapModeBackCompat, NonStaticFlavorsIgnoreMapHint) {
+  const V1World w;
+  OpenOptions opts;
+  opts.fallback_metric = w.data.metric;
+  opts.fallback_graph = w.bp;
+  opts.use_huge_pages = false;
+  opts.load_mode = LoadMode::kMap;
+  for (const char* path : {"/v1_sharded", "/v1_dynamic_lvq.bldy"}) {
+    auto idx = Open(kDataDir + path, opts);
+    ASSERT_TRUE(idx.ok()) << path << ": " << idx.status().ToString();
+    EXPECT_EQ(idx.value().spec().load_mode, LoadMode::kLoad) << path;
+  }
+}
+
 }  // namespace
 }  // namespace blink

@@ -127,6 +127,65 @@ TEST_F(IoTest, BadMagicRejected) {
   EXPECT_FALSE(ReadNativeF32(p).ok());
 }
 
+// A native header whose rows*cols promises far more payload than the file
+// holds must fail with a Status before the counts size any allocation
+// (a forged 2^40-row header used to be an OOM, not an error).
+TEST_F(IoTest, ForgedNativeRowCountRejected) {
+  const std::string p = Track(Path("forged_rows.blnk"));
+  FILE* f = std::fopen(p.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint32_t magic = 0x4B4E4C42u, version = 1, dtype = 0;
+  const uint64_t rows = 1ull << 40, cols = 128;
+  std::fwrite(&magic, 4, 1, f);
+  std::fwrite(&version, 4, 1, f);
+  std::fwrite(&rows, 8, 1, f);
+  std::fwrite(&cols, 8, 1, f);
+  std::fwrite(&dtype, 4, 1, f);
+  const float payload[4] = {1, 2, 3, 4};  // a token payload, nowhere near
+  std::fwrite(payload, 4, 4, f);
+  std::fclose(f);
+  auto r = ReadNativeF32(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().ToString().find("file size"), std::string::npos);
+}
+
+// rows * cols * sizeof(T) overflowing size_t must not wrap into a small
+// allocation that the payload read then overruns.
+TEST_F(IoTest, OverflowingNativeShapeRejected) {
+  const std::string p = Track(Path("forged_overflow.blnk"));
+  FILE* f = std::fopen(p.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint32_t magic = 0x4B4E4C42u, version = 1, dtype = 2;
+  const uint64_t rows = 1ull << 62, cols = 1ull << 62;
+  std::fwrite(&magic, 4, 1, f);
+  std::fwrite(&version, 4, 1, f);
+  std::fwrite(&rows, 8, 1, f);
+  std::fwrite(&cols, 8, 1, f);
+  std::fwrite(&dtype, 4, 1, f);
+  std::fclose(f);
+  auto r = ReadNativeU32(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+// An fvecs dimension header in the plausible range must still agree with
+// the file size (the existing modulo check), and an absurd one is rejected
+// outright before it sizes row arithmetic.
+TEST_F(IoTest, ImplausibleFvecsDimensionRejected) {
+  const std::string p = Track(Path("forged_dim.fvecs"));
+  FILE* f = std::fopen(p.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t d = (1 << 20) + 1;
+  std::fwrite(&d, 4, 1, f);
+  const float vals[2] = {0.5f, 0.25f};
+  std::fwrite(vals, 4, 2, f);
+  std::fclose(f);
+  auto r = ReadFvecs(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
 TEST(Status, ToStringAndCodes) {
   EXPECT_EQ(Status::OK().ToString(), "OK");
   const Status s = Status::InvalidArgument("boom");

@@ -2,9 +2,16 @@
 #include "graph/serialize.h"
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <gtest/gtest.h>
+#include <string>
+#include <unistd.h>
+#include <vector>
 
 #include "testutil.h"
+#include "util/binio.h"
+#include "util/mmap_file.h"
 
 namespace blink {
 namespace {
@@ -144,6 +151,207 @@ TEST_F(SerializeTest, GraphWithOutOfRangeNeighborRejected) {
   const std::string p = Path("oob.graph");
   ASSERT_TRUE(SaveGraph(p, g, 0).ok());
   EXPECT_FALSE(LoadGraph(p).ok());
+}
+
+TEST_F(SerializeTest, GraphWithOutOfRangeEntryPointRejected) {
+  FlatGraph g(4, 2, false);
+  const std::string p = Path("oob_entry.graph");
+  ASSERT_TRUE(SaveGraph(p, g, /*entry_point=*/4).ok());  // beyond n=4
+  EXPECT_FALSE(LoadGraph(p).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Atomic-save protocol: an interrupted save must never leave a torn file
+// where the destination path is, and leftover temp files must be inert.
+// ---------------------------------------------------------------------------
+
+/// All bytes of a file, for before/after comparisons.
+std::vector<uint8_t> Slurp(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<uint8_t> bytes;
+  if (f != nullptr) {
+    char buf[4096];
+    size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + got);
+    }
+    std::fclose(f);
+  }
+  return bytes;
+}
+
+// A writer destroyed before Commit() — what an exception or early error
+// return mid-save comes down to — leaves neither a destination file nor a
+// stray temp behind.
+TEST_F(SerializeTest, AbandonedAtomicWriteLeavesNothing) {
+  const std::string p = Path("abandoned.graph");
+  const std::string tmp = p + ".tmp." + std::to_string(::getpid());
+  {
+    binio::AtomicFile f(p);
+    ASSERT_TRUE(f.ok());
+    const uint32_t partial = 0x47414C42u;
+    std::fwrite(&partial, 4, 1, f.get());
+    // no Commit(): simulate the save dying mid-payload
+  }
+  FILE* dest = std::fopen(p.c_str(), "rb");
+  EXPECT_EQ(dest, nullptr) << "destination must not exist";
+  FILE* left = std::fopen(tmp.c_str(), "rb");
+  EXPECT_EQ(left, nullptr) << "temp must be cleaned up";
+  if (dest != nullptr) std::fclose(dest);
+  if (left != nullptr) std::fclose(left);
+}
+
+// A crash hard enough to skip destructors (SIGKILL, power loss) leaves the
+// partial temp file on disk. It must be invisible to loaders and a
+// subsequent save of the same artifact must still succeed and replace
+// nothing until its own commit.
+TEST_F(SerializeTest, MidSaveCrashLeavesOldArtifactServable) {
+  Dataset data = MakeDeepLike(200, 5, 604);
+  FloatStorage storage(data.base, data.metric);
+  VamanaBuildParams bp;
+  bp.graph_max_degree = 8;
+  bp.window_size = 16;
+  BuiltGraph g = BuildVamana(storage, bp);
+  const std::string p = Path("crashed.graph");
+  const IndexMeta meta{data.metric, bp};
+  ASSERT_TRUE(SaveGraph(p, g.graph, g.entry_point, &meta).ok());
+  const std::vector<uint8_t> before = Slurp(p);
+
+  // Simulate a crashed writer: a partial header under the temp-name
+  // convention of some other (dead) process.
+  const std::string stale = Path("crashed.graph.tmp.99999");
+  FILE* f = std::fopen(stale.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint32_t partial = 0x47414C42u;
+  std::fwrite(&partial, 4, 1, f);
+  std::fclose(f);
+
+  // The artifact still loads, byte-identical to what was committed.
+  auto r = LoadGraph(p, /*use_huge_pages=*/false);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Slurp(p), before);
+
+  // Saving again replaces the artifact atomically, stale temp and all.
+  ASSERT_TRUE(SaveGraph(p, g.graph, g.entry_point, &meta).ok());
+  EXPECT_TRUE(LoadGraph(p, false).ok());
+}
+
+// When the final rename cannot land (here: the destination is a
+// directory), the save must report the failure and clean up its temp.
+TEST_F(SerializeTest, FailedCommitReportsAndCleansUp) {
+  FlatGraph g(4, 2, false);
+  const std::string p = DirPath("rename_target.graph");
+  std::filesystem::create_directories(p);  // rename over a directory fails
+  const Status st = SaveGraph(p, g, 0);
+  EXPECT_FALSE(st.ok());
+  const std::string tmp = p + ".tmp." + std::to_string(::getpid());
+  FILE* left = std::fopen(tmp.c_str(), "rb");
+  EXPECT_EQ(left, nullptr) << "temp must be cleaned up after failed rename";
+  if (left != nullptr) std::fclose(left);
+}
+
+// ---------------------------------------------------------------------------
+// Map-mode loaders (v3 aligned artifacts).
+// ---------------------------------------------------------------------------
+
+TEST_F(SerializeTest, MappedGraphMatchesLoaded) {
+  Dataset data = MakeDeepLike(300, 5, 605);
+  FloatStorage storage(data.base, data.metric);
+  VamanaBuildParams bp;
+  bp.graph_max_degree = 12;
+  bp.window_size = 24;
+  BuiltGraph g = BuildVamana(storage, bp);
+  const std::string p = Path("mapped.graph");
+  const IndexMeta meta{data.metric, bp};
+  ASSERT_TRUE(SaveGraph(p, g.graph, g.entry_point, &meta).ok());
+  ASSERT_TRUE(IsMappableArtifact(p));
+
+  auto map = MmapFile::Map(p);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  IndexMeta got_meta;
+  bool has_meta = false;
+  auto r = MapGraph(map.value(), p, &got_meta, &has_meta);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const BuiltGraph& m = r.value();
+  EXPECT_TRUE(m.graph.mapped());
+  EXPECT_TRUE(has_meta);
+  EXPECT_EQ(got_meta.metric, data.metric);
+  EXPECT_EQ(got_meta.params.window_size, bp.window_size);
+  ASSERT_EQ(m.graph.size(), g.graph.size());
+  ASSERT_EQ(m.graph.max_degree(), g.graph.max_degree());
+  ASSERT_EQ(m.entry_point, g.entry_point);
+  for (size_t i = 0; i < g.graph.size(); ++i) {
+    ASSERT_EQ(m.graph.degree(i), g.graph.degree(i)) << i;
+    ASSERT_EQ(0, std::memcmp(m.graph.neighbors(i), g.graph.neighbors(i),
+                             g.graph.degree(i) * sizeof(uint32_t)))
+        << i;
+  }
+  // The v3 contract: the mapped row section sits on a 64-byte file offset,
+  // so SIMD loads over it are cache-line aligned.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(m.graph.neighbors(0)) % 64, 4u)
+      << "row 0 ids follow the 4-byte degree at an aligned row base";
+}
+
+TEST_F(SerializeTest, MappedLvqIsBitExact) {
+  Dataset data = MakeDeepLike(150, 5, 606);
+  LvqDataset::Options o;
+  o.bits = 8;
+  LvqDataset ds = LvqDataset::Encode(data.base, o);
+  const std::string p = Path("mapped.vecs");
+  ASSERT_TRUE(SaveLvq(p, ds).ok());
+  ASSERT_TRUE(IsMappableArtifact(p));
+  auto map = MmapFile::Map(p);
+  ASSERT_TRUE(map.ok());
+  auto r = MapLvq(map.value(), p);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const LvqDataset& m = r.value();
+  EXPECT_TRUE(m.mapped());
+  ASSERT_EQ(m.size(), ds.size());
+  EXPECT_EQ(m.mean(), ds.mean());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_EQ(0, std::memcmp(m.blob(i), ds.blob(i), ds.vector_footprint()))
+        << i;
+  }
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(m.raw_blob()) % 64, 0u);
+}
+
+TEST_F(SerializeTest, MappedLvq2IsBitExact) {
+  Dataset data = MakeDeepLike(120, 5, 607);
+  LvqDataset2::Options o;
+  o.bits1 = 4;
+  o.bits2 = 8;
+  LvqDataset2 ds = LvqDataset2::Encode(data.base, o);
+  const std::string p = Path("mapped2.vecs");
+  ASSERT_TRUE(SaveLvq2(p, ds).ok());
+  ASSERT_TRUE(IsMappableArtifact(p));
+  auto map = MmapFile::Map(p);
+  ASSERT_TRUE(map.ok());
+  auto r = MapLvq2(map.value(), p);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const LvqDataset2& m = r.value();
+  ASSERT_EQ(m.size(), ds.size());
+  ASSERT_EQ(m.bits2(), ds.bits2());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_EQ(0, std::memcmp(m.residual_codes(i), ds.residual_codes(i),
+                             ds.residual_stride()))
+        << i;
+  }
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(m.raw_residuals()) % 64, 0u);
+}
+
+// Pre-v3 artifacts are not mappable; the probe says so and the loaders
+// refuse with Unsupported (Open() uses the probe to fall back to heap).
+TEST_F(SerializeTest, LegacyGraphIsNotMappable) {
+  FlatGraph g(4, 2, false);
+  const std::string p = Path("legacy.graph");
+  ASSERT_TRUE(SaveGraph(p, g, 0).ok());  // no meta => legacy v1 layout
+  EXPECT_FALSE(IsMappableArtifact(p));
+  auto map = MmapFile::Map(p);
+  ASSERT_TRUE(map.ok());
+  auto r = MapGraph(map.value(), p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
 }
 
 }  // namespace

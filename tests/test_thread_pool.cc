@@ -54,6 +54,22 @@ TEST(ThreadPool, RepeatedUseIsSafe) {
   }
 }
 
+TEST(ThreadPool, TinyRangesRaceCompletionAgainstFrameExit) {
+  // Regression for the 1-core TSan flake (deflaked in the out-of-core PR):
+  // with trivial per-item work the caller drains the whole range itself
+  // and reaches the completion wait while the last helper task sits
+  // between its counter decrement and its notify. The decrement must
+  // happen under the frame's mutex, or the caller destroys the stack
+  // state the helper is about to lock. Tiny ranges + many rounds maximize
+  // that window; TSan turns any regression into a hard failure here.
+  ThreadPool pool(4);
+  for (int round = 0; round < 2000; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(2, [&](size_t i) { sum += i + 1; });
+    ASSERT_EQ(sum.load(), 3u) << "round " << round;
+  }
+}
+
 TEST(ThreadPool, LargeNSmallWork) {
   ThreadPool pool(3);
   std::atomic<size_t> count{0};

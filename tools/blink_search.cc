@@ -16,11 +16,15 @@
 //                           exclusive with --window), print them, then run
 //                           the full batch with the chosen options
 //     --nprobe-shards N     sharded index: shards probed per query (0 = all)
+//     --map                 serve a static bundle from a read-only file
+//                           mapping (out-of-core); falls back to heap
+//                           loading for non-static or pre-v3 artifacts
 //     --gt file.ivecs       exact ground truth for recall
 //     --out file.ivecs      write result ids
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -35,18 +39,36 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <index_path> <query.fvecs> [--metric l2|ip] "
                "[--k N] [--window N,N,... | --target-recall R] "
-               "[--nprobe-shards N] [--gt gt.ivecs] [--out res.ivecs]\n",
+               "[--nprobe-shards N] [--map] [--gt gt.ivecs] "
+               "[--out res.ivecs]\n",
                argv0);
   return 2;
+}
+
+/// Consumes every bare `--map` from argv (FlagParser only iterates
+/// `--flag value` pairs); returns true when one was present.
+bool TakeMapFlag(int* argc, char** argv) {
+  bool found = false;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--map") == 0) {
+      found = true;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return found;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  OpenOptions open_opts;
+  if (TakeMapFlag(&argc, argv)) open_opts.load_mode = LoadMode::kMap;
   if (argc < 3) return Usage(argv[0]);
   const std::string prefix = argv[1];
   const std::string query_path = argv[2];
-  OpenOptions open_opts;
   bool metric_flag = false;
   size_t k = 10;
   uint32_t nprobe_shards = 0;
@@ -119,11 +141,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   const size_t nq = queries.value().rows();
-  std::printf("index %s (%s, %s): n=%zu d=%zu (%.1f MiB); %zu queries\n",
+  std::printf("index %s (%s, %s, %s): n=%zu d=%zu (%.1f MiB); %zu queries\n",
               index.value().name().c_str(), KindName(index.value().kind()),
-              MetricName(index.value().metric()), index.value().size(),
-              index.value().dim(), index.value().memory_bytes() / 1048576.0,
-              nq);
+              MetricName(index.value().metric()),
+              LoadModeName(index.value().spec().load_mode),
+              index.value().size(), index.value().dim(),
+              index.value().memory_bytes() / 1048576.0, nq);
 
   Matrix<uint32_t> gt;
   if (!gt_path.empty()) {

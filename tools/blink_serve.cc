@@ -19,6 +19,9 @@
 // Usage:
 //   blink_serve [options]
 //     --index PATH     serve a persisted artifact (see above)
+//     --map            with --index: serve a static bundle from a
+//                      read-only file mapping (out-of-core); falls back
+//                      to heap loading for non-static or pre-v3 artifacts
 //     --kind K         explicit facade kind (static-lvq, sharded, ...)
 //     --n N            base vectors                  (default 20000)
 //     --nq N           distinct queries              (default 1000)
@@ -69,7 +72,8 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--index PATH] [--kind K] [--n N] [--nq N] [--k N] "
+               "usage: %s [--index PATH [--map]] [--kind K] [--n N] [--nq N] "
+               "[--k N] "
                "[--window N,N,... | --target-recall R]\n"
                "                  [--threads T] "
                "[--clients C] [--duration S] [--mode sync|async] [--batch B]\n"
@@ -148,6 +152,22 @@ LoadResult RunLoad(ServingEngine& engine, MatrixViewF queries, size_t k,
   return r;
 }
 
+/// Consumes every bare `--map` from argv (FlagParser only iterates
+/// `--flag value` pairs); returns true when one was present.
+bool TakeMapFlag(int* argc, char** argv) {
+  bool found = false;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--map") == 0) {
+      found = true;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return found;
+}
+
 /// Gaussian query matrix for --index mode (no dataset to draw from).
 MatrixF RandomQueries(size_t nq, size_t dim, uint64_t seed) {
   MatrixF q(nq, dim);
@@ -161,6 +181,7 @@ MatrixF RandomQueries(size_t nq, size_t dim, uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool map_mode = TakeMapFlag(&argc, argv);
   std::string index_path;
   size_t n = 20000, nq = 1000, k = 10, batch = 8;
   std::vector<uint32_t> windows = {32};
@@ -300,18 +321,25 @@ int main(int argc, char** argv) {
   MatrixF churn_base;   // vectors the churn writer inserts (see below)
   Matrix<uint32_t> gt;  // empty when no ground truth (--index mode)
   if (!index_path.empty()) {
-    Result<Index> opened = Open(index_path);
+    OpenOptions open_opts;
+    if (map_mode) open_opts.load_mode = LoadMode::kMap;
+    Result<Index> opened = Open(index_path, open_opts);
     if (!opened.ok()) {
       std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
       return 1;
     }
     index = std::move(opened).value();
     queries = RandomQueries(nq, index.dim(), seed + 17);
-    std::printf("opened %s (%s) from %s: n=%zu d=%zu (%.1f MiB)\n",
+    std::printf("opened %s (%s, %s) from %s: n=%zu d=%zu (%.1f MiB)\n",
                 index.name().c_str(), KindName(index.kind()),
-                index_path.c_str(), index.size(), index.dim(),
+                LoadModeName(index.spec().load_mode), index_path.c_str(),
+                index.size(), index.dim(),
                 index.memory_bytes() / 1048576.0);
   } else {
+    if (map_mode) {
+      std::fprintf(stderr, "warning: --map has no effect without --index "
+                           "(a built index is heap-resident)\n");
+    }
     Dataset data = MakeDeepLike(n, nq, seed);
     IndexSpec spec;
     spec.kind = kind;
