@@ -1,0 +1,302 @@
+// net_loopback — end-to-end serving bench over the network front end
+// (ISSUE 8): an in-process blink server on a loopback socket, hammered by
+// closed-loop client threads while the index is hot-swapped repeatedly.
+//
+// Asserts (non-zero exit on violation):
+//   - >= 3 consecutive hot-swaps complete with ZERO dropped or erroneous
+//     in-flight responses, and per-connection generations never go back.
+//   - recall stays flat across generations (the swap never serves a
+//     half-initialized index).
+//   - /stats telemetry matches the client-side loadgen: QPS within 10%
+//     (delta between two scrapes vs the clients' own counters), p50/p99
+//     consistent with the client-observed latencies.
+//
+// Scales with BLINK_SCALE like every bench.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common.h"
+
+namespace blinkbench {
+namespace {
+
+constexpr size_t kK = 10;
+constexpr size_t kClients = 4;
+constexpr size_t kBatch = 8;
+constexpr int kSwaps = 4;  // acceptance floor is 3 consecutive swaps
+
+int g_failures = 0;
+
+#define BENCH_CHECK(cond, ...)                       \
+  do {                                               \
+    if (!(cond)) {                                   \
+      ++g_failures;                                  \
+      std::printf("FAIL: " __VA_ARGS__);             \
+      std::printf("  [%s]\n", #cond);                \
+    }                                                \
+  } while (0)
+
+double ClientPercentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0.0;
+  std::sort(v->begin(), v->end());
+  const size_t i = static_cast<size_t>(p / 100.0 * (v->size() - 1) + 0.5);
+  return (*v)[std::min(i, v->size() - 1)];
+}
+
+double StatsNumber(const json::Value& doc, const char* key) {
+  const json::Value* v = doc.Find(key);
+  return v == nullptr ? -1.0 : v->as_number();
+}
+
+struct GenRecall {
+  double hit_sum = 0.0;
+  uint64_t queries = 0;
+};
+
+Index BuildServedIndex(const Dataset& data, int bits2, ThreadPool* pool) {
+  IndexSpec spec;
+  spec.kind = IndexKind::kStaticLvq;
+  spec.metric = data.metric;
+  spec.bits1 = 8;
+  spec.bits2 = bits2;
+  spec.graph = GraphParams(32, data.metric);
+  Result<Index> built = Build(spec, data.base, pool);
+  if (!built.ok()) {
+    std::printf("FAIL: build: %s\n", built.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(built).value();
+}
+
+void Run() {
+  const size_t n = ScaledN(40000, 5000);
+  const size_t nq = ScaledN(1000, 200);
+  ThreadPool pool(NumThreads());
+  Dataset data = MakeDeepLike(n, nq, /*seed=*/77);
+  Matrix<uint32_t> gt =
+      ComputeGroundTruth(data.base, data.queries, kK, data.metric, &pool);
+
+  // Two swap artifacts: A is the same flavor the server starts with, B adds
+  // an 8-bit residual level — recall must stay flat across all of them.
+  const std::filesystem::path tmp = std::filesystem::temp_directory_path();
+  const std::string path_a = (tmp / "blink_net_loopback_a").string();
+  const std::string path_b = (tmp / "blink_net_loopback_b").string();
+  Index index_a = BuildServedIndex(data, /*bits2=*/0, &pool);
+  if (!index_a.Save(path_a).ok() ||
+      !BuildServedIndex(data, /*bits2=*/8, &pool).Save(path_b).ok()) {
+    std::printf("FAIL: cannot save swap artifacts under %s\n",
+                tmp.string().c_str());
+    std::exit(1);
+  }
+  std::printf("corpus n=%zu nq=%zu, artifacts: %s, %s\n\n", n, nq,
+              path_a.c_str(), path_b.c_str());
+
+  net::ServerOptions sopts;
+  sopts.port = 0;  // ephemeral
+  auto started = net::BlinkServer::Start(std::move(index_a), sopts);
+  if (!started.ok()) {
+    std::printf("FAIL: %s\n", started.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<net::BlinkServer> server = std::move(started).value();
+  const uint16_t port = server->port();
+
+  SearchOptions search_opts;
+  search_opts.window = 64;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> measuring{false};
+  std::atomic<uint64_t> client_requests{0};   // kOk responses, all phases
+  std::atomic<uint64_t> transport_errors{0};
+  std::atomic<uint64_t> wrong_status{0};
+  std::atomic<uint64_t> generation_regressions{0};
+  std::mutex merge_mu;
+  std::vector<double> all_lat_us;              // measured phase only
+  std::map<uint64_t, GenRecall> by_generation;
+
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto conn = net::BlinkClient::Connect("127.0.0.1", port);
+      if (!conn.ok()) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      net::BlinkClient client = std::move(conn).value();
+      std::vector<double> lat_us;
+      std::map<uint64_t, GenRecall> recalls;
+      uint64_t last_generation = 0;
+      for (uint64_t iter = c * 131; !stop.load(std::memory_order_relaxed);
+           ++iter) {
+        const size_t lo = (iter * kBatch) % (nq - kBatch + 1);
+        MatrixViewF slice(data.queries.row(lo), kBatch, data.queries.cols());
+        net::SearchResponse res;
+        Timer t;
+        Status s = client.Search(slice, kK, search_opts, &res);
+        const double us = t.Micros();
+        if (!s.ok()) {
+          // Only the shutdown race at the end of the run is benign.
+          if (!stop.load(std::memory_order_relaxed)) {
+            transport_errors.fetch_add(1);
+          }
+          break;
+        }
+        if (res.status != net::WireStatus::kOk || res.num_queries != kBatch) {
+          wrong_status.fetch_add(1);
+          continue;
+        }
+        if (res.generation < last_generation) generation_regressions.fetch_add(1);
+        last_generation = res.generation;
+        client_requests.fetch_add(1);
+        if (!measuring.load(std::memory_order_relaxed)) continue;
+        lat_us.push_back(us);
+        GenRecall& gr = recalls[res.generation];
+        for (size_t q = 0; q < kBatch; ++q) {
+          gr.hit_sum += RecallAtK({res.ids.data() + q * kK, kK},
+                                  {gt.row(lo + q), kK}, kK);
+          ++gr.queries;
+        }
+      }
+      std::lock_guard<std::mutex> lk(merge_mu);
+      all_lat_us.insert(all_lat_us.end(), lat_us.begin(), lat_us.end());
+      for (const auto& [gen, gr] : recalls) {
+        by_generation[gen].hit_sum += gr.hit_sum;
+        by_generation[gen].queries += gr.queries;
+      }
+    });
+  }
+
+  auto scrape = [&](const char* what) {
+    auto conn = net::BlinkClient::Connect("127.0.0.1", port);
+    net::StatusTextResponse res;
+    if (!conn.ok() || !conn.value().Stats(&res).ok() ||
+        res.status != net::WireStatus::kOk) {
+      std::printf("FAIL: /stats scrape (%s) failed\n", what);
+      std::exit(1);
+    }
+    Result<json::Value> doc = json::Parse(res.text);
+    if (!doc.ok()) {
+      std::printf("FAIL: /stats is not valid JSON: %s\n", res.text.c_str());
+      std::exit(1);
+    }
+    return std::move(doc).value();
+  };
+
+  // Warmup, then bracket the measured window with two /stats scrapes; the
+  // hot-swaps all land inside the window, under full load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const json::Value stats0 = scrape("t0");
+  const uint64_t client0 = client_requests.load();
+  Timer window;
+  measuring.store(true);
+
+  auto swapper = net::BlinkClient::Connect("127.0.0.1", port);
+  BENCH_CHECK(swapper.ok(), "swap connection\n");
+  for (int s = 0; s < kSwaps; ++s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    net::StatusTextResponse res;
+    Status st = swapper.value().Swap(s % 2 == 0 ? path_b : path_a, &res);
+    BENCH_CHECK(st.ok() && res.status == net::WireStatus::kOk,
+                "swap %d rejected: %s\n", s, res.text.c_str());
+    BENCH_CHECK(res.generation == static_cast<uint64_t>(s) + 2,
+                "swap %d: generation %llu, want %d\n", s,
+                static_cast<unsigned long long>(res.generation), s + 2);
+    std::printf("swap %d -> generation %llu (%s)\n", s + 1,
+                static_cast<unsigned long long>(res.generation),
+                s % 2 == 0 ? "lvq8x8" : "lvq8");
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+  measuring.store(false);
+  const double elapsed = window.Seconds();
+  const json::Value stats1 = scrape("t1");
+  const uint64_t client1 = client_requests.load();
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  server->Stop();
+
+  // --- zero-loss hot-swap ---------------------------------------------------
+  std::printf("\nload: %llu ok responses, %llu transport errors, %llu wrong "
+              "status, %llu generation regressions\n",
+              static_cast<unsigned long long>(client_requests.load()),
+              static_cast<unsigned long long>(transport_errors.load()),
+              static_cast<unsigned long long>(wrong_status.load()),
+              static_cast<unsigned long long>(generation_regressions.load()));
+  BENCH_CHECK(transport_errors.load() == 0, "dropped responses\n");
+  BENCH_CHECK(wrong_status.load() == 0, "erroneous responses\n");
+  BENCH_CHECK(generation_regressions.load() == 0, "generation went back\n");
+  BENCH_CHECK(StatsNumber(stats1, "swaps") == kSwaps, "stats swaps=%f\n",
+              StatsNumber(stats1, "swaps"));
+  BENCH_CHECK(StatsNumber(stats1, "generation") == kSwaps + 1,
+              "stats generation=%f\n", StatsNumber(stats1, "generation"));
+
+  // --- recall flat across generations --------------------------------------
+  double rmin = 1.0, rmax = 0.0;
+  for (const auto& [gen, gr] : by_generation) {
+    const double recall = gr.queries ? gr.hit_sum / gr.queries : 0.0;
+    std::printf("generation %llu: recall@%zu %.3f over %llu queries\n",
+                static_cast<unsigned long long>(gen), kK, recall,
+                static_cast<unsigned long long>(gr.queries));
+    if (gr.queries < 50) continue;  // too few samples to judge a boundary gen
+    rmin = std::min(rmin, recall);
+    rmax = std::max(rmax, recall);
+  }
+  BENCH_CHECK(by_generation.size() >= 2, "load never spanned a swap\n");
+  BENCH_CHECK(rmin >= 0.70, "recall floor: min %.3f\n", rmin);
+  BENCH_CHECK(rmax - rmin <= 0.05, "recall not flat: %.3f..%.3f\n", rmin, rmax);
+
+  // --- /stats vs loadgen ----------------------------------------------------
+  const double server_qps =
+      (StatsNumber(stats1, "completed_queries") -
+       StatsNumber(stats0, "completed_queries")) / elapsed;
+  const double client_qps =
+      static_cast<double>((client1 - client0) * kBatch) / elapsed;
+  const double server_p50 = StatsNumber(stats1, "p50_us");
+  const double server_p99 = StatsNumber(stats1, "p99_us");
+  const double client_p50 = ClientPercentile(&all_lat_us, 50.0);
+  const double client_p99 = ClientPercentile(&all_lat_us, 99.0);
+  std::printf("\n%-10s %12s %12s\n", "", "server", "loadgen");
+  std::printf("%-10s %12.0f %12.0f\n", "qps", server_qps, client_qps);
+  std::printf("%-10s %12.0f %12.0f\n", "p50_us", server_p50, client_p50);
+  std::printf("%-10s %12.0f %12.0f\n", "p99_us", server_p99, client_p99);
+  BENCH_CHECK(client_qps > 0, "loadgen made no progress\n");
+  BENCH_CHECK(std::abs(server_qps - client_qps) <= 0.10 * client_qps + 32.0,
+              "QPS mismatch: server %.0f vs loadgen %.0f\n", server_qps,
+              client_qps);
+  // Server-side latency excludes the loopback RTT and framing, so it must
+  // sit at or below the client's, but within the same regime.
+  BENCH_CHECK(server_p50 <= client_p50 * 1.25 + 150.0,
+              "p50: server %.0fus vs loadgen %.0fus\n", server_p50, client_p50);
+  BENCH_CHECK(server_p50 >= client_p50 * 0.20 - 150.0,
+              "p50: server %.0fus vs loadgen %.0fus\n", server_p50, client_p50);
+  BENCH_CHECK(server_p99 <= client_p99 * 1.25 + 300.0,
+              "p99: server %.0fus vs loadgen %.0fus\n", server_p99, client_p99);
+
+  for (const std::string& base : {path_a, path_b}) {
+    for (const char* suffix : {"", ".graph", ".vecs"}) {
+      std::error_code ec;
+      std::filesystem::remove(base + suffix, ec);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blinkbench
+
+int main() {
+  blinkbench::Banner("net_loopback",
+                     "loopback serving: hot-swap under load, /stats vs loadgen");
+  blinkbench::Run();
+  if (blinkbench::g_failures > 0) {
+    std::printf("\nnet_loopback: %d FAILURES\n", blinkbench::g_failures);
+    return 1;
+  }
+  std::printf("\nnet_loopback: PASS\n");
+  return 0;
+}

@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
   // (4) Serving: searcher pools + async micro-batching over any flavor.
   ServingOptions so;
   so.num_threads = 2;
-  auto engine = dyn.value().Serve(so);
+  auto engine = std::move(dyn.value().Serve(so)).value();
   auto fut = engine->Submit(data.queries.row(0), 10, params);
   SearchResult res = fut.get();
   std::printf("served   one async query -> %zu ids (top id %u)\n",

@@ -219,8 +219,9 @@ Result<uint32_t> Index::Insert(const float* vec) { return impl_->Insert(vec); }
 Status Index::Delete(uint32_t id) { return impl_->Delete(id); }
 Status Index::Consolidate() { return impl_->Consolidate(); }
 
-std::unique_ptr<ServingEngine> Index::Serve(
+Result<std::unique_ptr<ServingEngine>> Index::Serve(
     const ServingOptions& options) const {
+  BLINK_RETURN_NOT_OK(options.Validate());
   return std::make_unique<ServingEngine>(&impl_->search(), options);
 }
 

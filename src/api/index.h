@@ -107,8 +107,11 @@ class Index {
 
   // --- serving -------------------------------------------------------------
   /// Stands up a ServingEngine over this index (searcher pool + async
-  /// micro-batching). The handle must outlive the engine.
-  std::unique_ptr<ServingEngine> Serve(const ServingOptions& options) const;
+  /// micro-batching). Validates `options` first — degenerate settings
+  /// (max_batch == 0, queue_capacity == 0) return InvalidArgument instead
+  /// of an engine that spins or hangs. The handle must outlive the engine.
+  Result<std::unique_ptr<ServingEngine>> Serve(
+      const ServingOptions& options) const;
 
  private:
   std::unique_ptr<detail::IndexImpl> impl_;

@@ -38,8 +38,15 @@
 #include "shard/sharded_index.h"
 #include "shard/serialize.h"
 
-// Concurrent serving engine.
+// Concurrent serving engine + zero-downtime hot-swap.
 #include "serve/engine.h"
+#include "serve/generation.h"
+
+// Network serving front end (frame protocol, server, client).
+#include "net/socket.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/client.h"
 
 // SIMD distance kernels.
 #include "simd/distance.h"

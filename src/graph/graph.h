@@ -75,15 +75,21 @@ class FlatGraph {
   // Single-writer / multi-reader row access (DESIGN.md D6).
   //
   // The dynamic index mutates adjacency while searches traverse it. The
-  // writer publishes rows with release stores on the degree word (data
-  // first, then count); readers copy rows with an acquire load on the
-  // degree. A concurrent reader may observe a slightly stale or mixed
-  // old/new neighbor list — every id it sees is individually valid (each is
-  // a single atomic u32), which greedy search tolerates — but it can never
-  // see a neighbor published after the degree it loaded without the writes
-  // that preceded that publication (in particular, the neighbor's vector
-  // data). Writers must be externally serialized. All cross-thread accesses
-  // go through std::atomic_ref, so the scheme is TSan-clean.
+  // writer publishes every row word — each neighbor id AND the degree —
+  // with release stores; readers load each with acquire. A concurrent
+  // reader may observe a slightly stale or mixed old/new neighbor list —
+  // every id it sees is individually valid (each is a single atomic u32),
+  // which greedy search tolerates — but any id it extracts synchronizes
+  // with everything the writer did before storing that word (in
+  // particular, the id's vector data: Insert writes the vector before
+  // publishing the id anywhere). The degree-only ordering used here
+  // originally was not enough: a reader pairing an old degree with a
+  // word from a concurrent row rewrite obtained a fresh id with no
+  // happens-before edge to its vector write (caught by TSan as a race on
+  // the vector row). Per-word release/acquire costs nothing extra on
+  // x86 (plain movs) and closes that hole. Writers must be externally
+  // serialized. All cross-thread accesses go through std::atomic_ref, so
+  // the scheme is TSan-clean.
   // -------------------------------------------------------------------------
 
   /// Reader-side row copy: acquire-loads the degree, then copies the ids
@@ -95,7 +101,7 @@ class FlatGraph {
         max_degree_);
     for (uint32_t j = 0; j < deg; ++j) {
       out[j] = std::atomic_ref<uint32_t>(r[1 + j]).load(
-          std::memory_order_relaxed);
+          std::memory_order_acquire);
     }
     return deg;
   }
@@ -107,7 +113,7 @@ class FlatGraph {
     uint32_t* r = row(i);
     for (uint32_t j = 0; j < count; ++j) {
       std::atomic_ref<uint32_t>(r[1 + j]).store(ids[j],
-                                                std::memory_order_relaxed);
+                                                std::memory_order_release);
     }
     std::atomic_ref<uint32_t>(r[0]).store(count, std::memory_order_release);
   }
@@ -118,7 +124,7 @@ class FlatGraph {
     uint32_t* r = row(i);
     const uint32_t deg = r[0];  // only the (serialized) writer stores rows
     if (deg >= max_degree_) return false;
-    std::atomic_ref<uint32_t>(r[1 + deg]).store(id, std::memory_order_relaxed);
+    std::atomic_ref<uint32_t>(r[1 + deg]).store(id, std::memory_order_release);
     std::atomic_ref<uint32_t>(r[0]).store(deg + 1, std::memory_order_release);
     return true;
   }

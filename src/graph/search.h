@@ -35,11 +35,23 @@ struct SearchParams {
   uint32_t rerank_window = 0;
 };
 
+/// Disposition of one served query. Search paths always produce kOk; the
+/// serving layer uses the other values so a rejected or shutdown-raced
+/// query is distinguishable from a real zero-hit answer (which is kOk with
+/// all-padded ids). Checked by the loadgen/recall accounting in
+/// tools/blink_serve and mapped onto wire status codes by src/net/.
+enum class SearchOutcome : uint8_t {
+  kOk = 0,        ///< the query ran; ids/dists are a real answer
+  kRejected = 1,  ///< admission control refused it (queue at capacity)
+  kShutdown = 2,  ///< the engine was stopping; the query never ran
+};
+
 struct SearchResult {
   std::vector<uint32_t> ids;
   std::vector<float> dists;
   size_t distance_computations = 0;
   size_t hops = 0;  ///< nodes expanded
+  SearchOutcome outcome = SearchOutcome::kOk;
 };
 
 /// Reusable single-query searcher over one (graph, storage) pair. Not

@@ -1,0 +1,69 @@
+#include "net/client.h"
+
+namespace blink {
+namespace net {
+
+Result<BlinkClient> BlinkClient::Connect(const std::string& host,
+                                         uint16_t port) {
+  Result<TcpConn> conn = TcpConnect(host, port);
+  BLINK_RETURN_NOT_OK(conn.status());
+  return BlinkClient(std::move(conn).value());
+}
+
+Status BlinkClient::RoundTrip(FrameType request,
+                              const std::vector<uint8_t>& payload,
+                              FrameType expected,
+                              std::vector<uint8_t>* response) {
+  BLINK_RETURN_NOT_OK(WriteFrame(conn_, request, payload));
+  FrameType got;
+  Result<bool> read = ReadFrame(conn_, max_frame_bytes_, &got, response);
+  BLINK_RETURN_NOT_OK(read.status());
+  if (!read.value()) {
+    return Status::IOError("server closed the connection before responding");
+  }
+  if (got != expected) {
+    return Status::IOError(
+        "unexpected response frame type " +
+        std::to_string(static_cast<unsigned>(got)) + " (wanted " +
+        std::to_string(static_cast<unsigned>(expected)) + ")");
+  }
+  return Status::OK();
+}
+
+Status BlinkClient::Search(MatrixViewF queries, uint32_t k,
+                           const SearchOptions& options,
+                           SearchResponse* response) {
+  std::vector<uint8_t> body;
+  BLINK_RETURN_NOT_OK(RoundTrip(FrameType::kSearchRequest,
+                                EncodeSearchRequest(queries, k, options),
+                                FrameType::kSearchResponse, &body));
+  return DecodeSearchResponse(body, response);
+}
+
+Status BlinkClient::Stats(StatusTextResponse* response) {
+  std::vector<uint8_t> body;
+  BLINK_RETURN_NOT_OK(RoundTrip(FrameType::kStatsRequest, {},
+                                FrameType::kStatsResponse, &body));
+  return DecodeStatusText(body, response);
+}
+
+Status BlinkClient::Swap(const std::string& artifact_path,
+                         StatusTextResponse* response) {
+  std::vector<uint8_t> body;
+  BLINK_RETURN_NOT_OK(RoundTrip(FrameType::kSwapRequest,
+                                EncodeSwapRequest(artifact_path),
+                                FrameType::kSwapResponse, &body));
+  return DecodeStatusText(body, response);
+}
+
+Status BlinkClient::Ping(WireStatus* status) {
+  std::vector<uint8_t> body;
+  BLINK_RETURN_NOT_OK(
+      RoundTrip(FrameType::kPingRequest, {}, FrameType::kPingResponse, &body));
+  if (body.size() != 1) return Status::IOError("malformed ping response");
+  *status = static_cast<WireStatus>(body[0]);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace blink

@@ -1,0 +1,63 @@
+// Client side of the net/protocol.h frame protocol: one blocking
+// connection, synchronous request/response. This is what the tools'
+// --connect mode, the loopback tests, and the net bench speak; it is a
+// thin correctness-first client, not a connection pool — open one
+// BlinkClient per closed-loop worker thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace blink {
+namespace net {
+
+class BlinkClient {
+ public:
+  /// Connects to a running BlinkServer.
+  static Result<BlinkClient> Connect(const std::string& host, uint16_t port);
+
+  BlinkClient(BlinkClient&&) = default;
+  BlinkClient& operator=(BlinkClient&&) = default;
+
+  /// One search round trip. A non-kOk wire status (overloaded,
+  /// shutting-down, bad-request) is a *successful* call — inspect
+  /// `response->status`; only transport/framing failures return a non-OK
+  /// Status. On kOk, ids/dists are row-major num_queries x k, padded per
+  /// the eval/interface.h contract, and `generation` says which index
+  /// generation served it.
+  Status Search(MatrixViewF queries, uint32_t k, const SearchOptions& options,
+                SearchResponse* response);
+
+  /// Fetches the server's telemetry JSON (the same document as HTTP
+  /// /stats).
+  Status Stats(StatusTextResponse* response);
+
+  /// Asks the server to hot-swap to `artifact_path`. On wire kOk,
+  /// `response->generation` is the new generation number; on kError,
+  /// `response->text` carries the server-side failure.
+  Status Swap(const std::string& artifact_path, StatusTextResponse* response);
+
+  /// Liveness round trip; `*status` is kOk or kShuttingDown.
+  Status Ping(WireStatus* status);
+
+  /// Half-close from another thread: unblocks a Search() stuck in a read.
+  void Shutdown() { conn_.Shutdown(); }
+
+ private:
+  explicit BlinkClient(TcpConn conn) : conn_(std::move(conn)) {}
+
+  /// Sends one frame and reads the one expected response frame.
+  Status RoundTrip(FrameType request, const std::vector<uint8_t>& payload,
+                   FrameType expected, std::vector<uint8_t>* response);
+
+  TcpConn conn_;
+  uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace net
+}  // namespace blink

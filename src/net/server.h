@@ -1,0 +1,133 @@
+// The network serving front end (DESIGN.md D13): a TCP server that speaks
+// the net/protocol.h frame protocol over the async ServingEngine path,
+// with in-band admission control and zero-downtime index hot-swap.
+//
+// Thread structure: one accept thread plus one blocking handler thread per
+// connection (bounded by ServerOptions::max_connections). Handler threads
+// never execute searches — they decode frames, TrySubmit() into the current
+// generation's engine, await the futures, and write the response. Overload
+// is answered immediately with a kOverloaded status frame instead of
+// blocking the socket thread: the engine's admission control (bounded on
+// in-flight queries, queued + executing) is surfaced to the wire.
+//
+// Hot-swap: a kSwapRequest (or a local Swap() call) Open()s the
+// replacement artifact on the requesting handler thread — never a search
+// thread — and GenerationHolder cuts over with a pointer swap. Requests
+// hold a shared_ptr to the generation they started on, so in-flight
+// queries finish against the old index while new requests see the new one;
+// every search response carries the generation number it was served from,
+// which is how the tests prove no response straddles a freed index.
+//
+// A connection whose first bytes are "GET " is served as one-shot HTTP:
+// `GET /stats` returns the same JSON telemetry as a kStatsRequest frame,
+// so `curl http://host:port/stats` works against a live server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/index.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "serve/generation.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace blink {
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";  ///< numeric IPv4 bind address
+  uint16_t port = 0;               ///< 0 = ephemeral; BlinkServer::port()
+  int backlog = 128;
+  size_t max_connections = 256;  ///< beyond this, new connections are closed
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  uint32_t max_queries_per_request = 4096;
+  ServingOptions serving;  ///< per-generation engine configuration
+  /// How kSwapRequest opens replacement artifacts. Map mode by default:
+  /// the cheap background-load path (D12).
+  OpenOptions swap_open;
+
+  ServerOptions() { swap_open.load_mode = LoadMode::kMap; }
+};
+
+class BlinkServer {
+ public:
+  /// Binds, installs `index` as generation 1, and starts the accept
+  /// thread. Serving begins before this returns.
+  static Result<std::unique_ptr<BlinkServer>> Start(Index index,
+                                                    const ServerOptions& opts);
+
+  ~BlinkServer();  ///< calls Stop()
+
+  BlinkServer(const BlinkServer&) = delete;
+  BlinkServer& operator=(const BlinkServer&) = delete;
+
+  /// The bound port (the ephemeral one when opts.port was 0).
+  uint16_t port() const { return listener_.port(); }
+
+  /// Graceful stop: unblocks the accept loop and every connection handler,
+  /// joins them, and drains the current generation's engine so every
+  /// admitted query resolves. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Hot-swaps to an artifact, same as a kSwapRequest frame would (the
+  /// Open runs on the calling thread). Returns the new generation number.
+  Result<uint64_t> Swap(const std::string& path);
+
+  /// The generation machinery, for in-process swaps in tests/benches.
+  GenerationHolder& generations() { return *holder_; }
+
+  /// The /stats JSON document (also what the HTTP endpoint serves).
+  std::string StatsJson() const;
+
+  /// Open connections right now.
+  size_t connection_count() const;
+
+ private:
+  struct Conn;
+
+  BlinkServer(std::unique_ptr<GenerationHolder> holder, TcpListener listener,
+              const ServerOptions& opts);
+
+  void AcceptLoop();
+  void HandleConnection(Conn* conn);
+  /// One binary frame; false = close the connection.
+  bool HandleFrame(TcpConn& conn, FrameType type,
+                   const std::vector<uint8_t>& payload);
+  bool HandleSearch(TcpConn& conn, const std::vector<uint8_t>& payload);
+  /// One-shot HTTP exchange ("GET " already consumed).
+  void HandleHttp(TcpConn& conn);
+  void RecordLatencyUs(double us);
+  void ReapFinished();
+
+  ServerOptions opts_;
+  std::unique_ptr<GenerationHolder> holder_;
+  TcpListener listener_;
+  std::mutex stop_mu_;  ///< serializes Stop(); held across the teardown
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  // Telemetry. Server-owned (not the engine's counters) so it survives
+  // generation swaps, which stand up a fresh engine each time.
+  Timer uptime_;
+  std::atomic<uint64_t> completed_queries_{0};
+  std::atomic<uint64_t> rejected_queries_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> http_requests_{0};
+  mutable std::mutex lat_mu_;
+  std::vector<double> latencies_us_;  ///< ring buffer of request latencies
+  size_t lat_next_ = 0;
+  bool lat_full_ = false;
+};
+
+}  // namespace net
+}  // namespace blink

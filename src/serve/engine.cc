@@ -16,6 +16,11 @@ ServingEngine::ServingEngine(const SearchIndex* index,
                              const ServingOptions& options)
     : index_(index), opts_(options) {
   if (opts_.num_threads == 0) opts_.num_threads = NumThreads();
+  // Degenerate values are rejected with a Status at the configuration
+  // boundary (ServingOptions::Validate, called by Index::Serve and the
+  // server tools). The clamps below are last-resort defense for direct
+  // constructions that skipped Validate — a 0 here would dispatch empty
+  // batches forever / never admit a query.
   if (opts_.max_batch == 0) opts_.max_batch = 1;
   if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
   pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
@@ -96,9 +101,13 @@ std::future<SearchResult> ServingEngine::Submit(const float* query, size_t k,
         lk, [this] { return queue_.size() < opts_.queue_capacity || stop_; });
     if (stop_) {  // engine shutting down: fail fast, contract-shaped
       lk.unlock();
+      // Padded like a real answer so result-shape invariants hold, but
+      // tagged kShutdown: a zero-hit answer and a never-ran query used to
+      // be indistinguishable here, which poisoned recall accounting.
       SearchResult empty;
       empty.ids.assign(k, kInvalidId);
       empty.dists.assign(k, kInvalidDist);
+      empty.outcome = SearchOutcome::kShutdown;
       req.promise.set_value(std::move(empty));
       // Same completion protocol as ProcessBatch: a concurrent Drain()
       // waiting on this query must be woken.
@@ -112,6 +121,55 @@ std::future<SearchResult> ServingEngine::Submit(const float* query, size_t k,
   }
   queue_cv_.notify_all();
   return fut;
+}
+
+ServingEngine::SubmitOutcome ServingEngine::TrySubmit(
+    const float* query, size_t k, const SearchOptions& params,
+    std::future<SearchResult>* out) {
+  // Admission bound: queued + executing. (Submit's producer backpressure
+  // waits on the queue alone, which the dispatcher drains eagerly into the
+  // worker pool; an admission decision has to count the work that is
+  // already past the queue or the bound is porous under load.)
+  for (;;) {
+    uint64_t cur = inflight_.load(std::memory_order_relaxed);
+    if (cur >= opts_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return SubmitOutcome::kRejectedOverload;
+    }
+    // Reserve the slot before touching the queue so concurrent TrySubmits
+    // cannot overshoot the capacity between check and enqueue.
+    if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  Request req;
+  req.query.assign(query, query + index_->dim());
+  req.k = k;
+  req.params = params;
+  std::future<SearchResult> fut = req.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    if (stop_) {
+      lk.unlock();
+      // Roll the reservation back (waking a concurrent Drain if we were
+      // the last) — the caller gets the rejection, not a future.
+      if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::unique_lock<std::mutex> drain_lk(drain_mu_);
+        drain_cv_.notify_all();
+      }
+      return SubmitOutcome::kRejectedShutdown;
+    }
+    queue_.push_back(std::move(req));
+  }
+  queue_cv_.notify_all();
+  *out = std::move(fut);
+  return SubmitOutcome::kAccepted;
+}
+
+size_t ServingEngine::queue_depth() const {
+  std::unique_lock<std::mutex> lk(queue_mu_);
+  return queue_.size();
 }
 
 void ServingEngine::DispatcherLoop() {
@@ -192,6 +250,7 @@ ServingCounters ServingEngine::counters() const {
   c.distance_computations =
       distance_computations_.load(std::memory_order_relaxed);
   c.hops = hops_.load(std::memory_order_relaxed);
+  c.rejected = rejected_.load(std::memory_order_relaxed);
   return c;
 }
 

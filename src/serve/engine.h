@@ -47,6 +47,35 @@ struct ServingOptions {
   size_t max_batch = 32;       ///< async micro-batch: dispatch at this many
   size_t batch_linger_us = 100;  ///< ... or this long after the first query
   size_t queue_capacity = 1 << 16;  ///< async backpressure bound
+
+  /// OK iff the options describe a servable configuration. Degenerate
+  /// values (`max_batch == 0` dispatches empty batches forever;
+  /// `queue_capacity == 0` can never admit a query) are rejected here —
+  /// Index::Serve() and the server tools call this at the configuration
+  /// boundary and return the Status instead of standing up a broken
+  /// engine. (The constructor additionally clamps as a last-resort
+  /// defense for direct, pre-Validate constructions.)
+  Status Validate() const {
+    if (max_batch == 0) {
+      return Status::InvalidArgument(
+          "ServingOptions::max_batch must be >= 1 (0 would dispatch empty "
+          "micro-batches forever)");
+    }
+    if (queue_capacity == 0) {
+      return Status::InvalidArgument(
+          "ServingOptions::queue_capacity must be >= 1 (0 can never admit "
+          "a query)");
+    }
+    if (num_threads > (1u << 12)) {
+      return Status::InvalidArgument(
+          "ServingOptions::num_threads out of range (> 4096)");
+    }
+    if (batch_linger_us > 10'000'000) {
+      return Status::InvalidArgument(
+          "ServingOptions::batch_linger_us out of range (> 10s)");
+    }
+    return Status::OK();
+  }
 };
 
 /// Aggregate counters since engine construction (monotonic, thread-safe).
@@ -55,6 +84,7 @@ struct ServingCounters {
   uint64_t batches = 0;  ///< async micro-batches dispatched
   uint64_t distance_computations = 0;
   uint64_t hops = 0;
+  uint64_t rejected = 0;  ///< TrySubmit admissions refused (overload)
 };
 
 class ServingEngine {
@@ -77,9 +107,23 @@ class ServingEngine {
 
   /// Asynchronous single-query submission (the query is copied). The future
   /// resolves to exactly k ids/dists (padded). Blocks only when
-  /// `queue_capacity` queries are already waiting. Thread-safe.
+  /// `queue_capacity` queries are already waiting. During shutdown the
+  /// future resolves immediately with outcome == SearchOutcome::kShutdown
+  /// (all-padded ids), distinguishable from a real zero-hit answer.
+  /// Thread-safe.
   std::future<SearchResult> Submit(const float* query, size_t k,
                                    const SearchOptions& params);
+
+  /// Non-blocking admission-controlled submission (the network edge's
+  /// path): kAccepted stores the future in `*out`; kRejectedOverload means
+  /// `queue_capacity` queries are already in flight (queued + executing)
+  /// and nothing was enqueued — the caller answers with a rejection
+  /// instead of blocking its socket thread; kRejectedShutdown means the
+  /// engine is stopping. `*out` is untouched unless kAccepted. Thread-safe.
+  enum class SubmitOutcome { kAccepted, kRejectedOverload, kRejectedShutdown };
+  SubmitOutcome TrySubmit(const float* query, size_t k,
+                          const SearchOptions& params,
+                          std::future<SearchResult>* out);
 
   /// Blocks until every previously submitted async query has completed.
   void Drain();
@@ -87,6 +131,12 @@ class ServingEngine {
   const SearchIndex& index() const { return *index_; }
   size_t num_threads() const { return searchers_.size(); }
   ServingCounters counters() const;
+  /// Async queries admitted but not yet resolved (queued + executing).
+  size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  /// Async queries waiting for the dispatcher (a subset of inflight()).
+  size_t queue_depth() const;
 
  private:
   struct Request {
@@ -114,7 +164,7 @@ class ServingEngine {
 
   // Async queue + dispatcher.
   std::deque<Request> queue_;
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;  // mutable: queue_depth() is a const probe
   std::condition_variable queue_cv_;      // dispatcher wakeups
   std::condition_variable capacity_cv_;   // producer backpressure
   bool stop_ = false;
@@ -128,6 +178,7 @@ class ServingEngine {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> distance_computations_{0};
   std::atomic<uint64_t> hops_{0};
+  std::atomic<uint64_t> rejected_{0};
 };
 
 namespace detail {

@@ -1,0 +1,95 @@
+#include "serve/generation.h"
+
+#include <utility>
+
+namespace blink {
+
+Result<std::shared_ptr<ServingGeneration>> GenerationHolder::MakeGeneration(
+    Index index, const ServingOptions& serve_options, uint64_t number,
+    std::string source) {
+  if (!index) {
+    return Status::InvalidArgument("generation index handle is empty");
+  }
+  if (!index.has(kCapSearch)) {
+    return Status::InvalidArgument("generation index cannot search");
+  }
+  auto gen = std::make_shared<ServingGeneration>();
+  gen->number = number;
+  gen->source = std::move(source);
+  gen->index = std::move(index);
+  // Serve() after the handle reached its final address: the engine keeps a
+  // pointer into it.
+  Result<std::unique_ptr<ServingEngine>> engine =
+      gen->index.Serve(serve_options);
+  if (!engine.ok()) return engine.status();
+  gen->engine = std::move(engine).value();
+  return gen;
+}
+
+Result<std::unique_ptr<GenerationHolder>> GenerationHolder::Create(
+    Index index, const ServingOptions& serve_options, std::string source) {
+  Result<std::shared_ptr<ServingGeneration>> first =
+      MakeGeneration(std::move(index), serve_options, /*number=*/1,
+                     std::move(source));
+  if (!first.ok()) return first.status();
+  return std::unique_ptr<GenerationHolder>(
+      new GenerationHolder(std::move(first).value(), serve_options));
+}
+
+std::shared_ptr<ServingGeneration> GenerationHolder::Current() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_;
+}
+
+uint64_t GenerationHolder::generation() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_->number;
+}
+
+Result<uint64_t> GenerationHolder::SwapTo(Index next, std::string source) {
+  // One swap at a time; engine spin-up and the drain happen outside mu_ so
+  // Current() callers are never blocked behind them.
+  std::lock_guard<std::mutex> swap_lk(swap_mu_);
+
+  const size_t current_dim = Current()->index.dim();
+  if (!next) {
+    return Status::InvalidArgument("hot-swap: replacement handle is empty");
+  }
+  if (next.dim() != current_dim) {
+    return Status::InvalidArgument(
+        "hot-swap: replacement dimensionality (" + std::to_string(next.dim()) +
+        ") != serving dimensionality (" + std::to_string(current_dim) +
+        "); in-flight queries are sized for the latter");
+  }
+
+  const uint64_t number = Current()->number + 1;
+  Result<std::shared_ptr<ServingGeneration>> made =
+      MakeGeneration(std::move(next), serve_options_, number,
+                     std::move(source));
+  if (!made.ok()) return made.status();
+
+  std::shared_ptr<ServingGeneration> old;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    old = std::move(current_);
+    current_ = std::move(made).value();
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+
+  // Drain the retired engine's async queue, then release our reference.
+  // Requests that grabbed the old generation before the swap still hold
+  // theirs; the generation (engine first, then index) is destroyed when
+  // the last one finishes — no in-flight query ever touches a freed index.
+  old->engine->Drain();
+  old.reset();
+  return number;
+}
+
+Result<uint64_t> GenerationHolder::SwapFromArtifact(
+    const std::string& path, const OpenOptions& open_options) {
+  Result<Index> next = Open(path, open_options);
+  if (!next.ok()) return next.status();
+  return SwapTo(std::move(next).value(), path);
+}
+
+}  // namespace blink

@@ -1,0 +1,109 @@
+// Zero-downtime index hot-swap (DESIGN.md D13): a generation-numbered
+// holder of {Index, ServingEngine} pairs with atomic cutover.
+//
+// The serving problem this solves: a long-lived server must replace its
+// index (rebuilt artifact, recovered shard, bigger dataset) without
+// dropping the queries already in flight and without a stop-the-world
+// pause. The mmap-backed Open (D12) makes *acquiring* the replacement
+// cheap; this layer makes *installing* it safe:
+//
+//   1. The replacement is Open()ed or built in the background — no query
+//      ever waits on it.
+//   2. Cutover is one pointer swap under a short lock: every request that
+//      calls Current() after the swap sees the new generation; requests
+//      that grabbed the old one keep a shared_ptr reference and finish
+//      against it.
+//   3. The old generation is drained (ServingEngine::Drain — the engine's
+//      in-flight accounting is the epoch analog at this layer) and then
+//      destroyed when the last in-flight request releases its reference,
+//      so no query ever touches a freed index. Searches *inside* each
+//      generation are additionally guarded by the existing epoch machinery
+//      (util/epoch.h) where the flavor needs it.
+//
+// Layering note: this file sits *above* the api/ facade — it swaps whole
+// Index handles — like src/net/ does; the ServingEngine below knows
+// nothing about generations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/index.h"
+#include "serve/engine.h"
+#include "util/status.h"
+
+namespace blink {
+
+/// One servable index generation. Immutable after install except through
+/// the engine (which is internally synchronized). `engine` is declared
+/// after `index` so it is destroyed first — it holds a non-owning pointer
+/// into the handle.
+struct ServingGeneration {
+  uint64_t number = 0;   ///< 1 for the first install, +1 per swap
+  std::string source;    ///< artifact path, or "<built>" for in-process builds
+  Index index;
+  std::unique_ptr<ServingEngine> engine;
+};
+
+/// Owns the current generation and performs atomic hot-swaps. Current() is
+/// cheap and safe from any number of request threads; swaps are serialized
+/// against each other and never block readers for longer than the pointer
+/// exchange.
+class GenerationHolder {
+ public:
+  /// Installs `index` as generation 1 with an engine built from
+  /// `serve_options` (validated; degenerate options are an error).
+  static Result<std::unique_ptr<GenerationHolder>> Create(
+      Index index, const ServingOptions& serve_options,
+      std::string source = "<built>");
+
+  GenerationHolder(const GenerationHolder&) = delete;
+  GenerationHolder& operator=(const GenerationHolder&) = delete;
+
+  /// The generation to serve this request from. Hold the returned
+  /// shared_ptr for the duration of the request: it keeps the generation
+  /// (index + engine) alive across a concurrent swap.
+  std::shared_ptr<ServingGeneration> Current() const;
+
+  /// Installs `next` as the new generation: validates it against the
+  /// current one (same dimensionality — in-flight queries are sized for
+  /// it), stands up its engine, swaps the pointer, then drains the old
+  /// generation's engine. Returns the new generation number. The old
+  /// generation is destroyed once its last in-flight request completes.
+  Result<uint64_t> SwapTo(Index next, std::string source = "<swapped>");
+
+  /// Open(path)s a replacement artifact (map mode when `open_options`
+  /// asks for it — the cheap path) and SwapTo()s it. The Open runs on the
+  /// calling thread, which is never a search thread: background-loading
+  /// is the caller's thread structure, cutover is this class's.
+  Result<uint64_t> SwapFromArtifact(const std::string& path,
+                                    const OpenOptions& open_options = {});
+
+  /// Completed swaps (not counting the initial install).
+  uint64_t swap_count() const {
+    return swaps_.load(std::memory_order_relaxed);
+  }
+  /// The current generation number (1-based).
+  uint64_t generation() const;
+
+ private:
+  GenerationHolder(std::shared_ptr<ServingGeneration> first,
+                   const ServingOptions& serve_options)
+      : current_(std::move(first)), serve_options_(serve_options) {}
+
+  /// Builds the {index, engine} pair for one generation.
+  static Result<std::shared_ptr<ServingGeneration>> MakeGeneration(
+      Index index, const ServingOptions& serve_options, uint64_t number,
+      std::string source);
+
+  mutable std::mutex mu_;    ///< guards current_ (pointer reads + the swap)
+  std::mutex swap_mu_;       ///< serializes whole swaps (engine spin-up, drain)
+  std::shared_ptr<ServingGeneration> current_;
+  ServingOptions serve_options_;
+  std::atomic<uint64_t> swaps_{0};
+};
+
+}  // namespace blink

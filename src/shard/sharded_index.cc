@@ -51,6 +51,7 @@ class ShardedIndex::ShardedSearcher : public Searcher {
     merged_.clear();
     for (size_t p = 0; p < nprobe; ++p) {
       const uint32_t s = order_[p].shard;
+      index_->probe_counts_[s].fetch_add(1, std::memory_order_relaxed);
       searchers_[s]->Search(query, k, params, shard_ids_.data(),
                             shard_dists_.data(), stats);
       const auto& to_global = index_->partition_.shard_to_global[s];
@@ -108,8 +109,10 @@ ShardedIndex::ShardedIndex(std::vector<std::unique_ptr<Shard>> shards,
       partition_(std::move(partition)),
       metric_(metric),
       bits1_(bits1),
-      bits2_(bits2) {
+      bits2_(bits2),
+      probe_counts_(new std::atomic<uint64_t>[shards_.size()]) {
   for (size_t s = 0; s < shards_.size(); ++s) {
+    probe_counts_[s].store(0, std::memory_order_relaxed);
     if (shards_[s] != nullptr && shards_[s]->size() > 0) {
       live_shards_.push_back(static_cast<uint32_t>(s));
     }

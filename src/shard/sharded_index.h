@@ -18,6 +18,8 @@
 // WritePaddedRow — the eval/interface.h contract holds on every path.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -77,6 +79,17 @@ class ShardedIndex : public SearchIndex {
   double build_seconds() const { return build_seconds_; }
   void set_build_seconds(double s) { build_seconds_ = s; }
 
+  /// Cumulative per-shard probe counts (queries that searched shard s)
+  /// since construction — the serving layer's /stats telemetry. Relaxed
+  /// atomic counters: totals are exact, cross-shard ordering is not.
+  std::vector<uint64_t> probe_counts() const {
+    std::vector<uint64_t> counts(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      counts[s] = probe_counts_[s].load(std::memory_order_relaxed);
+    }
+    return counts;
+  }
+
  private:
   class ShardedSearcher;
 
@@ -87,6 +100,8 @@ class ShardedIndex : public SearchIndex {
   int bits2_;
   std::vector<uint32_t> live_shards_;  ///< shards with at least one vector
   double build_seconds_ = 0.0;
+  /// mutable: probing is logically const (search path) but counted.
+  mutable std::unique_ptr<std::atomic<uint64_t>[]> probe_counts_;
 };
 
 /// Partitions `data` and builds every shard's Vamana+LVQ index, shards

@@ -250,7 +250,9 @@ TEST(ApiServe, EngineServesFacadeIndex) {
   ASSERT_TRUE(built.ok());
   ServingOptions so;
   so.num_threads = 2;
-  auto engine = built.value().Serve(so);
+  auto served = built.value().Serve(so);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  auto engine = std::move(served).value();
   ASSERT_NE(engine, nullptr);
   RuntimeParams p;
   p.window = 64;

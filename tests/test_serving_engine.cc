@@ -1,17 +1,28 @@
 // Serving engine tests: pooled-searcher correctness against the direct
-// paths, async micro-batching, and the ISSUE 2 multi-threaded stress test —
+// paths, async micro-batching, the ISSUE 2 multi-threaded stress test —
 // concurrent SearchBatch from many threads while a writer mutates the
-// dynamic index. Runs under the ASan and TSan CI jobs.
+// dynamic index — plus the serving-path hardening of ISSUE 8: options
+// validation, deterministic TrySubmit admission control, the shutdown
+// outcome tag, and GenerationHolder hot-swap semantics. Runs under the
+// ASan and TSan CI jobs.
 #include "serve/engine.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "api/index.h"
+#include "api/spec.h"
+#include "serve/generation.h"
 #include "testutil.h"
 #include "util/prng.h"
 
@@ -344,6 +355,263 @@ TEST(ServingEngine, AsyncSubmitRacingWriter) {
   }
   stop_writer.store(true);
   writer.join();
+}
+
+// ---------------------------------------------------------------------------
+// ISSUE 8 serving-path hardening: options validation, deterministic
+// admission control, the shutdown outcome tag, and generation hot-swap.
+// ---------------------------------------------------------------------------
+
+TEST(ServingOptions, ValidateRejectsDegenerateConfigurations) {
+  EXPECT_TRUE(ServingOptions{}.Validate().ok());
+
+  ServingOptions o;
+  o.max_batch = 0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+
+  o = ServingOptions{};
+  o.queue_capacity = 0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+
+  o = ServingOptions{};
+  o.num_threads = (1u << 12) + 1;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+
+  o = ServingOptions{};
+  o.batch_linger_us = 10'000'001;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+/// A SearchIndex stub whose SearchBatch parks inside the search until the
+/// gate opens — the deterministic way to hold async queries "executing"
+/// while a test probes admission control or shutdown. With
+/// `block_first_only`, only the first query ever parks; the rest answer
+/// immediately (the shutdown test needs later queries to resolve while the
+/// first pins the engine's in-flight count).
+class GateIndex : public SearchIndex {
+ public:
+  explicit GateIndex(size_t dim, bool block_first_only = false)
+      : dim_(dim), block_first_only_(block_first_only) {}
+
+  std::string name() const override { return "gate-stub"; }
+  size_t size() const override { return 1; }
+  size_t dim() const override { return dim_; }
+  size_t memory_bytes() const override { return sizeof(*this); }
+
+  void SearchBatch(MatrixViewF queries, size_t k, const SearchOptions&,
+                   uint32_t* ids, ThreadPool* = nullptr) const override {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      const uint64_t ticket = entered_++;
+      entered_cv_.notify_all();
+      if (!block_first_only_ || ticket == 0) {
+        gate_cv_.wait(lk, [&] { return open_; });
+      }
+    }
+    const uint32_t hit = 0;
+    const float dist = 0.0f;
+    for (size_t qi = 0; qi < queries.rows; ++qi) {
+      WritePaddedRow(&hit, &dist, 1, k, ids + qi * k, nullptr);
+    }
+  }
+
+  /// Blocks until `n` queries have entered SearchBatch.
+  void WaitEntered(uint64_t n) const {
+    std::unique_lock<std::mutex> lk(mu_);
+    entered_cv_.wait(lk, [&] { return entered_ >= n; });
+  }
+
+  void OpenGate() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    open_ = true;
+    gate_cv_.notify_all();
+  }
+
+ private:
+  size_t dim_;
+  bool block_first_only_;
+  // mutable: SearchBatch is const on the SearchIndex seam.
+  mutable std::mutex mu_;
+  mutable std::condition_variable entered_cv_;
+  mutable std::condition_variable gate_cv_;
+  mutable uint64_t entered_ = 0;
+  mutable bool open_ = false;
+};
+
+// TrySubmit with queue_capacity=1: the first query is admitted and parks
+// in the gate; the second is rejected with kRejectedOverload (and counted)
+// instead of blocking; once the gate opens and the engine drains, admission
+// recovers. No sleeps — every step is sequenced by the gate.
+TEST(ServingEngine, TrySubmitRejectsOverloadDeterministically) {
+  GateIndex gate(/*dim=*/8);
+  ServingOptions opts;
+  opts.num_threads = 1;
+  opts.max_batch = 1;
+  opts.queue_capacity = 1;
+  ServingEngine engine(&gate, opts);
+  const std::vector<float> q(8, 0.5f);
+  RuntimeParams p;
+
+  std::future<SearchResult> admitted;
+  ASSERT_EQ(engine.TrySubmit(q.data(), 3, p, &admitted),
+            ServingEngine::SubmitOutcome::kAccepted);
+  gate.WaitEntered(1);  // the admitted query is now executing
+
+  std::future<SearchResult> rejected;
+  EXPECT_EQ(engine.TrySubmit(q.data(), 3, p, &rejected),
+            ServingEngine::SubmitOutcome::kRejectedOverload);
+  EXPECT_EQ(engine.counters().rejected, 1u);
+  EXPECT_EQ(engine.inflight(), 1u);  // the rejection admitted nothing
+
+  gate.OpenGate();
+  SearchResult res = admitted.get();
+  EXPECT_EQ(res.outcome, SearchOutcome::kOk);
+  ASSERT_EQ(res.ids.size(), 3u);
+  EXPECT_EQ(res.ids[0], 0u);
+  engine.Drain();
+
+  // Capacity is back: the next admission succeeds and resolves.
+  std::future<SearchResult> again;
+  ASSERT_EQ(engine.TrySubmit(q.data(), 3, p, &again),
+            ServingEngine::SubmitOutcome::kAccepted);
+  EXPECT_EQ(again.get().outcome, SearchOutcome::kOk);
+  EXPECT_EQ(engine.counters().rejected, 1u);
+}
+
+// The ISSUE 8 bugfix: a Submit that lands during shutdown resolves with
+// outcome == kShutdown and all-padded ids — distinguishable from a real
+// zero-hit answer. The first query parks in the gate so the destructor is
+// pinned in its drain while a submitter races Submit against it.
+TEST(ServingEngine, SubmitDuringShutdownIsTaggedNotZeroHit) {
+  GateIndex gate(/*dim=*/8, /*block_first_only=*/true);
+  ServingOptions opts;
+  opts.num_threads = 2;
+  opts.max_batch = 1;
+  auto engine = std::make_unique<ServingEngine>(&gate, opts);
+  const std::vector<float> q(8, 0.5f);
+  RuntimeParams p;
+
+  // The hammer loop uses a raw pointer: unique_ptr::reset() nulls the
+  // stored pointer before the destructor runs, and the destructor itself
+  // cannot finish while the gate pins its drain — which is exactly the
+  // window this test submits into.
+  ServingEngine* raw = engine.get();
+  std::future<SearchResult> pinned = raw->Submit(q.data(), 4, p);
+  gate.WaitEntered(1);  // the pin is executing; the drain must wait for it
+
+  // Destruction starts now but cannot finish until the gate opens.
+  std::thread destroyer([&] { engine.reset(); });
+
+  // Hammer Submit until one lands after stop: pre-stop submissions resolve
+  // kOk (the gate only blocks the first query); the first post-stop one
+  // must come back tagged kShutdown with k padded ids.
+  bool saw_shutdown = false;
+  for (int i = 0; i < 1'000'000 && !saw_shutdown; ++i) {
+    SearchResult res = raw->Submit(q.data(), 4, p).get();
+    ASSERT_EQ(res.ids.size(), 4u);
+    if (res.outcome == SearchOutcome::kShutdown) {
+      saw_shutdown = true;
+      for (uint32_t id : res.ids) EXPECT_EQ(id, kInvalidId);
+      for (float d : res.dists) EXPECT_EQ(d, kInvalidDist);
+    } else {
+      ASSERT_EQ(res.outcome, SearchOutcome::kOk);
+      EXPECT_EQ(res.ids[0], 0u);  // a real answer, not padding
+    }
+  }
+  EXPECT_TRUE(saw_shutdown);
+
+  gate.OpenGate();
+  destroyer.join();
+  SearchResult res = pinned.get();
+  EXPECT_EQ(res.outcome, SearchOutcome::kOk);  // admitted before stop
+}
+
+/// One small facade build for the GenerationHolder tests.
+Index BuildFacadeIndex(const Dataset& data, int bits2 = 0) {
+  IndexSpec spec;
+  spec.kind = IndexKind::kStaticLvq;
+  spec.metric = data.metric;
+  spec.bits1 = 8;
+  spec.bits2 = bits2;
+  spec.graph.graph_max_degree = 16;
+  spec.graph.window_size = 32;
+  Result<Index> built = Build(spec, data.base);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+TEST(GenerationHolder, CreateValidatesIndexAndOptions) {
+  // Empty handle: rejected.
+  ServingOptions opts;
+  opts.num_threads = 1;
+  EXPECT_FALSE(GenerationHolder::Create(Index(), opts).ok());
+
+  // Degenerate serving options: rejected at the boundary.
+  Dataset data = MakeDeepLike(300, 4, 900);
+  ServingOptions bad;
+  bad.queue_capacity = 0;
+  EXPECT_FALSE(
+      GenerationHolder::Create(BuildFacadeIndex(data), bad).ok());
+}
+
+TEST(GenerationHolder, SwapCutsOverAndOldGenerationSurvivesHeldRefs) {
+  Dataset data = MakeDeepLike(600, 12, 901);
+  ServingOptions opts;
+  opts.num_threads = 2;
+  Result<std::unique_ptr<GenerationHolder>> made =
+      GenerationHolder::Create(BuildFacadeIndex(data), opts, "genA");
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  GenerationHolder& holder = *made.value();
+  EXPECT_EQ(holder.generation(), 1u);
+  EXPECT_EQ(holder.swap_count(), 0u);
+
+  std::shared_ptr<ServingGeneration> gen1 = holder.Current();
+  ASSERT_NE(gen1, nullptr);
+  EXPECT_EQ(gen1->number, 1u);
+  EXPECT_EQ(gen1->source, "genA");
+
+  Result<uint64_t> swapped =
+      holder.SwapTo(BuildFacadeIndex(data, /*bits2=*/8), "genB");
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  EXPECT_EQ(swapped.value(), 2u);
+  EXPECT_EQ(holder.generation(), 2u);
+  EXPECT_EQ(holder.swap_count(), 1u);
+  std::shared_ptr<ServingGeneration> gen2 = holder.Current();
+  EXPECT_EQ(gen2->number, 2u);
+  EXPECT_EQ(gen2->source, "genB");
+
+  // The pre-swap generation we still hold answers correctly after the
+  // cutover — the in-flight-request guarantee.
+  const size_t k = 5, nq = data.queries.rows();
+  RuntimeParams p;
+  p.window = 32;
+  Matrix<uint32_t> old_ids(nq, k), new_ids(nq, k);
+  gen1->engine->SearchBatch(data.queries, k, p, old_ids.data());
+  gen2->engine->SearchBatch(data.queries, k, p, new_ids.data());
+  Matrix<uint32_t> gt = ComputeGroundTruth(data.base, data.queries, k,
+                                           data.metric);
+  EXPECT_GE(MeanRecallAtK(old_ids, gt, k), 0.9);
+  EXPECT_GE(MeanRecallAtK(new_ids, gt, k), 0.9);
+}
+
+TEST(GenerationHolder, SwapRejectsDimensionMismatch) {
+  Dataset deep = MakeDeepLike(300, 4, 902);   // d = 96
+  Dataset sift = MakeSiftLike(300, 4, 903);   // d = 128
+  ServingOptions opts;
+  opts.num_threads = 1;
+  Result<std::unique_ptr<GenerationHolder>> made =
+      GenerationHolder::Create(BuildFacadeIndex(deep), opts);
+  ASSERT_TRUE(made.ok());
+  GenerationHolder& holder = *made.value();
+
+  Result<uint64_t> swapped = holder.SwapTo(BuildFacadeIndex(sift));
+  EXPECT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.status().code(), StatusCode::kInvalidArgument)
+      << swapped.status().ToString();
+  // The failed swap changed nothing.
+  EXPECT_EQ(holder.generation(), 1u);
+  EXPECT_EQ(holder.swap_count(), 0u);
+  EXPECT_EQ(holder.Current()->index.dim(), 96u);
 }
 
 }  // namespace

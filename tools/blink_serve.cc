@@ -1,5 +1,7 @@
 // blink_serve — closed-loop load generator for the serving engine, built
-// on the public facade (IndexSpec / Build / Open / Index::Serve).
+// on the public facade (IndexSpec / Build / Open / Index::Serve), or — with
+// --connect — for a remote blink_server over the net/protocol.h wire
+// protocol.
 //
 // Two ways to get an index:
 //   default       — build over a synthetic dataset (no input files), with
@@ -47,10 +49,28 @@
 //                      mutable index)
 //     --seed S         dataset/build seed            (default 1234)
 //
+// Network loadgen mode (drives a running blink_server instead of an
+// in-process engine):
+//     --connect H:P    server address; C clients each open one connection
+//                      and run a closed loop of B-query search requests
+//     --queries F      query vectors (.fvecs, e.g. blink_gen's
+//                      <prefix>.query.fvecs); default: gaussian vectors of
+//                      the server's dimension
+//     --gt F           ground truth (.ivecs) matching --queries; enables
+//                      the recall report. Rejected requests (admission
+//                      control) never count against recall — only answered
+//                      queries are scored.
+//     --swap P[,P...]  hot-swap artifact path(s): a swapper thread cycles
+//                      through them during the load
+//     --swap-every S   seconds between hot-swaps    (default 1.0)
+//
 // sync  — each client calls ServingEngine::SearchBatch with B queries per
 //         request (the request is the latency unit).
 // async — each client Submit()s one query at a time and waits on the
 //         future; the engine micro-batches across clients.
+//
+// SIGINT/SIGTERM in any mode stops the load gracefully: in-flight requests
+// finish and the final stats still print.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -65,6 +85,7 @@
 
 #include "blink.h"
 #include "flags.h"
+#include "shutdown.h"
 
 using namespace blink;
 
@@ -79,14 +100,21 @@ int Usage(const char* argv0) {
                "[--clients C] [--duration S] [--mode sync|async] [--batch B]\n"
                "                  [--lvq bits] [--bits2 bits] [--shards S] "
                "[--nprobe-shards P]\n                  [--dynamic 0|1] "
-               "[--churn OPS] [--seed S]\n",
-               argv0);
+               "[--churn OPS] [--seed S]\n"
+               "       %s --connect HOST:PORT [--queries F.fvecs [--gt "
+               "F.ivecs]] [--nq N] [--k N]\n"
+               "                  [--window W] [--clients C] [--duration S] "
+               "[--batch B]\n"
+               "                  [--swap PATH[,PATH...] [--swap-every S]] "
+               "[--seed S]\n",
+               argv0, argv0);
   return 2;
 }
 
 struct ClientResult {
   std::vector<double> latencies_ms;
   size_t queries = 0;
+  size_t rejected = 0;  ///< async submissions resolved with a non-kOk outcome
 };
 
 /// One closed-loop measurement: C clients hammering the engine for
@@ -94,6 +122,7 @@ struct ClientResult {
 struct LoadResult {
   std::vector<double> latencies_ms;
   size_t queries = 0;
+  size_t rejected = 0;
   double elapsed = 0.0;
   uint64_t batches = 0;
   double dists_per_query = 0.0;
@@ -101,7 +130,8 @@ struct LoadResult {
 
 LoadResult RunLoad(ServingEngine& engine, MatrixViewF queries, size_t k,
                    const SearchOptions& params, size_t clients, double duration,
-                   bool async_mode, size_t batch, Matrix<uint32_t>* results) {
+                   bool async_mode, size_t batch, Matrix<uint32_t>* results,
+                   std::vector<char>* answered) {
   const size_t nq = queries.rows;
   std::vector<ClientResult> per_client(clients);
   std::vector<std::thread> workers;
@@ -114,18 +144,27 @@ LoadResult RunLoad(ServingEngine& engine, MatrixViewF queries, size_t k,
       const size_t lo = nq * c / clients;
       const size_t hi = std::max(lo + 1, nq * (c + 1) / clients);
       size_t qi = lo;
-      while (wall.Seconds() < duration) {
+      while (wall.Seconds() < duration && !tools::StopRequested()) {
         Timer t;
         if (async_mode) {
           auto fut = engine.Submit(queries.row(qi), k, params);
           SearchResult res = fut.get();
-          std::copy(res.ids.begin(), res.ids.end(), results->row(qi));
-          out.queries += 1;
+          // A non-kOk outcome (shutdown race) never ran: the row keeps its
+          // previous answer (if any) and the query is tallied as rejected,
+          // not scored against recall.
+          if (res.outcome == SearchOutcome::kOk) {
+            std::copy(res.ids.begin(), res.ids.end(), results->row(qi));
+            (*answered)[qi] = 1;
+            out.queries += 1;
+          } else {
+            out.rejected += 1;
+          }
           qi = qi + 1 >= hi ? lo : qi + 1;
         } else {
           const size_t take = std::min(batch, hi - qi);
           MatrixViewF slice(queries.row(qi), take, queries.cols);
           engine.SearchBatch(slice, k, params, results->row(qi));
+          for (size_t r = 0; r < take; ++r) (*answered)[qi + r] = 1;
           out.queries += take;
           qi = qi + take >= hi ? lo : qi + take;
         }
@@ -140,6 +179,7 @@ LoadResult RunLoad(ServingEngine& engine, MatrixViewF queries, size_t k,
     r.latencies_ms.insert(r.latencies_ms.end(), c.latencies_ms.begin(),
                           c.latencies_ms.end());
     r.queries += c.queries;
+    r.rejected += c.rejected;
   }
   const ServingCounters after = engine.counters();
   r.batches = after.batches - before.batches;
@@ -178,10 +218,303 @@ MatrixF RandomQueries(size_t nq, size_t dim, uint64_t seed) {
   return q;
 }
 
+// ---------------------------------------------------------------------------
+// --connect mode: a closed-loop network loadgen over net::BlinkClient.
+// ---------------------------------------------------------------------------
+
+struct ConnectConfig {
+  std::string host;
+  uint16_t port = 0;
+  std::string queries_path;  ///< .fvecs; empty = gaussian
+  std::string gt_path;       ///< .ivecs; empty = no recall report
+  std::vector<std::string> swap_paths;
+  double swap_every = 1.0;
+  size_t nq = 1000;
+  size_t k = 10;
+  uint32_t window = 32;
+  uint32_t nprobe_shards = 0;
+  size_t clients = 0;
+  size_t batch = 8;
+  double duration = 3.0;
+  uint64_t seed = 1234;
+};
+
+/// Per-client tallies. Rejected requests are counted, never scored: a
+/// query the server refused (admission control / shutdown) must not drag
+/// recall down — it was never answered, wrongly or otherwise.
+struct NetClientResult {
+  std::vector<double> latencies_ms;
+  size_t answered = 0;       ///< queries with a kOk response
+  size_t rejected = 0;       ///< queries in kOverloaded/kShuttingDown replies
+  size_t transport_errors = 0;
+  uint64_t min_generation = std::numeric_limits<uint64_t>::max();
+  uint64_t max_generation = 0;
+};
+
+int RunConnectMode(const ConnectConfig& cfg) {
+  // Probe the server: dimension (to size gaussian queries and sanity-check
+  // files) and the starting generation come from its stats JSON.
+  auto probe = net::BlinkClient::Connect(cfg.host, cfg.port);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "%s\n", probe.status().ToString().c_str());
+    return 1;
+  }
+  net::BlinkClient control = std::move(probe).value();
+  net::StatusTextResponse stats0;
+  Status st = control.Stats(&stats0);
+  if (!st.ok()) {
+    std::fprintf(stderr, "stats: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Result<json::Value> parsed = json::Parse(stats0.text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "stats JSON: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const json::Value* dim_v = parsed.value().Find("index") != nullptr
+                                 ? parsed.value().Find("index")->Find("dim")
+                                 : nullptr;
+  if (dim_v == nullptr || !dim_v->is_number()) {
+    std::fprintf(stderr, "stats JSON has no index.dim\n");
+    return 1;
+  }
+  const size_t dim = static_cast<size_t>(dim_v->as_number());
+
+  MatrixF queries;
+  Matrix<uint32_t> gt;
+  if (!cfg.queries_path.empty()) {
+    Result<MatrixF> q = ReadFvecs(cfg.queries_path);
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    queries = std::move(q).value();
+    if (queries.cols() != dim) {
+      std::fprintf(stderr,
+                   "--queries dimension (%zu) != server dimension (%zu)\n",
+                   queries.cols(), dim);
+      return 1;
+    }
+    if (queries.rows() > cfg.nq) {
+      MatrixF head(cfg.nq, dim);
+      std::copy_n(queries.data(), cfg.nq * dim, head.data());
+      queries = std::move(head);
+    }
+  } else {
+    queries = RandomQueries(cfg.nq, dim, cfg.seed + 17);
+  }
+  const size_t nq = queries.rows();
+  if (!cfg.gt_path.empty()) {
+    if (cfg.queries_path.empty()) {
+      std::fprintf(stderr, "--gt without --queries makes no sense (gaussian "
+                           "queries have no ground truth)\n");
+      return 1;
+    }
+    Result<Matrix<int32_t>> g = ReadIvecs(cfg.gt_path);
+    if (!g.ok()) {
+      std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    if (g.value().rows() < nq || g.value().cols() < cfg.k) {
+      std::fprintf(stderr, "--gt is %zux%zu; need at least %zux%zu\n",
+                   g.value().rows(), g.value().cols(), nq, cfg.k);
+      return 1;
+    }
+    gt = Matrix<uint32_t>(nq, g.value().cols());
+    for (size_t i = 0; i < gt.size(); ++i) {
+      gt.data()[i] = static_cast<uint32_t>(g.value().data()[i]);
+    }
+  }
+
+  size_t clients = cfg.clients == 0 ? 4 : cfg.clients;
+  if (clients > nq) clients = nq;
+
+  std::printf("blink_serve --connect %s:%u: nq=%zu d=%zu k=%zu window=%u | "
+              "clients=%zu batch=%zu duration=%.1fs%s\n",
+              cfg.host.c_str(), cfg.port, nq, dim, cfg.k, cfg.window, clients,
+              cfg.batch, cfg.duration,
+              cfg.swap_paths.empty()
+                  ? ""
+                  : (" | swap-every " + std::to_string(cfg.swap_every) + "s")
+                        .c_str());
+
+  SearchOptions options;
+  options.window = cfg.window;
+  options.nprobe_shards = cfg.nprobe_shards;
+
+  // `answered[qi]` marks rows of `results` holding a scored answer;
+  // stripes are disjoint per client so there are no concurrent writers.
+  Matrix<uint32_t> results(nq, cfg.k);
+  std::vector<char> answered(nq, 0);
+  std::vector<NetClientResult> per_client(clients);
+  std::atomic<bool> stop_load{false};
+  Timer wall;
+
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      NetClientResult& out = per_client[c];
+      auto conn = net::BlinkClient::Connect(cfg.host, cfg.port);
+      if (!conn.ok()) {
+        out.transport_errors += 1;
+        return;
+      }
+      net::BlinkClient client = std::move(conn).value();
+      const size_t lo = nq * c / clients;
+      const size_t hi = std::max(lo + 1, nq * (c + 1) / clients);
+      size_t qi = lo;
+      while (wall.Seconds() < cfg.duration && !tools::StopRequested() &&
+             !stop_load.load(std::memory_order_relaxed)) {
+        const size_t take = std::min(cfg.batch, hi - qi);
+        MatrixViewF slice(queries.row(qi), take, queries.cols());
+        net::SearchResponse res;
+        Timer t;
+        Status s = client.Search(slice, static_cast<uint32_t>(cfg.k), options,
+                                 &res);
+        if (!s.ok()) {
+          out.transport_errors += 1;
+          break;  // the stream is broken; this client is done
+        }
+        out.latencies_ms.push_back(t.Millis());
+        out.min_generation = std::min(out.min_generation, res.generation);
+        out.max_generation = std::max(out.max_generation, res.generation);
+        if (res.status == net::WireStatus::kOk) {
+          for (size_t r = 0; r < take; ++r) {
+            std::copy_n(res.ids.data() + r * cfg.k, cfg.k,
+                        results.row(qi + r));
+            answered[qi + r] = 1;
+          }
+          out.answered += take;
+        } else {
+          out.rejected += take;
+        }
+        qi = qi + take >= hi ? lo : qi + take;
+      }
+    });
+  }
+
+  // Hot-swap driver: cycles through --swap artifacts on its own
+  // connection while the clients hammer the server.
+  size_t swaps_ok = 0, swaps_failed = 0;
+  std::thread swapper;
+  if (!cfg.swap_paths.empty()) {
+    swapper = std::thread([&] {
+      size_t next = 0;
+      while (wall.Seconds() < cfg.duration && !tools::StopRequested() &&
+             !stop_load.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(cfg.swap_every));
+        if (wall.Seconds() >= cfg.duration || tools::StopRequested()) break;
+        net::StatusTextResponse res;
+        Status s = control.Swap(cfg.swap_paths[next], &res);
+        next = (next + 1) % cfg.swap_paths.size();
+        if (s.ok() && res.status == net::WireStatus::kOk) {
+          ++swaps_ok;
+          std::printf("hot-swap -> generation %llu\n",
+                      static_cast<unsigned long long>(res.generation));
+        } else {
+          ++swaps_failed;
+          std::fprintf(stderr, "hot-swap failed: %s\n",
+                       s.ok() ? res.text.c_str() : s.ToString().c_str());
+        }
+      }
+    });
+  }
+
+  for (auto& w : workers) w.join();
+  stop_load.store(true);
+  if (swapper.joinable()) swapper.join();
+  const double elapsed = wall.Seconds();
+
+  NetClientResult total;
+  total.min_generation = std::numeric_limits<uint64_t>::max();
+  for (const NetClientResult& c : per_client) {
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              c.latencies_ms.begin(), c.latencies_ms.end());
+    total.answered += c.answered;
+    total.rejected += c.rejected;
+    total.transport_errors += c.transport_errors;
+    total.min_generation = std::min(total.min_generation, c.min_generation);
+    total.max_generation = std::max(total.max_generation, c.max_generation);
+  }
+
+  std::printf("\n%zu answered + %zu rejected queries in %.2fs (%zu "
+              "requests)\n",
+              total.answered, total.rejected, elapsed,
+              total.latencies_ms.size());
+  std::printf("QPS (answered)    %10.0f\n",
+              elapsed > 0 ? static_cast<double>(total.answered) / elapsed
+                          : 0.0);
+  if (!total.latencies_ms.empty()) {
+    std::printf("latency p50       %10.3f ms\n",
+                Percentile(total.latencies_ms, 50));
+    std::printf("latency p90       %10.3f ms\n",
+                Percentile(total.latencies_ms, 90));
+    std::printf("latency p99       %10.3f ms\n",
+                Percentile(total.latencies_ms, 99));
+  }
+  if (total.max_generation > 0) {
+    std::printf("generations seen  %10llu .. %llu\n",
+                static_cast<unsigned long long>(total.min_generation),
+                static_cast<unsigned long long>(total.max_generation));
+  }
+  if (!cfg.swap_paths.empty()) {
+    std::printf("hot-swaps         %10zu ok, %zu failed\n", swaps_ok,
+                swaps_failed);
+  }
+  if (total.transport_errors > 0) {
+    std::fprintf(stderr, "transport errors  %10zu\n", total.transport_errors);
+  }
+  if (gt.rows() == nq) {
+    // Recall over answered rows only: a rejected query was never answered,
+    // so it cannot count as a miss.
+    size_t scored = 0;
+    double sum = 0.0;
+    for (size_t qi = 0; qi < nq; ++qi) {
+      if (!answered[qi]) continue;
+      sum += RecallAtK({results.row(qi), cfg.k}, {gt.row(qi), gt.cols()},
+                       cfg.k);
+      ++scored;
+    }
+    std::printf("recall@%-2zu         %10.4f  (over %zu/%zu answered "
+                "queries)\n",
+                cfg.k, scored > 0 ? sum / static_cast<double>(scored) : 0.0,
+                scored, nq);
+  }
+
+  // Server-side view, for cross-checking the loadgen numbers.
+  net::StatusTextResponse stats1;
+  if (control.Stats(&stats1).ok()) {
+    std::printf("\nserver /stats:\n%s\n", stats1.text.c_str());
+  }
+  return total.transport_errors == 0 ? 0 : 1;
+}
+
+/// Splits a comma-separated path list ("a,b,c").
+std::vector<std::string> SplitCsv(const char* value) {
+  std::vector<std::string> out;
+  const char* p = value;
+  while (*p != '\0') {
+    const char* comma = std::strchr(p, ',');
+    if (comma == nullptr) {
+      out.emplace_back(p);
+      break;
+    }
+    out.emplace_back(p, comma - p);
+    p = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  tools::InstallStopHandler();
   const bool map_mode = TakeMapFlag(&argc, argv);
+  ConnectConfig net_cfg;
+  std::string connect_addr;
   std::string index_path;
   size_t n = 20000, nq = 1000, k = 10, batch = 8;
   std::vector<uint32_t> windows = {32};
@@ -206,6 +539,20 @@ int main(int argc, char** argv) {
   while (args.Next(&flag, &val)) {
     if (flag == "--index") {
       index_path = val;
+    } else if (flag == "--connect") {
+      connect_addr = val;
+    } else if (flag == "--queries") {
+      net_cfg.queries_path = val;
+    } else if (flag == "--gt") {
+      net_cfg.gt_path = val;
+    } else if (flag == "--swap") {
+      net_cfg.swap_paths = SplitCsv(val);
+      if (net_cfg.swap_paths.empty()) {
+        std::fprintf(stderr, "--swap: expected PATH[,PATH...]\n");
+        return 1;
+      }
+    } else if (flag == "--swap-every") {
+      if (!tools::ParseDoubleFlag(flag, val, &net_cfg.swap_every)) return 1;
     } else if (flag == "--kind") {
       auto parsed = ParseIndexKind(val);
       if (!parsed.ok()) {
@@ -284,6 +631,30 @@ int main(int argc, char** argv) {
     }
   }
   if (!args.ok()) return Usage(argv[0]);
+  if (!connect_addr.empty()) {
+    auto hp = net::ParseHostPort(connect_addr);
+    if (!hp.ok()) {
+      std::fprintf(stderr, "%s\n", hp.status().ToString().c_str());
+      return 1;
+    }
+    net_cfg.host = hp.value().first;
+    net_cfg.port = hp.value().second;
+    net_cfg.nq = nq;
+    net_cfg.k = k;
+    net_cfg.window = windows.empty() ? 32 : windows[0];
+    net_cfg.nprobe_shards = nprobe_shards;
+    net_cfg.clients = clients;
+    net_cfg.batch = batch;
+    net_cfg.duration = duration;
+    net_cfg.seed = seed;
+    return RunConnectMode(net_cfg);
+  }
+  if (!net_cfg.queries_path.empty() || !net_cfg.gt_path.empty() ||
+      !net_cfg.swap_paths.empty()) {
+    std::fprintf(stderr,
+                 "--queries/--gt/--swap only apply with --connect\n");
+    return 1;
+  }
   if (target_recall > 0.0 && window_set) {
     std::fprintf(stderr,
                  "--target-recall and --window are mutually exclusive: "
@@ -422,7 +793,12 @@ int main(int argc, char** argv) {
 
   ServingOptions opts;
   opts.num_threads = threads;
-  std::unique_ptr<ServingEngine> engine = index.Serve(opts);
+  Result<std::unique_ptr<ServingEngine>> served = index.Serve(opts);
+  if (!served.ok()) {
+    std::fprintf(stderr, "%s\n", served.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<ServingEngine> engine = std::move(served).value();
 
   // Live writer: insert fresh vectors and delete them again through the
   // facade's mutation seam, consolidating occasionally, at ~churn_ops/sec.
@@ -461,15 +837,21 @@ int main(int argc, char** argv) {
   Matrix<uint32_t> results(nq, k);  // last result per query, for recall
   const bool have_gt = gt.rows() == nq;
   for (const SearchOptions& params : settings) {
+    if (tools::StopRequested()) break;
     const uint32_t w = params.window;
+    std::vector<char> answered(nq, 0);
     LoadResult r = RunLoad(*engine, queries, k, params, clients, duration,
-                           async_mode, batch, &results);
+                           async_mode, batch, &results, &answered);
     const double qps = static_cast<double>(r.queries) / r.elapsed;
     std::printf("\nwindow %u: %zu queries in %.2fs  (%zu requests, %llu "
                 "micro-batches)\n",
                 w, r.queries, r.elapsed, r.latencies_ms.size(),
                 static_cast<unsigned long long>(r.batches));
     std::printf("QPS               %10.0f\n", qps);
+    if (r.rejected > 0) {
+      std::printf("rejected          %10zu  (excluded from recall)\n",
+                  r.rejected);
+    }
     if (!r.latencies_ms.empty()) {
       std::printf("latency p50       %10.3f ms\n",
                   Percentile(r.latencies_ms, 50));
@@ -483,8 +865,18 @@ int main(int argc, char** argv) {
     }
     std::printf("dists/query       %10.1f\n", r.dists_per_query);
     if (have_gt) {
-      std::printf("recall@%-2zu         %10.4f\n", k,
-                  MeanRecallAtK(results, gt, k));
+      // Score only answered rows: a query the engine rejected (shutdown
+      // race) was never answered and must not read as a recall miss.
+      size_t scored = 0;
+      double sum = 0.0;
+      for (size_t qi = 0; qi < nq; ++qi) {
+        if (!answered[qi]) continue;
+        sum += RecallAtK({results.row(qi), k}, {gt.row(qi), gt.cols()}, k);
+        ++scored;
+      }
+      std::printf("recall@%-2zu         %10.4f  (over %zu/%zu answered)\n", k,
+                  scored > 0 ? sum / static_cast<double>(scored) : 0.0,
+                  scored, nq);
     }
   }
   if (churner.joinable()) {

@@ -1,0 +1,38 @@
+// Graceful-stop plumbing shared by the long-running tools (blink_server,
+// blink_serve): SIGINT/SIGTERM set a flag the main loop polls, so the
+// tool drains in-flight work and prints its final stats instead of dying
+// mid-write. A second signal gives up and _exit(130)s — the escape hatch
+// when a drain itself wedges.
+#pragma once
+
+#include <csignal>
+#include <unistd.h>
+
+namespace blink {
+namespace tools {
+
+namespace detail {
+// sig_atomic_t + _exit: everything here is async-signal-safe.
+inline volatile std::sig_atomic_t g_stop_requested = 0;
+
+inline void StopSignalHandler(int) {
+  if (detail::g_stop_requested) _exit(130);  // second signal: give up now
+  detail::g_stop_requested = 1;
+}
+}  // namespace detail
+
+/// Installs the SIGINT/SIGTERM handler. Call once at tool startup, before
+/// the serving loop.
+inline void InstallStopHandler() {
+  struct sigaction sa = {};
+  sa.sa_handler = detail::StopSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// True once SIGINT/SIGTERM has been received.
+inline bool StopRequested() { return detail::g_stop_requested != 0; }
+
+}  // namespace tools
+}  // namespace blink
