@@ -8,6 +8,7 @@
 
 #include "graph/index.h"
 #include "graph/serialize.h"
+#include "quant/leanvec.h"
 #include "quant/lvq_dynamic.h"
 #include "shard/serialize.h"
 #include "shard/sharded_index.h"
@@ -250,6 +251,36 @@ Result<Index> Build(const IndexSpec& spec_in, MatrixViewF data,
       return Index(std::make_unique<detail::StaticFlavor<LvqStorage>>(
           std::move(idx), spec, SpecCapabilities(spec), true));
     }
+    case IndexKind::kStaticLeanVec: {
+      Result<LeanVecStorage> storage =
+          BuildLeanVecStorage(data, spec.metric, spec.leanvec_dim, pool);
+      if (!storage.ok()) return storage.status();
+      IndexSpec resolved = spec;
+      // The spec records the d' actually in effect (0 selected the d/4
+      // default) and the fixed encodings, so it matches a reopened one.
+      resolved.leanvec_dim = storage.value().primary_dim();
+      resolved.bits1 = 8;
+      resolved.bits2 = 0;
+      auto idx = std::make_unique<VamanaIndex<LeanVecStorage>>(
+          std::move(storage).value(), spec.graph, pool);
+      const Capabilities caps = SpecCapabilities(resolved);
+      return Index(std::make_unique<detail::StaticFlavor<LeanVecStorage>>(
+          std::move(idx), std::move(resolved), caps, true));
+    }
+    case IndexKind::kStaticLeanVecLvq: {
+      Result<LeanVecLvqStorage> storage =
+          BuildLeanVecLvqStorage(data, spec.metric, spec.leanvec_dim, pool);
+      if (!storage.ok()) return storage.status();
+      IndexSpec resolved = spec;
+      resolved.leanvec_dim = storage.value().primary_dim();
+      resolved.bits1 = 8;  // both LeanVec LVQ levels are one-level LVQ-8
+      resolved.bits2 = 0;
+      auto idx = std::make_unique<VamanaIndex<LeanVecLvqStorage>>(
+          std::move(storage).value(), spec.graph, pool);
+      const Capabilities caps = SpecCapabilities(resolved);
+      return Index(std::make_unique<detail::StaticFlavor<LeanVecLvqStorage>>(
+          std::move(idx), std::move(resolved), caps, true));
+    }
     case IndexKind::kSharded: {
       ShardedBuildParams sp;
       sp.partition = spec.partition;
@@ -421,6 +452,24 @@ Result<Index> OpenStaticMapped(const std::string& prefix,
       return MakeStatic(std::move(st).value(), std::move(graph).value(),
                         std::move(spec), has_meta, std::move(mappings));
     }
+    case VecsEncoding::kLeanVecF32: {
+      auto st = MapLeanVecVecs(vm, vecs_path, spec.metric);
+      if (!st.ok()) return st.status();
+      spec.kind = IndexKind::kStaticLeanVec;
+      spec.leanvec_dim = st.value().primary_dim();
+      return MakeStatic(std::move(st).value(), std::move(graph).value(),
+                        std::move(spec), has_meta, std::move(mappings));
+    }
+    case VecsEncoding::kLeanVecLvq: {
+      auto st = MapLeanVecLvqVecs(vm, vecs_path, spec.metric);
+      if (!st.ok()) return st.status();
+      spec.kind = IndexKind::kStaticLeanVecLvq;
+      spec.leanvec_dim = st.value().primary_dim();
+      spec.bits1 = st.value().primary().level1().bits();
+      spec.bits2 = 0;
+      return MakeStatic(std::move(st).value(), std::move(graph).value(),
+                        std::move(spec), has_meta, std::move(mappings));
+    }
   }
   return Status::Internal(vecs_path + ": unhandled vecs encoding");
 }
@@ -475,6 +524,24 @@ Result<Index> OpenStatic(const std::string& prefix, const OpenOptions& opts) {
       auto st = LoadF16Vecs(vecs, spec.metric, opts.use_huge_pages);
       if (!st.ok()) return st.status();
       spec.kind = IndexKind::kStaticF16;
+      return MakeStatic(std::move(st).value(), std::move(graph).value(),
+                        std::move(spec), has_meta);
+    }
+    case VecsEncoding::kLeanVecF32: {
+      auto st = LoadLeanVecVecs(vecs, spec.metric, opts.use_huge_pages);
+      if (!st.ok()) return st.status();
+      spec.kind = IndexKind::kStaticLeanVec;
+      spec.leanvec_dim = st.value().primary_dim();
+      return MakeStatic(std::move(st).value(), std::move(graph).value(),
+                        std::move(spec), has_meta);
+    }
+    case VecsEncoding::kLeanVecLvq: {
+      auto st = LoadLeanVecLvqVecs(vecs, spec.metric, opts.use_huge_pages);
+      if (!st.ok()) return st.status();
+      spec.kind = IndexKind::kStaticLeanVecLvq;
+      spec.leanvec_dim = st.value().primary_dim();
+      spec.bits1 = st.value().primary().level1().bits();
+      spec.bits2 = 0;
       return MakeStatic(std::move(st).value(), std::move(graph).value(),
                         std::move(spec), has_meta);
     }

@@ -33,8 +33,8 @@ RegistryState& Registry() {
     auto* s = new RegistryState();
     for (IndexKind kind :
          {IndexKind::kStaticF32, IndexKind::kStaticF16, IndexKind::kStaticLvq,
-          IndexKind::kSharded, IndexKind::kDynamicF32,
-          IndexKind::kDynamicLvq}) {
+          IndexKind::kSharded, IndexKind::kDynamicF32, IndexKind::kDynamicLvq,
+          IndexKind::kStaticLeanVec, IndexKind::kStaticLeanVecLvq}) {
       s->factories.emplace(KindName(kind), KindFactory(kind));
     }
     // Baselines, mapped onto the spec's shared fields. The paper relates

@@ -10,6 +10,8 @@ const char* KindName(IndexKind kind) {
     case IndexKind::kSharded: return "sharded";
     case IndexKind::kDynamicF32: return "dynamic-f32";
     case IndexKind::kDynamicLvq: return "dynamic-lvq";
+    case IndexKind::kStaticLeanVec: return "static-leanvec";
+    case IndexKind::kStaticLeanVecLvq: return "static-leanvec-lvq";
   }
   return "unknown";
 }
@@ -21,13 +23,15 @@ const char* LoadModeName(LoadMode mode) {
 Result<IndexKind> ParseIndexKind(const std::string& name) {
   for (IndexKind kind :
        {IndexKind::kStaticF32, IndexKind::kStaticF16, IndexKind::kStaticLvq,
-        IndexKind::kSharded, IndexKind::kDynamicF32, IndexKind::kDynamicLvq}) {
+        IndexKind::kSharded, IndexKind::kDynamicF32, IndexKind::kDynamicLvq,
+        IndexKind::kStaticLeanVec, IndexKind::kStaticLeanVecLvq}) {
     if (name == KindName(kind)) return kind;
   }
   return Status::InvalidArgument("unknown index kind '" + name +
                                  "' (expected static-f32, static-f16, "
-                                 "static-lvq, sharded, dynamic-f32 or "
-                                 "dynamic-lvq)");
+                                 "static-lvq, sharded, dynamic-f32, "
+                                 "dynamic-lvq, static-leanvec or "
+                                 "static-leanvec-lvq)");
 }
 
 bool IsDynamicKind(IndexKind kind) {
@@ -41,12 +45,26 @@ bool UsesLvq(IndexKind kind) {
          kind == IndexKind::kDynamicLvq;
 }
 
+bool IsLeanVecKind(IndexKind kind) {
+  return kind == IndexKind::kStaticLeanVec ||
+         kind == IndexKind::kStaticLeanVecLvq;
+}
+
 }  // namespace
+
+bool SpecHasReranker(const IndexSpec& spec) {
+  // One declarative rule mirroring each storage's has_second_level():
+  // LVQ flavors grow a secondary (residual) view iff bits2 > 0; LeanVec
+  // flavors always carry the full-dimension secondary their projection
+  // search depends on.
+  if (IsLeanVecKind(spec.kind)) return true;
+  return UsesLvq(spec.kind) && spec.bits2 > 0;
+}
 
 Capabilities SpecCapabilities(const IndexSpec& spec) {
   Capabilities caps = kCapSearch | kCapSave;
   if (spec.kind == IndexKind::kSharded) caps |= kCapShardProbe;
-  if (UsesLvq(spec.kind) && spec.bits2 > 0) caps |= kCapRerank;
+  if (SpecHasReranker(spec)) caps |= kCapRerank;
   if (IsDynamicKind(spec.kind)) {
     caps |= kCapInsert | kCapDelete | kCapConsolidate;
   }
@@ -79,6 +97,9 @@ Status IndexSpec::Validate() const {
     if (partition.num_shards == 0 || partition.num_shards > (1u << 16)) {
       return Status::InvalidArgument("num_shards must be in [1, 65536]");
     }
+  }
+  if (IsLeanVecKind(kind) && leanvec_dim > (1u << 20)) {
+    return Status::InvalidArgument("leanvec_dim out of range");
   }
   return Status::OK();
 }

@@ -22,12 +22,14 @@ namespace blink {
 
 /// Every index flavor the facade can build, save and reopen.
 enum class IndexKind {
-  kStaticF32,   ///< Vamana over float32 rows (the paper's "Vamana")
-  kStaticF16,   ///< Vamana over float16 rows (Table 4 baseline)
-  kStaticLvq,   ///< OG-LVQ: Vamana over LVQ-B / LVQ-B1xB2 (the system)
-  kSharded,     ///< partition-then-probe over per-shard OG-LVQ (D8)
-  kDynamicF32,  ///< mutable single-writer/multi-reader index, float32
-  kDynamicLvq,  ///< mutable index with insert-time LVQ encoding (D9)
+  kStaticF32,        ///< Vamana over float32 rows (the paper's "Vamana")
+  kStaticF16,        ///< Vamana over float16 rows (Table 4 baseline)
+  kStaticLvq,        ///< OG-LVQ: Vamana over LVQ-B / LVQ-B1xB2 (the system)
+  kSharded,          ///< partition-then-probe over per-shard OG-LVQ (D8)
+  kDynamicF32,       ///< mutable single-writer/multi-reader index, float32
+  kDynamicLvq,       ///< mutable index with insert-time LVQ encoding (D9)
+  kStaticLeanVec,    ///< learned d->d' projection primary, float32 both (D14)
+  kStaticLeanVecLvq, ///< projected LVQ-8 primary, full-dim LVQ-8 secondary
 };
 
 /// Stable lowercase name ("static-lvq", "sharded", ...); the registry and
@@ -74,6 +76,12 @@ struct IndexSpec {
   /// Build time; window_size == 0 selects 2R.
   VamanaBuildParams graph;
 
+  /// Reduced search dimension d' for the LeanVec kinds (D14): the primary
+  /// stores d'-dimensional projections of the data, the secondary keeps the
+  /// full d dimensions for re-ranking. 0 selects the default d/4 (floored
+  /// at 1) at Build time; artifacts record the resolved value.
+  size_t leanvec_dim = 0;
+
   /// Sharding (kSharded only).
   PartitionerParams partition;
 
@@ -97,11 +105,18 @@ struct IndexSpec {
 /// True for the kinds whose handle supports Insert/Delete/Consolidate.
 bool IsDynamicKind(IndexKind kind);
 
+/// True when the flavor described by `spec` carries a secondary view for
+/// the Reranker seam (graph/reranker.h): the declarative twin of the
+/// storages' has_second_level(). LVQ kinds re-rank iff bits2 > 0; the
+/// LeanVec kinds always re-rank (a projection without full-dimension
+/// re-scoring would cap recall at the projection's accuracy).
+bool SpecHasReranker(const IndexSpec& spec);
+
 /// The capability bitmask an Index built from `spec` reports: search + save
 /// for every facade kind, shard probing for kSharded, two-level re-ranking
-/// when bits2 > 0 on an LVQ kind, and the mutation trio for the dynamic
-/// kinds. The one definition shared by Build/Open (the handle's
-/// capabilities()) and Calibrate (which knobs are worth tuning).
+/// when SpecHasReranker() (the Reranker seam), and the mutation trio for
+/// the dynamic kinds. The one definition shared by Build/Open (the
+/// handle's capabilities()) and Calibrate (which knobs are worth tuning).
 Capabilities SpecCapabilities(const IndexSpec& spec);
 
 }  // namespace blink

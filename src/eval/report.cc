@@ -348,6 +348,8 @@ std::string BenchReportToJson(const BenchReport& report) {
     o.emplace("calibrated", f.calibrated);
     o.emplace("calibration_error", f.calibration_error);
     o.emplace("options", OptionsToJson(f.options));
+    o.emplace("rerank_window", static_cast<double>(f.rerank_window));
+    o.emplace("primary_dim", static_cast<double>(f.primary_dim));
     o.emplace("recall", f.recall);
     o.emplace("qps", f.qps);
     o.emplace("p50_us", f.p50_us);
@@ -401,6 +403,9 @@ Result<BenchReport> ParseBenchReport(const std::string& text) {
     if (const json::Value* o = fv.Find("options"); o != nullptr) {
       f.options = OptionsFromJson(*o);
     }
+    // Additive v1 keys: reports written before them parse with 0 here.
+    f.rerank_window = static_cast<uint32_t>(GetNum(fv, "rerank_window"));
+    f.primary_dim = static_cast<size_t>(GetNum(fv, "primary_dim"));
     f.recall = GetNum(fv, "recall");
     f.qps = GetNum(fv, "qps");
     f.p50_us = GetNum(fv, "p50_us");
@@ -458,6 +463,12 @@ BenchFlavorReport MeasureFlavor(const std::string& name, const Index& index,
     f.calibration_error = calibrated.status().ToString();
     f.options = SearchOptions{};  // measured anyway, at the defaults
   }
+  f.rerank_window = f.options.rerank_window;
+  // leanvec_dim is only resolved non-zero for the LeanVec kinds, where it
+  // is the dimensionality traversal actually pays; everything else searches
+  // the full d.
+  f.primary_dim =
+      index.spec().leanvec_dim > 0 ? index.spec().leanvec_dim : index.dim();
 
   // Batch throughput: best of `best_of` runs (the harness protocol). The
   // search is deterministic, so stats from the last rep stand for all.

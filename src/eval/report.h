@@ -17,9 +17,15 @@
 //       "calibration_error",     //          the options are the defaults
 //       "options": {"window", "nprobe_shards", "rerank", "rerank_window",
 //                   "nprobe", "reorder_k"},
+//       "rerank_window",         // effective re-rank depth (additive, v1)
+//       "primary_dim",           // traversal dimensionality: the LeanVec d'
+//                                // or the full d (additive, v1)
 //       "recall", "qps", "p50_us", "p99_us", "dists_per_query"
 //     }, ...]
 //   }
+// The two top-level flavor keys mirror what the trajectory needs to tell a
+// projection-width regression from a window regression; they are additive
+// to schema version 1, and absent keys parse as 0.
 // Numbers are always finite (non-finite measurements serialize as 0).
 #pragma once
 
@@ -111,6 +117,8 @@ struct BenchFlavorReport {
   bool calibrated = false;     ///< Calibrate met the target on this flavor
   std::string calibration_error;  ///< Status text when !calibrated
   SearchOptions options;       ///< calibrated (or fallback default) options
+  uint32_t rerank_window = 0;  ///< effective re-rank depth (options mirror)
+  size_t primary_dim = 0;      ///< traversal dim: LeanVec d', else the full d
   double recall = 0.0;         ///< measured with `options` on the eval split
   double qps = 0.0;            ///< batch mode, best of the configured reps
   double p50_us = 0.0;         ///< single-query latency percentiles

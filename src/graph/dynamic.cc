@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "graph/reranker.h"
+
 namespace blink {
 
 template <typename Storage>
@@ -346,37 +348,27 @@ void DynamicGraphIndex<Storage>::Search(const float* query, size_t k,
   CollectIntoScratch(query, w, scratch);
   out->distance_computations = scratch->distance_computations;
   out->hops = scratch->hops;
-  size_t m = scratch->buffer.size();
-  if (rerank && storage_.has_second_level() && rerank_window > 0) {
-    // Partial re-rank depth, over-provisioned by the navigable tombstone
-    // count like the window above (tombstoned candidates are filtered from
-    // results after re-ranking, so the depth must cover them too).
-    m = std::min<size_t>(m, std::max<size_t>(rerank_window, k) + tomb);
-  }
-  if (rerank && storage_.has_second_level() && m > 0) {
-    // Re-score every candidate at full two-level precision before the
-    // top-k selection (the gather + recompute of Sec. 3.2).
+  const bool use_rerank = rerank && storage_.has_second_level();
+  // Partial re-rank depth, over-provisioned by the navigable tombstone
+  // count like the window above (tombstoned candidates are filtered from
+  // results after re-ranking, so the depth must cover them too).
+  const size_t m = use_rerank
+                       ? RerankDepth(scratch->buffer.size(), k, rerank_window,
+                                     /*slack=*/tomb)
+                       : scratch->buffer.size();
+  if (use_rerank && m > 0) {
+    // Re-score every candidate in the depth through the shared Reranker
+    // seam (graph/reranker.h). The full depth is sorted (not just k) so
+    // the tombstone filter below can skim past any prefix of dead ids.
     scratch->decode.resize(dim_);
-    scratch->rerank.clear();
-    scratch->rerank.reserve(m);
-    for (size_t i = 0; i < m; ++i) {
-      storage_.PrefetchSecondLevel(scratch->buffer[i].id);
-    }
-    for (size_t i = 0; i < m; ++i) {
-      const uint32_t id = scratch->buffer[i].id;
-      scratch->rerank.push_back(
-          {storage_.FullDistance(scratch->query, id, scratch->decode.data()),
-           id});
-    }
+    RescoreCandidates(storage_, scratch->query, scratch->buffer, m,
+                      /*sorted_prefix=*/m, scratch->decode.data(),
+                      &scratch->rerank);
     out->distance_computations += m;
     scratch->distance_computations += m;
-    std::sort(scratch->rerank.begin(), scratch->rerank.end());
-    for (const auto& [dist, id] : scratch->rerank) {
-      if (IsDeleted(id)) continue;
-      out->ids.push_back(id);
-      out->dists.push_back(dist);
-      if (out->ids.size() == k) break;
-    }
+    EmitRescored(
+        scratch->rerank, k, [this](uint32_t id) { return IsDeleted(id); },
+        &out->ids, &out->dists);
   } else {
     for (size_t i = 0; i < m; ++i) {
       const uint32_t id = scratch->buffer[i].id;

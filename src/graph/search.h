@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/reranker.h"
 #include "graph/search_buffer.h"
 
 namespace blink {
@@ -151,36 +152,22 @@ class GreedySearcher {
   }
 
   /// Selects the k results. With a second level present and rerank enabled,
-  /// re-scores the top `rerank_window` candidates (all W when 0) with full
-  /// two-level precision first (the gather + recompute of Sec. 3.2). The
-  /// buffer is sorted by level-1 distance, so a partial depth re-ranks the
-  /// most promising prefix.
+  /// re-scores the top `rerank_window` candidates (all W when 0) through the
+  /// shared Reranker seam (graph/reranker.h) first. The buffer is sorted by
+  /// primary distance, so a partial depth re-ranks the most promising
+  /// prefix.
   void ExtractTopK(size_t k, const SearchParams& params, SearchResult* out) {
-    size_t m = buffer_.size();
-    if (params.rerank_window > 0) {
-      m = std::min<size_t>(m, std::max<size_t>(params.rerank_window, k));
-    }
+    const size_t m = RerankDepth(buffer_.size(), k, params.rerank_window);
     const size_t kk = std::min(k, m);
-    out->ids.resize(kk);
-    out->dists.resize(kk);
     if (params.rerank && storage_->has_second_level() && m > 0) {
-      rerank_.clear();
-      rerank_.reserve(m);
-      for (size_t i = 0; i < m; ++i) {
-        storage_->PrefetchSecondLevel(buffer_[i].id);
-      }
-      for (size_t i = 0; i < m; ++i) {
-        const uint32_t id = buffer_[i].id;
-        rerank_.push_back(
-            {storage_->FullDistance(query_state_, id, scratch_.data()), id});
-      }
-      std::partial_sort(rerank_.begin(), rerank_.begin() + kk, rerank_.end());
-      for (size_t i = 0; i < kk; ++i) {
-        out->dists[i] = rerank_[i].first;
-        out->ids[i] = rerank_[i].second;
-      }
+      RescoreCandidates(*storage_, query_state_, buffer_, m,
+                        /*sorted_prefix=*/kk, scratch_.data(), &rerank_);
+      EmitRescored(
+          rerank_, kk, [](uint32_t) { return false; }, &out->ids, &out->dists);
       return;
     }
+    out->ids.resize(kk);
+    out->dists.resize(kk);
     for (size_t i = 0; i < kk; ++i) {
       out->ids[i] = buffer_[i].id;
       out->dists[i] = buffer_[i].dist;

@@ -23,6 +23,7 @@ constexpr uint32_t kLvq2Magic = 0x32414C42u;   // "BLA2"
 constexpr uint32_t kF32Magic = 0x46414C42u;    // "BLAF"
 constexpr uint32_t kF16Magic = 0x48414C42u;    // "BLAH"
 constexpr uint32_t kDynMagic = 0x59444C42u;    // "BLDY"
+constexpr uint32_t kLeanVecMagic = 0x564C4C42u;  // "BLLV"
 constexpr uint32_t kVersion = 1;
 // Version 2 appends the IndexMeta block (graph) or the extended header
 // fields (dynamic); version-1 files remain loadable.
@@ -39,6 +40,10 @@ constexpr size_t kSectionAlign = 64;
 // Storage kind tags of the dynamic-index container.
 constexpr uint32_t kDynKindF32 = 0;
 constexpr uint32_t kDynKindLvq = 1;
+
+// Primary-encoding kind tags of the LeanVec ("BLLV") container.
+constexpr uint32_t kLeanVecKindF32 = 0;
+constexpr uint32_t kLeanVecKindLvq = 1;
 
 uint32_t MetricToWire(Metric m) {
   return m == Metric::kInnerProduct ? 1u : 0u;
@@ -304,6 +309,86 @@ Status MapRawVecs(const MmapFile& map, const std::string& path,
   return Status::OK();
 }
 
+// Reader-polymorphic shims so the LeanVec header/model parsing below is
+// written once for the FILE* and mapped paths (cf. the ReadPod shim).
+bool ReadBlock(FILE* f, void* out, size_t bytes) {
+  return ReadAll(f, out, bytes);
+}
+bool ReadBlock(ByteReader* r, void* out, size_t bytes) {
+  return r->ReadBytes(out, bytes);
+}
+bool AlignSection(FILE* f) { return SkipSectionPad(f); }
+bool AlignSection(ByteReader* r) { return r->Align(kSectionAlign); }
+uint64_t SectionRemaining(FILE* f) { return RemainingBytes(f); }
+uint64_t SectionRemaining(ByteReader* r) { return r->remaining(); }
+
+/// Header fields shared by the FILE* and mapped BLLV readers, validated
+/// identically in both. LeanVec postdates v3, so only aligned files exist.
+struct LeanVecHeader {
+  uint32_t version = 0, kind = 0;
+  uint64_t n = 0, d = 0, dp = 0;
+};
+
+template <typename Reader>
+Status ReadLeanVecHeader(Reader* r, LeanVecHeader* h,
+                         const std::string& path) {
+  uint32_t magic = 0;
+  if (!ReadPod(r, &magic) || magic != kLeanVecMagic) {
+    return Status::IOError(path + ": bad LeanVec magic");
+  }
+  if (!ReadPod(r, &h->version) || h->version != kVersionAligned) {
+    return Status::IOError(path + ": unsupported LeanVec version");
+  }
+  if (!ReadPod(r, &h->kind) || h->kind > kLeanVecKindLvq ||
+      !ReadPod(r, &h->n) || !ReadPod(r, &h->d) || !ReadPod(r, &h->dp) ||
+      h->d == 0 || h->d > (1u << 20) || h->dp == 0 || h->dp > h->d ||
+      h->n > (1ull << 40)) {
+    return Status::IOError(path + ": corrupt LeanVec header");
+  }
+  return Status::OK();
+}
+
+/// Reads the projection model (mean + d x d' matrix) following the header,
+/// leaving the cursor aligned at the primary section. The model is always
+/// copied — it is tiny and read on every query.
+template <typename Reader>
+Status ReadLeanVecModel(Reader* r, const LeanVecHeader& h,
+                        LeanVecModel* model, const std::string& path) {
+  // Bound the model allocation by what the stream can still hold (forged
+  // headers fail with a Status, not an OOM).
+  if ((h.d + h.d * h.dp) * sizeof(float) > SectionRemaining(r)) {
+    return Status::IOError(path + ": LeanVec header disagrees with file size");
+  }
+  model->mean.resize(h.d);
+  if (!ReadBlock(r, model->mean.data(), h.d * sizeof(float)) ||
+      !AlignSection(r)) {
+    return Status::IOError(path + ": truncated LeanVec mean");
+  }
+  model->proj = MatrixF(h.d, h.dp);
+  if (!ReadBlock(r, model->proj.data(), h.d * h.dp * sizeof(float)) ||
+      !AlignSection(r)) {
+    return Status::IOError(path + ": truncated LeanVec projection");
+  }
+  return Status::OK();
+}
+
+Status WriteLeanVecHeaderAndModel(FILE* f, uint32_t kind,
+                                  const LeanVecModel& model, uint64_t n,
+                                  const std::string& path) {
+  const uint64_t d = model.dim();
+  const uint64_t dp = model.reduced_dim();
+  if (!WritePod(f, kLeanVecMagic) || !WritePod(f, kVersionAligned) ||
+      !WritePod(f, kind) || !WritePod(f, n) || !WritePod(f, d) ||
+      !WritePod(f, dp) ||
+      !WriteAll(f, model.mean.data(), d * sizeof(float)) ||
+      !WriteSectionPad(f) ||
+      !WriteAll(f, model.proj.data(), d * dp * sizeof(float)) ||
+      !WriteSectionPad(f)) {
+    return Status::IOError(path + ": LeanVec model write failed");
+  }
+  return Status::OK();
+}
+
 /// IndexMeta block reader shared by the FILE* (LoadGraph) and ByteReader
 /// (MapGraph) paths — one set of validation bounds for both.
 template <typename Reader>
@@ -563,12 +648,121 @@ Result<F16Storage> LoadF16Vecs(const std::string& path, Metric metric,
                     metric, use_huge_pages);
 }
 
+Status SaveLeanVecVecs(const std::string& path,
+                       const LeanVecStorage& storage) {
+  binio::AtomicFile f(path);
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for writing");
+  const uint64_t n = storage.size();
+  BLINK_RETURN_NOT_OK(WriteLeanVecHeaderAndModel(f.get(), kLeanVecKindF32,
+                                                 storage.model(), n, path));
+  const FloatStorage& primary = storage.primary();
+  const FloatStorage& secondary = storage.secondary();
+  if (!WriteAll(f.get(), n > 0 ? primary.row(0) : nullptr,
+                n * primary.dim() * sizeof(float)) ||
+      !WriteSectionPad(f.get()) ||
+      !WriteAll(f.get(), n > 0 ? secondary.row(0) : nullptr,
+                n * secondary.dim() * sizeof(float))) {
+    return Status::IOError(path + ": LeanVec payload write failed");
+  }
+  return f.Commit();
+}
+
+Status SaveLeanVecVecs(const std::string& path,
+                       const LeanVecLvqStorage& storage) {
+  binio::AtomicFile f(path);
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for writing");
+  BLINK_RETURN_NOT_OK(WriteLeanVecHeaderAndModel(
+      f.get(), kLeanVecKindLvq, storage.model(), storage.size(), path));
+  // Each nested LVQ section carries its own v3 pad before its blob; the
+  // extra pad between them gives the secondary header an aligned offset
+  // (cf. SaveLvq2's residual section).
+  BLINK_RETURN_NOT_OK(SaveLvqTo(f.get(), storage.primary().level1(), path));
+  if (!WriteSectionPad(f.get())) {
+    return Status::IOError(path + ": section padding write failed");
+  }
+  BLINK_RETURN_NOT_OK(SaveLvqTo(f.get(), storage.secondary().level1(), path));
+  return f.Commit();
+}
+
+Result<LeanVecStorage> LoadLeanVecVecs(const std::string& path, Metric metric,
+                                       bool use_huge_pages) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  LeanVecHeader h;
+  BLINK_RETURN_NOT_OK(ReadLeanVecHeader(f.get(), &h, path));
+  if (h.kind != kLeanVecKindF32) {
+    return Status::InvalidArgument(path + ": not a float32 LeanVec payload");
+  }
+  LeanVecModel model;
+  BLINK_RETURN_NOT_OK(ReadLeanVecModel(f.get(), h, &model, path));
+  if (h.n * h.dp * sizeof(float) > RemainingBytes(f.get())) {
+    return Status::IOError(path + ": LeanVec header disagrees with file size");
+  }
+  std::vector<float> primary_rows(h.n * h.dp);
+  if (!ReadAll(f.get(), primary_rows.data(),
+               primary_rows.size() * sizeof(float)) ||
+      !SkipSectionPad(f.get())) {
+    return Status::IOError(path + ": truncated LeanVec primary rows");
+  }
+  if (h.n * h.d * sizeof(float) > RemainingBytes(f.get())) {
+    return Status::IOError(path + ": LeanVec header disagrees with file size");
+  }
+  std::vector<float> secondary_rows(h.n * h.d);
+  if (!ReadAll(f.get(), secondary_rows.data(),
+               secondary_rows.size() * sizeof(float))) {
+    return Status::IOError(path + ": truncated LeanVec secondary rows");
+  }
+  FloatStorage primary(MatrixViewF(primary_rows.data(), h.n, h.dp), metric,
+                       use_huge_pages);
+  FloatStorage secondary(MatrixViewF(secondary_rows.data(), h.n, h.d), metric,
+                         use_huge_pages);
+  return LeanVecStorage(std::move(model), std::move(primary),
+                        std::move(secondary));
+}
+
+Result<LeanVecLvqStorage> LoadLeanVecLvqVecs(const std::string& path,
+                                             Metric metric,
+                                             bool use_huge_pages) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  LeanVecHeader h;
+  BLINK_RETURN_NOT_OK(ReadLeanVecHeader(f.get(), &h, path));
+  if (h.kind != kLeanVecKindLvq) {
+    return Status::InvalidArgument(path + ": not an LVQ LeanVec payload");
+  }
+  LeanVecModel model;
+  BLINK_RETURN_NOT_OK(ReadLeanVecModel(f.get(), h, &model, path));
+  Result<LvqDataset> primary = LoadLvqFrom(f.get(), path, use_huge_pages);
+  if (!primary.ok()) return primary.status();
+  if (!SkipSectionPad(f.get())) {
+    return Status::IOError(path + ": truncated LeanVec section padding");
+  }
+  Result<LvqDataset> secondary = LoadLvqFrom(f.get(), path, use_huge_pages);
+  if (!secondary.ok()) return secondary.status();
+  if (primary.value().size() != h.n || primary.value().dim() != h.dp ||
+      secondary.value().size() != h.n || secondary.value().dim() != h.d) {
+    return Status::IOError(path + ": LeanVec sections disagree with header");
+  }
+  return LeanVecLvqStorage(std::move(model),
+                           LvqStorage(std::move(primary).value(), metric),
+                           LvqStorage(std::move(secondary).value(), metric));
+}
+
 Result<VecsEncoding> PeekVecsEncoding(const std::string& path) {
   File f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IOError("cannot open " + path);
   uint32_t magic = 0;
   if (!ReadPod(f.get(), &magic)) {
     return Status::IOError(path + ": truncated vecs file");
+  }
+  if (magic == kLeanVecMagic) {
+    uint32_t version = 0, kind = 0;
+    if (!ReadPod(f.get(), &version) || !ReadPod(f.get(), &kind) ||
+        kind > kLeanVecKindLvq) {
+      return Status::IOError(path + ": corrupt LeanVec header");
+    }
+    return kind == kLeanVecKindLvq ? VecsEncoding::kLeanVecLvq
+                                   : VecsEncoding::kLeanVecF32;
   }
   switch (magic) {
     case kLvqMagic: return VecsEncoding::kLvq1;
@@ -596,6 +790,7 @@ bool IsMappableArtifact(const std::string& path) {
     case kLvq2Magic:
     case kF32Magic:
     case kF16Magic:
+    case kLeanVecMagic:
       return version >= kVersionAligned;
     default:
       return false;
@@ -708,6 +903,59 @@ Result<F16Storage> MapF16Vecs(const MmapFile& map, const std::string& path,
       MapRawVecs(map, path, kF16Magic, sizeof(Float16), &n, &d, &rows));
   return F16Storage::FromExternal(reinterpret_cast<const Float16*>(rows), n,
                                   d, metric);
+}
+
+Result<LeanVecStorage> MapLeanVecVecs(const MmapFile& map,
+                                      const std::string& path,
+                                      Metric metric) {
+  ByteReader r(map.data(), map.size());
+  LeanVecHeader h;
+  BLINK_RETURN_NOT_OK(ReadLeanVecHeader(&r, &h, path));
+  if (h.kind != kLeanVecKindF32) {
+    return Status::InvalidArgument(path + ": not a float32 LeanVec payload");
+  }
+  LeanVecModel model;
+  BLINK_RETURN_NOT_OK(ReadLeanVecModel(&r, h, &model, path));
+  if (h.n * h.dp * sizeof(float) > r.remaining()) {
+    return Status::IOError(path + ": LeanVec header disagrees with file size");
+  }
+  const float* primary_rows = reinterpret_cast<const float*>(r.cursor());
+  if (!r.Advance(h.n * h.dp * sizeof(float)) || !r.Align(kSectionAlign) ||
+      h.n * h.d * sizeof(float) > r.remaining()) {
+    return Status::IOError(path + ": LeanVec header disagrees with file size");
+  }
+  const float* secondary_rows = reinterpret_cast<const float*>(r.cursor());
+  return LeanVecStorage(
+      std::move(model),
+      FloatStorage::FromExternal(primary_rows, h.n, h.dp, metric),
+      FloatStorage::FromExternal(secondary_rows, h.n, h.d, metric));
+}
+
+Result<LeanVecLvqStorage> MapLeanVecLvqVecs(const MmapFile& map,
+                                            const std::string& path,
+                                            Metric metric) {
+  ByteReader r(map.data(), map.size());
+  LeanVecHeader h;
+  BLINK_RETURN_NOT_OK(ReadLeanVecHeader(&r, &h, path));
+  if (h.kind != kLeanVecKindLvq) {
+    return Status::InvalidArgument(path + ": not an LVQ LeanVec payload");
+  }
+  LeanVecModel model;
+  BLINK_RETURN_NOT_OK(ReadLeanVecModel(&r, h, &model, path));
+  Result<LvqDataset> primary = MapLvqFrom(&r, path);
+  if (!primary.ok()) return primary.status();
+  if (!r.Align(kSectionAlign)) {
+    return Status::IOError(path + ": truncated LeanVec section padding");
+  }
+  Result<LvqDataset> secondary = MapLvqFrom(&r, path);
+  if (!secondary.ok()) return secondary.status();
+  if (primary.value().size() != h.n || primary.value().dim() != h.dp ||
+      secondary.value().size() != h.n || secondary.value().dim() != h.d) {
+    return Status::IOError(path + ": LeanVec sections disagree with header");
+  }
+  return LeanVecLvqStorage(std::move(model),
+                           LvqStorage(std::move(primary).value(), metric),
+                           LvqStorage(std::move(secondary).value(), metric));
 }
 
 // ---------------------------------------------------------------------------
@@ -1065,6 +1313,22 @@ Status SaveIndexBundle(const std::string& prefix,
 Status SaveIndexBundle(const std::string& prefix,
                        const VamanaIndex<F16Storage>& index) {
   BLINK_RETURN_NOT_OK(SaveF16Vecs(prefix + ".vecs", index.storage()));
+  const IndexMeta meta{index.storage().metric(), index.build_params()};
+  return SaveGraph(prefix + ".graph", index.graph(), index.entry_point(),
+                   &meta);
+}
+
+Status SaveIndexBundle(const std::string& prefix,
+                       const VamanaIndex<LeanVecStorage>& index) {
+  BLINK_RETURN_NOT_OK(SaveLeanVecVecs(prefix + ".vecs", index.storage()));
+  const IndexMeta meta{index.storage().metric(), index.build_params()};
+  return SaveGraph(prefix + ".graph", index.graph(), index.entry_point(),
+                   &meta);
+}
+
+Status SaveIndexBundle(const std::string& prefix,
+                       const VamanaIndex<LeanVecLvqStorage>& index) {
+  BLINK_RETURN_NOT_OK(SaveLeanVecVecs(prefix + ".vecs", index.storage()));
   const IndexMeta meta{index.storage().metric(), index.build_params()};
   return SaveGraph(prefix + ".graph", index.graph(), index.entry_point(),
                    &meta);

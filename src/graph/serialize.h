@@ -20,6 +20,12 @@
 //                        section (v1 reads kept).
 //         "BLAF"/"BLAH"  float32 / float16 payloads; v3 pads before the
 //                        row section likewise.
+//         "BLLV"         LeanVec two-level payload (v3 only): header
+//                        (kind tag, n, d, d'), the projection model
+//                        (mean + d x d' matrix), then the primary
+//                        (d'-dim) and secondary (full-dim) sections —
+//                        raw float32 rows (kind 0) or nested "BLAQ"
+//                        LVQ-8 sections (kind 1), each 64-byte aligned.
 //   dynamic "BLDY"   v1: header + rows + tombstones + free list + graph.
 //                    v2: header additionally carries metric/alpha/window.
 //                    (Always heap-loaded: the index is mutable.)
@@ -44,6 +50,7 @@
 #include "graph/graph.h"
 #include "graph/index.h"
 #include "graph/storage.h"
+#include "quant/leanvec.h"
 #include "quant/lvq.h"
 #include "util/mmap_file.h"
 #include "util/status.h"
@@ -96,9 +103,33 @@ Status SaveF16Vecs(const std::string& path, const F16Storage& storage);
 Result<F16Storage> LoadF16Vecs(const std::string& path, Metric metric,
                                bool use_huge_pages = true);
 
-/// The storage encoding of a `.vecs` file, sniffed from its magic — how
-/// Open() decides which static flavor to reconstruct.
-enum class VecsEncoding { kLvq1, kLvq2, kFloat32, kFloat16 };
+/// Saves a LeanVec two-level payload ("BLLV"): projection model plus the
+/// primary (reduced-dimension) and secondary (full-dimension) sections,
+/// tagged by primary encoding (float32 / LVQ-8). Always written v3.
+Status SaveLeanVecVecs(const std::string& path, const LeanVecStorage& storage);
+Status SaveLeanVecVecs(const std::string& path,
+                       const LeanVecLvqStorage& storage);
+
+/// Loads a "BLLV" payload saved with SaveLeanVecVecs. The loader checks
+/// that the file's kind tag matches the requested flavor; the embedded
+/// model's dimensions are validated against both payload sections.
+Result<LeanVecStorage> LoadLeanVecVecs(const std::string& path, Metric metric,
+                                       bool use_huge_pages = true);
+Result<LeanVecLvqStorage> LoadLeanVecLvqVecs(const std::string& path,
+                                             Metric metric,
+                                             bool use_huge_pages = true);
+
+/// The storage encoding of a `.vecs` file, sniffed from its magic (plus
+/// the kind tag for "BLLV") — how Open() decides which static flavor to
+/// reconstruct.
+enum class VecsEncoding {
+  kLvq1,
+  kLvq2,
+  kFloat32,
+  kFloat16,
+  kLeanVecF32,
+  kLeanVecLvq,
+};
 Result<VecsEncoding> PeekVecsEncoding(const std::string& path);
 
 // ---------------------------------------------------------------------------
@@ -141,6 +172,15 @@ Result<FloatStorage> MapFloatVecs(const MmapFile& map,
 Result<F16Storage> MapF16Vecs(const MmapFile& map, const std::string& path,
                               Metric metric);
 
+/// Maps a "BLLV" LeanVec payload. The small projection model is copied
+/// (it is read on every query); the primary and secondary row sections
+/// are served from the mapping in place.
+Result<LeanVecStorage> MapLeanVecVecs(const MmapFile& map,
+                                      const std::string& path, Metric metric);
+Result<LeanVecLvqStorage> MapLeanVecLvqVecs(const MmapFile& map,
+                                            const std::string& path,
+                                            Metric metric);
+
 /// Saves a complete static index as `<prefix>.graph` + `<prefix>.vecs`.
 /// The graph file embeds the metric and build params (version 2), so the
 /// bundle reloads without configuration.
@@ -150,6 +190,10 @@ Status SaveIndexBundle(const std::string& prefix,
                        const VamanaIndex<FloatStorage>& index);
 Status SaveIndexBundle(const std::string& prefix,
                        const VamanaIndex<F16Storage>& index);
+Status SaveIndexBundle(const std::string& prefix,
+                       const VamanaIndex<LeanVecStorage>& index);
+Status SaveIndexBundle(const std::string& prefix,
+                       const VamanaIndex<LeanVecLvqStorage>& index);
 
 /// Legacy name for the LVQ bundle save (now writes version 2).
 Status SaveOgLvqIndex(const std::string& prefix,

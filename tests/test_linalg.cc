@@ -78,6 +78,66 @@ TEST(JacobiSvd, LargerMatrixStillAccurate) {
   ExpectSvdReconstructs(a, svd, 5e-3);
 }
 
+// --- degenerate inputs ------------------------------------------------------
+// The LeanVec trainer (quant/leanvec.h) eigendecomposes sample covariances
+// that can be arbitrarily rank-deficient (duplicate rows, constant dims).
+// One-sided Jacobi builds V purely from rotations, so V must stay
+// orthonormal and finite even when singular values vanish; U is allowed
+// its zero columns (see the comment in linalg.cc).
+
+TEST(JacobiSvd, RankOneGramKeepsVOrthonormal) {
+  // Covariance of a sample whose rows all repeat: x x^T, rank 1.
+  const size_t n = 12;
+  std::vector<float> x(n);
+  Rng rng(11);
+  for (auto& v : x) v = rng.Gaussian();
+  MatrixF a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = x[i] * x[j];
+  }
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_LT(OrthogonalityDefect(svd.v), 1e-3);
+  size_t significant = 0;
+  for (float s : svd.s) {
+    ASSERT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, 0.0f);
+    if (s > 1e-3f) ++significant;
+  }
+  EXPECT_EQ(significant, 1u);
+  for (size_t i = 0; i < svd.v.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(svd.v.data()[i])) << "V index " << i;
+  }
+}
+
+TEST(JacobiSvd, ZeroBlockKeepsVOrthonormal) {
+  // Covariance with constant dims: leading 4x4 block exactly zero.
+  const size_t n = 10;
+  MatrixF c(8, n);
+  Rng rng(12);
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < n; ++j) c(i, j) = j < 4 ? 0.0f : rng.Gaussian();
+  }
+  MatrixF a = GramProduct(c, c);
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_LT(OrthogonalityDefect(svd.v), 1e-3);
+  for (float s : svd.s) {
+    ASSERT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, 0.0f);
+  }
+  ExpectSvdReconstructs(a, svd, 1e-2);
+}
+
+TEST(JacobiSvd, AllZeroMatrixIsHandled) {
+  MatrixF a(6, 6);
+  SvdResult svd = JacobiSvd(a);
+  for (float s : svd.s) EXPECT_EQ(s, 0.0f);
+  // No rotation ever fires, so V is exactly the identity.
+  EXPECT_LT(OrthogonalityDefect(svd.v), 1e-6);
+  for (size_t i = 0; i < svd.u.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(svd.u.data()[i]));
+  }
+}
+
 TEST(GramProduct, MatchesNaive) {
   Rng rng(5);
   MatrixF a(7, 4), b(7, 3);

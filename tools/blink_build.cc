@@ -5,10 +5,13 @@
 // Usage:
 //   blink_build <base.fvecs> <out_prefix> [options]
 //     --kind K              static-lvq (default) | static-f32 | static-f16 |
-//                           sharded | dynamic-f32 | dynamic-lvq
+//                           static-leanvec | static-leanvec-lvq | sharded |
+//                           dynamic-f32 | dynamic-lvq
 //     --metric l2|ip        similarity (default l2)
 //     --bits1 B             level-1 LVQ bits (default 8)
 //     --bits2 B             level-2 residual bits, 0 = one-level (default 0)
+//     --leanvec-dim D       reduced search dimension d' for the leanvec
+//                           kinds, 0 = d/4 (default 0)
 //     --R N                 graph max out-degree (default 32)
 //     --window N            build window W (default 2R)
 //     --alpha F             pruning relaxation (default 1.2 l2 / 0.95 ip)
@@ -31,8 +34,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <base.fvecs> <out_prefix> [--kind K] "
-               "[--metric l2|ip] [--bits1 B] [--bits2 B] [--R N] "
-               "[--window N] [--alpha F]\n"
+               "[--metric l2|ip] [--bits1 B] [--bits2 B] [--leanvec-dim D] "
+               "[--R N] [--window N] [--alpha F]\n"
                "       [--shards S] [--partition kmeans|rr]\n",
                argv0);
   return 2;
@@ -72,6 +75,9 @@ int main(int argc, char** argv) {
     } else if (flag == "--bits2") {
       if (!tools::ParseIntFlag(flag, val, 0, 16, &iv)) return 1;  // 0 = one-level
       spec.bits2 = static_cast<int>(iv);
+    } else if (flag == "--leanvec-dim") {
+      if (!tools::ParseIntFlag(flag, val, 0, 1 << 20, &iv)) return 1;  // 0 = d/4
+      spec.leanvec_dim = static_cast<size_t>(iv);
     } else if (flag == "--R") {
       if (!tools::ParseIntFlag(flag, val, 1, 4096, &iv)) return 1;
       spec.graph.graph_max_degree = static_cast<uint32_t>(iv);
