@@ -6,6 +6,7 @@
 
 #include "api/calibrate.h"
 
+#include "filter/serialize.h"
 #include "graph/index.h"
 #include "graph/serialize.h"
 #include "quant/leanvec.h"
@@ -42,10 +43,32 @@ class IndexImpl {
   virtual Status Consolidate() {
     return Status::Unsupported(search().name() + " is immutable");
   }
+  virtual Status AttachMetadata(std::shared_ptr<const MetadataStore> /*md*/) {
+    return Status::Unsupported(search().name() +
+                               " does not support per-vector metadata");
+  }
+  virtual const MetadataStore* metadata() const { return nullptr; }
+  virtual Status UpsertMetadata(uint32_t /*id*/, uint64_t /*tags*/,
+                                const double* /*values*/,
+                                size_t /*num_values*/) {
+    return Status::Unsupported(search().name() +
+                               " does not support metadata upsert");
+  }
 
   const IndexSpec& spec() const { return spec_; }
   Capabilities capabilities() const { return caps_; }
   bool self_described() const { return self_described_; }
+
+ protected:
+  /// kCapFilter is not a spec capability: it tracks whether metadata is
+  /// currently attached. Flavors toggle it from AttachMetadata.
+  void SetFilterCap(bool on) {
+    if (on) {
+      caps_ |= kCapFilter;
+    } else {
+      caps_ &= ~kCapFilter;
+    }
+  }
 
  private:
   IndexSpec spec_;
@@ -54,6 +77,21 @@ class IndexImpl {
 };
 
 namespace {
+
+/// Writes the `.meta` sidecar next to a saved artifact, or removes a
+/// stale one when the index has no metadata attached — Open() probes the
+/// sidecar path, so a leftover from an earlier save must not resurrect.
+/// `n_rows` caps the rows written (dynamic stores are sized to capacity);
+/// 0 means every row.
+Status SaveMetadataSidecar(const std::string& meta_path,
+                           const MetadataStore* md, size_t n_rows = 0) {
+  if (md == nullptr) {
+    std::error_code ec;
+    std::filesystem::remove(meta_path, ec);
+    return Status::OK();
+  }
+  return SaveMetadata(meta_path, *md, n_rows == 0 ? md->size() : n_rows);
+}
 
 /// Static flavors: a VamanaIndex over Float/F16/Lvq storage, saved as a
 /// self-describing <prefix>.{graph,vecs} bundle. In map mode the flavor
@@ -73,8 +111,16 @@ class StaticFlavor : public IndexImpl {
   const SearchIndex& search() const override { return *index_; }
 
   Status Save(const std::string& path) const override {
-    return SaveIndexBundle(path, *index_);
+    BLINK_RETURN_NOT_OK(SaveIndexBundle(path, *index_));
+    return SaveMetadataSidecar(path + ".meta", index_->metadata());
   }
+
+  Status AttachMetadata(std::shared_ptr<const MetadataStore> md) override {
+    BLINK_RETURN_NOT_OK(index_->AttachMetadata(std::move(md)));
+    SetFilterCap(index_->metadata() != nullptr);
+    return Status::OK();
+  }
+  const MetadataStore* metadata() const override { return index_->metadata(); }
 
  private:
   std::vector<MmapFile> mappings_;
@@ -91,8 +137,17 @@ class ShardedFlavor : public IndexImpl {
   const SearchIndex& search() const override { return *index_; }
 
   Status Save(const std::string& path) const override {
-    return SaveShardedIndex(path, *index_);
+    BLINK_RETURN_NOT_OK(SaveShardedIndex(path, *index_));
+    return SaveMetadataSidecar(path + "/metadata.meta", index_->metadata());
   }
+
+  Status AttachMetadata(std::shared_ptr<const MetadataStore> md) override {
+    const bool attach = md != nullptr;
+    BLINK_RETURN_NOT_OK(index_->AttachMetadata(std::move(md)));
+    SetFilterCap(attach);
+    return Status::OK();
+  }
+  const MetadataStore* metadata() const override { return index_->metadata(); }
 
  private:
   std::unique_ptr<ShardedIndex> index_;
@@ -112,7 +167,12 @@ class DynamicFlavor : public IndexImpl {
   const SearchIndex& search() const override { return view_; }
 
   Status Save(const std::string& path) const override {
-    return SaveDynamic(path, *index_);
+    BLINK_RETURN_NOT_OK(SaveDynamic(path, *index_));
+    // Slot ids 0..size()-1 persist through Save/Open verbatim (tombstones
+    // included), so only those rows go into the sidecar — the store itself
+    // is sized to capacity.
+    return SaveMetadataSidecar(path + ".meta", index_->metadata(),
+                               index_->size());
   }
   Result<uint32_t> Insert(const float* vec) override {
     return index_->Insert(vec);
@@ -121,6 +181,24 @@ class DynamicFlavor : public IndexImpl {
   Status Consolidate() override {
     index_->ConsolidateDeletes();
     return Status::OK();
+  }
+  Status AttachMetadata(std::shared_ptr<const MetadataStore> md) override {
+    if (md == nullptr) {
+      BLINK_RETURN_NOT_OK(index_->AttachMetadata(nullptr));
+      SetFilterCap(false);
+      return Status::OK();
+    }
+    // The dynamic store is upserted in place; attach an owned copy so a
+    // shared (or mapped) input is never mutated behind the caller's back.
+    BLINK_RETURN_NOT_OK(index_->AttachMetadata(
+        std::make_shared<MetadataStore>(md->OwnedCopy())));
+    SetFilterCap(true);
+    return Status::OK();
+  }
+  const MetadataStore* metadata() const override { return index_->metadata(); }
+  Status UpsertMetadata(uint32_t id, uint64_t tags, const double* values,
+                        size_t num_values) override {
+    return index_->UpsertMetadata(id, tags, values, num_values);
   }
 
  private:
@@ -219,6 +297,15 @@ Status Index::Save(const std::string& path) const { return impl_->Save(path); }
 Result<uint32_t> Index::Insert(const float* vec) { return impl_->Insert(vec); }
 Status Index::Delete(uint32_t id) { return impl_->Delete(id); }
 Status Index::Consolidate() { return impl_->Consolidate(); }
+
+Status Index::AttachMetadata(std::shared_ptr<const MetadataStore> metadata) {
+  return impl_->AttachMetadata(std::move(metadata));
+}
+const MetadataStore* Index::metadata() const { return impl_->metadata(); }
+Status Index::UpsertMetadata(uint32_t id, uint64_t tags, const double* values,
+                             size_t num_values) {
+  return impl_->UpsertMetadata(id, tags, values, num_values);
+}
 
 Result<std::unique_ptr<ServingEngine>> Index::Serve(
     const ServingOptions& options) const {
@@ -325,6 +412,18 @@ Index WrapSearchIndex(std::unique_ptr<SearchIndex> index,
 
 namespace {
 
+/// Loads a heap-backed metadata sidecar when one exists at `meta_path`;
+/// a missing sidecar is not an error (null store, filterless artifact).
+Result<std::shared_ptr<const MetadataStore>> LoadSidecar(
+    const std::string& meta_path) {
+  if (!IsMetadataFile(meta_path)) {
+    return std::shared_ptr<const MetadataStore>();
+  }
+  Result<MetadataStore> md = LoadMetadata(meta_path);
+  if (!md.ok()) return md.status();
+  return std::make_shared<const MetadataStore>(std::move(md).value());
+}
+
 Result<Index> OpenSharded(const std::string& path, const OpenOptions& opts) {
   bool self_described = false;
   auto idx = LoadShardedIndex(path, opts.fallback_metric, opts.fallback_graph,
@@ -337,9 +436,18 @@ Result<Index> OpenSharded(const std::string& path, const OpenOptions& opts) {
   spec.bits2 = idx.value()->bits2();
   spec.graph = idx.value()->build_params();
   spec.partition.num_shards = idx.value()->num_shards();
-  const Capabilities caps = SpecCapabilities(spec);
-  return Index(std::make_unique<detail::ShardedFlavor>(
-      std::move(idx).value(), std::move(spec), caps, self_described));
+  Capabilities caps = SpecCapabilities(spec);
+  // The sidecar always heap-loads here (even under kMap): attaching
+  // slices it into per-shard owned copies anyway.
+  auto md = LoadSidecar(path + "/metadata.meta");
+  if (!md.ok()) return md.status();
+  if (md.value() != nullptr) {
+    BLINK_RETURN_NOT_OK(idx.value()->AttachMetadata(std::move(md).value()));
+    caps |= kCapFilter;
+  }
+  auto flavor = std::make_unique<detail::ShardedFlavor>(
+      std::move(idx).value(), std::move(spec), caps, self_described);
+  return Index(std::move(flavor));
 }
 
 Result<Index> OpenDynamic(const std::string& path, const OpenOptions& opts) {
@@ -351,13 +459,25 @@ Result<Index> OpenDynamic(const std::string& path, const OpenOptions& opts) {
   dopts.build_window = opts.fallback_graph.window_size;
   dopts.initial_capacity = opts.dynamic_initial_capacity;
   bool self_described = false;
+  // Dynamic metadata is owned and mutable; the sidecar heap-loads and the
+  // index resizes it up to capacity on attach.
+  auto md = LoadSidecar(path + ".meta");
+  if (!md.ok()) return md.status();
+  auto owned_md = [&]() -> std::shared_ptr<MetadataStore> {
+    if (md.value() == nullptr) return nullptr;
+    return std::make_shared<MetadataStore>(md.value()->OwnedCopy());
+  };
   if (kind.value() == DynamicKind::kF32) {
     auto idx = LoadDynamicF32(path, dopts, &self_described);
     if (!idx.ok()) return idx.status();
     IndexSpec spec =
         detail::DynamicSpecOf(*idx.value(), IndexKind::kDynamicF32);
     spec.dynamic.initial_capacity = opts.dynamic_initial_capacity;
-    const Capabilities caps = SpecCapabilities(spec);
+    Capabilities caps = SpecCapabilities(spec);
+    if (auto store = owned_md(); store != nullptr) {
+      BLINK_RETURN_NOT_OK(idx.value()->AttachMetadata(std::move(store)));
+      caps |= kCapFilter;
+    }
     return Index(std::make_unique<detail::DynamicFlavor<DynamicFloatStorage>>(
         std::move(idx).value(), std::move(spec), caps, self_described));
   }
@@ -367,7 +487,11 @@ Result<Index> OpenDynamic(const std::string& path, const OpenOptions& opts) {
   spec.dynamic.initial_capacity = opts.dynamic_initial_capacity;
   spec.bits1 = idx.value()->storage().dataset().bits1();
   spec.bits2 = idx.value()->storage().dataset().bits2();
-  const Capabilities caps = SpecCapabilities(spec);
+  Capabilities caps = SpecCapabilities(spec);
+  if (auto store = owned_md(); store != nullptr) {
+    BLINK_RETURN_NOT_OK(idx.value()->AttachMetadata(std::move(store)));
+    caps |= kCapFilter;
+  }
   return Index(std::make_unique<detail::DynamicFlavor<DynamicLvqStorage>>(
       std::move(idx).value(), std::move(spec), caps, self_described));
 }
@@ -375,11 +499,16 @@ Result<Index> OpenDynamic(const std::string& path, const OpenOptions& opts) {
 template <typename Storage>
 Result<Index> MakeStatic(Storage storage, BuiltGraph graph, IndexSpec spec,
                          bool self_described,
-                         std::vector<MmapFile> mappings = {}) {
+                         std::vector<MmapFile> mappings = {},
+                         std::shared_ptr<const MetadataStore> metadata = {}) {
   spec.graph.graph_max_degree = graph.graph.max_degree();
   auto idx = std::make_unique<VamanaIndex<Storage>>(
       std::move(storage), std::move(graph), spec.graph);
-  const Capabilities caps = SpecCapabilities(spec);
+  Capabilities caps = SpecCapabilities(spec);
+  if (metadata != nullptr) {
+    BLINK_RETURN_NOT_OK(idx->AttachMetadata(std::move(metadata)));
+    caps |= kCapFilter;
+  }
   return Index(std::make_unique<detail::StaticFlavor<Storage>>(
       std::move(idx), std::move(spec), caps, self_described,
       std::move(mappings)));
@@ -413,7 +542,20 @@ Result<Index> OpenStaticMapped(const std::string& prefix,
   std::vector<MmapFile> mappings;
   mappings.push_back(std::move(gmap).value());
   mappings.push_back(std::move(vmap).value());
-  const MmapFile& vm = mappings.back();
+
+  // The metadata sidecar maps too: the store's column pointers alias the
+  // mapping, which the flavor keeps alive alongside graph and vectors.
+  std::shared_ptr<const MetadataStore> metadata;
+  const std::string meta_path = prefix + ".meta";
+  if (IsMetadataFile(meta_path)) {
+    Result<MmapFile> mmeta = MmapFile::Map(meta_path, mopts);
+    if (!mmeta.ok()) return mmeta.status();
+    Result<MetadataStore> md = MapMetadata(mmeta.value());
+    if (!md.ok()) return md.status();
+    metadata = std::make_shared<const MetadataStore>(std::move(md).value());
+    mappings.push_back(std::move(mmeta).value());
+  }
+  const MmapFile& vm = mappings[1];
 
   Result<VecsEncoding> enc = PeekVecsEncoding(vecs_path);
   if (!enc.ok()) return enc.status();
@@ -426,7 +568,7 @@ Result<Index> OpenStaticMapped(const std::string& prefix,
       spec.bits2 = 0;
       return MakeStatic(LvqStorage(std::move(ds).value(), spec.metric),
                         std::move(graph).value(), std::move(spec), has_meta,
-                        std::move(mappings));
+                        std::move(mappings), metadata);
     }
     case VecsEncoding::kLvq2: {
       auto ds = MapLvq2(vm, vecs_path);
@@ -436,21 +578,21 @@ Result<Index> OpenStaticMapped(const std::string& prefix,
       spec.bits2 = ds.value().bits2();
       return MakeStatic(LvqStorage(std::move(ds).value(), spec.metric),
                         std::move(graph).value(), std::move(spec), has_meta,
-                        std::move(mappings));
+                        std::move(mappings), metadata);
     }
     case VecsEncoding::kFloat32: {
       auto st = MapFloatVecs(vm, vecs_path, spec.metric);
       if (!st.ok()) return st.status();
       spec.kind = IndexKind::kStaticF32;
       return MakeStatic(std::move(st).value(), std::move(graph).value(),
-                        std::move(spec), has_meta, std::move(mappings));
+                        std::move(spec), has_meta, std::move(mappings), metadata);
     }
     case VecsEncoding::kFloat16: {
       auto st = MapF16Vecs(vm, vecs_path, spec.metric);
       if (!st.ok()) return st.status();
       spec.kind = IndexKind::kStaticF16;
       return MakeStatic(std::move(st).value(), std::move(graph).value(),
-                        std::move(spec), has_meta, std::move(mappings));
+                        std::move(spec), has_meta, std::move(mappings), metadata);
     }
     case VecsEncoding::kLeanVecF32: {
       auto st = MapLeanVecVecs(vm, vecs_path, spec.metric);
@@ -458,7 +600,7 @@ Result<Index> OpenStaticMapped(const std::string& prefix,
       spec.kind = IndexKind::kStaticLeanVec;
       spec.leanvec_dim = st.value().primary_dim();
       return MakeStatic(std::move(st).value(), std::move(graph).value(),
-                        std::move(spec), has_meta, std::move(mappings));
+                        std::move(spec), has_meta, std::move(mappings), metadata);
     }
     case VecsEncoding::kLeanVecLvq: {
       auto st = MapLeanVecLvqVecs(vm, vecs_path, spec.metric);
@@ -468,7 +610,7 @@ Result<Index> OpenStaticMapped(const std::string& prefix,
       spec.bits1 = st.value().primary().level1().bits();
       spec.bits2 = 0;
       return MakeStatic(std::move(st).value(), std::move(graph).value(),
-                        std::move(spec), has_meta, std::move(mappings));
+                        std::move(spec), has_meta, std::move(mappings), metadata);
     }
   }
   return Status::Internal(vecs_path + ": unhandled vecs encoding");
@@ -491,6 +633,10 @@ Result<Index> OpenStatic(const std::string& prefix, const OpenOptions& opts) {
   spec.metric = has_meta ? meta.metric : opts.fallback_metric;
   spec.graph = has_meta ? meta.params : opts.fallback_graph;
 
+  auto sidecar = LoadSidecar(prefix + ".meta");
+  if (!sidecar.ok()) return sidecar.status();
+  std::shared_ptr<const MetadataStore> metadata = std::move(sidecar).value();
+
   const std::string vecs = prefix + ".vecs";
   Result<VecsEncoding> enc = PeekVecsEncoding(vecs);
   if (!enc.ok()) return enc.status();
@@ -502,7 +648,7 @@ Result<Index> OpenStatic(const std::string& prefix, const OpenOptions& opts) {
       spec.bits1 = ds.value().bits();
       spec.bits2 = 0;
       return MakeStatic(LvqStorage(std::move(ds).value(), spec.metric),
-                        std::move(graph).value(), std::move(spec), has_meta);
+                        std::move(graph).value(), std::move(spec), has_meta, {}, metadata);
     }
     case VecsEncoding::kLvq2: {
       auto ds = LoadLvq2(vecs, opts.use_huge_pages);
@@ -511,21 +657,21 @@ Result<Index> OpenStatic(const std::string& prefix, const OpenOptions& opts) {
       spec.bits1 = ds.value().bits1();
       spec.bits2 = ds.value().bits2();
       return MakeStatic(LvqStorage(std::move(ds).value(), spec.metric),
-                        std::move(graph).value(), std::move(spec), has_meta);
+                        std::move(graph).value(), std::move(spec), has_meta, {}, metadata);
     }
     case VecsEncoding::kFloat32: {
       auto st = LoadFloatVecs(vecs, spec.metric, opts.use_huge_pages);
       if (!st.ok()) return st.status();
       spec.kind = IndexKind::kStaticF32;
       return MakeStatic(std::move(st).value(), std::move(graph).value(),
-                        std::move(spec), has_meta);
+                        std::move(spec), has_meta, {}, metadata);
     }
     case VecsEncoding::kFloat16: {
       auto st = LoadF16Vecs(vecs, spec.metric, opts.use_huge_pages);
       if (!st.ok()) return st.status();
       spec.kind = IndexKind::kStaticF16;
       return MakeStatic(std::move(st).value(), std::move(graph).value(),
-                        std::move(spec), has_meta);
+                        std::move(spec), has_meta, {}, metadata);
     }
     case VecsEncoding::kLeanVecF32: {
       auto st = LoadLeanVecVecs(vecs, spec.metric, opts.use_huge_pages);
@@ -533,7 +679,7 @@ Result<Index> OpenStatic(const std::string& prefix, const OpenOptions& opts) {
       spec.kind = IndexKind::kStaticLeanVec;
       spec.leanvec_dim = st.value().primary_dim();
       return MakeStatic(std::move(st).value(), std::move(graph).value(),
-                        std::move(spec), has_meta);
+                        std::move(spec), has_meta, {}, metadata);
     }
     case VecsEncoding::kLeanVecLvq: {
       auto st = LoadLeanVecLvqVecs(vecs, spec.metric, opts.use_huge_pages);
@@ -543,7 +689,7 @@ Result<Index> OpenStatic(const std::string& prefix, const OpenOptions& opts) {
       spec.bits1 = st.value().primary().level1().bits();
       spec.bits2 = 0;
       return MakeStatic(std::move(st).value(), std::move(graph).value(),
-                        std::move(spec), has_meta);
+                        std::move(spec), has_meta, {}, metadata);
     }
   }
   return Status::Internal(vecs + ": unhandled vecs encoding");

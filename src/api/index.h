@@ -28,6 +28,7 @@
 
 #include "api/spec.h"
 #include "eval/interface.h"
+#include "filter/metadata.h"
 #include "serve/engine.h"
 #include "util/status.h"
 
@@ -104,6 +105,24 @@ class Index {
   Result<uint32_t> Insert(const float* vec);
   Status Delete(uint32_t id);
   Status Consolidate();
+
+  // --- per-vector metadata (filtered search; DESIGN.md D15) ----------------
+  /// Attaches a metadata store keyed by vector id: row i describes vector
+  /// i, and the store must cover every id the index holds. On success the
+  /// handle gains kCapFilter and SearchOptions::filter becomes usable;
+  /// Save() then writes the store as a `.meta` sidecar that Open()
+  /// re-attaches. Null detaches and clears the capability. Dynamic flavors
+  /// take an owned copy (rows are upserted in place); Unsupported for
+  /// baseline-wrapped indices.
+  Status AttachMetadata(std::shared_ptr<const MetadataStore> metadata);
+  /// The attached store, or null when none. For sharded indices this is
+  /// the global-id store (each shard holds a local-id slice).
+  const MetadataStore* metadata() const;
+  /// Dynamic flavors only: overwrites vector `id`'s metadata row — the tag
+  /// bitmask plus the first `num_values` numeric columns (remaining
+  /// columns keep their values). Unsupported elsewhere.
+  Status UpsertMetadata(uint32_t id, uint64_t tags, const double* values,
+                        size_t num_values);
 
   // --- serving -------------------------------------------------------------
   /// Stands up a ServingEngine over this index (searcher pool + async

@@ -67,4 +67,44 @@ Matrix<uint32_t> ComputeGroundTruth(MatrixViewF base, MatrixViewF queries,
   return gt;
 }
 
+Matrix<uint32_t> ComputeFilteredGroundTruth(MatrixViewF base,
+                                            MatrixViewF queries, size_t k,
+                                            Metric metric,
+                                            const MetadataStore& md,
+                                            const Predicate& pred,
+                                            ThreadPool* pool) {
+  const size_t n = base.rows, nq = queries.rows, d = base.cols;
+  std::vector<uint32_t> keep;
+  for (size_t i = 0; i < n; ++i) {
+    if (MatchesPredicate(md, pred, static_cast<uint32_t>(i))) {
+      keep.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  Matrix<uint32_t> gt(nq, k);
+  const auto l2 = simd::GetL2F32(d);
+  const auto ip = simd::GetIpF32(d);
+
+  auto one_query = [&](size_t qi) {
+    TopK top(k);
+    const float* q = queries.row(qi);
+    for (uint32_t i : keep) {
+      const float dist = metric == Metric::kL2 ? l2(q, base.row(i), d)
+                                               : ip(q, base.row(i), d);
+      top.Offer(dist, i);
+    }
+    auto sorted = top.Sorted();
+    uint32_t* row = gt.row(qi);
+    for (size_t j = 0; j < k; ++j) {
+      row[j] = j < sorted.size() ? sorted[j].second : UINT32_MAX;
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(nq, one_query);
+  } else {
+    for (size_t qi = 0; qi < nq; ++qi) one_query(qi);
+  }
+  return gt;
+}
+
 }  // namespace blink

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "filter/metadata.h"
 #include "graph/storage.h"
 #include "util/matrix.h"
 #include "util/thread_pool.h"
@@ -15,6 +16,17 @@ namespace blink {
 Matrix<uint32_t> ComputeGroundTruth(MatrixViewF base, MatrixViewF queries,
                                     size_t k, Metric metric,
                                     ThreadPool* pool = nullptr);
+
+/// Exact top-k restricted to base rows matching `pred` against `md` — the
+/// reference every filtered-search recall number is scored against. Rows
+/// beyond the match count pad with UINT32_MAX (fewer than k rows may
+/// match a selective predicate).
+Matrix<uint32_t> ComputeFilteredGroundTruth(MatrixViewF base,
+                                            MatrixViewF queries, size_t k,
+                                            Metric metric,
+                                            const MetadataStore& md,
+                                            const Predicate& pred,
+                                            ThreadPool* pool = nullptr);
 
 /// Decodes an entire compressed dataset (anything with size()/dim()/
 /// Decode(i, out)) into a float matrix. Used by the exhaustive-search-over-

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "filter/predicate.h"
 #include "util/matrix.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -28,6 +29,8 @@ enum : uint32_t {
   kCapConsolidate = 1u << 4,  ///< Consolidate()
   kCapShardProbe = 1u << 5,   ///< honors SearchOptions::nprobe_shards
   kCapRerank = 1u << 6,       ///< two-level re-ranking (honors rerank knobs)
+  kCapFilter = 1u << 7,       ///< metadata attached; honors SearchOptions
+                              ///< filter fields (src/filter/, DESIGN.md D15)
 };
 using Capabilities = uint32_t;
 
@@ -52,6 +55,21 @@ struct SearchOptions {
   /// ignored when `rerank` is false or the storage has no second level.
   uint32_t rerank_window = 0;
 
+  /// Metadata predicate restricting results (null = unfiltered). Held by
+  /// shared_ptr so the options struct stays cheaply copyable through the
+  /// serving queue. Indices without kCapFilter fail *closed* on a filtered
+  /// query (all-padded rows) — validate with ValidateFor at boundaries so
+  /// that misconfiguration surfaces as a Status instead.
+  std::shared_ptr<const Predicate> filter;
+  /// Execution strategy for a filtered query; kAuto picks post-filter vs
+  /// in-search push-down by estimated selectivity (DESIGN.md D15).
+  FilterStrategy filter_strategy = FilterStrategy::kAuto;
+  /// Adaptive widening cap for filtered searches: the window grows
+  /// geometrically until k survivors are found or it reaches this cap.
+  /// 0 = auto (the index size, clamped to 2^20). Explicit values are
+  /// floored at max(window, k) by ResolvedFor.
+  uint32_t filter_widen_cap = 0;
+
   /// OK iff every knob is inside its representable range. Search paths do
   /// not validate (they clamp); call this at configuration boundaries (CLI
   /// parsing, calibration, serving setup).
@@ -70,6 +88,32 @@ struct SearchOptions {
     if (nprobe == 0) {
       return Status::InvalidArgument("SearchOptions::nprobe must be >= 1");
     }
+    if (filter != nullptr) {
+      if (filter_widen_cap != 0 && filter_widen_cap < window) {
+        return Status::InvalidArgument(
+            "SearchOptions::filter_widen_cap (" +
+            std::to_string(filter_widen_cap) + ") below the window floor (" +
+            std::to_string(window) + ")");
+      }
+      if (filter_widen_cap > (1u << 20)) {
+        return Status::InvalidArgument(
+            "SearchOptions::filter_widen_cap out of range (> 2^20)");
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Validate() plus capability checks that cannot be neutralized silently:
+  /// a filter on an index without kCapFilter would otherwise fail closed
+  /// (all-padded rows), so it is rejected here as Unsupported. Use at every
+  /// boundary where the target index's capabilities are known.
+  Status ValidateFor(Capabilities caps) const {
+    BLINK_RETURN_NOT_OK(Validate());
+    if (filter != nullptr && (caps & kCapFilter) == 0) {
+      return Status::Unsupported(
+          "SearchOptions::filter set but the index has no metadata "
+          "attached (kCapFilter)");
+    }
     return Status::OK();
   }
 
@@ -87,6 +131,12 @@ struct SearchOptions {
     } else if (r.rerank_window != 0) {
       r.rerank_window = std::clamp<uint32_t>(
           r.rerank_window, static_cast<uint32_t>(k), r.window);
+    }
+    // The filter itself is never dropped here: silently returning
+    // unfiltered neighbors would violate the predicate contract. Flavors
+    // without kCapFilter fail closed; ValidateFor rejects earlier.
+    if (r.filter != nullptr && r.filter_widen_cap != 0) {
+      r.filter_widen_cap = std::max(r.filter_widen_cap, r.window);
     }
     return r;
   }

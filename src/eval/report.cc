@@ -464,6 +464,16 @@ BenchFlavorReport MeasureFlavor(const std::string& name, const Index& index,
     f.options = SearchOptions{};  // measured anyway, at the defaults
   }
   f.rerank_window = f.options.rerank_window;
+  if (config.filter != nullptr) {
+    f.options.filter = config.filter;
+    f.options.filter_strategy = config.filter_strategy;
+    if (config.filtered_groundtruth != nullptr) {
+      for (size_t i = 0; i < ne; ++i) {
+        std::copy_n(config.filtered_groundtruth->row(eval_lo + i),
+                    config.filtered_groundtruth->cols(), gt_eval.row(i));
+      }
+    }
+  }
   // leanvec_dim is only resolved non-zero for the LeanVec kinds, where it
   // is the dimensionality traversal actually pays; everything else searches
   // the full d.

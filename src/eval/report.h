@@ -152,6 +152,14 @@ struct BenchRunConfig {
   uint32_t max_window = 1024;  ///< calibration search bound
   int best_of = 3;             ///< QPS reps (the harness' best-of protocol)
   ThreadPool* pool = nullptr;  ///< batch parallelism (latency path ignores it)
+  /// When set, the measured search carries this predicate (the index must
+  /// have metadata attached) and recall is scored against
+  /// `filtered_groundtruth` instead of the calibration ground truth.
+  /// Calibration itself stays unfiltered: it tunes the base window the
+  /// filtered plan widens from.
+  std::shared_ptr<const Predicate> filter;
+  FilterStrategy filter_strategy = FilterStrategy::kAuto;
+  const Matrix<uint32_t>* filtered_groundtruth = nullptr;
 };
 
 /// Calibrates `index` on the first half of `queries` (the held-out sample),

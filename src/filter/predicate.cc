@@ -1,0 +1,238 @@
+#include "filter/predicate.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace blink {
+
+namespace {
+
+// Strict whole-token unsigned parse (ParseUintListFlag contract): digits
+// only, value in [0, max]. Returns false on any deviation.
+bool ParseU64Token(const char* s, const char* end, uint64_t max,
+                   uint64_t* out) {
+  if (s == end) return false;
+  uint64_t v = 0;
+  for (const char* p = s; p != end; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (v > (max - digit) / 10) return false;  // overflow past max
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+// Parses "b0,b1,..." (bits in [0,63]) into a mask. Same no-leniency rules
+// as ParseUintListFlag: no empty elements, no trailing comma.
+bool ParseBitList(const char* s, const char* end, uint64_t* mask) {
+  if (s == end) return false;
+  *mask = 0;
+  const char* tok = s;
+  for (const char* p = s;; ++p) {
+    if (p == end || *p == ',') {
+      uint64_t bit = 0;
+      if (!ParseU64Token(tok, p, 63, &bit)) return false;
+      *mask |= uint64_t{1} << bit;
+      if (p == end) return true;
+      tok = p + 1;
+      if (tok == end) return false;  // trailing comma
+    }
+  }
+}
+
+// Strict whole-token double parse: strtod must consume exactly [s, end)
+// and produce a finite value.
+bool ParseDoubleToken(const char* s, const char* end, double* out) {
+  if (s == end) return false;
+  std::string tok(s, end);  // strtod needs NUL termination
+  errno = 0;
+  char* stop = nullptr;
+  const double v = std::strtod(tok.c_str(), &stop);
+  if (stop != tok.c_str() + tok.size() || errno == ERANGE || !std::isfinite(v))
+    return false;
+  *out = v;
+  return true;
+}
+
+Status BadClause(const char* what, const char* clause_begin,
+                 const char* clause_end) {
+  std::string msg = "filter: ";
+  msg += what;
+  msg += " in clause '";
+  msg.append(clause_begin, clause_end);
+  msg += "'";
+  return Status::InvalidArgument(std::move(msg));
+}
+
+// Parses one clause [s, end) into *out. The clause is already known to be
+// non-empty and space-free.
+Status ParseClause(const char* s, const char* end, Predicate* out) {
+  if (std::strncmp(s, "tag:", 4) == 0 && end - s > 4) {
+    const char* body = s + 4;
+    uint64_t* mask = nullptr;
+    if (std::strncmp(body, "any=", 4) == 0) {
+      mask = &out->tag_any;
+      body += 4;
+    } else if (std::strncmp(body, "all=", 4) == 0) {
+      mask = &out->tag_all;
+      body += 4;
+    } else if (std::strncmp(body, "none=", 5) == 0) {
+      mask = &out->tag_none;
+      body += 5;
+    } else {
+      return BadClause("unknown tag constraint (want any/all/none)", s, end);
+    }
+    uint64_t bits = 0;
+    if (!ParseBitList(body, end, &bits))
+      return BadClause("bad tag bit list (want digits 0..63, comma-separated)",
+                       s, end);
+    *mask |= bits;
+    return Status::OK();
+  }
+  if (std::strncmp(s, "num", 3) == 0) {
+    const char* p = s + 3;
+    const char* col_end = p;
+    while (col_end != end && *col_end >= '0' && *col_end <= '9') ++col_end;
+    uint64_t col = 0;
+    if (!ParseU64Token(p, col_end, std::numeric_limits<uint32_t>::max(), &col))
+      return BadClause("bad column index", s, end);
+    p = col_end;
+    // Operator: <, <=, >, >=, =
+    if (p == end) return BadClause("missing comparison operator", s, end);
+    Predicate::Range r;
+    r.column = static_cast<uint32_t>(col);
+    const char op = *p++;
+    bool le_ge = false;
+    if ((op == '<' || op == '>') && p != end && *p == '=') {
+      le_ge = true;
+      ++p;
+    }
+    double v = 0.0;
+    if (!ParseDoubleToken(p, end, &v))
+      return BadClause("bad numeric value", s, end);
+    switch (op) {
+      case '<':
+        r.hi = v;
+        r.hi_strict = !le_ge;
+        break;
+      case '>':
+        r.lo = v;
+        r.lo_strict = !le_ge;
+        break;
+      case '=':
+        r.lo = r.hi = v;
+        break;
+      default:
+        return BadClause("unknown comparison operator", s, end);
+    }
+    out->ranges.push_back(r);
+    return Status::OK();
+  }
+  return BadClause("unknown clause (want tag:... or num<col><op><value>)", s,
+                   end);
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  *out += buf;
+}
+
+void AppendBitList(std::string* out, const char* kind, uint64_t mask) {
+  *out += kind;
+  bool first = true;
+  for (int b = 0; b < 64; ++b) {
+    if ((mask >> b) & 1) {
+      if (!first) *out += ',';
+      *out += std::to_string(b);
+      first = false;
+    }
+  }
+}
+
+}  // namespace
+
+Status Predicate::ValidateFor(size_t num_columns) const {
+  for (const Range& r : ranges) {
+    if (r.column >= num_columns) {
+      std::string msg = "filter: range references column ";
+      msg += std::to_string(r.column);
+      msg += " but the metadata store has ";
+      msg += std::to_string(num_columns);
+      msg += " numeric column(s)";
+      return Status::InvalidArgument(std::move(msg));
+    }
+    if (std::isnan(r.lo) || std::isnan(r.hi))
+      return Status::InvalidArgument("filter: NaN range bound");
+    if (r.lo > r.hi || (r.lo == r.hi && (r.lo_strict || r.hi_strict)))
+      return Status::InvalidArgument("filter: empty numeric range");
+  }
+  return Status::OK();
+}
+
+Result<Predicate> Predicate::Parse(const std::string& text) {
+  Predicate p;
+  const char* s = text.c_str();
+  const char* end = s + text.size();
+  if (s == end) return Status::InvalidArgument("filter: empty predicate");
+  const char* clause = s;
+  for (const char* q = s;; ++q) {
+    if (q == end || *q == ' ') {
+      if (q == clause)
+        return Status::InvalidArgument(
+            "filter: empty clause (stray or doubled space)");
+      BLINK_RETURN_NOT_OK(ParseClause(clause, q, &p));
+      if (q == end) break;
+      clause = q + 1;
+      if (clause == end)
+        return Status::InvalidArgument("filter: trailing space");
+    }
+  }
+  return p;
+}
+
+std::string Predicate::ToString() const {
+  if (Trivial()) return "<match-all>";
+  std::string out;
+  auto sep = [&out] {
+    if (!out.empty()) out += ' ';
+  };
+  if (tag_any) {
+    sep();
+    AppendBitList(&out, "tag:any=", tag_any);
+  }
+  if (tag_all) {
+    sep();
+    AppendBitList(&out, "tag:all=", tag_all);
+  }
+  if (tag_none) {
+    sep();
+    AppendBitList(&out, "tag:none=", tag_none);
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const Range& r : ranges) {
+    if (r.lo == r.hi && !r.lo_strict && !r.hi_strict) {
+      sep();
+      out += "num" + std::to_string(r.column) + "=";
+      AppendDouble(&out, r.lo);
+      continue;
+    }
+    if (r.lo != -inf) {
+      sep();
+      out += "num" + std::to_string(r.column) + (r.lo_strict ? ">" : ">=");
+      AppendDouble(&out, r.lo);
+    }
+    if (r.hi != inf) {
+      sep();
+      out += "num" + std::to_string(r.column) + (r.hi_strict ? "<" : "<=");
+      AppendDouble(&out, r.hi);
+    }
+  }
+  return out;
+}
+
+}  // namespace blink

@@ -1,0 +1,166 @@
+#include "filter/serialize.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/binio.h"
+
+namespace blink {
+
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x444D4C42;  // "BLMD" little-endian
+constexpr uint32_t kMetaVersion = 3;         // aligned/mmap-clean, like v3
+constexpr size_t kSectionAlign = 64;
+
+// Pads the write cursor (tracked by the caller) up to the next 64-byte
+// boundary with zero bytes.
+bool WritePad(FILE* f, uint64_t* offset) {
+  const uint64_t misalign = *offset % kSectionAlign;
+  if (misalign == 0) return true;
+  const uint8_t zeros[kSectionAlign] = {};
+  const size_t pad = kSectionAlign - misalign;
+  if (!binio::WriteAll(f, zeros, pad)) return false;
+  *offset += pad;
+  return true;
+}
+
+// Bounds-checked cursor over an in-memory image (the mmap path). The
+// equivalent reader in graph/serialize.cc is file-local, so the metadata
+// sidecar carries its own.
+struct Cursor {
+  const uint8_t* base;
+  size_t size;
+  size_t pos = 0;
+
+  template <typename T>
+  bool Read(T* out) {
+    if (size - pos < sizeof(T)) return false;
+    std::memcpy(out, base + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+  bool Align() {
+    const size_t aligned = (pos + kSectionAlign - 1) & ~(kSectionAlign - 1);
+    if (aligned > size) return false;
+    pos = aligned;
+    return true;
+  }
+  // A 64-byte-aligned run of `bytes`, or nullptr if out of bounds.
+  const uint8_t* Section(size_t bytes) {
+    if (!Align() || size - pos < bytes) return nullptr;
+    const uint8_t* p = base + pos;
+    pos += bytes;
+    return p;
+  }
+};
+
+struct MetaHeader {
+  uint64_t n = 0;
+  std::vector<ColumnType> types;
+};
+
+// Parses the fixed header through a Cursor; shared by both load modes.
+Status ReadHeader(Cursor* c, MetaHeader* out) {
+  uint32_t magic = 0, version = 0, num_cols = 0, reserved = 0;
+  if (!c->Read(&magic) || magic != kMetaMagic)
+    return Status::InvalidArgument("metadata: bad magic (not a BLMD file)");
+  if (!c->Read(&version) || version != kMetaVersion)
+    return Status::InvalidArgument("metadata: unsupported format version");
+  if (!c->Read(&out->n) || !c->Read(&num_cols) || !c->Read(&reserved))
+    return Status::InvalidArgument("metadata: truncated header");
+  if (num_cols > 4096)
+    return Status::InvalidArgument("metadata: implausible column count");
+  out->types.resize(num_cols);
+  for (uint32_t i = 0; i < num_cols; ++i) {
+    uint8_t t = 0;
+    if (!c->Read(&t)) return Status::InvalidArgument("metadata: truncated header");
+    if (t > static_cast<uint8_t>(ColumnType::kF64))
+      return Status::InvalidArgument("metadata: unknown column type");
+    out->types[i] = static_cast<ColumnType>(t);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveMetadata(const std::string& path, const MetadataStore& store,
+                    size_t n_rows) {
+  const uint64_t n = std::min(n_rows, store.size());
+  binio::AtomicFile out(path);
+  if (!out.ok()) return Status::IOError("metadata: cannot open " + path);
+  FILE* f = out.get();
+  uint64_t offset = 0;
+  bool ok = true;
+  auto write_pod = [&](const auto& v) {
+    offset += sizeof(v);
+    return binio::WritePod(f, v);
+  };
+  ok = ok && write_pod(kMetaMagic);
+  ok = ok && write_pod(kMetaVersion);
+  ok = ok && write_pod(n);
+  ok = ok && write_pod(static_cast<uint32_t>(store.num_columns()));
+  ok = ok && write_pod(uint32_t{0});  // reserved
+  for (size_t c = 0; ok && c < store.num_columns(); ++c)
+    ok = write_pod(static_cast<uint8_t>(store.column_type(c)));
+  ok = ok && WritePad(f, &offset);
+  const size_t run = n * sizeof(uint64_t);
+  ok = ok && binio::WriteAll(f, store.tags_data(), run);
+  offset += run;
+  for (size_t c = 0; ok && c < store.num_columns(); ++c) {
+    ok = WritePad(f, &offset) && binio::WriteAll(f, store.column_data(c), run);
+    offset += run;
+  }
+  if (!ok) return Status::IOError("metadata: short write to " + path);
+  return out.Commit();
+}
+
+Result<MetadataStore> LoadMetadata(const std::string& path) {
+  // Heap mode reuses the mmap parser on a transient private mapping; the
+  // Slice at the end copies every cell into owned storage.
+  auto map = MmapFile::Map(path);
+  BLINK_RETURN_NOT_OK(map.status());
+  auto view = MapMetadata(map.value());
+  BLINK_RETURN_NOT_OK(view.status());
+  const MetadataStore& v = view.value();
+  std::vector<uint32_t> all(v.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  return v.Slice(all);
+}
+
+Result<MetadataStore> MapMetadata(const MmapFile& map) {
+  Cursor c{map.data(), map.size()};
+  MetaHeader h;
+  BLINK_RETURN_NOT_OK(ReadHeader(&c, &h));
+  if (h.n > (uint64_t{1} << 32))
+    return Status::InvalidArgument("metadata: implausible row count");
+  const size_t run = static_cast<size_t>(h.n) * sizeof(uint64_t);
+  const uint8_t* tags = c.Section(run);
+  if (tags == nullptr)
+    return Status::InvalidArgument("metadata: truncated tags section");
+  std::vector<const uint64_t*> cols(h.types.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const uint8_t* col = c.Section(run);
+    if (col == nullptr)
+      return Status::InvalidArgument("metadata: truncated column section");
+    cols[i] = reinterpret_cast<const uint64_t*>(col);
+  }
+  if (c.pos != c.size)
+    return Status::InvalidArgument("metadata: trailing bytes after sections");
+  return MetadataStore::FromExternal(static_cast<size_t>(h.n),
+                                     std::move(h.types),
+                                     reinterpret_cast<const uint64_t*>(tags),
+                                     std::move(cols));
+}
+
+bool IsMetadataFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  uint32_t magic = 0;
+  const bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1;
+  std::fclose(f);
+  return ok && magic == kMetaMagic;
+}
+
+}  // namespace blink

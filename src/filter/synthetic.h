@@ -1,0 +1,80 @@
+// Deterministic synthetic per-vector metadata (DESIGN.md D15).
+//
+// blink_build, the filtered-recall tests and bench/filtered_selectivity
+// all need metadata with *known, tunable* selectivity, and they need to
+// agree on it exactly (an artifact built by the tool must answer the same
+// filtered queries the bench issues). One generator, seeded and pure:
+//
+//  - tag bit b (0..63) is set iff the low b bits of a per-id hash are
+//    zero, so bits nest (bit 3 set => bits 0..2 set) and `tag:any=b`
+//    selects a ~2^-b fraction of the rows: b=1 ~50%, b=3 ~12.5%,
+//    b=7 ~0.8%, b=10 ~0.1%. Bit 0 is always set.
+//  - an f64 column cell is uniform in [0, 1), so `num<c><s` selects a ~s
+//    fraction directly (the precise knob the selectivity sweeps use).
+//  - an i64 column cell is uniform in [0, 1000).
+//
+// Everything derives from SplitMix64 over (seed, id, column) — stable
+// across platforms, no libc rand.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "filter/metadata.h"
+
+namespace blink {
+
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The tag bitmask for row `id`: bit b set iff hash's low b bits are zero.
+inline uint64_t SyntheticTags(uint64_t seed, uint64_t id) {
+  const uint64_t h = SplitMix64(seed ^ (id * 0x9e3779b97f4a7c15ull));
+  uint64_t tags = 0;
+  for (uint32_t b = 0; b < 64; ++b) {
+    const uint64_t mask = b == 63 ? (~0ull >> 1) : ((1ull << b) - 1);
+    if ((h & mask) != 0) break;  // bits nest; the first miss ends the run
+    tags |= 1ull << b;
+  }
+  return tags;
+}
+
+/// Uniform double in [0, 1) for (seed, id, column).
+inline double SyntheticF64(uint64_t seed, uint64_t id, uint64_t column) {
+  const uint64_t h =
+      SplitMix64(seed ^ (id * 0x9e3779b97f4a7c15ull) ^ ((column + 1) << 32));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Uniform integer in [0, 1000) for (seed, id, column).
+inline int64_t SyntheticI64(uint64_t seed, uint64_t id, uint64_t column) {
+  const uint64_t h =
+      SplitMix64(seed ^ (id * 0x6a09e667f3bcc909ull) ^ ((column + 1) << 32));
+  return static_cast<int64_t>(h % 1000);
+}
+
+/// An owned store of `n` rows with the given numeric columns, every cell
+/// filled by the generators above.
+inline MetadataStore MakeSyntheticMetadata(size_t n,
+                                           std::vector<ColumnType> types,
+                                           uint64_t seed) {
+  MetadataStore store(n, std::move(types));
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t id = static_cast<uint32_t>(i);
+    store.set_tags(id, SyntheticTags(seed, i));
+    for (size_t c = 0; c < store.num_columns(); ++c) {
+      if (store.column_type(c) == ColumnType::kF64) {
+        store.SetNumeric(c, id, SyntheticF64(seed, i, c));
+      } else {
+        store.SetNumericI64(c, id, SyntheticI64(seed, i, c));
+      }
+    }
+  }
+  return store;
+}
+
+}  // namespace blink

@@ -31,6 +31,7 @@ void DynamicGraphIndex<Storage>::Grow(size_t min_capacity) {
   EpochGuard::ExclusiveLock lock(&epoch_);
   storage_.Grow(new_cap);
   deleted_.resize(new_cap, 0);
+  if (metadata_ != nullptr) metadata_->Resize(new_cap);
   FlatGraph bigger(new_cap, opts_.graph_max_degree, /*use_huge_pages=*/false);
   const size_t n = n_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < n; ++i) {
@@ -86,8 +87,14 @@ void DynamicGraphIndex<Storage>::CollectCandidates(
 // writer; the caller must hold an epoch ReadLock.
 template <typename Storage>
 void DynamicGraphIndex<Storage>::CollectIntoScratch(
-    const float* query, uint32_t window, SearchScratch* scratch) const {
+    const float* query, uint32_t window, SearchScratch* scratch,
+    const FilterView* filter, bool push_down) const {
+  // In-search push-down (DESIGN.md D15): a second sorted buffer collects
+  // predicate-passing candidates while the traversal buffer still routes
+  // through failing ones. Tombstones are handled later, at extraction.
+  const bool push = filter != nullptr && push_down;
   scratch->buffer.Reset(window);
+  if (push) scratch->passing.Reset(window);
   scratch->distance_computations = 0;
   scratch->hops = 0;
   // Acquire pairs with the entry-point release store: observing an id here
@@ -104,7 +111,9 @@ void DynamicGraphIndex<Storage>::CollectIntoScratch(
   scratch->neighbors.resize(graph_.max_degree());
   uint32_t* nbrs = scratch->neighbors.data();
 
-  scratch->buffer.Insert(storage_.Distance(scratch->query, ep), ep);
+  const float d0 = storage_.Distance(scratch->query, ep);
+  scratch->buffer.Insert(d0, ep);
+  if (push && filter->Pass(ep)) scratch->passing.Insert(d0, ep);
   scratch->visited.CheckAndMark(ep);
   ++scratch->distance_computations;
   long idx;
@@ -116,7 +125,9 @@ void DynamicGraphIndex<Storage>::CollectIntoScratch(
     for (uint32_t t = 0; t < deg; ++t) {
       const uint32_t cand = nbrs[t];
       if (!scratch->visited.CheckAndMark(cand)) continue;
-      scratch->buffer.Insert(storage_.Distance(scratch->query, cand), cand);
+      const float d = storage_.Distance(scratch->query, cand);
+      scratch->buffer.Insert(d, cand);
+      if (push && filter->Pass(cand)) scratch->passing.Insert(d, cand);
       ++scratch->distance_computations;
     }
   }
@@ -176,6 +187,10 @@ uint32_t DynamicGraphIndex<Storage>::Insert(const float* vec) {
   // covers the entry-point path, and FlatGraph's release row stores cover
   // the edge paths.
   storage_.Set(id, vec);
+  // A recycled slot must not inherit the previous occupant's metadata:
+  // clear the row before the liveness flip publishes the id. (Fresh slots
+  // are already zero from Resize; clearing is idempotent.)
+  if (metadata_ != nullptr) metadata_->ClearRow(id);
   if (recycled) {
     SetDeleted(id, kLive);  // was kPurged since the consolidation
     num_deleted_.fetch_sub(1, std::memory_order_release);
@@ -327,10 +342,56 @@ void DynamicGraphIndex<Storage>::ConsolidateDeletes() {
 }
 
 template <typename Storage>
+template <typename Buf>
+void DynamicGraphIndex<Storage>::ExtractResults(const Buf& buf, size_t k,
+                                                bool rerank,
+                                                uint32_t rerank_window,
+                                                size_t tomb, SearchResult* out,
+                                                SearchScratch* scratch) const {
+  out->ids.clear();
+  out->dists.clear();
+  const bool use_rerank = rerank && storage_.has_second_level();
+  // Partial re-rank depth, over-provisioned by the navigable tombstone
+  // count like the window (tombstoned candidates are filtered from
+  // results after re-ranking, so the depth must cover them too).
+  const size_t m = use_rerank
+                       ? RerankDepth(buf.size(), k, rerank_window,
+                                     /*slack=*/tomb)
+                       : buf.size();
+  if (use_rerank && m > 0) {
+    // Re-score every candidate in the depth through the shared Reranker
+    // seam (graph/reranker.h). The full depth is sorted (not just k) so
+    // the tombstone filter below can skim past any prefix of dead ids.
+    // On the filtered paths `buf` holds only predicate-surviving
+    // candidates, so failing vectors never cost a FullDistance gather.
+    scratch->decode.resize(dim_);
+    RescoreCandidates(storage_, scratch->query, buf, m,
+                      /*sorted_prefix=*/m, scratch->decode.data(),
+                      &scratch->rerank);
+    out->distance_computations += m;
+    scratch->distance_computations += m;
+    EmitRescored(
+        scratch->rerank, k, [this](uint32_t id) { return IsDeleted(id); },
+        &out->ids, &out->dists);
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      const uint32_t id = buf[i].id;
+      if (IsDeleted(id)) continue;
+      out->ids.push_back(id);
+      out->dists.push_back(buf[i].dist);
+      if (out->ids.size() == k) break;
+    }
+  }
+}
+
+template <typename Storage>
 void DynamicGraphIndex<Storage>::Search(const float* query, size_t k,
                                         uint32_t window, SearchResult* out,
                                         SearchScratch* scratch, bool rerank,
-                                        uint32_t rerank_window) const {
+                                        uint32_t rerank_window,
+                                        const FilterView* filter,
+                                        bool push_down,
+                                        uint32_t widen_cap) const {
   out->ids.clear();
   out->dists.clear();
   out->distance_computations = 0;
@@ -342,41 +403,39 @@ void DynamicGraphIndex<Storage>::Search(const float* query, size_t k,
   // k live results even when k are reachable. Purged slots are unreachable
   // and do not count; ConsolidateDeletes therefore resets the slack.
   const size_t tomb = num_tombstones_.load(std::memory_order_relaxed);
-  const size_t want = std::max<size_t>(window, k + tomb);
-  const uint32_t w = static_cast<uint32_t>(
-      std::min<size_t>(want, std::numeric_limits<uint32_t>::max()));
-  CollectIntoScratch(query, w, scratch);
-  out->distance_computations = scratch->distance_computations;
-  out->hops = scratch->hops;
-  const bool use_rerank = rerank && storage_.has_second_level();
-  // Partial re-rank depth, over-provisioned by the navigable tombstone
-  // count like the window above (tombstoned candidates are filtered from
-  // results after re-ranking, so the depth must cover them too).
-  const size_t m = use_rerank
-                       ? RerankDepth(scratch->buffer.size(), k, rerank_window,
-                                     /*slack=*/tomb)
-                       : scratch->buffer.size();
-  if (use_rerank && m > 0) {
-    // Re-score every candidate in the depth through the shared Reranker
-    // seam (graph/reranker.h). The full depth is sorted (not just k) so
-    // the tombstone filter below can skim past any prefix of dead ids.
-    scratch->decode.resize(dim_);
-    RescoreCandidates(storage_, scratch->query, scratch->buffer, m,
-                      /*sorted_prefix=*/m, scratch->decode.data(),
-                      &scratch->rerank);
-    out->distance_computations += m;
-    scratch->distance_computations += m;
-    EmitRescored(
-        scratch->rerank, k, [this](uint32_t id) { return IsDeleted(id); },
-        &out->ids, &out->dists);
-  } else {
-    for (size_t i = 0; i < m; ++i) {
-      const uint32_t id = scratch->buffer[i].id;
-      if (IsDeleted(id)) continue;
-      out->ids.push_back(id);
-      out->dists.push_back(scratch->buffer[i].dist);
-      if (out->ids.size() == k) break;
+  auto run_one = [&](uint32_t base_window, SearchResult* res) {
+    const size_t want = std::max<size_t>(base_window, k + tomb);
+    const uint32_t w = static_cast<uint32_t>(
+        std::min<size_t>(want, std::numeric_limits<uint32_t>::max()));
+    CollectIntoScratch(query, w, scratch, filter, push_down);
+    res->distance_computations = scratch->distance_computations;
+    res->hops = scratch->hops;
+    if (filter == nullptr) {
+      ExtractResults(scratch->buffer, k, rerank, rerank_window, tomb, res,
+                     scratch);
+      return;
     }
+    // Filtered extraction pool: the passing buffer (push-down) or the
+    // predicate-surviving prefix of the traversal buffer (post-filter).
+    scratch->survivors.clear();
+    if (push_down) {
+      for (size_t i = 0; i < scratch->passing.size(); ++i) {
+        scratch->survivors.push_back(scratch->passing[i]);
+      }
+    } else {
+      for (size_t i = 0; i < scratch->buffer.size(); ++i) {
+        if (filter->Pass(scratch->buffer[i].id)) {
+          scratch->survivors.push_back(scratch->buffer[i]);
+        }
+      }
+    }
+    ExtractResults(scratch->survivors, k, rerank, rerank_window, tomb, res,
+                   scratch);
+  };
+  if (filter == nullptr) {
+    run_one(window, out);
+  } else {
+    RunWidened(k, window, std::max(widen_cap, window), run_one, out);
   }
   // Contract (eval/interface.h): exactly k entries on every path, invalid
   // slots padded with kInvalidId / +inf — including the empty-index case.
@@ -386,10 +445,71 @@ void DynamicGraphIndex<Storage>::Search(const float* query, size_t k,
 
 template <typename Storage>
 void DynamicGraphIndex<Storage>::Search(const float* query, size_t k,
+                                        uint32_t window, SearchResult* out,
+                                        SearchScratch* scratch, bool rerank,
+                                        uint32_t rerank_window) const {
+  Search(query, k, window, out, scratch, rerank, rerank_window,
+         /*filter=*/nullptr, /*push_down=*/false, /*widen_cap=*/0);
+}
+
+template <typename Storage>
+void DynamicGraphIndex<Storage>::Search(const float* query, size_t k,
                                         uint32_t window,
                                         SearchResult* out) const {
   SearchScratch scratch;
   Search(query, k, window, out, &scratch);
+}
+
+template <typename Storage>
+Status DynamicGraphIndex<Storage>::AttachMetadata(
+    std::shared_ptr<MetadataStore> md) {
+  std::lock_guard<std::mutex> writer(write_mu_);
+  if (md == nullptr) {
+    EpochGuard::ExclusiveLock lock(&epoch_);
+    metadata_ = nullptr;
+    return Status::OK();
+  }
+  if (md->external()) {
+    return Status::InvalidArgument(
+        "dynamic metadata must be an owned store (mapped stores are "
+        "read-only)");
+  }
+  const size_t n = n_.load(std::memory_order_relaxed);
+  if (md->size() < n) {
+    return Status::InvalidArgument(
+        "metadata store has " + std::to_string(md->size()) +
+        " rows but the index has " + std::to_string(n) + " slots in use");
+  }
+  // Resize to capacity under the exclusive lock: concurrent searches may
+  // hold cell pointers into a store being swapped/reallocated otherwise.
+  EpochGuard::ExclusiveLock lock(&epoch_);
+  md->Resize(capacity_);
+  metadata_ = std::move(md);
+  return Status::OK();
+}
+
+template <typename Storage>
+Status DynamicGraphIndex<Storage>::UpsertMetadata(uint32_t id, uint64_t tags,
+                                                  const double* values,
+                                                  size_t num_values) {
+  std::lock_guard<std::mutex> writer(write_mu_);
+  if (metadata_ == nullptr) {
+    return Status::Unsupported("no metadata store attached");
+  }
+  if (id >= n_.load(std::memory_order_relaxed)) {
+    return Status::OutOfRange("id beyond index size");
+  }
+  if (num_values > metadata_->num_columns()) {
+    return Status::InvalidArgument(
+        "more numeric values than metadata columns");
+  }
+  // Cells are individually atomic; readers filtering concurrently may see
+  // the row half-applied (eventual consistency, DESIGN.md D15).
+  metadata_->set_tags(id, tags);
+  for (size_t c = 0; c < num_values; ++c) {
+    metadata_->SetNumeric(c, id, values[c]);
+  }
+  return Status::OK();
 }
 
 template <typename Storage>

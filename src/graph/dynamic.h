@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "eval/interface.h"
+#include "filter/metadata.h"
 #include "graph/dynamic_storage.h"
 #include "graph/graph.h"
 #include "graph/search.h"
@@ -88,12 +89,14 @@ class DynamicGraphIndex {
   /// serve/engine.h.
   struct SearchScratch {
     SearchBuffer buffer;
+    SearchBuffer passing;                    // push-down result buffer (D15)
     VisitedSet visited;
     size_t visited_capacity = 0;
     std::vector<uint32_t> neighbors;         // row copy, max_degree entries
     typename Storage::Query query;           // prepared per-query state
     std::vector<float> decode;               // dim floats (two-level re-rank)
     std::vector<std::pair<float, uint32_t>> rerank;
+    std::vector<SearchBuffer::Entry> survivors;  // filtered extraction pool
     uint64_t distance_computations = 0;      // of the last search
     uint64_t hops = 0;
   };
@@ -129,6 +132,35 @@ class DynamicGraphIndex {
               bool rerank = true, uint32_t rerank_window = 0) const;
   void Search(const float* query, size_t k, uint32_t window,
               SearchResult* out) const;
+
+  /// Filtered search: results are restricted to vectors matching
+  /// `filter` (which must be bound to this index's metadata store).
+  /// `push_down` selects in-search predicate evaluation vs post-filtering;
+  /// both run under the adaptive widening loop up to `widen_cap` (floored
+  /// at `window`). Tombstoned vectors are excluded as usual, and the
+  /// two-level re-rank re-scores only surviving candidates.
+  void Search(const float* query, size_t k, uint32_t window,
+              SearchResult* out, SearchScratch* scratch, bool rerank,
+              uint32_t rerank_window, const FilterView* filter,
+              bool push_down, uint32_t widen_cap) const;
+
+  /// Attaches (or, with null, detaches) a metadata store. The store is
+  /// resized to the index capacity under the exclusive lock (readers
+  /// drained), then grows in lockstep with Grow() and is row-cleared when
+  /// Insert() recycles a slot. Must hold rows for every slot in use.
+  Status AttachMetadata(std::shared_ptr<MetadataStore> md);
+  const MetadataStore* metadata() const { return metadata_.get(); }
+  std::shared_ptr<const MetadataStore> shared_metadata() const {
+    return metadata_;
+  }
+
+  /// Writer-path metadata update for one live vector: stores the tag mask
+  /// and the first `num_values` numeric columns (converted to each
+  /// column's type). Concurrent searches may observe the row half-applied
+  /// (cells are individually atomic, the row is not) — metadata is
+  /// eventually consistent by design (DESIGN.md D15).
+  Status UpsertMetadata(uint32_t id, uint64_t tags, const double* values,
+                        size_t num_values);
 
   size_t dim() const { return dim_; }
   /// Slots in use (including tombstones awaiting consolidation).
@@ -229,7 +261,16 @@ class DynamicGraphIndex {
   /// the work counters instead of materializing a candidate vector. The
   /// caller must hold an epoch ReadLock.
   void CollectIntoScratch(const float* query, uint32_t window,
-                          SearchScratch* scratch) const;
+                          SearchScratch* scratch,
+                          const FilterView* filter = nullptr,
+                          bool push_down = false) const;
+  /// Shared result epilogue: tombstone-skipping top-k selection with the
+  /// optional two-level re-score, over either the raw candidate buffer or
+  /// a filtered survivor pool (both expose operator[](i).{id,dist}).
+  template <typename Buf>
+  void ExtractResults(const Buf& buf, size_t k, bool rerank,
+                      uint32_t rerank_window, size_t tomb, SearchResult* out,
+                      SearchScratch* scratch) const;
   /// Algorithm 2 on a sorted candidate list. Stored-to-stored distances go
   /// through PrepareStored + the asymmetric kernel (uses `prune_query_`).
   void RobustPrune(std::vector<Candidate>& cands, std::vector<uint32_t>* out);
@@ -265,6 +306,12 @@ class DynamicGraphIndex {
   std::vector<uint8_t> deleted_;        // capacity (atomic_ref access)
   std::vector<uint32_t> free_slots_;    // recycled ids (writer-only)
   std::atomic<uint32_t> entry_point_{kNoEntry};
+  /// Optional per-vector metadata, capacity_ rows once attached. Cell
+  /// access is atomic (filter/metadata.h); the container itself is resized
+  /// only under the exclusive lock. Attach/detach must not race searches
+  /// that are already filtering (the serving engine swaps whole indices
+  /// instead).
+  std::shared_ptr<MetadataStore> metadata_;
 
   // Writer-side scratch (guarded by write_mu_): prepared queries for the
   // insert vector / decoded stored vectors, and the decode buffer.

@@ -43,7 +43,8 @@ class VamanaIndex : public SearchIndex {
   size_t size() const override { return storage_.size(); }
   size_t dim() const override { return storage_.dim(); }
   size_t memory_bytes() const override {
-    return storage_.memory_bytes() + built_.graph.memory_bytes();
+    return storage_.memory_bytes() + built_.graph.memory_bytes() +
+           (metadata_ != nullptr ? metadata_->memory_bytes() : 0);
   }
 
   void SearchBatch(MatrixViewF queries, size_t k, const SearchOptions& params,
@@ -58,6 +59,14 @@ class VamanaIndex : public SearchIndex {
                      uint32_t* ids, float* dists, BatchStats* stats,
                      ThreadPool* pool = nullptr) const override {
     const SearchParams sp = ToSearchParams(params, k);
+    // Filtered queries resolve their execution plan (strategy + widen cap)
+    // once per batch; without attached metadata they fail closed (all
+    // padded) — ValidateFor rejects that configuration at the boundaries.
+    FilterPlan plan;
+    if (params.filter != nullptr && !MakeFilterPlan(params, sp, k, &plan)) {
+      FailClosed(queries.rows, k, ids, dists);
+      return;
+    }
     const size_t workers = pool != nullptr ? pool->num_threads() : 1;
     RunBatchSlices(
         queries.rows, workers, pool, stats,
@@ -65,7 +74,12 @@ class VamanaIndex : public SearchIndex {
           GreedySearcher<Storage> searcher(&built_.graph, &storage_);
           SearchResult res;
           for (size_t qi = lo; qi < hi; ++qi) {
-            searcher.Search(queries.row(qi), k, built_.entry_point, sp, &res);
+            if (plan.active) {
+              SearchFiltered(searcher, queries.row(qi), k, sp, plan, &res);
+            } else {
+              searcher.Search(queries.row(qi), k, built_.entry_point, sp,
+                              &res);
+            }
             WriteRow(res, k, ids + qi * k,
                      dists != nullptr ? dists + qi * k : nullptr);
             slice_stats->distance_computations += res.distance_computations;
@@ -79,7 +93,18 @@ class VamanaIndex : public SearchIndex {
   void Search(const float* query, size_t k, const SearchOptions& params,
               SearchResult* out) const {
     GreedySearcher<Storage> searcher(&built_.graph, &storage_);
-    searcher.Search(query, k, built_.entry_point, ToSearchParams(params, k), out);
+    const SearchParams sp = ToSearchParams(params, k);
+    if (params.filter != nullptr) {
+      FilterPlan plan;
+      if (MakeFilterPlan(params, sp, k, &plan)) {
+        SearchFiltered(searcher, query, k, sp, plan, out);
+      } else {
+        out->ids.clear();
+        out->dists.clear();
+      }
+    } else {
+      searcher.Search(query, k, built_.entry_point, sp, out);
+    }
     out->ids.resize(k, kInvalidId);
     out->dists.resize(k, kInvalidDist);
   }
@@ -96,8 +121,19 @@ class VamanaIndex : public SearchIndex {
 
       void Search(const float* query, size_t k, const SearchOptions& params,
                   uint32_t* ids, float* dists, BatchStats* stats) override {
-        searcher_.Search(query, k, index_->built_.entry_point,
-                         ToSearchParams(params, k), &res_);
+        const SearchParams sp = ToSearchParams(params, k);
+        if (params.filter != nullptr) {
+          if (!EnsurePlan(params, sp, k)) {
+            res_.ids.clear();
+            res_.dists.clear();
+            res_.distance_computations = 0;
+            res_.hops = 0;
+          } else {
+            index_->SearchFiltered(searcher_, query, k, sp, plan_, &res_);
+          }
+        } else {
+          searcher_.Search(query, k, index_->built_.entry_point, sp, &res_);
+        }
         WriteRow(res_, k, ids, dists);
         if (stats != nullptr) {
           stats->distance_computations += res_.distance_computations;
@@ -106,9 +142,37 @@ class VamanaIndex : public SearchIndex {
       }
 
      private:
+      /// The filter plan (strategy crossover + widen cap) is cached across
+      /// calls keyed on the exact filter configuration, so the pooled
+      /// serving path does not re-estimate selectivity per query. The
+      /// shared_ptr copy keeps the cache key's address from being recycled.
+      bool EnsurePlan(const SearchOptions& p, const SearchParams& sp,
+                      size_t k) {
+        if (plan_.active && plan_filter_ == p.filter &&
+            plan_strategy_ == p.filter_strategy &&
+            plan_cap_request_ == p.filter_widen_cap &&
+            plan_window_ == sp.window && plan_k_ == k) {
+          return true;
+        }
+        plan_ = FilterPlan();
+        if (!index_->MakeFilterPlan(p, sp, k, &plan_)) return false;
+        plan_filter_ = p.filter;
+        plan_strategy_ = p.filter_strategy;
+        plan_cap_request_ = p.filter_widen_cap;
+        plan_window_ = sp.window;
+        plan_k_ = k;
+        return true;
+      }
+
       const VamanaIndex* index_;
       GreedySearcher<Storage> searcher_;
       SearchResult res_;
+      FilterPlan plan_;
+      std::shared_ptr<const Predicate> plan_filter_;
+      FilterStrategy plan_strategy_ = FilterStrategy::kAuto;
+      uint32_t plan_cap_request_ = 0;
+      uint32_t plan_window_ = 0;
+      size_t plan_k_ = 0;
     };
     return std::make_unique<Pooled>(this);
   }
@@ -119,7 +183,83 @@ class VamanaIndex : public SearchIndex {
   double build_seconds() const { return built_.build_seconds; }
   const VamanaBuildParams& build_params() const { return build_params_; }
 
+  /// Attaches a per-vector metadata store (row i describes vector i); the
+  /// store must cover exactly the index's vectors. Null detaches. Search
+  /// honors SearchOptions::filter only while a store is attached.
+  Status AttachMetadata(std::shared_ptr<const MetadataStore> md) {
+    if (md != nullptr && md->size() != storage_.size()) {
+      return Status::InvalidArgument(
+          "metadata store has " + std::to_string(md->size()) +
+          " rows but the index holds " + std::to_string(storage_.size()) +
+          " vectors");
+    }
+    metadata_ = std::move(md);
+    return Status::OK();
+  }
+  const MetadataStore* metadata() const { return metadata_.get(); }
+  std::shared_ptr<const MetadataStore> shared_metadata() const {
+    return metadata_;
+  }
+
  private:
+  /// Resolved execution plan of one filtered batch/query stream.
+  struct FilterPlan {
+    bool active = false;
+    FilterView view;
+    bool push_down = false;
+    uint32_t window0 = 0;
+    uint32_t widen_cap = 0;
+  };
+
+  /// Binds the options' predicate to the attached store and resolves the
+  /// strategy crossover, starting window, and widening cap. False (fail
+  /// closed) when no metadata is attached or the predicate references
+  /// missing columns.
+  bool MakeFilterPlan(const SearchOptions& p, const SearchParams& sp, size_t k,
+                      FilterPlan* plan) const {
+    if (metadata_ == nullptr) return false;
+    if (!p.filter->ValidateFor(metadata_->num_columns()).ok()) return false;
+    plan->active = true;
+    plan->view = FilterView{metadata_.get(), p.filter.get()};
+    plan->push_down = ResolveFilterStrategy(*metadata_, *p.filter,
+                                            p.filter_strategy) ==
+                      FilterStrategy::kInSearch;
+    plan->widen_cap =
+        ResolveWidenCap(p.filter_widen_cap, storage_.size(), sp.window);
+    plan->window0 =
+        plan->push_down
+            ? ResolveInSearchWindow(EstimateSelectivity(*metadata_, *p.filter),
+                                    k, sp.window, plan->widen_cap)
+            : sp.window;
+    return true;
+  }
+
+  /// One filtered query: both strategies run under the shared adaptive
+  /// widening loop (RunWidened) until k survivors or the cap. In-search
+  /// starts from the selectivity-boosted window the plan resolved.
+  void SearchFiltered(GreedySearcher<Storage>& searcher, const float* query,
+                      size_t k, const SearchParams& base,
+                      const FilterPlan& plan, SearchResult* out) const {
+    SearchParams sp = base;
+    sp.filter = &plan.view;
+    sp.filter_push_down = plan.push_down;
+    RunWidened(
+        k, plan.window0, plan.widen_cap,
+        [&](uint32_t w, SearchResult* res) {
+          sp.window = w;
+          searcher.Search(query, k, built_.entry_point, sp, res);
+        },
+        out);
+  }
+
+  /// All-padded rows: the fail-closed answer for a filtered query the
+  /// index cannot evaluate (no metadata / bad column reference).
+  static void FailClosed(size_t nq, size_t k, uint32_t* ids, float* dists) {
+    for (size_t qi = 0; qi < nq; ++qi) {
+      WritePaddedRow(nullptr, nullptr, 0, k, ids + qi * k,
+                     dists != nullptr ? dists + qi * k : nullptr);
+    }
+  }
   /// One result into row-major output via the shared padding contract.
   static void WriteRow(const SearchResult& res, size_t k, uint32_t* ids,
                        float* dists) {
@@ -141,6 +281,7 @@ class VamanaIndex : public SearchIndex {
   Storage storage_;
   VamanaBuildParams build_params_;
   BuiltGraph built_;
+  std::shared_ptr<const MetadataStore> metadata_;
 };
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "filter/metadata.h"
 #include "graph/graph.h"
 #include "graph/reranker.h"
 #include "graph/search_buffer.h"
@@ -34,6 +35,14 @@ struct SearchParams {
   /// otherwise clamped into [k, W]. Only meaningful when `rerank` is set
   /// and the storage has a second level.
   uint32_t rerank_window = 0;
+  /// Metadata predicate restricting results (null = unfiltered); see
+  /// DESIGN.md D15. The view must outlive the search call.
+  const FilterView* filter = nullptr;
+  /// With a filter set: true = in-search push-down (failing vertices are
+  /// excluded from the result set per candidate but still traversed,
+  /// filtered-Vamana style); false = post-filter (failing vertices are
+  /// dropped at extraction, callers widen the window adaptively).
+  bool filter_push_down = false;
 };
 
 /// Disposition of one served query. Search paths always produce kOk; the
@@ -69,6 +78,13 @@ class GreedySearcher {
               const SearchParams& params, SearchResult* out) {
     const uint32_t window = std::max<uint32_t>(params.window, k);
     buffer_.Reset(window);
+    // In-search push-down keeps a second sorted buffer holding only
+    // predicate-passing candidates: the traversal (buffer_) still routes
+    // through failing vertices so connectivity is preserved, while the
+    // result set is drawn from passing_ at extraction.
+    const bool push_down =
+        params.filter != nullptr && params.filter_push_down;
+    if (push_down) passing_.Reset(window);
     storage_->PrepareQuery(query, &query_state_);
     if (params.use_visited_set) {
       EnsureVisitedCapacity();
@@ -80,6 +96,9 @@ class GreedySearcher {
     const float d0 = storage_->Distance(query_state_, entry_point);
     ++out->distance_computations;
     buffer_.Insert(d0, entry_point);
+    if (push_down && params.filter->Pass(entry_point)) {
+      passing_.Insert(d0, entry_point);
+    }
     if (params.use_visited_set) visited_.CheckAndMark(entry_point);
 
     // Safety bound: without a visited set a node can be re-expanded after
@@ -131,6 +150,7 @@ class GreedySearcher {
         const float d = storage_->Distance(query_state_, cand);
         ++out->distance_computations;
         buffer_.Insert(d, cand);
+        if (push_down && params.filter->Pass(cand)) passing_.Insert(d, cand);
       }
     }
 
@@ -157,6 +177,10 @@ class GreedySearcher {
   /// primary distance, so a partial depth re-ranks the most promising
   /// prefix.
   void ExtractTopK(size_t k, const SearchParams& params, SearchResult* out) {
+    if (params.filter != nullptr) {
+      ExtractTopKFiltered(k, params, out);
+      return;
+    }
     const size_t m = RerankDepth(buffer_.size(), k, params.rerank_window);
     const size_t kk = std::min(k, m);
     if (params.rerank && storage_->has_second_level() && m > 0) {
@@ -174,14 +198,74 @@ class GreedySearcher {
     }
   }
 
+  /// Filtered selection. Survivors come from the passing_ buffer (push-down:
+  /// already predicate-gated) or from filtering buffer_ (post-filter), and
+  /// only those survivors enter the two-level re-score — the re-rank
+  /// epilogue never spends FullDistance gathers on failing candidates.
+  void ExtractTopKFiltered(size_t k, const SearchParams& params,
+                           SearchResult* out) {
+    survivors_.clear();
+    if (params.filter_push_down) {
+      for (size_t i = 0; i < passing_.size(); ++i) {
+        survivors_.push_back(passing_[i]);
+      }
+    } else {
+      for (size_t i = 0; i < buffer_.size(); ++i) {
+        if (params.filter->Pass(buffer_[i].id)) {
+          survivors_.push_back(buffer_[i]);
+        }
+      }
+    }
+    const size_t m = RerankDepth(survivors_.size(), k, params.rerank_window);
+    const size_t kk = std::min(k, m);
+    if (params.rerank && storage_->has_second_level() && m > 0) {
+      RescoreCandidates(*storage_, query_state_, survivors_, m,
+                        /*sorted_prefix=*/kk, scratch_.data(), &rerank_);
+      EmitRescored(
+          rerank_, kk, [](uint32_t) { return false; }, &out->ids, &out->dists);
+      return;
+    }
+    out->ids.resize(kk);
+    out->dists.resize(kk);
+    for (size_t i = 0; i < kk; ++i) {
+      out->ids[i] = survivors_[i].id;
+      out->dists[i] = survivors_[i].dist;
+    }
+  }
+
   const FlatGraph* graph_;
   const Storage* storage_;
   SearchBuffer buffer_;
+  SearchBuffer passing_;  ///< predicate-passing results (push-down mode)
   typename Storage::Query query_state_;
   VisitedSet visited_;
   size_t visited_capacity_ = 0;
   std::vector<float> scratch_;
   std::vector<std::pair<float, uint32_t>> rerank_;
+  std::vector<SearchBuffer::Entry> survivors_;  ///< filtered extraction pool
 };
+
+/// Adaptive widening loop shared by every filtered search path: runs
+/// `run(window, out)` with geometrically growing windows until the result
+/// holds k survivors (out->ids, pre-padding) or the window reaches
+/// `widen_cap` (see ResolveWidenCap in filter/metadata.h). Work counters
+/// accumulate across retries so QPS/work accounting reflects total cost.
+template <typename RunFn>
+void RunWidened(size_t k, uint32_t window0, uint32_t widen_cap, RunFn&& run,
+                SearchResult* out) {
+  size_t dc = 0;
+  size_t hops = 0;
+  uint32_t w = std::max<uint32_t>(window0, 1);
+  for (;;) {
+    run(w, out);
+    dc += out->distance_computations;
+    hops += out->hops;
+    if (out->ids.size() >= k || w >= widen_cap) break;
+    w = static_cast<uint32_t>(
+        std::min<uint64_t>(widen_cap, uint64_t{w} * 2));
+  }
+  out->distance_computations = dc;
+  out->hops = hops;
+}
 
 }  // namespace blink

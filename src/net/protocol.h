@@ -8,8 +8,16 @@
 // Request payloads
 //   kSearchRequest:
 //     u32 k | u32 window | u32 nprobe_shards | u32 rerank_window |
-//     u8 rerank | u8 reserved[3] | u32 num_queries | u32 dim |
-//     f32 data[num_queries * dim]
+//     u8 rerank | u8 flags | u8 reserved[2] | u32 num_queries | u32 dim |
+//     f32 data[num_queries * dim] | [filter]
+//   flags bit 0 = a filter block follows the query floats (the byte was
+//   reserved-zero before filters existed, so filterless clients of any
+//   vintage decode unchanged); other bits must be zero.
+//   filter  := u64 tag_any | u64 tag_all | u64 tag_none |
+//              u8 strategy (0 auto, 1 post-filter, 2 in-search) |
+//              u8 reserved[3] | u32 widen_cap | u32 num_ranges (<= 64) |
+//              num_ranges * (u32 column | u8 lo_strict | u8 hi_strict |
+//                            u8 reserved[2] | f64 lo | f64 hi)
 //   kStatsRequest: (empty)                  -> JSON telemetry
 //   kSwapRequest:  u32 path_len | path      -> hot-swap to that artifact
 //   kPingRequest:  (empty)                  -> readiness probe
@@ -96,6 +104,7 @@ class WireWriter {
   void U32(uint32_t v) { Raw(&v, sizeof(v)); }
   void U64(uint64_t v) { Raw(&v, sizeof(v)); }
   void F32(float v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
   void Bytes(const void* p, size_t n) { Raw(p, n); }
   void Pad(size_t n) { buf_.insert(buf_.end(), n, 0); }
 
@@ -121,6 +130,7 @@ class WireReader {
   bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
   bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
   bool F32(float* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
   bool Bytes(void* out, size_t n) { return Raw(out, n); }
   bool Skip(size_t n) {
     if (n_ - off_ < n) return ok_ = false;
@@ -217,6 +227,12 @@ struct SearchRequest {
   MatrixViewF view() const { return MatrixViewF(queries, num_queries, dim); }
 };
 
+/// Wire flags (the byte after `rerank`; reserved-zero pre-filter).
+inline constexpr uint8_t kSearchFlagHasFilter = 1u << 0;
+/// Range-count bound for the filter block: far above any sane predicate,
+/// small enough to reject garbage before allocating.
+inline constexpr uint32_t kMaxWireFilterRanges = 64;
+
 inline std::vector<uint8_t> EncodeSearchRequest(MatrixViewF queries,
                                                 uint32_t k,
                                                 const SearchOptions& options) {
@@ -226,29 +242,56 @@ inline std::vector<uint8_t> EncodeSearchRequest(MatrixViewF queries,
   w.U32(options.nprobe_shards);
   w.U32(options.rerank_window);
   w.U8(options.rerank ? 1 : 0);
-  w.Pad(3);
+  w.U8(options.filter != nullptr ? kSearchFlagHasFilter : 0);
+  w.Pad(2);
   w.U32(static_cast<uint32_t>(queries.rows));
   w.U32(static_cast<uint32_t>(queries.cols));
   w.Bytes(queries.data, queries.rows * queries.cols * sizeof(float));
+  if (options.filter != nullptr) {
+    const Predicate& p = *options.filter;
+    w.U64(p.tag_any);
+    w.U64(p.tag_all);
+    w.U64(p.tag_none);
+    w.U8(static_cast<uint8_t>(options.filter_strategy));
+    w.Pad(3);
+    w.U32(options.filter_widen_cap);
+    w.U32(static_cast<uint32_t>(p.ranges.size()));
+    for (const Predicate::Range& rg : p.ranges) {
+      w.U32(rg.column);
+      w.U8(rg.lo_strict ? 1 : 0);
+      w.U8(rg.hi_strict ? 1 : 0);
+      w.Pad(2);
+      w.F64(rg.lo);
+      w.F64(rg.hi);
+    }
+  }
   return std::move(w.buf());
 }
 
 /// Structural decode only (shape + bounds); semantic validation (dim match,
-/// SearchOptions::Validate, per-request query caps) is the server's.
+/// SearchOptions::Validate, predicate-vs-schema) is the server's.
 inline Status DecodeSearchRequest(const std::vector<uint8_t>& payload,
                                   SearchRequest* out) {
   WireReader r(payload.data(), payload.size());
   uint8_t rerank = 0;
+  uint8_t flags = 0;
   if (!r.U32(&out->k) || !r.U32(&out->options.window) ||
       !r.U32(&out->options.nprobe_shards) ||
-      !r.U32(&out->options.rerank_window) || !r.U8(&rerank) || !r.Skip(3) ||
-      !r.U32(&out->num_queries) || !r.U32(&out->dim)) {
+      !r.U32(&out->options.rerank_window) || !r.U8(&rerank) || !r.U8(&flags) ||
+      !r.Skip(2) || !r.U32(&out->num_queries) || !r.U32(&out->dim)) {
     return Status::InvalidArgument("truncated search request header");
   }
   out->options.rerank = rerank != 0;
+  if ((flags & ~kSearchFlagHasFilter) != 0) {
+    return Status::InvalidArgument("search request has unknown flag bits set");
+  }
+  const bool has_filter = (flags & kSearchFlagHasFilter) != 0;
   const uint64_t floats =
       static_cast<uint64_t>(out->num_queries) * out->dim;
-  if (floats * sizeof(float) != r.remaining()) {
+  // Filterless requests (any client vintage) must consume the payload
+  // exactly; with a filter the block follows the floats and the decode
+  // below re-checks exhaustion.
+  if (!has_filter && floats * sizeof(float) != r.remaining()) {
     return Status::InvalidArgument(
         "search request payload size mismatch: header says " +
         std::to_string(floats) + " floats, body has " +
@@ -259,6 +302,43 @@ inline Status DecodeSearchRequest(const std::vector<uint8_t>& payload,
     return Status::InvalidArgument("truncated search request body");
   }
   out->queries = reinterpret_cast<const float*>(raw);
+  if (has_filter) {
+    auto pred = std::make_shared<Predicate>();
+    uint8_t strategy = 0;
+    uint32_t num_ranges = 0;
+    if (!r.U64(&pred->tag_any) || !r.U64(&pred->tag_all) ||
+        !r.U64(&pred->tag_none) || !r.U8(&strategy) || !r.Skip(3) ||
+        !r.U32(&out->options.filter_widen_cap) || !r.U32(&num_ranges)) {
+      return Status::InvalidArgument("truncated search request filter block");
+    }
+    if (strategy > static_cast<uint8_t>(FilterStrategy::kInSearch)) {
+      return Status::InvalidArgument("search request has an unknown filter "
+                                     "strategy (" +
+                                     std::to_string(strategy) + ")");
+    }
+    if (num_ranges > kMaxWireFilterRanges) {
+      return Status::InvalidArgument(
+          "search request filter has " + std::to_string(num_ranges) +
+          " ranges (limit " + std::to_string(kMaxWireFilterRanges) + ")");
+    }
+    pred->ranges.resize(num_ranges);
+    for (Predicate::Range& rg : pred->ranges) {
+      uint8_t lo_strict = 0, hi_strict = 0;
+      if (!r.U32(&rg.column) || !r.U8(&lo_strict) || !r.U8(&hi_strict) ||
+          !r.Skip(2) || !r.F64(&rg.lo) || !r.F64(&rg.hi)) {
+        return Status::InvalidArgument("truncated search request filter "
+                                       "range");
+      }
+      rg.lo_strict = lo_strict != 0;
+      rg.hi_strict = hi_strict != 0;
+    }
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument(
+          "search request has trailing bytes after the filter block");
+    }
+    out->options.filter_strategy = static_cast<FilterStrategy>(strategy);
+    out->options.filter = std::move(pred);
+  }
   return Status::OK();
 }
 

@@ -243,9 +243,21 @@ bool BlinkServer::HandleSearch(TcpConn& conn,
   }
   SearchOptions options = req.options;
   if (options.window == 0) options.window = SearchOptions().window;
-  if (!options.Validate().ok()) {
+  // ValidateFor rejects a filter against an index with no metadata
+  // attached (kCapFilter); the schema check below catches predicates
+  // naming columns the attached store does not have. Both are client
+  // errors, not fail-closed searches.
+  if (!options.ValidateFor(gen->index.capabilities()).ok()) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     return reply_status(WireStatus::kBadRequest, gen->number);
+  }
+  if (options.filter != nullptr) {
+    const MetadataStore* md = gen->index.metadata();
+    if (md == nullptr ||
+        !options.filter->ValidateFor(md->num_columns()).ok()) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      return reply_status(WireStatus::kBadRequest, gen->number);
+    }
   }
 
   Timer request_timer;

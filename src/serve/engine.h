@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "eval/interface.h"
+#include "filter/metadata.h"
 #include "graph/dynamic.h"
 #include "graph/search.h"
 #include "util/thread_pool.h"
@@ -193,8 +194,20 @@ class DynamicPooledSearcher : public Searcher {
 
   void Search(const float* query, size_t k, const SearchOptions& params,
               uint32_t* ids, float* dists, BatchStats* stats) override {
-    index_->Search(query, k, params.window, &res_, &scratch_, params.rerank,
-                   params.rerank_window);
+    if (params.filter != nullptr) {
+      if (!SearchFiltered(query, k, params)) {
+        // Fail closed (all-padded): a filtered query against an index
+        // without usable metadata must not return unfiltered neighbors.
+        // ValidateFor rejects this configuration at the boundaries.
+        res_.ids.clear();
+        res_.dists.clear();
+        res_.distance_computations = 0;
+        res_.hops = 0;
+      }
+    } else {
+      index_->Search(query, k, params.window, &res_, &scratch_, params.rerank,
+                     params.rerank_window);
+    }
     WritePaddedRow(res_.ids.data(), res_.dists.data(), res_.ids.size(), k,
                    ids, dists);
     if (stats != nullptr) {
@@ -204,9 +217,61 @@ class DynamicPooledSearcher : public Searcher {
   }
 
  private:
+  bool SearchFiltered(const float* query, size_t k,
+                      const SearchOptions& params) {
+    const MetadataStore* md = index_->metadata();
+    if (md == nullptr ||
+        !params.filter->ValidateFor(md->num_columns()).ok()) {
+      return false;
+    }
+    // Strategy + widen cap resolve per call against the *live* store; the
+    // selectivity estimate is cached keyed on the exact filter config so
+    // steady-state serving traffic does not re-sample per query. Metadata
+    // churn can shift true selectivity away from a cached estimate — the
+    // cost is a suboptimal strategy pick, never a wrong result — so the
+    // cache also expires with the index size.
+    const uint32_t window =
+        std::max<uint32_t>(params.window, static_cast<uint32_t>(k));
+    const size_t live = index_->live_size();
+    if (!(plan_valid_ && plan_filter_ == params.filter &&
+          plan_strategy_req_ == params.filter_strategy &&
+          plan_live_ == live)) {
+      plan_selectivity_ = EstimateSelectivity(*md, *params.filter);
+      plan_push_down_ =
+          (params.filter_strategy == FilterStrategy::kAuto
+               ? (plan_selectivity_ <= kInSearchSelectivityCrossover
+                      ? FilterStrategy::kInSearch
+                      : FilterStrategy::kPostFilter)
+               : params.filter_strategy) == FilterStrategy::kInSearch;
+      plan_filter_ = params.filter;
+      plan_strategy_req_ = params.filter_strategy;
+      plan_live_ = live;
+      plan_valid_ = true;
+    }
+    const FilterView view{md, params.filter.get()};
+    const uint32_t cap =
+        ResolveWidenCap(params.filter_widen_cap, live, window);
+    // In-search starts from the selectivity-boosted window (see
+    // ResolveInSearchWindow); post-filtering widens from the caller's.
+    const uint32_t window0 =
+        plan_push_down_ ? ResolveInSearchWindow(plan_selectivity_, k, window,
+                                                cap)
+                        : window;
+    index_->Search(query, k, window0, &res_, &scratch_, params.rerank,
+                   params.rerank_window, &view, plan_push_down_, cap);
+    return true;
+  }
+
   const DynamicGraphIndex<Storage>* index_;
   typename DynamicGraphIndex<Storage>::SearchScratch scratch_;
   SearchResult res_;
+  // Cached filter plan (see SearchFiltered).
+  bool plan_valid_ = false;
+  bool plan_push_down_ = false;
+  double plan_selectivity_ = 1.0;
+  std::shared_ptr<const Predicate> plan_filter_;
+  FilterStrategy plan_strategy_req_ = FilterStrategy::kAuto;
+  size_t plan_live_ = 0;
 };
 
 }  // namespace detail

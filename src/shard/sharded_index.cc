@@ -166,6 +166,33 @@ std::unique_ptr<Searcher> ShardedIndex::MakeSearcher() const {
   return std::make_unique<ShardedSearcher>(this);
 }
 
+Status ShardedIndex::AttachMetadata(std::shared_ptr<const MetadataStore> md) {
+  if (md == nullptr) {
+    for (uint32_t s : live_shards_) {
+      BLINK_RETURN_NOT_OK(shards_[s]->AttachMetadata(nullptr));
+    }
+    metadata_ = nullptr;
+    return Status::OK();
+  }
+  if (md->size() != size()) {
+    return Status::InvalidArgument(
+        "metadata store has " + std::to_string(md->size()) +
+        " rows but the sharded index holds " + std::to_string(size()) +
+        " vectors");
+  }
+  // Slice the global store into per-shard local-id stores. Each probed
+  // shard then runs its own filtered search (selectivity estimate and
+  // widening against its local rows); the merge in ShardedSearcher sees
+  // only surviving candidates, so no global re-filtering is needed.
+  for (uint32_t s : live_shards_) {
+    auto slice = std::make_shared<MetadataStore>(
+        md->Slice(partition_.shard_to_global[s]));
+    BLINK_RETURN_NOT_OK(shards_[s]->AttachMetadata(std::move(slice)));
+  }
+  metadata_ = std::move(md);
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // Parallel per-shard build.
 // ---------------------------------------------------------------------------

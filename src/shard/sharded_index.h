@@ -79,6 +79,19 @@ class ShardedIndex : public SearchIndex {
   double build_seconds() const { return build_seconds_; }
   void set_build_seconds(double s) { build_seconds_ = s; }
 
+  /// Attaches per-vector metadata keyed by *global* id (row i describes
+  /// global vector i; must cover exactly size() rows). The global store is
+  /// sliced through the partition's local→global maps into per-shard
+  /// local-id stores attached to each shard, so filtered searches run
+  /// inside each probed shard (widening + strategy crossover per shard)
+  /// and the merge sees only surviving candidates. Null detaches.
+  Status AttachMetadata(std::shared_ptr<const MetadataStore> md);
+  /// The global-id store (null when none attached).
+  const MetadataStore* metadata() const { return metadata_.get(); }
+  std::shared_ptr<const MetadataStore> shared_metadata() const {
+    return metadata_;
+  }
+
   /// Cumulative per-shard probe counts (queries that searched shard s)
   /// since construction — the serving layer's /stats telemetry. Relaxed
   /// atomic counters: totals are exact, cross-shard ordering is not.
@@ -99,6 +112,7 @@ class ShardedIndex : public SearchIndex {
   int bits1_;
   int bits2_;
   std::vector<uint32_t> live_shards_;  ///< shards with at least one vector
+  std::shared_ptr<const MetadataStore> metadata_;  ///< global-id store
   double build_seconds_ = 0.0;
   /// mutable: probing is logically const (search path) but counted.
   mutable std::unique_ptr<std::atomic<uint64_t>[]> probe_counts_;

@@ -12,6 +12,8 @@ namespace blink {
 namespace {
 
 using tools::FlagParser;
+using tools::ParseFilterFlag;
+using tools::ParseFilterStrategyFlag;
 using tools::ParseMetricFlag;
 using tools::ParseUintListFlag;
 
@@ -57,6 +59,46 @@ TEST(ParseMetric, RejectsEverythingElse) {
   for (const char* bad : {"", "L2", "IP", "cosine", "l2 ", " ip", "euclidean",
                           "0", "garbage"}) {
     EXPECT_FALSE(ParseMetricFlag("--metric", bad, &m))
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(ParseFilter, AcceptsTheGrammarAndCanonicalizes) {
+  Predicate p;
+  ASSERT_TRUE(ParseFilterFlag("--filter", "tag:any=1,3 num0>=2.5", &p));
+  EXPECT_EQ(p.tag_any, (uint64_t{1} << 1) | (uint64_t{1} << 3));
+  ASSERT_EQ(p.ranges.size(), 1u);
+  EXPECT_EQ(p.ranges[0].column, 0u);
+  EXPECT_DOUBLE_EQ(p.ranges[0].lo, 2.5);
+
+  ASSERT_TRUE(
+      ParseFilterFlag("--filter", "tag:all=0 tag:none=63 num1<10 num1>0", &p));
+  EXPECT_EQ(p.tag_all, uint64_t{1});
+  EXPECT_EQ(p.tag_none, uint64_t{1} << 63);
+  EXPECT_EQ(p.ranges.size(), 2u);
+}
+
+TEST(ParseFilter, RejectsMalformedPredicates) {
+  Predicate p;
+  for (const char* bad :
+       {"tag:any=", "tag:any=64", "tag:some=1", "num0", "num0<>1", "numx<1",
+        "num0<abc", "tag:any=1 garbage", "=5"}) {
+    EXPECT_FALSE(ParseFilterFlag("--filter", bad, &p))
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(ParseFilterStrategy, AcceptsExactlyTheThreeNames) {
+  FilterStrategy s = FilterStrategy::kAuto;
+  EXPECT_TRUE(ParseFilterStrategyFlag("--filter-strategy", "post", &s));
+  EXPECT_EQ(s, FilterStrategy::kPostFilter);
+  EXPECT_TRUE(ParseFilterStrategyFlag("--filter-strategy", "insearch", &s));
+  EXPECT_EQ(s, FilterStrategy::kInSearch);
+  EXPECT_TRUE(ParseFilterStrategyFlag("--filter-strategy", "auto", &s));
+  EXPECT_EQ(s, FilterStrategy::kAuto);
+  for (const char* bad :
+       {"", "Auto", "POST", "in-search", "pre", "auto ", "0"}) {
+    EXPECT_FALSE(ParseFilterStrategyFlag("--filter-strategy", bad, &s))
         << "accepted '" << bad << "'";
   }
 }

@@ -22,6 +22,9 @@
 #include "api/index.h"
 #include "api/spec.h"
 #include "eval/report.h"
+#include "filter/metadata.h"
+#include "filter/predicate.h"
+#include "filter/synthetic.h"
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/socket.h"
@@ -85,6 +88,86 @@ TEST(NetProtocol, SearchRequestRejectsTruncationAndMismatch) {
   std::vector<uint8_t> long_body = payload;
   long_body.insert(long_body.end(), 4, 0);
   EXPECT_FALSE(net::DecodeSearchRequest(long_body, &req).ok());
+}
+
+TEST(NetProtocol, FilteredSearchRequestRoundTrip) {
+  MatrixF queries(2, 3);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    queries.data()[i] = static_cast<float>(i);
+  }
+  Result<Predicate> pred =
+      Predicate::Parse("tag:any=1,3 tag:none=60 num0>=2.5 num1<7");
+  ASSERT_TRUE(pred.ok());
+  SearchOptions opts;
+  opts.window = 64;
+  opts.filter = std::make_shared<Predicate>(std::move(pred).value());
+  opts.filter_strategy = FilterStrategy::kInSearch;
+  opts.filter_widen_cap = 512;
+  const std::vector<uint8_t> payload =
+      net::EncodeSearchRequest(queries, /*k=*/5, opts);
+
+  net::SearchRequest req;
+  ASSERT_TRUE(net::DecodeSearchRequest(payload, &req).ok());
+  ASSERT_NE(req.options.filter, nullptr);
+  EXPECT_EQ(req.options.filter->ToString(), opts.filter->ToString());
+  EXPECT_EQ(req.options.filter_strategy, FilterStrategy::kInSearch);
+  EXPECT_EQ(req.options.filter_widen_cap, 512u);
+  ASSERT_EQ(req.num_queries, 2u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(req.queries[i], queries.data()[i]) << i;
+  }
+}
+
+TEST(NetProtocol, FilteredSearchRequestRejectsMalformedBlocks) {
+  MatrixF queries(1, 2);
+  SearchOptions opts;
+  opts.filter = std::make_shared<Predicate>(
+      std::move(Predicate::Parse("num0<0.5")).value());
+  const std::vector<uint8_t> payload =
+      net::EncodeSearchRequest(queries, 5, opts);
+  net::SearchRequest req;
+  ASSERT_TRUE(net::DecodeSearchRequest(payload, &req).ok());
+
+  // Fixed offsets from the wire layout (protocol.h): the flags byte sits
+  // after k/window/nprobe/rerank_window (4x u32) + rerank (u8); the filter
+  // strategy byte after the 28-byte header, the floats, and 3x u64 tags.
+  const size_t kFlagsOff = 17;
+  const size_t kStrategyOff = 28 + queries.size() * sizeof(float) + 24;
+
+  // Unknown flag bits.
+  std::vector<uint8_t> bad_flags = payload;
+  bad_flags[kFlagsOff] |= 0x2;
+  EXPECT_FALSE(net::DecodeSearchRequest(bad_flags, &req).ok());
+
+  // Unknown strategy enum value.
+  std::vector<uint8_t> bad_strategy = payload;
+  bad_strategy[kStrategyOff] = 3;
+  EXPECT_FALSE(net::DecodeSearchRequest(bad_strategy, &req).ok());
+
+  // Truncated filter block.
+  std::vector<uint8_t> truncated(payload.begin(), payload.end() - 4);
+  EXPECT_FALSE(net::DecodeSearchRequest(truncated, &req).ok());
+
+  // Trailing bytes after the filter block.
+  std::vector<uint8_t> trailing = payload;
+  trailing.insert(trailing.end(), 4, 0);
+  EXPECT_FALSE(net::DecodeSearchRequest(trailing, &req).ok());
+
+  // The filter flag set but no block at all.
+  std::vector<uint8_t> missing_block =
+      net::EncodeSearchRequest(queries, 5, SearchOptions{});
+  missing_block[kFlagsOff] |= net::kSearchFlagHasFilter;
+  EXPECT_FALSE(net::DecodeSearchRequest(missing_block, &req).ok());
+
+  // Range count over the wire bound.
+  SearchOptions many;
+  auto big = std::make_shared<Predicate>();
+  big->ranges.resize(net::kMaxWireFilterRanges + 1,
+                     Predicate::Range{0, false, false, 0.0, 1.0});
+  many.filter = std::move(big);
+  EXPECT_FALSE(net::DecodeSearchRequest(
+                   net::EncodeSearchRequest(queries, 5, many), &req)
+                   .ok());
 }
 
 TEST(NetProtocol, SearchResponseRoundTripAndErrorShape) {
@@ -297,6 +380,82 @@ TEST_F(NetServerTest, RejectsBadRequestsWithoutDroppingTheConnection) {
   const json::Value* bad = doc.value().Find("bad_requests");
   ASSERT_NE(bad, nullptr);
   EXPECT_GE(bad->as_number(), 3.0);
+  server->Stop();
+}
+
+TEST_F(NetServerTest, LoopbackFilteredSearchMatchesDirectPath) {
+  Dataset data = MakeDeepLike(1200, 24, 913);
+  Index index = BuildNetIndex(data);
+  auto md = std::make_shared<const MetadataStore>(MakeSyntheticMetadata(
+      data.base.rows(), {ColumnType::kF64}, /*seed=*/77));
+  ASSERT_TRUE(index.AttachMetadata(md).ok());
+
+  const size_t k = 10, nq = data.queries.rows();
+  SearchOptions p;
+  p.window = 32;
+  p.filter = std::make_shared<Predicate>(
+      std::move(Predicate::Parse("num0<0.2")).value());
+  Matrix<uint32_t> direct(nq, k);
+  index.SearchBatch(data.queries, k, p, direct.data());
+
+  ServerOptions opts;
+  opts.serving.num_threads = 2;
+  Result<std::unique_ptr<BlinkServer>> started =
+      BlinkServer::Start(std::move(index), opts);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  std::unique_ptr<BlinkServer> server = std::move(started).value();
+  Result<BlinkClient> connected = BlinkClient::Connect("127.0.0.1",
+                                                       server->port());
+  ASSERT_TRUE(connected.ok());
+  BlinkClient client = std::move(connected).value();
+
+  SearchResponse res;
+  ASSERT_TRUE(client.Search(data.queries, k, p, &res).ok());
+  ASSERT_EQ(res.status, WireStatus::kOk);
+  ASSERT_EQ(res.num_queries, nq);
+  for (size_t i = 0; i < direct.size(); ++i) {
+    ASSERT_EQ(res.ids[i], direct.data()[i]) << "flat index " << i;
+  }
+  // Every returned neighbor satisfies the predicate (exactness contract).
+  for (uint32_t id : res.ids) {
+    if (id == kInvalidId) continue;
+    EXPECT_TRUE(MatchesPredicate(*md, *p.filter, id)) << id;
+  }
+  server->Stop();
+}
+
+TEST_F(NetServerTest, FilterAgainstFilterlessIndexIsABadRequest) {
+  Dataset data = MakeDeepLike(400, 4, 914);
+  ServerOptions opts;
+  opts.serving.num_threads = 1;
+  Result<std::unique_ptr<BlinkServer>> started =
+      BlinkServer::Start(BuildNetIndex(data), opts);
+  ASSERT_TRUE(started.ok());
+  std::unique_ptr<BlinkServer> server = std::move(started).value();
+  Result<BlinkClient> connected = BlinkClient::Connect("127.0.0.1",
+                                                       server->port());
+  ASSERT_TRUE(connected.ok());
+  BlinkClient client = std::move(connected).value();
+
+  MatrixF one(1, data.base.cols());
+  SearchOptions p;
+  p.window = 32;
+  p.filter = std::make_shared<Predicate>(
+      std::move(Predicate::Parse("num0<0.5")).value());
+  SearchResponse res;
+  ASSERT_TRUE(client.Search(one, 5, p, &res).ok());
+  EXPECT_EQ(res.status, WireStatus::kBadRequest);
+
+  // A predicate referencing a column beyond the schema is also rejected,
+  // and the connection survives both rejects.
+  p.filter = std::make_shared<Predicate>(
+      std::move(Predicate::Parse("num7<0.5")).value());
+  ASSERT_TRUE(client.Search(one, 5, p, &res).ok());
+  EXPECT_EQ(res.status, WireStatus::kBadRequest);
+
+  p.filter = nullptr;
+  ASSERT_TRUE(client.Search(one, 5, p, &res).ok());
+  EXPECT_EQ(res.status, WireStatus::kOk);
   server->Stop();
 }
 

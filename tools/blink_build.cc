@@ -17,14 +17,26 @@
 //     --alpha F             pruning relaxation (default 1.2 l2 / 0.95 ip)
 //     --shards S            shard count; S > 1 implies --kind sharded
 //     --partition kmeans|rr sharding method (default kmeans)
+//     --meta SPEC           attach deterministic synthetic per-vector
+//                           metadata: "tags" for the tag column alone, or
+//                           a comma list of numeric column types, e.g.
+//                           "f64,i64" (the tag column always exists). The
+//                           store is saved as a .meta sidecar and filtered
+//                           search (--filter in blink_search) works on the
+//                           reopened artifact.
+//     --meta-seed S         generator seed (default 42)
 // Static kinds write <out_prefix>.graph and <out_prefix>.vecs; sharded
 // writes the <out_prefix>/ directory (manifest + per-shard bundles);
-// dynamic kinds write the single <out_prefix> BLDY file.
+// dynamic kinds write the single <out_prefix> BLDY file. With --meta each
+// adds its metadata sidecar next to the artifact.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "blink.h"
+#include "filter/synthetic.h"
 #include "flags.h"
 
 using namespace blink;
@@ -36,9 +48,37 @@ int Usage(const char* argv0) {
                "usage: %s <base.fvecs> <out_prefix> [--kind K] "
                "[--metric l2|ip] [--bits1 B] [--bits2 B] [--leanvec-dim D] "
                "[--R N] [--window N] [--alpha F]\n"
-               "       [--shards S] [--partition kmeans|rr]\n",
+               "       [--shards S] [--partition kmeans|rr] "
+               "[--meta tags|COLS] [--meta-seed S]\n",
                argv0);
   return 2;
+}
+
+/// "tags" -> empty column list; otherwise a strict comma list of
+/// i64|f64 tokens.
+bool ParseMetaSpec(const char* value, std::vector<ColumnType>* types) {
+  types->clear();
+  if (std::strcmp(value, "tags") == 0) return true;
+  const char* p = value;
+  while (*p != '\0') {
+    if (std::strncmp(p, "i64", 3) == 0) {
+      types->push_back(ColumnType::kI64);
+      p += 3;
+    } else if (std::strncmp(p, "f64", 3) == 0) {
+      types->push_back(ColumnType::kF64);
+      p += 3;
+    } else {
+      break;
+    }
+    if (*p == '\0') return true;
+    if (*p != ',' || p[1] == '\0') break;  // trailing comma or garbage
+    ++p;
+  }
+  std::fprintf(stderr,
+               "--meta: expected 'tags' or a comma list of i64|f64, got "
+               "'%s'\n",
+               value);
+  return false;
 }
 
 }  // namespace
@@ -52,6 +92,9 @@ int main(int argc, char** argv) {
   spec.graph.window_size = 0;  // 0 = 2R, resolved by Build()
   spec.graph.alpha = 0.0f;     // 0 = metric default, resolved by Build()
   bool kind_set = false;
+  bool attach_meta = false;
+  std::vector<ColumnType> meta_types;
+  uint64_t meta_seed = 42;
   tools::FlagParser args(argc, argv, 3);
   std::string flag;
   const char* val = nullptr;
@@ -95,6 +138,12 @@ int main(int argc, char** argv) {
       spec.partition.method = std::strcmp(val, "rr") == 0
                                   ? PartitionMethod::kRoundRobin
                                   : PartitionMethod::kBalancedKMeans;
+    } else if (flag == "--meta") {
+      if (!ParseMetaSpec(val, &meta_types)) return 1;
+      attach_meta = true;
+    } else if (flag == "--meta-seed") {
+      if (!tools::ParseIntFlag(flag, val, 0, INT64_MAX, &iv)) return 1;
+      meta_seed = static_cast<uint64_t>(iv);
     } else {
       return Usage(argv[0]);
     }
@@ -120,6 +169,20 @@ int main(int argc, char** argv) {
   std::printf("built %s (%s) in %.1fs (%.1f MiB)\n",
               index.value().name().c_str(), KindName(index.value().kind()),
               t.Seconds(), index.value().memory_bytes() / 1048576.0);
+
+  if (attach_meta) {
+    auto store = std::make_shared<const MetadataStore>(MakeSyntheticMetadata(
+        base.value().rows(), meta_types, meta_seed));
+    Status attached = index.value().AttachMetadata(std::move(store));
+    if (!attached.ok()) {
+      std::fprintf(stderr, "%s\n", attached.ToString().c_str());
+      return 1;
+    }
+    std::printf("attached synthetic metadata (tags + %zu numeric columns, "
+                "seed %llu)\n",
+                meta_types.size(),
+                static_cast<unsigned long long>(meta_seed));
+  }
 
   Status st = index.value().Save(prefix);
   if (!st.ok()) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "blink.h"
+#include "filter/synthetic.h"
 #include "flags.h"
 
 using namespace blink;
@@ -154,6 +155,52 @@ int main(int argc, char** argv) {
     }
     BenchFlavorReport f = MeasureFlavor(name, index.value(), build_seconds,
                                         ds.queries, gt, cfg);
+    std::printf("%-12s recall %.4f  qps %8.0f  p50 %7.1fus  p99 %7.1fus  "
+                "window %-4u %s\n",
+                f.name.c_str(), f.recall, f.qps, f.p50_us, f.p99_us,
+                f.options.window,
+                f.calibrated ? "" : "(calibration failed; defaults)");
+    report.flavors.push_back(std::move(f));
+  }
+
+  // Filtered-search flavor (DESIGN.md D15): static-lvq with a synthetic f64
+  // metadata column and the 10%-selectivity predicate, scored against
+  // brute-force filtered ground truth. Calibration stays unfiltered — it
+  // tunes the base window the filtered plan widens from.
+  for (const std::string& name : kinds) {
+    if (name != "static-lvq") continue;
+    IndexSpec spec;
+    spec.metric = ds.metric;
+    spec.bits1 = 4;
+    spec.bits2 = 8;
+    spec.graph.graph_max_degree = 24;
+    spec.graph.window_size = 48;
+
+    Timer build_timer;
+    Result<Index> index = BuildNamed(name, spec, ds.base, &pool);
+    const double build_seconds = build_timer.Seconds();
+    if (!index.ok()) {
+      std::fprintf(stderr, "%s-filtered: build failed: %s\n", name.c_str(),
+                   index.status().ToString().c_str());
+      return 1;
+    }
+    auto md = std::make_shared<const MetadataStore>(
+        MakeSyntheticMetadata(n, {ColumnType::kF64}, seed + 7));
+    Status attached = index.value().AttachMetadata(md);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "%s-filtered: %s\n", name.c_str(),
+                   attached.ToString().c_str());
+      return 1;
+    }
+    auto pred = std::make_shared<Predicate>(
+        std::move(Predicate::Parse("num0<0.1")).value());
+    Matrix<uint32_t> fgt = ComputeFilteredGroundTruth(
+        ds.base, ds.queries, k, ds.metric, *md, *pred, &pool);
+    BenchRunConfig fcfg = cfg;
+    fcfg.filter = pred;
+    fcfg.filtered_groundtruth = &fgt;
+    BenchFlavorReport f = MeasureFlavor(name + "-filtered", index.value(),
+                                        build_seconds, ds.queries, gt, fcfg);
     std::printf("%-12s recall %.4f  qps %8.0f  p50 %7.1fus  p99 %7.1fus  "
                 "window %-4u %s\n",
                 f.name.c_str(), f.recall, f.qps, f.p50_us, f.p99_us,

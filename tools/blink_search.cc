@@ -19,7 +19,15 @@
 //     --map                 serve a static bundle from a read-only file
 //                           mapping (out-of-core); falls back to heap
 //                           loading for non-static or pre-v3 artifacts
-//     --gt file.ivecs       exact ground truth for recall
+//     --filter PRED         filtered search: only vectors matching PRED
+//                           (filter/predicate.h grammar, e.g.
+//                           'tag:any=3 num0<0.5') are returned; requires a
+//                           metadata sidecar (blink_build --meta)
+//     --filter-strategy S   auto (default, selectivity crossover) | post |
+//                           insearch
+//     --filter-widen-cap N  post-filter widening cap (0 = auto)
+//     --gt file.ivecs       exact ground truth for recall — with --filter,
+//                           supply *filtered* ground truth
 //     --out file.ivecs      write result ids
 #include <algorithm>
 #include <cstdio>
@@ -39,7 +47,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <index_path> <query.fvecs> [--metric l2|ip] "
                "[--k N] [--window N,N,... | --target-recall R] "
-               "[--nprobe-shards N] [--map] [--gt gt.ivecs] "
+               "[--nprobe-shards N] [--map] [--filter PRED] "
+               "[--filter-strategy auto|post|insearch] "
+               "[--filter-widen-cap N] [--gt gt.ivecs] "
                "[--out res.ivecs]\n",
                argv0);
   return 2;
@@ -76,6 +86,10 @@ int main(int argc, char** argv) {
   bool window_set = false;
   double target_recall = 0.0;  // 0 = sweep mode
   std::string gt_path, out_path;
+  Predicate filter;
+  bool filter_set = false;
+  FilterStrategy filter_strategy = FilterStrategy::kAuto;
+  uint32_t filter_widen_cap = 0;
   tools::FlagParser args(argc, argv, 3);
   std::string flag;
   const char* val = nullptr;
@@ -103,6 +117,16 @@ int main(int argc, char** argv) {
     } else if (flag == "--nprobe-shards") {
       if (!tools::ParseIntFlag(flag, val, 0, 1 << 16, &iv)) return 1;
       nprobe_shards = static_cast<uint32_t>(iv);
+    } else if (flag == "--filter") {
+      if (!tools::ParseFilterFlag(flag, val, &filter)) return 1;
+      filter_set = true;
+    } else if (flag == "--filter-strategy") {
+      if (!tools::ParseFilterStrategyFlag(flag, val, &filter_strategy)) {
+        return 1;
+      }
+    } else if (flag == "--filter-widen-cap") {
+      if (!tools::ParseIntFlag(flag, val, 0, 1 << 20, &iv)) return 1;
+      filter_widen_cap = static_cast<uint32_t>(iv);
     } else if (flag == "--gt") {
       gt_path = val;
     } else if (flag == "--out") {
@@ -134,6 +158,30 @@ int main(int argc, char** argv) {
                  "warning: --metric ignored; %s is self-describing and was "
                  "built with %s\n",
                  prefix.c_str(), MetricName(index.value().metric()));
+  }
+  std::shared_ptr<const Predicate> filter_ptr;
+  if (filter_set) {
+    const MetadataStore* md = index.value().metadata();
+    if (md == nullptr) {
+      std::fprintf(stderr,
+                   "--filter: %s has no metadata sidecar; build one with "
+                   "blink_build --meta\n",
+                   prefix.c_str());
+      return 1;
+    }
+    Status valid = filter.ValidateFor(md->num_columns());
+    if (!valid.ok()) {
+      std::fprintf(stderr, "--filter: %s\n", valid.ToString().c_str());
+      return 1;
+    }
+    filter_ptr = std::make_shared<const Predicate>(filter);
+    const double sel = EstimateSelectivity(*md, filter);
+    const FilterStrategy resolved =
+        ResolveFilterStrategy(*md, filter, filter_strategy);
+    std::printf("filter '%s': estimated selectivity %.4f, strategy %s\n",
+                filter.ToString().c_str(), sel,
+                resolved == FilterStrategy::kInSearch ? "in-search"
+                                                      : "post-filter");
   }
   auto queries = ReadFvecs(query_path);
   if (!queries.ok()) {
@@ -205,6 +253,12 @@ int main(int argc, char** argv) {
       params.nprobe_shards = nprobe_shards;
       settings.push_back(params);
     }
+  }
+
+  for (SearchOptions& s : settings) {
+    s.filter = filter_ptr;
+    s.filter_strategy = filter_strategy;
+    s.filter_widen_cap = filter_widen_cap;
   }
 
   std::printf("%-8s %-12s %-10s\n", "window", "QPS", gt_path.empty() ? "-" : "recall");

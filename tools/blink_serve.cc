@@ -46,7 +46,18 @@
 //     --nprobe-shards P shards probed per query      (default 0 = all)
 //     --dynamic 0|1    streaming dynamic index       (default 0)
 //     --churn OPS      writer ops/sec during load    (default 0; needs a
-//                      mutable index)
+//                      mutable index). With metadata attached the writer
+//                      also upserts each inserted vector's metadata row
+//                      (deterministic from its id), exercising the
+//                      upsert-vs-filtered-search path under load.
+//     --filter PRED    filtered search (filter/predicate.h grammar). The
+//                      synthetic build attaches deterministic metadata
+//                      (tags + one f64 column) and reports filtered and
+//                      unfiltered recall separately; --index mode needs a
+//                      .meta sidecar (blink_build --meta) and reports QPS
+//                      only.
+//     --filter-strategy auto|post|insearch (default auto)
+//     --filter-widen-cap N post-filter widening cap  (default 0 = auto)
 //     --seed S         dataset/build seed            (default 1234)
 //
 // Network loadgen mode (drives a running blink_server instead of an
@@ -84,6 +95,7 @@
 #include <vector>
 
 #include "blink.h"
+#include "filter/synthetic.h"
 #include "flags.h"
 #include "shutdown.h"
 
@@ -237,6 +249,11 @@ struct ConnectConfig {
   size_t batch = 8;
   double duration = 3.0;
   uint64_t seed = 1234;
+  /// Sent in every search request when set (the server must hold metadata;
+  /// supply *filtered* ground truth with --gt or skip the recall report).
+  std::shared_ptr<const Predicate> filter;
+  FilterStrategy filter_strategy = FilterStrategy::kAuto;
+  uint32_t filter_widen_cap = 0;
 };
 
 /// Per-client tallies. Rejected requests are counted, never scored: a
@@ -342,6 +359,9 @@ int RunConnectMode(const ConnectConfig& cfg) {
   SearchOptions options;
   options.window = cfg.window;
   options.nprobe_shards = cfg.nprobe_shards;
+  options.filter = cfg.filter;
+  options.filter_strategy = cfg.filter_strategy;
+  options.filter_widen_cap = cfg.filter_widen_cap;
 
   // `answered[qi]` marks rows of `results` holding a scored answer;
   // stripes are disjoint per client so there are no concurrent writers.
@@ -532,6 +552,10 @@ int main(int argc, char** argv) {
   bool kind_set = false;
   IndexKind kind = IndexKind::kStaticLvq;
   size_t churn_ops = 0;
+  Predicate filter;
+  bool filter_set = false;
+  FilterStrategy filter_strategy = FilterStrategy::kAuto;
+  uint32_t filter_widen_cap = 0;
   tools::FlagParser args(argc, argv, 1);
   std::string flag;
   const char* val = nullptr;
@@ -611,6 +635,16 @@ int main(int argc, char** argv) {
     } else if (flag == "--churn") {
       if (!tools::ParseIntFlag(flag, val, 0, 1 << 24, &iv)) return 1;
       churn_ops = static_cast<size_t>(iv);
+    } else if (flag == "--filter") {
+      if (!tools::ParseFilterFlag(flag, val, &filter)) return 1;
+      filter_set = true;
+    } else if (flag == "--filter-strategy") {
+      if (!tools::ParseFilterStrategyFlag(flag, val, &filter_strategy)) {
+        return 1;
+      }
+    } else if (flag == "--filter-widen-cap") {
+      if (!tools::ParseIntFlag(flag, val, 0, 1 << 20, &iv)) return 1;
+      filter_widen_cap = static_cast<uint32_t>(iv);
     } else if (flag == "--seed") {
       if (!tools::ParseIntFlag(flag, val, 0,
                                std::numeric_limits<long long>::max(), &iv)) {
@@ -647,6 +681,11 @@ int main(int argc, char** argv) {
     net_cfg.batch = batch;
     net_cfg.duration = duration;
     net_cfg.seed = seed;
+    if (filter_set) {
+      net_cfg.filter = std::make_shared<const Predicate>(filter);
+      net_cfg.filter_strategy = filter_strategy;
+      net_cfg.filter_widen_cap = filter_widen_cap;
+    }
     return RunConnectMode(net_cfg);
   }
   if (!net_cfg.queries_path.empty() || !net_cfg.gt_path.empty() ||
@@ -691,6 +730,10 @@ int main(int argc, char** argv) {
   MatrixF queries;
   MatrixF churn_base;   // vectors the churn writer inserts (see below)
   Matrix<uint32_t> gt;  // empty when no ground truth (--index mode)
+  Matrix<uint32_t> filtered_gt;  // only in synthetic mode with --filter
+  // Metadata rows (build-time and churn upserts) all derive from this one
+  // seed so the filtered ground truth and the store agree.
+  const uint64_t meta_seed = seed + 7;
   if (!index_path.empty()) {
     OpenOptions open_opts;
     if (map_mode) open_opts.load_mode = LoadMode::kMap;
@@ -706,6 +749,13 @@ int main(int argc, char** argv) {
                 LoadModeName(index.spec().load_mode), index_path.c_str(),
                 index.size(), index.dim(),
                 index.memory_bytes() / 1048576.0);
+    if (filter_set && index.metadata() == nullptr) {
+      std::fprintf(stderr,
+                   "--filter: %s has no metadata sidecar; build one with "
+                   "blink_build --meta\n",
+                   index_path.c_str());
+      return 1;
+    }
   } else {
     if (map_mode) {
       std::fprintf(stderr, "warning: --map has no effect without --index "
@@ -734,6 +784,20 @@ int main(int argc, char** argv) {
                 index.memory_bytes() / 1048576.0);
     gt = ComputeGroundTruth(data.base, data.queries, k, data.metric,
                             &build_pool);
+    if (filter_set) {
+      // Tags plus one f64 column: enough surface for any predicate the
+      // grammar can express against synthetic data.
+      auto store = std::make_shared<const MetadataStore>(MakeSyntheticMetadata(
+          n, {ColumnType::kF64}, meta_seed));
+      Status attached = index.AttachMetadata(store);
+      if (!attached.ok()) {
+        std::fprintf(stderr, "%s\n", attached.ToString().c_str());
+        return 1;
+      }
+      filtered_gt = ComputeFilteredGroundTruth(data.base, data.queries, k,
+                                               data.metric, *store, filter,
+                                               &build_pool);
+    }
     queries = data.queries.Clone();
     // The churn writer must insert *base* vectors: a transient duplicate
     // of a base vector can only tie with its original under the ground
@@ -745,6 +809,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--churn requires a mutable index (%s is %s)\n",
                  index.name().c_str(), KindName(index.kind()));
     return 1;
+  }
+  std::shared_ptr<const Predicate> filter_ptr;
+  if (filter_set) {
+    const MetadataStore* md = index.metadata();
+    Status valid = filter.ValidateFor(md->num_columns());
+    if (!valid.ok()) {
+      std::fprintf(stderr, "--filter: %s\n", valid.ToString().c_str());
+      return 1;
+    }
+    filter_ptr = std::make_shared<const Predicate>(filter);
+    std::printf("filter '%s': estimated selectivity %.4f, strategy %s\n",
+                filter.ToString().c_str(), EstimateSelectivity(*md, filter),
+                ResolveFilterStrategy(*md, filter, filter_strategy) ==
+                        FilterStrategy::kInSearch
+                    ? "in-search"
+                    : "post-filter");
   }
 
   std::printf("blink_serve: nq=%zu d=%zu k=%zu | engine threads=%zu "
@@ -818,7 +898,24 @@ int main(int argc, char** argv) {
       while (!stop_churn.load(std::memory_order_relaxed)) {
         if (extra.size() < 256 && rng.Bounded(2) == 0) {
           auto id = index.Insert(source.row(rng.Bounded(source.rows())));
-          if (id.ok()) extra.push_back(id.value());
+          if (id.ok()) {
+            // Give every churned-in vector deterministic id-derived
+            // metadata so filtered searches under load see a live
+            // upsert-vs-read schedule (the TSan target of this tool).
+            if (const MetadataStore* md = index.metadata()) {
+              std::vector<double> vals(md->num_columns());
+              for (size_t c = 0; c < vals.size(); ++c) {
+                vals[c] = md->column_type(c) == ColumnType::kI64
+                              ? static_cast<double>(
+                                    SyntheticI64(meta_seed, id.value(), c))
+                              : SyntheticF64(meta_seed, id.value(), c);
+              }
+              (void)index.UpsertMetadata(id.value(),
+                                         SyntheticTags(meta_seed, id.value()),
+                                         vals.data(), vals.size());
+            }
+            extra.push_back(id.value());
+          }
         } else if (!extra.empty()) {
           const size_t pick = rng.Bounded(extra.size());
           (void)index.Delete(extra[pick]);
@@ -835,17 +932,19 @@ int main(int argc, char** argv) {
   }
 
   Matrix<uint32_t> results(nq, k);  // last result per query, for recall
-  const bool have_gt = gt.rows() == nq;
-  for (const SearchOptions& params : settings) {
-    if (tools::StopRequested()) break;
-    const uint32_t w = params.window;
+  // One report per (window, variant) run; recall scores against whichever
+  // ground truth matches the variant (exact vs brute-force-filtered), so
+  // --filter prints filtered and unfiltered figures separately.
+  auto run_and_report = [&](const char* label, const SearchOptions& params,
+                            const Matrix<uint32_t>& truth) {
     std::vector<char> answered(nq, 0);
     LoadResult r = RunLoad(*engine, queries, k, params, clients, duration,
                            async_mode, batch, &results, &answered);
     const double qps = static_cast<double>(r.queries) / r.elapsed;
-    std::printf("\nwindow %u: %zu queries in %.2fs  (%zu requests, %llu "
+    std::printf("\nwindow %u%s: %zu queries in %.2fs  (%zu requests, %llu "
                 "micro-batches)\n",
-                w, r.queries, r.elapsed, r.latencies_ms.size(),
+                params.window, label, r.queries, r.elapsed,
+                r.latencies_ms.size(),
                 static_cast<unsigned long long>(r.batches));
     std::printf("QPS               %10.0f\n", qps);
     if (r.rejected > 0) {
@@ -864,19 +963,33 @@ int main(int argc, char** argv) {
                                     r.latencies_ms.end()));
     }
     std::printf("dists/query       %10.1f\n", r.dists_per_query);
-    if (have_gt) {
+    if (truth.rows() == nq) {
       // Score only answered rows: a query the engine rejected (shutdown
       // race) was never answered and must not read as a recall miss.
       size_t scored = 0;
       double sum = 0.0;
       for (size_t qi = 0; qi < nq; ++qi) {
         if (!answered[qi]) continue;
-        sum += RecallAtK({results.row(qi), k}, {gt.row(qi), gt.cols()}, k);
+        sum += RecallAtK({results.row(qi), k}, {truth.row(qi), truth.cols()},
+                         k);
         ++scored;
       }
-      std::printf("recall@%-2zu         %10.4f  (over %zu/%zu answered)\n", k,
+      std::printf("recall@%-2zu%s %10.4f  (over %zu/%zu answered)\n", k,
+                  *label != '\0' ? label : "         ",
                   scored > 0 ? sum / static_cast<double>(scored) : 0.0,
                   scored, nq);
+    }
+  };
+  for (const SearchOptions& params : settings) {
+    if (tools::StopRequested()) break;
+    run_and_report("", params, gt);
+    if (filter_ptr != nullptr) {
+      if (tools::StopRequested()) break;
+      SearchOptions fparams = params;
+      fparams.filter = filter_ptr;
+      fparams.filter_strategy = filter_strategy;
+      fparams.filter_widen_cap = filter_widen_cap;
+      run_and_report(" [filtered]", fparams, filtered_gt);
     }
   }
   if (churner.joinable()) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "filter/predicate.h"
 #include "graph/storage.h"
 
 namespace blink {
@@ -118,6 +119,44 @@ inline bool ParseMetricFlag(const std::string& flag, const char* value,
   }
   std::fprintf(stderr, "%s: expected l2 or ip, got '%s'\n", flag.c_str(),
                value);
+  return false;
+}
+
+/// Strict filter-predicate parse, the CLI face of Predicate::Parse
+/// (filter/predicate.h grammar: space-separated clauses like
+/// "tag:any=1,3 num0>=2.5"). Same no-leniency contract as the numeric
+/// parsers above: any malformed clause, stray token, or trailing garbage
+/// prints the parser's message to stderr and returns false — never a
+/// silently weakened predicate.
+inline bool ParseFilterFlag(const std::string& flag, const char* value,
+                            Predicate* out) {
+  Result<Predicate> parsed = Predicate::Parse(value);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", flag.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(parsed).value();
+  return true;
+}
+
+/// Strict filter-strategy parse: exactly "auto", "post", or "insearch".
+inline bool ParseFilterStrategyFlag(const std::string& flag, const char* value,
+                                    FilterStrategy* out) {
+  if (std::strcmp(value, "auto") == 0) {
+    *out = FilterStrategy::kAuto;
+    return true;
+  }
+  if (std::strcmp(value, "post") == 0) {
+    *out = FilterStrategy::kPostFilter;
+    return true;
+  }
+  if (std::strcmp(value, "insearch") == 0) {
+    *out = FilterStrategy::kInSearch;
+    return true;
+  }
+  std::fprintf(stderr, "%s: expected auto, post, or insearch, got '%s'\n",
+               flag.c_str(), value);
   return false;
 }
 
